@@ -1,0 +1,79 @@
+"""Fig. 1 — the parallel I/O architecture (layered software stack).
+
+The figure is architectural; the measurable claims behind it (§I) are:
+high-level libraries sit atop MPI-IO which sits atop POSIX, "each of
+these layers offer corresponding configuration or optimization
+options", and "the observed I/O performance at the application-level
+can be much lower than the theoretical peak bandwidth".
+
+Reproduced shapes: (a) each layer adds overhead — POSIX >= MPI-IO >=
+HDF5 throughput for the same pattern; (b) the MPI-IO layer's collective
+optimization rescues small shared-file writes; (c) application-level
+throughput is far below the fabric's theoretical peak.
+"""
+
+from conftest import report
+
+from repro.benchmarks_io.ior import IORConfig, run_ior
+from repro.iostack.stack import Testbed
+from repro.mpi.hints import MPIIOHints
+from repro.util.units import GIB, KIB, MIB
+
+
+def _run_stack_sweep():
+    results = {}
+    testbed = Testbed.fuchs_csc(seed=11)
+    # (a) same fpp pattern through each layer.  All runs share one
+    # run_id: the noise streams are keyed by (run, iteration, op), so a
+    # common id gives common random numbers and the comparison between
+    # layers is exactly paired (variance reduction, not cheating — the
+    # same trick IOR users apply by interleaving repetitions).
+    for api in ("POSIX", "MPIIO", "HDF5"):
+        cfg = IORConfig(
+            api=api, block_size=8 * MIB, transfer_size=1 * MIB, segment_count=4,
+            iterations=3, test_file=f"/scratch/f1/{api.lower()}",
+            file_per_proc=True, keep_file=True,
+        )
+        res = run_ior(cfg, testbed, num_nodes=2, tasks_per_node=20, run_id=1)
+        results[api] = res.bandwidth_summary("write").mean
+
+    # (b) small strided shared-file writes, independent vs collective.
+    for label, collective, hint in (
+        ("shared-independent", False, MPIIOHints(romio_cb_write="disable")),
+        ("shared-collective", True, MPIIOHints(romio_cb_write="enable")),
+    ):
+        cfg = IORConfig(
+            api="MPIIO", block_size=47008, transfer_size=47008, segment_count=64,
+            iterations=3, test_file=f"/scratch/f1/{label}", file_per_proc=False,
+            keep_file=True, collective=collective, hints=hint,
+        )
+        res = run_ior(cfg, testbed, num_nodes=2, tasks_per_node=20, run_id=1)
+        results[label] = res.bandwidth_summary("write").mean
+
+    results["fabric_peak_mib"] = testbed.cluster.interconnect.fabric_ceiling_bps() / MIB
+    return results
+
+
+def test_fig1_stack_layers(benchmark):
+    r = benchmark.pedantic(_run_stack_sweep, rounds=1, iterations=1)
+
+    report(
+        "Fig. 1: application-level write throughput through the I/O stack (MiB/s)",
+        ["configuration", "measured (MiB/s)"],
+        [
+            ["POSIX, file-per-process", round(r["POSIX"], 1)],
+            ["MPI-IO, file-per-process", round(r["MPIIO"], 1)],
+            ["HDF5, file-per-process", round(r["HDF5"], 1)],
+            ["MPI-IO shared file, independent 47008B", round(r["shared-independent"], 1)],
+            ["MPI-IO shared file, collective 47008B", round(r["shared-collective"], 1)],
+            ["theoretical fabric peak", round(r["fabric_peak_mib"], 1)],
+        ],
+    )
+
+    # (a) layering overhead ordering.
+    assert r["POSIX"] > r["MPIIO"] > r["HDF5"]
+    # (b) collective buffering is the layer optimization that matters
+    # for small shared-file writes.
+    assert r["shared-collective"] > 2 * r["shared-independent"]
+    # (c) application-level << theoretical peak (27 GB/s fabric).
+    assert r["POSIX"] < 0.25 * r["fabric_peak_mib"]

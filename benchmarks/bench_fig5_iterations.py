@@ -1,0 +1,77 @@
+"""Fig. 5 — performance analysis through multiple iterations.
+
+Paper (§V-E2): running ``ior -a mpiio -b 4m -t 2m -s 40 -F -C -e -i 6
+-o ... -k`` on 4 nodes x 20 cores of FUCHS-CSC, "the average throughput
+for write for iteration 1, 3, 4, 5, 6 is 2850 MiB, the throughput for
+iteration 2 is 1251 MiB, which is less than half the average
+throughput.  Similarly, this phenomenon is evident when looking at the
+number of operations."
+
+Reproduced shape: five healthy write iterations cluster near a common
+mean in the ~2850 MiB/s range; the second iteration collapses below
+~55% of that mean; the operation counts dip with it; reads stay flat;
+and the anomaly detector flags exactly iteration 2.
+"""
+
+from conftest import report
+
+from repro.benchmarks_io.ior import parse_command, render_ior_output, run_ior
+from repro.core.extraction import parse_ior_output
+from repro.core.usage import IterationAnomalyDetector
+from repro.iostack.stack import Testbed
+from repro.pfs import Fault
+
+PAPER_COMMAND = "ior -a mpiio -b 4m -t 2m -s 40 -F -C -e -i 6 -o /scratch/fuchs/zhuz/test80 -k"
+PAPER_HEALTHY_MEAN = 2850.0
+PAPER_ANOMALY = 1251.0
+
+
+def _run_fig5():
+    testbed = Testbed.fuchs_csc(seed=2022)
+    testbed.fs.faults.add(
+        Fault(name="degraded-iter2", factor=0.44,
+              when={"benchmark": "ior", "iteration": 1, "op": "write"})
+    )
+    result = run_ior(parse_command(PAPER_COMMAND), testbed, num_nodes=4, tasks_per_node=20)
+    return parse_ior_output(render_ior_output(result))
+
+
+def test_fig5_iteration_anomaly(benchmark):
+    knowledge = benchmark.pedantic(_run_fig5, rounds=1, iterations=1)
+
+    writes = knowledge.summary("write").bandwidth_series()
+    write_ops = knowledge.summary("write").iops_series()
+    reads = knowledge.summary("read").bandwidth_series()
+    healthy = [bw for i, bw in enumerate(writes) if i != 1]
+    healthy_mean = sum(healthy) / len(healthy)
+
+    rows = []
+    for i in range(6):
+        paper_bw = PAPER_ANOMALY if i == 1 else PAPER_HEALTHY_MEAN
+        rows.append([i + 1, paper_bw, round(writes[i], 1), round(write_ops[i], 1),
+                     round(reads[i], 1)])
+    report(
+        "Fig. 5: write/read throughput and ops over 6 iterations",
+        ["iteration", "paper write (MiB/s)", "measured write", "measured write ops/s",
+         "measured read"],
+        rows,
+    )
+
+    # Shape 1: the anomalous iteration is < 55% of the healthy mean
+    # (the paper's 1251 vs 2850 is 44%).
+    assert writes[1] < 0.55 * healthy_mean
+    # Shape 2: healthy iterations cluster near the paper's magnitude.
+    assert 2300 < healthy_mean < 3400
+    assert all(abs(bw - healthy_mean) / healthy_mean < 0.15 for bw in healthy)
+    # Shape 3: "this phenomenon is evident when looking at the number of
+    # operations" — ops dip with throughput.
+    healthy_ops = [v for i, v in enumerate(write_ops) if i != 1]
+    assert write_ops[1] < 0.55 * (sum(healthy_ops) / len(healthy_ops))
+    # Shape 4: reads are unaffected by the write-phase fault.
+    assert min(reads) > 0.8 * max(reads)
+    # Shape 5: the automated detector reports exactly iteration 2 (1-based).
+    anomalies = IterationAnomalyDetector().detect(knowledge)
+    assert [a.iteration for a in anomalies if a.operation == "write"] == [2]
+    a = next(a for a in anomalies if a.operation == "write")
+    assert a.severity > 1.8
+    assert "iops" in a.corroborated_by

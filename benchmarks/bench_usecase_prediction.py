@@ -1,0 +1,97 @@
+"""§IV / §VI — performance prediction and expectation bands.
+
+"Using our generic workflow, representative and reproducible data sets
+can be created for predictive modeling and then used to predict I/O
+performance" ... "the knowledge objects can be used as training data
+for linear regression analysis to make I/O performance predictions"
+... "upper and lower performance boundaries can be determined and thus
+provide the user with a realistic expectation."
+
+Reproduced shapes: the regression trained on a JUBE sweep predicts a
+held-out configuration within a modest relative error; the prediction
+interval brackets the measurement; the recommender picks the sweep's
+genuinely best configuration.
+"""
+
+import tempfile
+
+from conftest import report
+
+from repro.benchmarks_io.ior import parse_command, render_ior_output, run_ior
+from repro.core.cycle import KnowledgeCycle
+from repro.core.extraction import parse_ior_output
+from repro.core.persistence import KnowledgeDatabase
+from repro.core.usage import FeatureVector, PerformancePredictor, Recommender
+from repro.iostack.stack import Testbed
+from repro.util.units import MIB
+
+SWEEP_XML = """
+<jube>
+  <benchmark name="training" outpath="ignored">
+    <parameterset name="p">
+      <parameter name="transfersize">256k,1m,4m,8m</parameter>
+      <parameter name="nodes">1,2,4</parameter>
+      <parameter name="taskspernode">20</parameter>
+      <parameter name="command">ior -a posix -b 8m -t $transfersize -s 4 -F -i 2 -o /scratch/up/test -k</parameter>
+    </parameterset>
+    <step name="run" work="ior"><use>p</use></step>
+  </benchmark>
+</jube>
+"""
+
+
+def _train_and_validate():
+    testbed = Testbed.fuchs_csc(seed=606)
+    with tempfile.TemporaryDirectory() as workspace:
+        with KnowledgeDatabase(":memory:") as db:
+            cycle = KnowledgeCycle(testbed, db, workspace=workspace)
+            base = cycle.run_cycle(SWEEP_XML).knowledge
+
+    model = PerformancePredictor(operation="write").fit(base)
+
+    # Held-out configuration (transfer size the sweep never ran).
+    holdout_res = run_ior(
+        parse_command("ior -a posix -b 8m -t 2m -s 4 -F -i 2 -o /scratch/up/hold -k"),
+        testbed, num_nodes=2, tasks_per_node=20, run_id=999,
+    )
+    holdout = parse_ior_output(render_ior_output(holdout_res))
+    features = FeatureVector(transfer_size=2 * MIB, num_tasks=40, num_nodes=2, api="POSIX")
+    predicted = model.predict(features)
+    lo, hi = model.predict_interval(features)
+    actual = holdout.summary("write").bw_mean
+    recommendation = Recommender(base).recommend(operation="write", num_tasks=80)
+    best_actual = max(
+        (k for k in base if k.num_tasks == 80),
+        key=lambda k: k.summary("write").bw_mean,
+    )
+    return model, predicted, (lo, hi), actual, recommendation, best_actual
+
+
+def test_usecase_prediction(benchmark):
+    model, predicted, (lo, hi), actual, recommendation, best_actual = benchmark.pedantic(
+        _train_and_validate, rounds=1, iterations=1
+    )
+
+    rel_error = abs(predicted - actual) / actual
+    report(
+        "§IV: regression prediction vs held-out measurement (write MiB/s)",
+        ["quantity", "value"],
+        [
+            ["training samples", model.n_samples_],
+            ["predicted", round(predicted, 1)],
+            ["expectation band low", round(lo, 1)],
+            ["expectation band high", round(hi, 1)],
+            ["measured (held out)", round(actual, 1)],
+            ["relative error", f"{rel_error * 100:.1f}%"],
+        ],
+    )
+
+    assert model.n_samples_ == 12
+    # Prediction quality: within 30% on a config the model never saw.
+    assert rel_error < 0.30
+    # The expectation band brackets the measurement (realistic expectation).
+    assert lo <= actual <= hi
+    assert lo < predicted < hi
+    # The recommender returns the sweep's actual best configuration.
+    assert recommendation.knowledge_id == best_actual.knowledge_id
+    assert recommendation.expected_bw_mean == best_actual.summary("write").bw_mean

@@ -1,0 +1,83 @@
+"""§V-E1 — usage example I: new knowledge generation.
+
+"First, the previously applied command is selected and then loaded from
+the corresponding configuration in the view and can be modified as
+required.  Afterward, the new command can be created by clicking
+'create configuration'.  With the just created configuration, a new
+benchmark run can be started ... and thus new knowledge can be
+generated.  Due to the generic workflow, this process can be repeated
+as often as required."
+
+Reproduced shapes: the stored command round-trips exactly; a modified
+configuration regenerates, runs, and yields a new knowledge object with
+the modified pattern; repeating the loop keeps growing the base.
+"""
+
+import tempfile
+
+from conftest import report
+
+from repro.core.cycle import KnowledgeCycle
+from repro.core.persistence import KnowledgeDatabase
+from repro.core.usage import config_from_knowledge, create_configuration, generate_jube_config
+from repro.iostack.stack import Testbed
+from repro.util.units import MIB
+
+PAPER_COMMAND = "ior -a mpiio -b 4m -t 2m -s 40 -F -C -e -i 6 -o /scratch/fuchs/zhuz/test80 -k"
+
+INITIAL_XML = f"""
+<jube>
+  <benchmark name="initial" outpath="ignored">
+    <parameterset name="p">
+      <parameter name="command">{PAPER_COMMAND}</parameter>
+      <parameter name="nodes">4</parameter>
+      <parameter name="taskspernode">20</parameter>
+    </parameterset>
+    <step name="run" work="ior"><use>p</use></step>
+  </benchmark>
+</jube>
+"""
+
+
+def _run_regeneration_loop():
+    testbed = Testbed.fuchs_csc(seed=505)
+    counts = []
+    with tempfile.TemporaryDirectory() as workspace:
+        with KnowledgeDatabase(":memory:") as db:
+            cycle = KnowledgeCycle(testbed, db, workspace=workspace)
+            first = cycle.run_cycle(INITIAL_XML)
+            counts.append(db.table_count("performances"))
+            knowledge = first.knowledge[0]
+
+            regenerated = create_configuration(knowledge, transfer_size=1 * MIB, iterations=3)
+            xml = generate_jube_config(knowledge, sweep={"transfersize": ["1m", "4m"]},
+                                       nodes=2, tasks_per_node=10)
+            second = cycle.run_cycle(xml)
+            counts.append(db.table_count("performances"))
+            third = cycle.run_cycle(xml)
+            counts.append(db.table_count("performances"))
+    return knowledge, regenerated, second, counts
+
+
+def test_usecase_regeneration(benchmark):
+    knowledge, regenerated, second, counts = benchmark.pedantic(
+        _run_regeneration_loop, rounds=1, iterations=1
+    )
+
+    report(
+        "§V-E1: knowledge regeneration loop",
+        ["revolution", "knowledge objects in base"],
+        [[i + 1, c] for i, c in enumerate(counts)],
+    )
+
+    # The stored command is the paper's command, verbatim round trip.
+    assert knowledge.command == PAPER_COMMAND
+    assert config_from_knowledge(knowledge).to_command() == PAPER_COMMAND
+    # 'create configuration' applied the modification and kept the rest.
+    assert "-t 1m" in regenerated and "-i 3" in regenerated and "-s 40" in regenerated
+    # The regenerated sweep ran and produced the modified patterns.
+    sizes = sorted(k.parameters["xfersize_bytes"] for k in second.knowledge)
+    assert sizes == [1 * MIB, 4 * MIB]
+    # "repeated as often as required": monotone growth, one object for the
+    # initial run plus two per sweep revolution.
+    assert counts == [1, 3, 5]

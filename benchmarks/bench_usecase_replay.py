@@ -1,0 +1,83 @@
+"""§IV — workload generation use case: trace-driven what-if simulation.
+
+"the knowledge obtained from our generic workflow can be used to ...
+generate ... synthetic workload for simulation and thus drive the
+simulation or initialize new evaluation processes."
+
+Reproduced loop: record a run with DXT, replay the exact trace against
+three what-if targets.  Shapes: the same system replays at ~1x; doubling
+the storage targets speeds the workload up; a degraded storage server
+slows it down; and the synthetic IOR approximation of the same pattern
+reproduces the original throughput within a factor band.
+"""
+
+from conftest import report
+
+from repro.benchmarks_io.ior import IORConfig, run_ior
+from repro.core.usage import extract_pattern, ior_config_from_pattern
+from repro.darshan import DarshanProfiler, DarshanReport, replay_trace
+from repro.iostack.stack import Testbed
+from repro.pfs import BeeGFSSpec
+from repro.util.units import MIB
+
+
+def _record_and_replay():
+    origin = Testbed.fuchs_csc(seed=901)
+    profiler = DarshanProfiler(enable_dxt=True)
+    config = IORConfig(
+        api="MPIIO", block_size=8 * MIB, transfer_size=1 * MIB, segment_count=2,
+        iterations=1, test_file="/scratch/wg/app", file_per_proc=True, keep_file=True,
+    )
+    original = run_ior(config, origin, num_nodes=1, tasks_per_node=8, tracer=profiler)
+    trace = DarshanReport(
+        profiler.finalize("app", original.num_tasks, original.start_offset_s,
+                          original.end_offset_s)
+    )
+
+    speedups = {}
+    same = Testbed.fuchs_csc(seed=902)
+    speedups["same"] = replay_trace(trace, same.start_job("r", 1, 8)).speedup
+    bigger = Testbed(
+        "fuchs-csc", fs_spec=BeeGFSSpec(num_storage_servers=8, targets_per_server=2),
+        seed=902,
+    )
+    speedups["2x targets"] = replay_trace(trace, bigger.start_job("r", 1, 8)).speedup
+    degraded = Testbed.fuchs_csc(seed=902)
+    degraded.fs.degrade_server("stor01", 0.2)
+    speedups["degraded server"] = replay_trace(
+        trace, degraded.start_job("r", 1, 8)
+    ).speedup
+
+    # Synthetic approximation of the same workload (pattern -> IOR).
+    pattern = extract_pattern(trace)
+    synth_cfg = ior_config_from_pattern(pattern, test_file="/scratch/wg/syn")
+    synth_tb = Testbed.fuchs_csc(seed=903)
+    synthetic = run_ior(synth_cfg, synth_tb, num_nodes=1, tasks_per_node=pattern.nprocs)
+    return original, speedups, synthetic
+
+
+def test_usecase_workload_generation(benchmark):
+    original, speedups, synthetic = benchmark.pedantic(
+        _record_and_replay, rounds=1, iterations=1
+    )
+
+    orig_bw = original.bandwidth_summary("write").mean
+    synth_bw = synthetic.bandwidth_summary("write").mean
+    report(
+        "§IV workload generation: DXT replay what-ifs + synthetic IOR",
+        ["scenario", "value"],
+        [
+            ["replay on same system (speedup)", round(speedups["same"], 2)],
+            ["replay on 2x storage targets", round(speedups["2x targets"], 2)],
+            ["replay on degraded server", round(speedups["degraded server"], 2)],
+            ["original write MiB/s", round(orig_bw, 1)],
+            ["synthetic replay write MiB/s", round(synth_bw, 1)],
+        ],
+    )
+
+    assert 0.7 < speedups["same"] < 1.4  # same hardware, ~parity
+    assert speedups["2x targets"] > 1.3  # more devices help
+    assert speedups["degraded server"] < 0.95  # broken node hurts
+    assert speedups["2x targets"] > speedups["same"] > speedups["degraded server"]
+    # The synthetic IOR reproduces the original throughput's magnitude.
+    assert 0.5 < synth_bw / orig_bw < 2.0

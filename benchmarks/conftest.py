@@ -1,0 +1,18 @@
+"""Shared helpers for the figure-reproduction benchmark harness.
+
+Every bench module regenerates one figure (or demonstrated use case) of
+the paper, asserts its *shape* claim, and prints the paper-vs-measured
+series via :func:`report`.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.util.tables import render_table
+
+
+def report(title: str, headers: Sequence[str], rows: Sequence[Sequence[object]]) -> None:
+    """Print one figure-reproduction table to the bench output."""
+    print(f"\n=== {title} ===")
+    print(render_table(headers, rows))

@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Usage example I of the paper (§V-E1): new knowledge generation.
+
+Demonstrates the knowledge-reuse loop: run the paper's IOR command,
+store the knowledge, then use the explorer's "create configuration"
+feature to regenerate a modified command and a JUBE sweep from it, and
+drive a second generation cycle with the regenerated configuration —
+"due to the generic workflow, this process can be repeated as often as
+required".
+
+Run:  python examples/knowledge_reuse.py
+"""
+
+import tempfile
+
+from repro import KnowledgeCycle, KnowledgeDatabase, Testbed
+from repro.core.explorer import ComparisonView, render_ascii
+from repro.core.usage import create_configuration, generate_jube_config
+from repro.util.units import MIB
+
+INITIAL_XML = """
+<jube>
+  <benchmark name="initial" outpath="bench_run">
+    <parameterset name="pattern">
+      <parameter name="command">ior -a mpiio -b 4m -t 2m -s 40 -F -C -e -i 6 -o /scratch/fuchs/zhuz/test80 -k</parameter>
+      <parameter name="nodes">4</parameter>
+      <parameter name="taskspernode">20</parameter>
+    </parameterset>
+    <step name="run" work="ior">
+      <use>pattern</use>
+    </step>
+  </benchmark>
+</jube>
+"""
+
+
+def main() -> None:
+    testbed = Testbed.fuchs_csc(seed=7)
+    with tempfile.TemporaryDirectory() as workspace:
+        with KnowledgeDatabase(":memory:") as db:
+            cycle = KnowledgeCycle(testbed, db, workspace=workspace)
+
+            print("Cycle 1: the paper's §V-E1 command on 4 nodes / 80 cores...")
+            first = cycle.run_cycle(INITIAL_XML)
+            knowledge = first.knowledge[0]
+            print(f"  stored knowledge #{knowledge.knowledge_id}: {knowledge.command}")
+
+            # "First, the previously applied command is selected ... and
+            # can be modified as required.  Afterward, the new command can
+            # be created by clicking 'create configuration'."
+            new_command = create_configuration(
+                knowledge, transfer_size=4 * MIB, iterations=3
+            )
+            print(f"\n'create configuration' produced:\n  {new_command}")
+
+            # And the JUBE-config generation extension (§V-E1).
+            sweep_xml = generate_jube_config(
+                knowledge,
+                sweep={"transfersize": ["1m", "2m", "4m"]},
+                benchmark_name="regenerated-sweep",
+            )
+            print("\nCycle 2: running the regenerated JUBE sweep...")
+            second = cycle.run_cycle(sweep_xml)
+            print(f"  produced {len(second.knowledge)} new knowledge objects")
+
+            everything = [*first.knowledge, *second.knowledge]
+            view = ComparisonView(everything)
+            print("\nComparison across both cycles (x axis: transfer size):")
+            print(view.table())
+            print()
+            print(render_ascii(view.chart(x_axis="xfersize", y_metric="bw_mean"), width=60))
+
+            print(
+                f"\nKnowledge base grew from {len(first.knowledge)} to "
+                f"{db.table_count('performances')} objects across two revolutions."
+            )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""I/O performance prediction from the knowledge base (§IV, §VI).
+
+Builds a knowledge base from a JUBE parameter sweep (transfer size x
+task count), trains the linear-regression predictor on it, and checks
+its predictions against held-out runs — "the knowledge objects can be
+used as training data for linear regression analysis to make I/O
+performance predictions".  Also shows the recommendation module picking
+the best stored configuration.
+
+Run:  python examples/performance_prediction.py
+"""
+
+import tempfile
+
+from repro import KnowledgeCycle, KnowledgeDatabase, Testbed
+from repro.benchmarks_io.ior import parse_command, render_ior_output, run_ior
+from repro.core.extraction import parse_ior_output
+from repro.core.usage import FeatureVector, PerformancePredictor, Recommender
+from repro.util.units import MIB
+
+SWEEP_XML = """
+<jube>
+  <benchmark name="training-sweep" outpath="bench_run">
+    <parameterset name="pattern">
+      <parameter name="transfersize">256k,1m,2m,4m,8m</parameter>
+      <parameter name="nodes">1,2,4</parameter>
+      <parameter name="taskspernode">20</parameter>
+      <parameter name="command">ior -a posix -b 8m -t $transfersize -s 4 -F -i 2 -o /scratch/pred/test -k</parameter>
+    </parameterset>
+    <step name="run" work="ior">
+      <use>pattern</use>
+    </step>
+  </benchmark>
+</jube>
+"""
+
+
+def main() -> None:
+    testbed = Testbed.fuchs_csc(seed=31)
+    with tempfile.TemporaryDirectory() as workspace:
+        with KnowledgeDatabase(":memory:") as db:
+            cycle = KnowledgeCycle(testbed, db, workspace=workspace)
+            print("Generating the training knowledge base (5 transfer sizes x 3 node counts)...")
+            result = cycle.run_cycle(SWEEP_XML)
+            base = result.knowledge
+            print(f"  {len(base)} knowledge objects stored\n")
+
+            model = PerformancePredictor(operation="write").fit(base)
+            print(f"Fitted log-log OLS on {model.n_samples_} samples "
+                  f"(training residual {model.training_residual_:.3f} in log space)\n")
+
+            # Held-out check: a configuration the sweep never ran.
+            held_out_cmd = "ior -a posix -b 9m -t 3m -s 4 -F -i 2 -o /scratch/pred/holdout -k"
+            holdout = parse_ior_output(render_ior_output(run_ior(
+                parse_command(held_out_cmd), testbed, num_nodes=3, tasks_per_node=20,
+                run_id=777,
+            )))
+            features = FeatureVector(
+                transfer_size=3 * MIB, num_tasks=60, num_nodes=3, api="POSIX"
+            )
+            predicted = model.predict(features)
+            lo, hi = model.predict_interval(features)
+            actual = holdout.summary("write").bw_mean
+            print("Held-out configuration: -t 3m on 3 nodes x 20 tasks")
+            print(f"  predicted : {predicted:8.1f} MiB/s  (expectation band [{lo:.1f} .. {hi:.1f}])")
+            print(f"  measured  : {actual:8.1f} MiB/s")
+            print(f"  rel. error: {abs(predicted - actual) / actual * 100:.1f}%\n")
+
+            rec = Recommender(base).recommend(operation="write", num_tasks=80)
+            print(f"Recommendation for an 80-task job:\n  {rec.description}")
+
+
+if __name__ == "__main__":
+    main()

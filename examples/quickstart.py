@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Quickstart: one full revolution of the I/O knowledge cycle.
+
+Generates knowledge with a JUBE-driven IOR sweep on the simulated
+FUCHS-CSC testbed, extracts it, stores it in SQLite, analyzes it with
+the knowledge explorer, and runs the built-in usage modules.
+
+Run:  python examples/quickstart.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import KnowledgeCycle, KnowledgeDatabase, Testbed
+
+JUBE_XML = """
+<jube>
+  <benchmark name="quickstart" outpath="bench_run">
+    <parameterset name="pattern">
+      <parameter name="transfersize">1m,2m,4m</parameter>
+      <parameter name="command">ior -a mpiio -b 8m -t $transfersize -s 8 -F -e -i 3 -o /scratch/quickstart/test -k</parameter>
+      <parameter name="nodes">2</parameter>
+      <parameter name="taskspernode">20</parameter>
+    </parameterset>
+    <step name="run" work="ior">
+      <use>pattern</use>
+    </step>
+  </benchmark>
+</jube>
+"""
+
+
+def main() -> None:
+    testbed = Testbed.fuchs_csc(seed=42)
+    with tempfile.TemporaryDirectory() as workspace:
+        db_path = Path(workspace) / "knowledge.db"
+        with KnowledgeDatabase(db_path) as db:
+            cycle = KnowledgeCycle(testbed, db, workspace=workspace)
+
+            print("=== Phases I-V: running one revolution of the cycle ===\n")
+            result = cycle.run_cycle(JUBE_XML)
+
+            print(result.analysis_report)
+
+            print("=== Usage phase results ===")
+            for name, value in result.usage_results.items():
+                if isinstance(value, list):
+                    print(f"[{name}] {len(value)} finding(s)")
+                    for finding in value:
+                        print(f"  - {finding}")
+                elif value is not None and hasattr(value, "description"):
+                    print(f"[{name}] {value.description}")
+                else:
+                    print(f"[{name}] {value}")
+
+            print(f"\nKnowledge base now holds {db.table_count('performances')} "
+                  f"knowledge objects ({db.table_count('results')} iteration results).")
+
+
+if __name__ == "__main__":
+    main()

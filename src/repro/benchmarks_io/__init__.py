@@ -1,0 +1,27 @@
+"""Community I/O benchmarks reimplemented on the simulated stack.
+
+The paper's generation phase (§V-A) uses IOR, IO500, HACC-IO and
+Darshan-instrumented applications; each has a faithful implementation
+here that produces output in the corresponding tool's text format.
+"""
+
+from repro.benchmarks_io.hacc_io import HaccIOConfig, HaccIOResult, run_hacc_io
+from repro.benchmarks_io.io500 import IO500Config, IO500Result, run_io500
+from repro.benchmarks_io.ior import IORConfig, IORRunResult, parse_command, run_ior
+from repro.benchmarks_io.mdtest import MdtestConfig, MdtestResult, run_mdtest
+
+__all__ = [
+    "IORConfig",
+    "IORRunResult",
+    "run_ior",
+    "parse_command",
+    "IO500Config",
+    "IO500Result",
+    "run_io500",
+    "MdtestConfig",
+    "MdtestResult",
+    "run_mdtest",
+    "HaccIOConfig",
+    "HaccIOResult",
+    "run_hacc_io",
+]

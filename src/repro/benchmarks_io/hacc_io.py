@@ -1,0 +1,195 @@
+"""HACC-IO benchmark.
+
+Replays the checkpoint/restart I/O of the HACC cosmology code, which
+the paper integrates "to cover real I/O patterns like checkpoint and
+restart for large simulations" (§V-A).  Each simulated particle carries
+38 bytes (9 floats + 1 int16, as in the real kernel); every rank owns
+``num_particles`` of them and writes/reads them as one contiguous
+record per rank.  Supported interfaces are POSIX and MPI-IO, with the
+three file access modes of the real benchmark: single shared file,
+file-per-process, and one file per group of ranks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.iostack.mpiio import MPIIOFile
+from repro.iostack.posix import PosixFile, PosixLayer
+from repro.iostack.stack import IOJobContext
+from repro.util.errors import BenchmarkError, ConfigurationError
+from repro.util.units import MIB
+
+__all__ = ["HaccIOConfig", "HaccIOPhaseResult", "HaccIOResult", "run_hacc_io", "BYTES_PER_PARTICLE"]
+
+#: xx, yy, zz, vx, vy, vz, phi, pid, mask — 9 floats + 1 int16.
+BYTES_PER_PARTICLE = 38
+
+_MODES = ("single-shared-file", "file-per-process", "file-per-group")
+_APIS = ("POSIX", "MPIIO")
+
+
+@dataclass(frozen=True, slots=True)
+class HaccIOConfig:
+    """One HACC-IO invocation."""
+
+    num_particles: int = 1_000_000  # per rank
+    api: str = "MPIIO"
+    mode: str = "single-shared-file"
+    group_size: int = 16  # ranks per file in file-per-group mode
+    out_file: str = "/scratch/hacc/checkpoint"
+    transfer_size: int = 4 * MIB  # client-side buffering granularity
+    restart: bool = True  # read the checkpoint back
+
+    def __post_init__(self) -> None:
+        if self.num_particles <= 0:
+            raise ConfigurationError("HACC-IO needs >= 1 particle per rank")
+        if self.api.upper() not in _APIS:
+            raise ConfigurationError(f"HACC-IO api must be one of {_APIS}")
+        object.__setattr__(self, "api", self.api.upper())
+        if self.mode not in _MODES:
+            raise ConfigurationError(f"HACC-IO mode must be one of {_MODES}")
+        if self.group_size <= 0:
+            raise ConfigurationError("group size must be >= 1")
+        if self.transfer_size <= 0:
+            raise ConfigurationError("transfer size must be positive")
+        if not self.out_file.startswith("/"):
+            raise ConfigurationError("out_file must be absolute")
+
+    @property
+    def bytes_per_rank(self) -> int:
+        """Checkpoint bytes one rank owns."""
+        return self.num_particles * BYTES_PER_PARTICLE
+
+    def file_for_rank(self, rank: int) -> str:
+        """The file a rank writes its particles into."""
+        if self.mode == "single-shared-file":
+            return self.out_file
+        if self.mode == "file-per-process":
+            return f"{self.out_file}.{rank:08d}"
+        return f"{self.out_file}.g{rank // self.group_size:04d}"
+
+    def ranks_sharing(self, num_tasks: int, rank: int) -> int:
+        """How many ranks share this rank's file."""
+        if self.mode == "single-shared-file":
+            return num_tasks
+        if self.mode == "file-per-process":
+            return 1
+        first = (rank // self.group_size) * self.group_size
+        return min(self.group_size, num_tasks - first)
+
+
+@dataclass(frozen=True, slots=True)
+class HaccIOPhaseResult:
+    """One checkpoint (write) or restart (read) phase."""
+
+    operation: str
+    bandwidth_mib: float
+    time_s: float
+    data_moved_bytes: int
+
+
+@dataclass(slots=True)
+class HaccIOResult:
+    """Both phases of one HACC-IO run."""
+
+    config: HaccIOConfig
+    num_tasks: int
+    results: list[HaccIOPhaseResult] = field(default_factory=list)
+
+    def phase(self, operation: str) -> HaccIOPhaseResult:
+        """Result of 'write' (checkpoint) or 'read' (restart)."""
+        for r in self.results:
+            if r.operation == operation:
+                return r
+        raise BenchmarkError(f"phase {operation!r} was not run")
+
+
+def _run_phase(ctx: IOJobContext, config: HaccIOConfig, operation: str, run_id: int) -> HaccIOPhaseResult:
+    comm = ctx.comm
+    fs = ctx.fs
+    layer = ctx.layer(config.api)
+    access = operation
+    tags = {"benchmark": "hacc-io", "run": run_id, "op": operation, "mode": config.mode}
+    t0 = comm.barrier()
+    nbytes = config.bytes_per_rank
+    full_transfers, remainder = divmod(nbytes, config.transfer_size)
+
+    for rank in comm.ranks():
+        shared = config.ranks_sharing(comm.size, rank) > 1
+        pctx = ctx.phase_ctx(access, shared_file=shared, tags=tags)
+        now = comm.now(rank)
+        path = config.file_for_rank(rank)
+        if isinstance(layer, PosixLayer):
+            if operation == "write":
+                handle, dt = layer.open_shared(path, rank, pctx, now)
+            else:
+                handle, dt = layer.open(path, rank, pctx, now)
+        else:
+            handle, dt = layer.open(
+                path, rank, pctx, now, create=(operation == "write"), shared_file=shared
+            )
+        now += dt
+        total = dt
+        # Contiguous per-rank record at a rank-order offset.
+        offset = (rank % config.ranks_sharing(comm.size, rank)) * nbytes if shared else 0
+        _seek(handle, offset)
+        if full_transfers:
+            durations = handle.io_many(operation, config.transfer_size, full_transfers, pctx, now)
+            step = float(durations.sum())
+            now += step
+            total += step
+        if remainder:
+            step = _single_io(handle, operation, remainder, pctx, now)
+            now += step
+            total += step
+        total += _close(handle, now, pctx)
+        comm.advance(rank, total)
+    comm.barrier()
+    elapsed = comm.max_time() - t0
+    data = nbytes * comm.size
+    phase_factor = fs.model.phase_noise_factor(
+        ctx.phase_ctx(access, tags=tags), kind="data"
+    )
+    elapsed *= phase_factor
+    return HaccIOPhaseResult(
+        operation=operation,
+        bandwidth_mib=data / MIB / elapsed,
+        time_s=elapsed,
+        data_moved_bytes=data,
+    )
+
+
+def _seek(handle, offset: int) -> None:
+    if isinstance(handle, PosixFile):
+        handle.seek(offset)
+    elif isinstance(handle, MPIIOFile):
+        handle.posix.seek(offset)
+
+
+def _single_io(handle, operation: str, nbytes: int, pctx, now: float) -> float:
+    if isinstance(handle, PosixFile):
+        return handle.write(nbytes, pctx, now) if operation == "write" else handle.read(nbytes, pctx, now)
+    pos = handle.posix.offset
+    if operation == "write":
+        dt = handle.write_at(pos, nbytes, pctx, now)
+    else:
+        dt = handle.read_at(pos, nbytes, pctx, now)
+    handle.posix.seek(pos + nbytes)
+    return dt
+
+
+def _close(handle, now: float, pctx) -> float:
+    return handle.close(now)
+
+
+def run_hacc_io(config: HaccIOConfig, ctx: IOJobContext, run_id: int = 0) -> HaccIOResult:
+    """Run HACC-IO (checkpoint, then optional restart) in a job."""
+    import posixpath
+
+    ctx.fs.makedirs(posixpath.dirname(config.out_file))
+    result = HaccIOResult(config=config, num_tasks=ctx.comm.size)
+    result.results.append(_run_phase(ctx, config, "write", run_id))
+    if config.restart:
+        result.results.append(_run_phase(ctx, config, "read", run_id))
+    return result

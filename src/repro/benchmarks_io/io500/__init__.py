@@ -1,0 +1,35 @@
+"""IO500 benchmark suite on the simulated I/O stack."""
+
+from repro.benchmarks_io.io500.config import IO500Config, IOR_HARD_TRANSFER
+from repro.benchmarks_io.io500.find import FindResult, run_find
+from repro.benchmarks_io.io500.output import render_io500_output
+from repro.benchmarks_io.io500.runner import (
+    IO500PhaseResult,
+    IO500Result,
+    run_io500,
+    run_io500_in_job,
+)
+from repro.benchmarks_io.io500.scoring import (
+    BW_PHASES,
+    MD_PHASES,
+    PHASE_ORDER,
+    IO500Score,
+    compute_score,
+)
+
+__all__ = [
+    "IO500Config",
+    "IOR_HARD_TRANSFER",
+    "IO500PhaseResult",
+    "IO500Result",
+    "IO500Score",
+    "run_io500",
+    "run_io500_in_job",
+    "render_io500_output",
+    "compute_score",
+    "BW_PHASES",
+    "MD_PHASES",
+    "PHASE_ORDER",
+    "FindResult",
+    "run_find",
+]

@@ -1,0 +1,152 @@
+"""IO500 benchmark configuration.
+
+Sizes are expressed per task so the suite scales with the allocation,
+mirroring how the real IO500 ini file configures each sub-benchmark.
+The defaults are chosen to exercise the same pattern contrasts as the
+real suite (large aligned file-per-process vs. tiny unaligned shared
+file; private-directory empty files vs. shared-directory 3901-byte
+files) at simulation-friendly volumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.benchmarks_io.ior.config import IORConfig
+from repro.benchmarks_io.mdtest import HARD_WRITE_BYTES, MdtestConfig
+from repro.util.errors import ConfigurationError
+from repro.util.units import MIB
+
+__all__ = ["IO500Config", "IOR_HARD_TRANSFER"]
+
+#: ior-hard writes exactly 47008-byte records (IO500 rules).
+IOR_HARD_TRANSFER = 47008
+
+
+@dataclass(frozen=True, slots=True)
+class IO500Config:
+    """One IO500 invocation (the knobs of the io500.ini file)."""
+
+    workdir: str = "/scratch/io500"
+    ior_easy_block: int = 64 * MIB  # bytes per task, file-per-process
+    ior_easy_transfer: int = 2 * MIB
+    ior_hard_ops: int = 256  # 47008-byte records per task, shared file
+    mdtest_easy_items: int = 500  # empty files per task, private dirs
+    mdtest_hard_items: int = 250  # 3901-byte files per task, shared dir
+    stonewall_seconds: float = 0.0  # >0: cap each IOR phase like real IO500
+
+    def __post_init__(self) -> None:
+        if not self.workdir.startswith("/"):
+            raise ConfigurationError("workdir must be absolute")
+        if self.ior_easy_block % self.ior_easy_transfer != 0:
+            raise ConfigurationError("ior-easy block must be a multiple of its transfer size")
+        for name in ("ior_hard_ops", "mdtest_easy_items", "mdtest_hard_items"):
+            if getattr(self, name) <= 0:
+                raise ConfigurationError(f"{name} must be >= 1")
+        if self.stonewall_seconds < 0:
+            raise ConfigurationError("stonewall deadline must be >= 0")
+
+    def ior_easy(self) -> IORConfig:
+        """ior-easy: large sequential transfers, file-per-process."""
+        return IORConfig(
+            api="POSIX",
+            block_size=self.ior_easy_block,
+            transfer_size=self.ior_easy_transfer,
+            segment_count=1,
+            iterations=1,
+            test_file=f"{self.workdir}/ior-easy/ior_file_easy",
+            file_per_proc=True,
+            fsync=True,
+            keep_file=True,
+            write_file=True,
+            read_file=False,
+            stonewall_seconds=self.stonewall_seconds,
+        )
+
+    def ior_hard(self) -> IORConfig:
+        """ior-hard: tiny unaligned strided records in one shared file."""
+        return IORConfig(
+            api="MPIIO",
+            block_size=IOR_HARD_TRANSFER,
+            transfer_size=IOR_HARD_TRANSFER,
+            segment_count=self.ior_hard_ops,
+            iterations=1,
+            test_file=f"{self.workdir}/ior-hard/IOR_file",
+            file_per_proc=False,
+            fsync=True,
+            keep_file=True,
+            write_file=True,
+            read_file=False,
+            stonewall_seconds=self.stonewall_seconds,
+        )
+
+    def mdtest_easy(self) -> MdtestConfig:
+        """mdtest-easy: empty files, one private directory per task."""
+        return MdtestConfig(
+            num_items=self.mdtest_easy_items,
+            base_dir=f"{self.workdir}/mdtest-easy",
+            unique_dir_per_task=True,
+            write_bytes=0,
+            read_bytes=0,
+            phases=("create",),
+        )
+
+    def mdtest_hard(self) -> MdtestConfig:
+        """mdtest-hard: 3901-byte files, one shared directory."""
+        return MdtestConfig(
+            num_items=self.mdtest_hard_items,
+            base_dir=f"{self.workdir}/mdtest-hard",
+            unique_dir_per_task=False,
+            write_bytes=HARD_WRITE_BYTES,
+            read_bytes=HARD_WRITE_BYTES,
+            phases=("create",),
+        )
+
+    def to_ini(self) -> str:
+        """Render the io500.ini-style configuration text."""
+        return "\n".join(
+            [
+                "[global]",
+                f"datadir = {self.workdir}",
+                f"stonewall-time = {int(self.stonewall_seconds)}",
+                "",
+                "[ior-easy]",
+                f"blockSize = {self.ior_easy_block}",
+                f"transferSize = {self.ior_easy_transfer}",
+                "",
+                "[ior-hard]",
+                f"segmentCount = {self.ior_hard_ops}",
+                f"transferSize = {IOR_HARD_TRANSFER}",
+                "",
+                "[mdtest-easy]",
+                f"n = {self.mdtest_easy_items}",
+                "",
+                "[mdtest-hard]",
+                f"n = {self.mdtest_hard_items}",
+                "",
+            ]
+        )
+
+    def option_sets(self) -> dict[str, dict[str, object]]:
+        """Per-test-case option dictionaries (IOFHsOptions rows)."""
+        return {
+            "ior-easy": {
+                "api": "POSIX",
+                "blockSize": self.ior_easy_block,
+                "transferSize": self.ior_easy_transfer,
+                "filePerProc": True,
+            },
+            "ior-hard": {
+                "api": "MPIIO",
+                "segmentCount": self.ior_hard_ops,
+                "transferSize": IOR_HARD_TRANSFER,
+                "filePerProc": False,
+            },
+            "mdtest-easy": {"n": self.mdtest_easy_items, "uniqueDir": True},
+            "mdtest-hard": {
+                "n": self.mdtest_hard_items,
+                "uniqueDir": False,
+                "writeBytes": HARD_WRITE_BYTES,
+            },
+            "find": {},
+        }

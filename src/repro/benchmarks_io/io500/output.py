@@ -1,0 +1,39 @@
+"""IO500 result-file rendering.
+
+Emits the ``[RESULT]`` / ``[SCORE]`` text of real IO500 runs.  Like the
+IOR output writer, this is the contract with the Phase-II extractor:
+the extractor parses exactly this text, so knowledge extraction works
+identically on simulated output and on a genuine ``result_summary.txt``
+with the same line shapes.
+"""
+
+from __future__ import annotations
+
+from repro.benchmarks_io.io500.runner import IO500Result
+from repro.util.errors import BenchmarkError
+
+__all__ = ["render_io500_output", "IO500_VERSION"]
+
+IO500_VERSION = "io500-sc22+repro"
+
+
+def render_io500_output(result: IO500Result) -> str:
+    """Render the result summary of one scored IO500 run."""
+    if result.score is None:
+        raise BenchmarkError("cannot render an unscored IO500 run")
+    lines = [
+        f"IO500 version {IO500_VERSION}",
+        f"[System] nodes: {result.num_nodes}; tasks: {result.num_tasks}; "
+        f"tasks per node: {result.tasks_per_node}",
+    ]
+    for p in result.phases:
+        lines.append(
+            f"[RESULT] {p.name:>20} {p.value:>12.6f} {p.unit} : time {p.time_s:.3f} seconds"
+        )
+    s = result.score
+    lines.append(
+        f"[SCORE ] Bandwidth {s.bandwidth_gib:.6f} GiB/s : "
+        f"IOPS {s.iops_kiops:.6f} kiops : TOTAL {s.total:.6f}"
+    )
+    lines.append("")
+    return "\n".join(lines)

@@ -1,0 +1,81 @@
+"""IO500 scoring.
+
+The official score is the geometric mean of the bandwidth phases (in
+GiB/s) combined with the geometric mean of the metadata phases (in
+kIOPS) as ``sqrt(bw * md)``.  Geometric means make the score punish an
+unbalanced system — exactly the property the bounding-box use case
+(Liem et al., and the paper's Fig. 6) exploits to spot anomalies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.errors import BenchmarkError
+from repro.util.stats import geomean
+
+__all__ = ["BW_PHASES", "MD_PHASES", "PHASE_ORDER", "IO500Score", "compute_score"]
+
+#: Bandwidth-scored phases (GiB/s).
+BW_PHASES = (
+    "ior-easy-write",
+    "ior-hard-write",
+    "ior-easy-read",
+    "ior-hard-read",
+)
+
+#: Metadata-scored phases (kIOPS).
+MD_PHASES = (
+    "mdtest-easy-write",
+    "mdtest-hard-write",
+    "find",
+    "mdtest-easy-stat",
+    "mdtest-hard-stat",
+    "mdtest-easy-delete",
+    "mdtest-hard-read",
+    "mdtest-hard-delete",
+)
+
+#: Official execution order of the twelve phases.
+PHASE_ORDER = (
+    "ior-easy-write",
+    "mdtest-easy-write",
+    "ior-hard-write",
+    "mdtest-hard-write",
+    "find",
+    "ior-easy-read",
+    "mdtest-easy-stat",
+    "ior-hard-read",
+    "mdtest-hard-stat",
+    "mdtest-easy-delete",
+    "mdtest-hard-read",
+    "mdtest-hard-delete",
+)
+
+
+@dataclass(frozen=True, slots=True)
+class IO500Score:
+    """The three numbers on an IO500 list entry."""
+
+    bandwidth_gib: float
+    iops_kiops: float
+    total: float
+
+
+def compute_score(phase_values: dict[str, float]) -> IO500Score:
+    """Compute the IO500 score from phase results.
+
+    Args:
+        phase_values: phase name → value, GiB/s for bandwidth phases and
+            kIOPS for metadata phases.  All twelve phases must be present
+            and positive (an invalid run does not score).
+    """
+    missing = [p for p in PHASE_ORDER if p not in phase_values]
+    if missing:
+        raise BenchmarkError(f"cannot score an incomplete IO500 run; missing: {missing}")
+    bad = [p for p in PHASE_ORDER if phase_values[p] <= 0]
+    if bad:
+        raise BenchmarkError(f"cannot score non-positive phase results: {bad}")
+    bw = geomean([phase_values[p] for p in BW_PHASES])
+    md = geomean([phase_values[p] for p in MD_PHASES])
+    return IO500Score(bandwidth_gib=bw, iops_kiops=md, total=(bw * md) ** 0.5)

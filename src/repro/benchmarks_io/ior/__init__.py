@@ -1,0 +1,22 @@
+"""IOR benchmark implementation on the simulated I/O stack."""
+
+from repro.benchmarks_io.ior.cli import parse_args, parse_command
+from repro.benchmarks_io.ior.config import IORConfig
+from repro.benchmarks_io.ior.output import render_ior_output
+from repro.benchmarks_io.ior.runner import (
+    IOROperationResult,
+    IORRunResult,
+    run_ior,
+    run_ior_in_job,
+)
+
+__all__ = [
+    "IORConfig",
+    "IOROperationResult",
+    "IORRunResult",
+    "run_ior",
+    "run_ior_in_job",
+    "parse_args",
+    "parse_command",
+    "render_ior_output",
+]

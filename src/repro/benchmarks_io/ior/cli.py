@@ -1,0 +1,121 @@
+"""IOR command-line parsing.
+
+Parses the option subset the paper's experiments use, e.g. the §V-E1
+command ``ior -a mpiio -b 4m -t 2m -s 40 -F -C -e -i 6 -o <path> -k``.
+``parse_command`` and :meth:`IORConfig.to_command` round-trip, which is
+what lets the Phase-V workload generator regenerate runnable commands
+from stored knowledge.
+"""
+
+from __future__ import annotations
+
+import shlex
+import sys
+from typing import Sequence
+
+from repro.benchmarks_io.ior.config import IORConfig
+from repro.util.errors import ConfigurationError
+from repro.util.units import parse_size
+
+__all__ = ["parse_args", "parse_command", "main"]
+
+_FLAG_OPTIONS = {
+    "-F": "file_per_proc",
+    "-C": "reorder_tasks_constant",
+    "-e": "fsync",
+    "-k": "keep_file",
+    "-c": "collective",
+    "-z": "random_offsets",
+}
+
+_VALUE_OPTIONS = {"-a", "-b", "-t", "-s", "-i", "-o", "-D"}
+
+
+def parse_args(argv: Sequence[str]) -> IORConfig:
+    """Parse an IOR argument vector (without the leading ``ior``)."""
+    kwargs: dict[str, object] = {}
+    explicit_rw: list[str] = []
+    i = 0
+    args = list(argv)
+    while i < len(args):
+        arg = args[i]
+        # Tolerate en-dash/em-dash variants that survive PDF copy-paste.
+        arg = arg.replace("–", "-").replace("—", "-")
+        if arg.startswith("--"):
+            arg = arg[1:]
+        if arg in _FLAG_OPTIONS:
+            kwargs[_FLAG_OPTIONS[arg]] = True
+            i += 1
+            continue
+        if arg == "-w":
+            explicit_rw.append("w")
+            i += 1
+            continue
+        if arg == "-r":
+            explicit_rw.append("r")
+            i += 1
+            continue
+        if arg in _VALUE_OPTIONS:
+            if i + 1 >= len(args):
+                raise ConfigurationError(f"IOR option {arg} requires a value")
+            value = args[i + 1]
+            if arg == "-a":
+                kwargs["api"] = value.upper()
+            elif arg == "-b":
+                kwargs["block_size"] = parse_size(value)
+            elif arg == "-t":
+                kwargs["transfer_size"] = parse_size(value)
+            elif arg == "-s":
+                kwargs["segment_count"] = int(value)
+            elif arg == "-i":
+                kwargs["iterations"] = int(value)
+            elif arg == "-o":
+                kwargs["test_file"] = value
+            elif arg == "-D":
+                kwargs["stonewall_seconds"] = float(value)
+            i += 2
+            continue
+        raise ConfigurationError(f"unknown IOR option {arg!r}")
+    if explicit_rw:
+        # As in IOR: naming -w and/or -r restricts the phases; naming
+        # neither runs both ("Since read or write are not explicitly
+        # specified, IOR executes the command once with read and once
+        # with write per iteration" — §V-E1).
+        kwargs["write_file"] = "w" in explicit_rw
+        kwargs["read_file"] = "r" in explicit_rw
+    return IORConfig(**kwargs)  # type: ignore[arg-type]
+
+
+def parse_command(command: str) -> IORConfig:
+    """Parse a full command string, e.g. ``'ior -a mpiio -b 4m ...'``."""
+    tokens = shlex.split(command)
+    if not tokens:
+        raise ConfigurationError("empty IOR command")
+    if tokens[0].endswith("ior"):
+        tokens = tokens[1:]
+    return parse_args(tokens)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Console entry point: run IOR on a default simulated testbed."""
+    from repro.benchmarks_io.ior.output import render_ior_output
+    from repro.benchmarks_io.ior.runner import run_ior
+    from repro.iostack.stack import Testbed
+
+    args = list(sys.argv[1:] if argv is None else argv)
+    nodes, tpn = 4, 20
+    if "-N" in args:  # total tasks shortcut: -N <tasks> (tpn fixed at 20)
+        idx = args.index("-N")
+        total = int(args[idx + 1])
+        del args[idx : idx + 2]
+        nodes = max(1, total // tpn)
+        tpn = min(tpn, total)
+    config = parse_args(args)
+    testbed = Testbed.fuchs_csc()
+    result = run_ior(config, testbed, num_nodes=nodes, tasks_per_node=tpn)
+    print(render_ior_output(result))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,176 @@
+"""IOR benchmark configuration.
+
+Mirrors the real IOR option semantics the paper's prototype relies on
+(§V-A/§V-E1): block size ``-b``, transfer size ``-t``, segment count
+``-s``, file-per-process ``-F``, constant task reordering ``-C``,
+fsync ``-e``, repetitions ``-i``, test file ``-o``, keep file ``-k``,
+API selection ``-a`` and collective I/O ``-c``.
+
+IOR's data layout: each task owns ``segment_count`` segments of
+``block_size`` bytes each, accessed in ``transfer_size`` units, so one
+task moves ``segment_count * block_size`` bytes per operation phase in
+``segment_count * block_size / transfer_size`` transfers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.mpi.hints import MPIIOHints
+from repro.util.errors import ConfigurationError
+from repro.util.units import MIB, parse_size
+
+__all__ = ["IORConfig"]
+
+_APIS = ("POSIX", "MPIIO", "HDF5")
+
+
+@dataclass(frozen=True, slots=True)
+class IORConfig:
+    """One IOR experiment definition (what a command line encodes)."""
+
+    api: str = "POSIX"
+    block_size: int = 4 * MIB
+    transfer_size: int = 1 * MIB
+    segment_count: int = 1
+    iterations: int = 1
+    test_file: str = "/scratch/testFile"
+    file_per_proc: bool = False
+    reorder_tasks_constant: bool = False
+    fsync: bool = False
+    keep_file: bool = False
+    collective: bool = False
+    write_file: bool = True
+    read_file: bool = True
+    stonewall_seconds: float = 0.0  # -D: stop each phase after N seconds
+    random_offsets: bool = False  # -z: access offsets in random order
+    hints: MPIIOHints = field(default_factory=MPIIOHints)
+
+    def __post_init__(self) -> None:
+        if self.api.upper() not in _APIS:
+            raise ConfigurationError(f"unknown IOR api {self.api!r}; known: {_APIS}")
+        object.__setattr__(self, "api", self.api.upper())
+        if self.block_size <= 0 or self.transfer_size <= 0:
+            raise ConfigurationError("block and transfer sizes must be positive")
+        if self.block_size % self.transfer_size != 0:
+            raise ConfigurationError(
+                f"block size ({self.block_size}) must be a multiple of the "
+                f"transfer size ({self.transfer_size})"
+            )
+        if self.segment_count <= 0:
+            raise ConfigurationError("segment count must be >= 1")
+        if self.iterations <= 0:
+            raise ConfigurationError("iterations must be >= 1")
+        if not self.test_file.startswith("/"):
+            raise ConfigurationError("test file must be an absolute path")
+        if not (self.write_file or self.read_file):
+            raise ConfigurationError("at least one of write/read must be enabled")
+        if self.collective and self.api == "POSIX":
+            raise ConfigurationError("collective I/O requires MPIIO or HDF5")
+        if self.stonewall_seconds < 0:
+            raise ConfigurationError("stonewall deadline must be >= 0")
+
+    # ------------------------------------------------------------------
+    # derived quantities
+    # ------------------------------------------------------------------
+    @property
+    def transfers_per_block(self) -> int:
+        """Transfers needed to cover one block."""
+        return self.block_size // self.transfer_size
+
+    @property
+    def transfers_per_task(self) -> int:
+        """Transfers one task performs per operation phase."""
+        return self.transfers_per_block * self.segment_count
+
+    @property
+    def bytes_per_task(self) -> int:
+        """Bytes one task moves per operation phase."""
+        return self.block_size * self.segment_count
+
+    def aggregate_bytes(self, num_tasks: int) -> int:
+        """Total data moved per operation phase across all tasks."""
+        if num_tasks <= 0:
+            raise ConfigurationError("num_tasks must be >= 1")
+        return self.bytes_per_task * num_tasks
+
+    @property
+    def shared_file(self) -> bool:
+        """Whether all tasks write into one shared file (no ``-F``)."""
+        return not self.file_per_proc
+
+    def file_for_rank(self, rank: int) -> str:
+        """Path a given rank accesses (``.%08d`` suffix under ``-F``)."""
+        if self.file_per_proc:
+            return f"{self.test_file}.{rank:08d}"
+        return self.test_file
+
+    @property
+    def access_description(self) -> str:
+        """Access mode as IOR prints it."""
+        return "file-per-process" if self.file_per_proc else "single-shared-file"
+
+    @property
+    def type_description(self) -> str:
+        """I/O type as IOR prints it."""
+        return "collective" if self.collective else "independent"
+
+    def with_(self, **changes: object) -> "IORConfig":
+        """Return a modified copy (used by the workload generator)."""
+        return replace(self, **changes)  # type: ignore[arg-type]
+
+    # ------------------------------------------------------------------
+    # command-line round trip
+    # ------------------------------------------------------------------
+    def to_command(self) -> str:
+        """Render the equivalent ``ior`` command line.
+
+        The inverse of :func:`repro.benchmarks_io.ior.cli.parse_command`;
+        the Phase-V workload generator uses this to hand users a
+        runnable command, exactly as the paper's web tool does.
+        """
+        def size_arg(nbytes: int) -> str:
+            # Largest binary unit that divides exactly; otherwise the
+            # raw byte count (47008 must round-trip as 47008, not 46k).
+            for unit, suffix in ((1024**4, "t"), (1024**3, "g"), (1024**2, "m"), (1024, "k")):
+                if nbytes % unit == 0 and nbytes >= unit:
+                    return f"{nbytes // unit}{suffix}"
+            return str(nbytes)
+
+        parts = ["ior", "-a", self.api.lower()]
+        parts += ["-b", size_arg(self.block_size)]
+        parts += ["-t", size_arg(self.transfer_size)]
+        if self.segment_count != 1:
+            parts += ["-s", str(self.segment_count)]
+        if self.file_per_proc:
+            parts.append("-F")
+        if self.reorder_tasks_constant:
+            parts.append("-C")
+        if self.fsync:
+            parts.append("-e")
+        if self.collective:
+            parts.append("-c")
+        if self.random_offsets:
+            parts.append("-z")
+        if self.stonewall_seconds > 0:
+            deadline = self.stonewall_seconds
+            parts += ["-D", str(int(deadline) if deadline == int(deadline) else deadline)]
+        if self.iterations != 1:
+            parts += ["-i", str(self.iterations)]
+        parts += ["-o", self.test_file]
+        if self.keep_file:
+            parts.append("-k")
+        if self.write_file and not self.read_file:
+            parts.append("-w")
+        if self.read_file and not self.write_file:
+            parts.append("-r")
+        return " ".join(parts)
+
+    @classmethod
+    def from_sizes(cls, block: str | int, transfer: str | int, **kwargs: object) -> "IORConfig":
+        """Convenience constructor accepting IOR size strings (``'4m'``)."""
+        return cls(
+            block_size=parse_size(block),
+            transfer_size=parse_size(transfer),
+            **kwargs,  # type: ignore[arg-type]
+        )

@@ -1,0 +1,138 @@
+"""IOR output rendering.
+
+Produces a summary text in the structure of real IOR 3.x output — the
+``Options:`` block, the per-iteration ``Results:`` table and the
+``Summary of all tests:`` section.  The Phase-II knowledge extractor
+parses exactly this format, so benchmark and extractor communicate the
+same way the paper's prototype and real IOR do: through the output
+file, not through in-process objects.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+
+from repro.benchmarks_io.ior.config import IORConfig
+from repro.benchmarks_io.ior.runner import SIM_EPOCH, IOROperationResult, IORRunResult
+from repro.util.units import KIB, MIB, format_size, to_gib
+
+__all__ = ["render_ior_output", "IOR_VERSION"]
+
+IOR_VERSION = "IOR-3.3.0+repro"
+
+
+def _ts(offset_s: float) -> str:
+    t = _dt.datetime.fromtimestamp(SIM_EPOCH + offset_s, tz=_dt.timezone.utc)
+    return t.strftime("%a %b %d %H:%M:%S %Y")
+
+
+def _options_block(result: IORRunResult) -> list[str]:
+    cfg = result.config
+    ordering_inter = (
+        "constant task offset" if cfg.reorder_tasks_constant else "no tasks offsets"
+    )
+    lines = [
+        "Options: ",
+        f"api                 : {cfg.api}",
+        "apiVersion          : ",
+        f"test filename       : {cfg.test_file}",
+        f"access              : {cfg.access_description}",
+        f"type                : {cfg.type_description}",
+        f"segments            : {cfg.segment_count}",
+        "ordering in a file  : sequential",
+        f"ordering inter file : {ordering_inter}",
+    ]
+    if cfg.reorder_tasks_constant:
+        lines.append("task offset         : 1")
+    lines += [
+        f"nodes               : {result.num_nodes}",
+        f"tasks               : {result.num_tasks}",
+        f"clients per node    : {result.tasks_per_node}",
+        f"repetitions         : {cfg.iterations}",
+        f"xfersize            : {format_size(cfg.transfer_size)}",
+        f"blocksize           : {format_size(cfg.block_size)}",
+        f"aggregate filesize  : {format_size(cfg.aggregate_bytes(result.num_tasks))}",
+        f"fsync               : {'TRUE' if cfg.fsync else 'FALSE'}",
+        f"keep file           : {'TRUE' if cfg.keep_file else 'FALSE'}",
+    ]
+    return lines
+
+
+def _result_row(r: IOROperationResult, cfg: IORConfig) -> str:
+    return (
+        f"{r.operation:<9} {r.bandwidth_mib:>10.2f} {r.iops:>10.2f} "
+        f"{r.latency_s:>11.5f} {cfg.block_size // KIB:>11} "
+        f"{cfg.transfer_size // KIB:>10} "
+        f"{r.open_time_s:>9.5f} {r.io_time_s:>9.4f} {r.close_time_s:>9.5f} "
+        f"{r.total_time_s:>9.4f} {r.iteration:>4}"
+    )
+
+
+def _summary_rows(result: IORRunResult) -> list[str]:
+    cfg = result.config
+    rows = []
+    for op in result.operations():
+        bw = result.bandwidth_summary(op)
+        ops = result.iops_summary(op)
+        mean_time = sum(r.total_time_s for r in result.operation_results(op)) / bw.count
+        rows.append(
+            f"{op:<9} {bw.maximum:>10.2f} {bw.minimum:>10.2f} {bw.mean:>10.2f} "
+            f"{bw.stddev:>10.2f} {ops.maximum:>10.2f} {ops.minimum:>10.2f} "
+            f"{ops.mean:>10.2f} {ops.stddev:>10.2f} {mean_time:>10.5f} "
+            f"{bw.count:>4} {result.num_tasks:>6} {result.tasks_per_node:>3} "
+            f"{cfg.iterations:>4} {int(cfg.file_per_proc):>3} "
+            f"{int(cfg.reorder_tasks_constant):>5} "
+            f"{cfg.segment_count:>6} {cfg.block_size:>10} {cfg.transfer_size:>8} "
+            f"{cfg.aggregate_bytes(result.num_tasks) / MIB:>10.1f} {cfg.api:>6}"
+        )
+    return rows
+
+
+def _used_pct(result: IORRunResult) -> float:
+    cap = float(result.fs_info.get("capacity_bytes", 0) or 0)
+    used = float(result.fs_info.get("used_bytes", 0) or 0)
+    return 100.0 * used / cap if cap else 0.0
+
+
+def render_ior_output(result: IORRunResult) -> str:
+    """Render the full IOR output text for one run."""
+    cfg = result.config
+    lines = [
+        f"{IOR_VERSION}: MPI Coordinated Test of Parallel I/O",
+        f"Began               : {_ts(result.start_offset_s)}",
+        f"Command line        : {result.command}",
+        f"Machine             : Linux {result.machine}",
+        "TestID              : 0",
+        f"StartTime           : {_ts(result.start_offset_s)}",
+        f"Path                : {cfg.test_file}",
+        f"FS                  : {to_gib(int(result.fs_info.get('capacity_bytes', 0))):.1f} GiB"
+        f"   Used FS: {_used_pct(result):.1f}%",
+        "",
+    ]
+    lines += _options_block(result)
+    lines += [
+        "",
+        "Results: ",
+        "",
+        "access     bw(MiB/s)       IOPS  Latency(s)  block(KiB) xfer(KiB)   open(s)"
+        "  wr/rd(s)  close(s)  total(s) iter",
+        "------     ---------       ----  ----------  ---------- ---------   -------"
+        "  --------  --------  -------- ----",
+    ]
+    for op in ("write", "read"):
+        for r in result.operation_results(op):
+            lines.append(_result_row(r, cfg))
+    for op in result.operations():
+        s = result.bandwidth_summary(op)
+        label = "Max Write" if op == "write" else "Max Read"
+        lines.append(f"{label}: {s.maximum:.2f} MiB/sec ({s.maximum * MIB / 1e6:.2f} MB/sec)")
+    lines += [
+        "",
+        "Summary of all tests:",
+        "Operation    Max(MiB)   Min(MiB)  Mean(MiB)     StdDev   Max(OPs)   Min(OPs)"
+        "  Mean(OPs)     StdDev    Mean(s) Test# #Tasks tPN reps fPP reord segcnt"
+        "     blksiz    xsize aggs(MiB)    API",
+    ]
+    lines += _summary_rows(result)
+    lines += ["", f"Finished            : {_ts(result.end_offset_s)}", ""]
+    return "\n".join(lines)

@@ -1,0 +1,327 @@
+"""IOR execution engine on the simulated testbed.
+
+Replays IOR's bulk-synchronous structure faithfully: per repetition one
+write and/or one read phase, each phase being barrier / open / N
+transfers per task / (fsync) / close / barrier, with per-phase timing
+decomposed exactly into the columns IOR prints (open, wr/rd, close,
+total) and bandwidth computed as aggregate data over total phase time.
+"""
+
+from __future__ import annotations
+
+import posixpath
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.benchmarks_io.ior.config import IORConfig
+from repro.iostack.hdf5 import HDF5File, HDF5Layer
+from repro.iostack.mpiio import MPIIOFile, MPIIOLayer
+from repro.iostack.posix import PosixFile, PosixLayer
+from repro.iostack.stack import IOJobContext, Testbed
+from repro.iostack.tracing import Tracer
+from repro.util.errors import BenchmarkError
+from repro.util.stats import Summary, summarize
+from repro.util.units import MIB
+
+__all__ = ["IOROperationResult", "IORRunResult", "run_ior", "run_ior_in_job"]
+
+#: Fixed simulated epoch: all timestamps are offsets from this instant,
+#: keeping runs bit-reproducible (2022-07-20 10:00:00 UTC).
+SIM_EPOCH = 1658311200.0
+
+
+@dataclass(frozen=True, slots=True)
+class IOROperationResult:
+    """One row of IOR's per-iteration results table."""
+
+    operation: str  # 'write' | 'read'
+    iteration: int  # 0-based, like IOR's 'iter' column
+    bandwidth_mib: float
+    iops: float
+    latency_s: float
+    open_time_s: float
+    io_time_s: float
+    close_time_s: float
+    total_time_s: float
+    data_moved_bytes: int
+    n_ops: int
+
+
+@dataclass(slots=True)
+class IORRunResult:
+    """Everything one IOR invocation produced."""
+
+    config: IORConfig
+    num_nodes: int
+    tasks_per_node: int
+    results: list[IOROperationResult] = field(default_factory=list)
+    start_offset_s: float = 0.0
+    end_offset_s: float = 0.0
+    machine: str = ""
+    fs_info: dict[str, object] = field(default_factory=dict)
+    entryinfo: str = ""
+
+    @property
+    def num_tasks(self) -> int:
+        """Total MPI tasks of the run."""
+        return self.num_nodes * self.tasks_per_node
+
+    @property
+    def command(self) -> str:
+        """The equivalent command line."""
+        return self.config.to_command()
+
+    def operation_results(self, operation: str) -> list[IOROperationResult]:
+        """Per-iteration rows of one operation, in iteration order."""
+        return sorted(
+            (r for r in self.results if r.operation == operation),
+            key=lambda r: r.iteration,
+        )
+
+    def bandwidth_summary(self, operation: str) -> Summary:
+        """Max/min/mean/stddev bandwidth over iterations (IOR summary)."""
+        rows = self.operation_results(operation)
+        if not rows:
+            raise BenchmarkError(f"no {operation} results in this run")
+        return summarize([r.bandwidth_mib for r in rows])
+
+    def iops_summary(self, operation: str) -> Summary:
+        """Max/min/mean/stddev operation rate over iterations."""
+        rows = self.operation_results(operation)
+        if not rows:
+            raise BenchmarkError(f"no {operation} results in this run")
+        return summarize([r.iops for r in rows])
+
+    def operations(self) -> list[str]:
+        """Operations present in the run, write before read."""
+        present = {r.operation for r in self.results}
+        return [op for op in ("write", "read") if op in present]
+
+
+def _open_file(
+    layer: PosixLayer | MPIIOLayer | HDF5Layer,
+    path: str,
+    rank: int,
+    pctx,
+    now: float,
+    create: bool,
+    shared: bool,
+) -> tuple[PosixFile | MPIIOFile | HDF5File, float]:
+    if isinstance(layer, PosixLayer):
+        if create:
+            return layer.open_shared(path, rank, pctx, now)
+        return layer.open(path, rank, pctx, now)
+    return layer.open(path, rank, pctx, now, create=create, shared_file=shared)
+
+
+def _close_file(handle, now: float, pctx) -> float:
+    if isinstance(handle, HDF5File):
+        return handle.close(now, pctx)
+    return handle.close(now)
+
+
+def _fsync_file(handle, now: float) -> float:
+    if isinstance(handle, PosixFile):
+        return handle.fsync(now)
+    if isinstance(handle, MPIIOFile):
+        return handle.sync(now)
+    return handle.flush(now)
+
+
+def _run_phase(
+    ctx: IOJobContext,
+    config: IORConfig,
+    layer: PosixLayer | MPIIOLayer | HDF5Layer,
+    iteration: int,
+    operation: str,
+    run_id: int,
+    extra_tags: dict[str, object] | None = None,
+) -> IOROperationResult:
+    comm = ctx.comm
+    fs = ctx.fs
+    tags = {
+        "benchmark": "ior",
+        "run": run_id,
+        "iteration": iteration,
+        "op": operation,
+        **(extra_tags or {}),
+    }
+    access = "write" if operation == "write" else "read"
+    pctx = ctx.phase_ctx(
+        access,
+        shared_file=config.shared_file,
+        collective=config.collective,
+        fsync=config.fsync and access == "write",
+        random_access=config.random_offsets,
+        tags=tags,
+    )
+    # One systemic noise factor per phase: the state of the shared
+    # storage system during this iteration (what makes Fig. 5 vary).
+    phase_factor = fs.model.phase_noise_factor(pctx)
+
+    t0 = comm.barrier()
+    open_times = np.zeros(comm.size)
+    io_times = np.zeros(comm.size)
+    close_times = np.zeros(comm.size)
+    ops_done = np.zeros(comm.size, dtype=int)
+    n_ops_per_task = config.transfers_per_task
+    deadline = config.stonewall_seconds
+
+    for rank in comm.ranks():
+        now = comm.now(rank)
+        path = config.file_for_rank(rank)
+        if access == "read" and not fs.namespace.exists(path):
+            raise BenchmarkError(
+                f"read phase: test file {path!r} does not exist "
+                "(run a write phase first or drop -r)"
+            )
+        handle, dt_open = _open_file(
+            layer, path, rank, pctx, now, create=(access == "write"), shared=config.shared_file
+        )
+        dt_open *= phase_factor
+        now += dt_open
+
+        if config.shared_file:
+            # Segmented layout: rank r accesses block r of every segment.
+            handle_pos = rank * config.block_size
+            _seek(handle, handle_pos)
+        durations = _io_many(handle, operation, config, pctx, now) * phase_factor
+        if deadline > 0:
+            # Stonewalling (-D): each task stops issuing transfers once
+            # the deadline passes.  (The namespace may briefly over-
+            # account the file size; the post-phase fixup below corrects
+            # shared files, and per-process files only matter for
+            # subsequent reads, which stonewall the same way.)
+            cumulative = np.cumsum(durations)
+            n_done = int(np.searchsorted(cumulative, deadline, side="right"))
+            durations = durations[: max(1, n_done)]
+        ops_done[rank] = len(durations)
+        dt_io = float(durations.sum())
+        now += dt_io
+        if config.fsync and access == "write":
+            dt_fsync = _fsync_file(handle, now) * phase_factor
+            dt_io += dt_fsync
+            now += dt_fsync
+        dt_close = _close_file(handle, now, pctx) * phase_factor
+
+        open_times[rank] = dt_open
+        io_times[rank] = dt_io
+        close_times[rank] = dt_close
+        comm.advance(rank, dt_open + dt_io + dt_close)
+
+    comm.barrier()
+    if config.shared_file and access == "write":
+        # The segmented N-to-1 layout interleaves every rank's blocks,
+        # so the file covers the full aggregate extent after the phase
+        # (each rank's handle only tracked its own strided slice).
+        entry = fs.namespace.lookup_file(config.test_file)
+        entry.extend_to(config.aggregate_bytes(comm.size))
+    total = comm.max_time() - t0
+    n_ops_total = int(ops_done.sum())
+    data_moved = n_ops_total * config.transfer_size
+    io_time = float(io_times.max())
+    return IOROperationResult(
+        operation=operation,
+        iteration=iteration,
+        bandwidth_mib=data_moved / MIB / total,
+        iops=n_ops_total / io_time,
+        latency_s=io_time / max(1, int(ops_done.max())),
+        open_time_s=float(open_times.max()),
+        io_time_s=io_time,
+        close_time_s=float(close_times.max()),
+        total_time_s=total,
+        data_moved_bytes=data_moved,
+        n_ops=n_ops_total,
+    )
+
+
+def _seek(handle, offset: int) -> None:
+    if isinstance(handle, PosixFile):
+        handle.seek(offset)
+    elif isinstance(handle, MPIIOFile):
+        handle.posix.seek(offset)
+    else:
+        handle.mpiio.posix.seek(offset)
+
+
+def _io_many(handle, operation: str, config: IORConfig, pctx, now: float) -> np.ndarray:
+    n_ops = config.transfers_per_task
+    if isinstance(handle, PosixFile):
+        return handle.io_many(operation, config.transfer_size, n_ops, pctx, now)
+    return handle.io_many(
+        operation, config.transfer_size, n_ops, pctx, now, collective=config.collective
+    )
+
+
+def run_ior_in_job(
+    config: IORConfig,
+    ctx: IOJobContext,
+    run_id: int = 0,
+    extra_tags: dict[str, object] | None = None,
+) -> IORRunResult:
+    """Run IOR inside an existing job allocation (used by IO500)."""
+    fs = ctx.fs
+    fs.makedirs(posixpath.dirname(config.test_file))
+    layer = ctx.layer(config.api, config.hints)
+    result = IORRunResult(
+        config=config,
+        num_nodes=ctx.num_nodes,
+        tasks_per_node=ctx.tasks_per_node,
+        machine=ctx.testbed.cluster.name,
+        start_offset_s=ctx.comm.max_time(),
+    )
+    for iteration in range(config.iterations):
+        if config.write_file:
+            result.results.append(
+                _run_phase(ctx, config, layer, iteration, "write", run_id, extra_tags)
+            )
+        if config.read_file:
+            result.results.append(
+                _run_phase(ctx, config, layer, iteration, "read", run_id, extra_tags)
+            )
+        if not config.keep_file:
+            # IOR removes the data set after each repetition unless -k.
+            _remove_test_files(ctx, config)
+    result.end_offset_s = ctx.comm.max_time()
+    first_file = config.file_for_rank(0)
+    if fs.namespace.exists(first_file):
+        result.entryinfo = fs.getentryinfo(first_file)
+    result.fs_info = fs.df()
+    return result
+
+
+def _remove_test_files(ctx: IOJobContext, config: IORConfig) -> None:
+    wctx = ctx.phase_ctx("write", tags={"benchmark": "ior", "op": "cleanup"})
+    fs = ctx.fs
+    if config.shared_file:
+        if fs.namespace.exists(config.test_file):
+            dt = fs.unlink(config.test_file, wctx)
+            ctx.comm.advance(0, dt)
+    else:
+        for rank in ctx.comm.ranks():
+            path = config.file_for_rank(rank)
+            if fs.namespace.exists(path):
+                ctx.comm.advance(rank, fs.unlink(path, wctx))
+
+
+def run_ior(
+    config: IORConfig,
+    testbed: Testbed,
+    num_nodes: int = 4,
+    tasks_per_node: int = 20,
+    run_id: int = 0,
+    tracer: Tracer | None = None,
+) -> IORRunResult:
+    """Run one IOR invocation as its own exclusive batch job.
+
+    This is the §V-E1 entry point: the paper's example command on four
+    FUCHS-CSC nodes is
+    ``run_ior(parse_command("ior -a mpiio -b 4m -t 2m -s 40 -F -C -e -i 6 -o /scratch/test80 -k"), testbed)``.
+    """
+    ctx = testbed.start_job("ior", num_nodes, tasks_per_node, tracer=tracer)
+    try:
+        result = run_ior_in_job(config, ctx, run_id=run_id)
+    finally:
+        testbed.finish_job(ctx)
+    return result

@@ -1,0 +1,29 @@
+"""Simulated HPC cluster: nodes, fabric, Slurm-like resource manager, /proc.
+
+Substitutes for the FUCHS-CSC cluster used in the paper's evaluation.
+"""
+
+from repro.cluster.interconnect import Interconnect, InterconnectSpec
+from repro.cluster.machine import FUCHS_CSC, Cluster, ClusterSpec, make_cluster
+from repro.cluster.node import CPUSpec, Node, NodeSpec
+from repro.cluster.slurm import Allocation, Job, JobRequest, JobState, SlurmManager
+from repro.cluster.sysinfo import SystemInfo, collect_system_info
+
+__all__ = [
+    "CPUSpec",
+    "NodeSpec",
+    "Node",
+    "InterconnectSpec",
+    "Interconnect",
+    "ClusterSpec",
+    "Cluster",
+    "FUCHS_CSC",
+    "make_cluster",
+    "JobRequest",
+    "JobState",
+    "Job",
+    "Allocation",
+    "SlurmManager",
+    "SystemInfo",
+    "collect_system_info",
+]

@@ -1,0 +1,60 @@
+"""Interconnect (fabric) model.
+
+The fabric contributes two terms to the I/O cost model: a per-message
+latency and a bandwidth ceiling.  Both a per-node injection limit (the
+NIC) and an aggregate fabric limit (uplinks / switch capacity between
+the compute and storage sides) are modelled; either can be the
+bottleneck depending on how many nodes participate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.errors import ConfigurationError
+
+__all__ = ["InterconnectSpec", "Interconnect"]
+
+
+@dataclass(frozen=True, slots=True)
+class InterconnectSpec:
+    """Static description of the cluster fabric."""
+
+    name: str = "InfiniBand FDR"
+    link_bandwidth_bps: float = 6.8e9  # per-node injection bandwidth
+    aggregate_bandwidth_bps: float = 27e9  # compute<->storage section capacity
+    latency_s: float = 1.5e-6
+
+    def __post_init__(self) -> None:
+        if self.link_bandwidth_bps <= 0 or self.aggregate_bandwidth_bps <= 0:
+            raise ConfigurationError("interconnect bandwidths must be positive")
+        if self.latency_s < 0:
+            raise ConfigurationError("interconnect latency must be >= 0")
+
+
+class Interconnect:
+    """Runtime fabric object answering bandwidth-ceiling queries."""
+
+    def __init__(self, spec: InterconnectSpec | None = None) -> None:
+        self.spec = spec or InterconnectSpec()
+
+    def injection_ceiling_bps(self, node_factors: list[float]) -> float:
+        """Aggregate injection capacity of the given participating nodes.
+
+        ``node_factors`` are the per-node health factors; a degraded
+        node injects proportionally less.
+        """
+        if not node_factors:
+            raise ConfigurationError("at least one node must participate")
+        per_node = self.spec.link_bandwidth_bps
+        return sum(per_node * f for f in node_factors)
+
+    def fabric_ceiling_bps(self) -> float:
+        """Section capacity between compute nodes and storage servers."""
+        return self.spec.aggregate_bandwidth_bps
+
+    def message_latency_s(self, nhops: int = 1) -> float:
+        """Latency of one fabric traversal (``nhops`` switch hops)."""
+        if nhops < 1:
+            raise ConfigurationError(f"nhops must be >= 1, got {nhops}")
+        return self.spec.latency_s * nhops

@@ -1,0 +1,105 @@
+"""Whole-cluster model and named machine presets.
+
+:data:`FUCHS_CSC` reproduces the evaluation system of the paper
+(§V-E): 198 nodes with 2x Intel Xeon E5-2670 v2 (20 cores/node,
+3960 cores total), 128 GB RAM per node, BeeGFS reachable over
+InfiniBand FDR with ~27 GB/s aggregate bandwidth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cluster.interconnect import Interconnect, InterconnectSpec
+from repro.cluster.node import Node, NodeSpec
+from repro.util.errors import ConfigurationError
+
+__all__ = ["ClusterSpec", "Cluster", "FUCHS_CSC", "make_cluster", "PRESETS"]
+
+
+@dataclass(frozen=True, slots=True)
+class ClusterSpec:
+    """Static description of a cluster: homogeneous nodes + fabric."""
+
+    name: str
+    num_nodes: int
+    node: NodeSpec = field(default_factory=NodeSpec)
+    interconnect: InterconnectSpec = field(default_factory=InterconnectSpec)
+    scheduler: str = "slurm"
+
+    def __post_init__(self) -> None:
+        if self.num_nodes <= 0:
+            raise ConfigurationError(f"cluster must have >= 1 node, got {self.num_nodes}")
+
+    @property
+    def total_cores(self) -> int:
+        """Total cores across all nodes."""
+        return self.num_nodes * self.node.cores
+
+
+class Cluster:
+    """Runtime cluster: instantiated nodes plus the fabric object."""
+
+    def __init__(self, spec: ClusterSpec) -> None:
+        self.spec = spec
+        self.nodes: list[Node] = [Node(index=i, spec=spec.node) for i in range(spec.num_nodes)]
+        self.interconnect = Interconnect(spec.interconnect)
+
+    @property
+    def name(self) -> str:
+        """Cluster name (e.g. ``'FUCHS-CSC'``)."""
+        return self.spec.name
+
+    def node(self, index: int) -> Node:
+        """Return the node with the given index."""
+        try:
+            return self.nodes[index]
+        except IndexError:
+            raise ConfigurationError(
+                f"node index {index} out of range for {self.spec.num_nodes}-node cluster"
+            ) from None
+
+    def healthy_nodes(self) -> list[Node]:
+        """Nodes whose performance factor is 1.0 and state is not down."""
+        return [n for n in self.nodes if n.performance_factor == 1.0 and n.state != "down"]
+
+    def degrade_node(self, index: int, factor: float) -> None:
+        """Degrade one node (broken-node anomaly of the paper's Fig. 6)."""
+        self.node(index).degrade(factor)
+
+    def restore_all(self) -> None:
+        """Restore every node to full health."""
+        for n in self.nodes:
+            n.restore()
+
+
+FUCHS_CSC = ClusterSpec(
+    name="FUCHS-CSC",
+    num_nodes=198,
+    node=NodeSpec(
+        name_prefix="fuchs",
+        sockets=2,
+        memory_bytes=128 * 1024**3,
+        nic_bandwidth_bps=6.8e9,
+    ),
+    interconnect=InterconnectSpec(
+        name="InfiniBand FDR",
+        link_bandwidth_bps=6.8e9,
+        aggregate_bandwidth_bps=27e9,
+        latency_s=1.5e-6,
+    ),
+)
+
+PRESETS: dict[str, ClusterSpec] = {"fuchs-csc": FUCHS_CSC}
+
+
+def make_cluster(preset: str | ClusterSpec = "fuchs-csc") -> Cluster:
+    """Instantiate a cluster from a preset name or an explicit spec."""
+    if isinstance(preset, ClusterSpec):
+        return Cluster(preset)
+    try:
+        return Cluster(PRESETS[preset.lower()])
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown cluster preset {preset!r}; available: {sorted(PRESETS)}"
+        ) from None

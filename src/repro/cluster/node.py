@@ -1,0 +1,118 @@
+"""Compute-node and CPU models for the simulated cluster.
+
+A :class:`NodeSpec` captures exactly the hardware attributes the paper's
+knowledge extractor collects from ``/proc`` — processor model, core
+count, frequency, cache and memory sizes — plus the NIC bandwidth the
+performance model needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.util.errors import ConfigurationError
+from repro.util.units import GIB, KIB, MIB
+
+__all__ = ["CPUSpec", "NodeSpec", "NodeState", "Node"]
+
+
+@dataclass(frozen=True, slots=True)
+class CPUSpec:
+    """One CPU socket, as it would appear in ``/proc/cpuinfo``."""
+
+    model_name: str = "Intel(R) Xeon(R) CPU E5-2670 v2 @ 2.50GHz"
+    architecture: str = "x86_64"
+    cores: int = 10
+    frequency_mhz: float = 2500.0
+    cache_size_bytes: int = 25 * MIB  # L3, reported by /proc/cpuinfo as "cache size"
+
+    def __post_init__(self) -> None:
+        if self.cores <= 0:
+            raise ConfigurationError(f"CPU must have >= 1 core, got {self.cores}")
+        if self.frequency_mhz <= 0:
+            raise ConfigurationError(f"CPU frequency must be positive, got {self.frequency_mhz}")
+
+
+@dataclass(frozen=True, slots=True)
+class NodeSpec:
+    """Hardware description of one compute node."""
+
+    name_prefix: str = "node"
+    sockets: int = 2
+    cpu: CPUSpec = field(default_factory=CPUSpec)
+    memory_bytes: int = 128 * GIB
+    nic_bandwidth_bps: float = 6.8e9  # InfiniBand FDR 4x effective data rate
+    nic_latency_s: float = 1.5e-6
+
+    def __post_init__(self) -> None:
+        if self.sockets <= 0:
+            raise ConfigurationError(f"node must have >= 1 socket, got {self.sockets}")
+        if self.memory_bytes <= 0:
+            raise ConfigurationError("node memory must be positive")
+        if self.nic_bandwidth_bps <= 0:
+            raise ConfigurationError("NIC bandwidth must be positive")
+
+    @property
+    def cores(self) -> int:
+        """Total cores on the node (sockets x cores-per-socket)."""
+        return self.sockets * self.cpu.cores
+
+    @property
+    def memory_kib(self) -> int:
+        """Memory in KiB, the unit ``/proc/meminfo`` reports."""
+        return self.memory_bytes // KIB
+
+
+class NodeState:
+    """Health states a node can be in (Slurm-style)."""
+
+    IDLE = "idle"
+    ALLOCATED = "allocated"
+    DOWN = "down"
+    DEGRADED = "degraded"
+
+
+@dataclass(slots=True)
+class Node:
+    """A concrete node instance: spec + identity + mutable health state.
+
+    ``performance_factor`` scales the node's effective NIC bandwidth;
+    the fault-injection layer lowers it to model a "broken node" as in
+    the paper's Fig. 6 discussion.
+    """
+
+    index: int
+    spec: NodeSpec
+    state: str = NodeState.IDLE
+    performance_factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise ConfigurationError(f"node index must be >= 0, got {self.index}")
+        if not 0 < self.performance_factor <= 1.0:
+            raise ConfigurationError(
+                f"performance factor must be in (0, 1], got {self.performance_factor}"
+            )
+
+    @property
+    def hostname(self) -> str:
+        """Cluster-style hostname, e.g. ``node0042``."""
+        return f"{self.spec.name_prefix}{self.index:04d}"
+
+    @property
+    def effective_nic_bandwidth_bps(self) -> float:
+        """NIC bandwidth after applying the health factor."""
+        return self.spec.nic_bandwidth_bps * self.performance_factor
+
+    def degrade(self, factor: float) -> None:
+        """Put the node into the degraded state with the given slowdown."""
+        if not 0 < factor < 1.0:
+            raise ConfigurationError(f"degrade factor must be in (0, 1), got {factor}")
+        self.performance_factor = factor
+        self.state = NodeState.DEGRADED
+
+    def restore(self) -> None:
+        """Return the node to full health."""
+        self.performance_factor = 1.0
+        if self.state == NodeState.DEGRADED:
+            self.state = NodeState.IDLE

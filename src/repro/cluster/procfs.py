@@ -1,0 +1,76 @@
+"""``/proc``-style text provider for the simulated nodes.
+
+The paper's extractor reads processor cores, architecture, frequency,
+cache and memory sizes from ``/proc`` (§V-B).  To exercise exactly that
+code path, the simulator renders authentic-looking ``/proc/cpuinfo``
+and ``/proc/meminfo`` text for any node, and the Phase-II extractor
+parses it back.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.node import NodeSpec
+from repro.util.units import KIB
+
+__all__ = ["render_cpuinfo", "render_meminfo", "ProcFS"]
+
+
+def render_cpuinfo(spec: NodeSpec) -> str:
+    """Render ``/proc/cpuinfo`` for a node: one stanza per logical CPU."""
+    stanzas = []
+    total = spec.cores
+    per_socket = spec.cpu.cores
+    for proc in range(total):
+        socket = proc // per_socket
+        core = proc % per_socket
+        stanzas.append(
+            "\n".join(
+                [
+                    f"processor\t: {proc}",
+                    "vendor_id\t: GenuineIntel",
+                    f"model name\t: {spec.cpu.model_name}",
+                    f"cpu MHz\t\t: {spec.cpu.frequency_mhz:.3f}",
+                    f"cache size\t: {spec.cpu.cache_size_bytes // KIB} KB",
+                    f"physical id\t: {socket}",
+                    f"core id\t\t: {core}",
+                    f"cpu cores\t: {per_socket}",
+                    "flags\t\t: fpu vme de pse tsc msr pae mce sse sse2 avx",
+                ]
+            )
+        )
+    return "\n\n".join(stanzas) + "\n"
+
+
+def render_meminfo(spec: NodeSpec) -> str:
+    """Render ``/proc/meminfo`` with the totals the extractor reads."""
+    total_kib = spec.memory_kib
+    free_kib = int(total_kib * 0.92)
+    cached_kib = int(total_kib * 0.05)
+    return (
+        f"MemTotal:       {total_kib} kB\n"
+        f"MemFree:        {free_kib} kB\n"
+        f"MemAvailable:   {free_kib + cached_kib} kB\n"
+        f"Cached:         {cached_kib} kB\n"
+        f"SwapTotal:      0 kB\n"
+        f"SwapFree:       0 kB\n"
+    )
+
+
+class ProcFS:
+    """Per-node ``/proc`` façade keyed by path, like a tiny read-only VFS."""
+
+    def __init__(self, spec: NodeSpec) -> None:
+        self.spec = spec
+
+    def read(self, path: str) -> str:
+        """Return the text of a supported ``/proc`` file.
+
+        Raises:
+            FileNotFoundError: for paths the provider does not model,
+                mirroring what a real ``open()`` would raise.
+        """
+        if path == "/proc/cpuinfo":
+            return render_cpuinfo(self.spec)
+        if path == "/proc/meminfo":
+            return render_meminfo(self.spec)
+        raise FileNotFoundError(path)

@@ -1,0 +1,195 @@
+"""Slurm-like resource manager.
+
+The paper's workflow runs benchmarks as exclusive batch jobs submitted
+through Slurm.  This module models the parts the knowledge cycle
+touches: partitions, job submission with node/task counts, exclusive
+allocations, job states, and the allocation metadata (job id, node
+list, tasks per node) that ends up in the knowledge object.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.cluster.machine import Cluster
+from repro.util.errors import AllocationError, ConfigurationError
+
+__all__ = ["JobState", "JobRequest", "Allocation", "Job", "SlurmManager", "Partition"]
+
+
+class JobState:
+    """Subset of Slurm job states the workflow observes."""
+
+    PENDING = "PENDING"
+    RUNNING = "RUNNING"
+    COMPLETED = "COMPLETED"
+    FAILED = "FAILED"
+    CANCELLED = "CANCELLED"
+
+
+@dataclass(frozen=True, slots=True)
+class JobRequest:
+    """An ``sbatch``-style resource request."""
+
+    name: str
+    num_nodes: int
+    tasks_per_node: int
+    partition: str = "parallel"
+    exclusive: bool = True
+    time_limit_s: float = 86400.0
+
+    def __post_init__(self) -> None:
+        if self.num_nodes <= 0:
+            raise ConfigurationError(f"jobs need >= 1 node, got {self.num_nodes}")
+        if self.tasks_per_node <= 0:
+            raise ConfigurationError(f"jobs need >= 1 task/node, got {self.tasks_per_node}")
+        if self.time_limit_s <= 0:
+            raise ConfigurationError("time limit must be positive")
+
+    @property
+    def total_tasks(self) -> int:
+        """Total MPI tasks the job will launch."""
+        return self.num_nodes * self.tasks_per_node
+
+
+@dataclass(frozen=True, slots=True)
+class Allocation:
+    """The node set granted to a running job."""
+
+    job_id: int
+    node_indices: tuple[int, ...]
+    tasks_per_node: int
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of allocated nodes."""
+        return len(self.node_indices)
+
+    @property
+    def total_tasks(self) -> int:
+        """Total tasks across the allocation."""
+        return self.num_nodes * self.tasks_per_node
+
+    def rank_to_node(self, rank: int) -> int:
+        """Map an MPI rank to its node index (block distribution).
+
+        Ranks are packed node by node, matching the default Slurm/MPI
+        block distribution: ranks ``0..tpn-1`` on the first node, etc.
+        """
+        if not 0 <= rank < self.total_tasks:
+            raise ConfigurationError(f"rank {rank} out of range 0..{self.total_tasks - 1}")
+        return self.node_indices[rank // self.tasks_per_node]
+
+
+@dataclass(slots=True)
+class Job:
+    """A submitted job with lifecycle state."""
+
+    job_id: int
+    request: JobRequest
+    state: str = JobState.PENDING
+    allocation: Allocation | None = None
+    submit_time: float = 0.0
+    start_time: float | None = None
+    end_time: float | None = None
+
+    @property
+    def elapsed_s(self) -> float | None:
+        """Wall time of the job once it has finished."""
+        if self.start_time is None or self.end_time is None:
+            return None
+        return self.end_time - self.start_time
+
+
+@dataclass(frozen=True, slots=True)
+class Partition:
+    """A named slice of the cluster's nodes."""
+
+    name: str
+    node_indices: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.node_indices:
+            raise ConfigurationError(f"partition {self.name!r} has no nodes")
+
+
+class SlurmManager:
+    """Allocates exclusive node sets to batch jobs, first-fit.
+
+    The simulator does not queue jobs over time — benchmark runs are
+    bulk-synchronous and sequential in the workflow — but it enforces
+    exclusivity: two running jobs never share a node, and requests that
+    cannot be satisfied raise :class:`AllocationError` (what a user
+    would see as a pending-forever job).
+    """
+
+    def __init__(self, cluster: Cluster, partitions: list[Partition] | None = None) -> None:
+        self.cluster = cluster
+        all_nodes = tuple(range(len(cluster.nodes)))
+        self.partitions: dict[str, Partition] = {
+            p.name: p for p in (partitions or [Partition("parallel", all_nodes)])
+        }
+        self._job_counter = itertools.count(1000)
+        self.jobs: dict[int, Job] = {}
+        self._busy: set[int] = set()
+        self._clock = 0.0
+
+    def submit(self, request: JobRequest) -> Job:
+        """Submit and immediately try to start a job (exclusive nodes)."""
+        part = self.partitions.get(request.partition)
+        if part is None:
+            raise AllocationError(
+                f"unknown partition {request.partition!r}; available: {sorted(self.partitions)}"
+            )
+        if request.tasks_per_node > self.cluster.spec.node.cores:
+            raise AllocationError(
+                f"{request.tasks_per_node} tasks/node exceed the "
+                f"{self.cluster.spec.node.cores} cores available per node"
+            )
+        job = Job(job_id=next(self._job_counter), request=request, submit_time=self._clock)
+        self.jobs[job.job_id] = job
+        free = [
+            i
+            for i in part.node_indices
+            if i not in self._busy and self.cluster.node(i).state != "down"
+        ]
+        if len(free) < request.num_nodes:
+            job.state = JobState.PENDING
+            raise AllocationError(
+                f"job {job.job_id}: requested {request.num_nodes} nodes but only "
+                f"{len(free)} free in partition {request.partition!r}"
+            )
+        chosen = tuple(free[: request.num_nodes])
+        self._busy.update(chosen)
+        job.allocation = Allocation(
+            job_id=job.job_id, node_indices=chosen, tasks_per_node=request.tasks_per_node
+        )
+        job.state = JobState.RUNNING
+        job.start_time = self._clock
+        for i in chosen:
+            self.cluster.node(i).state = "allocated"
+        return job
+
+    def complete(self, job: Job, elapsed_s: float, failed: bool = False) -> None:
+        """Mark a running job finished and release its nodes."""
+        if job.state != JobState.RUNNING or job.allocation is None:
+            raise AllocationError(f"job {job.job_id} is not running (state={job.state})")
+        if elapsed_s < 0:
+            raise ConfigurationError("elapsed time must be >= 0")
+        self._clock = max(self._clock, (job.start_time or 0.0) + elapsed_s)
+        job.end_time = (job.start_time or 0.0) + elapsed_s
+        job.state = JobState.FAILED if failed else JobState.COMPLETED
+        for i in job.allocation.node_indices:
+            self._busy.discard(i)
+            node = self.cluster.node(i)
+            if node.state == "allocated":
+                node.state = "idle"
+
+    def squeue(self) -> list[Job]:
+        """Jobs currently running (what ``squeue`` would print)."""
+        return [j for j in self.jobs.values() if j.state == JobState.RUNNING]
+
+    def sacct(self) -> list[Job]:
+        """All jobs in submission order (accounting view)."""
+        return sorted(self.jobs.values(), key=lambda j: j.job_id)

@@ -1,0 +1,90 @@
+"""System-information collection (the extractor's ``/proc`` consumer).
+
+Parses the ``/proc/cpuinfo`` / ``/proc/meminfo`` text rendered by
+:mod:`repro.cluster.procfs` into the structured ``SystemInfo`` record
+that becomes part of every knowledge object (§V-B: "processor cores,
+processor architecture, processor frequency, but also the cache and
+memory sizes ... from /proc/").
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import asdict, dataclass
+
+from repro.cluster.machine import Cluster
+from repro.cluster.procfs import ProcFS
+from repro.util.errors import ExtractionError
+from repro.util.units import KIB
+
+__all__ = ["SystemInfo", "parse_cpuinfo", "parse_meminfo", "collect_system_info"]
+
+
+@dataclass(frozen=True, slots=True)
+class SystemInfo:
+    """Host attributes stored alongside each knowledge object."""
+
+    hostname: str
+    system_name: str
+    processor_model: str
+    architecture: str
+    processor_cores: int
+    processor_mhz: float
+    cache_size_bytes: int
+    memory_bytes: int
+
+    def as_dict(self) -> dict[str, object]:
+        """Plain-dict form used by persistence."""
+        return asdict(self)
+
+
+def parse_cpuinfo(text: str) -> dict[str, object]:
+    """Parse ``/proc/cpuinfo`` text into model/cores/frequency/cache.
+
+    Counts ``processor`` stanzas for the logical core count and takes
+    the model/frequency/cache from the first stanza, exactly as simple
+    field-scanning extractors do.
+    """
+    processors = re.findall(r"^processor\s*:\s*(\d+)", text, re.MULTILINE)
+    if not processors:
+        raise ExtractionError("no 'processor' stanzas found in cpuinfo text")
+    model = re.search(r"^model name\s*:\s*(.+)$", text, re.MULTILINE)
+    mhz = re.search(r"^cpu MHz\s*:\s*([0-9.]+)", text, re.MULTILINE)
+    cache = re.search(r"^cache size\s*:\s*(\d+)\s*KB", text, re.MULTILINE)
+    return {
+        "processor_cores": len(processors),
+        "processor_model": model.group(1).strip() if model else "unknown",
+        "processor_mhz": float(mhz.group(1)) if mhz else 0.0,
+        "cache_size_bytes": int(cache.group(1)) * KIB if cache else 0,
+    }
+
+
+def parse_meminfo(text: str) -> dict[str, object]:
+    """Parse ``/proc/meminfo`` text; returns ``memory_bytes`` (MemTotal)."""
+    m = re.search(r"^MemTotal:\s*(\d+)\s*kB", text, re.MULTILINE)
+    if not m:
+        raise ExtractionError("MemTotal not found in meminfo text")
+    return {"memory_bytes": int(m.group(1)) * KIB}
+
+
+def collect_system_info(cluster: Cluster, node_index: int = 0) -> SystemInfo:
+    """Collect a :class:`SystemInfo` for one node of a cluster.
+
+    Runs the full text round trip — render ``/proc`` files, parse them
+    back — so the collected values go through the same parser real
+    ``/proc`` output would.
+    """
+    node = cluster.node(node_index)
+    proc = ProcFS(node.spec)
+    cpu = parse_cpuinfo(proc.read("/proc/cpuinfo"))
+    mem = parse_meminfo(proc.read("/proc/meminfo"))
+    return SystemInfo(
+        hostname=node.hostname,
+        system_name=cluster.name,
+        processor_model=str(cpu["processor_model"]),
+        architecture=node.spec.cpu.architecture,
+        processor_cores=int(cpu["processor_cores"]),  # type: ignore[arg-type]
+        processor_mhz=float(cpu["processor_mhz"]),  # type: ignore[arg-type]
+        cache_size_bytes=int(cpu["cache_size_bytes"]),  # type: ignore[arg-type]
+        memory_bytes=int(mem["memory_bytes"]),  # type: ignore[arg-type]
+    )

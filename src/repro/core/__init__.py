@@ -1,0 +1,26 @@
+"""The paper's contribution: the five-phase I/O knowledge cycle."""
+
+from repro.core.cycle import CycleResult, KnowledgeCycle
+from repro.core.knowledge import (
+    FilesystemInfo,
+    IO500Knowledge,
+    IO500Testcase,
+    Knowledge,
+    KnowledgeResult,
+    KnowledgeSummary,
+)
+from repro.core.registry import ModuleRegistry, UseCaseModule, default_module_registry
+
+__all__ = [
+    "Knowledge",
+    "KnowledgeSummary",
+    "KnowledgeResult",
+    "FilesystemInfo",
+    "IO500Knowledge",
+    "IO500Testcase",
+    "KnowledgeCycle",
+    "CycleResult",
+    "ModuleRegistry",
+    "UseCaseModule",
+    "default_module_registry",
+]

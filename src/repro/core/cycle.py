@@ -1,0 +1,206 @@
+"""The I/O knowledge cycle — five-phase workflow orchestration (§III).
+
+:class:`KnowledgeCycle` wires the phases together: **generation** runs
+a JUBE benchmark on the testbed, **extraction** scans the resulting
+workspace, **persistence** stores the knowledge objects in SQLite,
+**analysis** builds the explorer views, and **usage** runs the
+registered use-case modules.  "This iterative cyclic process is either
+re-launched or terminated" — :meth:`run_cycle` executes one revolution
+and can be called repeatedly, optionally with a configuration produced
+by the previous revolution's usage phase.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Sequence
+
+from repro.core.explorer.comparison import ComparisonView
+from repro.core.explorer.io500_viewer import IO500Viewer
+from repro.core.explorer.viewer import KnowledgeViewer
+from repro.core.extraction.workspace import KnowledgeExtractor
+from repro.core.knowledge import IO500Knowledge, Knowledge
+from repro.core.persistence.database import KnowledgeDatabase
+from repro.core.persistence.io500_repo import IO500Repository
+from repro.core.persistence.repository import KnowledgeRepository
+from repro.core.registry import ModuleRegistry, default_module_registry
+from repro.iostack.stack import Testbed
+from repro.jube.benchmark import JubeBenchmark
+from repro.jube.steps import DEFAULT_WORK_REGISTRY
+from repro.jube.xmlconfig import load_benchmark
+from repro.util.errors import ReproError
+
+__all__ = ["CycleResult", "KnowledgeCycle", "main"]
+
+
+@dataclass(slots=True)
+class CycleResult:
+    """Everything one revolution of the cycle produced."""
+
+    knowledge: list[Knowledge] = field(default_factory=list)
+    io500_knowledge: list[IO500Knowledge] = field(default_factory=list)
+    knowledge_ids: list[int] = field(default_factory=list)
+    iofh_ids: list[int] = field(default_factory=list)
+    usage_results: dict[str, object] = field(default_factory=dict)
+    analysis_report: str = ""
+
+    @property
+    def all_knowledge(self) -> list[Knowledge | IO500Knowledge]:
+        """Benchmark and IO500 knowledge together."""
+        return [*self.knowledge, *self.io500_knowledge]
+
+
+class KnowledgeCycle:
+    """Orchestrates the five phases over one testbed and one database."""
+
+    def __init__(
+        self,
+        testbed: Testbed,
+        database: KnowledgeDatabase,
+        workspace: str | Path,
+        modules: ModuleRegistry | None = None,
+    ) -> None:
+        self.testbed = testbed
+        self.db = database
+        self.workspace = Path(workspace)
+        self.repository = KnowledgeRepository(database)
+        self.io500_repository = IO500Repository(database)
+        self.modules = modules or default_module_registry()
+        self.viewer = KnowledgeViewer()
+        self.io500_viewer = IO500Viewer()
+
+    # ------------------------------------------------------------------
+    # the five phases
+    # ------------------------------------------------------------------
+    def generate(self, jube_xml: str) -> JubeBenchmark:
+        """Phase I: run a JUBE-defined benchmark campaign."""
+        benchmark, _ = load_benchmark(
+            jube_xml,
+            DEFAULT_WORK_REGISTRY,
+            outpath=self.workspace,
+            shared={"testbed": self.testbed},
+        )
+        benchmark.run()
+        return benchmark
+
+    def extract(self, path: str | Path | None = None) -> list[Knowledge | IO500Knowledge]:
+        """Phase II: extract knowledge from output files."""
+        extractor = KnowledgeExtractor(jube_workspace=self.workspace)
+        return extractor.extract(path)
+
+    def persist(
+        self, knowledge: Sequence[Knowledge | IO500Knowledge]
+    ) -> tuple[list[int], list[int]]:
+        """Phase III: store knowledge objects; returns (ids, IOFH ids)."""
+        ids, iofh_ids = [], []
+        for k in knowledge:
+            if isinstance(k, IO500Knowledge):
+                iofh_ids.append(self.io500_repository.save(k))
+            else:
+                ids.append(self.repository.save(k))
+        return ids, iofh_ids
+
+    def analyze(self, knowledge: Sequence[Knowledge | IO500Knowledge]) -> str:
+        """Phase IV: render the explorer views of the new knowledge."""
+        sections = []
+        benchmark_knowledge = [k for k in knowledge if isinstance(k, Knowledge)]
+        for k in benchmark_knowledge:
+            sections.append(self.viewer.render(k))
+        if len(benchmark_knowledge) > 1:
+            sections.append("Comparison:")
+            sections.append(ComparisonView(benchmark_knowledge).table())
+        for k in knowledge:
+            if isinstance(k, IO500Knowledge):
+                sections.append(self.io500_viewer.render(k))
+        return "\n".join(sections)
+
+    def use(self, knowledge: Sequence[Knowledge | IO500Knowledge]) -> dict[str, object]:
+        """Phase V: run every registered use-case module."""
+        return self.modules.run_all(knowledge)
+
+    # ------------------------------------------------------------------
+    # one full revolution
+    # ------------------------------------------------------------------
+    def run_cycle(self, jube_xml: str) -> CycleResult:
+        """Run generation → extraction → persistence → analysis → usage."""
+        benchmark = self.generate(jube_xml)
+        extracted = self.extract(benchmark.run_dir)
+        result = CycleResult(
+            knowledge=[k for k in extracted if isinstance(k, Knowledge)],
+            io500_knowledge=[k for k in extracted if isinstance(k, IO500Knowledge)],
+        )
+        result.knowledge_ids, result.iofh_ids = self.persist(extracted)
+        result.analysis_report = self.analyze(extracted)
+        result.usage_results = self.use(extracted)
+        return result
+
+
+_DEFAULT_XML = """
+<jube>
+  <benchmark name="quick-cycle" outpath="bench_run">
+    <parameterset name="pattern">
+      <parameter name="transfersize">1m,2m</parameter>
+      <parameter name="command">ior -a mpiio -b 4m -t $transfersize -s 8 -F -e -i 3 -o /scratch/cycle/test -k</parameter>
+      <parameter name="nodes">2</parameter>
+    </parameterset>
+    <step name="run" work="ior">
+      <use>pattern</use>
+    </step>
+  </benchmark>
+</jube>
+"""
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Console entry point: run revolutions of the knowledge cycle.
+
+    Usage::
+
+        repro-cycle [--config jube.xml] [--workspace DIR] [--db TARGET]
+                    [--seed N] [--repeat N]
+
+    Without ``--config``, a small built-in IOR sweep demonstrates the
+    cycle.
+    """
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="repro-cycle", description="Run the five-phase I/O knowledge cycle."
+    )
+    parser.add_argument("--config", default=None, help="JUBE XML configuration file")
+    parser.add_argument("--workspace", default="bench_run", help="JUBE workspace directory")
+    parser.add_argument("--db", default=":memory:", help="knowledge database path or URL")
+    parser.add_argument("--seed", type=int, default=42, help="testbed seed")
+    parser.add_argument("--repeat", type=int, default=1, help="number of revolutions")
+    args = parser.parse_args(list(sys.argv[1:] if argv is None else argv))
+    if args.repeat < 1:
+        print("error: --repeat must be >= 1", file=sys.stderr)
+        return 2
+    try:
+        xml = (
+            Path(args.config).read_text(encoding="utf-8")
+            if args.config
+            else _DEFAULT_XML
+        )
+    except OSError as exc:
+        print(f"error: cannot read {args.config}: {exc}", file=sys.stderr)
+        return 1
+    try:
+        with KnowledgeDatabase(args.db) as db:
+            cycle = KnowledgeCycle(Testbed.fuchs_csc(seed=args.seed), db, Path(args.workspace))
+            for revolution in range(args.repeat):
+                result = cycle.run_cycle(xml)
+                print(f"=== revolution {revolution + 1}/{args.repeat} ===")
+                print(result.analysis_report)
+                for name, value in result.usage_results.items():
+                    print(f"[{name}] {value}")
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,43 @@
+"""Phase IV: the knowledge explorer (viewer, comparison, charts, export)."""
+
+from repro.core.explorer.bbox_chart import bounding_box_chart
+from repro.core.explorer.boxplot import overview_boxplot
+from repro.core.explorer.charts import (
+    BoxSeries,
+    ChartSpec,
+    HeatmapData,
+    Series,
+    render_ascii,
+    render_svg,
+)
+from repro.core.explorer.comparison import SUMMARY_METRICS, ComparisonView
+from repro.core.explorer.diff import FieldDiff, KnowledgeDiff, diff_knowledge
+from repro.core.explorer.export import export_image
+from repro.core.explorer.heatmap import dxt_activity_heatmap, knowledge_heatmap
+from repro.core.explorer.io500_viewer import IO500Viewer
+from repro.core.explorer.report import render_dashboard, write_dashboard
+from repro.core.explorer.viewer import RESULT_METRICS, KnowledgeViewer
+
+__all__ = [
+    "ChartSpec",
+    "Series",
+    "BoxSeries",
+    "HeatmapData",
+    "render_ascii",
+    "render_svg",
+    "KnowledgeViewer",
+    "RESULT_METRICS",
+    "ComparisonView",
+    "diff_knowledge",
+    "KnowledgeDiff",
+    "FieldDiff",
+    "SUMMARY_METRICS",
+    "IO500Viewer",
+    "overview_boxplot",
+    "bounding_box_chart",
+    "knowledge_heatmap",
+    "dxt_activity_heatmap",
+    "export_image",
+    "render_dashboard",
+    "write_dashboard",
+]

@@ -1,0 +1,67 @@
+"""Bounding-box visualization (the §VI chart-type extension).
+
+"the GUI of the knowledge explorer will be extended ... [to] support
+... additional chart types, including heat map and bounding box."
+The chart shows one band per boundary test case (from the reference
+runs) with the observed run's value overlaid; observations outside
+their band render as outliers — the complete Fig. 6 picture.
+"""
+
+from __future__ import annotations
+
+from repro.core.explorer.charts import BoxSeries, ChartSpec
+from repro.core.knowledge import IO500Knowledge
+from repro.core.usage.bounding_box import BoundingBox
+from repro.util.errors import AnalysisError
+from repro.util.stats import BoxplotStats
+
+__all__ = ["bounding_box_chart"]
+
+
+def bounding_box_chart(
+    box: BoundingBox, observed: IO500Knowledge | None = None
+) -> ChartSpec:
+    """Render a bounding box (optionally with an observed run) as a chart.
+
+    Each band becomes a box whose body spans [low, high] with the mean
+    as the midline; an observed value outside its band appears as an
+    outlier marker.
+    """
+    if not box.bands:
+        raise AnalysisError("bounding box has no bands")
+    boxes = []
+    for name in sorted(box.bands):
+        band = box.bands[name]
+        outliers: tuple[float, ...] = ()
+        lo, hi = band.low, band.high
+        if observed is not None:
+            value = observed.value(name)
+            if not band.contains(value):
+                outliers = (value,)
+                lo, hi = min(lo, value), max(hi, value)
+        boxes.append(
+            BoxSeries(
+                name=name,
+                stats=BoxplotStats(
+                    minimum=lo,
+                    q1=band.low,
+                    median=band.mean,
+                    q3=band.high,
+                    maximum=hi,
+                    whisker_low=band.low,
+                    whisker_high=band.high,
+                    outliers=outliers,
+                ),
+            )
+        )
+    title = "IO500 bounding box"
+    if observed is not None:
+        flagged = box.anomalies(observed)
+        title += f" — observed run {'ANOMALOUS: ' + ', '.join(flagged) if flagged else 'within expectation'}"
+    return ChartSpec(
+        kind="boxplot",
+        title=title,
+        x_label="boundary test case",
+        y_label="GiB/s",
+        boxes=boxes,
+    )

@@ -1,0 +1,36 @@
+"""Boxplot overview chart.
+
+§V-D: "when selecting a knowledge object, an overview chart is
+automatically created at the same time, where the individual knowledge
+object[s] are displayed on the basis of their throughput with
+corresponding min, max, mean as a boxplot."
+"""
+
+from __future__ import annotations
+
+from repro.core.explorer.charts import BoxSeries, ChartSpec
+from repro.core.knowledge import Knowledge
+from repro.util.errors import AnalysisError
+
+__all__ = ["overview_boxplot"]
+
+
+def overview_boxplot(objects: list[Knowledge], operation: str = "write") -> ChartSpec:
+    """One box per knowledge object over its per-iteration throughput."""
+    boxes = []
+    for k in objects:
+        try:
+            summary = k.summary(operation)
+        except Exception:  # noqa: BLE001 - object lacks this operation
+            continue
+        label = f"#{k.knowledge_id}" if k.knowledge_id is not None else k.benchmark
+        boxes.append(BoxSeries(name=label, stats=summary.boxplot()))
+    if not boxes:
+        raise AnalysisError(f"no knowledge object has a {operation!r} summary")
+    return ChartSpec(
+        kind="boxplot",
+        title=f"Throughput overview ({operation})",
+        x_label="knowledge object",
+        y_label="throughput (MiB/s)",
+        boxes=boxes,
+    )

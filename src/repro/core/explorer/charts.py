@@ -1,0 +1,386 @@
+"""Chart model and renderers for the knowledge explorer.
+
+The paper's explorer visualizes knowledge "as an interactive graph"
+and can "export it as an image file" (§V-D).  The explorer here is a
+library, so a chart is a declarative :class:`ChartSpec` (the data a web
+front end would receive) with two renderers: monospace ASCII for
+terminals and reports, and SVG for the image-file export.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.util.errors import AnalysisError
+from repro.util.stats import BoxplotStats
+
+__all__ = ["Series", "BoxSeries", "HeatmapData", "ChartSpec", "render_ascii", "render_svg"]
+
+_KINDS = ("line", "bar", "boxplot", "heatmap")
+
+
+@dataclass(frozen=True, slots=True)
+class Series:
+    """One named data series of a line/bar chart."""
+
+    name: str
+    x: tuple[object, ...]
+    y: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.x) != len(self.y):
+            raise AnalysisError(
+                f"series {self.name!r}: {len(self.x)} x values vs {len(self.y)} y values"
+            )
+        if not self.y:
+            raise AnalysisError(f"series {self.name!r} is empty")
+
+
+@dataclass(frozen=True, slots=True)
+class BoxSeries:
+    """One box of a boxplot chart."""
+
+    name: str
+    stats: BoxplotStats
+
+
+@dataclass(frozen=True, slots=True)
+class HeatmapData:
+    """Grid data of a heatmap chart: values[row][col]."""
+
+    x_labels: tuple[str, ...]
+    y_labels: tuple[str, ...]
+    values: tuple[tuple[float, ...], ...]
+
+    def __post_init__(self) -> None:
+        if len(self.values) != len(self.y_labels):
+            raise AnalysisError(
+                f"heatmap has {len(self.values)} rows but {len(self.y_labels)} y labels"
+            )
+        for row in self.values:
+            if len(row) != len(self.x_labels):
+                raise AnalysisError(
+                    f"heatmap row has {len(row)} cells but {len(self.x_labels)} x labels"
+                )
+        if not self.values or not self.x_labels:
+            raise AnalysisError("heatmap needs at least one row and one column")
+
+    def flat(self) -> list[float]:
+        """All cell values."""
+        return [v for row in self.values for v in row]
+
+
+@dataclass(slots=True)
+class ChartSpec:
+    """A renderer-independent chart description."""
+
+    kind: str
+    title: str
+    x_label: str = ""
+    y_label: str = ""
+    series: list[Series] = field(default_factory=list)
+    boxes: list[BoxSeries] = field(default_factory=list)
+    heatmap: HeatmapData | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise AnalysisError(f"unknown chart kind {self.kind!r}; known: {_KINDS}")
+
+    def validate(self) -> None:
+        """Check the spec holds the data its kind needs."""
+        if self.kind == "boxplot":
+            if not self.boxes:
+                raise AnalysisError("boxplot chart needs at least one box")
+        elif self.kind == "heatmap":
+            if self.heatmap is None:
+                raise AnalysisError("heatmap chart needs heatmap data")
+        elif not self.series:
+            raise AnalysisError(f"{self.kind} chart needs at least one series")
+
+
+# ----------------------------------------------------------------------
+# ASCII renderer
+# ----------------------------------------------------------------------
+_MARKS = "*o+x#@%&"
+
+
+def render_ascii(spec: ChartSpec, width: int = 72, height: int = 16) -> str:
+    """Render a chart as monospace text."""
+    spec.validate()
+    if spec.kind == "boxplot":
+        return _ascii_boxplot(spec, width)
+    if spec.kind == "heatmap":
+        return _ascii_heatmap(spec)
+    lo, hi = _y_range(spec)
+    canvas = [[" "] * width for _ in range(height)]
+    n_points = max(len(s.y) for s in spec.series)
+    for si, series in enumerate(spec.series):
+        mark = _MARKS[si % len(_MARKS)]
+        for i, value in enumerate(series.y):
+            col = int(i / max(n_points - 1, 1) * (width - 1))
+            row = height - 1 - int((value - lo) / (hi - lo) * (height - 1)) if hi > lo else height // 2
+            canvas[row][col] = mark
+    lines = [spec.title, f"y: {spec.y_label}  [{lo:.2f} .. {hi:.2f}]"]
+    lines += ["|" + "".join(row) for row in canvas]
+    lines.append("+" + "-" * width)
+    lines.append(f"x: {spec.x_label}")
+    legend = "  ".join(
+        f"{_MARKS[i % len(_MARKS)]} {s.name}" for i, s in enumerate(spec.series)
+    )
+    lines.append(f"legend: {legend}")
+    return "\n".join(lines)
+
+
+def _ascii_boxplot(spec: ChartSpec, width: int) -> str:
+    values = []
+    for b in spec.boxes:
+        values += [b.stats.minimum, b.stats.maximum]
+    lo, hi = min(values), max(values)
+    span = max(hi - lo, 1e-12)
+    name_w = max(len(b.name) for b in spec.boxes)
+    plot_w = max(width - name_w - 2, 20)
+
+    def pos(v: float) -> int:
+        return int((v - lo) / span * (plot_w - 1))
+
+    lines = [spec.title, f"{spec.y_label}  [{lo:.2f} .. {hi:.2f}]"]
+    for b in spec.boxes:
+        row = [" "] * plot_w
+        for x in range(pos(b.stats.whisker_low), pos(b.stats.whisker_high) + 1):
+            row[x] = "-"
+        for x in range(pos(b.stats.q1), pos(b.stats.q3) + 1):
+            row[x] = "="
+        row[pos(b.stats.median)] = "|"
+        for o in b.stats.outliers:
+            row[pos(o)] = "o"
+        lines.append(f"{b.name.ljust(name_w)} {''.join(row)}")
+    return "\n".join(lines)
+
+
+_SHADES = " .:-=+*#%@"
+
+
+def _ascii_heatmap(spec: ChartSpec) -> str:
+    hm = spec.heatmap
+    assert hm is not None
+    flat = hm.flat()
+    lo, hi = min(flat), max(flat)
+    span = max(hi - lo, 1e-12)
+    name_w = max(len(y) for y in hm.y_labels)
+    lines = [spec.title, f"{spec.y_label} \\ {spec.x_label}   [{lo:.2f} .. {hi:.2f}]"]
+    for y_label, row in zip(hm.y_labels, hm.values):
+        cells = "".join(
+            _SHADES[min(len(_SHADES) - 1, int((v - lo) / span * (len(_SHADES) - 1)))] * 2
+            for v in row
+        )
+        lines.append(f"{y_label.rjust(name_w)} |{cells}|")
+    lines.append(" " * name_w + "  " + " ".join(x[:1] for x in hm.x_labels))
+    lines.append("x: " + ", ".join(hm.x_labels))
+    return "\n".join(lines)
+
+
+def _y_range(spec: ChartSpec) -> tuple[float, float]:
+    ys = [v for s in spec.series for v in s.y]
+    lo, hi = min(ys), max(ys)
+    if lo == hi:
+        lo, hi = lo - 1.0, hi + 1.0
+    pad = (hi - lo) * 0.05
+    return max(0.0, lo - pad) if lo >= 0 else lo - pad, hi + pad
+
+
+# ----------------------------------------------------------------------
+# SVG renderer (the image-file export)
+# ----------------------------------------------------------------------
+_PALETTE = ("#4878d0", "#ee854a", "#6acc64", "#d65f5f", "#956cb4", "#8c613c")
+
+
+def render_svg(spec: ChartSpec, width: int = 640, height: int = 400) -> str:
+    """Render a chart as a standalone SVG document."""
+    spec.validate()
+    margin = 60
+    plot_w, plot_h = width - 2 * margin, height - 2 * margin
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" height="{height}" '
+        f'viewBox="0 0 {width} {height}">',
+        f'<rect width="{width}" height="{height}" fill="white"/>',
+        f'<text x="{width / 2}" y="20" text-anchor="middle" font-size="14" '
+        f'font-family="sans-serif">{_esc(spec.title)}</text>',
+    ]
+    if spec.kind == "boxplot":
+        parts += _svg_boxplot(spec, margin, plot_w, plot_h)
+    elif spec.kind == "heatmap":
+        parts += _svg_heatmap(spec, margin, plot_w, plot_h)
+    else:
+        parts += _svg_xy(spec, margin, plot_w, plot_h)
+    # axis labels
+    parts.append(
+        f'<text x="{margin + plot_w / 2}" y="{height - 8}" text-anchor="middle" '
+        f'font-size="11" font-family="sans-serif">{_esc(spec.x_label)}</text>'
+    )
+    parts.append(
+        f'<text x="14" y="{margin + plot_h / 2}" text-anchor="middle" font-size="11" '
+        f'font-family="sans-serif" transform="rotate(-90 14 {margin + plot_h / 2})">'
+        f"{_esc(spec.y_label)}</text>"
+    )
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def _esc(text: str) -> str:
+    return (
+        text.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;").replace('"', "&quot;")
+    )
+
+
+def _svg_axes(margin: int, plot_w: int, plot_h: int, lo: float, hi: float) -> list[str]:
+    parts = [
+        f'<line x1="{margin}" y1="{margin}" x2="{margin}" y2="{margin + plot_h}" stroke="black"/>',
+        f'<line x1="{margin}" y1="{margin + plot_h}" x2="{margin + plot_w}" '
+        f'y2="{margin + plot_h}" stroke="black"/>',
+    ]
+    for frac in np.linspace(0, 1, 5):
+        y = margin + plot_h - frac * plot_h
+        value = lo + frac * (hi - lo)
+        parts.append(
+            f'<text x="{margin - 6}" y="{y + 4}" text-anchor="end" font-size="10" '
+            f'font-family="sans-serif">{value:.1f}</text>'
+        )
+        parts.append(
+            f'<line x1="{margin}" y1="{y}" x2="{margin + plot_w}" y2="{y}" '
+            f'stroke="#dddddd" stroke-width="0.5"/>'
+        )
+    return parts
+
+
+def _svg_xy(spec: ChartSpec, margin: int, plot_w: int, plot_h: int) -> list[str]:
+    lo, hi = _y_range(spec)
+    parts = _svg_axes(margin, plot_w, plot_h, lo, hi)
+    n_points = max(len(s.y) for s in spec.series)
+
+    def xpos(i: int) -> float:
+        return margin + (i + 0.5) / n_points * plot_w
+
+    def ypos(v: float) -> float:
+        return margin + plot_h - (v - lo) / (hi - lo) * plot_h
+
+    if spec.kind == "line":
+        for si, series in enumerate(spec.series):
+            color = _PALETTE[si % len(_PALETTE)]
+            points = " ".join(f"{xpos(i):.1f},{ypos(v):.1f}" for i, v in enumerate(series.y))
+            parts.append(
+                f'<polyline points="{points}" fill="none" stroke="{color}" stroke-width="2"/>'
+            )
+            for i, v in enumerate(series.y):
+                parts.append(
+                    f'<circle cx="{xpos(i):.1f}" cy="{ypos(v):.1f}" r="3" fill="{color}"/>'
+                )
+    else:  # bar
+        n_series = len(spec.series)
+        group_w = plot_w / n_points
+        bar_w = group_w * 0.8 / n_series
+        for si, series in enumerate(spec.series):
+            color = _PALETTE[si % len(_PALETTE)]
+            for i, v in enumerate(series.y):
+                x = margin + i * group_w + group_w * 0.1 + si * bar_w
+                y = ypos(v)
+                parts.append(
+                    f'<rect x="{x:.1f}" y="{y:.1f}" width="{bar_w:.1f}" '
+                    f'height="{margin + plot_h - y:.1f}" fill="{color}"/>'
+                )
+    # x tick labels from the first series
+    first = spec.series[0]
+    for i, label in enumerate(first.x):
+        parts.append(
+            f'<text x="{xpos(i):.1f}" y="{margin + plot_h + 14}" text-anchor="middle" '
+            f'font-size="10" font-family="sans-serif">{_esc(str(label))}</text>'
+        )
+    # legend
+    for si, series in enumerate(spec.series):
+        color = _PALETTE[si % len(_PALETTE)]
+        y = margin + 12 * si
+        parts.append(f'<rect x="{margin + plot_w - 110}" y="{y}" width="10" height="10" fill="{color}"/>')
+        parts.append(
+            f'<text x="{margin + plot_w - 96}" y="{y + 9}" font-size="10" '
+            f'font-family="sans-serif">{_esc(series.name)}</text>'
+        )
+    return parts
+
+
+def _svg_boxplot(spec: ChartSpec, margin: int, plot_w: int, plot_h: int) -> list[str]:
+    values = []
+    for b in spec.boxes:
+        values += [b.stats.minimum, b.stats.maximum]
+    lo, hi = min(values), max(values)
+    if lo == hi:
+        lo, hi = lo - 1, hi + 1
+    pad = (hi - lo) * 0.05
+    lo, hi = lo - pad, hi + pad
+    parts = _svg_axes(margin, plot_w, plot_h, lo, hi)
+    n = len(spec.boxes)
+
+    def ypos(v: float) -> float:
+        return margin + plot_h - (v - lo) / (hi - lo) * plot_h
+
+    for i, box in enumerate(spec.boxes):
+        color = _PALETTE[i % len(_PALETTE)]
+        cx = margin + (i + 0.5) / n * plot_w
+        half = min(plot_w / n * 0.3, 40)
+        s = box.stats
+        parts += [
+            f'<line x1="{cx}" y1="{ypos(s.whisker_low)}" x2="{cx}" y2="{ypos(s.q1)}" stroke="black"/>',
+            f'<line x1="{cx}" y1="{ypos(s.q3)}" x2="{cx}" y2="{ypos(s.whisker_high)}" stroke="black"/>',
+            f'<line x1="{cx - half / 2}" y1="{ypos(s.whisker_low)}" x2="{cx + half / 2}" '
+            f'y2="{ypos(s.whisker_low)}" stroke="black"/>',
+            f'<line x1="{cx - half / 2}" y1="{ypos(s.whisker_high)}" x2="{cx + half / 2}" '
+            f'y2="{ypos(s.whisker_high)}" stroke="black"/>',
+            f'<rect x="{cx - half}" y="{ypos(s.q3)}" width="{2 * half}" '
+            f'height="{abs(ypos(s.q1) - ypos(s.q3)):.1f}" fill="{color}" fill-opacity="0.5" '
+            f'stroke="black"/>',
+            f'<line x1="{cx - half}" y1="{ypos(s.median)}" x2="{cx + half}" '
+            f'y2="{ypos(s.median)}" stroke="black" stroke-width="2"/>',
+        ]
+        for o in s.outliers:
+            parts.append(f'<circle cx="{cx}" cy="{ypos(o)}" r="3" fill="none" stroke="black"/>')
+        parts.append(
+            f'<text x="{cx}" y="{margin + plot_h + 14}" text-anchor="middle" font-size="10" '
+            f'font-family="sans-serif">{_esc(box.name)}</text>'
+        )
+    return parts
+
+
+def _svg_heatmap(spec: ChartSpec, margin: int, plot_w: int, plot_h: int) -> list[str]:
+    hm = spec.heatmap
+    assert hm is not None
+    flat = hm.flat()
+    lo, hi = min(flat), max(flat)
+    span = max(hi - lo, 1e-12)
+    ncols, nrows = len(hm.x_labels), len(hm.y_labels)
+    cell_w, cell_h = plot_w / ncols, plot_h / nrows
+    parts = []
+    for r, row in enumerate(hm.values):
+        for c, v in enumerate(row):
+            # Sequential single-hue ramp: light to saturated blue.
+            t = (v - lo) / span
+            red = int(247 - t * (247 - 33))
+            green = int(251 - t * (251 - 102))
+            blue = int(255 - t * (255 - 172))
+            x = margin + c * cell_w
+            y = margin + r * cell_h
+            parts.append(
+                f'<rect x="{x:.1f}" y="{y:.1f}" width="{cell_w:.1f}" height="{cell_h:.1f}" '
+                f'fill="rgb({red},{green},{blue})" stroke="white" stroke-width="0.5">'
+                f"<title>{_esc(hm.y_labels[r])} / {_esc(hm.x_labels[c])}: {v:.2f}</title></rect>"
+            )
+    for c, label in enumerate(hm.x_labels):
+        parts.append(
+            f'<text x="{margin + (c + 0.5) * cell_w:.1f}" y="{margin + plot_h + 14}" '
+            f'text-anchor="middle" font-size="10" font-family="sans-serif">{_esc(label)}</text>'
+        )
+    for r, label in enumerate(hm.y_labels):
+        parts.append(
+            f'<text x="{margin - 6}" y="{margin + (r + 0.5) * cell_h + 3:.1f}" '
+            f'text-anchor="end" font-size="10" font-family="sans-serif">{_esc(label)}</text>'
+        )
+    return parts

@@ -1,0 +1,98 @@
+"""Command-line knowledge explorer (the §V-D tool as a CLI).
+
+Usage::
+
+    repro-explore knowledge.db --list
+    repro-explore knowledge.db --view 3
+    repro-explore knowledge.db --compare 1 2 3 --x-axis xfersize --metric bw_mean
+    repro-explore knowledge.db --diff 1 2
+    repro-explore knowledge.db --view 3 --chart /tmp/run3.svg
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.core.explorer.comparison import ComparisonView
+from repro.core.explorer.charts import render_ascii
+from repro.core.explorer.export import export_image
+from repro.core.explorer.io500_viewer import IO500Viewer
+from repro.core.explorer.viewer import KnowledgeViewer
+from repro.core.persistence.database import KnowledgeDatabase
+from repro.core.persistence.io500_repo import IO500Repository
+from repro.core.persistence.repository import KnowledgeRepository
+from repro.util.errors import ReproError
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The repro-explore argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-explore", description="Explore a knowledge database."
+    )
+    parser.add_argument("database", help="SQLite knowledge database path or URL")
+    parser.add_argument("--list", action="store_true", help="list stored knowledge")
+    parser.add_argument("--view", type=int, default=None, help="show one knowledge object")
+    parser.add_argument("--io500", type=int, default=None, help="show one IO500 run")
+    parser.add_argument(
+        "--compare", type=int, nargs="+", default=None, help="compare knowledge ids"
+    )
+    parser.add_argument(
+        "--diff", type=int, nargs=2, default=None, metavar=("LEFT", "RIGHT"),
+        help="field-by-field diff of two knowledge ids",
+    )
+    parser.add_argument("--x-axis", default="knowledge_id", help="comparison x axis")
+    parser.add_argument("--metric", default="bw_mean", help="comparison y metric")
+    parser.add_argument("--chart", default=None, help="export the view's chart as SVG")
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Console entry point."""
+    args = build_parser().parse_args(list(sys.argv[1:] if argv is None else argv))
+    try:
+        with KnowledgeDatabase(args.database) as db:
+            repo = KnowledgeRepository(db)
+            io5 = IO500Repository(db)
+            spec = None
+
+            if args.view is not None:
+                knowledge = repo.load(args.view)
+                print(KnowledgeViewer().render(knowledge))
+                spec = KnowledgeViewer().iteration_chart(knowledge)
+                print(render_ascii(spec))
+            elif args.io500 is not None:
+                print(IO500Viewer().render(io5.load(args.io500)))
+            elif args.diff:
+                from repro.core.explorer.diff import diff_knowledge
+
+                left, right = (repo.load(i) for i in args.diff)
+                print(diff_knowledge(left, right).render())
+            elif args.compare:
+                view = ComparisonView([repo.load(i) for i in args.compare])
+                print(view.table())
+                spec = view.chart(x_axis=args.x_axis, y_metric=args.metric)
+                print(render_ascii(spec))
+            else:  # default / --list
+                ids = repo.list_ids()
+                print(f"{len(ids)} knowledge object(s): {ids}")
+                io5_ids = io5.list_ids()
+                print(f"{len(io5_ids)} IO500 run(s): {io5_ids}")
+
+            if args.chart:
+                if spec is None:
+                    print("error: --chart needs --view or --compare", file=sys.stderr)
+                    return 2
+                export_image(spec, args.chart)
+                print(f"chart exported to {args.chart}")
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,152 @@
+"""The comparison view of the knowledge explorer (§V-D).
+
+"Our tool offers the ability to select any number of knowledge objects
+and compares them based on defined metrics.  Therefore, the user can
+select the axes of the chart at runtime ... for the y-axis applied
+option and for x-axis focused metrics can be selected."  Filtering and
+sorting of knowledge objects is supported "to find similar knowledge
+object[s] and perform fine-grained evaluations".
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.explorer.boxplot import overview_boxplot
+from repro.core.explorer.charts import ChartSpec, Series
+from repro.core.knowledge import Knowledge
+from repro.util.errors import AnalysisError
+from repro.util.tables import render_table
+
+__all__ = ["ComparisonView", "SUMMARY_METRICS"]
+
+#: y-axis metrics selectable at runtime.
+SUMMARY_METRICS = ("bw_mean", "bw_max", "bw_min", "bw_stddev", "ops_mean", "ops_max", "ops_min")
+
+#: x-axis options: knowledge attributes first, then pattern parameters.
+_ATTRIBUTE_AXES = ("knowledge_id", "api", "num_tasks", "num_nodes", "benchmark", "command")
+
+
+class ComparisonView:
+    """Compares any number of knowledge objects on selectable axes."""
+
+    def __init__(self, knowledge_objects: list[Knowledge]) -> None:
+        if not knowledge_objects:
+            raise AnalysisError("comparison needs at least one knowledge object")
+        self.objects = list(knowledge_objects)
+
+    # ------------------------------------------------------------------
+    # filter / sort (return new views, original untouched)
+    # ------------------------------------------------------------------
+    def filter(self, predicate: Callable[[Knowledge], bool]) -> "ComparisonView":
+        """Keep only objects matching the predicate."""
+        selected = [k for k in self.objects if predicate(k)]
+        if not selected:
+            raise AnalysisError("filter removed every knowledge object")
+        return ComparisonView(selected)
+
+    def filter_by(self, **attrs: object) -> "ComparisonView":
+        """Keep objects whose attributes/parameters equal the given values."""
+
+        def predicate(k: Knowledge) -> bool:
+            for name, expected in attrs.items():
+                actual = getattr(k, name, None)
+                if actual is None:
+                    actual = k.parameters.get(name)
+                if actual != expected:
+                    return False
+            return True
+
+        return self.filter(predicate)
+
+    def sort_by(
+        self, metric: str = "bw_mean", operation: str = "write", descending: bool = True
+    ) -> "ComparisonView":
+        """Sort objects by a summary metric of one operation."""
+        self._check_metric(metric)
+        ordered = sorted(
+            self.objects,
+            key=lambda k: self._metric_value(k, operation, metric),
+            reverse=descending,
+        )
+        return ComparisonView(ordered)
+
+    # ------------------------------------------------------------------
+    # axis access
+    # ------------------------------------------------------------------
+    def _check_metric(self, metric: str) -> None:
+        if metric not in SUMMARY_METRICS:
+            raise AnalysisError(
+                f"unknown metric {metric!r}; selectable: {SUMMARY_METRICS}"
+            )
+
+    def _metric_value(self, k: Knowledge, operation: str, metric: str) -> float:
+        return float(getattr(k.summary(operation), metric))
+
+    def _axis_value(self, k: Knowledge, axis: str) -> object:
+        if axis in _ATTRIBUTE_AXES:
+            return getattr(k, axis)
+        value = k.parameters.get(axis)
+        if value is None:
+            raise AnalysisError(
+                f"axis {axis!r} is neither a knowledge attribute nor a parameter of "
+                f"object {k.knowledge_id}"
+            )
+        return value
+
+    # ------------------------------------------------------------------
+    # outputs
+    # ------------------------------------------------------------------
+    def table(self, metrics: tuple[str, ...] = ("bw_mean", "bw_max", "bw_min")) -> str:
+        """Comparison table: one row per (object, operation)."""
+        for m in metrics:
+            self._check_metric(m)
+        headers = ["id", "benchmark", "api", "tasks", "operation", *metrics]
+        rows = []
+        for k in self.objects:
+            for s in k.summaries:
+                rows.append(
+                    [
+                        k.knowledge_id,
+                        k.benchmark,
+                        k.api,
+                        k.num_tasks,
+                        s.operation,
+                        *[float(getattr(s, m)) for m in metrics],
+                    ]
+                )
+        return render_table(headers, rows)
+
+    def chart(
+        self,
+        x_axis: str = "knowledge_id",
+        y_metric: str = "bw_mean",
+        operations: tuple[str, ...] = ("write", "read"),
+        kind: str = "bar",
+    ) -> ChartSpec:
+        """Comparison chart with runtime-selectable axes."""
+        self._check_metric(y_metric)
+        x_values = tuple(self._axis_value(k, x_axis) for k in self.objects)
+        series = []
+        for op in operations:
+            ys = []
+            for k in self.objects:
+                try:
+                    ys.append(self._metric_value(k, op, y_metric))
+                except Exception:  # noqa: BLE001 - object lacks this operation
+                    ys.append(0.0)
+            if any(ys):
+                series.append(Series(name=op, x=x_values, y=tuple(ys)))
+        if not series:
+            raise AnalysisError(f"no object has any of the operations {operations}")
+        return ChartSpec(
+            kind=kind,
+            title=f"Knowledge comparison: {y_metric} by {x_axis}",
+            x_label=x_axis,
+            y_label=y_metric,
+            series=series,
+        )
+
+    def overview(self, operation: str = "write") -> ChartSpec:
+        """Boxplot overview (auto-created on selection, §V-D)."""
+        return overview_boxplot(self.objects, operation)

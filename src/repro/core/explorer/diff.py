@@ -1,0 +1,145 @@
+"""Knowledge diff: field-by-field comparison of two runs.
+
+The §V-E1 loop is modify-and-rerun; the natural next question is "what
+changed, and what did it buy?".  :func:`diff_knowledge` compares two
+knowledge objects — pattern parameters, run geometry, and per-operation
+performance with relative deltas — into a compact report the explorer
+(or a human in a terminal) renders directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.knowledge import Knowledge
+from repro.util.errors import AnalysisError
+from repro.util.tables import render_table
+
+__all__ = ["FieldDiff", "KnowledgeDiff", "diff_knowledge"]
+
+
+@dataclass(frozen=True, slots=True)
+class FieldDiff:
+    """One differing field."""
+
+    field: str
+    left: object
+    right: object
+    relative_change: float | None  # None for non-numeric fields
+
+    def describe(self) -> str:
+        """One-line description."""
+        if self.relative_change is None:
+            return f"{self.field}: {self.left!r} -> {self.right!r}"
+        return (
+            f"{self.field}: {self.left} -> {self.right} "
+            f"({self.relative_change:+.1%})"
+        )
+
+
+@dataclass(slots=True)
+class KnowledgeDiff:
+    """All differences between two knowledge objects."""
+
+    left_id: int | None
+    right_id: int | None
+    configuration: list[FieldDiff]
+    performance: list[FieldDiff]
+
+    @property
+    def identical_configuration(self) -> bool:
+        """Whether the two runs used the same configuration."""
+        return not self.configuration
+
+    def render(self) -> str:
+        """Monospace report of the diff."""
+        lines = [f"Knowledge #{self.left_id} vs #{self.right_id}"]
+        if self.configuration:
+            lines.append("Configuration changes:")
+            lines.append(
+                render_table(
+                    ["field", "left", "right"],
+                    [[d.field, d.left, d.right] for d in self.configuration],
+                    indent="  ",
+                )
+            )
+        else:
+            lines.append("Configuration: identical")
+        if self.performance:
+            lines.append("Performance:")
+            lines.append(
+                render_table(
+                    ["metric", "left", "right", "change"],
+                    [
+                        [
+                            d.field,
+                            d.left,
+                            d.right,
+                            f"{d.relative_change:+.1%}" if d.relative_change is not None else "-",
+                        ]
+                        for d in self.performance
+                    ],
+                    indent="  ",
+                )
+            )
+        return "\n".join(lines) + "\n"
+
+
+_CONFIG_FIELDS = ("benchmark", "api", "test_file", "file_per_proc", "num_nodes", "num_tasks")
+_PERF_METRICS = ("bw_mean", "bw_max", "bw_min", "ops_mean")
+
+
+def _numeric_diff(field: str, left: float, right: float) -> FieldDiff | None:
+    if left == right:
+        return None
+    rel = (right - left) / left if left else None
+    return FieldDiff(field=field, left=left, right=right, relative_change=rel)
+
+
+def diff_knowledge(left: Knowledge, right: Knowledge) -> KnowledgeDiff:
+    """Compare two knowledge objects.
+
+    Configuration differences cover the run attributes and all pattern
+    parameters (union of both sides); performance differences cover
+    every operation either side ran, with relative change computed
+    right-versus-left.
+    """
+    if left is right:
+        raise AnalysisError("cannot diff a knowledge object against itself")
+    config: list[FieldDiff] = []
+    for field in _CONFIG_FIELDS:
+        lv, rv = getattr(left, field), getattr(right, field)
+        if lv != rv:
+            config.append(FieldDiff(field=field, left=lv, right=rv, relative_change=None))
+    for key in sorted(set(left.parameters) | set(right.parameters)):
+        lv, rv = left.parameters.get(key), right.parameters.get(key)
+        if lv != rv:
+            config.append(
+                FieldDiff(field=f"param:{key}", left=lv, right=rv, relative_change=None)
+            )
+
+    performance: list[FieldDiff] = []
+    ops = {s.operation for s in left.summaries} | {s.operation for s in right.summaries}
+    for op in sorted(ops):
+        try:
+            ls = left.summary(op)
+            rs = right.summary(op)
+        except Exception:  # noqa: BLE001 - one side lacks the operation
+            performance.append(
+                FieldDiff(field=f"{op}", left="present" if any(
+                    s.operation == op for s in left.summaries) else "absent",
+                    right="present" if any(
+                        s.operation == op for s in right.summaries) else "absent",
+                    relative_change=None)
+            )
+            continue
+        for metric in _PERF_METRICS:
+            d = _numeric_diff(f"{op}.{metric}", float(getattr(ls, metric)), float(getattr(rs, metric)))
+            if d is not None:
+                performance.append(d)
+    return KnowledgeDiff(
+        left_id=left.knowledge_id,
+        right_id=right.knowledge_id,
+        configuration=config,
+        performance=performance,
+    )

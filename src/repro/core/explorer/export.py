@@ -1,0 +1,27 @@
+"""Chart image export.
+
+§V-D: "the tool provides the ability to visualize results as an
+interactive graph and export it as an image file."  The library export
+format is SVG (self-contained, dependency-free, diffable in tests).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.core.explorer.charts import ChartSpec, render_svg
+from repro.util.errors import AnalysisError
+
+__all__ = ["export_image"]
+
+
+def export_image(spec: ChartSpec, path: str | Path, width: int = 640, height: int = 400) -> Path:
+    """Write a chart as an SVG image file; returns the path."""
+    out = Path(path)
+    if out.suffix.lower() != ".svg":
+        raise AnalysisError(
+            f"only .svg export is supported, got {out.suffix!r} (requested {out})"
+        )
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(render_svg(spec, width=width, height=height), encoding="utf-8")
+    return out

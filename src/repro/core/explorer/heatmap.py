@@ -1,0 +1,113 @@
+"""Heatmap builders (the §VI chart-type extension).
+
+Two heatmaps the outlook asks for: a *parameter heatmap* pivoting a
+knowledge base over two pattern parameters (e.g. transfer size x node
+count, cell = mean throughput), and a *DXT activity heatmap* (rank x
+time, cell = bytes moved) — the DXT-Explorer-style view of §II-A2.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.explorer.charts import ChartSpec, HeatmapData
+from repro.core.knowledge import Knowledge
+from repro.darshan.pydarshan import DarshanReport
+from repro.util.errors import AnalysisError
+
+__all__ = ["knowledge_heatmap", "dxt_activity_heatmap"]
+
+
+def _axis_value(k: Knowledge, axis: str) -> object:
+    if hasattr(k, axis):
+        return getattr(k, axis)
+    value = k.parameters.get(axis)
+    if value is None:
+        raise AnalysisError(
+            f"axis {axis!r} not found on knowledge object {k.knowledge_id}"
+        )
+    return value
+
+
+def _sort_key(label: str) -> tuple[int, object]:
+    try:
+        return (0, float(label))
+    except ValueError:
+        return (1, label)
+
+
+def knowledge_heatmap(
+    objects: list[Knowledge],
+    x_axis: str,
+    y_axis: str,
+    metric: str = "bw_mean",
+    operation: str = "write",
+) -> ChartSpec:
+    """Pivot a knowledge base over two axes into a heatmap.
+
+    Cells average the metric over all objects sharing the (x, y) pair;
+    missing combinations raise (the sweep should cover the grid).
+    """
+    if not objects:
+        raise AnalysisError("heatmap needs at least one knowledge object")
+    cells: dict[tuple[str, str], list[float]] = {}
+    for k in objects:
+        x = str(_axis_value(k, x_axis))
+        y = str(_axis_value(k, y_axis))
+        value = float(getattr(k.summary(operation), metric))
+        cells.setdefault((x, y), []).append(value)
+    x_labels = tuple(sorted({x for x, _ in cells}, key=_sort_key))
+    y_labels = tuple(sorted({y for _, y in cells}, key=_sort_key))
+    values = []
+    for y in y_labels:
+        row = []
+        for x in x_labels:
+            bucket = cells.get((x, y))
+            if not bucket:
+                raise AnalysisError(
+                    f"no knowledge for combination {x_axis}={x}, {y_axis}={y}; "
+                    "sweep the full grid first"
+                )
+            row.append(float(np.mean(bucket)))
+        values.append(tuple(row))
+    return ChartSpec(
+        kind="heatmap",
+        title=f"{metric} ({operation}) over {x_axis} x {y_axis}",
+        x_label=x_axis,
+        y_label=y_axis,
+        heatmap=HeatmapData(x_labels=x_labels, y_labels=y_labels, values=tuple(values)),
+    )
+
+
+def dxt_activity_heatmap(
+    report: DarshanReport, module: str = "POSIX", nbins: int = 24
+) -> ChartSpec:
+    """Rank x time activity heatmap from DXT traces (MiB per cell)."""
+    if nbins <= 0:
+        raise AnalysisError("nbins must be >= 1")
+    segments = report.dxt_segments(module)
+    if not segments:
+        raise AnalysisError("no DXT segments; profile with enable_dxt=True")
+    per_rank: dict[int, list] = {}
+    for (rank, _path), segs in segments.items():
+        per_rank.setdefault(rank, []).extend(segs)
+    t0 = min(s.start for segs in per_rank.values() for s in segs)
+    t1 = max(s.end for segs in per_rank.values() for s in segs)
+    span = max(t1 - t0, 1e-12)
+    ranks = sorted(per_rank)
+    grid = np.zeros((len(ranks), nbins))
+    for row, rank in enumerate(ranks):
+        for s in per_rank[rank]:
+            col = min(int((s.start - t0) / span * nbins), nbins - 1)
+            grid[row, col] += s.length / 1048576
+    return ChartSpec(
+        kind="heatmap",
+        title=f"DXT activity ({module}, MiB per bin)",
+        x_label="time bin",
+        y_label="rank",
+        heatmap=HeatmapData(
+            x_labels=tuple(str(i) for i in range(nbins)),
+            y_labels=tuple(str(r) for r in ranks),
+            values=tuple(tuple(float(v) for v in row) for row in grid),
+        ),
+    )

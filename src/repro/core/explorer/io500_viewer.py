@@ -1,0 +1,109 @@
+"""The IO500 viewer of the knowledge explorer.
+
+§V-D: "For IO500, we provide an extra viewer in our knowledge explorer
+... it can additionally visualize score value and different test cases
+for each IO500 execution."  Besides single-run views it charts test
+cases across several runs — the data behind the paper's Fig. 6.
+"""
+
+from __future__ import annotations
+
+from repro.core.explorer.charts import BoxSeries, ChartSpec, Series
+from repro.core.knowledge import IO500Knowledge
+from repro.util.errors import AnalysisError
+from repro.util.stats import boxplot_stats
+from repro.util.tables import render_kv, render_table
+
+__all__ = ["IO500Viewer"]
+
+
+class IO500Viewer:
+    """Formats and charts IO500 knowledge objects."""
+
+    def render(self, knowledge: IO500Knowledge) -> str:
+        """Textual view of one IO500 run: scores plus all test cases."""
+        header = render_kv(
+            {
+                "IOFH id": knowledge.iofh_id if knowledge.iofh_id is not None else "-",
+                "version": knowledge.version or "-",
+                "nodes": knowledge.num_nodes,
+                "tasks": knowledge.num_tasks,
+                "score (total)": knowledge.score_total,
+                "score (bandwidth GiB/s)": knowledge.score_bw,
+                "score (metadata kIOPS)": knowledge.score_md,
+            }
+        )
+        rows = [[t.name, t.value, t.unit, t.time_s] for t in knowledge.testcases]
+        table = render_table(["test case", "value", "unit", "time(s)"], rows, indent="  ")
+        return f"{header}\nTest cases:\n{table}\n"
+
+    def score_chart(self, runs: list[IO500Knowledge]) -> ChartSpec:
+        """Total/bandwidth/metadata scores across runs."""
+        if not runs:
+            raise AnalysisError("need at least one IO500 run")
+        x = tuple(self._label(r, i) for i, r in enumerate(runs))
+        return ChartSpec(
+            kind="bar",
+            title="IO500 scores",
+            x_label="run",
+            y_label="score",
+            series=[
+                Series(name="total", x=x, y=tuple(r.score_total for r in runs)),
+                Series(name="bandwidth", x=x, y=tuple(r.score_bw for r in runs)),
+                Series(name="metadata", x=x, y=tuple(r.score_md for r in runs)),
+            ],
+        )
+
+    def testcase_chart(
+        self, runs: list[IO500Knowledge], testcases: tuple[str, ...]
+    ) -> ChartSpec:
+        """Selected test cases across runs (one series per test case)."""
+        if not runs:
+            raise AnalysisError("need at least one IO500 run")
+        x = tuple(self._label(r, i) for i, r in enumerate(runs))
+        series = [
+            Series(name=name, x=x, y=tuple(r.value(name) for r in runs))
+            for name in testcases
+        ]
+        if not series:
+            raise AnalysisError("no test cases selected")
+        return ChartSpec(
+            kind="bar",
+            title="IO500 test cases across runs",
+            x_label="run",
+            y_label="result",
+            series=series,
+        )
+
+    def boundary_boxplot(
+        self,
+        runs: list[IO500Knowledge],
+        testcases: tuple[str, ...] = (
+            "ior-easy-write",
+            "ior-hard-write",
+            "ior-easy-read",
+            "ior-hard-read",
+        ),
+    ) -> ChartSpec:
+        """Distribution of the boundary test cases over repeated runs.
+
+        The Fig. 6 view: the variance of ior-easy/ior-hard write vs.
+        the flat reads, with anomalous runs appearing as outliers.
+        """
+        if len(runs) < 2:
+            raise AnalysisError("boundary boxplot needs at least two runs")
+        boxes = []
+        for name in testcases:
+            values = [r.value(name) for r in runs]
+            boxes.append(BoxSeries(name=name, stats=boxplot_stats(values)))
+        return ChartSpec(
+            kind="boxplot",
+            title="IO500 boundary test cases",
+            x_label="test case",
+            y_label="GiB/s",
+            boxes=boxes,
+        )
+
+    @staticmethod
+    def _label(run: IO500Knowledge, index: int) -> str:
+        return f"#{run.iofh_id}" if run.iofh_id is not None else f"run{index}"

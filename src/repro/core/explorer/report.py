@@ -1,0 +1,205 @@
+"""HTML dashboard report generation.
+
+§III's analysis phase ranges from "simple plots, interactive charts,
+or even complex dashboards"; §V-D's explorer is a web tool.  This
+module renders a whole knowledge base into one self-contained HTML
+dashboard — no external assets, charts inlined as SVG — the deliverable
+a user would publish or attach to a ticket.
+
+Sections: summary tiles, throughput overview boxplot, comparison table
++ chart, per-knowledge detail (viewer text + Fig. 5-style iteration
+chart), IO500 runs with scores and the bounding box, and the usage
+findings (anomalies, recommendations).
+"""
+
+from __future__ import annotations
+
+import html
+from pathlib import Path
+from typing import Sequence
+
+from repro.core.explorer.bbox_chart import bounding_box_chart
+from repro.core.explorer.boxplot import overview_boxplot
+from repro.core.explorer.charts import render_svg
+from repro.core.explorer.comparison import ComparisonView
+from repro.core.explorer.io500_viewer import IO500Viewer
+from repro.core.explorer.viewer import KnowledgeViewer
+from repro.core.knowledge import IO500Knowledge, Knowledge
+from repro.core.usage.anomaly import IterationAnomalyDetector
+from repro.core.usage.bounding_box import build_bounding_box
+from repro.util.errors import AnalysisError
+
+__all__ = ["render_dashboard", "write_dashboard"]
+
+_CSS = """
+body { font-family: -apple-system, 'Segoe UI', sans-serif; margin: 2rem auto;
+       max-width: 72rem; color: #1a202c; }
+h1 { border-bottom: 2px solid #4878d0; padding-bottom: .3rem; }
+h2 { color: #2d3748; margin-top: 2.2rem; }
+.tiles { display: flex; gap: 1rem; flex-wrap: wrap; }
+.tile { background: #f7fafc; border: 1px solid #e2e8f0; border-radius: 8px;
+        padding: 1rem 1.4rem; min-width: 9rem; }
+.tile .value { font-size: 1.6rem; font-weight: 600; color: #4878d0; }
+.tile .label { font-size: .8rem; color: #718096; text-transform: uppercase; }
+table { border-collapse: collapse; margin: .8rem 0; }
+th, td { border: 1px solid #e2e8f0; padding: .35rem .7rem; font-size: .88rem;
+         text-align: left; }
+th { background: #edf2f7; }
+pre { background: #f7fafc; border: 1px solid #e2e8f0; border-radius: 6px;
+      padding: .8rem; font-size: .8rem; overflow-x: auto; }
+.finding { background: #fff5f5; border-left: 4px solid #d65f5f;
+           padding: .5rem .9rem; margin: .4rem 0; }
+.ok { background: #f0fff4; border-left-color: #6acc64; }
+figure { margin: 1rem 0; }
+"""
+
+
+def _tile(label: str, value: object) -> str:
+    return (
+        f'<div class="tile"><div class="value">{html.escape(str(value))}</div>'
+        f'<div class="label">{html.escape(label)}</div></div>'
+    )
+
+
+def _table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    head = "".join(f"<th>{html.escape(str(h))}</th>" for h in headers)
+    body = "".join(
+        "<tr>" + "".join(
+            f"<td>{html.escape(f'{c:.2f}' if isinstance(c, float) else str(c))}</td>"
+            for c in row
+        ) + "</tr>"
+        for row in rows
+    )
+    return f"<table><thead><tr>{head}</tr></thead><tbody>{body}</tbody></table>"
+
+
+def render_dashboard(
+    knowledge: Sequence[Knowledge],
+    io500_runs: Sequence[IO500Knowledge] = (),
+    title: str = "I/O Knowledge Dashboard",
+) -> str:
+    """Render the dashboard HTML for a knowledge base."""
+    if not knowledge and not io500_runs:
+        raise AnalysisError("dashboard needs at least one knowledge object")
+    parts = [
+        "<!DOCTYPE html>",
+        f'<html><head><meta charset="utf-8"><title>{html.escape(title)}</title>',
+        f"<style>{_CSS}</style></head><body>",
+        f"<h1>{html.escape(title)}</h1>",
+    ]
+
+    # --- summary tiles ------------------------------------------------
+    n_results = sum(len(s.results) for k in knowledge for s in k.summaries)
+    tiles = [
+        _tile("knowledge objects", len(knowledge)),
+        _tile("IO500 runs", len(io500_runs)),
+        _tile("iteration results", n_results),
+    ]
+    if knowledge:
+        best = max(
+            (s.bw_mean for k in knowledge for s in k.summaries if s.operation == "write"),
+            default=0.0,
+        )
+        tiles.append(_tile("best write MiB/s", f"{best:.0f}"))
+    if io500_runs:
+        tiles.append(
+            _tile("best IO500 score", f"{max(r.score_total for r in io500_runs):.2f}")
+        )
+    parts.append(f'<div class="tiles">{"".join(tiles)}</div>')
+
+    # --- benchmark knowledge ------------------------------------------
+    if knowledge:
+        view = ComparisonView(list(knowledge))
+        parts.append("<h2>Throughput overview</h2>")
+        try:
+            parts.append(f"<figure>{render_svg(view.overview('write'), 760, 380)}</figure>")
+        except AnalysisError:
+            pass
+        parts.append("<h2>Comparison</h2>")
+        rows = [
+            [
+                k.knowledge_id if k.knowledge_id is not None else "-",
+                k.benchmark,
+                k.api,
+                k.num_tasks,
+                s.operation,
+                s.bw_mean,
+                s.bw_max,
+                s.bw_min,
+                s.iterations,
+            ]
+            for k in knowledge
+            for s in k.summaries
+        ]
+        parts.append(
+            _table(
+                ["id", "benchmark", "api", "tasks", "op", "bw mean", "bw max", "bw min", "iters"],
+                rows,
+            )
+        )
+
+        viewer = KnowledgeViewer()
+        detector = IterationAnomalyDetector()
+        parts.append("<h2>Runs</h2>")
+        for k in knowledge:
+            label = f"#{k.knowledge_id}" if k.knowledge_id is not None else k.benchmark
+            parts.append(f"<h3>Knowledge {html.escape(label)}</h3>")
+            parts.append(f"<pre>{html.escape(viewer.render(k))}</pre>")
+            try:
+                chart = viewer.iteration_chart(k)
+                parts.append(f"<figure>{render_svg(chart, 760, 340)}</figure>")
+            except AnalysisError:
+                pass
+            anomalies = detector.detect(k)
+            if anomalies:
+                for a in anomalies:
+                    parts.append(f'<div class="finding">⚠ {html.escape(a.description)}</div>')
+            else:
+                parts.append('<div class="finding ok">no iteration anomalies</div>')
+
+    # --- IO500 ---------------------------------------------------------
+    if io500_runs:
+        io5 = IO500Viewer()
+        parts.append("<h2>IO500</h2>")
+        parts.append(
+            _table(
+                ["run", "score", "bw (GiB/s)", "md (kIOPS)", "nodes", "tasks"],
+                [
+                    [
+                        r.iofh_id if r.iofh_id is not None else i,
+                        r.score_total,
+                        r.score_bw,
+                        r.score_md,
+                        r.num_nodes,
+                        r.num_tasks,
+                    ]
+                    for i, r in enumerate(io500_runs)
+                ],
+            )
+        )
+        if len(io500_runs) >= 2:
+            parts.append(
+                f"<figure>{render_svg(io5.boundary_boxplot(list(io500_runs)), 760, 380)}</figure>"
+            )
+            box = build_bounding_box(list(io500_runs))
+            parts.append(
+                f"<figure>{render_svg(bounding_box_chart(box), 760, 380)}</figure>"
+            )
+
+    parts.append("</body></html>")
+    return "\n".join(parts)
+
+
+def write_dashboard(
+    knowledge: Sequence[Knowledge],
+    path: str | Path,
+    io500_runs: Sequence[IO500Knowledge] = (),
+    title: str = "I/O Knowledge Dashboard",
+) -> Path:
+    """Write the dashboard to an HTML file; returns the path."""
+    out = Path(path)
+    if out.suffix.lower() not in (".html", ".htm"):
+        raise AnalysisError(f"dashboard must be written as .html, got {out.suffix!r}")
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(render_dashboard(knowledge, io500_runs, title), encoding="utf-8")
+    return out

@@ -1,0 +1,124 @@
+"""The knowledge viewer (single-run analysis, §V-D).
+
+"By selecting the command used for the benchmark, all related
+benchmarks and file system information, as well as the corresponding
+benchmark summary are displayed immediately. ... our knowledge explorer
+offers the ability to display detailed performance statistics for each
+operation and iteration."
+"""
+
+from __future__ import annotations
+
+from repro.core.explorer.charts import ChartSpec, Series
+from repro.core.knowledge import Knowledge
+from repro.util.errors import AnalysisError
+from repro.util.tables import render_kv, render_table
+
+__all__ = ["KnowledgeViewer"]
+
+#: Per-iteration metrics the viewer can plot; §V-E2 names several of
+#: these explicitly ("other metrics like closeTime, latency, totalTime,
+#: wrRdTime can be displayed").
+RESULT_METRICS = {
+    "bandwidth_mib": "Throughput (MiB/s)",
+    "iops": "Operations (ops/s)",
+    "latency_s": "Latency (s)",
+    "open_time_s": "openTime (s)",
+    "wrrd_time_s": "wrRdTime (s)",
+    "close_time_s": "closeTime (s)",
+    "total_time_s": "totalTime (s)",
+}
+
+
+class KnowledgeViewer:
+    """Formats and charts one knowledge object."""
+
+    def render(self, knowledge: Knowledge) -> str:
+        """Full textual view: run info, file system, summaries, details."""
+        sections = [self._header(knowledge)]
+        if knowledge.filesystem is not None:
+            sections.append("File system information:")
+            sections.append(render_kv(knowledge.filesystem.as_dict(), indent="  "))
+        if knowledge.system is not None:
+            sections.append("System information:")
+            sections.append(render_kv(knowledge.system, indent="  "))
+        sections.append("Summary:")
+        sections.append(self._summary_table(knowledge))
+        sections.append("Details per iteration:")
+        sections.append(self._details_table(knowledge))
+        return "\n".join(sections) + "\n"
+
+    def _header(self, knowledge: Knowledge) -> str:
+        pairs = {
+            "benchmark": knowledge.benchmark,
+            "command": knowledge.command or "-",
+            "api": knowledge.api,
+            "test file": knowledge.test_file or "-",
+            "access": "file-per-process" if knowledge.file_per_proc else "single-shared-file",
+            "nodes": knowledge.num_nodes,
+            "tasks": knowledge.num_tasks,
+        }
+        if knowledge.knowledge_id is not None:
+            pairs["knowledge id"] = knowledge.knowledge_id
+        return render_kv(pairs)
+
+    def _summary_table(self, knowledge: Knowledge) -> str:
+        headers = ["operation", "bw max", "bw min", "bw mean", "bw stddev", "ops mean", "iters"]
+        rows = [
+            [s.operation, s.bw_max, s.bw_min, s.bw_mean, s.bw_stddev, s.ops_mean, s.iterations]
+            for s in knowledge.summaries
+        ]
+        return render_table(headers, rows, indent="  ")
+
+    def _details_table(self, knowledge: Knowledge) -> str:
+        headers = ["operation", "iter", "bw(MiB/s)", "ops/s", "latency", "open", "wr/rd", "close", "total"]
+        rows = []
+        for s in knowledge.summaries:
+            for r in sorted(s.results, key=lambda r: r.iteration):
+                rows.append(
+                    [
+                        s.operation,
+                        r.iteration,
+                        r.bandwidth_mib,
+                        r.iops,
+                        r.latency_s,
+                        r.open_time_s,
+                        r.wrrd_time_s,
+                        r.close_time_s,
+                        r.total_time_s,
+                    ]
+                )
+        return render_table(headers, rows, float_fmt=".4f", indent="  ")
+
+    def iteration_chart(
+        self, knowledge: Knowledge, metric: str = "bandwidth_mib", kind: str = "line"
+    ) -> ChartSpec:
+        """Chart one metric over iterations for every operation.
+
+        This is the paper's Fig. 5 view: "the throughput in MiB and the
+        number of ops for reads and writes over 6 iterations are
+        visualized as an interactive chart."
+        """
+        if metric not in RESULT_METRICS:
+            raise AnalysisError(
+                f"unknown metric {metric!r}; available: {sorted(RESULT_METRICS)}"
+            )
+        series = []
+        for s in knowledge.summaries:
+            rows = sorted(s.results, key=lambda r: r.iteration)
+            series.append(
+                Series(
+                    name=s.operation,
+                    x=tuple(r.iteration + 1 for r in rows),  # 1-based, as in the paper
+                    y=tuple(r.metric(metric) for r in rows),
+                )
+            )
+        if not series:
+            raise AnalysisError("knowledge object has no summaries to chart")
+        return ChartSpec(
+            kind=kind,
+            title=f"{knowledge.benchmark}: {RESULT_METRICS[metric]} per iteration",
+            x_label="iteration",
+            y_label=RESULT_METRICS[metric],
+            series=series,
+        )

@@ -1,0 +1,26 @@
+"""Phase II: knowledge extraction from benchmark output and logs."""
+
+from repro.core.extraction.base import ExtractorRegistry, ExtractorSpec
+from repro.core.extraction.darshan_ext import knowledge_from_report
+from repro.core.extraction.filesystem import parse_entryinfo
+from repro.core.extraction.hacc import parse_hacc_output
+from repro.core.extraction.io500 import parse_io500_ini, parse_io500_output
+from repro.core.extraction.ior import parse_ior_output
+from repro.core.extraction.system import extract_system_info, system_info_from_texts
+from repro.core.extraction.workspace import KnowledgeExtractor, default_registry, scan_workspace
+
+__all__ = [
+    "ExtractorRegistry",
+    "ExtractorSpec",
+    "KnowledgeExtractor",
+    "default_registry",
+    "scan_workspace",
+    "parse_ior_output",
+    "parse_io500_output",
+    "parse_io500_ini",
+    "parse_hacc_output",
+    "parse_entryinfo",
+    "knowledge_from_report",
+    "extract_system_info",
+    "system_info_from_texts",
+]

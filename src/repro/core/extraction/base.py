@@ -1,0 +1,63 @@
+"""Extractor protocol and registry.
+
+Phase II is tool-agnostic by design: every data source (IOR output,
+IO500 result file, HACC-IO output, Darshan log, ...) contributes an
+extractor that recognises its files in a run directory and turns them
+into knowledge objects.  New sources register here — the paper's
+"modularly extended" requirement (§III).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Sequence
+
+from repro.core.knowledge import IO500Knowledge, Knowledge
+from repro.util.errors import ExtractionError
+
+__all__ = ["ExtractorSpec", "ExtractorRegistry"]
+
+#: An extractor callable: run directory -> knowledge objects.
+ExtractFn = Callable[[Path], Sequence[Knowledge | IO500Knowledge]]
+
+
+@dataclass(frozen=True, slots=True)
+class ExtractorSpec:
+    """One registered knowledge extractor."""
+
+    name: str
+    marker_files: tuple[str, ...]  # any of these present => applicable
+    extract: ExtractFn
+
+    def applicable(self, directory: Path) -> bool:
+        """Whether this extractor recognises the directory's contents."""
+        return any(list(directory.glob(marker)) for marker in self.marker_files)
+
+
+class ExtractorRegistry:
+    """Ordered collection of extractors used by the workspace scanner."""
+
+    def __init__(self) -> None:
+        self._specs: list[ExtractorSpec] = []
+
+    def register(self, spec: ExtractorSpec) -> None:
+        """Add an extractor; names must be unique."""
+        if any(s.name == spec.name for s in self._specs):
+            raise ExtractionError(f"extractor {spec.name!r} already registered")
+        self._specs.append(spec)
+
+    def names(self) -> list[str]:
+        """Registered extractor names in registration order."""
+        return [s.name for s in self._specs]
+
+    def extract_directory(self, directory: str | Path) -> list[Knowledge | IO500Knowledge]:
+        """Run every applicable extractor on one directory."""
+        d = Path(directory)
+        if not d.is_dir():
+            raise ExtractionError(f"not a directory: {d}")
+        out: list[Knowledge | IO500Knowledge] = []
+        for spec in self._specs:
+            if spec.applicable(d):
+                out.extend(spec.extract(d))
+        return out

@@ -1,0 +1,91 @@
+"""Darshan log extraction (the PyDarshan integration of §V-B).
+
+Turns a ``.darshan`` log into a knowledge object: aggregate read/write
+bandwidth estimates as the performance metrics, the dominant access
+sizes as pattern parameters, and the job header as run metadata.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.core.knowledge import Knowledge, KnowledgeResult, KnowledgeSummary
+from repro.darshan.pydarshan import DarshanReport
+from repro.util.errors import ExtractionError
+
+__all__ = ["knowledge_from_report", "extract_darshan_directory"]
+
+
+def knowledge_from_report(report: DarshanReport) -> Knowledge:
+    """Build a Knowledge object from a loaded Darshan report."""
+    module = "POSIX" if "POSIX" in report.modules else (report.modules[0] if report.modules else None)
+    if module is None:
+        raise ExtractionError("darshan log has no instrumented modules")
+    bw = report.agg_bandwidth_mib(module)
+    counters = report.counters(module)
+    prefix = "H5D" if module == "HDF5" else module
+    summaries = []
+    for op, key in (("write", "write_mib_s"), ("read", "read_mib_s")):
+        value = bw[key]
+        if value <= 0:
+            continue
+        kind = "WRITE" if op == "write" else "READ"
+        n_ops = counters[f"{prefix}_{kind}S"]
+        time_key = counters[f"{prefix}_F_{kind}_TIME"]
+        iops = n_ops / time_key if time_key > 0 else 0.0
+        row = KnowledgeResult(
+            iteration=0, bandwidth_mib=value, iops=iops, wrrd_time_s=time_key
+        )
+        summaries.append(
+            KnowledgeSummary(
+                operation=op,
+                api=module,
+                bw_max=value,
+                bw_min=value,
+                bw_mean=value,
+                bw_stddev=0.0,
+                ops_max=iops,
+                ops_min=iops,
+                ops_mean=iops,
+                ops_stddev=0.0,
+                iterations=1,
+                results=[row],
+            )
+        )
+    if not summaries:
+        raise ExtractionError("darshan log recorded no data movement")
+
+    hist_write = report.size_histogram(module, "WRITE")
+    hist_read = report.size_histogram(module, "READ")
+    job = dict(report.metadata["job"])  # type: ignore[arg-type]
+    parameters: dict[str, object] = {
+        "modules": report.modules,
+        "dominant_write_size": _dominant(hist_write),
+        "dominant_read_size": _dominant(hist_read),
+        "bytes_written": report.total_bytes(module)[1],
+        "bytes_read": report.total_bytes(module)[0],
+    }
+    return Knowledge(
+        benchmark="darshan",
+        command=str(job.get("exe", "")),
+        api=module,
+        num_tasks=report.nprocs,
+        start_time=float(job.get("start_time", 0.0)),
+        end_time=float(job.get("end_time", 0.0)),
+        parameters=parameters,
+        summaries=summaries,
+    )
+
+
+def _dominant(hist: dict[str, int]) -> str:
+    if not hist or all(v == 0 for v in hist.values()):
+        return ""
+    return max(hist.items(), key=lambda kv: kv[1])[0]
+
+
+def extract_darshan_directory(directory: Path) -> list[Knowledge]:
+    """Extract knowledge from every ``.darshan`` log in a directory."""
+    logs = sorted(directory.glob("*.darshan"))
+    if not logs:
+        raise ExtractionError(f"no .darshan logs in {directory}")
+    return [knowledge_from_report(DarshanReport(p)) for p in logs]

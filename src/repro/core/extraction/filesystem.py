@@ -1,0 +1,147 @@
+"""File-system settings extraction.
+
+§V-B: "for BeeGFS, the file system settings Entry type, EntryID,
+Metadata node, Stripe pattern details can be collected.  The support of
+other popular parallel file systems is planned for future releases."
+This module delivers both: the ``beegfs-ctl --getentryinfo`` parser of
+the prototype plus the §VI-planned Lustre (``lfs getstripe``) and IBM
+Spectrum Scale (``mmlsattr -L``) parsers, and a format-sniffing
+dispatcher (:func:`parse_fs_info`) so the workspace scanner handles any
+of the three dialects.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.core.knowledge import FilesystemInfo
+from repro.util.errors import ExtractionError
+
+__all__ = ["parse_entryinfo", "parse_lfs_getstripe", "parse_mmlsattr", "parse_fs_info"]
+
+_FIELD_RES = {
+    "entry_type": re.compile(r"^Entry type:\s*(.+)$", re.MULTILINE),
+    "entry_id": re.compile(r"^EntryID:\s*(\S+)", re.MULTILINE),
+    "metadata_node": re.compile(r"^Metadata node:\s*(\S+)", re.MULTILINE),
+    "stripe_pattern": re.compile(r"^\+ Type:\s*(.+)$", re.MULTILINE),
+    "chunk_size": re.compile(r"^\+ Chunksize:\s*(\S+)", re.MULTILINE),
+}
+
+_NUM_TARGETS_RE = re.compile(r"Number of storage targets: desired:\s*(\d+)", re.MULTILINE)
+_POOL_RE = re.compile(r"^\+ Storage Pool:\s*\d+\s*\((.+)\)", re.MULTILINE)
+
+
+def parse_entryinfo(text: str, raid_scheme: str = "", fs_type: str = "beegfs") -> FilesystemInfo:
+    """Parse ``beegfs-ctl --getentryinfo`` output into FilesystemInfo.
+
+    Args:
+        text: the command output.
+        raid_scheme: backing RAID scheme when known from elsewhere
+            (``beegfs-ctl`` itself does not print it).
+        fs_type: file-system type label for the knowledge object.
+    """
+    if "Entry type:" not in text:
+        raise ExtractionError("not beegfs-ctl getentryinfo output (no 'Entry type:')")
+    fields: dict[str, str] = {}
+    for name, regex in _FIELD_RES.items():
+        m = regex.search(text)
+        fields[name] = m.group(1).strip() if m else ""
+    nt = _NUM_TARGETS_RE.search(text)
+    pool = _POOL_RE.search(text)
+    return FilesystemInfo(
+        fs_type=fs_type,
+        entry_type=fields["entry_type"],
+        entry_id=fields["entry_id"],
+        metadata_node=fields["metadata_node"],
+        stripe_pattern=fields["stripe_pattern"],
+        chunk_size=fields["chunk_size"],
+        num_targets=int(nt.group(1)) if nt else 0,
+        raid_scheme=raid_scheme,
+        storage_pool=pool.group(1).strip() if pool else "",
+    )
+
+
+# ----------------------------------------------------------------------
+# Lustre: lfs getstripe
+# ----------------------------------------------------------------------
+_LFS_FIELDS = {
+    "stripe_count": re.compile(r"lmm_stripe_count:\s*(\d+)"),
+    "stripe_size": re.compile(r"lmm_stripe_size:\s*(\d+)"),
+    "pattern": re.compile(r"lmm_pattern:\s*(\S+)"),
+    "stripe_offset": re.compile(r"lmm_stripe_offset:\s*(-?\d+)"),
+}
+
+
+def parse_lfs_getstripe(text: str, raid_scheme: str = "") -> FilesystemInfo:
+    """Parse ``lfs getstripe`` output into FilesystemInfo.
+
+    Lustre reports the stripe size in bytes and has no user-visible
+    entry id; the MDT index stands in for the metadata node.
+    """
+    if "lmm_stripe_count" not in text and "stripe_count" not in text:
+        raise ExtractionError("not lfs getstripe output (no stripe_count)")
+    count_m = _LFS_FIELDS["stripe_count"].search(text)
+    size_m = _LFS_FIELDS["stripe_size"].search(text)
+    pattern_m = _LFS_FIELDS["pattern"].search(text)
+    first_line = text.strip().splitlines()[0] if text.strip() else ""
+    return FilesystemInfo(
+        fs_type="lustre",
+        entry_type="file" if count_m else "directory",
+        entry_id=first_line,
+        metadata_node="MDT0000",
+        stripe_pattern=(pattern_m.group(1).upper() if pattern_m else ""),
+        chunk_size=size_m.group(1) if size_m else "",
+        num_targets=int(count_m.group(1)) if count_m else 0,
+        raid_scheme=raid_scheme,
+        storage_pool="",
+    )
+
+
+# ----------------------------------------------------------------------
+# IBM Spectrum Scale (GPFS): mmlsattr -L (+ optional mmlsfs for -B)
+# ----------------------------------------------------------------------
+_MMLSATTR_POOL = re.compile(r"^storage pool name:\s*(\S+)", re.MULTILINE)
+_MMLSATTR_NAME = re.compile(r"^file name:\s*(\S+)", re.MULTILINE)
+_MMLSFS_BLOCK = re.compile(r"^\s*-B\s+(\d+)", re.MULTILINE)
+_MMLSFS_NODES = re.compile(r"^\s*-n\s+(\d+)", re.MULTILINE)
+
+
+def parse_mmlsattr(text: str, mmlsfs_text: str = "", raid_scheme: str = "") -> FilesystemInfo:
+    """Parse ``mmlsattr -L`` (and optional ``mmlsfs``) output.
+
+    GPFS stripes every file over all disks of its storage pool, so the
+    block size from ``mmlsfs -B`` plays the chunk-size role and the
+    estimated node count the target-count role.
+    """
+    if "storage pool name" not in text:
+        raise ExtractionError("not mmlsattr output (no 'storage pool name')")
+    pool_m = _MMLSATTR_POOL.search(text)
+    name_m = _MMLSATTR_NAME.search(text)
+    block_m = _MMLSFS_BLOCK.search(mmlsfs_text)
+    nodes_m = _MMLSFS_NODES.search(mmlsfs_text)
+    return FilesystemInfo(
+        fs_type="gpfs",
+        entry_type="file",
+        entry_id=name_m.group(1) if name_m else "",
+        metadata_node="",
+        stripe_pattern="wide-stripe",
+        chunk_size=block_m.group(1) if block_m else "",
+        num_targets=int(nodes_m.group(1)) if nodes_m else 0,
+        raid_scheme=raid_scheme,
+        storage_pool=pool_m.group(1) if pool_m else "",
+    )
+
+
+def parse_fs_info(text: str, extra_text: str = "", raid_scheme: str = "") -> FilesystemInfo:
+    """Dispatch on the administrative-output dialect.
+
+    Recognises BeeGFS ``getentryinfo``, Lustre ``lfs getstripe`` and
+    GPFS ``mmlsattr`` formats; raises when none match.
+    """
+    if "Entry type:" in text:
+        return parse_entryinfo(text, raid_scheme=raid_scheme)
+    if "stripe_count" in text:
+        return parse_lfs_getstripe(text, raid_scheme=raid_scheme)
+    if "storage pool name" in text:
+        return parse_mmlsattr(text, mmlsfs_text=extra_text, raid_scheme=raid_scheme)
+    raise ExtractionError("unrecognised file-system info format")

@@ -1,0 +1,79 @@
+"""HACC-IO output extraction."""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from repro.core.knowledge import Knowledge, KnowledgeResult, KnowledgeSummary
+from repro.util.errors import ExtractionError
+
+__all__ = ["parse_hacc_output", "extract_hacc_directory"]
+
+_HEADER_RE = re.compile(
+    r"^HACC-IO mode=(?P<mode>\S+) api=(?P<api>\S+) particles=(?P<particles>\d+)",
+    re.MULTILINE,
+)
+_PHASE_RE = re.compile(
+    r"^(?P<op>write|read) bandwidth:\s*(?P<bw>[\d.]+)\s*MiB/s\s+"
+    r"time:\s*(?P<time>[\d.]+)\s*s\s+bytes:\s*(?P<bytes>\d+)",
+    re.MULTILINE,
+)
+
+
+def parse_hacc_output(text: str) -> Knowledge:
+    """Parse HACC-IO output text into a Knowledge object."""
+    header = _HEADER_RE.search(text)
+    if header is None:
+        raise ExtractionError("not a HACC-IO output file")
+    summaries = []
+    for m in _PHASE_RE.finditer(text):
+        bw = float(m.group("bw"))
+        time_s = float(m.group("time"))
+        row = KnowledgeResult(
+            iteration=0,
+            bandwidth_mib=bw,
+            iops=1.0 / time_s if time_s > 0 else 0.0,
+            total_time_s=time_s,
+            wrrd_time_s=time_s,
+        )
+        summaries.append(
+            KnowledgeSummary(
+                operation=m.group("op"),
+                api=header.group("api"),
+                bw_max=bw,
+                bw_min=bw,
+                bw_mean=bw,
+                bw_stddev=0.0,
+                ops_max=row.iops,
+                ops_min=row.iops,
+                ops_mean=row.iops,
+                ops_stddev=0.0,
+                iterations=1,
+                results=[row],
+            )
+        )
+    if not summaries:
+        raise ExtractionError("HACC-IO output has no phase lines")
+    return Knowledge(
+        benchmark="hacc-io",
+        api=header.group("api"),
+        file_per_proc=header.group("mode") == "file-per-process",
+        parameters={
+            "mode": header.group("mode"),
+            "particles": int(header.group("particles")),
+        },
+        summaries=summaries,
+    )
+
+
+def extract_hacc_directory(directory: Path) -> list[Knowledge]:
+    """Extract knowledge from a run directory with HACC-IO output."""
+    from repro.core.extraction.system import extract_system_info
+
+    out_file = directory / "hacc_output.txt"
+    if not out_file.exists():
+        raise ExtractionError(f"no hacc_output.txt in {directory}")
+    knowledge = parse_hacc_output(out_file.read_text(encoding="utf-8"))
+    knowledge.system = extract_system_info(directory)
+    return [knowledge]

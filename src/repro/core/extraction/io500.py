@@ -1,0 +1,103 @@
+"""IO500 result extraction.
+
+Parses the ``[RESULT]``/``[SCORE]`` lines of an IO500 result summary
+(plus the optional ``io500.ini``) into an
+:class:`~repro.core.knowledge.IO500Knowledge` object — the separate
+knowledge type the paper persists in the IOFHs* tables (§V-C).
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from repro.core.knowledge import IO500Knowledge, IO500Testcase
+from repro.util.errors import ExtractionError
+
+__all__ = ["parse_io500_output", "parse_io500_ini", "extract_io500_directory"]
+
+_RESULT_RE = re.compile(
+    r"^\[RESULT\]\s+(?P<name>[\w-]+)\s+(?P<value>[\d.]+)\s+(?P<unit>\S+)\s*:"
+    r"\s*time\s+(?P<time>[\d.]+)\s+seconds",
+    re.MULTILINE,
+)
+_SCORE_RE = re.compile(
+    r"^\[SCORE\s*\]\s+Bandwidth\s+(?P<bw>[\d.]+)\s+GiB/s\s*:"
+    r"\s*IOPS\s+(?P<md>[\d.]+)\s+kiops\s*:\s*TOTAL\s+(?P<total>[\d.]+)",
+    re.MULTILINE,
+)
+_VERSION_RE = re.compile(r"^IO500 version\s+(\S+)", re.MULTILINE)
+_SYSTEM_RE = re.compile(
+    r"^\[System\]\s+nodes:\s*(?P<nodes>\d+);\s*tasks:\s*(?P<tasks>\d+)", re.MULTILINE
+)
+
+
+def parse_io500_output(text: str) -> IO500Knowledge:
+    """Parse an IO500 result summary text."""
+    score_m = _SCORE_RE.search(text)
+    if score_m is None:
+        raise ExtractionError("no [SCORE] line: not a complete IO500 result file")
+    testcases = [
+        IO500Testcase(
+            name=m.group("name"),
+            value=float(m.group("value")),
+            unit=m.group("unit"),
+            time_s=float(m.group("time")),
+        )
+        for m in _RESULT_RE.finditer(text)
+    ]
+    if not testcases:
+        raise ExtractionError("no [RESULT] lines in IO500 output")
+    version_m = _VERSION_RE.search(text)
+    system_m = _SYSTEM_RE.search(text)
+    return IO500Knowledge(
+        score_total=float(score_m.group("total")),
+        score_bw=float(score_m.group("bw")),
+        score_md=float(score_m.group("md")),
+        num_nodes=int(system_m.group("nodes")) if system_m else 0,
+        num_tasks=int(system_m.group("tasks")) if system_m else 0,
+        version=version_m.group(1) if version_m else "",
+        testcases=testcases,
+    )
+
+
+_INI_SECTION_RE = re.compile(r"^\[([^\]]+)\]\s*$")
+_INI_KV_RE = re.compile(r"^(\w+)\s*=\s*(.+)$")
+
+
+def parse_io500_ini(text: str) -> dict[str, dict[str, str]]:
+    """Parse the io500.ini file into {section: {key: value}}."""
+    sections: dict[str, dict[str, str]] = {}
+    current: dict[str, str] | None = None
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith(("#", ";")):
+            continue
+        sec = _INI_SECTION_RE.match(line)
+        if sec:
+            current = sections.setdefault(sec.group(1), {})
+            continue
+        kv = _INI_KV_RE.match(line)
+        if kv and current is not None:
+            current[kv.group(1)] = kv.group(2).strip()
+    return sections
+
+
+def extract_io500_directory(directory: Path) -> list[IO500Knowledge]:
+    """Extract one IO500 knowledge object from a run directory."""
+    from repro.core.extraction.system import extract_system_info
+
+    out_file = directory / "io500_result.txt"
+    if not out_file.exists():
+        raise ExtractionError(f"no io500_result.txt in {directory}")
+    knowledge = parse_io500_output(out_file.read_text(encoding="utf-8"))
+    ini_file = directory / "io500.ini"
+    if ini_file.exists():
+        sections = parse_io500_ini(ini_file.read_text(encoding="utf-8"))
+        for testcase in knowledge.testcases:
+            # Match ini sections to phases: 'ior-easy-write' -> 'ior-easy'.
+            for section, options in sections.items():
+                if testcase.name.startswith(section):
+                    testcase.options.update(options)
+    knowledge.system = extract_system_info(directory)
+    return [knowledge]

@@ -1,0 +1,204 @@
+"""IOR output extraction.
+
+Parses the IOR summary text (the format written by
+:mod:`repro.benchmarks_io.ior.output`, which mirrors real IOR 3.x) into
+a :class:`~repro.core.knowledge.Knowledge` object: pattern parameters
+from the ``Options:`` block, per-iteration results from the
+``Results:`` table, and per-operation summaries from the
+``Summary of all tests:`` section.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import re
+from pathlib import Path
+
+from repro.core.knowledge import Knowledge, KnowledgeResult, KnowledgeSummary
+from repro.util.errors import ExtractionError
+from repro.util.units import parse_size
+
+__all__ = ["parse_ior_output", "extract_ior_directory"]
+
+_OPTION_RE = re.compile(r"^([A-Za-z][A-Za-z0-9 /]*?)\s*:\s*(.*)$")
+
+_RESULT_RE = re.compile(
+    r"^(write|read)\s+"
+    r"(?P<bw>[\d.]+)\s+(?P<iops>[\d.]+)\s+(?P<lat>[\d.]+)\s+"
+    r"(?P<block>\d+)\s+(?P<xfer>\d+)\s+"
+    r"(?P<open>[\d.]+)\s+(?P<io>[\d.]+)\s+(?P<close>[\d.]+)\s+"
+    r"(?P<total>[\d.]+)\s+(?P<iter>\d+)\s*$",
+    re.MULTILINE,
+)
+
+_SUMMARY_RE = re.compile(
+    r"^(write|read)\s+"
+    r"(?P<bw_max>[\d.]+)\s+(?P<bw_min>[\d.]+)\s+(?P<bw_mean>[\d.]+)\s+(?P<bw_std>[\d.]+)\s+"
+    r"(?P<ops_max>[\d.]+)\s+(?P<ops_min>[\d.]+)\s+(?P<ops_mean>[\d.]+)\s+(?P<ops_std>[\d.]+)",
+    re.MULTILINE,
+)
+
+_TS_RE = {
+    "start": re.compile(r"^Began\s*:\s*(.+)$", re.MULTILINE),
+    "end": re.compile(r"^Finished\s*:\s*(.+)$", re.MULTILINE),
+}
+
+
+def _parse_timestamp(text: str) -> float:
+    try:
+        t = _dt.datetime.strptime(text.strip(), "%a %b %d %H:%M:%S %Y")
+        return t.replace(tzinfo=_dt.timezone.utc).timestamp()
+    except ValueError:
+        return 0.0
+
+
+def _options(text: str) -> dict[str, str]:
+    options: dict[str, str] = {}
+    in_options = False
+    for line in text.splitlines():
+        if line.startswith("Options"):
+            in_options = True
+            continue
+        if in_options:
+            if not line.strip():
+                break
+            m = _OPTION_RE.match(line)
+            if m:
+                options[m.group(1).strip()] = m.group(2).strip()
+    return options
+
+
+def parse_ior_output(text: str) -> Knowledge:
+    """Parse one IOR output text into a Knowledge object."""
+    if "MPI Coordinated Test of Parallel I/O" not in text:
+        raise ExtractionError("not an IOR output file")
+    options = _options(text)
+    if not options:
+        raise ExtractionError("IOR output has no Options block")
+
+    command_m = re.search(r"^Command line\s*:\s*(.+)$", text, re.MULTILINE)
+    results: dict[str, list[KnowledgeResult]] = {"write": [], "read": []}
+    for m in _RESULT_RE.finditer(text):
+        results[m.group(1)].append(
+            KnowledgeResult(
+                iteration=int(m.group("iter")),
+                bandwidth_mib=float(m.group("bw")),
+                iops=float(m.group("iops")),
+                latency_s=float(m.group("lat")),
+                open_time_s=float(m.group("open")),
+                wrrd_time_s=float(m.group("io")),
+                close_time_s=float(m.group("close")),
+                total_time_s=float(m.group("total")),
+            )
+        )
+    if not (results["write"] or results["read"]):
+        raise ExtractionError("IOR output has no result rows")
+
+    api = options.get("api", "")
+    summaries = []
+    summary_section = text.split("Summary of all tests:", 1)
+    summary_text = summary_section[1] if len(summary_section) > 1 else ""
+    parsed_summary = {m.group(1): m for m in _SUMMARY_RE.finditer(summary_text)}
+    for op in ("write", "read"):
+        rows = results[op]
+        if not rows:
+            continue
+        m = parsed_summary.get(op)
+        if m is not None:
+            summary = KnowledgeSummary(
+                operation=op,
+                api=api,
+                bw_max=float(m.group("bw_max")),
+                bw_min=float(m.group("bw_min")),
+                bw_mean=float(m.group("bw_mean")),
+                bw_stddev=float(m.group("bw_std")),
+                ops_max=float(m.group("ops_max")),
+                ops_min=float(m.group("ops_min")),
+                ops_mean=float(m.group("ops_mean")),
+                ops_stddev=float(m.group("ops_std")),
+                iterations=len(rows),
+                results=rows,
+            )
+        else:
+            # Older/foreign outputs without a summary section: recompute.
+            from repro.util.stats import summarize
+
+            bw = summarize([r.bandwidth_mib for r in rows])
+            ops = summarize([r.iops for r in rows])
+            summary = KnowledgeSummary(
+                operation=op,
+                api=api,
+                bw_max=bw.maximum,
+                bw_min=bw.minimum,
+                bw_mean=bw.mean,
+                bw_stddev=bw.stddev,
+                ops_max=ops.maximum,
+                ops_min=ops.minimum,
+                ops_mean=ops.mean,
+                ops_stddev=ops.stddev,
+                iterations=len(rows),
+                results=rows,
+            )
+        summaries.append(summary)
+
+    parameters: dict[str, object] = {}
+    for key, value in options.items():
+        parameters[key] = value
+    for size_key in ("xfersize", "blocksize"):
+        if size_key in options:
+            try:
+                parameters[size_key + "_bytes"] = parse_size(
+                    options[size_key].replace(" ", "").replace("iB", "")
+                )
+            except Exception:  # noqa: BLE001 - foreign formats stay as text
+                pass
+
+    begin_m = _TS_RE["start"].search(text)
+    end_m = _TS_RE["end"].search(text)
+    return Knowledge(
+        benchmark="ior",
+        command=command_m.group(1).strip() if command_m else "",
+        api=api,
+        test_file=options.get("test filename", ""),
+        file_per_proc=options.get("access", "") == "file-per-process",
+        num_nodes=int(options.get("nodes", 0) or 0),
+        num_tasks=int(options.get("tasks", 0) or 0),
+        tasks_per_node=int(options.get("clients per node", 0) or 0),
+        start_time=_parse_timestamp(begin_m.group(1)) if begin_m else 0.0,
+        end_time=_parse_timestamp(end_m.group(1)) if end_m else 0.0,
+        parameters=parameters,
+        summaries=summaries,
+    )
+
+
+def extract_ior_directory(directory: Path) -> list[Knowledge]:
+    """Extract knowledge from a run directory containing IOR output.
+
+    Combines ``ior_output.txt`` with the optional side captures
+    (``beegfs_entryinfo.txt``, ``cpuinfo.txt``/``meminfo.txt``) into a
+    complete knowledge object.
+    """
+    from repro.core.extraction.filesystem import parse_fs_info
+    from repro.core.extraction.system import extract_system_info
+
+    out_file = directory / "ior_output.txt"
+    if not out_file.exists():
+        raise ExtractionError(f"no ior_output.txt in {directory}")
+    knowledge = parse_ior_output(out_file.read_text(encoding="utf-8"))
+    # File-system info may be captured in any supported dialect
+    # (BeeGFS getentryinfo, Lustre getstripe, GPFS mmlsattr).
+    for capture in ("beegfs_entryinfo.txt", "lustre_getstripe.txt", "gpfs_mmlsattr.txt"):
+        path = directory / capture
+        if not path.exists():
+            continue
+        extra = ""
+        if capture.startswith("gpfs"):
+            mmlsfs = directory / "gpfs_mmlsfs.txt"
+            if mmlsfs.exists():
+                extra = mmlsfs.read_text(encoding="utf-8")
+        knowledge.filesystem = parse_fs_info(
+            path.read_text(encoding="utf-8"), extra_text=extra
+        )
+        break
+    knowledge.system = extract_system_info(directory)
+    return [knowledge]

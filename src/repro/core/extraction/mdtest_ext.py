@@ -1,0 +1,98 @@
+"""mdtest output extraction.
+
+Parses the ``SUMMARY rate`` block of mdtest output into a knowledge
+object.  mdtest reports metadata *rates* rather than bandwidths, so the
+rates map onto the ops fields of the summaries (one summary per
+operation: creation, stat, read, removal) with the bandwidth fields
+zeroed — the paper's §VI goal of a unified knowledge object over
+benchmarks with different output formats.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from repro.core.knowledge import Knowledge, KnowledgeResult, KnowledgeSummary
+from repro.util.errors import ExtractionError
+
+__all__ = ["parse_mdtest_output", "extract_mdtest_directory"]
+
+_LAUNCH_RE = re.compile(r"mdtest-\S+ was launched with (\d+) total task", re.MULTILINE)
+_COMMAND_RE = re.compile(r"^Command line used:\s*(.+)$", re.MULTILINE)
+_RATE_RE = re.compile(
+    r"^\s*(?P<label>File creation|File stat|File read|File removal|"
+    r"Directory creation|Directory stat|Directory removal)\s*:\s*"
+    r"(?P<max>[\d.]+)\s+(?P<min>[\d.]+)\s+(?P<mean>[\d.]+)\s+(?P<std>[\d.]+)",
+    re.MULTILINE,
+)
+
+_OPERATION = {
+    "File creation": "create",
+    "File stat": "stat",
+    "File read": "read",
+    "File removal": "remove",
+    "Directory creation": "mkdir",
+    "Directory stat": "dirstat",
+    "Directory removal": "rmdir",
+}
+
+
+def parse_mdtest_output(text: str) -> Knowledge:
+    """Parse mdtest summary text into a Knowledge object."""
+    if "SUMMARY rate" not in text:
+        raise ExtractionError("not mdtest output (no 'SUMMARY rate' block)")
+    launch = _LAUNCH_RE.search(text)
+    command = _COMMAND_RE.search(text)
+    summaries = []
+    for m in _RATE_RE.finditer(text):
+        rate_mean = float(m.group("mean"))
+        row = KnowledgeResult(iteration=0, bandwidth_mib=0.0, iops=rate_mean)
+        summaries.append(
+            KnowledgeSummary(
+                operation=_OPERATION[m.group("label")],
+                api="POSIX",
+                bw_max=0.0,
+                bw_min=0.0,
+                bw_mean=0.0,
+                bw_stddev=0.0,
+                ops_max=float(m.group("max")),
+                ops_min=float(m.group("min")),
+                ops_mean=rate_mean,
+                ops_stddev=float(m.group("std")),
+                iterations=1,
+                results=[row],
+            )
+        )
+    if not summaries:
+        raise ExtractionError("mdtest output has no rate rows")
+    parameters: dict[str, object] = {}
+    if command:
+        cmd = command.group(1)
+        n_m = re.search(r"-n\s+(\d+)", cmd)
+        if n_m:
+            parameters["items_per_task"] = int(n_m.group(1))
+        parameters["unique_dir_per_task"] = " -u" in cmd
+        w_m = re.search(r"-w\s+(\d+)", cmd)
+        if w_m:
+            parameters["write_bytes"] = int(w_m.group(1))
+    return Knowledge(
+        benchmark="mdtest",
+        command=command.group(1).strip() if command else "",
+        api="POSIX",
+        num_tasks=int(launch.group(1)) if launch else 0,
+        parameters=parameters,
+        summaries=summaries,
+    )
+
+
+def extract_mdtest_directory(directory: Path) -> list[Knowledge]:
+    """Extract knowledge from a run directory with mdtest output."""
+    from repro.core.extraction.system import extract_system_info
+
+    out_file = directory / "mdtest_output.txt"
+    if not out_file.exists():
+        raise ExtractionError(f"no mdtest_output.txt in {directory}")
+    knowledge = parse_mdtest_output(out_file.read_text(encoding="utf-8"))
+    knowledge.system = extract_system_info(directory)
+    return [knowledge]

@@ -1,0 +1,44 @@
+"""System statistics extraction from ``/proc`` capture files.
+
+The generation steps store ``cpuinfo.txt``/``meminfo.txt`` captures of
+the compute node's ``/proc`` files; this module parses them back into
+the system-information dict attached to knowledge objects (§V-B).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.cluster.sysinfo import parse_cpuinfo, parse_meminfo
+from repro.util.errors import ExtractionError
+
+__all__ = ["extract_system_info", "system_info_from_texts"]
+
+
+def system_info_from_texts(cpuinfo_text: str, meminfo_text: str, hostname: str = "") -> dict[str, object]:
+    """Build the system dict from raw /proc text contents."""
+    info: dict[str, object] = {"hostname": hostname}
+    info.update(parse_cpuinfo(cpuinfo_text))
+    info.update(parse_meminfo(meminfo_text))
+    info["architecture"] = "x86_64"
+    return info
+
+
+def extract_system_info(directory: str | Path) -> dict[str, object] | None:
+    """Parse ``cpuinfo.txt``/``meminfo.txt`` in a run directory.
+
+    Returns ``None`` when the capture files are absent (system info is
+    optional on a knowledge object), raises on present-but-corrupt
+    files.
+    """
+    d = Path(directory)
+    cpu = d / "cpuinfo.txt"
+    mem = d / "meminfo.txt"
+    if not cpu.exists() or not mem.exists():
+        return None
+    try:
+        return system_info_from_texts(
+            cpu.read_text(encoding="utf-8"), mem.read_text(encoding="utf-8")
+        )
+    except ExtractionError as exc:
+        raise ExtractionError(f"corrupt /proc capture in {d}: {exc}") from exc

@@ -1,0 +1,97 @@
+"""JUBE workspace scanning — the automated mode of the extractor.
+
+§V-B: "By default, the tool expects the path of the output as a
+parameter.  If the path is not specified, our tool automatically
+searches in the JUBE workspace for available benchmark results."  The
+scanner walks a JUBE ``outpath`` (or any directory tree), finds
+workpackage ``work`` directories, and dispatches each to the
+registered extractors.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.core.extraction.base import ExtractorRegistry, ExtractorSpec
+from repro.core.extraction.darshan_ext import extract_darshan_directory
+from repro.core.extraction.hacc import extract_hacc_directory
+from repro.core.extraction.io500 import extract_io500_directory
+from repro.core.extraction.ior import extract_ior_directory
+from repro.core.extraction.mdtest_ext import extract_mdtest_directory
+from repro.core.knowledge import IO500Knowledge, Knowledge
+from repro.util.errors import ExtractionError
+
+__all__ = ["default_registry", "scan_workspace", "KnowledgeExtractor"]
+
+
+def default_registry() -> ExtractorRegistry:
+    """Registry with the five built-in data sources (§V-A + mdtest)."""
+    registry = ExtractorRegistry()
+    registry.register(
+        ExtractorSpec(name="ior", marker_files=("ior_output.txt",), extract=extract_ior_directory)
+    )
+    registry.register(
+        ExtractorSpec(
+            name="io500", marker_files=("io500_result.txt",), extract=extract_io500_directory
+        )
+    )
+    registry.register(
+        ExtractorSpec(
+            name="hacc-io", marker_files=("hacc_output.txt",), extract=extract_hacc_directory
+        )
+    )
+    registry.register(
+        ExtractorSpec(
+            name="mdtest", marker_files=("mdtest_output.txt",), extract=extract_mdtest_directory
+        )
+    )
+    registry.register(
+        ExtractorSpec(
+            name="darshan", marker_files=("*.darshan",), extract=extract_darshan_directory
+        )
+    )
+    return registry
+
+
+def scan_workspace(
+    workspace: str | Path, registry: ExtractorRegistry | None = None
+) -> list[Knowledge | IO500Knowledge]:
+    """Extract knowledge from every recognised directory under ``workspace``.
+
+    Scans the workspace root itself plus every subdirectory, so both a
+    single run directory and a whole JUBE ``outpath`` tree work.
+    """
+    root = Path(workspace)
+    if not root.is_dir():
+        raise ExtractionError(f"workspace {root} is not a directory")
+    registry = registry or default_registry()
+    out: list[Knowledge | IO500Knowledge] = []
+    candidates = [root] + sorted(p for p in root.rglob("*") if p.is_dir())
+    for directory in candidates:
+        try:
+            out.extend(registry.extract_directory(directory))
+        except ExtractionError:
+            raise
+    return out
+
+
+class KnowledgeExtractor:
+    """The Phase-II tool: manual path mode or automatic workspace mode."""
+
+    def __init__(
+        self,
+        registry: ExtractorRegistry | None = None,
+        jube_workspace: str | Path | None = None,
+    ) -> None:
+        self.registry = registry or default_registry()
+        self.jube_workspace = Path(jube_workspace) if jube_workspace else None
+
+    def extract(self, path: str | Path | None = None) -> list[Knowledge | IO500Knowledge]:
+        """Extract from ``path``, or scan the JUBE workspace if omitted."""
+        if path is not None:
+            return scan_workspace(path, self.registry)
+        if self.jube_workspace is None:
+            raise ExtractionError(
+                "no path given and no JUBE workspace configured for automatic search"
+            )
+        return scan_workspace(self.jube_workspace, self.registry)

@@ -1,0 +1,188 @@
+"""The *Knowledge* object model (Phase II output, Phase III payload).
+
+§V-B: "the obtained knowledge, i.e., performance metrics and system
+information are mapped to a Python object called *Knowledge*".  A
+knowledge object couples the I/O pattern parameters of a run with its
+performance results, the file-system settings in effect and the host
+system information.  IO500 runs get their own knowledge type, mirroring
+the paper's decision to keep IO500 in separate tables (§V-C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+
+from repro.util.errors import ConfigurationError
+from repro.util.stats import boxplot_stats, BoxplotStats
+
+__all__ = [
+    "KnowledgeResult",
+    "KnowledgeSummary",
+    "FilesystemInfo",
+    "Knowledge",
+    "IO500Testcase",
+    "IO500Knowledge",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class KnowledgeResult:
+    """One iteration of one operation (a row of the ``results`` table)."""
+
+    iteration: int
+    bandwidth_mib: float
+    iops: float
+    latency_s: float = 0.0
+    open_time_s: float = 0.0
+    wrrd_time_s: float = 0.0
+    close_time_s: float = 0.0
+    total_time_s: float = 0.0
+
+    def metric(self, name: str) -> float:
+        """Look up one metric by its column name (viewer axis selection)."""
+        try:
+            return float(getattr(self, name))
+        except AttributeError:
+            raise ConfigurationError(
+                f"unknown result metric {name!r}; available: "
+                f"{[f for f in self.__dataclass_fields__]}"  # noqa: B023
+            ) from None
+
+
+@dataclass(slots=True)
+class KnowledgeSummary:
+    """Per-operation summary over iterations (``summaries`` table row).
+
+    The paper stores a summary per operation *and* keeps the individual
+    results "in order to provide a rich set of visualization options"
+    (§V-C); both live here.
+    """
+
+    operation: str  # 'write' | 'read'
+    api: str
+    bw_max: float
+    bw_min: float
+    bw_mean: float
+    bw_stddev: float
+    ops_max: float
+    ops_min: float
+    ops_mean: float
+    ops_stddev: float
+    iterations: int
+    results: list[KnowledgeResult] = field(default_factory=list)
+
+    def bandwidth_series(self) -> list[float]:
+        """Per-iteration bandwidth values in iteration order."""
+        return [r.bandwidth_mib for r in sorted(self.results, key=lambda r: r.iteration)]
+
+    def iops_series(self) -> list[float]:
+        """Per-iteration operation rates in iteration order."""
+        return [r.iops for r in sorted(self.results, key=lambda r: r.iteration)]
+
+    def boxplot(self) -> BoxplotStats:
+        """Boxplot statistics of the bandwidth series (overview chart)."""
+        return boxplot_stats(self.bandwidth_series())
+
+
+@dataclass(frozen=True, slots=True)
+class FilesystemInfo:
+    """Parallel file-system settings of the run (``filesystems`` table).
+
+    Exactly the fields §V-B/§V-C name for BeeGFS: entry type, EntryID,
+    metadata node and stripe pattern details, plus chunk size, number
+    of storage targets, RAID scheme and storage pool.
+    """
+
+    fs_type: str = "beegfs"
+    entry_type: str = ""
+    entry_id: str = ""
+    metadata_node: str = ""
+    stripe_pattern: str = ""
+    chunk_size: str = ""
+    num_targets: int = 0
+    raid_scheme: str = ""
+    storage_pool: str = ""
+
+    def as_dict(self) -> dict[str, object]:
+        """Plain-dict form for persistence and display."""
+        return asdict(self)
+
+
+@dataclass(slots=True)
+class Knowledge:
+    """One benchmark/application run turned into structured knowledge."""
+
+    benchmark: str  # 'ior' | 'hacc-io' | 'darshan' | ...
+    command: str = ""
+    api: str = ""
+    test_file: str = ""
+    file_per_proc: bool = False
+    num_nodes: int = 0
+    num_tasks: int = 0
+    tasks_per_node: int = 0
+    start_time: float = 0.0
+    end_time: float = 0.0
+    parameters: dict[str, object] = field(default_factory=dict)
+    summaries: list[KnowledgeSummary] = field(default_factory=list)
+    filesystem: FilesystemInfo | None = None
+    system: dict[str, object] | None = None
+    knowledge_id: int | None = None  # assigned by the persistence phase
+
+    def summary(self, operation: str) -> KnowledgeSummary:
+        """The summary of one operation."""
+        for s in self.summaries:
+            if s.operation == operation:
+                return s
+        raise ConfigurationError(
+            f"no {operation!r} summary; available: {[s.operation for s in self.summaries]}"
+        )
+
+    def operations(self) -> list[str]:
+        """Operations present, write before read."""
+        present = [s.operation for s in self.summaries]
+        ordered = [op for op in ("write", "read") if op in present]
+        return ordered + [op for op in present if op not in ordered]
+
+    def parameter(self, name: str, default: object = None) -> object:
+        """One I/O pattern parameter (viewer axis selection)."""
+        return self.parameters.get(name, default)
+
+
+@dataclass(slots=True)
+class IO500Testcase:
+    """One IO500 phase with its options and scored result."""
+
+    name: str
+    value: float
+    unit: str  # 'GiB/s' | 'kIOPS'
+    time_s: float = 0.0
+    options: dict[str, object] = field(default_factory=dict)
+
+
+@dataclass(slots=True)
+class IO500Knowledge:
+    """One IO500 run as a knowledge object (separate tables, §V-C)."""
+
+    score_total: float
+    score_bw: float
+    score_md: float
+    num_nodes: int = 0
+    num_tasks: int = 0
+    timestamp: float = 0.0
+    version: str = ""
+    testcases: list[IO500Testcase] = field(default_factory=list)
+    system: dict[str, object] | None = None
+    iofh_id: int | None = None  # assigned by the persistence phase
+
+    def testcase(self, name: str) -> IO500Testcase:
+        """Look up one test case by name."""
+        for t in self.testcases:
+            if t.name == name:
+                return t
+        raise ConfigurationError(
+            f"no test case {name!r}; available: {[t.name for t in self.testcases]}"
+        )
+
+    def value(self, name: str) -> float:
+        """The scored value of one test case."""
+        return self.testcase(name).value

@@ -1,0 +1,92 @@
+"""Database connection management (DB-API 2.0 over SQLite).
+
+§V-C: knowledge can be stored "either directly as a local SQLite
+database or by specifying a SQL connection URL remotely".  Both
+spellings are accepted here — a plain filesystem path, ``:memory:``,
+or a ``sqlite:///...`` URL (the "remote" flavour of the prototype; the
+URL scheme is validated so pointing the tool at an unsupported engine
+fails loudly instead of silently writing a local file).
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from pathlib import Path
+
+from repro.core.persistence.schema import create_schema
+from repro.util.errors import PersistenceError
+
+__all__ = ["resolve_database_target", "KnowledgeDatabase"]
+
+
+def resolve_database_target(target: str | Path) -> str:
+    """Normalise a path / URL into an sqlite3 connect target."""
+    if isinstance(target, Path):
+        return str(target)
+    if target == ":memory:":
+        return target
+    if "://" in target:
+        scheme, _, rest = target.partition("://")
+        if scheme not in ("sqlite", "sqlite3"):
+            raise PersistenceError(
+                f"unsupported database URL scheme {scheme!r}; only sqlite:// URLs "
+                "are supported by this prototype"
+            )
+        path = rest.lstrip("/")
+        if not path:
+            raise PersistenceError(f"database URL {target!r} has no path")
+        return "/" + path if target.count("/") >= 3 else path
+    return target
+
+
+class KnowledgeDatabase:
+    """An open knowledge database with the schema in place.
+
+    Usable as a context manager; commits on clean exit, rolls back on
+    error.
+    """
+
+    def __init__(self, target: str | Path = ":memory:") -> None:
+        resolved = resolve_database_target(target)
+        if resolved != ":memory:":
+            try:
+                Path(resolved).parent.mkdir(parents=True, exist_ok=True)
+            except OSError as exc:
+                raise PersistenceError(
+                    f"cannot create database directory for {target!r}: {exc}"
+                ) from exc
+        try:
+            self.conn = sqlite3.connect(resolved)
+            self.conn.row_factory = sqlite3.Row
+            self.conn.execute("PRAGMA foreign_keys = ON")
+            create_schema(self.conn)
+        except sqlite3.Error as exc:
+            raise PersistenceError(f"cannot open database {target!r}: {exc}") from exc
+        self.target = resolved
+
+    def __enter__(self) -> "KnowledgeDatabase":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self.conn.commit()
+        else:
+            self.conn.rollback()
+        self.close()
+
+    def close(self) -> None:
+        """Close the connection."""
+        self.conn.close()
+
+    def execute(self, sql: str, params: tuple = ()) -> sqlite3.Cursor:
+        """Run one statement, wrapping driver errors."""
+        try:
+            return self.conn.execute(sql, params)
+        except sqlite3.Error as exc:
+            raise PersistenceError(f"database error on {sql.split()[0]}: {exc}") from exc
+
+    def table_count(self, table: str) -> int:
+        """Row count of one table (for tests and reports)."""
+        if not table.isidentifier():
+            raise PersistenceError(f"invalid table name {table!r}")
+        return int(self.execute(f"SELECT COUNT(*) AS n FROM {table}").fetchone()["n"])

@@ -1,0 +1,149 @@
+"""IO500 knowledge repository (the IOFHs* tables of §V-C).
+
+"While for each IO500 run an entry [in the] IOFHsRuns table and
+IOFHsScores table is created, the number of performed test case[s] may
+vary ... IOFH_id is applied as foreign key for mapping to individual
+IO500 runs.  In addition to the score, for each test case applied,
+options and the corresponding result are stored in [the] IOFHsOptions
+table and IOFHsResults table."
+"""
+
+from __future__ import annotations
+
+from repro.core.knowledge import IO500Knowledge, IO500Testcase
+from repro.core.persistence.database import KnowledgeDatabase
+from repro.util.errors import PersistenceError
+
+__all__ = ["IO500Repository"]
+
+
+class IO500Repository:
+    """CRUD for IO500 knowledge objects."""
+
+    def __init__(self, db: KnowledgeDatabase) -> None:
+        self.db = db
+
+    def save(self, knowledge: IO500Knowledge) -> int:
+        """Persist one IO500 run; returns its IOFH id."""
+        cur = self.db.execute(
+            "INSERT INTO IOFHsRuns (timestamp, num_nodes, num_tasks, version) VALUES (?, ?, ?, ?)",
+            (knowledge.timestamp, knowledge.num_nodes, knowledge.num_tasks, knowledge.version),
+        )
+        iofh_id = int(cur.lastrowid)
+        self.db.execute(
+            "INSERT INTO IOFHsScores (IOFH_id, score_total, score_bw, score_md) VALUES (?, ?, ?, ?)",
+            (iofh_id, knowledge.score_total, knowledge.score_bw, knowledge.score_md),
+        )
+        for testcase in knowledge.testcases:
+            tc_cur = self.db.execute(
+                "INSERT INTO IOFHsTestcases (IOFH_id, name) VALUES (?, ?)",
+                (iofh_id, testcase.name),
+            )
+            tc_id = int(tc_cur.lastrowid)
+            for key, value in sorted(testcase.options.items()):
+                self.db.execute(
+                    "INSERT INTO IOFHsOptions (testcase_id, key, value) VALUES (?, ?, ?)",
+                    (tc_id, key, str(value)),
+                )
+            self.db.execute(
+                "INSERT INTO IOFHsResults (testcase_id, metric, value, unit, time_s) "
+                "VALUES (?, ?, ?, ?, ?)",
+                (tc_id, "score", testcase.value, testcase.unit, testcase.time_s),
+            )
+        if knowledge.system is not None:
+            self.db.execute(
+                """
+                INSERT INTO systems
+                    (performance_id, IOFH_id, hostname, system_name, processor_model,
+                     architecture, processor_cores, processor_mhz, cache_bytes, memory_bytes)
+                VALUES (NULL, ?, ?, ?, ?, ?, ?, ?, ?, ?)
+                """,
+                (
+                    iofh_id,
+                    str(knowledge.system.get("hostname", "")),
+                    str(knowledge.system.get("system_name", "")),
+                    str(knowledge.system.get("processor_model", "")),
+                    str(knowledge.system.get("architecture", "")),
+                    int(knowledge.system.get("processor_cores", 0) or 0),
+                    float(knowledge.system.get("processor_mhz", 0) or 0),
+                    int(knowledge.system.get("cache_size_bytes", 0) or 0),
+                    int(knowledge.system.get("memory_bytes", 0) or 0),
+                ),
+            )
+        self.db.conn.commit()
+        knowledge.iofh_id = iofh_id
+        return iofh_id
+
+    def load(self, iofh_id: int) -> IO500Knowledge:
+        """Load one IO500 run by IOFH id."""
+        run = self.db.execute("SELECT * FROM IOFHsRuns WHERE id = ?", (iofh_id,)).fetchone()
+        if run is None:
+            raise PersistenceError(f"no IO500 run with IOFH id {iofh_id}")
+        score = self.db.execute(
+            "SELECT * FROM IOFHsScores WHERE IOFH_id = ?", (iofh_id,)
+        ).fetchone()
+        if score is None:
+            raise PersistenceError(f"IO500 run {iofh_id} has no score row")
+        knowledge = IO500Knowledge(
+            score_total=score["score_total"],
+            score_bw=score["score_bw"],
+            score_md=score["score_md"],
+            num_nodes=run["num_nodes"],
+            num_tasks=run["num_tasks"],
+            timestamp=run["timestamp"],
+            version=run["version"],
+            iofh_id=iofh_id,
+        )
+        for tc in self.db.execute(
+            "SELECT * FROM IOFHsTestcases WHERE IOFH_id = ? ORDER BY id", (iofh_id,)
+        ).fetchall():
+            options = {
+                r["key"]: r["value"]
+                for r in self.db.execute(
+                    "SELECT * FROM IOFHsOptions WHERE testcase_id = ? ORDER BY key",
+                    (tc["id"],),
+                ).fetchall()
+            }
+            result = self.db.execute(
+                "SELECT * FROM IOFHsResults WHERE testcase_id = ?", (tc["id"],)
+            ).fetchone()
+            knowledge.testcases.append(
+                IO500Testcase(
+                    name=tc["name"],
+                    value=result["value"] if result else 0.0,
+                    unit=result["unit"] if result else "",
+                    time_s=result["time_s"] if result else 0.0,
+                    options=options,
+                )
+            )
+        sysrow = self.db.execute(
+            "SELECT * FROM systems WHERE IOFH_id = ?", (iofh_id,)
+        ).fetchone()
+        if sysrow is not None:
+            knowledge.system = {
+                "hostname": sysrow["hostname"],
+                "system_name": sysrow["system_name"],
+                "processor_model": sysrow["processor_model"],
+                "architecture": sysrow["architecture"],
+                "processor_cores": sysrow["processor_cores"],
+                "processor_mhz": sysrow["processor_mhz"],
+                "cache_size_bytes": sysrow["cache_bytes"],
+                "memory_bytes": sysrow["memory_bytes"],
+            }
+        return knowledge
+
+    def list_ids(self) -> list[int]:
+        """All IOFH run ids."""
+        rows = self.db.execute("SELECT id FROM IOFHsRuns ORDER BY id").fetchall()
+        return [int(r["id"]) for r in rows]
+
+    def load_all(self) -> list[IO500Knowledge]:
+        """Load every stored IO500 run."""
+        return [self.load(i) for i in self.list_ids()]
+
+    def delete(self, iofh_id: int) -> None:
+        """Delete one IO500 run and its dependent rows."""
+        cur = self.db.execute("DELETE FROM IOFHsRuns WHERE id = ?", (iofh_id,))
+        if cur.rowcount == 0:
+            raise PersistenceError(f"no IO500 run with IOFH id {iofh_id}")
+        self.db.conn.commit()

@@ -1,0 +1,130 @@
+"""Cross-cutting knowledge-base queries.
+
+The comparison/filter features of the knowledge explorer (§V-D) and
+the recommendation module (§IV) need set-oriented access: find similar
+knowledge objects, rank configurations by a metric, and summarise the
+whole base.  These queries work on the SQL level so they scale past
+what loading every object would allow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.persistence.database import KnowledgeDatabase
+from repro.util.errors import PersistenceError
+
+__all__ = ["SummaryRow", "KnowledgeQueries"]
+
+
+@dataclass(frozen=True, slots=True)
+class SummaryRow:
+    """One (knowledge, operation) summary with its run context."""
+
+    knowledge_id: int
+    benchmark: str
+    api: str
+    command: str
+    num_tasks: int
+    num_nodes: int
+    operation: str
+    bw_mean: float
+    bw_min: float
+    bw_max: float
+    ops_mean: float
+    iterations: int
+
+
+class KnowledgeQueries:
+    """Read-only analytical queries over the knowledge base."""
+
+    def __init__(self, db: KnowledgeDatabase) -> None:
+        self.db = db
+
+    def summary_rows(
+        self,
+        benchmark: str | None = None,
+        operation: str | None = None,
+        api: str | None = None,
+    ) -> list[SummaryRow]:
+        """Flat summary join, optionally filtered."""
+        sql = """
+            SELECT p.id AS knowledge_id, p.benchmark, p.api AS perf_api, p.command,
+                   p.num_tasks, p.num_nodes,
+                   s.operation, s.api AS summary_api, s.bw_mean, s.bw_min, s.bw_max,
+                   s.ops_mean, s.iterations
+            FROM performances p JOIN summaries s ON s.performance_id = p.id
+        """
+        conditions, params = [], []
+        if benchmark is not None:
+            conditions.append("p.benchmark = ?")
+            params.append(benchmark)
+        if operation is not None:
+            conditions.append("s.operation = ?")
+            params.append(operation)
+        if api is not None:
+            conditions.append("p.api = ?")
+            params.append(api)
+        if conditions:
+            sql += " WHERE " + " AND ".join(conditions)
+        sql += " ORDER BY p.id, s.id"
+        rows = self.db.execute(sql, tuple(params)).fetchall()
+        return [
+            SummaryRow(
+                knowledge_id=r["knowledge_id"],
+                benchmark=r["benchmark"],
+                api=r["perf_api"] or r["summary_api"],
+                command=r["command"],
+                num_tasks=r["num_tasks"],
+                num_nodes=r["num_nodes"],
+                operation=r["operation"],
+                bw_mean=r["bw_mean"],
+                bw_min=r["bw_min"],
+                bw_max=r["bw_max"],
+                ops_mean=r["ops_mean"],
+                iterations=r["iterations"],
+            )
+            for r in rows
+        ]
+
+    def best_configuration(
+        self, operation: str, benchmark: str | None = None
+    ) -> SummaryRow:
+        """The knowledge object with the highest mean bandwidth."""
+        rows = self.summary_rows(benchmark=benchmark, operation=operation)
+        if not rows:
+            raise PersistenceError(
+                f"no {operation!r} summaries in the knowledge base"
+            )
+        return max(rows, key=lambda r: r.bw_mean)
+
+    def similar_knowledge(
+        self, knowledge_id: int, same_api: bool = True, same_tasks: bool = True
+    ) -> list[int]:
+        """Knowledge ids whose run context matches the given object's.
+
+        "To find similar knowledge object[s] and perform fine-grained
+        evaluations" (§V-D) — similarity here is same benchmark plus,
+        optionally, same API and task count.
+        """
+        row = self.db.execute(
+            "SELECT benchmark, api, num_tasks FROM performances WHERE id = ?",
+            (knowledge_id,),
+        ).fetchone()
+        if row is None:
+            raise PersistenceError(f"no knowledge object with id {knowledge_id}")
+        sql = "SELECT id FROM performances WHERE benchmark = ? AND id != ?"
+        params: list[object] = [row["benchmark"], knowledge_id]
+        if same_api:
+            sql += " AND api = ?"
+            params.append(row["api"])
+        if same_tasks:
+            sql += " AND num_tasks = ?"
+            params.append(row["num_tasks"])
+        return [int(r["id"]) for r in self.db.execute(sql + " ORDER BY id", tuple(params))]
+
+    def database_report(self) -> dict[str, int]:
+        """Row counts of every knowledge table."""
+        from repro.core.persistence.schema import TABLES
+
+        return {table: self.db.table_count(table) for table in TABLES}

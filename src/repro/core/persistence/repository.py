@@ -1,0 +1,268 @@
+"""Knowledge repository: save/load benchmark knowledge objects.
+
+Maps :class:`~repro.core.knowledge.Knowledge` onto the
+performances/summaries/results/filesystems/systems tables and back,
+losslessly — the paper's requirement that stored knowledge supports
+"a rich set of visualization options" (§V-C) means the individual
+iteration results must round-trip, not just the summaries.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.core.knowledge import (
+    FilesystemInfo,
+    Knowledge,
+    KnowledgeResult,
+    KnowledgeSummary,
+)
+from repro.core.persistence.database import KnowledgeDatabase
+from repro.util.errors import PersistenceError
+
+__all__ = ["KnowledgeRepository"]
+
+
+class KnowledgeRepository:
+    """CRUD for benchmark knowledge objects."""
+
+    def __init__(self, db: KnowledgeDatabase) -> None:
+        self.db = db
+
+    # ------------------------------------------------------------------
+    # write path
+    # ------------------------------------------------------------------
+    def save(self, knowledge: Knowledge) -> int:
+        """Persist one knowledge object; returns its new id."""
+        cur = self.db.execute(
+            """
+            INSERT INTO performances
+                (benchmark, command, api, testFileName, filePerProc,
+                 num_nodes, num_tasks, tasks_per_node, start_time, end_time,
+                 parameters_json)
+            VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)
+            """,
+            (
+                knowledge.benchmark,
+                knowledge.command,
+                knowledge.api,
+                knowledge.test_file,
+                int(knowledge.file_per_proc),
+                knowledge.num_nodes,
+                knowledge.num_tasks,
+                knowledge.tasks_per_node,
+                knowledge.start_time,
+                knowledge.end_time,
+                json.dumps(knowledge.parameters, sort_keys=True, default=str),
+            ),
+        )
+        perf_id = int(cur.lastrowid)
+        for summary in knowledge.summaries:
+            self._save_summary(perf_id, summary)
+        if knowledge.filesystem is not None:
+            self._save_filesystem(perf_id, knowledge.filesystem)
+        if knowledge.system is not None:
+            self._save_system(perf_id, knowledge.system)
+        self.db.conn.commit()
+        knowledge.knowledge_id = perf_id
+        return perf_id
+
+    def _save_summary(self, perf_id: int, s: KnowledgeSummary) -> int:
+        cur = self.db.execute(
+            """
+            INSERT INTO summaries
+                (performance_id, operation, api, bw_max, bw_min, bw_mean,
+                 bw_stddev, ops_max, ops_min, ops_mean, ops_stddev, iterations)
+            VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)
+            """,
+            (
+                perf_id,
+                s.operation,
+                s.api,
+                s.bw_max,
+                s.bw_min,
+                s.bw_mean,
+                s.bw_stddev,
+                s.ops_max,
+                s.ops_min,
+                s.ops_mean,
+                s.ops_stddev,
+                s.iterations,
+            ),
+        )
+        summary_id = int(cur.lastrowid)
+        for r in s.results:
+            self.db.execute(
+                """
+                INSERT INTO results
+                    (summaries_id, iteration, bandwidth, ops, latency,
+                     openTime, wrRdTime, closeTime, totalTime)
+                VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)
+                """,
+                (
+                    summary_id,
+                    r.iteration,
+                    r.bandwidth_mib,
+                    r.iops,
+                    r.latency_s,
+                    r.open_time_s,
+                    r.wrrd_time_s,
+                    r.close_time_s,
+                    r.total_time_s,
+                ),
+            )
+        return summary_id
+
+    def _save_filesystem(self, perf_id: int, fs: FilesystemInfo) -> None:
+        self.db.execute(
+            """
+            INSERT INTO filesystems
+                (performance_id, fs_type, entry_type, entry_id, metadata_node,
+                 stripe_pattern, chunk_size, num_targets, raid_scheme, storage_pool)
+            VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?)
+            """,
+            (
+                perf_id,
+                fs.fs_type,
+                fs.entry_type,
+                fs.entry_id,
+                fs.metadata_node,
+                fs.stripe_pattern,
+                fs.chunk_size,
+                fs.num_targets,
+                fs.raid_scheme,
+                fs.storage_pool,
+            ),
+        )
+
+    def _save_system(self, perf_id: int, system: dict[str, object]) -> None:
+        self.db.execute(
+            """
+            INSERT INTO systems
+                (performance_id, IOFH_id, hostname, system_name, processor_model,
+                 architecture, processor_cores, processor_mhz, cache_bytes, memory_bytes)
+            VALUES (?, NULL, ?, ?, ?, ?, ?, ?, ?, ?)
+            """,
+            (
+                perf_id,
+                str(system.get("hostname", "")),
+                str(system.get("system_name", "")),
+                str(system.get("processor_model", "")),
+                str(system.get("architecture", "")),
+                int(system.get("processor_cores", 0) or 0),
+                float(system.get("processor_mhz", 0) or 0),
+                int(system.get("cache_size_bytes", 0) or 0),
+                int(system.get("memory_bytes", 0) or 0),
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # read path
+    # ------------------------------------------------------------------
+    def load(self, knowledge_id: int) -> Knowledge:
+        """Load one knowledge object by id."""
+        row = self.db.execute(
+            "SELECT * FROM performances WHERE id = ?", (knowledge_id,)
+        ).fetchone()
+        if row is None:
+            raise PersistenceError(f"no knowledge object with id {knowledge_id}")
+        knowledge = Knowledge(
+            benchmark=row["benchmark"],
+            command=row["command"],
+            api=row["api"],
+            test_file=row["testFileName"],
+            file_per_proc=bool(row["filePerProc"]),
+            num_nodes=row["num_nodes"],
+            num_tasks=row["num_tasks"],
+            tasks_per_node=row["tasks_per_node"],
+            start_time=row["start_time"],
+            end_time=row["end_time"],
+            parameters=json.loads(row["parameters_json"]),
+            knowledge_id=knowledge_id,
+        )
+        for srow in self.db.execute(
+            "SELECT * FROM summaries WHERE performance_id = ? ORDER BY id", (knowledge_id,)
+        ).fetchall():
+            results = [
+                KnowledgeResult(
+                    iteration=r["iteration"],
+                    bandwidth_mib=r["bandwidth"],
+                    iops=r["ops"],
+                    latency_s=r["latency"],
+                    open_time_s=r["openTime"],
+                    wrrd_time_s=r["wrRdTime"],
+                    close_time_s=r["closeTime"],
+                    total_time_s=r["totalTime"],
+                )
+                for r in self.db.execute(
+                    "SELECT * FROM results WHERE summaries_id = ? ORDER BY iteration",
+                    (srow["id"],),
+                ).fetchall()
+            ]
+            knowledge.summaries.append(
+                KnowledgeSummary(
+                    operation=srow["operation"],
+                    api=srow["api"],
+                    bw_max=srow["bw_max"],
+                    bw_min=srow["bw_min"],
+                    bw_mean=srow["bw_mean"],
+                    bw_stddev=srow["bw_stddev"],
+                    ops_max=srow["ops_max"],
+                    ops_min=srow["ops_min"],
+                    ops_mean=srow["ops_mean"],
+                    ops_stddev=srow["ops_stddev"],
+                    iterations=srow["iterations"],
+                    results=results,
+                )
+            )
+        fsrow = self.db.execute(
+            "SELECT * FROM filesystems WHERE performance_id = ?", (knowledge_id,)
+        ).fetchone()
+        if fsrow is not None:
+            knowledge.filesystem = FilesystemInfo(
+                fs_type=fsrow["fs_type"],
+                entry_type=fsrow["entry_type"],
+                entry_id=fsrow["entry_id"],
+                metadata_node=fsrow["metadata_node"],
+                stripe_pattern=fsrow["stripe_pattern"],
+                chunk_size=fsrow["chunk_size"],
+                num_targets=fsrow["num_targets"],
+                raid_scheme=fsrow["raid_scheme"],
+                storage_pool=fsrow["storage_pool"],
+            )
+        sysrow = self.db.execute(
+            "SELECT * FROM systems WHERE performance_id = ?", (knowledge_id,)
+        ).fetchone()
+        if sysrow is not None:
+            knowledge.system = {
+                "hostname": sysrow["hostname"],
+                "system_name": sysrow["system_name"],
+                "processor_model": sysrow["processor_model"],
+                "architecture": sysrow["architecture"],
+                "processor_cores": sysrow["processor_cores"],
+                "processor_mhz": sysrow["processor_mhz"],
+                "cache_size_bytes": sysrow["cache_bytes"],
+                "memory_bytes": sysrow["memory_bytes"],
+            }
+        return knowledge
+
+    def list_ids(self, benchmark: str | None = None) -> list[int]:
+        """All knowledge ids, optionally filtered by benchmark name."""
+        if benchmark is None:
+            rows = self.db.execute("SELECT id FROM performances ORDER BY id").fetchall()
+        else:
+            rows = self.db.execute(
+                "SELECT id FROM performances WHERE benchmark = ? ORDER BY id", (benchmark,)
+            ).fetchall()
+        return [int(r["id"]) for r in rows]
+
+    def load_all(self, benchmark: str | None = None) -> list[Knowledge]:
+        """Load every stored knowledge object."""
+        return [self.load(i) for i in self.list_ids(benchmark)]
+
+    def delete(self, knowledge_id: int) -> None:
+        """Delete one knowledge object and its dependent rows."""
+        cur = self.db.execute("DELETE FROM performances WHERE id = ?", (knowledge_id,))
+        if cur.rowcount == 0:
+            raise PersistenceError(f"no knowledge object with id {knowledge_id}")
+        self.db.conn.commit()

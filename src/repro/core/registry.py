@@ -1,0 +1,115 @@
+"""Use-case module registry (the modular architecture of Fig. 4).
+
+"Consistent with our highly modular architecture, further modules such
+as the optimization module can be integrated in the future with minimal
+effort."  A use-case module is any callable taking the knowledge the
+cycle produced and returning a result object; the registry lets
+deployments add/remove modules without touching the cycle itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.core.knowledge import IO500Knowledge, Knowledge
+from repro.util.errors import UsageError
+
+__all__ = ["UseCaseModule", "ModuleRegistry"]
+
+#: A use-case callable: knowledge objects in, arbitrary result out.
+UseCaseFn = Callable[[Sequence[Knowledge | IO500Knowledge]], object]
+
+
+@dataclass(frozen=True, slots=True)
+class UseCaseModule:
+    """One pluggable Phase-V module."""
+
+    name: str
+    description: str
+    run: UseCaseFn
+
+
+class ModuleRegistry:
+    """Named collection of use-case modules."""
+
+    def __init__(self) -> None:
+        self._modules: dict[str, UseCaseModule] = {}
+
+    def register(self, module: UseCaseModule) -> None:
+        """Add a module; names must be unique."""
+        if module.name in self._modules:
+            raise UsageError(f"use-case module {module.name!r} already registered")
+        self._modules[module.name] = module
+
+    def unregister(self, name: str) -> None:
+        """Remove a module."""
+        if name not in self._modules:
+            raise UsageError(f"no use-case module {name!r} registered")
+        del self._modules[name]
+
+    def names(self) -> list[str]:
+        """Registered module names, sorted."""
+        return sorted(self._modules)
+
+    def get(self, name: str) -> UseCaseModule:
+        """Look up one module."""
+        try:
+            return self._modules[name]
+        except KeyError:
+            raise UsageError(
+                f"no use-case module {name!r}; registered: {self.names()}"
+            ) from None
+
+    def run(
+        self, name: str, knowledge: Sequence[Knowledge | IO500Knowledge]
+    ) -> object:
+        """Run one module on the given knowledge."""
+        return self.get(name).run(knowledge)
+
+    def run_all(
+        self, knowledge: Sequence[Knowledge | IO500Knowledge]
+    ) -> dict[str, object]:
+        """Run every registered module; returns name → result."""
+        return {name: self.run(name, knowledge) for name in self.names()}
+
+
+def default_module_registry() -> ModuleRegistry:
+    """Registry with the built-in use-case modules of §IV."""
+    from repro.core.usage.anomaly import IterationAnomalyDetector
+    from repro.core.usage.recommend import Recommender
+
+    registry = ModuleRegistry()
+
+    def _anomaly(knowledge: Sequence[Knowledge | IO500Knowledge]) -> object:
+        detector = IterationAnomalyDetector()
+        findings = []
+        for k in knowledge:
+            if isinstance(k, Knowledge):
+                findings.extend(detector.detect(k))
+        return findings
+
+    def _recommend(knowledge: Sequence[Knowledge | IO500Knowledge]) -> object:
+        base = [k for k in knowledge if isinstance(k, Knowledge)]
+        if not base:
+            return None
+        try:
+            return Recommender(base).recommend()
+        except UsageError:
+            return None
+
+    registry.register(
+        UseCaseModule(
+            name="anomaly-detection",
+            description="Flag per-iteration throughput collapses",
+            run=_anomaly,
+        )
+    )
+    registry.register(
+        UseCaseModule(
+            name="recommendation",
+            description="Suggest the best-performing stored configuration",
+            run=_recommend,
+        )
+    )
+    return registry

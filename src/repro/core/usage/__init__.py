@@ -1,0 +1,60 @@
+"""Phase V: knowledge usage — anomaly detection, bounding box,
+workload generation, recommendation, prediction, pattern extraction,
+optimization, synthetic workloads, online monitoring and anomaly
+context."""
+
+from repro.core.usage.anomaly import (
+    IterationAnomaly,
+    IterationAnomalyDetector,
+    RunComparisonDetector,
+)
+from repro.core.usage.bounding_box import (
+    Band,
+    BoundingBox,
+    Verdict,
+    build_bounding_box,
+)
+from repro.core.usage.context import AnomalyContext, collect_context
+from repro.core.usage.h5tuner import H5TunerConfig, TuningRun, tune
+from repro.core.usage.online import OnlineAlert, OnlineMonitor
+from repro.core.usage.optimizer import IOOptimizer, TuningSuggestion, validate_suggestion
+from repro.core.usage.pattern_extractor import IOPattern, extract_pattern
+from repro.core.usage.prediction import FeatureVector, PerformancePredictor, cross_validate
+from repro.core.usage.recommend import Recommendation, Recommender
+from repro.core.usage.synthetic import ior_config_from_pattern
+from repro.core.usage.workload_gen import (
+    config_from_knowledge,
+    create_configuration,
+    generate_jube_config,
+)
+
+__all__ = [
+    "IterationAnomaly",
+    "IterationAnomalyDetector",
+    "RunComparisonDetector",
+    "Band",
+    "BoundingBox",
+    "Verdict",
+    "build_bounding_box",
+    "AnomalyContext",
+    "collect_context",
+    "H5TunerConfig",
+    "TuningRun",
+    "tune",
+    "OnlineAlert",
+    "OnlineMonitor",
+    "IOOptimizer",
+    "TuningSuggestion",
+    "validate_suggestion",
+    "IOPattern",
+    "extract_pattern",
+    "ior_config_from_pattern",
+    "FeatureVector",
+    "PerformancePredictor",
+    "cross_validate",
+    "Recommendation",
+    "Recommender",
+    "config_from_knowledge",
+    "create_configuration",
+    "generate_jube_config",
+]

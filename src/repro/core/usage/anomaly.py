@@ -1,0 +1,134 @@
+"""Anomaly detection (usage example II of the paper, §V-E2).
+
+Two detectors match the paper's two demonstrations:
+
+* :class:`IterationAnomalyDetector` finds iterations of one run whose
+  throughput collapses relative to the others (the Fig. 5 case: five
+  iterations near 2850 MiB/s and one at 1251 MiB/s), corroborating the
+  finding with the other per-iteration metrics (ops, wrRdTime) so
+  "measurement errors can be excluded".
+* :class:`RunComparisonDetector` flags whole runs whose summary falls
+  outside the distribution of comparable runs in the knowledge base.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.knowledge import Knowledge, KnowledgeSummary
+from repro.util.errors import UsageError
+from repro.util.stats import iqr_outliers, zscores
+
+__all__ = ["IterationAnomaly", "IterationAnomalyDetector", "RunComparisonDetector"]
+
+
+@dataclass(frozen=True, slots=True)
+class IterationAnomaly:
+    """One flagged iteration."""
+
+    operation: str
+    iteration: int  # 1-based, as the paper reports ("iteration 2")
+    bandwidth_mib: float
+    healthy_mean_mib: float
+    severity: float  # healthy mean / anomalous value
+    corroborated_by: tuple[str, ...] = field(default=())
+
+    @property
+    def description(self) -> str:
+        """Human-readable finding."""
+        extra = f"; corroborated by {', '.join(self.corroborated_by)}" if self.corroborated_by else ""
+        return (
+            f"{self.operation} iteration {self.iteration}: {self.bandwidth_mib:.0f} MiB/s "
+            f"vs healthy mean {self.healthy_mean_mib:.0f} MiB/s "
+            f"({self.severity:.1f}x slower){extra}"
+        )
+
+
+class IterationAnomalyDetector:
+    """Flags per-iteration throughput collapses within one run."""
+
+    #: Metrics whose co-movement corroborates a throughput anomaly.
+    CORROBORATING_METRICS = ("iops", "wrrd_time_s", "total_time_s")
+
+    def __init__(self, whis: float = 1.5, min_severity: float = 1.3) -> None:
+        if whis <= 0:
+            raise UsageError("whis must be positive")
+        if min_severity <= 1.0:
+            raise UsageError("min_severity must exceed 1.0")
+        self.whis = whis
+        self.min_severity = min_severity
+
+    def detect(self, knowledge: Knowledge) -> list[IterationAnomaly]:
+        """Scan every operation's iteration series for collapses."""
+        anomalies: list[IterationAnomaly] = []
+        for summary in knowledge.summaries:
+            anomalies.extend(self._detect_operation(summary))
+        return anomalies
+
+    def _detect_operation(self, summary: KnowledgeSummary) -> list[IterationAnomaly]:
+        rows = sorted(summary.results, key=lambda r: r.iteration)
+        if len(rows) < 3:
+            return []  # cannot establish a healthy baseline
+        bw = np.array([r.bandwidth_mib for r in rows])
+        flagged = set(iqr_outliers(bw, whis=self.whis))
+        anomalies = []
+        for idx in sorted(flagged):
+            healthy = np.delete(bw, idx)
+            healthy_mean = float(healthy.mean())
+            value = float(bw[idx])
+            if value >= healthy_mean:
+                continue  # unusually *fast* iterations are not failures
+            severity = healthy_mean / max(value, 1e-12)
+            if severity < self.min_severity:
+                continue
+            corroborating = self._corroborate(rows, idx)
+            anomalies.append(
+                IterationAnomaly(
+                    operation=summary.operation,
+                    iteration=rows[idx].iteration + 1,
+                    bandwidth_mib=value,
+                    healthy_mean_mib=healthy_mean,
+                    severity=severity,
+                    corroborated_by=corroborating,
+                )
+            )
+        return anomalies
+
+    def _corroborate(self, rows: list, idx: int) -> tuple[str, ...]:
+        """Which other metrics moved with the throughput collapse."""
+        supporting = []
+        for metric in self.CORROBORATING_METRICS:
+            values = np.array([r.metric(metric) for r in rows])
+            if np.allclose(values, values[0]):
+                continue
+            z = zscores(values)
+            # ops drop with bandwidth; times rise with it.
+            expected_sign = -1.0 if metric == "iops" else 1.0
+            if z[idx] * expected_sign > 1.0:
+                supporting.append(metric)
+        return tuple(supporting)
+
+
+class RunComparisonDetector:
+    """Flags whole runs that fall outside comparable runs' distribution."""
+
+    def __init__(self, threshold_z: float = 2.0) -> None:
+        if threshold_z <= 0:
+            raise UsageError("threshold_z must be positive")
+        self.threshold_z = threshold_z
+
+    def detect(
+        self, runs: list[Knowledge], operation: str = "write"
+    ) -> list[tuple[Knowledge, float]]:
+        """Return (run, z-score) pairs of anomalously slow runs."""
+        if len(runs) < 3:
+            raise UsageError("need at least three comparable runs")
+        means = np.array([k.summary(operation).bw_mean for k in runs])
+        z = zscores(means)
+        return [
+            (run, float(score))
+            for run, score in zip(runs, z)
+            if score < -self.threshold_z
+        ]

@@ -1,0 +1,111 @@
+"""IO500 bounding box (Liem et al., used in the paper's Fig. 6).
+
+The bounding-box idea: the IO500 boundary test cases (ior-easy as the
+optimized upper bound, ior-hard as the suboptimal lower bound) span the
+realistic performance band of a system.  An application's — or another
+run's — result landing outside the band indicates an anomaly (or an
+extraordinary optimization).  The paper demonstrates a one-dimensional
+simplification over ior-easy/ior-hard read and write, which this module
+implements along with the full two-dimensional variant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.knowledge import IO500Knowledge
+from repro.util.errors import UsageError
+from repro.util.stats import summarize
+
+__all__ = ["Band", "BoundingBox", "build_bounding_box", "Verdict"]
+
+
+@dataclass(frozen=True, slots=True)
+class Band:
+    """Expected range of one test case over the reference runs."""
+
+    testcase: str
+    low: float
+    high: float
+    mean: float
+
+    def contains(self, value: float, tolerance: float = 0.0) -> bool:
+        """Whether a value lies within the (tolerance-expanded) band."""
+        pad = (self.high - self.low) * tolerance
+        return self.low - pad <= value <= self.high + pad
+
+
+class Verdict:
+    """Classification of an observation against the box."""
+
+    WITHIN = "within-expectation"
+    BELOW = "below-expectation"
+    ABOVE = "above-expectation"
+
+
+@dataclass(slots=True)
+class BoundingBox:
+    """Per-test-case expectation bands built from reference runs."""
+
+    bands: dict[str, Band]
+    n_reference_runs: int
+
+    def band(self, testcase: str) -> Band:
+        """The band of one test case."""
+        try:
+            return self.bands[testcase]
+        except KeyError:
+            raise UsageError(
+                f"no band for {testcase!r}; available: {sorted(self.bands)}"
+            ) from None
+
+    def classify(self, testcase: str, value: float, tolerance: float = 0.05) -> str:
+        """Classify one observation against its band."""
+        band = self.band(testcase)
+        if band.contains(value, tolerance):
+            return Verdict.WITHIN
+        return Verdict.BELOW if value < band.low else Verdict.ABOVE
+
+    def check_run(
+        self, run: IO500Knowledge, tolerance: float = 0.05
+    ) -> dict[str, str]:
+        """Classify every banded test case of a run; the Fig. 6 check."""
+        out = {}
+        for name in self.bands:
+            out[name] = self.classify(name, run.value(name), tolerance)
+        return out
+
+    def anomalies(self, run: IO500Knowledge, tolerance: float = 0.05) -> list[str]:
+        """Test cases of a run that fall below expectation."""
+        return [
+            name
+            for name, verdict in self.check_run(run, tolerance).items()
+            if verdict == Verdict.BELOW
+        ]
+
+
+#: The paper's one-dimensional demonstration set (§V-E2).
+ONE_DIM_TESTCASES = ("ior-easy-write", "ior-easy-read", "ior-hard-write", "ior-hard-read")
+
+#: Liem et al.'s full two-dimensional set (data and metadata).
+TWO_DIM_TESTCASES = ONE_DIM_TESTCASES + (
+    "mdtest-easy-write",
+    "mdtest-easy-stat",
+    "mdtest-hard-write",
+    "mdtest-hard-stat",
+)
+
+
+def build_bounding_box(
+    reference_runs: list[IO500Knowledge],
+    testcases: tuple[str, ...] = ONE_DIM_TESTCASES,
+) -> BoundingBox:
+    """Build expectation bands from healthy reference runs."""
+    if len(reference_runs) < 2:
+        raise UsageError("bounding box needs at least two reference runs")
+    bands = {}
+    for name in testcases:
+        values = [run.value(name) for run in reference_runs]
+        s = summarize(values)
+        bands[name] = Band(testcase=name, low=s.minimum, high=s.maximum, mean=s.mean)
+    return BoundingBox(bands=bands, n_reference_runs=len(reference_runs))

@@ -1,0 +1,118 @@
+"""Anomaly-cause context collection (§IV anomaly detection).
+
+"To identify possible causes, our workflow offers the ability to
+extract additional information such as file system information, and
+overall system statistics and configuration.  It is planned to collect
+further information from workload managers such as Slurm, thus
+providing context between anomaly and causes."  This module implements
+that plan: given a detected anomaly and the testbed it occurred on, it
+joins the Slurm accounting view, node health, storage-target health and
+the active fault records into one report a user (or a later root-cause
+module) can act on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.core.usage.anomaly import IterationAnomaly
+from repro.iostack.stack import Testbed
+from repro.util.tables import render_kv, render_table
+
+__all__ = ["AnomalyContext", "collect_context"]
+
+
+@dataclass(slots=True)
+class AnomalyContext:
+    """Everything known about the system around one anomaly."""
+
+    anomaly: IterationAnomaly
+    job_info: dict[str, object] = field(default_factory=dict)
+    degraded_nodes: list[str] = field(default_factory=list)
+    degraded_targets: list[tuple[int, str, float]] = field(default_factory=list)
+    active_faults: list[dict[str, object]] = field(default_factory=list)
+    filesystem: dict[str, object] = field(default_factory=dict)
+
+    @property
+    def probable_causes(self) -> list[str]:
+        """Ranked plain-language cause hypotheses."""
+        causes = []
+        for fault in self.active_faults:
+            causes.append(f"injected/observed fault {fault['name']!r} (scope {fault['scope']})")
+        for tid, server, health in self.degraded_targets:
+            causes.append(f"storage target {tid} on {server} degraded to {health:.0%}")
+        for node in self.degraded_nodes:
+            causes.append(f"compute node {node} degraded")
+        if not causes:
+            causes.append("no degraded component recorded: suspect external interference")
+        return causes
+
+    def render(self) -> str:
+        """Human-readable context report."""
+        parts = [f"Anomaly: {self.anomaly.description}", ""]
+        if self.job_info:
+            parts += ["Job (Slurm accounting):", render_kv(self.job_info, indent="  "), ""]
+        if self.filesystem:
+            parts += ["File system:", render_kv(self.filesystem, indent="  "), ""]
+        if self.degraded_targets:
+            parts += [
+                "Degraded storage targets:",
+                render_table(
+                    ["target", "server", "health"],
+                    [[t, s, h] for t, s, h in self.degraded_targets],
+                    indent="  ",
+                ),
+                "",
+            ]
+        parts.append("Probable causes:")
+        parts += [f"  - {c}" for c in self.probable_causes]
+        return "\n".join(parts) + "\n"
+
+
+def collect_context(
+    anomaly: IterationAnomaly,
+    testbed: Testbed,
+    job_id: int | None = None,
+    anomaly_tags: Mapping[str, object] | None = None,
+) -> AnomalyContext:
+    """Join an anomaly with Slurm, node, storage and fault state."""
+    ctx = AnomalyContext(anomaly=anomaly)
+
+    jobs = testbed.slurm.sacct()
+    job = None
+    if job_id is not None:
+        job = next((j for j in jobs if j.job_id == job_id), None)
+    elif jobs:
+        job = jobs[-1]
+    if job is not None and job.allocation is not None:
+        ctx.job_info = {
+            "job_id": job.job_id,
+            "name": job.request.name,
+            "state": job.state,
+            "nodes": job.allocation.num_nodes,
+            "tasks_per_node": job.allocation.tasks_per_node,
+            "node_list": ",".join(
+                testbed.cluster.node(i).hostname for i in job.allocation.node_indices
+            ),
+            "elapsed_s": job.elapsed_s,
+        }
+        ctx.degraded_nodes = [
+            testbed.cluster.node(i).hostname
+            for i in job.allocation.node_indices
+            if testbed.cluster.node(i).performance_factor < 1.0
+        ]
+
+    ctx.degraded_targets = [
+        (t.target_id, t.server, t.health)
+        for t in testbed.fs.pool.targets
+        if t.health < 1.0
+    ]
+    tags = dict(anomaly_tags or {})
+    ctx.active_faults = [
+        {"name": f.name, "scope": f.scope, "factor": f.factor, "when": dict(f.when)}
+        for f in testbed.fs.faults.faults
+        if not tags or f.matches(tags)
+    ]
+    ctx.filesystem = testbed.fs.df()
+    return ctx

@@ -1,0 +1,143 @@
+"""H5Tuner-style stack configuration tuning (§II-A4).
+
+H5Tuner "is able to dynamically set the parameters of different levels
+of the I/O stack through [the] HDF5 initialization function" and its
+autotuning system "execute[s] the [application's I/O] kernel with a
+preselected training set of tunable parameters".  This module mirrors
+both halves: :class:`H5TunerConfig` bundles one cross-layer setting
+(HDF5 chunking, MPI-IO hints, file-system striping), and :func:`tune`
+executes an I/O kernel under every candidate configuration on the
+testbed and returns the winner with the full training table.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.benchmarks_io.ior.config import IORConfig
+from repro.benchmarks_io.ior.runner import run_ior
+from repro.iostack.stack import Testbed
+from repro.mpi.hints import MPIIOHints
+from repro.util.errors import UsageError
+from repro.util.units import KIB
+
+__all__ = ["H5TunerConfig", "TuningRun", "tune"]
+
+
+@dataclass(frozen=True, slots=True)
+class H5TunerConfig:
+    """One cross-layer tuning configuration (what H5Tuner's XML holds)."""
+
+    name: str
+    hdf5_chunk_bytes: int = 1024 * KIB  # HDF5 level: dataset chunk size
+    hints: MPIIOHints = field(default_factory=MPIIOHints)  # MPI-IO level
+    striping_unit: int = 0  # file-system level (0 = default)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise UsageError("tuning configuration needs a name")
+        if self.hdf5_chunk_bytes <= 0:
+            raise UsageError("HDF5 chunk size must be positive")
+        if self.striping_unit < 0:
+            raise UsageError("striping unit must be >= 0")
+
+    def effective_hints(self) -> MPIIOHints:
+        """The MPI-IO hints with the file-system striping folded in.
+
+        H5Tuner pushes file-system settings down through the MPI-IO
+        info object, exactly as ROMIO's ``striping_unit`` hint does.
+        """
+        if self.striping_unit == 0:
+            return self.hints
+        return MPIIOHints(
+            romio_cb_write=self.hints.romio_cb_write,
+            romio_cb_read=self.hints.romio_cb_read,
+            cb_nodes=self.hints.cb_nodes,
+            cb_buffer_size=self.hints.cb_buffer_size,
+            striping_unit=self.striping_unit,
+        )
+
+    def to_json(self) -> str:
+        """Serialize to the tuner's configuration-file format."""
+        return json.dumps(
+            {
+                "name": self.name,
+                "hdf5": {"chunk_bytes": self.hdf5_chunk_bytes},
+                "mpiio": self.hints.as_dict(),
+                "filesystem": {"striping_unit": self.striping_unit},
+            },
+            indent=2,
+            sort_keys=True,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "H5TunerConfig":
+        """Deserialize a configuration produced by :meth:`to_json`."""
+        try:
+            data = json.loads(text)
+            return cls(
+                name=data["name"],
+                hdf5_chunk_bytes=int(data.get("hdf5", {}).get("chunk_bytes", 1024 * KIB)),
+                hints=MPIIOHints(**data.get("mpiio", {})),
+                striping_unit=int(data.get("filesystem", {}).get("striping_unit", 0)),
+            )
+        except (json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
+            raise UsageError(f"invalid tuner configuration: {exc}") from exc
+
+
+@dataclass(frozen=True, slots=True)
+class TuningRun:
+    """Result of the kernel under one candidate configuration."""
+
+    config: H5TunerConfig
+    write_bw_mib: float
+    read_bw_mib: float
+
+    @property
+    def score(self) -> float:
+        """Ranking score (write-weighted, as checkpointing dominates)."""
+        return 0.7 * self.write_bw_mib + 0.3 * self.read_bw_mib
+
+
+def tune(
+    testbed: Testbed,
+    kernel: IORConfig,
+    candidates: list[H5TunerConfig],
+    num_nodes: int = 2,
+    tasks_per_node: int = 20,
+) -> tuple[H5TunerConfig, list[TuningRun]]:
+    """Execute the I/O kernel under every candidate; return the winner.
+
+    The kernel must be an HDF5 workload (H5Tuner tunes through the HDF5
+    initialization path).  All candidates run with a common run id so
+    the comparison is paired (common random numbers).
+    """
+    if kernel.api != "HDF5":
+        raise UsageError(f"H5Tuner tunes HDF5 kernels, got api={kernel.api!r}")
+    if not candidates:
+        raise UsageError("need at least one candidate configuration")
+    names = [c.name for c in candidates]
+    if len(set(names)) != len(names):
+        raise UsageError(f"duplicate candidate names: {names}")
+    runs = []
+    for i, candidate in enumerate(candidates):
+        tuned_kernel = kernel.with_(
+            test_file=f"{kernel.test_file}.{candidate.name}",
+            hints=candidate.effective_hints(),
+            collective=candidate.effective_hints().collective_enabled(
+                "write", kernel.shared_file
+            ) and kernel.api != "POSIX",
+        )
+        result = run_ior(tuned_kernel, testbed, num_nodes, tasks_per_node, run_id=1)
+        runs.append(
+            TuningRun(
+                config=candidate,
+                write_bw_mib=result.bandwidth_summary("write").mean,
+                read_bw_mib=(
+                    result.bandwidth_summary("read").mean if kernel.read_file else 0.0
+                ),
+            )
+        )
+    best = max(runs, key=lambda r: r.score)
+    return best.config, runs

@@ -1,0 +1,144 @@
+"""Online-mode monitoring (§III: "our analysis workflow can be used in
+both online and offline fashion"; §IV: online I/O optimization).
+
+The :class:`OnlineMonitor` is a stack tracer: attach it to a job and it
+ingests I/O events *while the run executes*, folds them into fixed
+time intervals, and raises alerts the moment an interval's throughput
+collapses against the rolling baseline — the online counterpart of the
+offline Fig. 5 analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.iostack.tracing import TraceEvent, Tracer
+from repro.util.errors import UsageError
+
+__all__ = ["OnlineAlert", "OnlineMonitor"]
+
+
+@dataclass(frozen=True, slots=True)
+class OnlineAlert:
+    """One alert raised during the run."""
+
+    time_s: float
+    kind: str  # 'throughput-drop'
+    observed_mib_s: float
+    baseline_mib_s: float
+    message: str
+
+
+@dataclass(slots=True)
+class _Interval:
+    index: int
+    bytes_moved: float = 0.0
+
+
+class OnlineMonitor(Tracer):
+    """Streaming throughput watchdog over stack trace events."""
+
+    def __init__(
+        self,
+        interval_s: float = 0.25,
+        drop_threshold: float = 0.5,
+        warmup_intervals: int = 3,
+    ) -> None:
+        if interval_s <= 0:
+            raise UsageError("interval must be positive")
+        if not 0 < drop_threshold < 1:
+            raise UsageError("drop_threshold must be in (0, 1)")
+        if warmup_intervals < 1:
+            raise UsageError("need at least one warmup interval")
+        self.interval_s = interval_s
+        self.drop_threshold = drop_threshold
+        self.warmup_intervals = warmup_intervals
+        self._intervals: dict[int, _Interval] = {}
+        self._evaluated_upto = -1
+        self.alerts: list[OnlineAlert] = []
+
+    # ------------------------------------------------------------------
+    # Tracer interface
+    # ------------------------------------------------------------------
+    def record(self, event: TraceEvent) -> None:
+        """Ingest one data-moving event into its time interval."""
+        if event.op not in ("read", "write", "read_all", "write_all"):
+            return
+        self._ingest(event.end, event.length * event.count)
+        self._evaluate(event.end)
+
+    def record_batch(
+        self, module, op, rank, path, offset0, nbytes, durations, t0
+    ) -> None:
+        """Vectorized ingest of a batch of identical transfers."""
+        if not (op.startswith("read") or op.startswith("write")):
+            return
+        durations = np.asarray(durations, dtype=float)
+        ends = t0 + np.cumsum(durations)
+        # Vectorized interval binning for the batch.
+        idx = (ends / self.interval_s).astype(int)
+        for interval_index in np.unique(idx):
+            total = nbytes * int((idx == interval_index).sum())
+            self._ingest_index(int(interval_index), total)
+        self._evaluate(float(ends[-1]))
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _ingest(self, t: float, nbytes: float) -> None:
+        self._ingest_index(int(t / self.interval_s), nbytes)
+
+    def _ingest_index(self, index: int, nbytes: float) -> None:
+        interval = self._intervals.get(index)
+        if interval is None:
+            interval = _Interval(index=index)
+            self._intervals[index] = interval
+        interval.bytes_moved += nbytes
+
+    def _evaluate(self, now: float) -> None:
+        """Check every *completed* interval against the rolling baseline."""
+        current = int(now / self.interval_s)
+        for index in sorted(i for i in self._intervals if self._evaluated_upto < i < current):
+            history = [
+                self._intervals[i].bytes_moved
+                for i in self._intervals
+                if i < index and self._intervals[i].bytes_moved > 0
+            ]
+            self._evaluated_upto = index
+            if len(history) < self.warmup_intervals:
+                continue
+            baseline = float(np.median(history))
+            observed = self._intervals[index].bytes_moved
+            if baseline > 0 and observed < self.drop_threshold * baseline:
+                mib = 1024**2
+                self.alerts.append(
+                    OnlineAlert(
+                        time_s=index * self.interval_s,
+                        kind="throughput-drop",
+                        observed_mib_s=observed / self.interval_s / mib,
+                        baseline_mib_s=baseline / self.interval_s / mib,
+                        message=(
+                            f"interval {index}: {observed / self.interval_s / mib:.0f} "
+                            f"MiB/s vs baseline {baseline / self.interval_s / mib:.0f} MiB/s"
+                        ),
+                    )
+                )
+
+    # ------------------------------------------------------------------
+    # results
+    # ------------------------------------------------------------------
+    def throughput_series(self) -> list[tuple[float, float]]:
+        """(interval start time, MiB/s) pairs for all observed intervals."""
+        mib = 1024**2
+        return [
+            (i * self.interval_s, self._intervals[i].bytes_moved / self.interval_s / mib)
+            for i in sorted(self._intervals)
+        ]
+
+    def finish(self) -> list[OnlineAlert]:
+        """Evaluate any trailing intervals and return all alerts."""
+        if self._intervals:
+            self._evaluate((max(self._intervals) + 1) * self.interval_s)
+        return list(self.alerts)

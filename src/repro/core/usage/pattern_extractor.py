@@ -1,0 +1,160 @@
+"""I/O pattern extraction (the §IV/§VI "I/O pattern extractor" module).
+
+§IV: "the I/O knowledge collected in our workflow can be applied ...
+for I/O optimization by using an I/O pattern extractor" — the component
+SCTuner builds into HDF5 and the paper plans as an explorer extension.
+This implementation distils a Darshan report into the structured
+:class:`IOPattern` the optimizer and the synthetic workload generator
+consume: representative access sizes, volumes, file sharing, and (when
+DXT is available) sequentiality and burst structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.darshan.pydarshan import DarshanReport
+from repro.util.errors import UsageError
+
+__all__ = ["IOPattern", "extract_pattern"]
+
+#: Representative byte size of each Darshan histogram bin (geometric
+#: midpoint, except the open-ended bins).
+_BIN_REPRESENTATIVE = {
+    "0_100": 64,
+    "100_1K": 512,
+    "1K_10K": 4 * 1024,
+    "10K_100K": 47 * 1024,
+    "100K_1M": 512 * 1024,
+    "1M_4M": 2 * 1024**2,
+    "4M_10M": 6 * 1024**2,
+    "10M_100M": 32 * 1024**2,
+    "100M_1G": 256 * 1024**2,
+    "1G_PLUS": 1024**3,
+}
+
+
+@dataclass(frozen=True, slots=True)
+class IOPattern:
+    """Structured description of an application's I/O behaviour."""
+
+    nprocs: int
+    n_files: int
+    shared_file: bool
+    representative_write_size: int
+    representative_read_size: int
+    bytes_written: int
+    bytes_read: int
+    write_ops: int
+    read_ops: int
+    sequential_fraction: float  # 1.0 = purely sequential (NaN-free: 1.0 if unknown)
+    n_bursts: int
+    mean_burst_bytes: float
+
+    @property
+    def write_dominant(self) -> bool:
+        """Whether the workload moves more write than read bytes."""
+        return self.bytes_written >= self.bytes_read
+
+    @property
+    def file_per_process(self) -> bool:
+        """Heuristic: one file (or more) per process, none shared."""
+        return not self.shared_file and self.n_files >= self.nprocs
+
+
+def _representative_size(histogram: dict[str, int]) -> int:
+    """Weighted median representative size from a Darshan histogram."""
+    total = sum(histogram.values())
+    if total == 0:
+        return 0
+    acc = 0
+    for bin_name, rep in _BIN_REPRESENTATIVE.items():
+        acc += histogram.get(bin_name, 0)
+        if acc * 2 >= total:
+            return rep
+    return _BIN_REPRESENTATIVE["1G_PLUS"]  # pragma: no cover
+
+
+def _sequentiality_and_bursts(
+    report: DarshanReport, module: str, burst_gap_s: float = 0.01
+) -> tuple[float, int, float]:
+    """Sequential fraction and burst structure from DXT segments.
+
+    A transfer is *sequential* when it starts exactly where the same
+    rank's previous transfer on the same file ended.  A *burst* is a
+    maximal group of operations (across ranks) separated by idle gaps
+    longer than ``burst_gap_s``.
+    """
+    segments = report.dxt_segments(module)
+    if not segments:
+        return 1.0, 1, float(sum(report.total_bytes(module)))
+    sequential = 0
+    total = 0
+    all_segs = []
+    for (_rank, _path), segs in segments.items():
+        ordered = sorted(segs, key=lambda s: s.start)
+        all_segs.extend(ordered)
+        # Write and read streams over the same file are independent
+        # cursors (a read-back restarting at offset 0 is sequential).
+        prev_end_offset: dict[str, int | None] = {"write": None, "read": None}
+        for s in ordered:
+            total += 1
+            if prev_end_offset[s.op] is None or s.offset == prev_end_offset[s.op]:
+                sequential += 1
+            prev_end_offset[s.op] = s.offset + s.length
+    all_segs.sort(key=lambda s: s.start)
+    bursts = 1
+    burst_bytes = [all_segs[0].length]
+    last_end = all_segs[0].end
+    for s in all_segs[1:]:
+        if s.start - last_end > burst_gap_s:
+            bursts += 1
+            burst_bytes.append(0)
+        burst_bytes[-1] += s.length
+        last_end = max(last_end, s.end)
+    return (
+        sequential / total if total else 1.0,
+        bursts,
+        float(np.mean(burst_bytes)),
+    )
+
+
+def extract_pattern(report: DarshanReport, module: str = "POSIX") -> IOPattern:
+    """Distil one Darshan report into an :class:`IOPattern`."""
+    if module not in report.modules:
+        raise UsageError(
+            f"module {module!r} not in report; available: {report.modules}"
+        )
+    per_file = report.per_file(module)
+    if not per_file:
+        raise UsageError("report contains no file records")
+    # A file is shared when records from more than one rank touch it.
+    ranks_per_file: dict[str, set[int]] = {}
+    for rec in report.records[module]:
+        ranks_per_file.setdefault(rec.path, set()).add(rec.rank)
+    shared = any(len(ranks) > 1 for ranks in ranks_per_file.values())
+
+    counters = report.counters(module)
+    prefix = "H5D" if module == "HDF5" else module
+    bytes_read, bytes_written = report.total_bytes(module)
+    seq_fraction, n_bursts, mean_burst = _sequentiality_and_bursts(report, module)
+    return IOPattern(
+        nprocs=report.nprocs,
+        n_files=len(per_file),
+        shared_file=shared,
+        representative_write_size=_representative_size(
+            report.size_histogram(module, "WRITE")
+        ),
+        representative_read_size=_representative_size(
+            report.size_histogram(module, "READ")
+        ),
+        bytes_written=bytes_written,
+        bytes_read=bytes_read,
+        write_ops=int(counters[f"{prefix}_WRITES"]),
+        read_ops=int(counters[f"{prefix}_READS"]),
+        sequential_fraction=seq_fraction,
+        n_bursts=n_bursts,
+        mean_burst_bytes=mean_burst,
+    )

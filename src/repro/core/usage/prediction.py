@@ -1,0 +1,162 @@
+"""I/O performance prediction from knowledge (§IV and §VI).
+
+"The knowledge objects can be used as training data for linear
+regression analysis to make I/O performance predictions."  The model
+regresses log-bandwidth on log-transformed pattern features (transfer
+size, task count, node count, API and access-mode indicators) with
+ordinary least squares — multiplicative effects in I/O performance are
+near-additive in log space, which is why the log-log form fits the
+saturating curves the simulator (and real storage) produce.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.knowledge import Knowledge
+from repro.util.errors import UsageError
+
+__all__ = ["FeatureVector", "PerformancePredictor", "cross_validate"]
+
+
+@dataclass(frozen=True, slots=True)
+class FeatureVector:
+    """Pattern features of one (potential) run."""
+
+    transfer_size: int
+    num_tasks: int
+    num_nodes: int
+    api: str = "POSIX"
+    file_per_proc: bool = True
+
+    def __post_init__(self) -> None:
+        if self.transfer_size <= 0 or self.num_tasks <= 0 or self.num_nodes <= 0:
+            raise UsageError("features must be positive")
+
+
+def _features_from_knowledge(k: Knowledge) -> FeatureVector | None:
+    transfer = k.parameters.get("xfersize_bytes")
+    if transfer is None or k.num_tasks <= 0 or k.num_nodes <= 0:
+        return None
+    return FeatureVector(
+        transfer_size=int(transfer),  # type: ignore[arg-type]
+        num_tasks=k.num_tasks,
+        num_nodes=k.num_nodes,
+        api=k.api or "POSIX",
+        file_per_proc=k.file_per_proc,
+    )
+
+
+def _design_row(f: FeatureVector) -> list[float]:
+    return [
+        1.0,
+        np.log(f.transfer_size),
+        np.log(f.num_tasks),
+        np.log(f.num_nodes),
+        1.0 if f.api.upper() == "MPIIO" else 0.0,
+        1.0 if f.api.upper() == "HDF5" else 0.0,
+        1.0 if f.file_per_proc else 0.0,
+    ]
+
+
+class PerformancePredictor:
+    """Least-squares log-log bandwidth model over stored knowledge."""
+
+    N_FEATURES = 7
+
+    def __init__(self, operation: str = "write") -> None:
+        self.operation = operation
+        self.coef_: np.ndarray | None = None
+        self.training_residual_: float | None = None
+        self.n_samples_: int = 0
+
+    def fit(self, knowledge_base: list[Knowledge]) -> "PerformancePredictor":
+        """Train on every usable knowledge object in the base."""
+        rows, targets = [], []
+        for k in knowledge_base:
+            f = _features_from_knowledge(k)
+            if f is None:
+                continue
+            try:
+                bw = k.summary(self.operation).bw_mean
+            except Exception:  # noqa: BLE001 - object lacks this operation
+                continue
+            if bw <= 0:
+                continue
+            rows.append(_design_row(f))
+            targets.append(np.log(bw))
+        if len(rows) < self.N_FEATURES:
+            raise UsageError(
+                f"need at least {self.N_FEATURES} usable knowledge objects to fit, "
+                f"got {len(rows)}"
+            )
+        X = np.asarray(rows)
+        y = np.asarray(targets)
+        self.coef_, residuals, _rank, _sv = np.linalg.lstsq(X, y, rcond=None)
+        predictions = X @ self.coef_
+        self.training_residual_ = float(np.sqrt(np.mean((predictions - y) ** 2)))
+        self.n_samples_ = len(rows)
+        return self
+
+    def predict(self, features: FeatureVector) -> float:
+        """Predicted mean bandwidth (MiB/s) for a pattern."""
+        if self.coef_ is None:
+            raise UsageError("predictor is not fitted")
+        return float(np.exp(np.asarray(_design_row(features)) @ self.coef_))
+
+    def predict_interval(self, features: FeatureVector, k_sigma: float = 2.0) -> tuple[float, float]:
+        """(lower, upper) expectation band around the prediction.
+
+        Combined with the bounding box, this "provide[s] the user with
+        a realistic expectation" (§IV).
+        """
+        if self.coef_ is None or self.training_residual_ is None:
+            raise UsageError("predictor is not fitted")
+        center = self.predict(features)
+        spread = np.exp(k_sigma * self.training_residual_)
+        return center / spread, center * spread
+
+    def relative_error(self, knowledge: Knowledge) -> float:
+        """|predicted - actual| / actual on one held-out knowledge object."""
+        f = _features_from_knowledge(knowledge)
+        if f is None:
+            raise UsageError("knowledge object lacks the required features")
+        actual = knowledge.summary(self.operation).bw_mean
+        return abs(self.predict(f) - actual) / actual
+
+
+def cross_validate(
+    knowledge_base: list[Knowledge], operation: str = "write"
+) -> dict[str, float]:
+    """Leave-one-out cross-validation of the predictor on a base.
+
+    Returns the mean/median/max relative error over all held-out
+    points — the number a user needs before trusting predictions for
+    untried configurations (§IV: prediction "accuracy heavily depends
+    on the training data sets").
+    """
+    usable = [
+        k
+        for k in knowledge_base
+        if _features_from_knowledge(k) is not None
+        and any(s.operation == operation for s in k.summaries)
+    ]
+    if len(usable) < PerformancePredictor.N_FEATURES + 1:
+        raise UsageError(
+            f"cross-validation needs at least {PerformancePredictor.N_FEATURES + 1} "
+            f"usable knowledge objects, got {len(usable)}"
+        )
+    errors = []
+    for i, held_out in enumerate(usable):
+        training = usable[:i] + usable[i + 1 :]
+        model = PerformancePredictor(operation).fit(training)
+        errors.append(model.relative_error(held_out))
+    arr = np.asarray(errors)
+    return {
+        "n": len(errors),
+        "mean_rel_error": float(arr.mean()),
+        "median_rel_error": float(np.median(arr)),
+        "max_rel_error": float(arr.max()),
+    }

@@ -1,0 +1,95 @@
+"""Configuration recommendation from the knowledge base.
+
+§IV: "in the offline mode, the users can be suggested with suitable
+configurations via a recommendation module, which can be applied
+manually for individual runs."  The recommender searches stored
+knowledge for runs comparable to the user's situation and suggests the
+configuration that performed best, together with the evidence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.knowledge import Knowledge
+from repro.util.errors import UsageError
+
+__all__ = ["Recommendation", "Recommender"]
+
+
+@dataclass(frozen=True, slots=True)
+class Recommendation:
+    """A suggested configuration with its supporting evidence."""
+
+    command: str
+    expected_bw_mean: float
+    operation: str
+    knowledge_id: int | None
+    improvement_over_worst: float  # best mean / worst mean among candidates
+    n_candidates: int
+
+    @property
+    def description(self) -> str:
+        """Human-readable suggestion."""
+        return (
+            f"run `{self.command}` (expected {self.operation} throughput "
+            f"{self.expected_bw_mean:.0f} MiB/s, best of {self.n_candidates} "
+            f"comparable runs, {self.improvement_over_worst:.2f}x over the worst)"
+        )
+
+
+class Recommender:
+    """Suggests the best-performing stored configuration."""
+
+    def __init__(self, knowledge_base: list[Knowledge]) -> None:
+        self.knowledge_base = list(knowledge_base)
+
+    def candidates(
+        self,
+        operation: str = "write",
+        num_tasks: int | None = None,
+        api: str | None = None,
+        benchmark: str = "ior",
+    ) -> list[Knowledge]:
+        """Stored runs comparable to the user's situation."""
+        out = []
+        for k in self.knowledge_base:
+            if k.benchmark != benchmark:
+                continue
+            if num_tasks is not None and k.num_tasks != num_tasks:
+                continue
+            if api is not None and k.api.upper() != api.upper():
+                continue
+            if not any(s.operation == operation for s in k.summaries):
+                continue
+            out.append(k)
+        return out
+
+    def recommend(
+        self,
+        operation: str = "write",
+        num_tasks: int | None = None,
+        api: str | None = None,
+        benchmark: str = "ior",
+    ) -> Recommendation:
+        """Best stored configuration for the given constraints."""
+        candidates = self.candidates(operation, num_tasks, api, benchmark)
+        if not candidates:
+            raise UsageError(
+                "no comparable knowledge in the base; generate knowledge first "
+                f"(operation={operation!r}, num_tasks={num_tasks}, api={api!r})"
+            )
+        ranked = sorted(
+            candidates, key=lambda k: k.summary(operation).bw_mean, reverse=True
+        )
+        best, worst = ranked[0], ranked[-1]
+        best_mean = best.summary(operation).bw_mean
+        worst_mean = worst.summary(operation).bw_mean
+        return Recommendation(
+            command=best.command,
+            expected_bw_mean=best_mean,
+            operation=operation,
+            knowledge_id=best.knowledge_id,
+            improvement_over_worst=best_mean / worst_mean if worst_mean > 0 else float("inf"),
+            n_candidates=len(candidates),
+        )

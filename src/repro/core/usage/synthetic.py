@@ -1,0 +1,68 @@
+"""Synthetic workload generation from observed patterns (§IV).
+
+"The knowledge obtained from our generic workflow can be used to, e.g.,
+generate new benchmark configurations, but also synthetic workload for
+simulation and thus drive the simulation or initialize new evaluation
+processes."  Given an :class:`~repro.core.usage.pattern_extractor.IOPattern`
+(typically extracted from a Darshan log of a real application), this
+module emits an IOR configuration that replays the pattern's salient
+properties — access size, per-process volume, sharing mode and API —
+so the application's I/O can be studied and re-tuned without the
+application.
+"""
+
+from __future__ import annotations
+
+from repro.benchmarks_io.ior.config import IORConfig
+from repro.core.usage.pattern_extractor import IOPattern
+from repro.util.errors import UsageError
+
+__all__ = ["ior_config_from_pattern"]
+
+
+def _round_up(value: int, multiple: int) -> int:
+    return ((value + multiple - 1) // multiple) * multiple
+
+
+def ior_config_from_pattern(
+    pattern: IOPattern,
+    test_file: str = "/scratch/synthetic/workload",
+    api: str = "MPIIO",
+    iterations: int = 1,
+    max_segments: int = 64,
+) -> IORConfig:
+    """Build an IOR configuration replaying an observed pattern.
+
+    The transfer size is the pattern's representative write size (reads
+    replay at the same granularity, as IOR requires); the block size
+    and segment count reproduce the per-process volume; ``-F`` follows
+    the sharing mode.  Volumes are rounded up to whole transfers.
+    """
+    transfer = pattern.representative_write_size or pattern.representative_read_size
+    if transfer <= 0:
+        raise UsageError("pattern has no data accesses to synthesize from")
+    if pattern.nprocs <= 0:
+        raise UsageError("pattern needs a positive process count")
+    per_proc = max(
+        pattern.bytes_written, pattern.bytes_read, transfer * pattern.nprocs
+    ) // pattern.nprocs
+    per_proc = _round_up(per_proc, transfer)
+    # Split the volume into segments of at most max_segments so shared
+    # files interleave realistically rather than one giant block each.
+    transfers_total = per_proc // transfer
+    segments = min(max_segments, transfers_total)
+    transfers_per_block = max(1, transfers_total // segments)
+    block = transfers_per_block * transfer
+    return IORConfig(
+        api=api,
+        block_size=block,
+        transfer_size=transfer,
+        segment_count=segments,
+        iterations=iterations,
+        test_file=test_file,
+        file_per_proc=not pattern.shared_file,
+        write_file=pattern.bytes_written > 0,
+        read_file=pattern.bytes_read > 0,
+        fsync=False,
+        keep_file=False,
+    )

@@ -1,0 +1,122 @@
+"""Workload generation from knowledge (usage example I, §V-E1).
+
+"For the generation of new knowledge, our web-based tool provides the
+functionality to generate new benchmark setups based on existing
+knowledge and can be extended to generate JUBE configuration
+additionally.  The user can apply the generated command to re-run the
+workflow."  This module regenerates runnable IOR commands from stored
+knowledge, applies user modifications, and emits complete JUBE XML
+configurations for parameter sweeps.
+"""
+
+from __future__ import annotations
+
+from xml.sax.saxutils import escape
+
+from repro.benchmarks_io.ior.cli import parse_command
+from repro.benchmarks_io.ior.config import IORConfig
+from repro.core.knowledge import Knowledge
+from repro.util.errors import UsageError
+
+__all__ = ["config_from_knowledge", "create_configuration", "generate_jube_config"]
+
+
+def config_from_knowledge(knowledge: Knowledge) -> IORConfig:
+    """Reconstruct the IOR configuration a knowledge object came from.
+
+    The stored command line is the source of truth ("the previously
+    applied command is selected and then loaded from the corresponding
+    configuration in the view", §V-E1).
+    """
+    if knowledge.benchmark != "ior":
+        raise UsageError(
+            f"can only regenerate IOR configurations, got benchmark {knowledge.benchmark!r}"
+        )
+    if not knowledge.command:
+        raise UsageError("knowledge object has no stored command line")
+    return parse_command(knowledge.command)
+
+
+def create_configuration(knowledge: Knowledge, **modifications: object) -> str:
+    """The explorer's "create configuration" button: load, modify, render.
+
+    Returns the new runnable command line.  ``modifications`` accepts
+    any :class:`~repro.benchmarks_io.ior.config.IORConfig` field, e.g.
+    ``transfer_size=4 * MIB`` or ``iterations=10``.
+    """
+    config = config_from_knowledge(knowledge)
+    if modifications:
+        try:
+            config = config.with_(**modifications)
+        except TypeError as exc:
+            raise UsageError(f"invalid configuration modification: {exc}") from exc
+    return config.to_command()
+
+
+def generate_jube_config(
+    knowledge: Knowledge,
+    sweep: dict[str, list[str]],
+    benchmark_name: str = "generated-from-knowledge",
+    nodes: int | None = None,
+    tasks_per_node: int | None = None,
+) -> str:
+    """Emit a JUBE XML configuration sweeping around stored knowledge.
+
+    The base command comes from the knowledge object; each ``sweep``
+    entry becomes a JUBE parameter whose ``$name`` reference is patched
+    into the command.  Supported sweep names: ``transfersize`` (-t),
+    ``blocksize`` (-b), ``segments`` (-s), ``iterations`` (-i).
+    """
+    config = config_from_knowledge(knowledge)
+    flag_by_param = {
+        "transfersize": "-t",
+        "blocksize": "-b",
+        "segments": "-s",
+        "iterations": "-i",
+    }
+    unknown = set(sweep) - set(flag_by_param)
+    if unknown:
+        raise UsageError(f"unsupported sweep parameters: {sorted(unknown)}")
+    if not sweep:
+        raise UsageError("sweep must name at least one parameter")
+
+    command = config.to_command()
+    tokens = command.split()
+    for param, flag in flag_by_param.items():
+        if param not in sweep:
+            continue
+        if flag in tokens:
+            tokens[tokens.index(flag) + 1] = f"${param}"
+        else:
+            tokens.extend([flag, f"${param}"])
+    command = " ".join(tokens)
+
+    parameters = [
+        f'      <parameter name="{name}">{escape(",".join(values))}</parameter>'
+        for name, values in sorted(sweep.items())
+    ]
+    parameters.append(f'      <parameter name="command">{escape(command)}</parameter>')
+    if nodes is not None:
+        parameters.append(f'      <parameter name="nodes">{nodes}</parameter>')
+    elif knowledge.num_nodes:
+        parameters.append(f'      <parameter name="nodes">{knowledge.num_nodes}</parameter>')
+    if tasks_per_node is not None:
+        parameters.append(
+            f'      <parameter name="taskspernode">{tasks_per_node}</parameter>'
+        )
+    elif knowledge.tasks_per_node:
+        parameters.append(
+            f'      <parameter name="taskspernode">{knowledge.tasks_per_node}</parameter>'
+        )
+    body = "\n".join(parameters)
+    return f"""<jube>
+  <benchmark name="{escape(benchmark_name)}" outpath="bench_run">
+    <parameterset name="pattern">
+{body}
+    </parameterset>
+    <step name="run" work="ior">
+      <use>pattern</use>
+    </step>
+  </benchmark>
+</jube>
+"""

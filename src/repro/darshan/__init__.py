@@ -1,0 +1,30 @@
+"""Darshan-like I/O characterization: profiler, log format, PyDarshan reader, DXT."""
+
+from repro.darshan.counters import MODULES, counters_for_module, size_bin_name
+from repro.darshan.dxt import DXTAnalysis, analyze_dxt
+from repro.darshan.layers import LayerBreakdown, layer_breakdown
+from repro.darshan.logformat import default_log_name, read_log, write_log
+from repro.darshan.profiler import DarshanLogData, DarshanProfiler, DarshanRecord, DXTSegment
+from repro.darshan.pydarshan import DarshanReport
+from repro.darshan.replay import RankReplayResult, ReplayResult, replay_trace
+
+__all__ = [
+    "DarshanProfiler",
+    "DarshanRecord",
+    "DarshanLogData",
+    "DXTSegment",
+    "DarshanReport",
+    "ReplayResult",
+    "RankReplayResult",
+    "replay_trace",
+    "DXTAnalysis",
+    "analyze_dxt",
+    "LayerBreakdown",
+    "layer_breakdown",
+    "write_log",
+    "read_log",
+    "default_log_name",
+    "counters_for_module",
+    "size_bin_name",
+    "MODULES",
+]

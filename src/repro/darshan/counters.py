@@ -1,0 +1,94 @@
+"""Darshan counter definitions.
+
+A trimmed but faithful subset of the counters real Darshan records per
+(module, rank, file) tuple: operation counts, byte totals, cumulative
+timers, extent high-water marks and the access-size histogram bins.
+The names match Darshan's so downstream analysis code reads naturally.
+"""
+
+from __future__ import annotations
+
+from repro.util.errors import DarshanError
+
+__all__ = [
+    "SIZE_BINS",
+    "size_bin_name",
+    "counters_for_module",
+    "POSIX_COUNTERS",
+    "MPIIO_COUNTERS",
+    "HDF5_COUNTERS",
+    "MODULES",
+]
+
+#: Darshan's access-size histogram bin upper bounds (bytes).
+SIZE_BINS = (
+    (0, 100, "0_100"),
+    (100, 1024, "100_1K"),
+    (1024, 10 * 1024, "1K_10K"),
+    (10 * 1024, 100 * 1024, "10K_100K"),
+    (100 * 1024, 1024**2, "100K_1M"),
+    (1024**2, 4 * 1024**2, "1M_4M"),
+    (4 * 1024**2, 10 * 1024**2, "4M_10M"),
+    (10 * 1024**2, 100 * 1024**2, "10M_100M"),
+    (100 * 1024**2, 1024**3, "100M_1G"),
+    (1024**3, float("inf"), "1G_PLUS"),
+)
+
+
+def size_bin_name(nbytes: int) -> str:
+    """The histogram bin label an access of ``nbytes`` falls into."""
+    if nbytes < 0:
+        raise DarshanError(f"access size cannot be negative: {nbytes}")
+    for low, high, name in SIZE_BINS:
+        if low <= nbytes < high:
+            return name
+    raise DarshanError(f"no size bin for {nbytes}")  # pragma: no cover
+
+
+def _common(prefix: str) -> list[str]:
+    names = [
+        f"{prefix}_OPENS",
+        f"{prefix}_READS",
+        f"{prefix}_WRITES",
+        f"{prefix}_BYTES_READ",
+        f"{prefix}_BYTES_WRITTEN",
+        f"{prefix}_MAX_BYTE_READ",
+        f"{prefix}_MAX_BYTE_WRITTEN",
+        f"{prefix}_F_READ_TIME",
+        f"{prefix}_F_WRITE_TIME",
+        f"{prefix}_F_META_TIME",
+    ]
+    for _, _, bin_name in SIZE_BINS:
+        names.append(f"{prefix}_SIZE_READ_{bin_name}")
+        names.append(f"{prefix}_SIZE_WRITE_{bin_name}")
+    return names
+
+
+POSIX_COUNTERS: tuple[str, ...] = tuple(_common("POSIX") + ["POSIX_FSYNCS", "POSIX_STATS"])
+
+MPIIO_COUNTERS: tuple[str, ...] = tuple(
+    _common("MPIIO")
+    + [
+        "MPIIO_INDEP_READS",
+        "MPIIO_INDEP_WRITES",
+        "MPIIO_COLL_READS",
+        "MPIIO_COLL_WRITES",
+        "MPIIO_SYNCS",
+    ]
+)
+
+HDF5_COUNTERS: tuple[str, ...] = tuple(_common("H5D"))
+
+MODULES: dict[str, tuple[str, ...]] = {
+    "POSIX": POSIX_COUNTERS,
+    "MPIIO": MPIIO_COUNTERS,
+    "HDF5": HDF5_COUNTERS,
+}
+
+
+def counters_for_module(module: str) -> tuple[str, ...]:
+    """Counter name list of one module."""
+    try:
+        return MODULES[module]
+    except KeyError:
+        raise DarshanError(f"unknown Darshan module {module!r}; known: {sorted(MODULES)}") from None

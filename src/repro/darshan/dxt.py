@@ -1,0 +1,95 @@
+"""DXT trace analysis (the DXT-Explorer role).
+
+The paper discusses DXT Explorer as an interactive analysis tool over
+Darshan's extended traces (§II-A2).  This module provides the analysis
+core such a tool needs: per-rank activity intervals, concurrency over
+time, and detection of stragglers/imbalance from DXT segments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.darshan.pydarshan import DarshanReport
+from repro.util.errors import DarshanError
+
+__all__ = ["RankActivity", "analyze_dxt", "DXTAnalysis"]
+
+
+@dataclass(frozen=True, slots=True)
+class RankActivity:
+    """I/O activity summary of one rank."""
+
+    rank: int
+    first_start: float
+    last_end: float
+    busy_time: float
+    bytes_read: int
+    bytes_written: int
+    n_ops: int
+
+    @property
+    def span(self) -> float:
+        """Wall interval between first and last operation."""
+        return self.last_end - self.first_start
+
+
+@dataclass(slots=True)
+class DXTAnalysis:
+    """Cross-rank DXT analysis results."""
+
+    ranks: list[RankActivity]
+
+    @property
+    def makespan(self) -> float:
+        """Time from the first op's start to the last op's end."""
+        if not self.ranks:
+            return 0.0
+        return max(r.last_end for r in self.ranks) - min(r.first_start for r in self.ranks)
+
+    def stragglers(self, threshold: float = 1.5) -> list[int]:
+        """Ranks whose span exceeds ``threshold`` x the median span."""
+        if not self.ranks:
+            return []
+        spans = np.array([r.span for r in self.ranks])
+        median = float(np.median(spans))
+        if median <= 0:
+            return []
+        return [r.rank for r in self.ranks if r.span > threshold * median]
+
+    def imbalance(self) -> float:
+        """Max/mean busy-time ratio (1.0 = perfectly balanced)."""
+        if not self.ranks:
+            return 1.0
+        busy = np.array([r.busy_time for r in self.ranks])
+        mean = float(busy.mean())
+        return float(busy.max()) / mean if mean > 0 else 1.0
+
+
+def analyze_dxt(report: DarshanReport, module: str = "POSIX") -> DXTAnalysis:
+    """Build the cross-rank analysis from a report with DXT data."""
+    segments = report.dxt_segments(module)
+    if not segments:
+        raise DarshanError(
+            "no DXT segments in this log; run the profiler with enable_dxt=True"
+        )
+    per_rank: dict[int, list] = {}
+    for (rank, _path), segs in segments.items():
+        per_rank.setdefault(rank, []).extend(segs)
+    ranks = []
+    for rank in sorted(per_rank):
+        segs = per_rank[rank]
+        ranks.append(
+            RankActivity(
+                rank=rank,
+                first_start=min(s.start for s in segs),
+                last_end=max(s.end for s in segs),
+                busy_time=sum(s.end - s.start for s in segs),
+                bytes_read=sum(s.length for s in segs if s.op == "read"),
+                bytes_written=sum(s.length for s in segs if s.op == "write"),
+                n_ops=len(segs),
+            )
+        )
+    return DXTAnalysis(ranks=ranks)

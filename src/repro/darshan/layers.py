@@ -1,0 +1,95 @@
+"""Cross-layer correlation analysis (the SIOX idea of §II-A1).
+
+SIOX collects "performance data from all abstraction levels" and
+correlates it "to gain knowledge about system characteristics and
+causal relationships".  Because the profiler instruments every stack
+layer (POSIX, MPI-IO, HDF5) for the same operations, their counters can
+be joined per file to decompose where time goes: raw device/file-system
+time (POSIX) vs. middleware overhead (MPI-IO minus POSIX) vs. library
+overhead (HDF5 minus MPI-IO).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.darshan.pydarshan import DarshanReport
+from repro.util.errors import DarshanError
+from repro.util.tables import render_table
+
+__all__ = ["LayerBreakdown", "layer_breakdown"]
+
+_PREFIX = {"POSIX": "POSIX", "MPIIO": "MPIIO", "HDF5": "H5D"}
+_ORDER = ("POSIX", "MPIIO", "HDF5")
+
+
+@dataclass(frozen=True, slots=True)
+class LayerBreakdown:
+    """Per-layer cumulative I/O times and derived overheads."""
+
+    layer_times_s: dict[str, float]  # module -> Σ(read+write time)
+    overheads_s: dict[str, float]  # 'mpiio-over-posix', 'software-over-posix'
+    bytes_moved: int
+
+    @property
+    def posix_fraction(self) -> float:
+        """Fraction of the top layer's time spent at the POSIX level.
+
+        Close to 1.0 means the storage system dominates; the gap is
+        software overhead above it.
+        """
+        top = max(
+            (self.layer_times_s[m] for m in _ORDER if m in self.layer_times_s),
+            default=0.0,
+        )
+        if top <= 0:
+            raise DarshanError("breakdown has no I/O time")
+        return self.layer_times_s.get("POSIX", 0.0) / top
+
+    def render(self) -> str:
+        """Monospace breakdown table."""
+        rows = [
+            [module, self.layer_times_s[module]]
+            for module in _ORDER
+            if module in self.layer_times_s
+        ]
+        text = render_table(["layer", "cumulative I/O time (s)"], rows, float_fmt=".4f")
+        if self.overheads_s:
+            overhead_rows = [[k, v] for k, v in sorted(self.overheads_s.items())]
+            text += "\n" + render_table(
+                ["overhead", "seconds"], overhead_rows, float_fmt=".4f"
+            )
+        return text
+
+
+def layer_breakdown(report: DarshanReport) -> LayerBreakdown:
+    """Correlate the layers of one instrumented run.
+
+    Requires at least the POSIX module; overheads are computed for each
+    consecutive instrumented pair actually present in the log.
+    """
+    if "POSIX" not in report.modules:
+        raise DarshanError(
+            f"layer breakdown needs the POSIX module; log has {report.modules}"
+        )
+    times: dict[str, float] = {}
+    for module in _ORDER:
+        if module not in report.modules:
+            continue
+        prefix = _PREFIX[module]
+        c = report.counters(module)
+        times[module] = c[f"{prefix}_F_READ_TIME"] + c[f"{prefix}_F_WRITE_TIME"]
+    # Note the Darshan-faithful subtlety: the H5D module only counts
+    # *dataset* operations — library metadata I/O (superblock, object
+    # headers) surfaces in the MPI-IO/POSIX counters below, so the HDF5
+    # figure can be smaller than MPI-IO's.  Overheads are therefore
+    # computed against POSIX, the layer every byte passes through.
+    overheads: dict[str, float] = {}
+    if "MPIIO" in times:
+        overheads["mpiio-over-posix"] = max(0.0, times["MPIIO"] - times["POSIX"])
+    top = max(times.values())
+    overheads["software-over-posix"] = max(0.0, top - times["POSIX"])
+    bytes_read, bytes_written = report.total_bytes("POSIX")
+    return LayerBreakdown(
+        layer_times_s=times, overheads_s=overheads, bytes_moved=bytes_read + bytes_written
+    )

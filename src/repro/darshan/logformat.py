@@ -1,0 +1,81 @@
+"""Darshan log file serialization.
+
+Real Darshan writes a compressed binary log; this substrate writes a
+gzip-compressed JSON container with a magic header, preserving the
+properties the workflow relies on: logs are self-contained files on
+disk, compressed, carry job metadata plus per-(module, rank, file)
+counter records and optional DXT segments, and are read back through a
+PyDarshan-like API (:mod:`repro.darshan.pydarshan`).
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+from pathlib import Path
+
+from repro.darshan.profiler import DarshanLogData, DarshanRecord, DXTSegment
+from repro.util.errors import DarshanError
+
+__all__ = ["MAGIC", "write_log", "read_log", "default_log_name"]
+
+MAGIC = "DARSHAN-REPRO/1"
+
+
+def default_log_name(username: str, exe: str, jobid: int) -> str:
+    """Darshan-style log file name ``<user>_<exe>_id<jobid>.darshan``."""
+    base = Path(exe).name or "app"
+    return f"{username}_{base}_id{jobid}.darshan"
+
+
+def write_log(data: DarshanLogData, path: str | Path) -> Path:
+    """Serialize a finalized log to ``path``; returns the path."""
+    payload = {
+        "magic": MAGIC,
+        "job": data.job,
+        "records": [
+            {
+                "module": r.module,
+                "rank": r.rank,
+                "path": r.path,
+                "counters": r.counters,
+                "dxt": [
+                    [s.op, s.offset, s.length, s.start, s.end] for s in r.dxt_segments
+                ],
+            }
+            for r in data.records
+        ],
+    }
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    with gzip.open(out, "wt", encoding="utf-8") as fh:
+        json.dump(payload, fh)
+    return out
+
+
+def read_log(path: str | Path) -> DarshanLogData:
+    """Deserialize a log written by :func:`write_log`."""
+    p = Path(path)
+    if not p.exists():
+        raise DarshanError(f"darshan log not found: {p}")
+    try:
+        with gzip.open(p, "rt", encoding="utf-8") as fh:
+            payload = json.load(fh)
+    except (OSError, EOFError, json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise DarshanError(f"cannot read darshan log {p}: {exc}") from exc
+    if payload.get("magic") != MAGIC:
+        raise DarshanError(f"{p} is not a {MAGIC} log (magic={payload.get('magic')!r})")
+    records = [
+        DarshanRecord(
+            module=r["module"],
+            rank=int(r["rank"]),
+            path=r["path"],
+            counters={k: float(v) for k, v in r["counters"].items()},
+            dxt_segments=[
+                DXTSegment(op=s[0], offset=int(s[1]), length=int(s[2]), start=float(s[3]), end=float(s[4]))
+                for s in r.get("dxt", [])
+            ],
+        )
+        for r in payload["records"]
+    ]
+    return DarshanLogData(job=payload["job"], records=records)

@@ -1,0 +1,219 @@
+"""Darshan runtime instrumentation.
+
+A :class:`DarshanProfiler` is a :class:`~repro.iostack.tracing.Tracer`:
+attach it to a job context and every layer of the I/O stack reports its
+operations here, exactly like real Darshan's link-time wrappers.  It
+accumulates one counter record per (module, rank, file) and — when DXT
+is enabled — per-operation segment traces, then finalizes everything
+into an in-memory log that :mod:`repro.darshan.logformat` serializes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.darshan.counters import counters_for_module, size_bin_name
+from repro.iostack.tracing import TraceEvent, Tracer
+from repro.util.errors import DarshanError
+
+__all__ = ["DXTSegment", "DarshanRecord", "DarshanLogData", "DarshanProfiler"]
+
+_PREFIX = {"POSIX": "POSIX", "MPIIO": "MPIIO", "HDF5": "H5D"}
+
+_META_OPS = ("open", "create", "close", "stat", "mkdir", "unlink", "fsync", "sync")
+
+
+@dataclass(frozen=True, slots=True)
+class DXTSegment:
+    """One traced I/O operation (DXT extended tracing)."""
+
+    op: str  # 'read' | 'write'
+    offset: int
+    length: int
+    start: float
+    end: float
+
+
+@dataclass(slots=True)
+class DarshanRecord:
+    """Counters (and DXT segments) of one (module, rank, file)."""
+
+    module: str
+    rank: int
+    path: str
+    counters: dict[str, float] = field(default_factory=dict)
+    dxt_segments: list[DXTSegment] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.counters:
+            self.counters = {name: 0.0 for name in counters_for_module(self.module)}
+
+
+@dataclass(slots=True)
+class DarshanLogData:
+    """A finalized in-memory Darshan log."""
+
+    job: dict[str, object]
+    records: list[DarshanRecord]
+
+    def module_records(self, module: str) -> list[DarshanRecord]:
+        """Records of one module."""
+        return [r for r in self.records if r.module == module]
+
+    def modules(self) -> list[str]:
+        """Modules present in the log, sorted."""
+        return sorted({r.module for r in self.records})
+
+
+class DarshanProfiler(Tracer):
+    """Tracer that builds Darshan counter records from stack events."""
+
+    def __init__(self, enable_dxt: bool = False) -> None:
+        self.enable_dxt = enable_dxt
+        self._records: dict[tuple[str, int, str], DarshanRecord] = {}
+        self._finalized = False
+
+    # ------------------------------------------------------------------
+    # Tracer interface
+    # ------------------------------------------------------------------
+    def record(self, event: TraceEvent) -> None:
+        """Fold one stack event into the counter record it belongs to."""
+        if event.module not in _PREFIX:
+            return  # other layers are not instrumented
+        rec = self._get(event.module, event.rank, event.path)
+        p = _PREFIX[event.module]
+        op = event.op
+        dt = event.duration * event.count
+        if op in ("open", "create"):
+            rec.counters[f"{p}_OPENS"] += event.count
+            rec.counters[f"{p}_F_META_TIME"] += dt
+            if op == "create" and event.module == "POSIX":
+                pass  # creates count as opens, like Darshan
+        elif op in ("read", "read_all"):
+            self._data_op(rec, p, "READ", event)
+            if event.module == "MPIIO":
+                key = "MPIIO_COLL_READS" if op == "read_all" else "MPIIO_INDEP_READS"
+                rec.counters[key] += event.count
+        elif op in ("write", "write_all"):
+            self._data_op(rec, p, "WRITE", event)
+            if event.module == "MPIIO":
+                key = "MPIIO_COLL_WRITES" if op == "write_all" else "MPIIO_INDEP_WRITES"
+                rec.counters[key] += event.count
+        elif op == "fsync" and event.module == "POSIX":
+            rec.counters["POSIX_FSYNCS"] += event.count
+            rec.counters[f"{p}_F_META_TIME"] += dt
+        elif op == "sync" and event.module == "MPIIO":
+            rec.counters["MPIIO_SYNCS"] += event.count
+            rec.counters[f"{p}_F_META_TIME"] += dt
+        elif op == "stat" and event.module == "POSIX":
+            rec.counters["POSIX_STATS"] += event.count
+            rec.counters[f"{p}_F_META_TIME"] += dt
+        elif op in ("close", "mkdir", "unlink"):
+            rec.counters[f"{p}_F_META_TIME"] += dt
+
+    def record_batch(
+        self,
+        module: str,
+        op: str,
+        rank: int,
+        path: str,
+        offset0: int,
+        nbytes: int,
+        durations: np.ndarray,
+        t0: float,
+    ) -> None:
+        """Vectorized fold of N identical sequential ops."""
+        if module not in _PREFIX:
+            return
+        durations = np.asarray(durations, dtype=float)
+        n = int(durations.size)
+        total_time = float(durations.sum())
+        rec = self._get(module, rank, path)
+        p = _PREFIX[module]
+        kind = "WRITE" if op.startswith("write") else "READ"
+        rec.counters[f"{p}_{kind}S"] += n
+        rec.counters[f"{p}_BYTES_{'WRITTEN' if kind == 'WRITE' else 'READ'}"] += n * nbytes
+        rec.counters[f"{p}_F_{kind}_TIME"] += total_time
+        hwm_key = f"{p}_MAX_BYTE_{'WRITTEN' if kind == 'WRITE' else 'READ'}"
+        rec.counters[hwm_key] = max(rec.counters[hwm_key], offset0 + n * nbytes - 1)
+        rec.counters[f"{p}_SIZE_{kind}_{size_bin_name(nbytes)}"] += n
+        if module == "MPIIO":
+            coll = op.endswith("_all")
+            key = f"MPIIO_{'COLL' if coll else 'INDEP'}_{kind}S"
+            rec.counters[key] += n
+        if self.enable_dxt:
+            ends = t0 + np.cumsum(durations)
+            starts = ends - durations
+            off = offset0
+            for i in range(n):
+                rec.dxt_segments.append(
+                    DXTSegment(
+                        op=kind.lower(),
+                        offset=off,
+                        length=nbytes,
+                        start=float(starts[i]),
+                        end=float(ends[i]),
+                    )
+                )
+                off += nbytes
+
+    # ------------------------------------------------------------------
+    # helpers / finalization
+    # ------------------------------------------------------------------
+    def _get(self, module: str, rank: int, path: str) -> DarshanRecord:
+        key = (module, rank, path)
+        rec = self._records.get(key)
+        if rec is None:
+            rec = DarshanRecord(module=module, rank=rank, path=path)
+            self._records[key] = rec
+        return rec
+
+    def _data_op(self, rec: DarshanRecord, prefix: str, kind: str, event: TraceEvent) -> None:
+        rec.counters[f"{prefix}_{kind}S"] += event.count
+        byte_key = f"{prefix}_BYTES_{'WRITTEN' if kind == 'WRITE' else 'READ'}"
+        rec.counters[byte_key] += event.length * event.count
+        rec.counters[f"{prefix}_F_{kind}_TIME"] += event.duration * event.count
+        hwm_key = f"{prefix}_MAX_BYTE_{'WRITTEN' if kind == 'WRITE' else 'READ'}"
+        end_byte = event.offset + event.length * event.count - 1
+        rec.counters[hwm_key] = max(rec.counters[hwm_key], end_byte)
+        if event.length:
+            rec.counters[f"{prefix}_SIZE_{kind}_{size_bin_name(event.length)}"] += event.count
+        if self.enable_dxt:
+            rec.dxt_segments.append(
+                DXTSegment(
+                    op=kind.lower(),
+                    offset=event.offset,
+                    length=event.length,
+                    start=event.start,
+                    end=event.end,
+                )
+            )
+
+    def finalize(
+        self,
+        exe: str,
+        nprocs: int,
+        start_offset_s: float,
+        end_offset_s: float,
+        uid: int = 1000,
+        jobid: int = 0,
+    ) -> DarshanLogData:
+        """Freeze the accumulated records into a log data object."""
+        if self._finalized:
+            raise DarshanError("profiler already finalized")
+        self._finalized = True
+        job = {
+            "uid": uid,
+            "jobid": jobid,
+            "exe": exe,
+            "nprocs": nprocs,
+            "start_time": start_offset_s,
+            "end_time": end_offset_s,
+            "dxt": self.enable_dxt,
+        }
+        records = sorted(
+            self._records.values(), key=lambda r: (r.module, r.rank, r.path)
+        )
+        return DarshanLogData(job=job, records=records)

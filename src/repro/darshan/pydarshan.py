@@ -1,0 +1,165 @@
+"""PyDarshan-like log reader API.
+
+The paper integrates PyDarshan into the knowledge extractor so Darshan
+logs become knowledge objects (§V-B).  This module exposes the familiar
+surface — ``DarshanReport(path)`` with ``metadata``, ``modules`` and
+per-module record access plus aggregation helpers — backed by the
+repro log format instead of the binary one.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.darshan.counters import counters_for_module
+from repro.darshan.logformat import read_log
+from repro.darshan.profiler import DarshanLogData, DarshanRecord
+from repro.util.errors import DarshanError
+
+__all__ = ["DarshanReport"]
+
+
+class DarshanReport:
+    """A loaded Darshan log with aggregation helpers.
+
+    Mirrors ``pydarshan.DarshanReport``: ``metadata['job']`` carries the
+    job header, ``modules`` lists instrumented modules and
+    ``records[module]`` yields the per-rank-per-file counter records.
+    """
+
+    def __init__(self, source: str | Path | DarshanLogData) -> None:
+        self._data = source if isinstance(source, DarshanLogData) else read_log(source)
+        self.metadata: dict[str, object] = {
+            "job": dict(self._data.job),
+            "exe": self._data.job.get("exe", ""),
+        }
+        self.records: dict[str, list[DarshanRecord]] = {
+            m: self._data.module_records(m) for m in self._data.modules()
+        }
+
+    @property
+    def modules(self) -> list[str]:
+        """Instrumented modules present in the log."""
+        return sorted(self.records)
+
+    @property
+    def nprocs(self) -> int:
+        """Number of MPI processes of the instrumented job."""
+        return int(self._data.job.get("nprocs", 0))
+
+    @property
+    def runtime_s(self) -> float:
+        """Wall time covered by the log."""
+        return float(self._data.job.get("end_time", 0.0)) - float(
+            self._data.job.get("start_time", 0.0)
+        )
+
+    def _module(self, module: str) -> list[DarshanRecord]:
+        try:
+            return self.records[module]
+        except KeyError:
+            raise DarshanError(
+                f"module {module!r} not present in this log; available: {self.modules}"
+            ) from None
+
+    def counters(self, module: str) -> dict[str, float]:
+        """Counters of one module aggregated over all ranks and files."""
+        totals = {name: 0.0 for name in counters_for_module(module)}
+        max_keys = {k for k in totals if "_MAX_BYTE_" in k}
+        for rec in self._module(module):
+            for key, value in rec.counters.items():
+                if key in max_keys:
+                    totals[key] = max(totals[key], value)
+                else:
+                    totals[key] += value
+        return totals
+
+    def to_records(self, module: str) -> list[dict[str, object]]:
+        """Records of one module as plain dicts (a DataFrame substitute)."""
+        return [
+            {"rank": r.rank, "path": r.path, **r.counters} for r in self._module(module)
+        ]
+
+    def per_file(self, module: str) -> dict[str, dict[str, float]]:
+        """Counters aggregated per file path within one module."""
+        out: dict[str, dict[str, float]] = {}
+        for rec in self._module(module):
+            agg = out.setdefault(rec.path, {name: 0.0 for name in rec.counters})
+            for key, value in rec.counters.items():
+                if "_MAX_BYTE_" in key:
+                    agg[key] = max(agg[key], value)
+                else:
+                    agg[key] += value
+        return out
+
+    # ------------------------------------------------------------------
+    # derived performance metrics (what the extractor pulls out)
+    # ------------------------------------------------------------------
+    def total_bytes(self, module: str = "POSIX") -> tuple[int, int]:
+        """``(bytes_read, bytes_written)`` of one module."""
+        c = self.counters(module)
+        prefix = "H5D" if module == "HDF5" else module
+        return int(c[f"{prefix}_BYTES_READ"]), int(c[f"{prefix}_BYTES_WRITTEN"])
+
+    def agg_bandwidth_mib(self, module: str = "POSIX") -> dict[str, float]:
+        """Aggregate read/write bandwidth estimates in MiB/s.
+
+        Computed like darshan-parser's summary: total bytes over the
+        slowest rank's cumulative I/O time.
+        """
+        prefix = "H5D" if module == "HDF5" else module
+        per_rank_read: dict[int, float] = {}
+        per_rank_write: dict[int, float] = {}
+        for rec in self._module(module):
+            per_rank_read[rec.rank] = per_rank_read.get(rec.rank, 0.0) + rec.counters.get(
+                f"{prefix}_F_READ_TIME", 0.0
+            )
+            per_rank_write[rec.rank] = per_rank_write.get(rec.rank, 0.0) + rec.counters.get(
+                f"{prefix}_F_WRITE_TIME", 0.0
+            )
+        bytes_read, bytes_written = self.total_bytes(module)
+        out = {}
+        max_read_t = max(per_rank_read.values(), default=0.0)
+        max_write_t = max(per_rank_write.values(), default=0.0)
+        out["read_mib_s"] = bytes_read / 1048576 / max_read_t if max_read_t > 0 else 0.0
+        out["write_mib_s"] = bytes_written / 1048576 / max_write_t if max_write_t > 0 else 0.0
+        return out
+
+    def size_histogram(self, module: str, kind: str) -> dict[str, int]:
+        """Access-size histogram (``kind`` is ``'READ'`` or ``'WRITE'``)."""
+        if kind not in ("READ", "WRITE"):
+            raise DarshanError("kind must be 'READ' or 'WRITE'")
+        prefix = "H5D" if module == "HDF5" else module
+        c = self.counters(module)
+        marker = f"{prefix}_SIZE_{kind}_"
+        return {k[len(marker):]: int(v) for k, v in c.items() if k.startswith(marker)}
+
+    def dxt_segments(self, module: str = "POSIX") -> dict[tuple[int, str], list]:
+        """DXT traces keyed by (rank, path); empty unless DXT was on."""
+        return {
+            (r.rank, r.path): list(r.dxt_segments)
+            for r in self._module(module)
+            if r.dxt_segments
+        }
+
+    def timeline(self, module: str = "POSIX", nbins: int = 20) -> np.ndarray:
+        """Binned bytes-moved-over-time matrix from DXT data.
+
+        Returns an ``(nbins,)`` array of bytes transferred per time bin
+        — the data behind a DXT-Explorer-style activity plot.
+        """
+        if nbins <= 0:
+            raise DarshanError("nbins must be >= 1")
+        segs = [s for lst in self.dxt_segments(module).values() for s in lst]
+        bins = np.zeros(nbins)
+        if not segs:
+            return bins
+        t0 = min(s.start for s in segs)
+        t1 = max(s.end for s in segs)
+        span = max(t1 - t0, 1e-12)
+        for s in segs:
+            idx = min(int((s.start - t0) / span * nbins), nbins - 1)
+            bins[idx] += s.length
+        return bins

@@ -1,0 +1,24 @@
+"""Layered I/O stack (POSIX / MPI-IO / HDF5) over the simulated PFS."""
+
+from repro.iostack.hdf5 import HDF5File, HDF5Layer
+from repro.iostack.mpiio import MPIIOFile, MPIIOLayer
+from repro.iostack.posix import PosixFile, PosixLayer
+from repro.iostack.stack import APIS, IOJobContext, Testbed
+from repro.iostack.tracing import NullTracer, RecordingTracer, TeeTracer, TraceEvent, Tracer
+
+__all__ = [
+    "PosixLayer",
+    "PosixFile",
+    "MPIIOLayer",
+    "MPIIOFile",
+    "HDF5Layer",
+    "HDF5File",
+    "Testbed",
+    "IOJobContext",
+    "APIS",
+    "Tracer",
+    "NullTracer",
+    "TeeTracer",
+    "RecordingTracer",
+    "TraceEvent",
+]

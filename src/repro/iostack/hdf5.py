@@ -1,0 +1,146 @@
+"""HDF5-like high-level library layer.
+
+Top of the paper's Fig. 1 stack: a self-describing container library
+built on MPI-IO.  The simulator models what costs performance in real
+parallel HDF5 — per-call library overhead, superblock/metadata writes
+at file open and close, and a dataset-chunking efficiency factor when
+the application transfer size is not aligned to the HDF5 chunk size.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.iostack.mpiio import MPIIOFile, MPIIOLayer
+from repro.iostack.tracing import NullTracer, TraceEvent, Tracer
+from repro.mpi.hints import MPIIOHints
+from repro.pfs.beegfs import BeeGFS
+from repro.pfs.perfmodel import PhaseContext
+from repro.util.errors import IOStackError
+from repro.util.units import KIB
+
+__all__ = ["HDF5_OVERHEAD_S", "HDF5File", "HDF5Layer"]
+
+HDF5_OVERHEAD_S = 8.0e-6
+
+#: Library metadata written at file creation (superblock, root group).
+_HEADER_BYTES = 2 * KIB
+
+_MODULE = "HDF5"
+
+
+class HDF5File:
+    """An open HDF5 file with one contiguous dataset per benchmark."""
+
+    def __init__(self, layer: "HDF5Layer", mpiio_file: MPIIOFile, rank: int) -> None:
+        self.layer = layer
+        self.mpiio = mpiio_file
+        self.rank = rank
+        self.path = mpiio_file.path
+
+    def _chunk_efficiency(self, nbytes: int) -> float:
+        """Extra cost of unaligned dataset access.
+
+        Transfers at least as large as the HDF5 chunk size are free of
+        re-chunking cost; smaller transfers read-modify-write partial
+        chunks, degrading towards the configured floor.
+        """
+        chunk = self.layer.chunk_bytes
+        if nbytes >= chunk:
+            return 1.0
+        floor = self.layer.chunk_floor
+        return floor + (1.0 - floor) * (nbytes / chunk)
+
+    def write_at(
+        self, offset: int, nbytes: int, ctx: PhaseContext, now: float, collective: bool = False
+    ) -> float:
+        """``H5Dwrite`` of one application block."""
+        dt = self.mpiio.write_at(offset, nbytes, ctx, now, collective)
+        dt = dt / self._chunk_efficiency(nbytes) + HDF5_OVERHEAD_S
+        self.layer.tracer.record(
+            TraceEvent(_MODULE, "write", self.rank, self.path, offset, nbytes, now, now + dt)
+        )
+        return dt
+
+    def read_at(
+        self, offset: int, nbytes: int, ctx: PhaseContext, now: float, collective: bool = False
+    ) -> float:
+        """``H5Dread`` of one application block."""
+        dt = self.mpiio.read_at(offset, nbytes, ctx, now, collective)
+        dt = dt / self._chunk_efficiency(nbytes) + HDF5_OVERHEAD_S
+        self.layer.tracer.record(
+            TraceEvent(_MODULE, "read", self.rank, self.path, offset, nbytes, now, now + dt)
+        )
+        return dt
+
+    def io_many(
+        self,
+        op: str,
+        nbytes: int,
+        n_ops: int,
+        ctx: PhaseContext,
+        now: float,
+        collective: bool = False,
+    ) -> np.ndarray:
+        """Vectorized batch of dataset accesses."""
+        durations = self.mpiio.io_many(op, nbytes, n_ops, ctx, now, collective)
+        durations = durations / self._chunk_efficiency(nbytes) + HDF5_OVERHEAD_S
+        self.layer.tracer.record_batch(
+            _MODULE, op, self.rank, self.path, 0, nbytes, durations, now
+        )
+        return durations
+
+    def flush(self, now: float) -> float:
+        """``H5Fflush``: push dirty data down the stack."""
+        return self.mpiio.sync(now) + HDF5_OVERHEAD_S
+
+    def close(self, now: float, ctx: PhaseContext) -> float:
+        """``H5Fclose``: flush library metadata, then close below."""
+        dt = 0.0
+        if ctx.access == "write":
+            dt += self.mpiio.write_at(0, _HEADER_BYTES, ctx, now)
+        dt += self.mpiio.close(now + dt) + HDF5_OVERHEAD_S
+        self.layer.tracer.record(
+            TraceEvent(_MODULE, "close", self.rank, self.path, 0, 0, now, now + dt)
+        )
+        return dt
+
+
+class HDF5Layer:
+    """Factory for HDF5 files atop an MPI-IO layer."""
+
+    api_name = "HDF5"
+
+    def __init__(
+        self,
+        fs: BeeGFS,
+        tracer: Tracer | None = None,
+        hints: MPIIOHints | None = None,
+        chunk_bytes: int = 1024 * KIB,
+        chunk_floor: float = 0.82,
+    ) -> None:
+        if chunk_bytes <= 0:
+            raise IOStackError("HDF5 chunk size must be positive")
+        if not 0 < chunk_floor <= 1:
+            raise IOStackError("chunk_floor must be in (0, 1]")
+        self.tracer = tracer or NullTracer()
+        self.mpiio_layer = MPIIOLayer(fs, self.tracer, hints)
+        self.chunk_bytes = chunk_bytes
+        self.chunk_floor = chunk_floor
+
+    def open(
+        self,
+        path: str,
+        rank: int,
+        ctx: PhaseContext,
+        now: float,
+        create: bool,
+        shared_file: bool,
+    ) -> tuple[HDF5File, float]:
+        """``H5Fopen``/``H5Fcreate`` (always through MPI-IO)."""
+        mf, dt = self.mpiio_layer.open(path, rank, ctx, now, create, shared_file)
+        if create and ctx.access == "write":
+            dt += mf.write_at(0, _HEADER_BYTES, ctx, now + dt)
+        dt += HDF5_OVERHEAD_S
+        self.tracer.record(TraceEvent(_MODULE, "open", rank, path, 0, 0, now, now + dt))
+        return HDF5File(self, mf, rank), dt

@@ -1,0 +1,170 @@
+"""MPI-IO layer of the I/O stack.
+
+Sits on the POSIX layer, as in the paper's Fig. 1 ("these libraries ...
+are built atop MPI-IO, where MPI-IO in turn uses POSIX").  Adds the
+MPI-IO semantics the benchmarks exercise: shared file handles across a
+communicator, independent vs. collective data operations, and ROMIO
+hints that switch collective buffering on or off.  Collective
+operations run under a context with ``collective=True`` so the
+performance model applies the aggregation efficiency instead of the
+shared-file lock penalty, plus the two-phase exchange latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+
+from repro.iostack.posix import PosixFile, PosixLayer
+from repro.iostack.tracing import NullTracer, TraceEvent, Tracer
+from repro.mpi.hints import MPIIOHints
+from repro.pfs.beegfs import BeeGFS
+from repro.pfs.layout import StripeLayout
+from repro.pfs.perfmodel import PhaseContext
+from repro.util.errors import IOStackError
+
+__all__ = ["MPIIO_OVERHEAD_S", "MPIIOFile", "MPIIOLayer"]
+
+MPIIO_OVERHEAD_S = 5.0e-6
+
+_MODULE = "MPIIO"
+
+
+class MPIIOFile:
+    """An ``MPI_File`` handle (per-rank view in the simulator)."""
+
+    def __init__(
+        self,
+        layer: "MPIIOLayer",
+        posix_file: PosixFile,
+        rank: int,
+        shared_file: bool,
+    ) -> None:
+        self.layer = layer
+        self.posix = posix_file
+        self.rank = rank
+        self.shared_file = shared_file
+        self.path = posix_file.path
+
+    def _ctx(self, ctx: PhaseContext, collective: bool) -> PhaseContext:
+        wants = collective and self.layer.hints.collective_enabled(ctx.access, self.shared_file)
+        if ctx.collective == wants and ctx.shared_file == self.shared_file:
+            return ctx
+        return replace(ctx, collective=wants, shared_file=self.shared_file)
+
+    def write_at(
+        self, offset: int, nbytes: int, ctx: PhaseContext, now: float, collective: bool = False
+    ) -> float:
+        """``MPI_File_write_at(_all)``."""
+        eff = self._ctx(ctx, collective)
+        dt = self.posix.write(nbytes, eff, now, offset=offset) + MPIIO_OVERHEAD_S
+        op = "write_all" if eff.collective else "write"
+        self.layer.tracer.record(
+            TraceEvent(_MODULE, op, self.rank, self.path, offset, nbytes, now, now + dt)
+        )
+        return dt
+
+    def read_at(
+        self, offset: int, nbytes: int, ctx: PhaseContext, now: float, collective: bool = False
+    ) -> float:
+        """``MPI_File_read_at(_all)``."""
+        eff = self._ctx(ctx, collective)
+        dt = self.posix.read(nbytes, eff, now, offset=offset) + MPIIO_OVERHEAD_S
+        op = "read_all" if eff.collective else "read"
+        self.layer.tracer.record(
+            TraceEvent(_MODULE, op, self.rank, self.path, offset, nbytes, now, now + dt)
+        )
+        return dt
+
+    def io_many(
+        self,
+        op: str,
+        nbytes: int,
+        n_ops: int,
+        ctx: PhaseContext,
+        now: float,
+        collective: bool = False,
+    ) -> np.ndarray:
+        """Vectorized batch of identical transfers at the MPI-IO level."""
+        eff = self._ctx(ctx, collective)
+        durations = self.posix.io_many(op, nbytes, n_ops, eff, now) + MPIIO_OVERHEAD_S
+        suffix = "_all" if eff.collective else ""
+        self.layer.tracer.record_batch(
+            _MODULE, op + suffix, self.rank, self.path, 0, nbytes, durations, now
+        )
+        return durations
+
+    def sync(self, now: float) -> float:
+        """``MPI_File_sync``."""
+        dt = self.posix.fsync(now) + MPIIO_OVERHEAD_S
+        self.layer.tracer.record(
+            TraceEvent(_MODULE, "sync", self.rank, self.path, 0, 0, now, now + dt)
+        )
+        return dt
+
+    def close(self, now: float) -> float:
+        """``MPI_File_close``."""
+        dt = self.posix.close(now) + MPIIO_OVERHEAD_S
+        self.layer.tracer.record(
+            TraceEvent(_MODULE, "close", self.rank, self.path, 0, 0, now, now + dt)
+        )
+        return dt
+
+
+class MPIIOLayer:
+    """Factory for MPI-IO file handles, configured with ROMIO hints."""
+
+    api_name = "MPIIO"
+
+    def __init__(
+        self,
+        fs: BeeGFS,
+        tracer: Tracer | None = None,
+        hints: MPIIOHints | None = None,
+    ) -> None:
+        self.tracer = tracer or NullTracer()
+        self.posix_layer = PosixLayer(fs, self.tracer)
+        self.hints = hints or MPIIOHints()
+
+    def open(
+        self,
+        path: str,
+        rank: int,
+        ctx: PhaseContext,
+        now: float,
+        create: bool,
+        shared_file: bool,
+        layout: StripeLayout | None = None,
+    ) -> tuple[MPIIOFile, float]:
+        """``MPI_File_open``; with ``create`` for write phases.
+
+        For a shared file only rank 0 pays the create; other ranks pay
+        an open of the now-existing file — matching MPI-IO semantics
+        where the open is collective.
+        """
+        if layout is None and self.hints.striping_unit > 0:
+            fs = self.posix_layer.fs
+            default = fs.default_layout()
+            layout = StripeLayout(
+                chunk_size=self.hints.striping_unit,
+                target_ids=default.target_ids,
+                pattern=default.pattern,
+            )
+        if create:
+            # Open-or-create for both modes: a shared file is created by
+            # the first rank only, and a rewrite of an existing
+            # file-per-process file opens it in place (IOR without -k
+            # removal, repetition > 1).
+            pf, dt = self.posix_layer.open_shared(path, rank, ctx, now, layout=layout)
+        else:
+            pf, dt = self.posix_layer.open(path, rank, ctx, now)
+        dt += MPIIO_OVERHEAD_S
+        self.tracer.record(TraceEvent(_MODULE, "open", rank, path, 0, 0, now, now + dt))
+        return MPIIOFile(self, pf, rank, shared_file), dt
+
+    def delete(self, path: str, rank: int, ctx: PhaseContext, now: float) -> float:
+        """``MPI_File_delete``."""
+        if ctx.access != "write":
+            raise IOStackError("MPI_File_delete requires a write-phase context")
+        return self.posix_layer.unlink(path, rank, ctx, now) + MPIIO_OVERHEAD_S

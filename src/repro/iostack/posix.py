@@ -1,0 +1,179 @@
+"""POSIX layer of the I/O stack.
+
+The bottom software layer of the paper's Fig. 1 stack: everything above
+(MPI-IO, HDF5) ultimately issues POSIX open/read/write/fsync/close
+against the parallel file system client.  Each call returns its
+simulated duration; a small constant models the syscall/VFS overhead on
+top of the file-system cost.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.iostack.tracing import NullTracer, TraceEvent, Tracer
+from repro.pfs.beegfs import BeeGFS
+from repro.pfs.file import FileEntry
+from repro.pfs.layout import StripeLayout
+from repro.pfs.perfmodel import PhaseContext
+from repro.util.errors import IOStackError
+
+__all__ = ["POSIX_SYSCALL_OVERHEAD_S", "PosixFile", "PosixLayer"]
+
+POSIX_SYSCALL_OVERHEAD_S = 2.0e-6
+
+_MODULE = "POSIX"
+
+
+class PosixFile:
+    """An open POSIX file descriptor on the simulated PFS."""
+
+    def __init__(self, layer: "PosixLayer", path: str, entry: FileEntry, rank: int) -> None:
+        self.layer = layer
+        self.path = path
+        self.entry = entry
+        self.rank = rank
+        self.offset = 0  # sequential position for append-style access
+        self.closed = False
+
+    def _check_open(self) -> None:
+        if self.closed:
+            raise IOStackError(f"I/O on closed file {self.path!r}")
+
+    def write(self, nbytes: int, ctx: PhaseContext, now: float, offset: int | None = None) -> float:
+        """Write ``nbytes`` at ``offset`` (or the current position)."""
+        self._check_open()
+        off = self.offset if offset is None else offset
+        dt = self.layer.fs.write(self.entry, off, nbytes, ctx) + POSIX_SYSCALL_OVERHEAD_S
+        if offset is None:
+            self.offset += nbytes
+        self.layer.tracer.record(
+            TraceEvent(_MODULE, "write", self.rank, self.path, off, nbytes, now, now + dt)
+        )
+        return dt
+
+    def read(self, nbytes: int, ctx: PhaseContext, now: float, offset: int | None = None) -> float:
+        """Read ``nbytes`` at ``offset`` (or the current position)."""
+        self._check_open()
+        off = self.offset if offset is None else offset
+        dt = self.layer.fs.read(self.entry, off, nbytes, ctx) + POSIX_SYSCALL_OVERHEAD_S
+        if offset is None:
+            self.offset += nbytes
+        self.layer.tracer.record(
+            TraceEvent(_MODULE, "read", self.rank, self.path, off, nbytes, now, now + dt)
+        )
+        return dt
+
+    def io_many(
+        self, op: str, nbytes: int, n_ops: int, ctx: PhaseContext, now: float
+    ) -> np.ndarray:
+        """Vectorized batch of identical sequential transfers.
+
+        Returns per-op durations; advances the file position past the
+        whole batch.  This is the fast path for the rank loops of IOR,
+        HACC-IO and the IO500 data phases.
+        """
+        self._check_open()
+        if op not in ("read", "write"):
+            raise IOStackError(f"io_many op must be 'read' or 'write', got {op!r}")
+        if (op == "write") != (ctx.access == "write"):
+            raise IOStackError(f"{op} issued under a {ctx.access}-phase context")
+        offset0 = self.offset
+        durations = self.layer.fs.io_many(
+            self.entry, nbytes, n_ops, ctx, rank=self.rank, offset=offset0
+        )
+        durations = durations + POSIX_SYSCALL_OVERHEAD_S
+        self.offset += n_ops * nbytes
+        self.layer.tracer.record_batch(
+            _MODULE, op, self.rank, self.path, offset0, nbytes, durations, now
+        )
+        return durations
+
+    def fsync(self, now: float) -> float:
+        """Flush dirty data."""
+        self._check_open()
+        dt = self.layer.fs.fsync(self.entry)
+        self.layer.tracer.record(
+            TraceEvent(_MODULE, "fsync", self.rank, self.path, 0, 0, now, now + dt)
+        )
+        return dt
+
+    def seek(self, offset: int) -> None:
+        """Reposition the sequential pointer (no simulated cost)."""
+        if offset < 0:
+            raise IOStackError(f"cannot seek to negative offset {offset}")
+        self.offset = offset
+
+    def close(self, now: float) -> float:
+        """Close the descriptor."""
+        self._check_open()
+        self.closed = True
+        dt = POSIX_SYSCALL_OVERHEAD_S
+        self.layer.tracer.record(
+            TraceEvent(_MODULE, "close", self.rank, self.path, 0, 0, now, now + dt)
+        )
+        return dt
+
+
+class PosixLayer:
+    """Factory for POSIX files on one file system, with tracing."""
+
+    api_name = "POSIX"
+
+    def __init__(self, fs: BeeGFS, tracer: Tracer | None = None) -> None:
+        self.fs = fs
+        self.tracer = tracer or NullTracer()
+
+    def create(
+        self,
+        path: str,
+        rank: int,
+        ctx: PhaseContext,
+        now: float,
+        layout: StripeLayout | None = None,
+        shared_dir: bool = False,
+    ) -> tuple[PosixFile, float]:
+        """``open(O_CREAT|O_WRONLY)``: create a file for writing."""
+        entry, dt = self.fs.create(path, ctx, layout=layout, shared_dir=shared_dir)
+        dt += POSIX_SYSCALL_OVERHEAD_S
+        self.tracer.record(TraceEvent(_MODULE, "create", rank, path, 0, 0, now, now + dt))
+        return PosixFile(self, path, entry, rank), dt
+
+    def open(self, path: str, rank: int, ctx: PhaseContext, now: float) -> tuple[PosixFile, float]:
+        """``open(O_RDONLY)`` / open an existing file."""
+        entry, dt = self.fs.open(path, ctx)
+        dt += POSIX_SYSCALL_OVERHEAD_S
+        self.tracer.record(TraceEvent(_MODULE, "open", rank, path, 0, 0, now, now + dt))
+        return PosixFile(self, path, entry, rank), dt
+
+    def open_shared(
+        self,
+        path: str,
+        rank: int,
+        ctx: PhaseContext,
+        now: float,
+        layout: StripeLayout | None = None,
+    ) -> tuple[PosixFile, float]:
+        """Open-or-create used by N-to-1 workloads (rank 0 creates)."""
+        if self.fs.namespace.exists(path):
+            return self.open(path, rank, ctx, now)
+        return self.create(path, rank, ctx, now, layout=layout)
+
+    def stat(self, path: str, rank: int, ctx: PhaseContext, now: float, shared_dir: bool = False) -> float:
+        """Stat a path."""
+        dt = self.fs.stat(path, ctx, shared_dir) + POSIX_SYSCALL_OVERHEAD_S
+        self.tracer.record(TraceEvent(_MODULE, "stat", rank, path, 0, 0, now, now + dt))
+        return dt
+
+    def unlink(self, path: str, rank: int, ctx: PhaseContext, now: float, shared_dir: bool = False) -> float:
+        """Remove a file."""
+        dt = self.fs.unlink(path, ctx, shared_dir) + POSIX_SYSCALL_OVERHEAD_S
+        self.tracer.record(TraceEvent(_MODULE, "unlink", rank, path, 0, 0, now, now + dt))
+        return dt
+
+    def mkdir(self, path: str, rank: int, ctx: PhaseContext, now: float) -> float:
+        """Create one directory."""
+        _, dt = self.fs.mkdir(path, ctx)
+        dt += POSIX_SYSCALL_OVERHEAD_S
+        self.tracer.record(TraceEvent(_MODULE, "mkdir", rank, path, 0, 0, now, now + dt))
+        return dt

@@ -1,0 +1,128 @@
+"""Instrumentation hooks for the I/O stack.
+
+Every layer reports its operations to a :class:`Tracer`.  The Darshan
+substrate plugs in here to build counter records and DXT segment
+traces; the default :class:`NullTracer` makes instrumentation free when
+profiling is off (exactly how Darshan is an opt-in link-time wrapper on
+real systems).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["TraceEvent", "Tracer", "NullTracer", "RecordingTracer", "TeeTracer"]
+
+
+@dataclass(frozen=True, slots=True)
+class TraceEvent:
+    """One observed I/O operation (or a batch of identical ones)."""
+
+    module: str  # 'POSIX' | 'MPIIO' | 'HDF5'
+    op: str  # 'open' | 'create' | 'read' | 'write' | 'fsync' | 'close' | 'stat' | ...
+    rank: int
+    path: str
+    offset: int
+    length: int
+    start: float
+    end: float
+    count: int = 1
+
+    @property
+    def duration(self) -> float:
+        """Wall time covered by the event."""
+        return self.end - self.start
+
+
+class Tracer:
+    """Base tracer: receives events; subclasses accumulate them."""
+
+    def record(self, event: TraceEvent) -> None:
+        """Record a single event.  Default: drop it."""
+
+    def record_batch(
+        self,
+        module: str,
+        op: str,
+        rank: int,
+        path: str,
+        offset0: int,
+        nbytes: int,
+        durations: np.ndarray,
+        t0: float,
+    ) -> None:
+        """Record ``len(durations)`` identical back-to-back ops.
+
+        The default implementation expands the batch into per-op events
+        with sequential offsets (what DXT needs); counter-oriented
+        tracers override this with a vectorized update.
+        """
+        t = t0
+        off = offset0
+        for d in np.asarray(durations, dtype=float):
+            self.record(
+                TraceEvent(
+                    module=module,
+                    op=op,
+                    rank=rank,
+                    path=path,
+                    offset=off,
+                    length=nbytes,
+                    start=t,
+                    end=t + float(d),
+                )
+            )
+            t += float(d)
+            off += nbytes
+
+
+class NullTracer(Tracer):
+    """Tracer that drops everything (profiling disabled)."""
+
+    def record(self, event: TraceEvent) -> None:
+        """Drop the event."""
+
+    def record_batch(self, *args: object, **kwargs: object) -> None:
+        """Drop the batch."""
+
+
+class RecordingTracer(Tracer):
+    """Tracer that keeps every event in a list (tests, DXT explorer)."""
+
+    def __init__(self) -> None:
+        self.events: list[TraceEvent] = []
+
+    def record(self, event: TraceEvent) -> None:
+        """Append the event to the in-memory list."""
+        self.events.append(event)
+
+    def by_module(self, module: str) -> list[TraceEvent]:
+        """Events of one stack layer."""
+        return [e for e in self.events if e.module == module]
+
+    def total_bytes(self, op: str) -> int:
+        """Total bytes moved by all events of one op type."""
+        return sum(e.length * e.count for e in self.events if e.op == op)
+
+
+class TeeTracer(Tracer):
+    """Fans every event out to several tracers.
+
+    Lets a job be profiled by Darshan and watched by the online monitor
+    at the same time, mirroring how real systems stack instrumentation.
+    """
+
+    def __init__(self, *tracers: Tracer) -> None:
+        self.tracers = list(tracers)
+
+    def record(self, event: TraceEvent) -> None:
+        """Forward the event to every attached tracer."""
+        for t in self.tracers:
+            t.record(event)
+
+    def record_batch(self, *args: object, **kwargs: object) -> None:
+        """Forward the batch to every attached tracer."""
+        for t in self.tracers:
+            t.record_batch(*args, **kwargs)

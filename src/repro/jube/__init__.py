@@ -1,0 +1,24 @@
+"""JUBE-like benchmarking environment: parameters, steps, workpackages, analysers."""
+
+from repro.jube.analyser import Analyser, Pattern, ResultTable
+from repro.jube.benchmark import JubeBenchmark, Step, StepContext, Workpackage
+from repro.jube.parameters import Parameter, ParameterSet, expand_parameter_space, substitute
+from repro.jube.steps import DEFAULT_WORK_REGISTRY
+from repro.jube.xmlconfig import load_benchmark, load_benchmark_file
+
+__all__ = [
+    "Parameter",
+    "ParameterSet",
+    "expand_parameter_space",
+    "substitute",
+    "JubeBenchmark",
+    "Step",
+    "StepContext",
+    "Workpackage",
+    "Analyser",
+    "Pattern",
+    "ResultTable",
+    "load_benchmark",
+    "load_benchmark_file",
+    "DEFAULT_WORK_REGISTRY",
+]

@@ -1,0 +1,118 @@
+"""JUBE analyser: pattern-based result extraction and result tables.
+
+After the steps ran, a JUBE analyser scans named output files in every
+workpackage with typed regex patterns and builds result tables keyed by
+the workpackage parameters — the mechanism the paper's workflow uses to
+hook the knowledge extractor into the JUBE run (§V-B).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.jube.benchmark import JubeBenchmark, Workpackage
+from repro.util.errors import JubeError
+from repro.util.tables import render_table
+
+__all__ = ["Pattern", "Analyser", "ResultTable"]
+
+_TYPES = {"int": int, "float": float, "string": str}
+
+
+@dataclass(frozen=True, slots=True)
+class Pattern:
+    """One typed extraction pattern."""
+
+    name: str
+    regex: str
+    dtype: str = "float"
+
+    def __post_init__(self) -> None:
+        if self.dtype not in _TYPES:
+            raise JubeError(f"pattern type must be one of {sorted(_TYPES)}, got {self.dtype!r}")
+        try:
+            compiled = re.compile(self.regex)
+        except re.error as exc:
+            raise JubeError(f"invalid pattern regex {self.regex!r}: {exc}") from exc
+        if compiled.groups < 1:
+            raise JubeError(f"pattern {self.name!r} needs one capture group")
+
+    def extract(self, text: str) -> object | None:
+        """Last match in the text, converted to the pattern type."""
+        matches = re.findall(self.regex, text)
+        if not matches:
+            return None
+        value = matches[-1]
+        if isinstance(value, tuple):
+            value = value[0]
+        return _TYPES[self.dtype](value)
+
+
+@dataclass(slots=True)
+class ResultTable:
+    """Extraction results: one row per analysed workpackage."""
+
+    columns: list[str]
+    rows: list[dict[str, object]]
+
+    def render(self) -> str:
+        """Monospace table of all rows."""
+        return render_table(
+            self.columns,
+            [[row.get(c) for c in self.columns] for row in self.rows],
+        )
+
+    def column(self, name: str) -> list[object]:
+        """All values of one column."""
+        if name not in self.columns:
+            raise JubeError(f"no column {name!r}; available: {self.columns}")
+        return [row.get(name) for row in self.rows]
+
+
+class Analyser:
+    """Applies patterns to step output files of a finished benchmark."""
+
+    def __init__(self, name: str, step: str, files: Sequence[str], patterns: Sequence[Pattern]) -> None:
+        if not files:
+            raise JubeError("analyser needs at least one file name")
+        if not patterns:
+            raise JubeError("analyser needs at least one pattern")
+        names = [p.name for p in patterns]
+        if len(set(names)) != len(names):
+            raise JubeError("duplicate pattern names")
+        self.name = name
+        self.step = step
+        self.files = list(files)
+        self.patterns = list(patterns)
+
+    def analyse(self, benchmark: JubeBenchmark) -> ResultTable:
+        """Scan the matching workpackages and build the result table."""
+        wps = [wp for wp in benchmark.workpackages if wp.step == self.step]
+        if not wps:
+            raise JubeError(
+                f"no workpackages for step {self.step!r}; did the benchmark run?"
+            )
+        param_names = sorted({k for wp in wps for k in wp.params})
+        columns = param_names + [p.name for p in self.patterns]
+        rows = []
+        for wp in wps:
+            row: dict[str, object] = dict(wp.params)
+            text = self._read_files(wp)
+            for pattern in self.patterns:
+                row[pattern.name] = pattern.extract(text)
+            rows.append(row)
+        return ResultTable(columns=columns, rows=rows)
+
+    def _read_files(self, wp: Workpackage) -> str:
+        chunks = []
+        for name in self.files:
+            path = wp.workdir / name
+            if path.exists():
+                chunks.append(path.read_text(encoding="utf-8"))
+        if not chunks:
+            raise JubeError(
+                f"none of {self.files} exist in workpackage {wp.dirname}"
+            )
+        return "\n".join(chunks)

@@ -1,0 +1,201 @@
+"""JUBE benchmark execution: steps, workpackages and run directories.
+
+A benchmark owns parameter sets and steps; running it expands the
+parameter space and executes every step once per parameter combination
+in its own *workpackage* directory (``<outpath>/<run>/NNNNNN_<step>/work``),
+exactly the directory layout the paper's knowledge extractor scans when
+no explicit output path is given (§V-B).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Mapping, Sequence
+
+from repro.jube.parameters import ParameterSet, expand_parameter_space
+from repro.util.errors import JubeError
+
+__all__ = ["StepContext", "Step", "Workpackage", "JubeBenchmark", "JUBE_WORKDIR_NAME"]
+
+JUBE_WORKDIR_NAME = "work"
+
+
+@dataclass(slots=True)
+class StepContext:
+    """What a step's work callable sees when it runs."""
+
+    params: dict[str, str]
+    workdir: Path
+    dependencies: dict[str, Path]  # step name -> that step's workdir
+    shared: dict[str, object]  # benchmark-wide shared state (e.g. the Testbed)
+
+    def write_file(self, name: str, content: str) -> Path:
+        """Write an output file into the workpackage directory."""
+        path = self.workdir / name
+        path.write_text(content, encoding="utf-8")
+        return path
+
+    def dependency_file(self, step: str, name: str) -> Path:
+        """Path of a file a dependency step produced."""
+        try:
+            base = self.dependencies[step]
+        except KeyError:
+            raise JubeError(f"step has no dependency {step!r}") from None
+        path = base / name
+        if not path.exists():
+            raise JubeError(f"dependency file {path} does not exist")
+        return path
+
+
+#: A step's work: receives the context, writes outputs, returns nothing.
+WorkFn = Callable[[StepContext], None]
+
+
+@dataclass(frozen=True, slots=True)
+class Step:
+    """One step of a benchmark."""
+
+    name: str
+    work: WorkFn
+    use: tuple[str, ...] = ()  # parameter set names
+    depends: tuple[str, ...] = ()  # earlier step names
+
+
+@dataclass(slots=True)
+class Workpackage:
+    """One (step x parameter combination) execution."""
+
+    wp_id: int
+    step: str
+    params: dict[str, str]
+    workdir: Path
+    done: bool = False
+
+    @property
+    def dirname(self) -> str:
+        """JUBE-style directory name ``NNNNNN_<step>``."""
+        return f"{self.wp_id:06d}_{self.step}"
+
+
+class JubeBenchmark:
+    """A runnable JUBE benchmark definition."""
+
+    def __init__(
+        self,
+        name: str,
+        outpath: str | Path,
+        parameter_sets: Sequence[ParameterSet] = (),
+        steps: Sequence[Step] = (),
+        shared: Mapping[str, object] | None = None,
+    ) -> None:
+        self.name = name
+        self.outpath = Path(outpath)
+        self.parameter_sets = {p.name: p for p in parameter_sets}
+        if len(self.parameter_sets) != len(parameter_sets):
+            raise JubeError("duplicate parameter set names")
+        self.steps: dict[str, Step] = {}
+        for step in steps:
+            self.add_step(step)
+        self.shared: dict[str, object] = dict(shared or {})
+        self.workpackages: list[Workpackage] = []
+        self._run_dir: Path | None = None
+
+    def add_parameter_set(self, pset: ParameterSet) -> None:
+        """Register a parameter set."""
+        if pset.name in self.parameter_sets:
+            raise JubeError(f"parameter set {pset.name!r} already defined")
+        self.parameter_sets[pset.name] = pset
+
+    def add_step(self, step: Step) -> None:
+        """Register a step; dependencies must already be registered."""
+        if step.name in self.steps:
+            raise JubeError(f"step {step.name!r} already defined")
+        for dep in step.depends:
+            if dep not in self.steps:
+                raise JubeError(
+                    f"step {step.name!r} depends on unknown/later step {dep!r}"
+                )
+        self.steps[step.name] = step
+
+    @property
+    def run_dir(self) -> Path:
+        """The directory of the last (or current) run."""
+        if self._run_dir is None:
+            raise JubeError("benchmark has not been run yet")
+        return self._run_dir
+
+    def _next_run_id(self) -> int:
+        if not self.outpath.exists():
+            return 0
+        existing = [int(p.name) for p in self.outpath.iterdir() if p.name.isdigit()]
+        return max(existing, default=-1) + 1
+
+    def run(self) -> list[Workpackage]:
+        """Expand the parameter space and execute all steps in order.
+
+        Steps execute in registration order; within a step, one
+        workpackage per parameter combination.  A workpackage of a
+        dependent step is wired to the dependency workpackage with the
+        same parameter combination.
+        """
+        run_id = self._next_run_id()
+        self._run_dir = self.outpath / f"{run_id:06d}"
+        self._run_dir.mkdir(parents=True, exist_ok=True)
+        self.workpackages = []
+        wp_counter = 0
+        # step name -> {param-combo-key -> workdir}
+        finished: dict[str, dict[str, Path]] = {}
+        for step in self.steps.values():
+            try:
+                used = [self.parameter_sets[n] for n in step.use]
+            except KeyError as exc:
+                raise JubeError(f"step {step.name!r} uses unknown parameter set {exc}") from None
+            combos = expand_parameter_space(used)
+            finished[step.name] = {}
+            for params in combos:
+                wp = Workpackage(
+                    wp_id=wp_counter,
+                    step=step.name,
+                    params=params,
+                    workdir=self._run_dir / f"{wp_counter:06d}_{step.name}" / JUBE_WORKDIR_NAME,
+                )
+                wp_counter += 1
+                wp.workdir.mkdir(parents=True, exist_ok=True)
+                (wp.workdir.parent / "parameters.json").write_text(
+                    json.dumps(params, indent=2, sort_keys=True), encoding="utf-8"
+                )
+                deps = {}
+                for dep in step.depends:
+                    key = _combo_key(params, dep_combos := finished[dep])
+                    deps[dep] = dep_combos[key]
+                ctx = StepContext(
+                    params=dict(params),
+                    workdir=wp.workdir,
+                    dependencies=deps,
+                    shared=self.shared,
+                )
+                step.work(ctx)
+                wp.done = True
+                finished[step.name][_combo_key(params, None)] = wp.workdir
+                self.workpackages.append(wp)
+        return self.workpackages
+
+
+def _combo_key(params: dict[str, str], available: dict[str, Path] | None) -> str:
+    """Key matching a dependent workpackage to its dependency.
+
+    Uses the full sorted parameter combination; if the dependency step
+    expanded over fewer parameters, fall back to the single workpackage
+    when unambiguous.
+    """
+    key = json.dumps(params, sort_keys=True)
+    if available is None or key in available:
+        return key
+    if len(available) == 1:
+        return next(iter(available))
+    raise JubeError(
+        "cannot match workpackage to dependency: parameter combination "
+        f"{key} not found among {len(available)} dependency workpackages"
+    )

@@ -1,0 +1,101 @@
+"""JUBE parameter sets and parameter-space expansion.
+
+JUBE's core idea (§V-A: "we define a set of I/O patterns as JUBE
+parameters in the JUBE configuration file"): a parameter may carry a
+comma-separated value list, the benchmark expands the cartesian product
+of all lists, and ``$name`` / ``${name}`` references are substituted
+into templates such as the IOR command line.
+"""
+
+from __future__ import annotations
+
+import itertools
+import re
+from dataclasses import dataclass
+
+from repro.util.errors import JubeError
+
+__all__ = ["Parameter", "ParameterSet", "expand_parameter_space", "substitute"]
+
+_NAME_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*$")
+
+
+@dataclass(frozen=True, slots=True)
+class Parameter:
+    """One JUBE parameter: a name and its expansion values."""
+
+    name: str
+    values: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not _NAME_RE.match(self.name):
+            raise JubeError(f"invalid parameter name {self.name!r}")
+        if not self.values:
+            raise JubeError(f"parameter {self.name!r} has no values")
+
+    @classmethod
+    def from_text(cls, name: str, text: str, separator: str = ",") -> "Parameter":
+        """Build from JUBE's comma-separated value text."""
+        values = tuple(v.strip() for v in text.split(separator))
+        return cls(name=name, values=values)
+
+    @property
+    def is_template(self) -> bool:
+        """Whether this parameter expands into multiple workpackages."""
+        return len(self.values) > 1
+
+
+@dataclass(frozen=True, slots=True)
+class ParameterSet:
+    """A named group of parameters."""
+
+    name: str
+    parameters: tuple[Parameter, ...]
+
+    def __post_init__(self) -> None:
+        names = [p.name for p in self.parameters]
+        if len(set(names)) != len(names):
+            dupes = sorted({n for n in names if names.count(n) > 1})
+            raise JubeError(f"duplicate parameters in set {self.name!r}: {dupes}")
+
+    def parameter(self, name: str) -> Parameter:
+        """Look up one parameter."""
+        for p in self.parameters:
+            if p.name == name:
+                return p
+        raise JubeError(f"no parameter {name!r} in set {self.name!r}")
+
+
+def expand_parameter_space(sets: list[ParameterSet]) -> list[dict[str, str]]:
+    """Cartesian-product expansion over all used parameter sets.
+
+    Later sets override earlier ones on name collision (JUBE's
+    "last definition wins" rule), and every combination becomes one
+    workpackage's parameter dict.
+    """
+    merged: dict[str, Parameter] = {}
+    for pset in sets:
+        for p in pset.parameters:
+            merged[p.name] = p
+    if not merged:
+        return [{}]
+    names = list(merged)
+    value_lists = [merged[n].values for n in names]
+    return [dict(zip(names, combo)) for combo in itertools.product(*value_lists)]
+
+
+_SUBST_RE = re.compile(r"\$\{(?P<braced>[A-Za-z_][A-Za-z0-9_]*)\}|\$(?P<plain>[A-Za-z_][A-Za-z0-9_]*)")
+
+
+def substitute(template: str, params: dict[str, str], strict: bool = True) -> str:
+    """Replace ``$name``/``${name}`` references with parameter values."""
+
+    def repl(m: re.Match[str]) -> str:
+        name = m.group("braced") or m.group("plain")
+        if name in params:
+            return str(params[name])
+        if strict:
+            raise JubeError(f"undefined parameter ${name} in template {template!r}")
+        return m.group(0)
+
+    return _SUBST_RE.sub(repl, template)

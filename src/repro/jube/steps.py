@@ -1,0 +1,200 @@
+"""Prebuilt JUBE step work callables for the knowledge generation phase.
+
+These are the ``<do>`` bodies of the paper's JUBE configuration: run a
+benchmark on the shared simulated testbed and leave its output files in
+the workpackage directory, where the knowledge extractor later finds
+them.  Every step writes the benchmark's native output format plus the
+system/file-system side files (``cpuinfo.txt``, ``meminfo.txt``,
+``beegfs_entryinfo.txt``) the extractor consumes.
+
+The shared dict must contain the :class:`~repro.iostack.stack.Testbed`
+under the key ``"testbed"``.
+"""
+
+from __future__ import annotations
+
+from repro.benchmarks_io.hacc_io import HaccIOConfig, run_hacc_io
+from repro.benchmarks_io.io500 import IO500Config, render_io500_output, run_io500
+from repro.benchmarks_io.ior import parse_command, render_ior_output, run_ior
+from repro.benchmarks_io.mdtest import HARD_WRITE_BYTES, MdtestConfig, render_mdtest_output, run_mdtest
+from repro.cluster.procfs import ProcFS
+from repro.darshan import DarshanProfiler, default_log_name, write_log
+from repro.iostack.stack import Testbed
+from repro.jube.benchmark import StepContext
+from repro.jube.parameters import substitute
+from repro.util.errors import JubeError
+
+__all__ = [
+    "ior_step",
+    "mdtest_step",
+    "io500_step",
+    "hacc_step",
+    "ior_darshan_step",
+    "DEFAULT_WORK_REGISTRY",
+    "IOR_OUTPUT_FILE",
+    "IO500_OUTPUT_FILE",
+    "ENTRYINFO_FILE",
+    "CPUINFO_FILE",
+    "MEMINFO_FILE",
+    "COMMAND_FILE",
+]
+
+IOR_OUTPUT_FILE = "ior_output.txt"
+IO500_OUTPUT_FILE = "io500_result.txt"
+HACC_OUTPUT_FILE = "hacc_output.txt"
+ENTRYINFO_FILE = "beegfs_entryinfo.txt"
+CPUINFO_FILE = "cpuinfo.txt"
+MEMINFO_FILE = "meminfo.txt"
+COMMAND_FILE = "command.txt"
+
+
+def _testbed(ctx: StepContext) -> Testbed:
+    testbed = ctx.shared.get("testbed")
+    if not isinstance(testbed, Testbed):
+        raise JubeError("shared['testbed'] must be a Testbed instance")
+    return testbed
+
+
+def _next_run_id(ctx: StepContext) -> int:
+    run_id = int(ctx.shared.get("_run_counter", 0))  # type: ignore[arg-type]
+    ctx.shared["_run_counter"] = run_id + 1
+    return run_id
+
+
+def _geometry(ctx: StepContext) -> tuple[int, int]:
+    nodes = int(ctx.params.get("nodes", 4))
+    tpn = int(ctx.params.get("taskspernode", 20))
+    return nodes, tpn
+
+
+def _write_fs_info(ctx: StepContext, testbed: Testbed, path: str) -> None:
+    """Capture the file-system settings in the testbed's fs dialect."""
+    if testbed.fs.namespace.exists(path):
+        for name, text in testbed.fs_info_capture(path).items():
+            ctx.write_file(name, text)
+
+
+def _write_system_files(ctx: StepContext, testbed: Testbed) -> None:
+    proc = ProcFS(testbed.cluster.nodes[0].spec)
+    ctx.write_file(CPUINFO_FILE, proc.read("/proc/cpuinfo"))
+    ctx.write_file(MEMINFO_FILE, proc.read("/proc/meminfo"))
+
+
+def ior_step(ctx: StepContext) -> None:
+    """Run IOR from the ``command`` parameter (with ``$param`` expansion)."""
+    testbed = _testbed(ctx)
+    template = ctx.params.get("command")
+    if not template:
+        raise JubeError("ior step needs a 'command' parameter")
+    command = substitute(template, ctx.params, strict=False)
+    config = parse_command(command)
+    nodes, tpn = _geometry(ctx)
+    result = run_ior(
+        config, testbed, num_nodes=nodes, tasks_per_node=tpn, run_id=_next_run_id(ctx)
+    )
+    ctx.write_file(COMMAND_FILE, command + "\n")
+    ctx.write_file(IOR_OUTPUT_FILE, render_ior_output(result))
+    _write_fs_info(ctx, testbed, config.file_for_rank(0))
+    _write_system_files(ctx, testbed)
+
+
+def io500_step(ctx: StepContext) -> None:
+    """Run the IO500 suite and store its result summary and ini file."""
+    testbed = _testbed(ctx)
+    run_id = _next_run_id(ctx)
+    config = IO500Config(
+        workdir=ctx.params.get("workdir", f"/scratch/io500/run{run_id}"),
+    )
+    nodes, tpn = _geometry(ctx)
+    result = run_io500(config, testbed, num_nodes=nodes, tasks_per_node=tpn, run_id=run_id)
+    ctx.write_file(IO500_OUTPUT_FILE, render_io500_output(result))
+    ctx.write_file("io500.ini", config.to_ini())
+    _write_system_files(ctx, testbed)
+
+
+def hacc_step(ctx: StepContext) -> None:
+    """Run HACC-IO with mode/particle parameters."""
+    testbed = _testbed(ctx)
+    run_id = _next_run_id(ctx)
+    config = HaccIOConfig(
+        num_particles=int(ctx.params.get("particles", 1_000_000)),
+        api=ctx.params.get("api", "MPIIO"),
+        mode=ctx.params.get("mode", "single-shared-file"),
+        out_file=ctx.params.get("out_file", f"/scratch/hacc/run{run_id}/checkpoint"),
+    )
+    nodes, tpn = _geometry(ctx)
+    jobctx = testbed.start_job("hacc-io", nodes, tpn)
+    try:
+        result = run_hacc_io(config, jobctx, run_id=run_id)
+    finally:
+        testbed.finish_job(jobctx)
+    lines = [f"HACC-IO mode={config.mode} api={config.api} particles={config.num_particles}"]
+    for phase in result.results:
+        lines.append(
+            f"{phase.operation} bandwidth: {phase.bandwidth_mib:.2f} MiB/s "
+            f"time: {phase.time_s:.4f} s bytes: {phase.data_moved_bytes}"
+        )
+    ctx.write_file(HACC_OUTPUT_FILE, "\n".join(lines) + "\n")
+    _write_system_files(ctx, testbed)
+
+
+def mdtest_step(ctx: StepContext) -> None:
+    """Run standalone mdtest with item/mode parameters."""
+    testbed = _testbed(ctx)
+    run_id = _next_run_id(ctx)
+    variant = ctx.params.get("variant", "easy")
+    if variant not in ("easy", "hard"):
+        raise JubeError(f"mdtest variant must be 'easy' or 'hard', got {variant!r}")
+    config = MdtestConfig(
+        num_items=int(ctx.params.get("items", 200)),
+        base_dir=ctx.params.get("base_dir", f"/scratch/mdtest/run{run_id}"),
+        unique_dir_per_task=(variant == "easy"),
+        write_bytes=0 if variant == "easy" else HARD_WRITE_BYTES,
+        read_bytes=0 if variant == "easy" else HARD_WRITE_BYTES,
+    )
+    nodes, tpn = _geometry(ctx)
+    jobctx = testbed.start_job("mdtest", nodes, tpn)
+    try:
+        result = run_mdtest(config, jobctx, run_id=run_id)
+    finally:
+        testbed.finish_job(jobctx)
+    ctx.write_file("mdtest_output.txt", render_mdtest_output(result))
+    _write_system_files(ctx, testbed)
+
+
+def ior_darshan_step(ctx: StepContext) -> None:
+    """Run IOR under the Darshan profiler; store output and .darshan log."""
+    testbed = _testbed(ctx)
+    template = ctx.params.get("command")
+    if not template:
+        raise JubeError("ior darshan step needs a 'command' parameter")
+    command = substitute(template, ctx.params, strict=False)
+    config = parse_command(command)
+    nodes, tpn = _geometry(ctx)
+    run_id = _next_run_id(ctx)
+    profiler = DarshanProfiler(enable_dxt=ctx.params.get("dxt", "0") == "1")
+    result = run_ior(
+        config, testbed, num_nodes=nodes, tasks_per_node=tpn, run_id=run_id, tracer=profiler
+    )
+    log = profiler.finalize(
+        exe="ior",
+        nprocs=result.num_tasks,
+        start_offset_s=result.start_offset_s,
+        end_offset_s=result.end_offset_s,
+        jobid=run_id,
+    )
+    write_log(log, ctx.workdir / default_log_name("user", "ior", run_id))
+    ctx.write_file(COMMAND_FILE, command + "\n")
+    ctx.write_file(IOR_OUTPUT_FILE, render_ior_output(result))
+    _write_fs_info(ctx, testbed, config.file_for_rank(0))
+    _write_system_files(ctx, testbed)
+
+
+#: Registry for :func:`repro.jube.xmlconfig.load_benchmark`.
+DEFAULT_WORK_REGISTRY = {
+    "ior": ior_step,
+    "io500": io500_step,
+    "hacc": hacc_step,
+    "mdtest": mdtest_step,
+    "ior-darshan": ior_darshan_step,
+}

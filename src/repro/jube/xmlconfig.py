@@ -1,0 +1,117 @@
+"""JUBE XML configuration loading.
+
+JUBE benchmarks are defined in XML; this loader understands the subset
+the paper's workflow needs — ``<parameterset>``/``<parameter>``,
+``<step>`` with ``<use>`` and dependencies, and ``<analyser>`` with
+typed ``<pattern>`` elements.  Step work is resolved from a registry of
+named Python callables, replacing the ``<do>`` shell commands of real
+JUBE (there is no shell on the simulated cluster).
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from pathlib import Path
+from typing import Callable, Mapping
+
+from repro.jube.analyser import Analyser, Pattern
+from repro.jube.benchmark import JubeBenchmark, Step, StepContext
+from repro.jube.parameters import Parameter, ParameterSet
+from repro.util.errors import JubeError
+
+__all__ = ["load_benchmark", "load_benchmark_file"]
+
+
+def load_benchmark(
+    xml_text: str,
+    work_registry: Mapping[str, Callable[[StepContext], None]],
+    outpath: str | Path | None = None,
+    shared: Mapping[str, object] | None = None,
+) -> tuple[JubeBenchmark, list[Analyser]]:
+    """Build a benchmark and its analysers from JUBE XML text.
+
+    Args:
+        xml_text: the ``<jube><benchmark>...</benchmark></jube>`` document.
+        work_registry: maps each step's ``work`` attribute to a callable.
+        outpath: overrides the benchmark's ``outpath`` attribute.
+        shared: benchmark-wide shared objects (e.g. the Testbed).
+    """
+    try:
+        root = ET.fromstring(xml_text)
+    except ET.ParseError as exc:
+        raise JubeError(f"invalid JUBE XML: {exc}") from exc
+    bench_el = root.find("benchmark") if root.tag == "jube" else root
+    if bench_el is None or bench_el.tag != "benchmark":
+        raise JubeError("expected a <benchmark> element under <jube>")
+    name = bench_el.get("name")
+    if not name:
+        raise JubeError("<benchmark> needs a name attribute")
+    out = Path(outpath) if outpath is not None else Path(bench_el.get("outpath", "bench_run"))
+
+    parameter_sets = []
+    for ps_el in bench_el.findall("parameterset"):
+        ps_name = ps_el.get("name")
+        if not ps_name:
+            raise JubeError("<parameterset> needs a name attribute")
+        params = []
+        for p_el in ps_el.findall("parameter"):
+            p_name = p_el.get("name")
+            if not p_name:
+                raise JubeError(f"<parameter> in set {ps_name!r} needs a name")
+            sep = p_el.get("separator", ",")
+            params.append(Parameter.from_text(p_name, (p_el.text or "").strip(), sep))
+        parameter_sets.append(ParameterSet(name=ps_name, parameters=tuple(params)))
+
+    steps = []
+    for s_el in bench_el.findall("step"):
+        s_name = s_el.get("name")
+        if not s_name:
+            raise JubeError("<step> needs a name attribute")
+        work_name = s_el.get("work")
+        if not work_name:
+            raise JubeError(f"step {s_name!r} needs a work attribute")
+        if work_name not in work_registry:
+            raise JubeError(
+                f"step {s_name!r}: no work callable {work_name!r} registered; "
+                f"available: {sorted(work_registry)}"
+            )
+        uses = tuple((u.text or "").strip() for u in s_el.findall("use"))
+        depends = tuple(d for d in (s_el.get("depend", "")).split(",") if d)
+        steps.append(
+            Step(name=s_name, work=work_registry[work_name], use=uses, depends=depends)
+        )
+
+    benchmark = JubeBenchmark(
+        name=name, outpath=out, parameter_sets=parameter_sets, steps=steps, shared=shared
+    )
+
+    analysers = []
+    for a_el in bench_el.findall("analyser"):
+        a_name = a_el.get("name") or "analyse"
+        a_step = a_el.get("step")
+        if not a_step:
+            raise JubeError(f"analyser {a_name!r} needs a step attribute")
+        files = [(f.text or "").strip() for f in a_el.findall("file")]
+        patterns = [
+            Pattern(
+                name=p.get("name", ""),
+                regex=(p.text or "").strip(),
+                dtype=p.get("type", "float"),
+            )
+            for p in a_el.findall("pattern")
+        ]
+        analysers.append(Analyser(name=a_name, step=a_step, files=files, patterns=patterns))
+    return benchmark, analysers
+
+
+def load_benchmark_file(
+    path: str | Path,
+    work_registry: Mapping[str, Callable[[StepContext], None]],
+    outpath: str | Path | None = None,
+    shared: Mapping[str, object] | None = None,
+) -> tuple[JubeBenchmark, list[Analyser]]:
+    """Load a benchmark definition from an XML file."""
+    p = Path(path)
+    if not p.exists():
+        raise JubeError(f"JUBE config not found: {p}")
+    return load_benchmark(p.read_text(encoding="utf-8"), work_registry, outpath, shared)

@@ -1,0 +1,14 @@
+"""Simulated MPI runtime: communicators, collective costs, MPI-IO hints."""
+
+from repro.mpi.collective import barrier_cost_s, bcast_cost_s, exchange_cost_s, gather_cost_s
+from repro.mpi.comm import Communicator
+from repro.mpi.hints import MPIIOHints
+
+__all__ = [
+    "Communicator",
+    "MPIIOHints",
+    "barrier_cost_s",
+    "bcast_cost_s",
+    "gather_cost_s",
+    "exchange_cost_s",
+]

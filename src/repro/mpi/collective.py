@@ -1,0 +1,85 @@
+"""Cost functions for MPI collective operations.
+
+The simulator charges collectives with the classic log-tree LogP-style
+model: ``ceil(log2(p))`` rounds of fabric latency plus a bandwidth term
+for payload-carrying collectives.  These costs matter for the barrier
+synchronisation between benchmark phases and for the data exchange of
+two-phase (collective-buffered) MPI-IO.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.util.errors import ConfigurationError
+
+__all__ = [
+    "barrier_cost_s",
+    "bcast_cost_s",
+    "gather_cost_s",
+    "exchange_cost_s",
+]
+
+
+def _check(nprocs: int, latency_s: float) -> None:
+    if nprocs <= 0:
+        raise ConfigurationError(f"nprocs must be >= 1, got {nprocs}")
+    if latency_s < 0:
+        raise ConfigurationError("latency must be >= 0")
+
+
+def barrier_cost_s(nprocs: int, latency_s: float) -> float:
+    """Dissemination-barrier cost: ``ceil(log2 p)`` latency rounds."""
+    _check(nprocs, latency_s)
+    if nprocs == 1:
+        return 0.0
+    return math.ceil(math.log2(nprocs)) * latency_s
+
+
+def bcast_cost_s(nprocs: int, nbytes: int, latency_s: float, bandwidth_bps: float) -> float:
+    """Binomial-tree broadcast cost for ``nbytes`` to ``nprocs`` ranks."""
+    _check(nprocs, latency_s)
+    if nbytes < 0 or bandwidth_bps <= 0:
+        raise ConfigurationError("nbytes must be >= 0 and bandwidth positive")
+    if nprocs == 1:
+        return 0.0
+    rounds = math.ceil(math.log2(nprocs))
+    return rounds * (latency_s + nbytes / bandwidth_bps)
+
+
+def gather_cost_s(nprocs: int, nbytes_each: int, latency_s: float, bandwidth_bps: float) -> float:
+    """Binomial gather of ``nbytes_each`` from every rank to the root."""
+    _check(nprocs, latency_s)
+    if nbytes_each < 0 or bandwidth_bps <= 0:
+        raise ConfigurationError("nbytes_each must be >= 0 and bandwidth positive")
+    if nprocs == 1:
+        return 0.0
+    rounds = math.ceil(math.log2(nprocs))
+    # The root ultimately receives (p-1) * nbytes_each over the rounds.
+    return rounds * latency_s + (nprocs - 1) * nbytes_each / bandwidth_bps
+
+
+def exchange_cost_s(
+    nprocs: int,
+    naggregators: int,
+    nbytes_total: int,
+    latency_s: float,
+    bandwidth_bps: float,
+) -> float:
+    """Two-phase I/O shuffle: all ranks redistribute data to aggregators.
+
+    Collective buffering first exchanges the payload so that each of
+    ``naggregators`` ranks holds a contiguous piece.  The exchange is
+    bandwidth-bound on the aggregators' NICs; latency accumulates over
+    the pairwise rounds.
+    """
+    _check(nprocs, latency_s)
+    if naggregators <= 0:
+        raise ConfigurationError(f"naggregators must be >= 1, got {naggregators}")
+    if nbytes_total < 0 or bandwidth_bps <= 0:
+        raise ConfigurationError("nbytes_total must be >= 0 and bandwidth positive")
+    if nprocs == 1 or nbytes_total == 0:
+        return 0.0
+    per_aggregator = nbytes_total / naggregators
+    rounds = math.ceil(math.log2(nprocs))
+    return rounds * latency_s + per_aggregator / bandwidth_bps

@@ -1,0 +1,90 @@
+"""Simulated MPI communicator with per-rank virtual clocks.
+
+Benchmarks in this repository are bulk-synchronous: every rank does the
+same amount of work between barriers.  The simulator therefore executes
+rank loops sequentially in ordinary Python while keeping one *virtual
+clock per rank*; a barrier synchronises all clocks to the maximum (plus
+the collective's own cost).  Aggregate bandwidth over a phase is then
+``total bytes / (t_end - t_start)`` exactly as IOR computes it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.slurm import Allocation
+from repro.mpi.collective import barrier_cost_s
+from repro.util.errors import ConfigurationError, MPIError
+
+__all__ = ["Communicator"]
+
+
+class Communicator:
+    """MPI_COMM_WORLD of one simulated job."""
+
+    def __init__(self, allocation: Allocation, fabric_latency_s: float = 1.5e-6) -> None:
+        if fabric_latency_s < 0:
+            raise ConfigurationError("fabric latency must be >= 0")
+        self.allocation = allocation
+        self.fabric_latency_s = fabric_latency_s
+        self._clocks = np.zeros(allocation.total_tasks, dtype=float)
+
+    @property
+    def size(self) -> int:
+        """Number of ranks in the communicator."""
+        return self.allocation.total_tasks
+
+    def ranks(self) -> range:
+        """Iterate rank ids ``0..size-1``."""
+        return range(self.size)
+
+    def node_of(self, rank: int) -> int:
+        """Cluster node index hosting ``rank``."""
+        return self.allocation.rank_to_node(rank)
+
+    def now(self, rank: int) -> float:
+        """Current virtual time of one rank."""
+        self._check_rank(rank)
+        return float(self._clocks[rank])
+
+    def max_time(self) -> float:
+        """Latest virtual time across all ranks."""
+        return float(self._clocks.max())
+
+    def advance(self, rank: int, seconds: float) -> None:
+        """Advance one rank's clock by a non-negative duration."""
+        self._check_rank(rank)
+        if seconds < 0:
+            raise MPIError(f"cannot advance rank {rank} by negative time {seconds}")
+        self._clocks[rank] += seconds
+
+    def advance_all(self, seconds_per_rank: np.ndarray) -> None:
+        """Advance every rank's clock at once (vectorized phases)."""
+        arr = np.asarray(seconds_per_rank, dtype=float)
+        if arr.shape != self._clocks.shape:
+            raise MPIError(
+                f"expected {self._clocks.shape[0]} per-rank durations, got shape {arr.shape}"
+            )
+        if (arr < 0).any():
+            raise MPIError("cannot advance clocks by negative time")
+        self._clocks += arr
+
+    def barrier(self) -> float:
+        """Synchronise all ranks; returns the post-barrier common time."""
+        t = self.max_time() + barrier_cost_s(self.size, self.fabric_latency_s)
+        self._clocks[:] = t
+        return t
+
+    def set_all(self, t: float) -> None:
+        """Force every rank's clock to an absolute time (phase start)."""
+        if t < 0:
+            raise MPIError("virtual time cannot be negative")
+        self._clocks[:] = t
+
+    def elapsed_since(self, t0: float) -> float:
+        """Wall time between ``t0`` and the slowest rank's current time."""
+        return self.max_time() - t0
+
+    def _check_rank(self, rank: int) -> None:
+        if not 0 <= rank < self.size:
+            raise MPIError(f"rank {rank} out of range 0..{self.size - 1}")

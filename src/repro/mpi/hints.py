@@ -1,0 +1,71 @@
+"""MPI-IO hints.
+
+Hints are the main tunable the paper's recommendation/optimization use
+case manipulates (ROMIO collective-buffering controls, aggregator
+counts, buffer sizes).  They are modelled as a typed record with the
+standard ROMIO key names for round-tripping through knowledge objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.errors import ConfigurationError
+
+__all__ = ["MPIIOHints"]
+
+_TRISTATE = ("enable", "disable", "automatic")
+
+
+@dataclass(frozen=True, slots=True)
+class MPIIOHints:
+    """ROMIO-style hint set controlling collective buffering."""
+
+    romio_cb_write: str = "automatic"
+    romio_cb_read: str = "automatic"
+    cb_nodes: int = 0  # 0 = one aggregator per node (ROMIO default)
+    cb_buffer_size: int = 16 * 1024 * 1024
+    striping_unit: int = 0  # 0 = leave file-system default
+
+    def __post_init__(self) -> None:
+        for key in ("romio_cb_write", "romio_cb_read"):
+            if getattr(self, key) not in _TRISTATE:
+                raise ConfigurationError(
+                    f"{key} must be one of {_TRISTATE}, got {getattr(self, key)!r}"
+                )
+        if self.cb_nodes < 0:
+            raise ConfigurationError("cb_nodes must be >= 0")
+        if self.cb_buffer_size <= 0:
+            raise ConfigurationError("cb_buffer_size must be positive")
+        if self.striping_unit < 0:
+            raise ConfigurationError("striping_unit must be >= 0")
+
+    def collective_enabled(self, access: str, shared_file: bool) -> bool:
+        """Whether collective buffering is in effect for this access.
+
+        ``automatic`` follows ROMIO's heuristic: aggregate when many
+        ranks share one file (interleaved accesses), stay independent
+        for file-per-process.
+        """
+        value = self.romio_cb_write if access == "write" else self.romio_cb_read
+        if value == "enable":
+            return True
+        if value == "disable":
+            return False
+        return shared_file
+
+    def aggregators(self, num_nodes: int) -> int:
+        """Number of aggregator ranks for a job on ``num_nodes`` nodes."""
+        if num_nodes <= 0:
+            raise ConfigurationError(f"num_nodes must be >= 1, got {num_nodes}")
+        return self.cb_nodes if self.cb_nodes > 0 else num_nodes
+
+    def as_dict(self) -> dict[str, object]:
+        """Hint set as an info-object style dict (for persistence)."""
+        return {
+            "romio_cb_write": self.romio_cb_write,
+            "romio_cb_read": self.romio_cb_read,
+            "cb_nodes": self.cb_nodes,
+            "cb_buffer_size": self.cb_buffer_size,
+            "striping_unit": self.striping_unit,
+        }

@@ -1,0 +1,37 @@
+"""Simulated parallel file system (BeeGFS-like) with an analytic cost model."""
+
+from repro.pfs.beegfs import BeeGFS, BeeGFSSpec
+from repro.pfs.faults import Fault, FaultInjector, FaultScope
+from repro.pfs.file import DirEntry, FileEntry, Namespace
+from repro.pfs.gpfs import GPFSView
+from repro.pfs.lustre import LustreView
+from repro.pfs.layout import StripeLayout, StripePattern
+from repro.pfs.metadata import MetadataServer, MetadataSpec
+from repro.pfs.perfmodel import PerfModel, PerfModelParams, PhaseContext
+from repro.pfs.pool import RAIDScheme, StoragePool
+from repro.pfs.target import StorageServer, StorageTarget, TargetSpec
+
+__all__ = [
+    "BeeGFS",
+    "BeeGFSSpec",
+    "Fault",
+    "FaultInjector",
+    "FaultScope",
+    "FileEntry",
+    "DirEntry",
+    "Namespace",
+    "LustreView",
+    "GPFSView",
+    "StripeLayout",
+    "StripePattern",
+    "MetadataServer",
+    "MetadataSpec",
+    "PerfModel",
+    "PerfModelParams",
+    "PhaseContext",
+    "RAIDScheme",
+    "StoragePool",
+    "StorageServer",
+    "StorageTarget",
+    "TargetSpec",
+]

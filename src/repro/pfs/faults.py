@@ -1,0 +1,112 @@
+"""Fault injection for anomaly experiments.
+
+The paper's two usage examples hinge on anomalies: a degraded iteration
+in the Fig. 5 IOR run (write throughput collapsing to less than half
+the average) and a "broken node" depressing the ior-easy read result in
+Fig. 6.  Faults are declarative: each one names a *scope* (whole file
+system, specific targets, a storage server, or the metadata service),
+a multiplicative slowdown ``factor``, and a ``when`` condition matched
+against the tags of the running phase (benchmark name, iteration
+number, access type, IO500 phase, ...).  The performance model consults
+the injector on every cost computation, so a fault transparently slows
+exactly the operations whose tags match.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.util.errors import ConfigurationError
+
+__all__ = ["FaultScope", "Fault", "FaultInjector"]
+
+
+class FaultScope:
+    """What part of the storage system a fault slows down."""
+
+    FILESYSTEM = "filesystem"
+    TARGETS = "targets"
+    SERVER = "server"
+    METADATA = "metadata"
+
+    ALL = (FILESYSTEM, TARGETS, SERVER, METADATA)
+
+
+@dataclass(frozen=True, slots=True)
+class Fault:
+    """One injected fault: scope + slowdown + activation condition."""
+
+    name: str
+    factor: float
+    scope: str = FaultScope.FILESYSTEM
+    target_ids: tuple[int, ...] = ()
+    server: str | None = None
+    when: Mapping[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not 0 < self.factor < 1.0:
+            raise ConfigurationError(
+                f"fault factor must be in (0, 1) (a slowdown), got {self.factor}"
+            )
+        if self.scope not in FaultScope.ALL:
+            raise ConfigurationError(f"unknown fault scope {self.scope!r}")
+        if self.scope == FaultScope.TARGETS and not self.target_ids:
+            raise ConfigurationError("target-scoped faults need target_ids")
+        if self.scope == FaultScope.SERVER and not self.server:
+            raise ConfigurationError("server-scoped faults need a server name")
+
+    def matches(self, tags: Mapping[str, object]) -> bool:
+        """Whether this fault is active for a phase with the given tags.
+
+        Every key in ``when`` must be present in ``tags`` with an equal
+        value; an empty ``when`` means always active.
+        """
+        return all(tags.get(k) == v for k, v in self.when.items())
+
+
+class FaultInjector:
+    """Registry of faults consulted by the performance model."""
+
+    def __init__(self, faults: list[Fault] | None = None) -> None:
+        self.faults: list[Fault] = list(faults or [])
+
+    def add(self, fault: Fault) -> None:
+        """Register a fault."""
+        self.faults.append(fault)
+
+    def clear(self) -> None:
+        """Remove all faults (restore a healthy system)."""
+        self.faults.clear()
+
+    def filesystem_factor(self, tags: Mapping[str, object]) -> float:
+        """Combined slowdown on the whole file system for these tags."""
+        factor = 1.0
+        for f in self.faults:
+            if f.scope == FaultScope.FILESYSTEM and f.matches(tags):
+                factor *= f.factor
+        return factor
+
+    def target_factor(self, target_id: int, server: str, tags: Mapping[str, object]) -> float:
+        """Combined slowdown on one target (target- or server-scoped)."""
+        factor = 1.0
+        for f in self.faults:
+            if not f.matches(tags):
+                continue
+            if f.scope == FaultScope.TARGETS and target_id in f.target_ids:
+                factor *= f.factor
+            elif f.scope == FaultScope.SERVER and f.server == server:
+                factor *= f.factor
+        return factor
+
+    def metadata_factor(self, tags: Mapping[str, object]) -> float:
+        """Combined slowdown on the metadata service for these tags."""
+        factor = 1.0
+        for f in self.faults:
+            if f.scope == FaultScope.METADATA and f.matches(tags):
+                factor *= f.factor
+        return factor
+
+    def active(self, tags: Mapping[str, object]) -> list[Fault]:
+        """All faults matching the given tags (for reporting)."""
+        return [f for f in self.faults if f.matches(tags)]

@@ -1,0 +1,58 @@
+"""IBM Spectrum Scale (GPFS) presentation adapter.
+
+The second file system named in §VI's outlook.  GPFS exposes
+per-file attributes through ``mmlsattr -L`` and file-system block
+configuration through ``mmlsfs``; :class:`GPFSView` renders both
+dialects over the shared simulated file system so the extractor can be
+exercised against Spectrum-Scale-shaped output.
+"""
+
+from __future__ import annotations
+
+from repro.pfs.beegfs import BeeGFS
+from repro.pfs.file import FileEntry
+
+__all__ = ["GPFSView"]
+
+
+class GPFSView:
+    """Renders GPFS-style administrative output over a simulated FS."""
+
+    fs_type = "gpfs"
+
+    def __init__(self, fs: BeeGFS, device: str = "gpfs0") -> None:
+        self.fs = fs
+        self.device = device
+
+    def mmlsattr(self, path: str) -> str:
+        """Render ``mmlsattr -L <path>`` output."""
+        entry = self.fs.namespace.resolve(path)
+        pool = self.fs.pool.name.lower()
+        lines = [
+            f"file name:            {path}",
+            "metadata replication: 1 max 2",
+            "data replication:     1 max 2",
+            "immutable:            no",
+            "appendOnly:           no",
+            "flags:",
+            f"storage pool name:    {pool}",
+            f"fileset name:         root",
+            f"snapshot name:",
+        ]
+        if isinstance(entry, FileEntry):
+            lines.insert(1, f"creation time:        {entry.ctime}")
+        return "\n".join(lines) + "\n"
+
+    def mmlsfs(self) -> str:
+        """Render ``mmlsfs <device>`` output (the block-size subset)."""
+        block = self.fs.spec.default_chunk_size
+        ntargets = len(self.fs.pool.targets)
+        return "\n".join(
+            [
+                f"flag                value                    description",
+                f"------------------- ------------------------ -----------",
+                f" -B                 {block}                  Block size",
+                f" -n                 {ntargets}                        Estimated number of nodes",
+                f" -T                 {self.fs.spec.mount_point}                 Default mount point",
+            ]
+        ) + "\n"

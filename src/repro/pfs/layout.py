@@ -1,0 +1,99 @@
+"""File striping layouts (BeeGFS-style RAID0 chunk striping).
+
+A file is split into fixed-size chunks distributed round-robin over a
+set of storage targets.  The layout determines how many targets a
+single stream can drive in parallel and how a byte range maps onto
+targets — both inputs to the performance model, and the metadata that
+``beegfs-ctl --getentryinfo`` reports (chunk size, number of targets,
+stripe pattern type).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.errors import ConfigurationError
+from repro.util.units import KIB, format_size
+
+__all__ = ["StripePattern", "StripeLayout"]
+
+
+class StripePattern:
+    """Stripe pattern type names as BeeGFS prints them."""
+
+    RAID0 = "RAID0"
+    BUDDYMIRROR = "Buddy Mirror"
+
+    ALL = (RAID0, BUDDYMIRROR)
+
+
+@dataclass(frozen=True, slots=True)
+class StripeLayout:
+    """Striping of one file: pattern, chunk size, and its target list."""
+
+    chunk_size: int = 512 * KIB
+    target_ids: tuple[int, ...] = (0, 1, 2, 3)
+    pattern: str = StripePattern.RAID0
+
+    def __post_init__(self) -> None:
+        if self.chunk_size <= 0:
+            raise ConfigurationError(f"chunk size must be positive, got {self.chunk_size}")
+        if not self.target_ids:
+            raise ConfigurationError("a stripe layout needs at least one target")
+        if len(set(self.target_ids)) != len(self.target_ids):
+            raise ConfigurationError(f"duplicate targets in stripe layout: {self.target_ids}")
+        if self.pattern not in StripePattern.ALL:
+            raise ConfigurationError(
+                f"unknown stripe pattern {self.pattern!r}; known: {StripePattern.ALL}"
+            )
+
+    @property
+    def num_targets(self) -> int:
+        """Number of storage targets this file stripes over."""
+        return len(self.target_ids)
+
+    @property
+    def stripe_width(self) -> int:
+        """Bytes in one full stripe (chunk size x number of targets)."""
+        return self.chunk_size * self.num_targets
+
+    def chunk_target(self, offset: int) -> int:
+        """Target id storing the chunk containing byte ``offset``."""
+        if offset < 0:
+            raise ConfigurationError(f"offset must be >= 0, got {offset}")
+        return self.target_ids[(offset // self.chunk_size) % self.num_targets]
+
+    def bytes_per_target(self, offset: int, length: int) -> dict[int, int]:
+        """Bytes of ``[offset, offset+length)`` that land on each target.
+
+        Computed analytically (no per-byte loop): whole stripes
+        distribute evenly; the partial head/tail stripes are resolved
+        chunk by chunk.
+        """
+        if offset < 0 or length < 0:
+            raise ConfigurationError("offset/length must be >= 0")
+        counts = {t: 0 for t in self.target_ids}
+        if length == 0:
+            return counts
+        cs, nt = self.chunk_size, self.num_targets
+        first_chunk = offset // cs
+        last_chunk = (offset + length - 1) // cs
+        # Count whole chunks per round-robin slot in O(num_targets),
+        # then correct the partial head and tail chunks.
+        for slot in range(nt):
+            first_hit = first_chunk + ((slot - first_chunk) % nt)
+            n_chunks = 0 if first_hit > last_chunk else (last_chunk - first_hit) // nt + 1
+            counts[self.target_ids[slot]] = n_chunks * cs
+        head = min(offset + length, (first_chunk + 1) * cs) - offset
+        counts[self.target_ids[first_chunk % nt]] += head - cs
+        if last_chunk > first_chunk:
+            tail = (offset + length) - last_chunk * cs
+            counts[self.target_ids[last_chunk % nt]] += tail - cs
+        return counts
+
+    def describe_chunk_size(self) -> str:
+        """Chunk size rendered the way beegfs-ctl prints it (e.g. ``512K``)."""
+        text = format_size(self.chunk_size)
+        value, unit = text.split(" ", 1)
+        short = {"KiB": "K", "MiB": "M", "GiB": "G", "TiB": "T", "bytes": ""}[unit]
+        return f"{value}{short}"

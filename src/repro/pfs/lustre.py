@@ -1,0 +1,71 @@
+"""Lustre presentation adapter.
+
+§VI names Lustre as the first additional parallel file system the
+extractor should learn.  At the level the knowledge cycle reads —
+user-visible striping metadata — Lustre differs from BeeGFS in
+*presentation*, not in substance: ``lfs getstripe`` instead of
+``beegfs-ctl --getentryinfo``.  :class:`LustreView` renders authentic
+``lfs getstripe`` text for any file of the simulated file system, and
+the Phase-II extractor gains a parser for it
+(:mod:`repro.core.extraction.filesystem`).
+"""
+
+from __future__ import annotations
+
+from repro.pfs.beegfs import BeeGFS
+from repro.pfs.file import FileEntry
+
+__all__ = ["LustreView"]
+
+
+class LustreView:
+    """Renders Lustre-style administrative output over a simulated FS.
+
+    The underlying performance/namespace machinery is shared with the
+    BeeGFS façade; only the metadata dialect changes.  Target ids map
+    to Lustre OST indexes (0-based), the metadata server to an MDT.
+    """
+
+    fs_type = "lustre"
+
+    def __init__(self, fs: BeeGFS) -> None:
+        self.fs = fs
+        self._ost_index = {
+            t.target_id: i for i, t in enumerate(fs.pool.targets)
+        }
+
+    def getstripe(self, path: str) -> str:
+        """Render ``lfs getstripe <path>`` output."""
+        entry = self.fs.namespace.resolve(path)
+        lines = [path]
+        if isinstance(entry, FileEntry):
+            layout = entry.layout
+            first_ost = self._ost_index[layout.target_ids[0]]
+            lines += [
+                f"lmm_stripe_count:  {layout.num_targets}",
+                f"lmm_stripe_size:   {layout.chunk_size}",
+                "lmm_pattern:       raid0",
+                "lmm_layout_gen:    0",
+                f"lmm_stripe_offset: {first_ost}",
+                "\tobdidx\t\t objid\t\t objid\t\t group",
+            ]
+            for tid in layout.target_ids:
+                ost = self._ost_index[tid]
+                objid = 0x100000 + ost * 0x10 + 1
+                lines.append(f"\t     {ost}\t       {objid}\t     {hex(objid)}\t             0")
+        else:
+            lines += [
+                "stripe_count:  1 stripe_size:   1048576 pattern:       raid0 stripe_offset: -1",
+            ]
+        return "\n".join(lines) + "\n"
+
+    def mdts(self) -> str:
+        """Render ``lfs mdts`` style output (one MDT)."""
+        return f"MDTS:\n0: {self.fs.spec.name}-MDT0000_UUID ACTIVE\n"
+
+    def osts(self) -> str:
+        """Render ``lfs osts`` style output."""
+        lines = ["OBDS:"]
+        for tid, idx in sorted(self._ost_index.items(), key=lambda kv: kv[1]):
+            lines.append(f"{idx}: {self.fs.spec.name}-OST{idx:04x}_UUID ACTIVE")
+        return "\n".join(lines) + "\n"

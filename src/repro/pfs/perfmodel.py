@@ -1,0 +1,276 @@
+"""Analytic I/O performance model.
+
+Every timing number in the simulator comes from here.  The model is a
+roofline over the shared resources on the path from a compute process
+to the storage devices, multiplied by pattern-dependent efficiency
+factors and deterministic lognormal noise:
+
+* **Device side** — the storage pool's health-weighted aggregate
+  bandwidth, derated by a transfer-size efficiency (small requests
+  cannot keep devices busy) and a client-contention efficiency
+  (server-side scheduling overhead grows with concurrent streams),
+  fair-shared across active processes.  A single stream is additionally
+  capped by the bandwidth of the targets its file stripes over and by a
+  per-client streaming limit.
+* **Network side** — the per-node NIC fair-shared across the processes
+  on that node, and the aggregate fabric section between compute and
+  storage.
+* **Pattern factors** — non-collective small writes into one shared
+  file pay a lock/false-sharing penalty that scales with how far the
+  transfer size falls below the stripe chunk; collective buffering
+  (MPI-IO aggregators) lifts that penalty back to a fixed aggregation
+  efficiency; fsync derates the write path slightly and adds a flush
+  latency per sync.
+* **Noise** — per-operation and per-phase multiplicative lognormal
+  factors with write noise wider than read noise (matching the large
+  write variance vs. flat reads of the paper's Fig. 6), all drawn from
+  seed-derived streams so runs are exactly reproducible.
+
+Calibration constants (target bandwidths, efficiency half-points) are
+chosen so that the paper's Fig. 5 workload lands near its reported
+~2850 MiB/s healthy write throughput on the FUCHS-CSC preset.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Mapping
+
+import numpy as np
+
+from repro.cluster.interconnect import Interconnect
+from repro.pfs.faults import FaultInjector
+from repro.pfs.layout import StripeLayout
+from repro.pfs.metadata import MetadataServer
+from repro.pfs.pool import RAIDScheme, StoragePool
+from repro.util.errors import ConfigurationError
+from repro.util.rng import lognormal_factor, stream
+
+__all__ = ["PerfModelParams", "PhaseContext", "PerfModel"]
+
+
+@dataclass(frozen=True, slots=True)
+class PerfModelParams:
+    """Tunable constants of the analytic model (see module docstring)."""
+
+    size_half: int = 1024 * 1024  # transfer size at 50% device efficiency
+    contention_alpha: float = 0.07  # stream-contention derating strength
+    client_stream_bw_bps: float = 1.2e9  # single-stream client ceiling
+    shared_small_floor: float = 0.12  # worst-case shared-file penalty
+    collective_efficiency: float = 0.78  # aggregated shared-file efficiency
+    collective_latency_s: float = 120e-6  # two-phase exchange per op
+    fsync_bw_factor: float = 0.985  # write-path derating with fsync
+    fsync_latency_s: float = 2e-3  # cost of one fsync call
+    sigma_op_write: float = 0.02  # per-op noise (write)
+    sigma_op_read: float = 0.015  # per-op noise (read)
+    sigma_phase_write: float = 0.055  # per-phase noise (write)
+    sigma_phase_read: float = 0.015  # per-phase noise (read)
+    sigma_metadata: float = 0.03  # per-phase metadata noise
+    random_penalty_write: float = 0.8  # random offsets defeat write-back
+    random_penalty_read: float = 0.55  # random offsets defeat prefetch
+
+    def __post_init__(self) -> None:
+        if self.size_half <= 0:
+            raise ConfigurationError("size_half must be positive")
+        if not 0 < self.shared_small_floor <= 1:
+            raise ConfigurationError("shared_small_floor must be in (0, 1]")
+        if not 0 < self.collective_efficiency <= 1:
+            raise ConfigurationError("collective_efficiency must be in (0, 1]")
+
+
+@dataclass(frozen=True, slots=True)
+class PhaseContext:
+    """Everything the model needs to know about the running I/O phase."""
+
+    active_procs: int
+    procs_per_node: int
+    node_factors: tuple[float, ...]
+    access: str  # 'read' or 'write'
+    collective: bool = False
+    shared_file: bool = False
+    fsync: bool = False
+    random_access: bool = False
+    tags: Mapping[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.active_procs <= 0:
+            raise ConfigurationError(f"active_procs must be >= 1, got {self.active_procs}")
+        if self.procs_per_node <= 0:
+            raise ConfigurationError(f"procs_per_node must be >= 1, got {self.procs_per_node}")
+        if self.access not in ("read", "write"):
+            raise ConfigurationError(f"access must be 'read' or 'write', got {self.access!r}")
+        if not self.node_factors:
+            raise ConfigurationError("node_factors must name at least one node")
+
+    def noise_key(self, *extra: object) -> tuple[object, ...]:
+        """Deterministic key identifying this phase for noise streams."""
+        return (tuple(sorted((str(k), repr(v)) for k, v in self.tags.items())), self.access, *extra)
+
+
+class PerfModel:
+    """Cost oracle combining pool, metadata, fabric, faults and noise."""
+
+    def __init__(
+        self,
+        pool: StoragePool,
+        metadata_server: MetadataServer,
+        interconnect: Interconnect,
+        params: PerfModelParams | None = None,
+        faults: FaultInjector | None = None,
+        root_seed: int = 42,
+    ) -> None:
+        self.pool = pool
+        self.mds = metadata_server
+        self.interconnect = interconnect
+        self.params = params or PerfModelParams()
+        self.faults = faults or FaultInjector()
+        self.root_seed = root_seed
+
+    # ------------------------------------------------------------------
+    # efficiency factors
+    # ------------------------------------------------------------------
+    def size_efficiency(self, transfer_size: int) -> float:
+        """Device efficiency of one request of ``transfer_size`` bytes."""
+        if transfer_size <= 0:
+            raise ConfigurationError(f"transfer size must be positive, got {transfer_size}")
+        return transfer_size / (transfer_size + self.params.size_half)
+
+    def contention_efficiency(self, active_procs: int) -> float:
+        """Server-side efficiency under ``active_procs`` concurrent streams."""
+        streams_per_target = active_procs / len(self.pool.targets)
+        return 1.0 / (1.0 + self.params.contention_alpha * math.log1p(streams_per_target))
+
+    def shared_file_penalty(self, transfer_size: int, chunk_size: int, collective: bool) -> float:
+        """Bandwidth factor for N-to-1 (single shared file) access.
+
+        Non-collective small unaligned writes serialize on extent locks;
+        collective buffering re-aggregates them into chunk-aligned
+        requests at a fixed aggregation efficiency.  The better of the
+        two applies when collectives are on (aggregation never hurts a
+        pattern that was already aligned).
+        """
+        floor = self.params.shared_small_floor
+        align = min(1.0, transfer_size / chunk_size)
+        penalty = floor + (1.0 - floor) * align
+        if collective:
+            return max(penalty, self.params.collective_efficiency)
+        return penalty
+
+    # ------------------------------------------------------------------
+    # bandwidth rooflines
+    # ------------------------------------------------------------------
+    def per_rank_bandwidth_bps(
+        self, transfer_size: int, layout: StripeLayout, ctx: PhaseContext
+    ) -> float:
+        """Deterministic bandwidth one process achieves in this phase."""
+        p = self.params
+        size_eff = self.size_efficiency(transfer_size)
+        fs_factor = self.faults.filesystem_factor(ctx.tags)
+
+        # Device side: pool aggregate, fair-shared over active procs.
+        pool_agg = 0.0
+        for t in self.pool.targets:
+            tf = self.faults.target_factor(t.target_id, t.server, ctx.tags)
+            pool_agg += t.effective_bandwidth_bps(ctx.access) * tf
+        if ctx.access == "write":
+            pool_agg *= RAIDScheme.WRITE_EFFICIENCY[self.pool.raid_scheme]
+        pool_agg *= size_eff * self.contention_efficiency(ctx.active_procs) * fs_factor
+        per_rank_pool = pool_agg / ctx.active_procs
+
+        # Stripe span: one stream only reaches its file's targets, and a
+        # balanced RAID0 stripe finishes when its *slowest* target does.
+        slowest = math.inf
+        for tid in layout.target_ids:
+            target = self.pool.target(tid)
+            tf = self.faults.target_factor(tid, target.server, ctx.tags)
+            slowest = min(slowest, target.effective_bandwidth_bps(ctx.access) * tf)
+        span = layout.num_targets * slowest * size_eff * fs_factor
+
+        # Network side: NIC fair share and fabric aggregate share.
+        worst_node = min(ctx.node_factors)
+        nic_share = (
+            self.interconnect.spec.link_bandwidth_bps * worst_node / ctx.procs_per_node
+        )
+        fabric_share = self.interconnect.fabric_ceiling_bps() / ctx.active_procs
+
+        bw = min(per_rank_pool, span, p.client_stream_bw_bps, nic_share, fabric_share)
+
+        if ctx.shared_file:
+            bw *= self.shared_file_penalty(transfer_size, layout.chunk_size, ctx.collective)
+        if ctx.random_access:
+            bw *= (
+                p.random_penalty_write if ctx.access == "write" else p.random_penalty_read
+            )
+        if ctx.fsync and ctx.access == "write":
+            bw *= p.fsync_bw_factor
+        return bw
+
+    def transfer_time_s(self, nbytes: int, layout: StripeLayout, ctx: PhaseContext) -> float:
+        """Deterministic wall time of one transfer by one process."""
+        bw = self.per_rank_bandwidth_bps(nbytes, layout, ctx)
+        latency = self.pool.targets[0].spec.op_latency_s + self.interconnect.message_latency_s()
+        if ctx.collective:
+            latency += self.params.collective_latency_s
+        return latency + nbytes / bw
+
+    def transfer_times_s(
+        self,
+        nbytes: int,
+        layout: StripeLayout,
+        ctx: PhaseContext,
+        n_ops: int,
+        rank: int = 0,
+    ) -> np.ndarray:
+        """Vectorized per-op times for ``n_ops`` identical transfers.
+
+        Applies per-op lognormal noise from a stream keyed by the phase
+        tags and the rank, so reruns are bit-identical.
+        """
+        if n_ops <= 0:
+            raise ConfigurationError(f"n_ops must be >= 1, got {n_ops}")
+        base = self.transfer_time_s(nbytes, layout, ctx)
+        sigma = (
+            self.params.sigma_op_write if ctx.access == "write" else self.params.sigma_op_read
+        )
+        rng = stream(self.root_seed, "op", ctx.noise_key("rank", rank))
+        return base * lognormal_factor(rng, sigma, n_ops)
+
+    def phase_noise_factor(self, ctx: PhaseContext, kind: str = "data") -> float:
+        """Whole-phase noise factor (system-state variation between runs)."""
+        if kind == "metadata":
+            sigma = self.params.sigma_metadata
+        elif ctx.access == "write":
+            sigma = self.params.sigma_phase_write
+        else:
+            sigma = self.params.sigma_phase_read
+        rng = stream(self.root_seed, "phase", kind, ctx.noise_key())
+        return float(lognormal_factor(rng, sigma))
+
+    # ------------------------------------------------------------------
+    # metadata
+    # ------------------------------------------------------------------
+    def metadata_time_s(self, op: str, ctx: PhaseContext, shared_dir: bool = False) -> float:
+        """Deterministic wall time of one metadata op by one process."""
+        factor = self.faults.metadata_factor(ctx.tags)
+        base = self.mds.op_cost_s(op, ctx.active_procs, shared_dir) / factor
+        return base + self.interconnect.message_latency_s()
+
+    def metadata_times_s(
+        self,
+        op: str,
+        ctx: PhaseContext,
+        n_ops: int,
+        rank: int = 0,
+        shared_dir: bool = False,
+    ) -> np.ndarray:
+        """Vectorized per-op metadata times with deterministic noise."""
+        if n_ops <= 0:
+            raise ConfigurationError(f"n_ops must be >= 1, got {n_ops}")
+        base = self.metadata_time_s(op, ctx, shared_dir)
+        rng = stream(self.root_seed, "md", op, ctx.noise_key("rank", rank))
+        return base * lognormal_factor(rng, self.params.sigma_metadata, n_ops)
+
+    def fsync_time_s(self) -> float:
+        """Cost of one fsync call."""
+        return self.params.fsync_latency_s

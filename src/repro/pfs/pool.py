@@ -1,0 +1,92 @@
+"""Storage pools and RAID schemes.
+
+A storage pool groups targets; files are created inside exactly one
+pool and stripe over targets picked from it.  The pool also carries the
+RAID scheme of the backing devices — user-visible file-system
+information the knowledge extractor records (§V-C: "chunk size, number
+of storage target, RAID scheme, storage pool").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.pfs.target import StorageTarget
+from repro.util.errors import ConfigurationError
+
+__all__ = ["RAIDScheme", "StoragePool"]
+
+
+class RAIDScheme:
+    """RAID schemes of the backing block devices."""
+
+    RAID0 = "RAID0"
+    RAID5 = "RAID5"
+    RAID6 = "RAID6"
+    RAID10 = "RAID10"
+
+    ALL = (RAID0, RAID5, RAID6, RAID10)
+
+    #: Write-bandwidth efficiency of each scheme relative to RAID0
+    #: (parity update cost); reads are unaffected at this granularity.
+    WRITE_EFFICIENCY = {RAID0: 1.0, RAID5: 0.82, RAID6: 0.72, RAID10: 0.9}
+
+
+@dataclass(slots=True)
+class StoragePool:
+    """A named group of targets with a RAID scheme and default striping."""
+
+    name: str
+    targets: list[StorageTarget] = field(default_factory=list)
+    raid_scheme: str = RAIDScheme.RAID0
+    default_num_targets: int = 4
+    pool_id: int = 1
+
+    def __post_init__(self) -> None:
+        if not self.targets:
+            raise ConfigurationError(f"pool {self.name!r} needs at least one target")
+        if self.raid_scheme not in RAIDScheme.ALL:
+            raise ConfigurationError(
+                f"unknown RAID scheme {self.raid_scheme!r}; known: {RAIDScheme.ALL}"
+            )
+        if not 1 <= self.default_num_targets <= len(self.targets):
+            raise ConfigurationError(
+                f"default_num_targets {self.default_num_targets} out of range "
+                f"1..{len(self.targets)} for pool {self.name!r}"
+            )
+
+    @property
+    def target_ids(self) -> tuple[int, ...]:
+        """Ids of all targets in the pool."""
+        return tuple(t.target_id for t in self.targets)
+
+    def target(self, target_id: int) -> StorageTarget:
+        """Look up a target by id."""
+        for t in self.targets:
+            if t.target_id == target_id:
+                return t
+        raise ConfigurationError(f"target {target_id} not in pool {self.name!r}")
+
+    def pick_targets(self, num: int, start: int) -> tuple[int, ...]:
+        """Pick ``num`` target ids round-robin starting at slot ``start``.
+
+        This mirrors how BeeGFS distributes new files over the pool so
+        that concurrent file-per-process workloads cover all targets.
+        """
+        if not 1 <= num <= len(self.targets):
+            raise ConfigurationError(
+                f"cannot stripe over {num} targets; pool {self.name!r} has {len(self.targets)}"
+            )
+        n = len(self.targets)
+        return tuple(self.targets[(start + k) % n].target_id for k in range(num))
+
+    def aggregate_bandwidth_bps(self, access: str) -> float:
+        """Health-weighted total device bandwidth, with RAID write cost."""
+        total = sum(t.effective_bandwidth_bps(access) for t in self.targets)
+        if access == "write":
+            total *= RAIDScheme.WRITE_EFFICIENCY[self.raid_scheme]
+        return total
+
+    def min_target_health(self, target_ids: tuple[int, ...]) -> float:
+        """Worst health among the given targets (stripe bottleneck)."""
+        return min(self.target(t).health for t in target_ids)

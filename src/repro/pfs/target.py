@@ -1,0 +1,86 @@
+"""Storage targets and storage server nodes.
+
+A *storage target* is one backing device (what BeeGFS calls a target,
+Lustre an OST); several targets live on each *storage server*.  Targets
+carry the raw bandwidth/latency of the device and a mutable health
+factor the fault injector manipulates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.util.errors import ConfigurationError
+
+__all__ = ["TargetSpec", "StorageTarget", "StorageServer"]
+
+
+@dataclass(frozen=True, slots=True)
+class TargetSpec:
+    """Static device characteristics of one storage target."""
+
+    write_bandwidth_bps: float = 643e6 * 1.048576  # 643 MiB/s expressed in bytes/s
+    read_bandwidth_bps: float = 720e6 * 1.048576
+    op_latency_s: float = 350e-6
+
+    def __post_init__(self) -> None:
+        if self.write_bandwidth_bps <= 0 or self.read_bandwidth_bps <= 0:
+            raise ConfigurationError("target bandwidths must be positive")
+        if self.op_latency_s < 0:
+            raise ConfigurationError("target latency must be >= 0")
+
+    def bandwidth_bps(self, access: str) -> float:
+        """Device bandwidth for ``'read'`` or ``'write'`` access."""
+        if access == "read":
+            return self.read_bandwidth_bps
+        if access == "write":
+            return self.write_bandwidth_bps
+        raise ConfigurationError(f"access must be 'read' or 'write', got {access!r}")
+
+
+@dataclass(slots=True)
+class StorageTarget:
+    """A target instance: spec + id + server placement + health."""
+
+    target_id: int
+    spec: TargetSpec
+    server: str
+    health: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.target_id < 0:
+            raise ConfigurationError(f"target id must be >= 0, got {self.target_id}")
+        if not 0 < self.health <= 1.0:
+            raise ConfigurationError(f"health must be in (0, 1], got {self.health}")
+
+    def effective_bandwidth_bps(self, access: str) -> float:
+        """Device bandwidth scaled by current health."""
+        return self.spec.bandwidth_bps(access) * self.health
+
+    def degrade(self, factor: float) -> None:
+        """Lower the target's health (fault injection)."""
+        if not 0 < factor < 1.0:
+            raise ConfigurationError(f"degrade factor must be in (0, 1), got {factor}")
+        self.health = factor
+
+    def restore(self) -> None:
+        """Restore full health."""
+        self.health = 1.0
+
+
+@dataclass(slots=True)
+class StorageServer:
+    """A storage server node hosting one or more targets."""
+
+    name: str
+    targets: list[StorageTarget] = field(default_factory=list)
+
+    def degrade(self, factor: float) -> None:
+        """Degrade every target on this server (a 'broken node')."""
+        for t in self.targets:
+            t.degrade(factor)
+
+    def restore(self) -> None:
+        """Restore every target on this server."""
+        for t in self.targets:
+            t.restore()

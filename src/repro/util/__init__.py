@@ -1,0 +1,33 @@
+"""Shared utilities: units, statistics, deterministic RNG streams, tables."""
+
+from repro.util.errors import ReproError
+from repro.util.stats import BoxplotStats, Summary, boxplot_stats, geomean, summarize
+from repro.util.units import (
+    GIB,
+    KIB,
+    MIB,
+    TIB,
+    format_bandwidth,
+    format_size,
+    parse_size,
+    to_gib,
+    to_mib,
+)
+
+__all__ = [
+    "ReproError",
+    "Summary",
+    "summarize",
+    "geomean",
+    "BoxplotStats",
+    "boxplot_stats",
+    "KIB",
+    "MIB",
+    "GIB",
+    "TIB",
+    "parse_size",
+    "format_size",
+    "format_bandwidth",
+    "to_mib",
+    "to_gib",
+]

@@ -1,0 +1,106 @@
+"""Exception hierarchy shared by every ``repro`` subpackage.
+
+All library-raised errors derive from :class:`ReproError` so callers can
+catch everything coming out of the knowledge cycle with a single handler
+while still discriminating by phase/substrate when they need to.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "UnitParseError",
+    "ClusterError",
+    "AllocationError",
+    "FileSystemError",
+    "FileNotFoundInPFSError",
+    "FileExistsInPFSError",
+    "NotADirectoryInPFSError",
+    "DirectoryNotEmptyError",
+    "MPIError",
+    "IOStackError",
+    "BenchmarkError",
+    "ExtractionError",
+    "PersistenceError",
+    "AnalysisError",
+    "UsageError",
+    "JubeError",
+    "DarshanError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the ``repro`` library."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid or inconsistent configuration was supplied."""
+
+
+class UnitParseError(ConfigurationError):
+    """A size/count/time string could not be parsed (e.g. ``'4x'``)."""
+
+
+class ClusterError(ReproError):
+    """Errors raised by the cluster model or resource manager."""
+
+
+class AllocationError(ClusterError):
+    """A job allocation request could not be satisfied."""
+
+
+class FileSystemError(ReproError):
+    """Errors raised by the simulated parallel file system."""
+
+
+class FileNotFoundInPFSError(FileSystemError):
+    """Path lookup failed inside the simulated PFS namespace."""
+
+
+class FileExistsInPFSError(FileSystemError):
+    """Exclusive create hit an existing entry."""
+
+
+class NotADirectoryInPFSError(FileSystemError):
+    """A path component that must be a directory is a regular file."""
+
+
+class DirectoryNotEmptyError(FileSystemError):
+    """``rmdir`` was attempted on a non-empty directory."""
+
+
+class MPIError(ReproError):
+    """Errors raised by the simulated MPI runtime."""
+
+
+class IOStackError(ReproError):
+    """Errors raised by the layered I/O stack (POSIX/MPI-IO/HDF5)."""
+
+
+class BenchmarkError(ReproError):
+    """Errors raised by a benchmark implementation (IOR, IO500, ...)."""
+
+
+class ExtractionError(ReproError):
+    """Phase II: output/log parsing failed."""
+
+
+class PersistenceError(ReproError):
+    """Phase III: database operation failed."""
+
+
+class AnalysisError(ReproError):
+    """Phase IV: knowledge explorer operation failed."""
+
+
+class UsageError(ReproError):
+    """Phase V: usage-module operation failed."""
+
+
+class JubeError(ReproError):
+    """Errors raised by the JUBE-like benchmarking environment."""
+
+
+class DarshanError(ReproError):
+    """Errors raised by the Darshan-like profiler or log reader."""

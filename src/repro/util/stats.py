@@ -1,0 +1,146 @@
+"""Summary statistics shared by benchmarks, the extractor and the explorer.
+
+IOR summarises each operation over its iterations with max/min/mean and
+standard deviation; IO500 scores with geometric means; the knowledge
+explorer overlays boxplots.  All of those reductions live here so that
+the number printed by a benchmark is bit-identical to the number the
+extractor recomputes and the explorer displays.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "Summary",
+    "summarize",
+    "geomean",
+    "BoxplotStats",
+    "boxplot_stats",
+    "iqr_outliers",
+    "zscores",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class Summary:
+    """Max/min/mean/stddev over a series, as IOR reports per operation."""
+
+    count: int
+    maximum: float
+    minimum: float
+    mean: float
+    stddev: float
+
+    def as_dict(self) -> dict[str, float]:
+        """Return the summary as a plain dict (for persistence/JSON)."""
+        return {
+            "count": self.count,
+            "max": self.maximum,
+            "min": self.minimum,
+            "mean": self.mean,
+            "stddev": self.stddev,
+        }
+
+
+def summarize(values: Sequence[float] | np.ndarray) -> Summary:
+    """Summarise a non-empty series with IOR's max/min/mean/stddev.
+
+    IOR uses the population standard deviation (divide by N), which we
+    match exactly so extractor round-trips are lossless.
+    """
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        raise ValueError("cannot summarize an empty series")
+    return Summary(
+        count=int(arr.size),
+        maximum=float(arr.max()),
+        minimum=float(arr.min()),
+        mean=float(arr.mean()),
+        stddev=float(arr.std(ddof=0)),
+    )
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean, as used by IO500 scoring.
+
+    Values must be strictly positive; IO500 treats a zero phase result
+    as an invalid run, so we raise rather than return 0.
+    """
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        raise ValueError("cannot take the geometric mean of an empty series")
+    if (arr <= 0).any():
+        raise ValueError("geometric mean requires strictly positive values")
+    return float(np.exp(np.log(arr).mean()))
+
+
+@dataclass(frozen=True, slots=True)
+class BoxplotStats:
+    """Five-number summary plus whiskers/outliers for explorer boxplots."""
+
+    minimum: float
+    q1: float
+    median: float
+    q3: float
+    maximum: float
+    whisker_low: float
+    whisker_high: float
+    outliers: tuple[float, ...]
+
+    @property
+    def iqr(self) -> float:
+        """Interquartile range ``q3 - q1``."""
+        return self.q3 - self.q1
+
+
+def boxplot_stats(values: Sequence[float] | np.ndarray, whis: float = 1.5) -> BoxplotStats:
+    """Compute Tukey boxplot statistics for a non-empty series."""
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        raise ValueError("cannot compute boxplot stats of an empty series")
+    q1, med, q3 = np.percentile(arr, [25, 50, 75])
+    iqr = q3 - q1
+    lo_fence = q1 - whis * iqr
+    hi_fence = q3 + whis * iqr
+    inliers = arr[(arr >= lo_fence) & (arr <= hi_fence)]
+    outliers = arr[(arr < lo_fence) | (arr > hi_fence)]
+    # Whiskers extend to the most extreme in-fence data points.
+    whisker_low = float(inliers.min()) if inliers.size else float(med)
+    whisker_high = float(inliers.max()) if inliers.size else float(med)
+    return BoxplotStats(
+        minimum=float(arr.min()),
+        q1=float(q1),
+        median=float(med),
+        q3=float(q3),
+        maximum=float(arr.max()),
+        whisker_low=whisker_low,
+        whisker_high=whisker_high,
+        outliers=tuple(float(v) for v in np.sort(outliers)),
+    )
+
+
+def iqr_outliers(values: Sequence[float] | np.ndarray, whis: float = 1.5) -> list[int]:
+    """Indices of values outside the Tukey fences (anomaly candidates)."""
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        return []
+    q1, q3 = np.percentile(arr, [25, 75])
+    iqr = q3 - q1
+    mask = (arr < q1 - whis * iqr) | (arr > q3 + whis * iqr)
+    return [int(i) for i in np.nonzero(mask)[0]]
+
+
+def zscores(values: Sequence[float] | np.ndarray) -> np.ndarray:
+    """Standard scores of a series; all-zero when the series is constant."""
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        return arr
+    std = arr.std(ddof=0)
+    if std == 0 or not math.isfinite(std):
+        return np.zeros_like(arr)
+    return (arr - arr.mean()) / std

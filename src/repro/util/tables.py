@@ -1,0 +1,67 @@
+"""Plain-text table rendering for reports and the knowledge viewer.
+
+The paper's knowledge explorer presents summaries as well-organised
+tables; we render them as monospace text so every report is usable from
+a terminal and in the benchmark harness output.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+__all__ = ["render_table", "render_kv"]
+
+
+def _cell(value: Any, float_fmt: str) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return format(value, float_fmt)
+    if value is None:
+        return "-"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    float_fmt: str = ".2f",
+    indent: str = "",
+) -> str:
+    """Render rows under headers as an aligned monospace table.
+
+    Numeric columns are right-aligned, text columns left-aligned; column
+    type is inferred from the first non-``None`` value in each column.
+    """
+    str_rows = [[_cell(v, float_fmt) for v in row] for row in rows]
+    ncols = len(headers)
+    for i, row in enumerate(str_rows):
+        if len(row) != ncols:
+            raise ValueError(f"row {i} has {len(row)} cells, expected {ncols}")
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for c, cell in enumerate(row):
+            widths[c] = max(widths[c], len(cell))
+    numeric = []
+    for c in range(ncols):
+        col_vals = [row[c] for row in rows if row[c] is not None]
+        numeric.append(bool(col_vals) and all(isinstance(v, (int, float)) and not isinstance(v, bool) for v in col_vals))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        parts = []
+        for c, cell in enumerate(cells):
+            parts.append(cell.rjust(widths[c]) if numeric[c] else cell.ljust(widths[c]))
+        return indent + "  ".join(parts).rstrip()
+
+    lines = [fmt_row(list(headers)), indent + "  ".join("-" * w for w in widths)]
+    lines.extend(fmt_row(row) for row in str_rows)
+    return "\n".join(lines)
+
+
+def render_kv(pairs: dict[str, Any] | Sequence[tuple[str, Any]], indent: str = "") -> str:
+    """Render key/value pairs one per line, keys aligned (viewer detail panes)."""
+    items = list(pairs.items()) if isinstance(pairs, dict) else list(pairs)
+    if not items:
+        return ""
+    width = max(len(str(k)) for k, _ in items)
+    return "\n".join(f"{indent}{str(k).ljust(width)} : {_cell(v, '.4f')}" for k, v in items)

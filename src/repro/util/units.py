@@ -1,0 +1,144 @@
+"""Byte-size and rate parsing/formatting helpers.
+
+IOR-style command lines express sizes as ``4m``, ``2m``, ``1g``,
+``47008`` etc.  The knowledge extractor and the benchmark CLIs share a
+single parser so that a size round-trips identically everywhere in the
+cycle.  Binary (IEC) units are used throughout, matching IOR and IO500
+conventions (``1m == 1 MiB == 1048576 bytes``).
+"""
+
+from __future__ import annotations
+
+import math
+import re
+
+from repro.util.errors import UnitParseError
+
+__all__ = [
+    "KIB",
+    "MIB",
+    "GIB",
+    "TIB",
+    "parse_size",
+    "format_size",
+    "format_bandwidth",
+    "parse_duration",
+    "format_duration",
+    "to_mib",
+    "to_gib",
+]
+
+KIB = 1024
+MIB = 1024**2
+GIB = 1024**3
+TIB = 1024**4
+
+_SUFFIXES = {
+    "": 1,
+    "b": 1,
+    "k": KIB,
+    "kb": KIB,
+    "kib": KIB,
+    "m": MIB,
+    "mb": MIB,
+    "mib": MIB,
+    "g": GIB,
+    "gb": GIB,
+    "gib": GIB,
+    "t": TIB,
+    "tb": TIB,
+    "tib": TIB,
+}
+
+_SIZE_RE = re.compile(r"^\s*([0-9]*\.?[0-9]+)\s*([a-zA-Z]*)\s*$")
+
+
+def parse_size(text: str | int | float) -> int:
+    """Parse an IOR-style size expression into bytes.
+
+    Accepts plain integers, floats with unit suffixes, and the
+    case-insensitive suffixes ``b/k/m/g/t`` with optional ``b``/``ib``
+    (all binary).  ``parse_size("4m") == 4 * 2**20``.
+
+    Raises:
+        UnitParseError: if the expression cannot be interpreted.
+    """
+    if isinstance(text, bool):  # bool is an int subclass; reject it.
+        raise UnitParseError(f"not a size: {text!r}")
+    if isinstance(text, (int, float)):
+        if text < 0 or (isinstance(text, float) and not math.isfinite(text)):
+            raise UnitParseError(f"not a size: {text!r}")
+        return int(text)
+    m = _SIZE_RE.match(text)
+    if not m:
+        raise UnitParseError(f"cannot parse size expression {text!r}")
+    value, suffix = m.group(1), m.group(2).lower()
+    if suffix not in _SUFFIXES:
+        raise UnitParseError(f"unknown size suffix {suffix!r} in {text!r}")
+    return int(float(value) * _SUFFIXES[suffix])
+
+
+def format_size(nbytes: int | float, precision: int = 2) -> str:
+    """Render a byte count with the largest exact-enough IEC unit.
+
+    ``format_size(4 * MIB) == '4 MiB'`` and small residues keep
+    ``precision`` decimal places.
+    """
+    nbytes = float(nbytes)
+    if nbytes < 0:
+        return "-" + format_size(-nbytes, precision)
+    for unit, name in ((TIB, "TiB"), (GIB, "GiB"), (MIB, "MiB"), (KIB, "KiB")):
+        if nbytes >= unit:
+            value = nbytes / unit
+            if value == int(value):
+                return f"{int(value)} {name}"
+            return f"{value:.{precision}f} {name}"
+    if nbytes == int(nbytes):
+        return f"{int(nbytes)} bytes"
+    return f"{nbytes:.{precision}f} bytes"
+
+
+def format_bandwidth(bytes_per_second: float, precision: int = 2) -> str:
+    """Render a bandwidth as ``'<x> MiB/s'`` (IOR reports in MiB/s)."""
+    return f"{bytes_per_second / MIB:.{precision}f} MiB/s"
+
+
+def to_mib(nbytes: int | float) -> float:
+    """Convert bytes to MiB as a float."""
+    return float(nbytes) / MIB
+
+
+def to_gib(nbytes: int | float) -> float:
+    """Convert bytes to GiB as a float."""
+    return float(nbytes) / GIB
+
+
+_DURATION_RE = re.compile(r"^\s*([0-9]*\.?[0-9]+)\s*(us|ms|s|m|h|)\s*$")
+
+_DURATION_SUFFIXES = {
+    "": 1.0,
+    "us": 1e-6,
+    "ms": 1e-3,
+    "s": 1.0,
+    "m": 60.0,
+    "h": 3600.0,
+}
+
+
+def parse_duration(text: str | int | float) -> float:
+    """Parse a duration expression (``'250ms'``, ``'2m'``, ``10``) to seconds."""
+    if isinstance(text, bool):
+        raise UnitParseError(f"not a duration: {text!r}")
+    if isinstance(text, (int, float)):
+        if text < 0 or (isinstance(text, float) and not math.isfinite(text)):
+            raise UnitParseError(f"not a duration: {text!r}")
+        return float(text)
+    m = _DURATION_RE.match(text)
+    if not m:
+        raise UnitParseError(f"cannot parse duration expression {text!r}")
+    return float(m.group(1)) * _DURATION_SUFFIXES[m.group(2)]
+
+
+def format_duration(seconds: float, precision: int = 4) -> str:
+    """Render a duration in seconds the way IOR prints timings."""
+    return f"{seconds:.{precision}f}"

@@ -1,0 +1,116 @@
+"""Tests for IOR configuration and command-line round trips."""
+
+import pytest
+
+from repro.benchmarks_io.ior.cli import parse_args, parse_command
+from repro.benchmarks_io.ior.config import IORConfig
+from repro.util.errors import ConfigurationError
+from repro.util.units import MIB
+
+
+class TestIORConfig:
+    def test_defaults(self):
+        cfg = IORConfig()
+        assert cfg.api == "POSIX"
+        assert cfg.write_file and cfg.read_file
+
+    def test_derived_quantities_fig5(self):
+        # The paper's command: -b 4m -t 2m -s 40 on 80 tasks.
+        cfg = IORConfig(block_size=4 * MIB, transfer_size=2 * MIB, segment_count=40)
+        assert cfg.transfers_per_block == 2
+        assert cfg.transfers_per_task == 80
+        assert cfg.bytes_per_task == 160 * MIB
+        assert cfg.aggregate_bytes(80) == 12800 * MIB  # 12.5 GiB
+
+    def test_block_must_be_multiple_of_transfer(self):
+        with pytest.raises(ConfigurationError):
+            IORConfig(block_size=3 * MIB, transfer_size=2 * MIB)
+
+    def test_api_normalized(self):
+        assert IORConfig(api="mpiio").api == "MPIIO"
+
+    def test_unknown_api(self):
+        with pytest.raises(ConfigurationError):
+            IORConfig(api="netcdf")
+
+    def test_collective_needs_mpiio(self):
+        with pytest.raises(ConfigurationError):
+            IORConfig(api="POSIX", collective=True)
+        IORConfig(api="MPIIO", collective=True)
+
+    def test_must_do_something(self):
+        with pytest.raises(ConfigurationError):
+            IORConfig(write_file=False, read_file=False)
+
+    def test_file_for_rank(self):
+        fpp = IORConfig(file_per_proc=True, test_file="/scratch/t")
+        assert fpp.file_for_rank(3) == "/scratch/t.00000003"
+        shared = IORConfig(file_per_proc=False, test_file="/scratch/t")
+        assert shared.file_for_rank(3) == "/scratch/t"
+        assert shared.shared_file
+
+    def test_with_modifications(self):
+        cfg = IORConfig().with_(transfer_size=2 * MIB, block_size=4 * MIB)
+        assert cfg.transfer_size == 2 * MIB
+
+    def test_relative_test_file_rejected(self):
+        with pytest.raises(ConfigurationError):
+            IORConfig(test_file="relative/path")
+
+
+class TestCLI:
+    def test_paper_command(self):
+        # §V-E1 verbatim.
+        cfg = parse_command(
+            "ior -a mpiio -b 4m -t 2m -s 40 -F -C -e -i 6 -o /scratch/fuchs/zhuz/test80 -k"
+        )
+        assert cfg.api == "MPIIO"
+        assert cfg.block_size == 4 * MIB
+        assert cfg.transfer_size == 2 * MIB
+        assert cfg.segment_count == 40
+        assert cfg.file_per_proc and cfg.reorder_tasks_constant and cfg.fsync
+        assert cfg.iterations == 6
+        assert cfg.keep_file
+        # neither -w nor -r: both phases run (as the paper notes).
+        assert cfg.write_file and cfg.read_file
+
+    def test_pdf_dashes_tolerated(self):
+        cfg = parse_command("ior –a mpiio –b 4m –t 2m -o /scratch/x")
+        assert cfg.api == "MPIIO"
+
+    def test_write_only(self):
+        cfg = parse_args(["-w", "-o", "/scratch/x"])
+        assert cfg.write_file and not cfg.read_file
+
+    def test_read_only(self):
+        cfg = parse_args(["-r", "-o", "/scratch/x"])
+        assert cfg.read_file and not cfg.write_file
+
+    def test_unknown_option(self):
+        with pytest.raises(ConfigurationError):
+            parse_args(["-Z"])
+
+    def test_missing_value(self):
+        with pytest.raises(ConfigurationError):
+            parse_args(["-b"])
+
+    def test_empty_command(self):
+        with pytest.raises(ConfigurationError):
+            parse_command("")
+
+    def test_round_trip(self):
+        original = "ior -a mpiio -b 4m -t 2m -s 40 -F -C -e -i 6 -o /scratch/t -k"
+        cfg = parse_command(original)
+        assert parse_command(cfg.to_command()) == cfg
+
+    @pytest.mark.parametrize(
+        "command",
+        [
+            "ior -a posix -b 1m -t 1m -o /scratch/a",
+            "ior -a hdf5 -b 8m -t 2m -s 3 -c -o /scratch/b -w",
+            "ior -a mpiio -b 47008 -t 47008 -s 100 -o /scratch/c -r",
+        ],
+    )
+    def test_round_trip_various(self, command):
+        cfg = parse_command(command)
+        assert parse_command(cfg.to_command()) == cfg

@@ -1,0 +1,140 @@
+"""Tests for IOR execution on the simulated testbed."""
+
+import pytest
+
+from repro.benchmarks_io.ior import parse_command, render_ior_output, run_ior
+from repro.benchmarks_io.ior.config import IORConfig
+from repro.iostack.stack import Testbed
+from repro.pfs import Fault
+from repro.util.errors import BenchmarkError
+from repro.util.units import MIB
+
+
+@pytest.fixture()
+def tb():
+    return Testbed.fuchs_csc(seed=77)
+
+
+def small_config(**kw):
+    defaults = dict(
+        api="MPIIO",
+        block_size=4 * MIB,
+        transfer_size=2 * MIB,
+        segment_count=4,
+        iterations=2,
+        test_file="/scratch/t/f",
+        file_per_proc=True,
+        keep_file=True,
+    )
+    defaults.update(kw)
+    return IORConfig(**defaults)
+
+
+class TestRunIOR:
+    def test_result_structure(self, tb):
+        res = run_ior(small_config(), tb, num_nodes=2, tasks_per_node=4)
+        assert res.num_tasks == 8
+        assert len(res.operation_results("write")) == 2
+        assert len(res.operation_results("read")) == 2
+        for r in res.results:
+            assert r.bandwidth_mib > 0
+            assert r.iops > 0
+            assert r.total_time_s > 0
+            assert r.data_moved_bytes == 8 * 16 * MIB
+
+    def test_iterations_numbered_from_zero(self, tb):
+        res = run_ior(small_config(iterations=3), tb, 1, 4)
+        assert [r.iteration for r in res.operation_results("write")] == [0, 1, 2]
+
+    def test_write_only(self, tb):
+        res = run_ior(small_config(read_file=False), tb, 1, 4)
+        assert res.operations() == ["write"]
+
+    def test_read_without_written_file_fails(self, tb):
+        with pytest.raises(BenchmarkError):
+            run_ior(small_config(write_file=False), tb, 1, 4)
+
+    def test_read_only_after_kept_write(self, tb):
+        run_ior(small_config(read_file=False), tb, 1, 4)
+        res = run_ior(small_config(write_file=False), tb, 1, 4)
+        assert res.operations() == ["read"]
+
+    def test_keep_file_false_removes_files(self, tb):
+        run_ior(small_config(keep_file=False, test_file="/scratch/gone/f"), tb, 1, 4)
+        assert not tb.fs.namespace.exists("/scratch/gone/f.00000000")
+
+    def test_keep_file_true_keeps_files(self, tb):
+        run_ior(small_config(test_file="/scratch/kept/f"), tb, 1, 4)
+        assert tb.fs.namespace.exists("/scratch/kept/f.00000000")
+
+    def test_shared_file_mode(self, tb):
+        res = run_ior(small_config(file_per_proc=False, test_file="/scratch/sh/f"), tb, 1, 4)
+        assert tb.fs.namespace.exists("/scratch/sh/f")
+        entry = tb.fs.namespace.lookup_file("/scratch/sh/f")
+        # 4 ranks x 4 segments x 4 MiB blocks
+        assert entry.size == 4 * 4 * 4 * MIB
+
+    def test_deterministic_under_seed(self):
+        r1 = run_ior(small_config(), Testbed.fuchs_csc(seed=5), 1, 4)
+        r2 = run_ior(small_config(), Testbed.fuchs_csc(seed=5), 1, 4)
+        assert [x.bandwidth_mib for x in r1.results] == [x.bandwidth_mib for x in r2.results]
+
+    def test_different_run_id_different_noise(self, tb):
+        r1 = run_ior(small_config(test_file="/scratch/a/f"), tb, 1, 4, run_id=1)
+        r2 = run_ior(small_config(test_file="/scratch/b/f"), tb, 1, 4, run_id=2)
+        assert r1.results[0].bandwidth_mib != r2.results[0].bandwidth_mib
+
+    def test_summaries(self, tb):
+        res = run_ior(small_config(iterations=4), tb, 1, 4)
+        s = res.bandwidth_summary("write")
+        assert s.count == 4
+        assert s.minimum <= s.mean <= s.maximum
+
+    def test_fault_injection_degrades_one_iteration(self, tb):
+        tb.fs.faults.add(
+            Fault(name="it1", factor=0.4, when={"benchmark": "ior", "iteration": 1, "op": "write"})
+        )
+        res = run_ior(small_config(iterations=3), tb, 2, 10)
+        bws = [r.bandwidth_mib for r in res.operation_results("write")]
+        assert bws[1] < 0.6 * bws[0]
+        assert bws[1] < 0.6 * bws[2]
+        # reads unaffected
+        reads = [r.bandwidth_mib for r in res.operation_results("read")]
+        assert min(reads) > 0.8 * max(reads)
+
+    def test_hdf5_api_runs(self, tb):
+        res = run_ior(small_config(api="HDF5"), tb, 1, 4)
+        assert res.operations() == ["write", "read"]
+
+
+class TestOutputRendering:
+    def test_output_sections(self, tb):
+        res = run_ior(small_config(), tb, 2, 4)
+        text = render_ior_output(res)
+        assert "MPI Coordinated Test of Parallel I/O" in text
+        assert "Options: " in text
+        assert "Results: " in text
+        assert "Summary of all tests:" in text
+        assert "Max Write:" in text and "Max Read:" in text
+        assert "Command line        : " + res.command in text
+
+    def test_output_row_counts(self, tb):
+        res = run_ior(small_config(iterations=3), tb, 1, 4)
+        text = render_ior_output(res)
+        write_rows = [ln for ln in text.splitlines() if ln.startswith("write ")]
+        assert len(write_rows) == 4  # 3 result rows + 1 summary row
+
+    def test_paper_command_shape(self):
+        # Full Fig. 5 configuration: 4 nodes x 20 tasks, 6 iterations.
+        tb = Testbed.fuchs_csc(seed=2022)
+        cfg = parse_command(
+            "ior -a mpiio -b 4m -t 2m -s 40 -F -C -e -i 6 -o /scratch/fuchs/zhuz/test80 -k"
+        )
+        res = run_ior(cfg, tb, num_nodes=4, tasks_per_node=20)
+        text = render_ior_output(res)
+        assert "tasks               : 80" in text
+        assert "aggregate filesize  : 12.50 GiB" in text
+        writes = [r.bandwidth_mib for r in res.operation_results("write")]
+        # Healthy system: all six iterations in a plausible band around
+        # the paper's ~2850 MiB/s.
+        assert all(2300 < bw < 3500 for bw in writes)

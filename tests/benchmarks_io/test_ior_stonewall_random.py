@@ -1,0 +1,101 @@
+"""Tests for IOR stonewalling (-D) and random offsets (-z)."""
+
+import pytest
+
+from repro.benchmarks_io.ior import IORConfig, parse_command, run_ior
+from repro.iostack.stack import Testbed
+from repro.util.errors import ConfigurationError
+from repro.util.units import MIB
+
+
+@pytest.fixture()
+def tb():
+    return Testbed.fuchs_csc(seed=41)
+
+
+def config(**kw):
+    defaults = dict(
+        api="POSIX", block_size=4 * MIB, transfer_size=1 * MIB, segment_count=64,
+        iterations=1, test_file="/scratch/sw/t", file_per_proc=True,
+        keep_file=True, read_file=False,
+    )
+    defaults.update(kw)
+    return IORConfig(**defaults)
+
+
+class TestCLIOptions:
+    def test_parse_and_round_trip(self):
+        cfg = parse_command("ior -a posix -b 4m -t 1m -z -D 30 -o /scratch/x -w")
+        assert cfg.random_offsets
+        assert cfg.stonewall_seconds == 30.0
+        assert parse_command(cfg.to_command()) == cfg
+
+    def test_fractional_deadline_round_trip(self):
+        cfg = parse_command("ior -a posix -b 1m -t 1m -D 0.5 -o /scratch/x -w")
+        assert cfg.stonewall_seconds == 0.5
+        assert "-D 0.5" in cfg.to_command()
+
+    def test_negative_deadline_rejected(self):
+        with pytest.raises(ConfigurationError):
+            IORConfig(stonewall_seconds=-1)
+
+
+class TestStonewall:
+    def test_deadline_limits_data_and_time(self, tb):
+        free = run_ior(config(test_file="/scratch/sw/free"), tb, 2, 10, run_id=1)
+        walled = run_ior(
+            config(test_file="/scratch/sw/wall", stonewall_seconds=0.5), tb, 2, 10, run_id=1
+        )
+        free_row = free.operation_results("write")[0]
+        wall_row = walled.operation_results("write")[0]
+        # The full run needs well over the deadline; the stonewalled one
+        # stops close to it and moves less data.
+        assert free_row.total_time_s > 1.5
+        assert wall_row.total_time_s < free_row.total_time_s
+        assert wall_row.io_time_s <= 0.5 * 1.2
+        assert wall_row.data_moved_bytes < free_row.data_moved_bytes
+        assert wall_row.n_ops < free_row.n_ops
+
+    def test_bandwidth_similar_under_stonewall(self, tb):
+        # Stonewalling changes the amount of data, not the rate.
+        free = run_ior(config(test_file="/scratch/sw/f2"), tb, 2, 10, run_id=2)
+        walled = run_ior(
+            config(test_file="/scratch/sw/w2", stonewall_seconds=0.5), tb, 2, 10, run_id=2
+        )
+        bw_free = free.operation_results("write")[0].bandwidth_mib
+        bw_wall = walled.operation_results("write")[0].bandwidth_mib
+        assert abs(bw_wall - bw_free) / bw_free < 0.25
+
+    def test_at_least_one_op_even_with_tiny_deadline(self, tb):
+        walled = run_ior(
+            config(test_file="/scratch/sw/tiny", stonewall_seconds=1e-9), tb, 1, 4
+        )
+        assert walled.operation_results("write")[0].n_ops >= 4  # one per rank
+
+
+class TestRandomOffsets:
+    def test_random_slower_than_sequential(self, tb):
+        seq = run_ior(config(test_file="/scratch/rz/seq"), tb, 2, 10, run_id=3)
+        rnd = run_ior(
+            config(test_file="/scratch/rz/rnd", random_offsets=True), tb, 2, 10, run_id=3
+        )
+        assert (
+            rnd.operation_results("write")[0].bandwidth_mib
+            < seq.operation_results("write")[0].bandwidth_mib
+        )
+
+    def test_random_hurts_reads_more(self, tb):
+        seq = run_ior(
+            config(test_file="/scratch/rz/s2", read_file=True), tb, 2, 10, run_id=4
+        )
+        rnd = run_ior(
+            config(test_file="/scratch/rz/r2", read_file=True, random_offsets=True),
+            tb, 2, 10, run_id=4,
+        )
+        write_ratio = (
+            rnd.bandwidth_summary("write").mean / seq.bandwidth_summary("write").mean
+        )
+        read_ratio = (
+            rnd.bandwidth_summary("read").mean / seq.bandwidth_summary("read").mean
+        )
+        assert read_ratio < write_ratio  # prefetch loss > write-back loss

@@ -1,0 +1,46 @@
+"""Tests for the fabric model."""
+
+import pytest
+
+from repro.cluster.interconnect import Interconnect, InterconnectSpec
+from repro.util.errors import ConfigurationError
+
+
+class TestSpec:
+    def test_defaults_match_fuchs(self):
+        spec = InterconnectSpec()
+        assert spec.name == "InfiniBand FDR"
+        assert spec.aggregate_bandwidth_bps == 27e9
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            InterconnectSpec(link_bandwidth_bps=0)
+        with pytest.raises(ConfigurationError):
+            InterconnectSpec(latency_s=-1)
+
+
+class TestInterconnect:
+    def test_injection_scales_with_nodes(self):
+        ic = Interconnect()
+        one = ic.injection_ceiling_bps([1.0])
+        four = ic.injection_ceiling_bps([1.0] * 4)
+        assert four == pytest.approx(4 * one)
+
+    def test_injection_respects_health(self):
+        ic = Interconnect()
+        healthy = ic.injection_ceiling_bps([1.0, 1.0])
+        degraded = ic.injection_ceiling_bps([1.0, 0.5])
+        assert degraded == pytest.approx(0.75 * healthy)
+
+    def test_injection_needs_nodes(self):
+        with pytest.raises(ConfigurationError):
+            Interconnect().injection_ceiling_bps([])
+
+    def test_latency_scales_with_hops(self):
+        ic = Interconnect()
+        assert ic.message_latency_s(3) == pytest.approx(3 * ic.spec.latency_s)
+        with pytest.raises(ConfigurationError):
+            ic.message_latency_s(0)
+
+    def test_fabric_ceiling(self):
+        assert Interconnect().fabric_ceiling_bps() == 27e9

@@ -1,0 +1,91 @@
+"""Tests for node specs, cluster presets and health manipulation."""
+
+import pytest
+
+from repro.cluster.machine import FUCHS_CSC, Cluster, ClusterSpec, make_cluster
+from repro.cluster.node import CPUSpec, Node, NodeSpec
+from repro.util.errors import ConfigurationError
+
+
+class TestCPUSpec:
+    def test_defaults_match_fuchs(self):
+        cpu = CPUSpec()
+        assert "E5-2670 v2" in cpu.model_name
+        assert cpu.cores == 10
+
+    def test_rejects_zero_cores(self):
+        with pytest.raises(ConfigurationError):
+            CPUSpec(cores=0)
+
+    def test_rejects_bad_frequency(self):
+        with pytest.raises(ConfigurationError):
+            CPUSpec(frequency_mhz=-1)
+
+
+class TestNodeSpec:
+    def test_total_cores(self):
+        assert NodeSpec().cores == 20
+
+    def test_memory_kib(self):
+        assert NodeSpec().memory_kib == 128 * 1024 * 1024
+
+    def test_rejects_zero_memory(self):
+        with pytest.raises(ConfigurationError):
+            NodeSpec(memory_bytes=0)
+
+
+class TestNode:
+    def test_hostname_format(self):
+        n = Node(index=42, spec=NodeSpec(name_prefix="fuchs"))
+        assert n.hostname == "fuchs0042"
+
+    def test_degrade_and_restore(self):
+        n = Node(index=0, spec=NodeSpec())
+        n.degrade(0.4)
+        assert n.state == "degraded"
+        assert n.effective_nic_bandwidth_bps == pytest.approx(n.spec.nic_bandwidth_bps * 0.4)
+        n.restore()
+        assert n.performance_factor == 1.0
+        assert n.state == "idle"
+
+    def test_degrade_rejects_bad_factor(self):
+        n = Node(index=0, spec=NodeSpec())
+        with pytest.raises(ConfigurationError):
+            n.degrade(1.5)
+        with pytest.raises(ConfigurationError):
+            n.degrade(0.0)
+
+
+class TestClusterPreset:
+    def test_fuchs_matches_paper(self):
+        # §V-E: 198 nodes, 20 cores/node, 3960 cores, 128 GB RAM, 27 GB/s.
+        assert FUCHS_CSC.num_nodes == 198
+        assert FUCHS_CSC.node.cores == 20
+        assert FUCHS_CSC.total_cores == 3960
+        assert FUCHS_CSC.node.memory_bytes == 128 * 1024**3
+        assert FUCHS_CSC.interconnect.aggregate_bandwidth_bps == 27e9
+
+    def test_make_cluster_by_name(self):
+        cl = make_cluster("fuchs-csc")
+        assert cl.name == "FUCHS-CSC"
+        assert len(cl.nodes) == 198
+
+    def test_make_cluster_unknown_preset(self):
+        with pytest.raises(ConfigurationError):
+            make_cluster("summit")
+
+    def test_make_cluster_from_spec(self):
+        spec = ClusterSpec(name="tiny", num_nodes=2)
+        assert isinstance(make_cluster(spec), Cluster)
+
+    def test_node_lookup_out_of_range(self):
+        cl = make_cluster(ClusterSpec(name="tiny", num_nodes=2))
+        with pytest.raises(ConfigurationError):
+            cl.node(5)
+
+    def test_degrade_node_and_restore_all(self):
+        cl = make_cluster(ClusterSpec(name="tiny", num_nodes=3))
+        cl.degrade_node(1, 0.3)
+        assert len(cl.healthy_nodes()) == 2
+        cl.restore_all()
+        assert len(cl.healthy_nodes()) == 3

@@ -1,0 +1,65 @@
+"""Tests for the /proc provider and the system-info round trip."""
+
+import pytest
+
+from repro.cluster.machine import make_cluster
+from repro.cluster.node import NodeSpec
+from repro.cluster.procfs import ProcFS, render_cpuinfo, render_meminfo
+from repro.cluster.sysinfo import collect_system_info, parse_cpuinfo, parse_meminfo
+from repro.util.errors import ExtractionError
+
+
+class TestRender:
+    def test_cpuinfo_has_one_stanza_per_core(self):
+        spec = NodeSpec()
+        text = render_cpuinfo(spec)
+        assert text.count("processor\t:") == spec.cores
+
+    def test_cpuinfo_fields(self):
+        text = render_cpuinfo(NodeSpec())
+        assert "model name" in text and "cpu MHz" in text and "cache size" in text
+
+    def test_meminfo_total(self):
+        spec = NodeSpec()
+        text = render_meminfo(spec)
+        assert f"MemTotal:       {spec.memory_kib} kB" in text
+
+    def test_procfs_unknown_path(self):
+        with pytest.raises(FileNotFoundError):
+            ProcFS(NodeSpec()).read("/proc/version")
+
+
+class TestParse:
+    def test_round_trip_cores(self):
+        spec = NodeSpec()
+        parsed = parse_cpuinfo(render_cpuinfo(spec))
+        assert parsed["processor_cores"] == spec.cores
+        assert parsed["processor_mhz"] == spec.cpu.frequency_mhz
+        assert parsed["cache_size_bytes"] == spec.cpu.cache_size_bytes
+
+    def test_round_trip_memory(self):
+        spec = NodeSpec()
+        assert parse_meminfo(render_meminfo(spec))["memory_bytes"] == spec.memory_bytes
+
+    def test_rejects_empty_cpuinfo(self):
+        with pytest.raises(ExtractionError):
+            parse_cpuinfo("garbage")
+
+    def test_rejects_empty_meminfo(self):
+        with pytest.raises(ExtractionError):
+            parse_meminfo("garbage")
+
+
+class TestCollect:
+    def test_collect_fuchs(self):
+        si = collect_system_info(make_cluster())
+        assert si.system_name == "FUCHS-CSC"
+        assert si.processor_cores == 20
+        assert si.architecture == "x86_64"
+        assert si.memory_bytes == 128 * 1024**3
+        assert "E5-2670 v2" in si.processor_model
+
+    def test_as_dict(self):
+        d = collect_system_info(make_cluster()).as_dict()
+        assert d["hostname"] == "fuchs0000"
+        assert set(d) >= {"processor_cores", "processor_mhz", "memory_bytes"}

@@ -1,0 +1,97 @@
+"""Tests for the Slurm-like resource manager."""
+
+import pytest
+
+from repro.cluster.machine import ClusterSpec, make_cluster
+from repro.cluster.slurm import Allocation, JobRequest, JobState, Partition, SlurmManager
+from repro.util.errors import AllocationError, ConfigurationError
+
+
+@pytest.fixture()
+def small_cluster():
+    return make_cluster(ClusterSpec(name="tiny", num_nodes=8))
+
+
+@pytest.fixture()
+def slurm(small_cluster):
+    return SlurmManager(small_cluster)
+
+
+class TestJobRequest:
+    def test_total_tasks(self):
+        assert JobRequest("x", num_nodes=4, tasks_per_node=20).total_tasks == 80
+
+    def test_rejects_zero_nodes(self):
+        with pytest.raises(ConfigurationError):
+            JobRequest("x", num_nodes=0, tasks_per_node=1)
+
+
+class TestAllocation:
+    def test_rank_to_node_block_distribution(self):
+        alloc = Allocation(job_id=1, node_indices=(3, 5), tasks_per_node=2)
+        assert [alloc.rank_to_node(r) for r in range(4)] == [3, 3, 5, 5]
+
+    def test_rank_out_of_range(self):
+        alloc = Allocation(job_id=1, node_indices=(0,), tasks_per_node=2)
+        with pytest.raises(ConfigurationError):
+            alloc.rank_to_node(2)
+
+
+class TestSlurmManager:
+    def test_submit_allocates_exclusively(self, slurm):
+        j1 = slurm.submit(JobRequest("a", num_nodes=4, tasks_per_node=2))
+        j2 = slurm.submit(JobRequest("b", num_nodes=4, tasks_per_node=2))
+        assert j1.state == JobState.RUNNING and j2.state == JobState.RUNNING
+        assert not set(j1.allocation.node_indices) & set(j2.allocation.node_indices)
+
+    def test_oversubscription_rejected(self, slurm):
+        slurm.submit(JobRequest("a", num_nodes=6, tasks_per_node=1))
+        with pytest.raises(AllocationError):
+            slurm.submit(JobRequest("b", num_nodes=3, tasks_per_node=1))
+
+    def test_too_many_tasks_per_node(self, slurm):
+        with pytest.raises(AllocationError):
+            slurm.submit(JobRequest("a", num_nodes=1, tasks_per_node=999))
+
+    def test_unknown_partition(self, slurm):
+        with pytest.raises(AllocationError):
+            slurm.submit(JobRequest("a", num_nodes=1, tasks_per_node=1, partition="gpu"))
+
+    def test_complete_releases_nodes(self, slurm):
+        j = slurm.submit(JobRequest("a", num_nodes=8, tasks_per_node=1))
+        slurm.complete(j, elapsed_s=12.5)
+        assert j.state == JobState.COMPLETED
+        assert j.elapsed_s == 12.5
+        # Nodes are free again.
+        j2 = slurm.submit(JobRequest("b", num_nodes=8, tasks_per_node=1))
+        assert j2.state == JobState.RUNNING
+
+    def test_complete_failed_job(self, slurm):
+        j = slurm.submit(JobRequest("a", num_nodes=1, tasks_per_node=1))
+        slurm.complete(j, elapsed_s=1.0, failed=True)
+        assert j.state == JobState.FAILED
+
+    def test_complete_twice_rejected(self, slurm):
+        j = slurm.submit(JobRequest("a", num_nodes=1, tasks_per_node=1))
+        slurm.complete(j, elapsed_s=1.0)
+        with pytest.raises(AllocationError):
+            slurm.complete(j, elapsed_s=1.0)
+
+    def test_squeue_and_sacct(self, slurm):
+        j1 = slurm.submit(JobRequest("a", num_nodes=1, tasks_per_node=1))
+        j2 = slurm.submit(JobRequest("b", num_nodes=1, tasks_per_node=1))
+        assert {j.job_id for j in slurm.squeue()} == {j1.job_id, j2.job_id}
+        slurm.complete(j1, elapsed_s=1.0)
+        assert [j.job_id for j in slurm.squeue()] == [j2.job_id]
+        assert [j.job_id for j in slurm.sacct()] == [j1.job_id, j2.job_id]
+
+    def test_down_node_skipped(self, small_cluster):
+        slurm = SlurmManager(small_cluster)
+        small_cluster.node(0).state = "down"
+        j = slurm.submit(JobRequest("a", num_nodes=7, tasks_per_node=1))
+        assert 0 not in j.allocation.node_indices
+
+    def test_custom_partition(self, small_cluster):
+        slurm = SlurmManager(small_cluster, [Partition("small", (0, 1))])
+        j = slurm.submit(JobRequest("a", num_nodes=2, tasks_per_node=1, partition="small"))
+        assert j.allocation.node_indices == (0, 1)

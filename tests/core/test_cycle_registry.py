@@ -1,0 +1,114 @@
+"""Integration tests for the full knowledge cycle and the module registry."""
+
+import pytest
+
+from repro.core.cycle import KnowledgeCycle
+from repro.core.knowledge import Knowledge
+from repro.core.persistence import KnowledgeDatabase
+from repro.core.registry import ModuleRegistry, UseCaseModule, default_module_registry
+from repro.core.usage.anomaly import IterationAnomaly
+from repro.iostack.stack import Testbed
+from repro.pfs import Fault
+from repro.util.errors import UsageError
+
+CYCLE_XML = """
+<jube>
+  <benchmark name="cycle-test" outpath="ignored">
+    <parameterset name="pattern">
+      <parameter name="transfersize">1m,2m</parameter>
+      <parameter name="command">ior -a mpiio -b 4m -t $transfersize -s 4 -F -e -i 4 -o /scratch/ct/test -k</parameter>
+      <parameter name="nodes">2</parameter>
+      <parameter name="taskspernode">10</parameter>
+    </parameterset>
+    <step name="run" work="ior">
+      <use>pattern</use>
+    </step>
+  </benchmark>
+</jube>
+"""
+
+
+class TestModuleRegistry:
+    def test_register_run_unregister(self):
+        reg = ModuleRegistry()
+        reg.register(UseCaseModule("count", "counts knowledge", lambda ks: len(ks)))
+        assert reg.run("count", [Knowledge(benchmark="ior")]) == 1
+        reg.unregister("count")
+        with pytest.raises(UsageError):
+            reg.get("count")
+
+    def test_duplicate_rejected(self):
+        reg = ModuleRegistry()
+        module = UseCaseModule("m", "", lambda ks: None)
+        reg.register(module)
+        with pytest.raises(UsageError):
+            reg.register(module)
+
+    def test_default_registry_modules(self):
+        assert default_module_registry().names() == ["anomaly-detection", "recommendation"]
+
+    def test_run_all(self):
+        reg = default_module_registry()
+        out = reg.run_all([])
+        assert set(out) == {"anomaly-detection", "recommendation"}
+
+
+class TestKnowledgeCycle:
+    def test_full_revolution(self, tmp_path):
+        testbed = Testbed.fuchs_csc(seed=101)
+        with KnowledgeDatabase(":memory:") as db:
+            cycle = KnowledgeCycle(testbed, db, workspace=tmp_path)
+            result = cycle.run_cycle(CYCLE_XML)
+            # Phase II: two workpackages -> two knowledge objects.
+            assert len(result.knowledge) == 2
+            # Phase III: both persisted.
+            assert result.knowledge_ids == [1, 2]
+            assert db.table_count("performances") == 2
+            assert db.table_count("results") == 2 * 2 * 4  # objs x ops x iters
+            # Phase IV: report covers both runs and the comparison.
+            assert result.analysis_report.count("benchmark    : ior") == 2
+            assert "Comparison:" in result.analysis_report
+            # Phase V: the recommendation module fired.
+            assert result.usage_results["recommendation"] is not None
+
+    def test_anomaly_detected_through_cycle(self, tmp_path):
+        # End-to-end Fig. 5: inject the fault, run the whole cycle, and
+        # the usage phase must flag iteration 2.
+        testbed = Testbed.fuchs_csc(seed=102)
+        testbed.fs.faults.add(
+            Fault(name="it2", factor=0.42,
+                  when={"benchmark": "ior", "iteration": 1, "op": "write"})
+        )
+        with KnowledgeDatabase(":memory:") as db:
+            cycle = KnowledgeCycle(testbed, db, workspace=tmp_path)
+            result = cycle.run_cycle(CYCLE_XML)
+            anomalies = result.usage_results["anomaly-detection"]
+            assert anomalies, "fault was not detected by the cycle"
+            assert all(isinstance(a, IterationAnomaly) for a in anomalies)
+            assert {a.iteration for a in anomalies} == {2}
+
+    def test_second_revolution_grows_knowledge(self, tmp_path):
+        # Fig. 2: the cycle is iterative; re-running it accumulates.
+        testbed = Testbed.fuchs_csc(seed=103)
+        with KnowledgeDatabase(":memory:") as db:
+            cycle = KnowledgeCycle(testbed, db, workspace=tmp_path)
+            cycle.run_cycle(CYCLE_XML)
+            first = db.table_count("performances")
+            cycle.run_cycle(CYCLE_XML)
+            assert db.table_count("performances") == 2 * first
+
+    def test_regenerated_config_drives_next_cycle(self, tmp_path):
+        # §V-E1 end-to-end: knowledge -> generated JUBE config -> new run.
+        from repro.core.usage import generate_jube_config
+
+        testbed = Testbed.fuchs_csc(seed=104)
+        with KnowledgeDatabase(":memory:") as db:
+            cycle = KnowledgeCycle(testbed, db, workspace=tmp_path)
+            result = cycle.run_cycle(CYCLE_XML)
+            xml = generate_jube_config(
+                result.knowledge[0], sweep={"transfersize": ["4m"]},
+                nodes=1, tasks_per_node=4,
+            )
+            second = cycle.run_cycle(xml)
+            assert len(second.knowledge) == 1
+            assert second.knowledge[0].parameters["xfersize_bytes"] == 4 * 1024**2

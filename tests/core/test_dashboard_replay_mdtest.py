@@ -1,0 +1,177 @@
+"""Tests for the HTML dashboard, DXT replay and the mdtest generator."""
+
+import pytest
+
+from repro.benchmarks_io.ior import IORConfig, run_ior
+from repro.benchmarks_io.mdtest import MdtestConfig, render_mdtest_output, run_mdtest
+from repro.core.explorer import render_dashboard, write_dashboard
+from repro.core.extraction import KnowledgeExtractor
+from repro.core.extraction.mdtest_ext import parse_mdtest_output
+from repro.core.knowledge import (
+    IO500Knowledge,
+    IO500Testcase,
+    Knowledge,
+    KnowledgeResult,
+    KnowledgeSummary,
+)
+from repro.darshan import DarshanProfiler, DarshanReport, replay_trace
+from repro.iostack.stack import Testbed
+from repro.jube import DEFAULT_WORK_REGISTRY, load_benchmark
+from repro.util.errors import AnalysisError, DarshanError, ExtractionError
+from repro.util.units import MIB
+
+
+def make_knowledge(kid=1, bws=(2850.0, 1251.0, 2840.0, 2860.0)):
+    results = [
+        KnowledgeResult(iteration=i, bandwidth_mib=bw, iops=bw / 2) for i, bw in enumerate(bws)
+    ]
+    summary = KnowledgeSummary(
+        operation="write", api="MPIIO", bw_max=max(bws), bw_min=min(bws),
+        bw_mean=sum(bws) / len(bws), bw_stddev=1.0, ops_max=1.0, ops_min=1.0,
+        ops_mean=1.0, ops_stddev=0.0, iterations=len(bws), results=results,
+    )
+    return Knowledge(benchmark="ior", command="ior -t 2m", api="MPIIO",
+                     num_tasks=80, summaries=[summary], knowledge_id=kid)
+
+
+def make_io500(iofh, easy_w):
+    return IO500Knowledge(
+        score_total=2.0, score_bw=1.0, score_md=4.0, iofh_id=iofh,
+        num_nodes=2, num_tasks=40,
+        testcases=[
+            IO500Testcase("ior-easy-write", easy_w, "GiB/s"),
+            IO500Testcase("ior-easy-read", 3.2, "GiB/s"),
+            IO500Testcase("ior-hard-write", 0.04, "GiB/s"),
+            IO500Testcase("ior-hard-read", 0.05, "GiB/s"),
+        ],
+    )
+
+
+class TestDashboard:
+    def test_full_dashboard(self, tmp_path):
+        html_text = render_dashboard(
+            [make_knowledge(1), make_knowledge(2, (3000.0, 3010.0, 2990.0, 3005.0))],
+            io500_runs=[make_io500(1, 2.9), make_io500(2, 3.1)],
+        )
+        assert html_text.startswith("<!DOCTYPE html>")
+        assert "knowledge objects" in html_text
+        assert html_text.count("<svg") >= 5  # overview + 2 runs + 2 io500 charts
+        assert "⚠" in html_text  # the injected anomaly in knowledge #1
+        assert "no iteration anomalies" in html_text  # knowledge #2 is clean
+        assert "IO500" in html_text
+
+    def test_write_dashboard(self, tmp_path):
+        out = write_dashboard([make_knowledge()], tmp_path / "dash.html")
+        assert out.exists()
+        assert "<html>" in out.read_text()
+
+    def test_requires_html_suffix(self, tmp_path):
+        with pytest.raises(AnalysisError):
+            write_dashboard([make_knowledge()], tmp_path / "dash.pdf")
+
+    def test_requires_content(self):
+        with pytest.raises(AnalysisError):
+            render_dashboard([])
+
+    def test_io500_only_dashboard(self):
+        html_text = render_dashboard([], io500_runs=[make_io500(1, 3.0)])
+        assert "IO500" in html_text
+
+    def test_escapes_content(self):
+        k = make_knowledge()
+        k.command = 'ior -o "/scratch/<evil>&file"'
+        assert "<evil>" not in render_dashboard([k])
+
+
+@pytest.fixture(scope="module")
+def traced_report():
+    tb = Testbed.fuchs_csc(seed=51)
+    prof = DarshanProfiler(enable_dxt=True)
+    cfg = IORConfig(api="POSIX", block_size=4 * MIB, transfer_size=1 * MIB,
+                    segment_count=2, iterations=1, test_file="/scratch/rp/t",
+                    file_per_proc=True, keep_file=True)
+    res = run_ior(cfg, tb, 1, 4, tracer=prof)
+    return DarshanReport(prof.finalize("ior", 4, 0, res.end_offset_s))
+
+
+class TestReplay:
+    def test_replay_on_fresh_testbed(self, traced_report):
+        target = Testbed.fuchs_csc(seed=52)
+        ctx = target.start_job("replay", 1, 4)
+        result = replay_trace(traced_report, ctx)
+        assert len(result.ranks) == 4
+        # 4 ranks x 8 MiB write + 8 MiB read.
+        assert result.total_bytes == 4 * 16 * MIB
+        assert result.original_makespan_s > 0
+        assert result.replayed_makespan_s > 0
+        # Same hardware: replay time within 3x of the original.
+        assert 1 / 3 < result.speedup < 3
+
+    def test_replay_on_degraded_testbed_slower(self, traced_report):
+        healthy = Testbed.fuchs_csc(seed=53)
+        r_healthy = replay_trace(traced_report, healthy.start_job("r1", 1, 4))
+        degraded = Testbed.fuchs_csc(seed=53)
+        for server in degraded.fs.servers:
+            server.degrade(0.25)
+        r_degraded = replay_trace(
+            traced_report, degraded.start_job("r2", 1, 4), base_dir="/scratch/replay2"
+        )
+        assert r_degraded.replayed_makespan_s > 2 * r_healthy.replayed_makespan_s
+
+    def test_replay_needs_enough_ranks(self, traced_report):
+        target = Testbed.fuchs_csc(seed=54)
+        ctx = target.start_job("small", 1, 2)
+        with pytest.raises(DarshanError):
+            replay_trace(traced_report, ctx)
+
+    def test_replay_needs_dxt(self):
+        prof = DarshanProfiler(enable_dxt=False)
+        import numpy as np
+
+        prof.record_batch("POSIX", "write", 0, "/f", 0, 1024, np.ones(2), 0.0)
+        report = DarshanReport(prof.finalize("x", 1, 0, 1))
+        target = Testbed.fuchs_csc(seed=55)
+        with pytest.raises(DarshanError):
+            replay_trace(report, target.start_job("r", 1, 1))
+
+
+class TestMdtestGenerator:
+    def test_output_round_trip(self):
+        tb = Testbed.fuchs_csc(seed=56)
+        ctx = tb.start_job("md", 1, 8)
+        res = run_mdtest(MdtestConfig(num_items=50, base_dir="/scratch/mg1"), ctx)
+        text = render_mdtest_output(res)
+        assert "SUMMARY rate" in text
+        k = parse_mdtest_output(text)
+        assert k.benchmark == "mdtest"
+        assert k.num_tasks == 8
+        assert k.parameters["items_per_task"] == 50
+        assert k.summary("create").ops_mean == pytest.approx(res.rate("create"), rel=1e-3)
+        assert k.summary("stat").ops_mean == pytest.approx(res.rate("stat"), rel=1e-3)
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ExtractionError):
+            parse_mdtest_output("nope")
+
+    def test_jube_step_to_extraction(self, tmp_path):
+        xml = """
+        <jube><benchmark name="md" outpath="x">
+          <parameterset name="p">
+            <parameter name="variant">easy,hard</parameter>
+            <parameter name="items">40</parameter>
+            <parameter name="nodes">1</parameter>
+            <parameter name="taskspernode">4</parameter>
+          </parameterset>
+          <step name="run" work="mdtest"><use>p</use></step>
+        </benchmark></jube>
+        """
+        tb = Testbed.fuchs_csc(seed=57)
+        bench, _ = load_benchmark(xml, DEFAULT_WORK_REGISTRY, outpath=tmp_path,
+                                  shared={"testbed": tb})
+        bench.run()
+        knowledge = KnowledgeExtractor(jube_workspace=tmp_path).extract()
+        assert len(knowledge) == 2
+        assert all(k.benchmark == "mdtest" for k in knowledge)
+        easy = next(k for k in knowledge if k.parameters["unique_dir_per_task"])
+        hard = next(k for k in knowledge if not k.parameters["unique_dir_per_task"])
+        assert easy.summary("create").ops_mean > hard.summary("create").ops_mean

@@ -1,0 +1,55 @@
+"""Tests for the knowledge diff tool."""
+
+import pytest
+
+from repro.core.explorer import diff_knowledge
+from repro.core.knowledge import Knowledge, KnowledgeResult, KnowledgeSummary
+from repro.util.errors import AnalysisError
+
+
+def make(kid, bw=1000.0, op="write", xfer="2m", api="MPIIO", tasks=80):
+    summary = KnowledgeSummary(
+        operation=op, api=api, bw_max=bw * 1.1, bw_min=bw * 0.9, bw_mean=bw,
+        bw_stddev=1.0, ops_max=bw / 2, ops_min=bw / 2, ops_mean=bw / 2,
+        ops_stddev=0.0, iterations=1,
+        results=[KnowledgeResult(iteration=0, bandwidth_mib=bw, iops=bw / 2)],
+    )
+    return Knowledge(benchmark="ior", api=api, num_tasks=tasks, num_nodes=4,
+                     parameters={"xfersize": xfer}, summaries=[summary],
+                     knowledge_id=kid)
+
+
+class TestDiff:
+    def test_identical_config_perf_delta(self):
+        d = diff_knowledge(make(1, 1000.0), make(2, 2000.0))
+        assert d.identical_configuration
+        bw = next(f for f in d.performance if f.field == "write.bw_mean")
+        assert bw.relative_change == pytest.approx(1.0)
+        assert "+100.0%" in d.render()
+
+    def test_config_changes_listed(self):
+        d = diff_knowledge(make(1, xfer="1m", tasks=40), make(2, xfer="4m"))
+        fields = {f.field for f in d.configuration}
+        assert fields == {"param:xfersize", "num_tasks"}
+        assert not d.identical_configuration
+
+    def test_missing_operation_reported(self):
+        left = make(1)
+        right = make(2, op="read")
+        d = diff_knowledge(left, right)
+        kinds = {f.field for f in d.performance}
+        assert "read" in kinds and "write" in kinds
+
+    def test_self_diff_rejected(self):
+        k = make(1)
+        with pytest.raises(AnalysisError):
+            diff_knowledge(k, k)
+
+    def test_equal_objects_no_perf_diff(self):
+        d = diff_knowledge(make(1), make(2))
+        assert d.performance == []
+        assert "Configuration: identical" in d.render()
+
+    def test_describe(self):
+        d = diff_knowledge(make(1, 1000.0), make(2, 1500.0))
+        assert "+50.0%" in d.performance[0].describe()

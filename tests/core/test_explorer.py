@@ -1,0 +1,240 @@
+"""Tests for Phase-IV analysis: charts, viewer, comparison, IO500 viewer."""
+
+import pytest
+
+from repro.core.explorer import (
+    BoxSeries,
+    ChartSpec,
+    ComparisonView,
+    IO500Viewer,
+    KnowledgeViewer,
+    Series,
+    export_image,
+    overview_boxplot,
+    render_ascii,
+    render_svg,
+)
+from repro.core.knowledge import (
+    IO500Knowledge,
+    IO500Testcase,
+    Knowledge,
+    KnowledgeResult,
+    KnowledgeSummary,
+)
+from repro.util.errors import AnalysisError
+from repro.util.stats import boxplot_stats
+
+
+def make_knowledge(kid=1, bws=(2850.0, 1251.0, 2840.0), api="MPIIO", tasks=80, params=None):
+    results = [
+        KnowledgeResult(iteration=i, bandwidth_mib=bw, iops=bw / 2, latency_s=0.01,
+                        wrrd_time_s=1.0, total_time_s=1.2)
+        for i, bw in enumerate(bws)
+    ]
+    summary = KnowledgeSummary(
+        operation="write", api=api, bw_max=max(bws), bw_min=min(bws),
+        bw_mean=sum(bws) / len(bws), bw_stddev=1.0,
+        ops_max=max(bws) / 2, ops_min=min(bws) / 2, ops_mean=sum(bws) / len(bws) / 2,
+        ops_stddev=0.5, iterations=len(bws), results=results,
+    )
+    return Knowledge(
+        benchmark="ior", command=f"ior run {kid}", api=api, num_tasks=tasks,
+        num_nodes=tasks // 20 or 1, parameters=params or {"xfersize": "2m"},
+        summaries=[summary], knowledge_id=kid,
+    )
+
+
+class TestChartSpec:
+    def test_series_length_mismatch(self):
+        with pytest.raises(AnalysisError):
+            Series(name="s", x=(1, 2), y=(1.0,))
+
+    def test_unknown_kind(self):
+        with pytest.raises(AnalysisError):
+            ChartSpec(kind="pie", title="t")
+
+    def test_validate_empty(self):
+        with pytest.raises(AnalysisError):
+            ChartSpec(kind="line", title="t").validate()
+        with pytest.raises(AnalysisError):
+            ChartSpec(kind="boxplot", title="t").validate()
+
+
+class TestRenderers:
+    def spec(self, kind="line"):
+        return ChartSpec(
+            kind=kind, title="Throughput", x_label="iteration", y_label="MiB/s",
+            series=[
+                Series("write", (1, 2, 3), (2850.0, 1251.0, 2840.0)),
+                Series("read", (1, 2, 3), (3200.0, 3190.0, 3210.0)),
+            ],
+        )
+
+    def test_ascii_line(self):
+        out = render_ascii(self.spec())
+        assert "Throughput" in out
+        assert "legend: * write  o read" in out
+
+    def test_ascii_bar(self):
+        assert "Throughput" in render_ascii(self.spec("bar"))
+
+    def test_ascii_boxplot(self):
+        spec = ChartSpec(
+            kind="boxplot", title="box", y_label="MiB/s",
+            boxes=[BoxSeries("k1", boxplot_stats([1.0, 2.0, 3.0, 100.0]))],
+        )
+        out = render_ascii(spec)
+        assert "k1" in out and "o" in out  # outlier marker
+
+    def test_svg_line_valid_and_complete(self):
+        svg = render_svg(self.spec())
+        assert svg.startswith("<svg") and svg.endswith("</svg>")
+        assert "polyline" in svg
+        assert "write" in svg and "read" in svg
+
+    def test_svg_bar(self):
+        assert "<rect" in render_svg(self.spec("bar"))
+
+    def test_svg_boxplot(self):
+        spec = ChartSpec(
+            kind="boxplot", title="box",
+            boxes=[BoxSeries("a", boxplot_stats([1.0, 2.0, 3.0]))],
+        )
+        svg = render_svg(spec)
+        assert "<rect" in svg and "<line" in svg
+
+    def test_svg_escapes_title(self):
+        spec = self.spec()
+        spec.title = "a < b & c"
+        assert "a &lt; b &amp; c" in render_svg(spec)
+
+    def test_export_image(self, tmp_path):
+        path = export_image(self.spec(), tmp_path / "chart.svg")
+        assert path.exists()
+        assert path.read_text().startswith("<svg")
+
+    def test_export_rejects_non_svg(self, tmp_path):
+        with pytest.raises(AnalysisError):
+            export_image(self.spec(), tmp_path / "chart.png")
+
+
+class TestViewer:
+    def test_render_contains_sections(self):
+        text = KnowledgeViewer().render(make_knowledge())
+        assert "command" in text
+        assert "Summary:" in text
+        assert "Details per iteration:" in text
+        assert "2850.0000" in text
+
+    def test_iteration_chart_fig5_shape(self):
+        # The Fig. 5 chart: throughput per 1-based iteration.
+        spec = KnowledgeViewer().iteration_chart(make_knowledge(), "bandwidth_mib")
+        assert spec.kind == "line"
+        write = spec.series[0]
+        assert write.x == (1, 2, 3)
+        assert write.y == (2850.0, 1251.0, 2840.0)
+
+    def test_other_metrics_selectable(self):
+        spec = KnowledgeViewer().iteration_chart(make_knowledge(), "wrrd_time_s")
+        assert "wrRdTime" in spec.y_label
+
+    def test_unknown_metric(self):
+        with pytest.raises(AnalysisError):
+            KnowledgeViewer().iteration_chart(make_knowledge(), "vibes")
+
+
+class TestComparison:
+    def objects(self):
+        return [
+            make_knowledge(1, bws=(1000.0, 1100.0, 1050.0), params={"xfersize": "1m"}),
+            make_knowledge(2, bws=(3000.0, 3100.0, 2900.0), params={"xfersize": "2m"}),
+            make_knowledge(3, bws=(2000.0, 2100.0, 1900.0), api="POSIX", params={"xfersize": "2m"}),
+        ]
+
+    def test_needs_objects(self):
+        with pytest.raises(AnalysisError):
+            ComparisonView([])
+
+    def test_chart_axis_selection(self):
+        spec = ComparisonView(self.objects()).chart(x_axis="xfersize", y_metric="bw_mean",
+                                                    operations=("write",))
+        assert spec.series[0].x == ("1m", "2m", "2m")
+        assert spec.series[0].y[1] == pytest.approx(3000.0)
+
+    def test_unknown_axis(self):
+        with pytest.raises(AnalysisError):
+            ComparisonView(self.objects()).chart(x_axis="colour")
+
+    def test_unknown_metric(self):
+        with pytest.raises(AnalysisError):
+            ComparisonView(self.objects()).chart(y_metric="speed")
+
+    def test_filter_by_api(self):
+        view = ComparisonView(self.objects()).filter_by(api="POSIX")
+        assert [k.knowledge_id for k in view.objects] == [3]
+
+    def test_filter_by_parameter(self):
+        view = ComparisonView(self.objects()).filter_by(xfersize="2m")
+        assert [k.knowledge_id for k in view.objects] == [2, 3]
+
+    def test_filter_empty_raises(self):
+        with pytest.raises(AnalysisError):
+            ComparisonView(self.objects()).filter_by(api="GPFS")
+
+    def test_sort_by(self):
+        view = ComparisonView(self.objects()).sort_by("bw_mean", "write")
+        assert [k.knowledge_id for k in view.objects] == [2, 3, 1]
+
+    def test_table(self):
+        out = ComparisonView(self.objects()).table()
+        assert "bw_mean" in out and "MPIIO" in out
+
+    def test_overview_boxplot(self):
+        spec = ComparisonView(self.objects()).overview("write")
+        assert spec.kind == "boxplot"
+        assert [b.name for b in spec.boxes] == ["#1", "#2", "#3"]
+
+    def test_overview_missing_operation(self):
+        with pytest.raises(AnalysisError):
+            overview_boxplot(self.objects(), "append")
+
+
+class TestIO500Viewer:
+    def runs(self):
+        def run(i, easy_w, easy_r):
+            return IO500Knowledge(
+                score_total=2.0, score_bw=1.0, score_md=4.0, iofh_id=i,
+                testcases=[
+                    IO500Testcase("ior-easy-write", easy_w, "GiB/s"),
+                    IO500Testcase("ior-easy-read", easy_r, "GiB/s"),
+                    IO500Testcase("ior-hard-write", easy_w / 10, "GiB/s"),
+                    IO500Testcase("ior-hard-read", easy_r / 10, "GiB/s"),
+                ],
+            )
+
+        return [run(1, 3.0, 3.3), run(2, 2.8, 3.25), run(3, 3.1, 3.35)]
+
+    def test_render(self):
+        text = IO500Viewer().render(self.runs()[0])
+        assert "score (total)" in text and "ior-easy-write" in text
+
+    def test_score_chart(self):
+        spec = IO500Viewer().score_chart(self.runs())
+        assert [s.name for s in spec.series] == ["total", "bandwidth", "metadata"]
+
+    def test_testcase_chart(self):
+        spec = IO500Viewer().testcase_chart(self.runs(), ("ior-easy-write",))
+        assert spec.series[0].y == (3.0, 2.8, 3.1)
+
+    def test_boundary_boxplot(self):
+        spec = IO500Viewer().boundary_boxplot(self.runs())
+        assert spec.kind == "boxplot"
+        assert len(spec.boxes) == 4
+
+    def test_boundary_needs_two_runs(self):
+        with pytest.raises(AnalysisError):
+            IO500Viewer().boundary_boxplot(self.runs()[:1])
+
+    def test_empty_runs(self):
+        with pytest.raises(AnalysisError):
+            IO500Viewer().score_chart([])

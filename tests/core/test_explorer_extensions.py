@@ -1,0 +1,219 @@
+"""Tests for heatmaps, the bounding-box chart, JSON/CSV transfer."""
+
+import pytest
+
+from repro.core.explorer import (
+    bounding_box_chart,
+    dxt_activity_heatmap,
+    knowledge_heatmap,
+    render_ascii,
+    render_svg,
+)
+from repro.core.knowledge import (
+    IO500Knowledge,
+    IO500Testcase,
+    Knowledge,
+    KnowledgeResult,
+    KnowledgeSummary,
+)
+from repro.core.persistence import (
+    export_csv,
+    export_json,
+    import_json,
+    knowledge_from_dict,
+    knowledge_to_dict,
+)
+from repro.core.usage import build_bounding_box
+from repro.util.errors import AnalysisError, PersistenceError
+
+
+def make_knowledge(xfer="1m", nodes=1, bw=1000.0, kid=None):
+    results = [KnowledgeResult(iteration=0, bandwidth_mib=bw, iops=bw / 2)]
+    summary = KnowledgeSummary(
+        operation="write", api="POSIX", bw_max=bw, bw_min=bw, bw_mean=bw,
+        bw_stddev=0.0, ops_max=bw / 2, ops_min=bw / 2, ops_mean=bw / 2,
+        ops_stddev=0.0, iterations=1, results=results,
+    )
+    return Knowledge(
+        benchmark="ior", command=f"ior -t {xfer}", api="POSIX",
+        num_nodes=nodes, num_tasks=nodes * 20,
+        parameters={"xfersize": xfer}, summaries=[summary], knowledge_id=kid,
+    )
+
+
+class TestKnowledgeHeatmap:
+    def grid(self):
+        out = []
+        for xfer, base in (("1m", 1000.0), ("2m", 2000.0)):
+            for nodes in (1, 2, 4):
+                out.append(make_knowledge(xfer, nodes, base * nodes**0.5))
+        return out
+
+    def test_pivot(self):
+        spec = knowledge_heatmap(self.grid(), x_axis="xfersize", y_axis="num_nodes")
+        assert spec.kind == "heatmap"
+        hm = spec.heatmap
+        assert hm.x_labels == ("1m", "2m")
+        assert hm.y_labels == ("1", "2", "4")
+        # cell (y=1, x=1m) = 1000
+        assert hm.values[0][0] == pytest.approx(1000.0)
+        assert hm.values[2][1] == pytest.approx(4000.0)
+
+    def test_renders_both_ways(self):
+        spec = knowledge_heatmap(self.grid(), "xfersize", "num_nodes")
+        assert "1m" in render_ascii(spec)
+        svg = render_svg(spec)
+        assert svg.count("<rect") > 6  # one per cell + background
+
+    def test_duplicates_averaged(self):
+        objs = [make_knowledge(bw=100.0), make_knowledge(bw=300.0)]
+        spec = knowledge_heatmap(objs, "xfersize", "num_nodes")
+        assert spec.heatmap.values[0][0] == pytest.approx(200.0)
+
+    def test_missing_combination_rejected(self):
+        objs = [make_knowledge("1m", 1), make_knowledge("2m", 2)]
+        with pytest.raises(AnalysisError):
+            knowledge_heatmap(objs, "xfersize", "num_nodes")
+
+    def test_unknown_axis(self):
+        with pytest.raises(AnalysisError):
+            knowledge_heatmap([make_knowledge()], "colour", "num_nodes")
+
+
+class TestDXTHeatmap:
+    def test_from_instrumented_run(self):
+        from repro.benchmarks_io.ior import IORConfig, run_ior
+        from repro.darshan import DarshanProfiler, DarshanReport
+        from repro.iostack.stack import Testbed
+        from repro.util.units import MIB
+
+        tb = Testbed.fuchs_csc(seed=31)
+        prof = DarshanProfiler(enable_dxt=True)
+        cfg = IORConfig(api="POSIX", block_size=4 * MIB, transfer_size=1 * MIB,
+                        segment_count=2, iterations=1, test_file="/scratch/hx/t",
+                        file_per_proc=True, keep_file=True, read_file=False)
+        res = run_ior(cfg, tb, 1, 4, tracer=prof)
+        report = DarshanReport(prof.finalize("ior", 4, 0, res.end_offset_s))
+        spec = dxt_activity_heatmap(report, nbins=8)
+        assert len(spec.heatmap.y_labels) == 4  # one row per rank
+        total_mib = sum(spec.heatmap.flat())
+        assert total_mib == pytest.approx(4 * 8, rel=0.01)  # 4 ranks x 8 MiB
+
+    def test_requires_dxt(self):
+        import numpy as np
+
+        from repro.darshan import DarshanProfiler, DarshanReport
+
+        prof = DarshanProfiler(enable_dxt=False)
+        prof.record_batch("POSIX", "write", 0, "/f", 0, 1024, np.ones(2), 0.0)
+        report = DarshanReport(prof.finalize("x", 1, 0, 1))
+        with pytest.raises(AnalysisError):
+            dxt_activity_heatmap(report)
+
+
+class TestBoundingBoxChart:
+    def runs(self):
+        def run(easy_w):
+            return IO500Knowledge(
+                score_total=1, score_bw=1, score_md=1,
+                testcases=[
+                    IO500Testcase("ior-easy-write", easy_w, "GiB/s"),
+                    IO500Testcase("ior-easy-read", 3.2, "GiB/s"),
+                    IO500Testcase("ior-hard-write", 0.04, "GiB/s"),
+                    IO500Testcase("ior-hard-read", 0.05, "GiB/s"),
+                ],
+            )
+
+        return [run(2.9), run(3.1), run(3.0)]
+
+    def test_chart_without_observation(self):
+        box = build_bounding_box(self.runs())
+        spec = bounding_box_chart(box)
+        assert spec.kind == "boxplot"
+        assert len(spec.boxes) == 4
+        assert all(not b.stats.outliers for b in spec.boxes)
+
+    def test_anomalous_observation_marked(self):
+        box = build_bounding_box(self.runs())
+        broken = self.runs()[0]
+        broken.testcase("ior-easy-read").options  # touch
+        broken.testcases[1] = IO500Testcase("ior-easy-read", 1.0, "GiB/s")
+        spec = bounding_box_chart(box, broken)
+        read_box = next(b for b in spec.boxes if b.name == "ior-easy-read")
+        assert read_box.stats.outliers == (1.0,)
+        assert "ANOMALOUS" in spec.title
+        assert "ior-easy-read" in spec.title
+        # renders in both backends
+        assert "ior-easy-read" in render_ascii(spec)
+        assert "<svg" in render_svg(spec)
+
+
+class TestJSONTransfer:
+    def test_round_trip(self, tmp_path):
+        original = make_knowledge(kid=7)
+        path = export_json([original], tmp_path / "share.json")
+        loaded = import_json(path)
+        assert len(loaded) == 1
+        k = loaded[0]
+        assert k.command == original.command
+        assert k.summary("write").bw_mean == 1000.0
+        assert k.parameters == original.parameters
+
+    def test_io500_round_trip(self, tmp_path):
+        run = IO500Knowledge(
+            score_total=2.0, score_bw=1.0, score_md=4.0,
+            testcases=[IO500Testcase("find", 300.0, "kIOPS", options={"n": "500"})],
+        )
+        loaded = import_json(export_json([run], tmp_path / "io5.json"))
+        assert loaded[0].score_total == 2.0
+        assert loaded[0].testcase("find").options == {"n": "500"}
+
+    def test_manual_entry_validation(self):
+        with pytest.raises(PersistenceError):
+            knowledge_from_dict({"type": "other"})
+        with pytest.raises(PersistenceError):
+            knowledge_from_dict({"type": "knowledge"})  # no benchmark
+        with pytest.raises(PersistenceError):
+            knowledge_from_dict(
+                {"type": "knowledge", "benchmark": "ior",
+                 "summaries": [{"operation": "write"}]}  # missing stats
+            )
+
+    def test_manual_entry_minimal(self):
+        k = knowledge_from_dict({"type": "knowledge", "benchmark": "custom-app"})
+        assert k.benchmark == "custom-app"
+        assert k.summaries == []
+
+    def test_dict_round_trip_property(self):
+        original = make_knowledge(kid=3)
+        assert knowledge_from_dict(knowledge_to_dict(original)).command == original.command
+
+    def test_import_missing_file(self, tmp_path):
+        with pytest.raises(PersistenceError):
+            import_json(tmp_path / "nope.json")
+
+    def test_import_wrong_format(self, tmp_path):
+        p = tmp_path / "x.json"
+        p.write_text('{"format": "other"}')
+        with pytest.raises(PersistenceError):
+            import_json(p)
+
+    def test_import_invalid_json(self, tmp_path):
+        p = tmp_path / "bad.json"
+        p.write_text("{not json")
+        with pytest.raises(PersistenceError):
+            import_json(p)
+
+
+class TestCSVExport:
+    def test_rows_and_header(self, tmp_path):
+        objs = [make_knowledge(kid=1), make_knowledge(kid=2, bw=2000.0)]
+        text = export_csv(objs, tmp_path / "out.csv")
+        lines = text.strip().splitlines()
+        assert lines[0].startswith("knowledge_id,benchmark,api")
+        assert len(lines) == 3  # header + 2 summary rows
+        assert "2000.0" in lines[2]
+        assert (tmp_path / "out.csv").exists()
+
+    def test_no_path(self):
+        assert export_csv([make_knowledge()]).count("\n") >= 2

@@ -1,0 +1,168 @@
+"""Tests for Phase-II extraction: parsers and workspace scanning."""
+
+import pytest
+
+from repro.benchmarks_io.hacc_io import HaccIOConfig, run_hacc_io
+from repro.benchmarks_io.io500 import IO500Config, render_io500_output, run_io500
+from repro.benchmarks_io.ior import parse_command, render_ior_output, run_ior
+from repro.core.extraction import (
+    KnowledgeExtractor,
+    default_registry,
+    parse_entryinfo,
+    parse_hacc_output,
+    parse_io500_output,
+    parse_ior_output,
+    scan_workspace,
+)
+from repro.core.knowledge import IO500Knowledge, Knowledge
+from repro.iostack.stack import Testbed
+from repro.util.errors import ExtractionError
+
+
+@pytest.fixture(scope="module")
+def testbed():
+    return Testbed.fuchs_csc(seed=99)
+
+
+@pytest.fixture(scope="module")
+def ior_text(testbed):
+    cfg = parse_command("ior -a mpiio -b 4m -t 2m -s 4 -F -C -e -i 3 -o /scratch/ex/t -k")
+    return render_ior_output(run_ior(cfg, testbed, num_nodes=2, tasks_per_node=10))
+
+
+class TestIORParsing:
+    def test_fields(self, ior_text):
+        k = parse_ior_output(ior_text)
+        assert k.benchmark == "ior"
+        assert k.api == "MPIIO"
+        assert k.num_tasks == 20 and k.num_nodes == 2 and k.tasks_per_node == 10
+        assert k.file_per_proc
+        assert k.test_file == "/scratch/ex/t"
+        assert "-C" in k.command
+        assert k.end_time >= k.start_time > 0
+
+    def test_results_and_summaries(self, ior_text):
+        k = parse_ior_output(ior_text)
+        assert len(k.summary("write").results) == 3
+        assert len(k.summary("read").results) == 3
+        s = k.summary("write")
+        series = s.bandwidth_series()
+        assert s.bw_min == pytest.approx(min(series), abs=0.01)
+        assert s.bw_max == pytest.approx(max(series), abs=0.01)
+
+    def test_parameters_include_sizes(self, ior_text):
+        k = parse_ior_output(ior_text)
+        assert k.parameters["xfersize_bytes"] == 2 * 1024**2
+        assert k.parameters["blocksize_bytes"] == 4 * 1024**2
+        assert k.parameters["segments"] == "4"
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ExtractionError):
+            parse_ior_output("hello world")
+
+    def test_rejects_output_without_results(self):
+        with pytest.raises(ExtractionError):
+            parse_ior_output(
+                "IOR-3.3.0: MPI Coordinated Test of Parallel I/O\nOptions: \napi : POSIX\n\n"
+            )
+
+    def test_summary_recomputed_when_section_missing(self, ior_text):
+        truncated = ior_text.split("Summary of all tests:")[0]
+        k = parse_ior_output(truncated)
+        s = k.summary("write")
+        assert s.bw_mean == pytest.approx(
+            sum(s.bandwidth_series()) / 3, rel=1e-6
+        )
+
+
+class TestEntryinfoParsing:
+    def test_round_trip_from_fs(self, testbed):
+        text = testbed.fs.getentryinfo("/scratch/ex/t.00000000")
+        info = parse_entryinfo(text, raid_scheme="RAID0")
+        assert info.entry_type == "file"
+        assert info.metadata_node == "meta01"
+        assert info.stripe_pattern == "RAID0"
+        assert info.chunk_size == "512K"
+        assert info.num_targets == 4
+        assert info.storage_pool == "Default"
+        assert info.raid_scheme == "RAID0"
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ExtractionError):
+            parse_entryinfo("not entry info")
+
+
+class TestIO500Parsing:
+    def test_round_trip(self, testbed):
+        result = run_io500(IO500Config(workdir="/scratch/ex500"), testbed, 1, 10)
+        k = parse_io500_output(render_io500_output(result))
+        assert k.score_total == pytest.approx(result.score.total, abs=1e-5)
+        assert len(k.testcases) == 12
+        assert k.num_tasks == 10
+        assert k.value("ior-easy-write") == pytest.approx(
+            result.phase("ior-easy-write").value, abs=1e-5
+        )
+
+    def test_rejects_unscored(self):
+        with pytest.raises(ExtractionError):
+            parse_io500_output("[RESULT] ior-easy-write 1.0 GiB/s : time 1.0 seconds")
+
+
+class TestHaccParsing:
+    def test_round_trip(self, testbed):
+        ctx = testbed.start_job("hx", 1, 4)
+        res = run_hacc_io(HaccIOConfig(num_particles=50_000, out_file="/scratch/hx/c"), ctx)
+        text = (
+            f"HACC-IO mode={res.config.mode} api={res.config.api} "
+            f"particles={res.config.num_particles}\n"
+        )
+        for p in res.results:
+            text += (
+                f"{p.operation} bandwidth: {p.bandwidth_mib:.2f} MiB/s "
+                f"time: {p.time_s:.4f} s bytes: {p.data_moved_bytes}\n"
+            )
+        k = parse_hacc_output(text)
+        assert k.benchmark == "hacc-io"
+        assert k.parameters["particles"] == 50_000
+        assert k.summary("write").bw_mean == pytest.approx(
+            res.phase("write").bandwidth_mib, abs=0.01
+        )
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ExtractionError):
+            parse_hacc_output("nope")
+
+
+class TestWorkspaceScan:
+    def test_scan_multiple_sources(self, tmp_path, testbed):
+        d1 = tmp_path / "000000_ior" / "work"
+        d1.mkdir(parents=True)
+        cfg = parse_command("ior -a posix -b 2m -t 1m -i 2 -o /scratch/ws2/t -w")
+        res = run_ior(cfg, testbed, 1, 4)
+        (d1 / "ior_output.txt").write_text(render_ior_output(res))
+        d2 = tmp_path / "000001_io500" / "work"
+        d2.mkdir(parents=True)
+        io5 = run_io500(IO500Config(workdir="/scratch/ws500"), testbed, 1, 10)
+        (d2 / "io500_result.txt").write_text(render_io500_output(io5))
+
+        out = scan_workspace(tmp_path)
+        kinds = sorted(type(k).__name__ for k in out)
+        assert kinds == ["IO500Knowledge", "Knowledge"]
+
+    def test_extractor_requires_path_or_workspace(self):
+        with pytest.raises(ExtractionError):
+            KnowledgeExtractor().extract()
+
+    def test_scan_not_a_directory(self, tmp_path):
+        with pytest.raises(ExtractionError):
+            scan_workspace(tmp_path / "missing")
+
+    def test_registry_names(self):
+        assert default_registry().names() == ["ior", "io500", "hacc-io", "mdtest", "darshan"]
+
+    def test_duplicate_registration_rejected(self):
+        reg = default_registry()
+        from repro.core.extraction.base import ExtractorSpec
+
+        with pytest.raises(ExtractionError):
+            reg.register(ExtractorSpec(name="ior", marker_files=("x",), extract=lambda d: []))

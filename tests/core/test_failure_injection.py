@@ -1,0 +1,151 @@
+"""Failure-injection tests: the workflow must fail loudly and cleanly.
+
+The paper's phases hand data between tools via files and a database;
+these tests corrupt each hand-off point and check that errors are
+specific, typed, and never silently produce wrong knowledge.
+"""
+
+import gzip
+import json
+
+import pytest
+
+from repro.core.extraction import KnowledgeExtractor, parse_ior_output, scan_workspace
+from repro.core.persistence import (
+    KnowledgeDatabase,
+    KnowledgeRepository,
+    import_json,
+)
+from repro.core.usage import cross_validate
+from repro.util.errors import (
+    DarshanError,
+    ExtractionError,
+    PersistenceError,
+    ReproError,
+    UsageError,
+)
+
+
+class TestCorruptOutputs:
+    def test_truncated_ior_output(self, tmp_path):
+        d = tmp_path / "wp" / "work"
+        d.mkdir(parents=True)
+        (d / "ior_output.txt").write_text(
+            "IOR-3.3.0: MPI Coordinated Test of Parallel I/O\ntruncated"
+        )
+        with pytest.raises(ExtractionError):
+            scan_workspace(tmp_path)
+
+    def test_binary_garbage_in_output(self, tmp_path):
+        d = tmp_path / "wp" / "work"
+        d.mkdir(parents=True)
+        (d / "ior_output.txt").write_bytes(b"\x00\x01\x02 MPI Coordinated Test of Parallel I/O")
+        with pytest.raises(ExtractionError):
+            scan_workspace(tmp_path)
+
+    def test_swapped_file_contents(self, tmp_path):
+        # An io500 result saved under the IOR marker name: the IOR
+        # parser must reject it rather than fabricate a knowledge object.
+        d = tmp_path / "wp" / "work"
+        d.mkdir(parents=True)
+        (d / "ior_output.txt").write_text("[RESULT] ior-easy-write 1.0 GiB/s : time 1 seconds")
+        with pytest.raises(ExtractionError):
+            scan_workspace(tmp_path)
+
+    def test_corrupt_darshan_log_in_workspace(self, tmp_path):
+        d = tmp_path / "wp" / "work"
+        d.mkdir(parents=True)
+        (d / "app.darshan").write_bytes(b"not gzip")
+        with pytest.raises(DarshanError):
+            scan_workspace(tmp_path)
+
+    def test_truncated_gzip_darshan_log(self, tmp_path):
+        d = tmp_path / "wp" / "work"
+        d.mkdir(parents=True)
+        valid = gzip.compress(json.dumps({"magic": "DARSHAN-REPRO/1"}).encode())
+        (d / "app.darshan").write_bytes(valid[: len(valid) // 2])
+        with pytest.raises(DarshanError):
+            scan_workspace(tmp_path)
+
+    def test_all_failures_are_repro_errors(self, tmp_path):
+        # Callers can catch the whole workflow with one handler.
+        d = tmp_path / "wp" / "work"
+        d.mkdir(parents=True)
+        (d / "ior_output.txt").write_text("garbage")
+        with pytest.raises(ReproError):
+            scan_workspace(tmp_path)
+
+
+class TestCorruptDatabase:
+    def test_unwritable_target_rejected(self):
+        with pytest.raises(PersistenceError):
+            KnowledgeDatabase("/proc/definitely/not/writable/x.db")
+
+    def test_existing_non_database_file(self, tmp_path):
+        bad = tmp_path / "not_a_db.db"
+        bad.write_text("this is a text file, not sqlite")
+        with pytest.raises(PersistenceError):
+            with KnowledgeDatabase(bad) as db:
+                KnowledgeRepository(db).list_ids()
+
+    def test_foreign_keys_enforced(self):
+        with KnowledgeDatabase(":memory:") as db:
+            with pytest.raises(PersistenceError):
+                db.execute(
+                    "INSERT INTO summaries (performance_id, operation, api, bw_max,"
+                    " bw_min, bw_mean, bw_stddev, ops_max, ops_min, ops_mean,"
+                    " ops_stddev, iterations)"
+                    " VALUES (999, 'write', '', 1, 1, 1, 0, 1, 1, 1, 0, 1)"
+                )
+
+
+class TestCorruptInterchange:
+    def test_json_with_wrong_entry_type(self, tmp_path):
+        p = tmp_path / "x.json"
+        p.write_text(json.dumps({"format": "repro-knowledge/1", "entries": [{"type": "alien"}]}))
+        with pytest.raises(PersistenceError):
+            import_json(p)
+
+    def test_json_entry_with_corrupt_summary(self, tmp_path):
+        p = tmp_path / "y.json"
+        p.write_text(
+            json.dumps(
+                {
+                    "format": "repro-knowledge/1",
+                    "entries": [
+                        {
+                            "type": "knowledge",
+                            "benchmark": "ior",
+                            "summaries": [{"operation": "write", "bw_max": "not-a-number"}],
+                        }
+                    ],
+                }
+            )
+        )
+        with pytest.raises(PersistenceError):
+            import_json(p)
+
+
+class TestUsageGuards:
+    def test_cross_validate_too_small(self):
+        with pytest.raises(UsageError):
+            cross_validate([])
+
+    def test_extractor_mixed_good_and_bad(self, tmp_path):
+        # One corrupt workpackage poisons the scan loudly (fail-stop,
+        # not partial silent results).
+        from repro.benchmarks_io.ior import parse_command, render_ior_output, run_ior
+        from repro.iostack.stack import Testbed
+
+        good = tmp_path / "000000_run" / "work"
+        good.mkdir(parents=True)
+        tb = Testbed.fuchs_csc(seed=61)
+        res = run_ior(
+            parse_command("ior -a posix -b 2m -t 1m -i 1 -o /scratch/fi/t -w -k"), tb, 1, 4
+        )
+        (good / "ior_output.txt").write_text(render_ior_output(res))
+        bad = tmp_path / "000001_run" / "work"
+        bad.mkdir(parents=True)
+        (bad / "ior_output.txt").write_text("MPI Coordinated Test of Parallel I/O broken")
+        with pytest.raises(ExtractionError):
+            KnowledgeExtractor(jube_workspace=tmp_path).extract()

@@ -1,0 +1,85 @@
+"""Tests for the Knowledge object model."""
+
+import pytest
+
+from repro.core.knowledge import (
+    FilesystemInfo,
+    IO500Knowledge,
+    IO500Testcase,
+    Knowledge,
+    KnowledgeResult,
+    KnowledgeSummary,
+)
+from repro.util.errors import ConfigurationError
+
+
+def make_summary(op="write", bws=(100.0, 200.0, 300.0)):
+    results = [
+        KnowledgeResult(iteration=i, bandwidth_mib=bw, iops=bw / 2) for i, bw in enumerate(bws)
+    ]
+    return KnowledgeSummary(
+        operation=op,
+        api="MPIIO",
+        bw_max=max(bws),
+        bw_min=min(bws),
+        bw_mean=sum(bws) / len(bws),
+        bw_stddev=0.0,
+        ops_max=max(bws) / 2,
+        ops_min=min(bws) / 2,
+        ops_mean=sum(bws) / len(bws) / 2,
+        ops_stddev=0.0,
+        iterations=len(bws),
+        results=results,
+    )
+
+
+class TestKnowledge:
+    def test_summary_lookup(self):
+        k = Knowledge(benchmark="ior", summaries=[make_summary("write"), make_summary("read")])
+        assert k.summary("read").operation == "read"
+        with pytest.raises(ConfigurationError):
+            k.summary("append")
+
+    def test_operations_ordering(self):
+        k = Knowledge(benchmark="ior", summaries=[make_summary("read"), make_summary("write")])
+        assert k.operations() == ["write", "read"]
+
+    def test_parameter_access(self):
+        k = Knowledge(benchmark="ior", parameters={"xfersize": "2 MiB"})
+        assert k.parameter("xfersize") == "2 MiB"
+        assert k.parameter("missing", "dflt") == "dflt"
+
+    def test_series_ordered_by_iteration(self):
+        s = make_summary(bws=(10.0, 20.0, 30.0))
+        # shuffle results; series must still come back in iteration order
+        s.results = [s.results[2], s.results[0], s.results[1]]
+        assert s.bandwidth_series() == [10.0, 20.0, 30.0]
+        assert s.iops_series() == [5.0, 10.0, 15.0]
+
+    def test_boxplot(self):
+        b = make_summary(bws=(10.0, 20.0, 30.0)).boxplot()
+        assert b.median == 20.0
+
+    def test_result_metric_lookup(self):
+        r = KnowledgeResult(iteration=0, bandwidth_mib=5.0, iops=2.0, latency_s=0.1)
+        assert r.metric("latency_s") == 0.1
+        with pytest.raises(ConfigurationError):
+            r.metric("colour")
+
+    def test_filesystem_info_dict(self):
+        fs = FilesystemInfo(entry_id="1-A-1", chunk_size="512K", num_targets=4)
+        d = fs.as_dict()
+        assert d["entry_id"] == "1-A-1" and d["num_targets"] == 4
+
+
+class TestIO500Knowledge:
+    def test_testcase_lookup(self):
+        k = IO500Knowledge(
+            score_total=3.0,
+            score_bw=1.0,
+            score_md=9.0,
+            testcases=[IO500Testcase(name="ior-easy-write", value=2.5, unit="GiB/s")],
+        )
+        assert k.value("ior-easy-write") == 2.5
+        with pytest.raises(ConfigurationError):
+            k.value("ior-hard-write")

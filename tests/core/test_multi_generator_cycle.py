@@ -1,0 +1,121 @@
+"""Integration: one cycle revolution over all four knowledge generators.
+
+§V-A integrates IOR, IO500, HACC-IO and Darshan as generation-phase
+data sources; this test drives all four through a single JUBE benchmark
+and checks the full pipeline sorts every artifact into the right
+knowledge type and tables.
+"""
+
+import pytest
+
+from repro.core.cycle import KnowledgeCycle
+from repro.core.knowledge import IO500Knowledge, Knowledge
+from repro.core.persistence import KnowledgeDatabase, KnowledgeQueries
+from repro.core.usage import cross_validate
+from repro.iostack.stack import Testbed
+
+ALL_GENERATORS_XML = """
+<jube>
+  <benchmark name="all-sources" outpath="ignored">
+    <parameterset name="common">
+      <parameter name="nodes">1</parameter>
+      <parameter name="taskspernode">8</parameter>
+    </parameterset>
+    <parameterset name="iorp">
+      <parameter name="command">ior -a mpiio -b 4m -t 2m -s 2 -F -i 2 -o /scratch/mg/ior -k</parameter>
+    </parameterset>
+    <parameterset name="dxp">
+      <parameter name="command">ior -a posix -b 2m -t 1m -i 1 -o /scratch/mg/dx -w -k</parameter>
+      <parameter name="dxt">1</parameter>
+    </parameterset>
+    <parameterset name="haccp">
+      <parameter name="particles">50000</parameter>
+      <parameter name="mode">file-per-process</parameter>
+    </parameterset>
+    <step name="ior" work="ior"><use>common</use><use>iorp</use></step>
+    <step name="io500" work="io500"><use>common</use></step>
+    <step name="hacc" work="hacc"><use>common</use><use>haccp</use></step>
+    <step name="darshan" work="ior-darshan"><use>common</use><use>dxp</use></step>
+  </benchmark>
+</jube>
+"""
+
+
+@pytest.fixture(scope="module")
+def cycle_result(tmp_path_factory):
+    workspace = tmp_path_factory.mktemp("multi")
+    testbed = Testbed.fuchs_csc(seed=111)
+    db = KnowledgeDatabase(":memory:")
+    cycle = KnowledgeCycle(testbed, db, workspace=workspace)
+    result = cycle.run_cycle(ALL_GENERATORS_XML)
+    yield result, db
+    db.close()
+
+
+class TestAllGenerators:
+    def test_every_source_extracted(self, cycle_result):
+        result, _ = cycle_result
+        benchmarks = sorted(
+            k.benchmark for k in result.knowledge if isinstance(k, Knowledge)
+        )
+        # The darshan step produces two objects: the IOR output and the
+        # darshan log itself.
+        assert benchmarks == ["darshan", "hacc-io", "ior", "ior"]
+        assert len(result.io500_knowledge) == 1
+
+    def test_tables_populated(self, cycle_result):
+        _, db = cycle_result
+        counts = KnowledgeQueries(db).database_report()
+        assert counts["performances"] == 4
+        assert counts["IOFHsRuns"] == 1
+        assert counts["IOFHsTestcases"] == 12
+        assert counts["systems"] >= 3  # ior, hacc, io500 captured /proc
+
+    def test_io500_scored(self, cycle_result):
+        result, _ = cycle_result
+        run = result.io500_knowledge[0]
+        assert isinstance(run, IO500Knowledge)
+        assert run.score_total > 0
+        assert run.value("ior-easy-write") > run.value("ior-hard-write")
+
+    def test_darshan_knowledge_has_pattern_params(self, cycle_result):
+        result, _ = cycle_result
+        darshan = next(k for k in result.knowledge if k.benchmark == "darshan")
+        assert darshan.parameters["dominant_write_size"] == "1M_4M"  # 1 MiB transfers
+        assert darshan.num_tasks == 8
+
+    def test_hacc_knowledge(self, cycle_result):
+        result, _ = cycle_result
+        hacc = next(k for k in result.knowledge if k.benchmark == "hacc-io")
+        assert hacc.parameters["particles"] == 50000
+        assert hacc.summary("write").bw_mean > 0
+
+    def test_analysis_report_covers_everything(self, cycle_result):
+        result, _ = cycle_result
+        report = result.analysis_report
+        assert report.count("benchmark    : ") >= 4
+        assert "score (total)" in report  # the IO500 viewer section
+
+
+class TestCrossValidation:
+    def test_loocv_on_sweep(self, tmp_path):
+        xml = """
+        <jube><benchmark name="cv" outpath="x">
+          <parameterset name="p">
+            <parameter name="transfersize">256k,1m,4m</parameter>
+            <parameter name="nodes">1,2,4</parameter>
+            <parameter name="taskspernode">10</parameter>
+            <parameter name="command">ior -a posix -b 4m -t $transfersize -s 2 -F -i 2 -o /scratch/cv/t -k</parameter>
+          </parameterset>
+          <step name="run" work="ior"><use>p</use></step>
+        </benchmark></jube>
+        """
+        testbed = Testbed.fuchs_csc(seed=112)
+        with KnowledgeDatabase(":memory:") as db:
+            cycle = KnowledgeCycle(testbed, db, workspace=tmp_path)
+            base = cycle.run_cycle(xml).knowledge
+        stats = cross_validate(base)
+        assert stats["n"] == 9
+        assert 0 <= stats["median_rel_error"] <= stats["max_rel_error"]
+        # The log-log model generalises decently on this smooth surface.
+        assert stats["median_rel_error"] < 0.35

@@ -1,0 +1,150 @@
+"""Tests for online monitoring and anomaly-context collection."""
+
+import numpy as np
+import pytest
+
+from repro.benchmarks_io.ior import IORConfig, parse_command, render_ior_output, run_ior
+from repro.core.extraction import parse_ior_output
+from repro.core.usage import (
+    IterationAnomalyDetector,
+    OnlineMonitor,
+    collect_context,
+)
+from repro.darshan import DarshanProfiler
+from repro.iostack.stack import Testbed
+from repro.iostack.tracing import TeeTracer, TraceEvent
+from repro.pfs import Fault
+from repro.util.errors import UsageError
+from repro.util.units import MIB
+
+
+class TestOnlineMonitorUnit:
+    def test_validation(self):
+        with pytest.raises(UsageError):
+            OnlineMonitor(interval_s=0)
+        with pytest.raises(UsageError):
+            OnlineMonitor(drop_threshold=1.5)
+        with pytest.raises(UsageError):
+            OnlineMonitor(warmup_intervals=0)
+
+    def test_steady_stream_no_alerts(self):
+        mon = OnlineMonitor(interval_s=1.0)
+        for i in range(10):
+            mon.record(TraceEvent("POSIX", "write", 0, "/f", 0, 100 * MIB, i + 0.1, i + 0.9))
+        assert mon.finish() == []
+        series = mon.throughput_series()
+        assert len(series) == 10
+        assert all(abs(v - 100.0) < 1e-9 for _, v in series)
+
+    def test_drop_alerts(self):
+        mon = OnlineMonitor(interval_s=1.0, drop_threshold=0.5)
+        for i in range(5):
+            mon.record(TraceEvent("POSIX", "write", 0, "/f", 0, 100 * MIB, i + 0.1, i + 0.9))
+        # interval 5 collapses to 20% of baseline
+        mon.record(TraceEvent("POSIX", "write", 0, "/f", 0, 20 * MIB, 5.1, 5.9))
+        for i in range(6, 9):
+            mon.record(TraceEvent("POSIX", "write", 0, "/f", 0, 100 * MIB, i + 0.1, i + 0.9))
+        alerts = mon.finish()
+        assert len(alerts) == 1
+        assert alerts[0].kind == "throughput-drop"
+        assert alerts[0].time_s == pytest.approx(5.0)
+        assert alerts[0].observed_mib_s == pytest.approx(20.0)
+
+    def test_warmup_suppresses_early_alerts(self):
+        mon = OnlineMonitor(interval_s=1.0, warmup_intervals=3)
+        mon.record(TraceEvent("POSIX", "write", 0, "/f", 0, 100 * MIB, 0.5, 0.6))
+        mon.record(TraceEvent("POSIX", "write", 0, "/f", 0, 1 * MIB, 1.5, 1.6))
+        assert mon.finish() == []
+
+    def test_batch_ingestion(self):
+        mon = OnlineMonitor(interval_s=0.5)
+        durations = np.full(20, 0.1)
+        mon.record_batch("POSIX", "write", 0, "/f", 0, 10 * MIB, durations, 0.0)
+        series = mon.throughput_series()
+        assert sum(v * 0.5 for _, v in series) == pytest.approx(200.0)  # total MiB
+
+    def test_non_data_ops_ignored(self):
+        mon = OnlineMonitor()
+        mon.record(TraceEvent("POSIX", "open", 0, "/f", 0, 0, 0.0, 0.1))
+        assert mon.throughput_series() == []
+
+
+class TestOnlineMonitorIntegration:
+    def test_detects_mid_run_fault_live(self):
+        # The online counterpart of Fig. 5: fault during iteration 1
+        # (0-based), detected from the event stream during the run.
+        tb = Testbed.fuchs_csc(seed=23)
+        tb.fs.faults.add(
+            Fault(name="live", factor=0.3,
+                  when={"benchmark": "ior", "iteration": 1, "op": "write"})
+        )
+        monitor = OnlineMonitor(interval_s=0.5, drop_threshold=0.6)
+        cfg = IORConfig(api="MPIIO", block_size=4 * MIB, transfer_size=2 * MIB,
+                        segment_count=20, iterations=3, test_file="/scratch/on/t",
+                        file_per_proc=True, keep_file=True, read_file=False)
+        run_ior(cfg, tb, num_nodes=2, tasks_per_node=10, tracer=monitor)
+        alerts = monitor.finish()
+        assert alerts, "online monitor missed the mid-run fault"
+
+    def test_tee_tracer_feeds_monitor_and_darshan(self):
+        tb = Testbed.fuchs_csc(seed=24)
+        monitor = OnlineMonitor(interval_s=0.5)
+        profiler = DarshanProfiler()
+        cfg = IORConfig(api="POSIX", block_size=4 * MIB, transfer_size=2 * MIB,
+                        segment_count=4, iterations=1, test_file="/scratch/tee/t",
+                        file_per_proc=True, keep_file=True, read_file=False)
+        res = run_ior(cfg, tb, 1, 4, tracer=TeeTracer(monitor, profiler))
+        assert monitor.throughput_series()
+        log = profiler.finalize(exe="ior", nprocs=4, start_offset_s=0,
+                                end_offset_s=res.end_offset_s)
+        assert log.records
+
+
+class TestAnomalyContext:
+    def test_context_names_injected_fault(self):
+        tb = Testbed.fuchs_csc(seed=25)
+        fault_tags = {"benchmark": "ior", "iteration": 1, "op": "write"}
+        tb.fs.faults.add(Fault(name="ctx-fault", factor=0.4, when=fault_tags))
+        cfg = parse_command(
+            "ior -a mpiio -b 4m -t 2m -s 8 -F -e -i 4 -o /scratch/ctx/t -k"
+        )
+        res = run_ior(cfg, tb, num_nodes=2, tasks_per_node=10)
+        knowledge = parse_ior_output(render_ior_output(res))
+        anomaly = IterationAnomalyDetector().detect(knowledge)[0]
+
+        context = collect_context(anomaly, tb, anomaly_tags=fault_tags)
+        assert any("ctx-fault" in c for c in context.probable_causes)
+        assert context.job_info["state"] == "COMPLETED"
+        assert context.job_info["nodes"] == 2
+        report = context.render()
+        assert "Probable causes:" in report
+        assert "ctx-fault" in report
+
+    def test_context_with_degraded_target(self):
+        tb = Testbed.fuchs_csc(seed=26)
+        tb.fs.pool.targets[0].degrade(0.2)
+        cfg = parse_command("ior -a posix -b 2m -t 1m -i 4 -o /scratch/ctx2/t -w -k")
+        res = run_ior(cfg, tb, 1, 4)
+        knowledge = parse_ior_output(render_ior_output(res))
+        from repro.core.usage.anomaly import IterationAnomaly
+
+        anomaly = IterationAnomaly(
+            operation="write", iteration=1, bandwidth_mib=100.0,
+            healthy_mean_mib=300.0, severity=3.0,
+        )
+        context = collect_context(anomaly, tb)
+        assert context.degraded_targets
+        assert any("degraded to 20%" in c for c in context.probable_causes)
+
+    def test_context_without_causes(self):
+        tb = Testbed.fuchs_csc(seed=27)
+        from repro.core.usage.anomaly import IterationAnomaly
+
+        anomaly = IterationAnomaly(
+            operation="write", iteration=2, bandwidth_mib=1.0,
+            healthy_mean_mib=2.0, severity=2.0,
+        )
+        context = collect_context(anomaly, tb)
+        assert context.probable_causes == [
+            "no degraded component recorded: suspect external interference"
+        ]

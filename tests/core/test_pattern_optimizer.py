@@ -1,0 +1,162 @@
+"""Tests for the pattern extractor, optimizer and synthetic generation."""
+
+import numpy as np
+import pytest
+
+from repro.benchmarks_io.ior import IORConfig, run_ior
+from repro.core.usage import (
+    IOOptimizer,
+    extract_pattern,
+    ior_config_from_pattern,
+    validate_suggestion,
+)
+from repro.core.usage.pattern_extractor import IOPattern
+from repro.darshan import DarshanProfiler, DarshanReport
+from repro.iostack.stack import Testbed
+from repro.util.errors import UsageError
+from repro.util.units import KIB, MIB
+
+
+def profile_run(config, nodes=1, tpn=8, seed=3, dxt=True):
+    tb = Testbed.fuchs_csc(seed=seed)
+    prof = DarshanProfiler(enable_dxt=dxt)
+    res = run_ior(config, tb, num_nodes=nodes, tasks_per_node=tpn, tracer=prof)
+    log = prof.finalize(
+        exe="ior", nprocs=res.num_tasks,
+        start_offset_s=res.start_offset_s, end_offset_s=res.end_offset_s,
+    )
+    return DarshanReport(log)
+
+
+@pytest.fixture(scope="module")
+def fpp_report():
+    return profile_run(
+        IORConfig(api="MPIIO", block_size=4 * MIB, transfer_size=2 * MIB,
+                  segment_count=2, iterations=1, test_file="/scratch/pa/f",
+                  file_per_proc=True, keep_file=True)
+    )
+
+
+@pytest.fixture(scope="module")
+def shared_small_report():
+    return profile_run(
+        IORConfig(api="MPIIO", block_size=47008, transfer_size=47008,
+                  segment_count=16, iterations=1, test_file="/scratch/pa/s",
+                  file_per_proc=False, keep_file=True)
+    )
+
+
+class TestPatternExtraction:
+    def test_fpp_pattern(self, fpp_report):
+        p = extract_pattern(fpp_report)
+        assert p.nprocs == 8
+        assert p.n_files == 8
+        assert not p.shared_file
+        assert p.file_per_process
+        assert p.representative_write_size == 2 * MIB
+        assert p.bytes_written == 8 * 8 * MIB
+        assert p.write_ops == 8 * 4
+        assert p.sequential_fraction == 1.0
+        assert p.write_dominant
+
+    def test_shared_pattern(self, shared_small_report):
+        p = extract_pattern(shared_small_report)
+        assert p.shared_file
+        assert not p.file_per_process
+        assert p.representative_write_size == 47 * 1024  # 10K-100K bin
+
+    def test_bursts_detected(self, fpp_report):
+        p = extract_pattern(fpp_report)
+        assert p.n_bursts >= 1
+        assert p.mean_burst_bytes > 0
+
+    def test_missing_module(self, fpp_report):
+        with pytest.raises(UsageError):
+            extract_pattern(fpp_report, module="HDF5")
+
+
+def make_pattern(**kw):
+    defaults = dict(
+        nprocs=40, n_files=1, shared_file=True,
+        representative_write_size=47008, representative_read_size=47008,
+        bytes_written=40 * MIB, bytes_read=0, write_ops=1000, read_ops=0,
+        sequential_fraction=1.0, n_bursts=1, mean_burst_bytes=40 * MIB,
+    )
+    defaults.update(kw)
+    return IOPattern(**defaults)
+
+
+class TestOptimizer:
+    def test_small_shared_writes_get_collective_buffering(self):
+        suggestions = IOOptimizer().suggest(make_pattern())
+        params = {s.parameter for s in suggestions}
+        assert "romio_cb_write" in params
+        assert "cb_nodes" in params
+        hint = IOOptimizer().suggested_hints(make_pattern())
+        assert hint.romio_cb_write == "enable"
+        assert hint.cb_nodes == 2  # 40 ranks / 16
+
+    def test_aligned_shared_writes_no_cb_suggestion(self):
+        p = make_pattern(representative_write_size=2 * MIB)
+        params = {s.parameter for s in IOOptimizer().suggest(p)}
+        assert "romio_cb_write" not in params
+
+    def test_fpp_flood_gets_single_stripe(self):
+        p = make_pattern(shared_file=False, n_files=200, nprocs=200,
+                         representative_write_size=4 * MIB)
+        suggestions = IOOptimizer(num_targets=8).suggest(p)
+        assert any(s.parameter == "stripe_count" and s.suggested == "1" for s in suggestions)
+
+    def test_small_independent_transfers_get_buffering_advice(self):
+        p = make_pattern(shared_file=False, n_files=8, nprocs=8,
+                         representative_write_size=64 * KIB)
+        assert any(s.parameter == "transfer_size" for s in IOOptimizer().suggest(p))
+
+    def test_random_access_advice(self):
+        p = make_pattern(sequential_fraction=0.2)
+        assert any(s.parameter == "access order" for s in IOOptimizer().suggest(p))
+
+    def test_suggestion_str(self):
+        s = IOOptimizer().suggest(make_pattern())[0]
+        assert "->" in str(s) and s.rationale in str(s)
+
+    def test_validate_suggestion_improves_small_shared_writes(self):
+        tb = Testbed.fuchs_csc(seed=17)
+        base = IORConfig(
+            api="MPIIO", block_size=47008, transfer_size=47008, segment_count=32,
+            iterations=2, test_file="/scratch/opt/t", file_per_proc=False,
+            keep_file=True, read_file=False,
+        )
+        hints = IOOptimizer().suggested_hints(make_pattern())
+        before, after = validate_suggestion(tb, base, hints, num_nodes=2, tasks_per_node=10)
+        assert after > 2 * before  # collective buffering rescues the pattern
+
+    def test_validate_requires_mpiio(self):
+        tb = Testbed.fuchs_csc(seed=18)
+        base = IORConfig(api="POSIX", test_file="/scratch/opt/p")
+        with pytest.raises(UsageError):
+            validate_suggestion(tb, base, IOOptimizer().suggested_hints(make_pattern()))
+
+
+class TestSyntheticGeneration:
+    def test_replays_fpp_pattern(self, fpp_report):
+        pattern = extract_pattern(fpp_report)
+        cfg = ior_config_from_pattern(pattern, test_file="/scratch/syn/t")
+        assert cfg.transfer_size == pattern.representative_write_size
+        assert cfg.file_per_proc
+        # Per-process volume approximately preserved (within rounding).
+        per_proc = pattern.bytes_written // pattern.nprocs
+        assert abs(cfg.bytes_per_task - per_proc) <= cfg.transfer_size
+
+    def test_synthetic_config_runs(self, shared_small_report):
+        pattern = extract_pattern(shared_small_report)
+        cfg = ior_config_from_pattern(pattern, test_file="/scratch/syn/s")
+        assert cfg.shared_file == pattern.shared_file
+        tb = Testbed.fuchs_csc(seed=19)
+        res = run_ior(cfg, tb, num_nodes=1, tasks_per_node=pattern.nprocs)
+        assert res.bandwidth_summary("write").mean > 0
+
+    def test_empty_pattern_rejected(self):
+        p = make_pattern(representative_write_size=0, representative_read_size=0)
+        with pytest.raises(UsageError):
+            ior_config_from_pattern(p)

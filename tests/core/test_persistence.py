@@ -1,0 +1,230 @@
+"""Tests for Phase-III persistence: schema, round trips, queries."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.knowledge import (
+    FilesystemInfo,
+    IO500Knowledge,
+    IO500Testcase,
+    Knowledge,
+    KnowledgeResult,
+    KnowledgeSummary,
+)
+from repro.core.persistence import (
+    IO500Repository,
+    KnowledgeDatabase,
+    KnowledgeQueries,
+    KnowledgeRepository,
+    TABLES,
+    resolve_database_target,
+)
+from repro.util.errors import PersistenceError
+
+
+@pytest.fixture()
+def db():
+    with KnowledgeDatabase(":memory:") as database:
+        yield database
+
+
+def make_knowledge(bw_mean=2850.0, n_iters=3, **kw):
+    results = [
+        KnowledgeResult(iteration=i, bandwidth_mib=bw_mean + i, iops=10.0 * (i + 1),
+                        latency_s=0.01, wrrd_time_s=1.0, total_time_s=1.1)
+        for i in range(n_iters)
+    ]
+    summary = KnowledgeSummary(
+        operation="write", api="MPIIO",
+        bw_max=bw_mean + n_iters - 1, bw_min=bw_mean, bw_mean=bw_mean,
+        bw_stddev=1.0, ops_max=30.0, ops_min=10.0, ops_mean=20.0, ops_stddev=5.0,
+        iterations=n_iters, results=results,
+    )
+    defaults = dict(
+        benchmark="ior",
+        command="ior -a mpiio -b 4m -t 2m -o /scratch/t",
+        api="MPIIO",
+        test_file="/scratch/t",
+        file_per_proc=True,
+        num_nodes=4,
+        num_tasks=80,
+        tasks_per_node=20,
+        start_time=100.0,
+        end_time=200.0,
+        parameters={"xfersize": "2 MiB", "xfersize_bytes": 2097152},
+        summaries=[summary],
+        filesystem=FilesystemInfo(
+            entry_type="file", entry_id="1-A-1", metadata_node="meta01",
+            stripe_pattern="RAID0", chunk_size="512K", num_targets=4,
+            raid_scheme="RAID0", storage_pool="Default",
+        ),
+        system={"hostname": "fuchs0000", "system_name": "FUCHS-CSC",
+                "processor_model": "Xeon", "architecture": "x86_64",
+                "processor_cores": 20, "processor_mhz": 2500.0,
+                "cache_size_bytes": 25 * 1024 * 1024, "memory_bytes": 128 * 1024**3},
+    )
+    defaults.update(kw)
+    return Knowledge(**defaults)
+
+
+class TestDatabase:
+    def test_all_tables_created(self, db):
+        names = {
+            r["name"]
+            for r in db.execute("SELECT name FROM sqlite_master WHERE type='table'")
+        }
+        assert set(TABLES) <= names
+
+    def test_url_resolution(self):
+        assert resolve_database_target(":memory:") == ":memory:"
+        assert resolve_database_target("sqlite:///tmp/x.db") == "/tmp/x.db"
+        assert resolve_database_target("local.db") == "local.db"
+
+    def test_bad_scheme_rejected(self):
+        with pytest.raises(PersistenceError):
+            resolve_database_target("postgres://host/db")
+
+    def test_empty_url_path_rejected(self):
+        with pytest.raises(PersistenceError):
+            resolve_database_target("sqlite://")
+
+    def test_file_database_round_trip(self, tmp_path):
+        target = tmp_path / "knowledge.db"
+        with KnowledgeDatabase(target) as db:
+            KnowledgeRepository(db).save(make_knowledge())
+        with KnowledgeDatabase(target) as db:
+            assert KnowledgeRepository(db).list_ids() == [1]
+
+    def test_bad_table_name(self, db):
+        with pytest.raises(PersistenceError):
+            db.table_count("evil; DROP")
+
+
+class TestKnowledgeRepository:
+    def test_full_round_trip(self, db):
+        repo = KnowledgeRepository(db)
+        original = make_knowledge()
+        kid = repo.save(original)
+        assert original.knowledge_id == kid
+        loaded = repo.load(kid)
+        assert loaded.command == original.command
+        assert loaded.parameters == original.parameters
+        assert loaded.filesystem == original.filesystem
+        assert loaded.system["processor_cores"] == 20
+        ls, os_ = loaded.summary("write"), original.summary("write")
+        assert ls.bw_mean == os_.bw_mean
+        assert [r.bandwidth_mib for r in ls.results] == [
+            r.bandwidth_mib for r in os_.results
+        ]
+
+    def test_load_missing(self, db):
+        with pytest.raises(PersistenceError):
+            KnowledgeRepository(db).load(404)
+
+    def test_delete_cascades(self, db):
+        repo = KnowledgeRepository(db)
+        kid = repo.save(make_knowledge())
+        repo.delete(kid)
+        assert db.table_count("summaries") == 0
+        assert db.table_count("results") == 0
+        assert db.table_count("filesystems") == 0
+        assert db.table_count("systems") == 0
+
+    def test_delete_missing(self, db):
+        with pytest.raises(PersistenceError):
+            KnowledgeRepository(db).delete(7)
+
+    def test_list_filter_by_benchmark(self, db):
+        repo = KnowledgeRepository(db)
+        repo.save(make_knowledge())
+        repo.save(make_knowledge(benchmark="hacc-io"))
+        assert len(repo.list_ids()) == 2
+        assert len(repo.list_ids("ior")) == 1
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        bw=st.floats(min_value=0.1, max_value=1e6),
+        n=st.integers(min_value=1, max_value=8),
+        fpp=st.booleans(),
+    )
+    def test_round_trip_property(self, bw, n, fpp):
+        # Property: save → load is the identity on the stored fields.
+        with KnowledgeDatabase(":memory:") as db:
+            repo = KnowledgeRepository(db)
+            k = make_knowledge(bw_mean=bw, n_iters=n, file_per_proc=fpp)
+            loaded = repo.load(repo.save(k))
+            assert loaded.file_per_proc == fpp
+            assert loaded.summary("write").iterations == n
+            assert loaded.summary("write").bw_mean == pytest.approx(bw)
+
+
+class TestIO500Repository:
+    def make_io500(self):
+        return IO500Knowledge(
+            score_total=3.0, score_bw=1.0, score_md=9.0,
+            num_nodes=2, num_tasks=40, timestamp=1e9, version="sc22",
+            testcases=[
+                IO500Testcase(name="ior-easy-write", value=2.9, unit="GiB/s",
+                              time_s=10.0, options={"blockSize": "64m"}),
+                IO500Testcase(name="find", value=300.0, unit="kIOPS", time_s=0.5),
+            ],
+            system={"hostname": "fuchs0000", "processor_cores": 20},
+        )
+
+    def test_round_trip(self, db):
+        repo = IO500Repository(db)
+        original = self.make_io500()
+        iofh = repo.save(original)
+        loaded = repo.load(iofh)
+        assert loaded.score_total == 3.0
+        assert loaded.num_tasks == 40
+        assert loaded.value("ior-easy-write") == pytest.approx(2.9)
+        assert loaded.testcase("ior-easy-write").options == {"blockSize": "64m"}
+        assert loaded.system["processor_cores"] == 20
+
+    def test_delete_cascades(self, db):
+        repo = IO500Repository(db)
+        iofh = repo.save(self.make_io500())
+        repo.delete(iofh)
+        for table in ("IOFHsScores", "IOFHsTestcases", "IOFHsOptions", "IOFHsResults"):
+            assert db.table_count(table) == 0
+
+    def test_load_missing(self, db):
+        with pytest.raises(PersistenceError):
+            IO500Repository(db).load(99)
+
+
+class TestQueries:
+    def test_summary_rows_and_filters(self, db):
+        repo = KnowledgeRepository(db)
+        repo.save(make_knowledge(bw_mean=1000.0, api="POSIX"))
+        repo.save(make_knowledge(bw_mean=3000.0))
+        q = KnowledgeQueries(db)
+        assert len(q.summary_rows()) == 2
+        assert len(q.summary_rows(api="POSIX")) == 1
+        best = q.best_configuration("write")
+        assert best.bw_mean == 3000.0
+
+    def test_best_configuration_empty(self, db):
+        with pytest.raises(PersistenceError):
+            KnowledgeQueries(db).best_configuration("write")
+
+    def test_similar_knowledge(self, db):
+        repo = KnowledgeRepository(db)
+        a = repo.save(make_knowledge())
+        b = repo.save(make_knowledge())
+        c = repo.save(make_knowledge(num_tasks=8))
+        q = KnowledgeQueries(db)
+        assert q.similar_knowledge(a) == [b]
+        assert set(q.similar_knowledge(a, same_tasks=False)) == {b, c}
+
+    def test_similar_missing(self, db):
+        with pytest.raises(PersistenceError):
+            KnowledgeQueries(db).similar_knowledge(5)
+
+    def test_database_report(self, db):
+        KnowledgeRepository(db).save(make_knowledge())
+        report = KnowledgeQueries(db).database_report()
+        assert report["performances"] == 1
+        assert report["results"] == 3

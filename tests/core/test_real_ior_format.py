@@ -1,0 +1,116 @@
+"""Robustness: the extractor parses genuine IOR-3.3 output.
+
+The paper stresses tool-agnosticism — the extractor must work on the
+"output of established benchmarks", not only on this repository's own
+writer.  This fixture is a faithful sample of real IOR 3.3.0 output
+(the upstream column set; note the absence of our extra Options lines
+and the slightly different spacing).
+"""
+
+import pytest
+
+from repro.core.extraction import parse_ior_output
+from repro.util.errors import ExtractionError
+
+REAL_IOR_OUTPUT = """\
+IOR-3.3.0: MPI Coordinated Test of Parallel I/O
+Began               : Thu Jul 21 09:12:33 2022
+Command line        : ior -a MPIIO -b 4m -t 2m -s 40 -F -C -e -i 6 -o /scratch/fuchs/zhuz/test80 -k
+Machine             : Linux fuchs001.cluster
+TestID              : 0
+StartTime           : Thu Jul 21 09:12:33 2022
+Path                : /scratch/fuchs/zhuz
+FS                  : 160.5 TiB   Used FS: 12.3%   Inodes: 180.0 Mi   Used Inodes: 1.2%
+
+Options:
+api                 : MPIIO
+apiVersion          : (3.1)
+test filename       : /scratch/fuchs/zhuz/test80
+access              : file-per-process
+type                : independent
+segments            : 40
+ordering in a file  : sequential
+ordering inter file : constant task offset
+task offset         : 1
+nodes               : 4
+tasks               : 80
+clients per node    : 20
+repetitions         : 6
+xfersize            : 2 MiB
+blocksize           : 4 MiB
+aggregate filesize  : 12.50 GiB
+
+Results:
+
+access    bw(MiB/s)  IOPS       Latency(s)  block(KiB) xfer(KiB)  open(s)    wr/rd(s)   close(s)   total(s)   iter
+------    ---------  ----       ----------  ---------- ---------  --------   --------   --------   --------   ----
+write     2851.23    1425.61    0.055123    4096       2048       0.002134   4.489231   0.000312   4.491694   0
+write     1251.02    625.51     0.127834    4096       2048       0.002201   10.230122  0.000301   10.232671  1
+write     2848.91    1424.45    0.055201    4096       2048       0.002156   4.492833   0.000308   4.495311   2
+write     2852.44    1426.22    0.055089    4096       2048       0.002141   4.487332   0.000305   4.489792   3
+write     2849.85    1424.92    0.055173    4096       2048       0.002149   4.491334   0.000300   4.493796   4
+write     2850.33    1425.16    0.055164    4096       2048       0.002138   4.490601   0.000309   4.493062   5
+read      3180.12    1590.06    0.049412    4096       2048       0.001823   4.024911   0.000288   4.027033   0
+read      3178.55    1589.27    0.049438    4096       2048       0.001830   4.026903   0.000291   4.029035   1
+read      3181.44    1590.72    0.049391    4096       2048       0.001819   4.023241   0.000290   4.025361   2
+read      3179.23    1589.61    0.049427    4096       2048       0.001825   4.026043   0.000287   4.028168   3
+read      3180.87    1590.43    0.049400    4096       2048       0.001821   4.023960   0.000289   4.026081   4
+read      3179.98    1589.99    0.049414    4096       2048       0.001824   4.025088   0.000290   4.027213   5
+Max Write: 2852.44 MiB/sec (2991.07 MB/sec)
+Max Read:  3181.44 MiB/sec (3336.07 MB/sec)
+
+Summary of all tests:
+Operation   Max(MiB)   Min(MiB)  Mean(MiB)     StdDev   Max(OPs)   Min(OPs)  Mean(OPs)     StdDev    Mean(s) Stonewall(s) Stonewall(MiB) Test# #Tasks tPN reps fPP reord reordoff reordrand seed segcnt   blksiz    xsize aggs(MiB)   API RefNum
+write        2852.44    1251.02    2583.96     595.83    1426.22     625.51    1291.98     297.92    5.36605         NA            NA     0     80  20    6   1     1        1        0    0     40  4194304  2097152   12800.0  MPIIO     0
+read         3181.44    3178.55    3180.03       0.95    1590.72    1589.27    1590.01       0.48    4.02715         NA            NA     0     80  20    6   1     1        1        0    0     40  4194304  2097152   12800.0  MPIIO     0
+Finished            : Thu Jul 21 09:14:02 2022
+"""
+
+
+class TestRealIORFormat:
+    def test_parses(self):
+        k = parse_ior_output(REAL_IOR_OUTPUT)
+        assert k.api == "MPIIO"
+        assert k.num_tasks == 80
+        assert k.num_nodes == 4
+        assert k.file_per_proc
+
+    def test_paper_numbers_recovered(self):
+        # This sample encodes the paper's own Fig. 5 numbers.
+        k = parse_ior_output(REAL_IOR_OUTPUT)
+        writes = k.summary("write").bandwidth_series()
+        assert writes[1] == pytest.approx(1251.02)
+        assert len(writes) == 6
+        assert k.summary("write").bw_mean == pytest.approx(2583.96)
+        assert k.summary("read").bw_stddev == pytest.approx(0.95)
+
+    def test_result_row_details(self):
+        k = parse_ior_output(REAL_IOR_OUTPUT)
+        row = k.summary("write").results[1]
+        assert row.wrrd_time_s == pytest.approx(10.230122)
+        assert row.open_time_s == pytest.approx(0.002201)
+        assert row.total_time_s == pytest.approx(10.232671)
+
+    def test_anomaly_detector_on_real_output(self):
+        # The whole point: real output flows straight into Phase V.
+        from repro.core.usage import IterationAnomalyDetector
+
+        k = parse_ior_output(REAL_IOR_OUTPUT)
+        anomalies = IterationAnomalyDetector().detect(k)
+        assert [a.iteration for a in anomalies] == [2]
+        assert anomalies[0].bandwidth_mib == pytest.approx(1251.02)
+
+    def test_timestamps(self):
+        k = parse_ior_output(REAL_IOR_OUTPUT)
+        assert k.end_time > k.start_time > 0
+
+    def test_command_round_trips_into_config(self):
+        from repro.core.usage import config_from_knowledge
+
+        cfg = config_from_knowledge(parse_ior_output(REAL_IOR_OUTPUT))
+        assert cfg.segment_count == 40
+        assert cfg.iterations == 6
+
+    def test_truncated_output_rejected(self):
+        with pytest.raises(ExtractionError):
+            parse_ior_output(REAL_IOR_OUTPUT.split("Results:")[0])

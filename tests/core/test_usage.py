@@ -1,0 +1,288 @@
+"""Tests for Phase-V usage modules."""
+
+import pytest
+
+from repro.core.knowledge import (
+    IO500Knowledge,
+    IO500Testcase,
+    Knowledge,
+    KnowledgeResult,
+    KnowledgeSummary,
+)
+from repro.core.usage import (
+    FeatureVector,
+    IterationAnomalyDetector,
+    PerformancePredictor,
+    Recommender,
+    RunComparisonDetector,
+    Verdict,
+    build_bounding_box,
+    config_from_knowledge,
+    create_configuration,
+    generate_jube_config,
+)
+from repro.util.errors import UsageError
+from repro.util.units import MIB
+
+
+def make_knowledge(bws, op="write", command="ior -a mpiio -b 4m -t 2m -s 40 -F -o /scratch/t -k",
+                   iops=None, times=None, tasks=80, nodes=4, api="MPIIO",
+                   xfer=2 * MIB, kid=None):
+    iops = iops or [bw / 2 for bw in bws]
+    times = times or [1000.0 / bw for bw in bws]
+    results = [
+        KnowledgeResult(iteration=i, bandwidth_mib=bw, iops=io, wrrd_time_s=t,
+                        total_time_s=t * 1.01)
+        for i, (bw, io, t) in enumerate(zip(bws, iops, times))
+    ]
+    summary = KnowledgeSummary(
+        operation=op, api=api, bw_max=max(bws), bw_min=min(bws),
+        bw_mean=sum(bws) / len(bws), bw_stddev=0.0, ops_max=max(iops),
+        ops_min=min(iops), ops_mean=sum(iops) / len(iops), ops_stddev=0.0,
+        iterations=len(bws), results=results,
+    )
+    return Knowledge(
+        benchmark="ior", command=command, api=api, num_tasks=tasks, num_nodes=nodes,
+        file_per_proc=True, parameters={"xfersize_bytes": xfer},
+        summaries=[summary], knowledge_id=kid,
+    )
+
+
+FIG5_WRITES = [2850.0, 1251.0, 2840.0, 2860.0, 2855.0, 2845.0]
+
+
+class TestIterationAnomalyDetector:
+    def test_fig5_case_detected(self):
+        # The paper's exact scenario: iteration 2 at 1251 vs ~2850 mean.
+        k = make_knowledge(FIG5_WRITES)
+        anomalies = IterationAnomalyDetector().detect(k)
+        assert len(anomalies) == 1
+        a = anomalies[0]
+        assert a.iteration == 2  # 1-based, as the paper reports
+        assert a.bandwidth_mib == 1251.0
+        assert 2840 < a.healthy_mean_mib < 2860
+        assert a.severity > 2.0
+        assert "iops" in a.corroborated_by
+        assert "iteration 2" in a.description
+
+    def test_healthy_run_clean(self):
+        k = make_knowledge([2850.0, 2840.0, 2860.0, 2855.0, 2845.0, 2850.0])
+        assert IterationAnomalyDetector().detect(k) == []
+
+    def test_fast_outlier_not_flagged(self):
+        k = make_knowledge([2850.0, 6000.0, 2840.0, 2860.0, 2855.0])
+        assert IterationAnomalyDetector().detect(k) == []
+
+    def test_too_few_iterations(self):
+        k = make_knowledge([2850.0, 1251.0])
+        assert IterationAnomalyDetector().detect(k) == []
+
+    def test_corroboration_excludes_unrelated_metrics(self):
+        # IOPS constant: anomaly must not claim iops corroboration.
+        k = make_knowledge(FIG5_WRITES, iops=[100.0] * 6)
+        a = IterationAnomalyDetector().detect(k)[0]
+        assert "iops" not in a.corroborated_by
+        assert "wrrd_time_s" in a.corroborated_by
+
+    def test_validation(self):
+        with pytest.raises(UsageError):
+            IterationAnomalyDetector(whis=0)
+        with pytest.raises(UsageError):
+            IterationAnomalyDetector(min_severity=0.5)
+
+
+class TestRunComparisonDetector:
+    def test_slow_run_flagged(self):
+        runs = [make_knowledge([2800.0] * 3) for _ in range(5)]
+        runs.append(make_knowledge([900.0] * 3))
+        flagged = RunComparisonDetector().detect(runs)
+        assert len(flagged) == 1
+        assert flagged[0][0] is runs[-1]
+
+    def test_needs_three_runs(self):
+        with pytest.raises(UsageError):
+            RunComparisonDetector().detect([make_knowledge([1.0] * 3)] * 2)
+
+
+def make_io500(easy_w, easy_r, hard_w, hard_r, iofh=None):
+    return IO500Knowledge(
+        score_total=1.0, score_bw=1.0, score_md=1.0, iofh_id=iofh,
+        testcases=[
+            IO500Testcase("ior-easy-write", easy_w, "GiB/s"),
+            IO500Testcase("ior-easy-read", easy_r, "GiB/s"),
+            IO500Testcase("ior-hard-write", hard_w, "GiB/s"),
+            IO500Testcase("ior-hard-read", hard_r, "GiB/s"),
+        ],
+    )
+
+
+class TestBoundingBox:
+    def reference(self):
+        return [
+            make_io500(2.9, 3.2, 0.30, 0.35),
+            make_io500(3.1, 3.25, 0.33, 0.36),
+            make_io500(3.0, 3.22, 0.28, 0.355),
+        ]
+
+    def test_bands(self):
+        box = build_bounding_box(self.reference())
+        band = box.band("ior-easy-write")
+        assert band.low == 2.9 and band.high == 3.1
+        assert box.n_reference_runs == 3
+
+    def test_within(self):
+        box = build_bounding_box(self.reference())
+        healthy = make_io500(3.0, 3.21, 0.31, 0.352)
+        assert box.anomalies(healthy) == []
+        assert all(v == Verdict.WITHIN for v in box.check_run(healthy).values())
+
+    def test_broken_node_read_detected(self):
+        # The Fig. 6 case: an anomalously bad ior-easy read.
+        box = build_bounding_box(self.reference())
+        broken = make_io500(3.0, 1.1, 0.31, 0.35)
+        assert box.anomalies(broken) == ["ior-easy-read"]
+        assert box.classify("ior-easy-read", 1.1) == Verdict.BELOW
+
+    def test_above_expectation(self):
+        box = build_bounding_box(self.reference())
+        assert box.classify("ior-easy-write", 9.0) == Verdict.ABOVE
+
+    def test_tolerance_expands_band(self):
+        box = build_bounding_box(self.reference())
+        assert box.classify("ior-easy-write", 2.89, tolerance=0.0) == Verdict.BELOW
+        assert box.classify("ior-easy-write", 2.89, tolerance=0.2) == Verdict.WITHIN
+
+    def test_needs_two_references(self):
+        with pytest.raises(UsageError):
+            build_bounding_box(self.reference()[:1])
+
+    def test_unknown_band(self):
+        box = build_bounding_box(self.reference())
+        with pytest.raises(UsageError):
+            box.band("mdtest-easy-write")
+
+
+class TestWorkloadGeneration:
+    def test_config_from_knowledge(self):
+        cfg = config_from_knowledge(make_knowledge([2850.0] * 3))
+        assert cfg.api == "MPIIO"
+        assert cfg.segment_count == 40
+
+    def test_requires_command(self):
+        with pytest.raises(UsageError):
+            config_from_knowledge(make_knowledge([1.0] * 3, command=""))
+
+    def test_requires_ior(self):
+        k = make_knowledge([1.0] * 3)
+        k.benchmark = "hacc-io"
+        with pytest.raises(UsageError):
+            config_from_knowledge(k)
+
+    def test_create_configuration_round_trip(self):
+        # §V-E1: load the stored command, modify, "create configuration".
+        command = create_configuration(make_knowledge([2850.0] * 3), transfer_size=4 * MIB)
+        assert "-t 4m" in command
+        assert "-s 40" in command  # untouched parameters preserved
+
+    def test_invalid_modification(self):
+        with pytest.raises(UsageError):
+            create_configuration(make_knowledge([1.0] * 3), colour="red")
+
+    def test_generate_jube_config_runs(self, tmp_path):
+        from repro.iostack.stack import Testbed
+        from repro.jube import DEFAULT_WORK_REGISTRY, load_benchmark
+
+        xml = generate_jube_config(
+            make_knowledge([2850.0] * 3, command="ior -a mpiio -b 4m -t 2m -s 2 -F -o /scratch/g/t -k"),
+            sweep={"transfersize": ["1m", "2m"]},
+            nodes=1,
+            tasks_per_node=4,
+        )
+        assert "$transfersize" in xml
+        bench, _ = load_benchmark(
+            xml, DEFAULT_WORK_REGISTRY, outpath=tmp_path,
+            shared={"testbed": Testbed.fuchs_csc(seed=14)},
+        )
+        wps = bench.run()
+        assert len(wps) == 2  # the sweep expanded and executed
+
+    def test_generate_jube_config_validation(self):
+        k = make_knowledge([1.0] * 3)
+        with pytest.raises(UsageError):
+            generate_jube_config(k, sweep={})
+        with pytest.raises(UsageError):
+            generate_jube_config(k, sweep={"stripes": ["1"]})
+
+
+class TestRecommender:
+    def base(self):
+        return [
+            make_knowledge([1000.0] * 3, command="ior -t 1m", xfer=1 * MIB, kid=1),
+            make_knowledge([3000.0] * 3, command="ior -t 4m", xfer=4 * MIB, kid=2),
+            make_knowledge([2000.0] * 3, command="ior -t 2m", xfer=2 * MIB, kid=3),
+        ]
+
+    def test_recommends_best(self):
+        rec = Recommender(self.base()).recommend(operation="write", num_tasks=80)
+        assert rec.command == "ior -t 4m"
+        assert rec.knowledge_id == 2
+        assert rec.improvement_over_worst == pytest.approx(3.0)
+        assert rec.n_candidates == 3
+        assert "3000" in rec.description
+
+    def test_filters_apply(self):
+        base = self.base()
+        base[1] = make_knowledge([3000.0] * 3, command="ior big", tasks=160, kid=2)
+        rec = Recommender(base).recommend(num_tasks=80)
+        assert rec.command == "ior -t 2m"
+
+    def test_empty_base(self):
+        with pytest.raises(UsageError):
+            Recommender([]).recommend()
+
+
+class TestPredictor:
+    def training_base(self):
+        base = []
+        # Plausible saturating data: bw grows with transfer size and tasks.
+        for xfer_mib in (1, 2, 4, 8):
+            for tasks in (20, 40, 80):
+                bw = 3000 * (xfer_mib / (xfer_mib + 1)) * (tasks / (tasks + 10))
+                base.append(
+                    make_knowledge([bw] * 3, xfer=xfer_mib * MIB, tasks=tasks,
+                                   nodes=max(1, tasks // 20))
+                )
+        return base
+
+    def test_fit_predict(self):
+        model = PerformancePredictor().fit(self.training_base())
+        assert model.n_samples_ == 12
+        f = FeatureVector(transfer_size=2 * MIB, num_tasks=40, num_nodes=2, api="MPIIO")
+        predicted = model.predict(f)
+        actual = 3000 * (2 / 3) * (40 / 50)
+        assert abs(predicted - actual) / actual < 0.25
+
+    def test_interval_contains_prediction(self):
+        model = PerformancePredictor().fit(self.training_base())
+        f = FeatureVector(transfer_size=4 * MIB, num_tasks=80, num_nodes=4, api="MPIIO")
+        lo, hi = model.predict_interval(f)
+        assert lo <= model.predict(f) <= hi
+
+    def test_relative_error_low_in_sample(self):
+        base = self.training_base()
+        model = PerformancePredictor().fit(base)
+        assert model.relative_error(base[5]) < 0.3
+
+    def test_unfitted(self):
+        with pytest.raises(UsageError):
+            PerformancePredictor().predict(
+                FeatureVector(transfer_size=MIB, num_tasks=1, num_nodes=1)
+            )
+
+    def test_too_few_samples(self):
+        with pytest.raises(UsageError):
+            PerformancePredictor().fit(self.training_base()[:3])
+
+    def test_feature_validation(self):
+        with pytest.raises(UsageError):
+            FeatureVector(transfer_size=0, num_tasks=1, num_nodes=1)

@@ -1,0 +1,194 @@
+"""Tests for the Darshan substrate: counters, profiler, log, reader, DXT."""
+
+import numpy as np
+import pytest
+
+from repro.benchmarks_io.ior import IORConfig, run_ior
+from repro.darshan import (
+    DarshanProfiler,
+    DarshanReport,
+    analyze_dxt,
+    counters_for_module,
+    default_log_name,
+    read_log,
+    size_bin_name,
+    write_log,
+)
+from repro.iostack.stack import Testbed
+from repro.iostack.tracing import TraceEvent
+from repro.util.errors import DarshanError
+from repro.util.units import KIB, MIB
+
+
+class TestCounters:
+    @pytest.mark.parametrize(
+        "nbytes,expected",
+        [(0, "0_100"), (99, "0_100"), (100, "100_1K"), (47008, "10K_100K"),
+         (2 * MIB, "1M_4M"), (3 * 1024**3, "1G_PLUS")],
+    )
+    def test_size_bins(self, nbytes, expected):
+        assert size_bin_name(nbytes) == expected
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(DarshanError):
+            size_bin_name(-1)
+
+    def test_module_counter_sets(self):
+        posix = counters_for_module("POSIX")
+        assert "POSIX_WRITES" in posix and "POSIX_FSYNCS" in posix
+        mpiio = counters_for_module("MPIIO")
+        assert "MPIIO_COLL_WRITES" in mpiio
+        with pytest.raises(DarshanError):
+            counters_for_module("NCIO")
+
+
+class TestProfiler:
+    def test_record_single_events(self):
+        prof = DarshanProfiler()
+        prof.record(TraceEvent("POSIX", "create", 0, "/f", 0, 0, 0.0, 0.1))
+        prof.record(TraceEvent("POSIX", "write", 0, "/f", 0, 1 * MIB, 0.1, 0.2))
+        prof.record(TraceEvent("POSIX", "fsync", 0, "/f", 0, 0, 0.2, 0.21))
+        log = prof.finalize(exe="app", nprocs=1, start_offset_s=0, end_offset_s=1)
+        c = log.records[0].counters
+        assert c["POSIX_OPENS"] == 1
+        assert c["POSIX_WRITES"] == 1
+        assert c["POSIX_BYTES_WRITTEN"] == 1 * MIB
+        assert c["POSIX_FSYNCS"] == 1
+        assert c["POSIX_SIZE_WRITE_1M_4M"] == 1
+
+    def test_record_batch(self):
+        prof = DarshanProfiler()
+        prof.record_batch("POSIX", "write", 2, "/f", 0, 512 * KIB, np.full(8, 0.01), 0.0)
+        log = prof.finalize(exe="app", nprocs=4, start_offset_s=0, end_offset_s=1)
+        c = log.records[0].counters
+        assert c["POSIX_WRITES"] == 8
+        assert c["POSIX_BYTES_WRITTEN"] == 8 * 512 * KIB
+        assert c["POSIX_MAX_BYTE_WRITTEN"] == 8 * 512 * KIB - 1
+        assert c["POSIX_F_WRITE_TIME"] == pytest.approx(0.08)
+
+    def test_mpiio_coll_vs_indep(self):
+        prof = DarshanProfiler()
+        prof.record_batch("MPIIO", "write_all", 0, "/f", 0, 1024, np.ones(3), 0.0)
+        prof.record_batch("MPIIO", "write", 0, "/f", 0, 1024, np.ones(2), 0.0)
+        log = prof.finalize(exe="x", nprocs=1, start_offset_s=0, end_offset_s=9)
+        c = log.records[0].counters
+        assert c["MPIIO_COLL_WRITES"] == 3
+        assert c["MPIIO_INDEP_WRITES"] == 2
+
+    def test_double_finalize_rejected(self):
+        prof = DarshanProfiler()
+        prof.finalize(exe="x", nprocs=1, start_offset_s=0, end_offset_s=1)
+        with pytest.raises(DarshanError):
+            prof.finalize(exe="x", nprocs=1, start_offset_s=0, end_offset_s=1)
+
+    def test_dxt_segments_recorded(self):
+        prof = DarshanProfiler(enable_dxt=True)
+        prof.record_batch("POSIX", "write", 0, "/f", 0, 100, np.full(5, 0.1), 0.0)
+        log = prof.finalize(exe="x", nprocs=1, start_offset_s=0, end_offset_s=1)
+        segs = log.records[0].dxt_segments
+        assert len(segs) == 5
+        assert [s.offset for s in segs] == [0, 100, 200, 300, 400]
+        assert all(s.end > s.start for s in segs)
+
+
+class TestLogRoundTrip:
+    def test_write_read(self, tmp_path):
+        prof = DarshanProfiler(enable_dxt=True)
+        prof.record_batch("POSIX", "write", 1, "/data", 0, 4096, np.full(3, 0.02), 1.0)
+        log = prof.finalize(exe="ior", nprocs=8, start_offset_s=0.5, end_offset_s=3.5)
+        path = write_log(log, tmp_path / "u_ior_id7.darshan")
+        loaded = read_log(path)
+        assert loaded.job["nprocs"] == 8
+        assert loaded.records[0].counters == log.records[0].counters
+        assert len(loaded.records[0].dxt_segments) == 3
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(DarshanError):
+            read_log(tmp_path / "nope.darshan")
+
+    def test_bad_magic(self, tmp_path):
+        import gzip, json
+
+        p = tmp_path / "bad.darshan"
+        with gzip.open(p, "wt") as fh:
+            json.dump({"magic": "OTHER", "records": []}, fh)
+        with pytest.raises(DarshanError):
+            read_log(p)
+
+    def test_corrupt_file(self, tmp_path):
+        p = tmp_path / "corrupt.darshan"
+        p.write_bytes(b"not gzip at all")
+        with pytest.raises(DarshanError):
+            read_log(p)
+
+    def test_default_log_name(self):
+        assert default_log_name("zhu", "/usr/bin/ior", 42) == "zhu_ior_id42.darshan"
+
+
+@pytest.fixture(scope="module")
+def instrumented_report(tmp_path_factory):
+    tb = Testbed.fuchs_csc(seed=55)
+    prof = DarshanProfiler(enable_dxt=True)
+    cfg = IORConfig(
+        api="MPIIO",
+        block_size=4 * MIB,
+        transfer_size=2 * MIB,
+        segment_count=4,
+        iterations=2,
+        test_file="/scratch/dx/t",
+        file_per_proc=True,
+        keep_file=True,
+    )
+    res = run_ior(cfg, tb, num_nodes=1, tasks_per_node=8, tracer=prof)
+    log = prof.finalize(exe="ior", nprocs=8, start_offset_s=0, end_offset_s=res.end_offset_s)
+    path = write_log(log, tmp_path_factory.mktemp("darshan") / "u_ior_id1.darshan")
+    return DarshanReport(path)
+
+
+class TestReport:
+    def test_modules(self, instrumented_report):
+        assert instrumented_report.modules == ["MPIIO", "POSIX"]
+
+    def test_totals_match_workload(self, instrumented_report):
+        read_bytes, written_bytes = instrumented_report.total_bytes("POSIX")
+        # 8 ranks x 2 iterations x 16 MiB each way.
+        assert written_bytes == 8 * 2 * 16 * MIB
+        assert read_bytes == 8 * 2 * 16 * MIB
+
+    def test_counters_aggregate(self, instrumented_report):
+        c = instrumented_report.counters("POSIX")
+        assert c["POSIX_WRITES"] == 8 * 2 * 8
+        assert c["POSIX_SIZE_WRITE_1M_4M"] == c["POSIX_WRITES"]
+
+    def test_per_file(self, instrumented_report):
+        per_file = instrumented_report.per_file("POSIX")
+        assert len(per_file) == 8  # one file per rank
+
+    def test_bandwidth_estimates_positive(self, instrumented_report):
+        bw = instrumented_report.agg_bandwidth_mib("POSIX")
+        assert bw["write_mib_s"] > 0 and bw["read_mib_s"] > 0
+
+    def test_missing_module(self, instrumented_report):
+        with pytest.raises(DarshanError):
+            instrumented_report.counters("HDF5")
+
+    def test_timeline_bins(self, instrumented_report):
+        timeline = instrumented_report.timeline("POSIX", nbins=10)
+        assert timeline.shape == (10,)
+        assert timeline.sum() == pytest.approx(2 * 8 * 2 * 16 * MIB)
+
+
+class TestDXTAnalysis:
+    def test_analysis(self, instrumented_report):
+        a = analyze_dxt(instrumented_report)
+        assert len(a.ranks) == 8
+        assert a.makespan > 0
+        assert a.imbalance() >= 1.0
+        assert a.stragglers(threshold=10.0) == []
+
+    def test_requires_dxt(self):
+        prof = DarshanProfiler(enable_dxt=False)
+        prof.record_batch("POSIX", "write", 0, "/f", 0, 100, np.ones(2), 0.0)
+        log = prof.finalize(exe="x", nprocs=1, start_offset_s=0, end_offset_s=1)
+        with pytest.raises(DarshanError):
+            analyze_dxt(DarshanReport(log))

@@ -1,0 +1,61 @@
+"""Tests for the cross-layer correlation analysis."""
+
+import pytest
+
+from repro.benchmarks_io.ior import IORConfig, run_ior
+from repro.darshan import DarshanProfiler, DarshanReport, layer_breakdown
+from repro.iostack.stack import Testbed
+from repro.util.errors import DarshanError
+from repro.util.units import MIB
+
+
+def _profiled(api):
+    tb = Testbed.fuchs_csc(seed=44)
+    prof = DarshanProfiler()
+    cfg = IORConfig(api=api, block_size=4 * MIB, transfer_size=1 * MIB,
+                    segment_count=2, iterations=1, test_file=f"/scratch/lb/{api}",
+                    file_per_proc=True, keep_file=True)
+    res = run_ior(cfg, tb, 1, 4, tracer=prof)
+    return DarshanReport(prof.finalize("ior", 4, 0, res.end_offset_s))
+
+
+class TestLayerBreakdown:
+    def test_hdf5_stack_ordering(self):
+        b = layer_breakdown(_profiled("HDF5"))
+        assert set(b.layer_times_s) == {"POSIX", "MPIIO", "HDF5"}
+        # MPI-IO wraps every POSIX op, so its cumulative time dominates.
+        assert b.layer_times_s["MPIIO"] >= b.layer_times_s["POSIX"]
+        # H5D counts dataset ops only — library metadata I/O surfaces
+        # below it (as in real Darshan), so it can be smaller than
+        # MPI-IO but must stay in the same ballpark.
+        assert b.layer_times_s["HDF5"] >= 0.8 * b.layer_times_s["MPIIO"]
+        assert b.overheads_s["mpiio-over-posix"] >= 0
+        assert b.overheads_s["software-over-posix"] >= b.overheads_s["mpiio-over-posix"]
+
+    def test_posix_dominates(self):
+        # The storage system, not the software, should dominate.
+        b = layer_breakdown(_profiled("HDF5"))
+        assert b.posix_fraction > 0.8
+
+    def test_posix_only_run(self):
+        b = layer_breakdown(_profiled("POSIX"))
+        assert set(b.layer_times_s) == {"POSIX"}
+        assert b.overheads_s == {"software-over-posix": 0.0}
+        assert b.posix_fraction == pytest.approx(1.0)
+
+    def test_bytes_accounted(self):
+        b = layer_breakdown(_profiled("MPIIO"))
+        assert b.bytes_moved == 2 * 4 * 8 * MIB  # write+read x 4 ranks x 8 MiB
+
+    def test_render(self):
+        text = layer_breakdown(_profiled("MPIIO")).render()
+        assert "POSIX" in text and "mpiio-over-posix" in text
+
+    def test_requires_posix(self):
+        prof = DarshanProfiler()
+        import numpy as np
+
+        prof.record_batch("MPIIO", "write", 0, "/f", 0, 1024, np.ones(2), 0.0)
+        report = DarshanReport(prof.finalize("x", 1, 0, 1))
+        with pytest.raises(DarshanError):
+            layer_breakdown(report)

@@ -1,0 +1,158 @@
+"""Tests for the layered I/O stack and the testbed assembly."""
+
+import numpy as np
+import pytest
+
+from repro.iostack.stack import Testbed
+from repro.iostack.tracing import RecordingTracer
+from repro.mpi.hints import MPIIOHints
+from repro.util.errors import ConfigurationError, IOStackError
+from repro.util.units import KIB, MIB
+
+
+@pytest.fixture()
+def tb():
+    return Testbed.fuchs_csc(seed=11)
+
+
+@pytest.fixture()
+def jobctx(tb):
+    return tb.start_job("t", num_nodes=2, tasks_per_node=4, tracer=RecordingTracer())
+
+
+class TestPosixLayer:
+    def test_create_write_read_close(self, jobctx):
+        layer = jobctx.layer("POSIX")
+        w = jobctx.phase_ctx("write")
+        f, dt = layer.create("/scratch/p0", 0, w, 0.0)
+        assert dt > 0
+        d1 = f.write(1 * MIB, w, 0.0)
+        assert d1 > 0
+        assert f.entry.size == 1 * MIB
+        r = jobctx.phase_ctx("read")
+        f.seek(0)
+        d2 = f.read(1 * MIB, r, 0.0)
+        assert d2 > 0
+        f.close(0.0)
+        with pytest.raises(IOStackError):
+            f.write(1, w, 0.0)
+
+    def test_io_many_advances_offset(self, jobctx):
+        layer = jobctx.layer("POSIX")
+        w = jobctx.phase_ctx("write")
+        f, _ = layer.create("/scratch/p1", 0, w, 0.0)
+        durations = f.io_many("write", 256 * KIB, 8, w, 0.0)
+        assert durations.shape == (8,)
+        assert f.offset == 8 * 256 * KIB
+
+    def test_io_many_wrong_ctx(self, jobctx):
+        layer = jobctx.layer("POSIX")
+        w = jobctx.phase_ctx("write")
+        f, _ = layer.create("/scratch/p2", 0, w, 0.0)
+        with pytest.raises(IOStackError):
+            f.io_many("read", 1024, 2, w, 0.0)
+
+    def test_tracing_events_emitted(self, jobctx):
+        layer = jobctx.layer("POSIX")
+        w = jobctx.phase_ctx("write")
+        f, _ = layer.create("/scratch/p3", 0, w, 0.0)
+        f.io_many("write", 1 * MIB, 4, w, 0.0)
+        f.close(0.0)
+        posix_events = jobctx.tracer.by_module("POSIX")
+        ops = [e.op for e in posix_events]
+        assert ops.count("write") == 4
+        assert "create" in ops and "close" in ops
+        assert jobctx.tracer.total_bytes("write") == 4 * MIB
+
+
+class TestMPIIOLayer:
+    def test_shared_open_single_create(self, jobctx):
+        layer = jobctx.layer("MPIIO")
+        w = jobctx.phase_ctx("write", shared_file=True)
+        f0, _ = layer.open("/scratch/shared", 0, w, 0.0, create=True, shared_file=True)
+        f1, _ = layer.open("/scratch/shared", 1, w, 0.0, create=True, shared_file=True)
+        assert f0.posix.entry is f1.posix.entry
+
+    def test_collective_vs_independent_small_shared_writes(self, tb):
+        # Collective buffering must help small strided shared-file
+        # writes (the MPI-IO optimization the paper's stack view implies).
+        ctx = tb.start_job("cmp", 2, 4)
+        layer = ctx.layer("MPIIO", MPIIOHints(romio_cb_write="disable"))
+        w = ctx.phase_ctx("write", shared_file=True)
+        f, _ = layer.open("/scratch/indep", 0, w, 0.0, create=True, shared_file=True)
+        t_indep = f.io_many("write", 47008, 64, w, 0.0).sum()
+
+        layer2 = ctx.layer("MPIIO", MPIIOHints(romio_cb_write="enable"))
+        f2, _ = layer2.open("/scratch/coll", 0, w, 0.0, create=True, shared_file=True)
+        t_coll = f2.io_many("write", 47008, 64, w, 0.0, collective=True).sum()
+        assert t_coll < t_indep
+
+    def test_striping_hint_applied(self, jobctx):
+        layer = jobctx.layer("MPIIO", MPIIOHints(striping_unit=1 * MIB))
+        w = jobctx.phase_ctx("write")
+        f, _ = layer.open("/scratch/hinted", 0, w, 0.0, create=True, shared_file=False)
+        assert f.posix.entry.layout.chunk_size == 1 * MIB
+
+    def test_delete(self, jobctx):
+        layer = jobctx.layer("MPIIO")
+        w = jobctx.phase_ctx("write")
+        layer.open("/scratch/del", 0, w, 0.0, create=True, shared_file=False)
+        layer.delete("/scratch/del", 0, w, 0.0)
+        assert not jobctx.fs.namespace.exists("/scratch/del")
+
+
+class TestHDF5Layer:
+    def test_hdf5_slower_than_posix(self, tb):
+        # Each layer adds overhead (Fig. 1 stack ordering).
+        ctx = tb.start_job("h", 1, 4)
+        w = ctx.phase_ctx("write")
+        pf, _ = ctx.layer("POSIX").create("/scratch/pp", 0, w, 0.0)
+        t_posix = pf.io_many("write", 1 * MIB, 16, w, 0.0).sum()
+        hf, _ = ctx.layer("HDF5").open("/scratch/hh", 0, w, 0.0, create=True, shared_file=False)
+        t_hdf5 = hf.io_many("write", 1 * MIB, 16, w, 0.0).sum()
+        assert t_hdf5 > t_posix
+
+    def test_header_written_at_create(self, jobctx):
+        w = jobctx.phase_ctx("write")
+        hf, _ = jobctx.layer("HDF5").open(
+            "/scratch/h5", 0, w, 0.0, create=True, shared_file=False
+        )
+        assert hf.mpiio.posix.entry.size > 0  # superblock already on disk
+
+    def test_small_unaligned_access_penalized(self, jobctx):
+        w = jobctx.phase_ctx("write")
+        hf, _ = jobctx.layer("HDF5").open(
+            "/scratch/h5b", 0, w, 0.0, create=True, shared_file=False
+        )
+        per_byte_small = hf.write_at(0, 64 * KIB, w, 0.0) / (64 * KIB)
+        per_byte_big = hf.write_at(0, 4 * MIB, w, 0.0) / (4 * MIB)
+        assert per_byte_big < per_byte_small
+
+
+class TestTestbed:
+    def test_unknown_api(self, jobctx):
+        with pytest.raises(ConfigurationError):
+            jobctx.layer("NCZARR")
+
+    def test_job_lifecycle(self, tb):
+        ctx = tb.start_job("life", 2, 2)
+        ctx.comm.advance(0, 3.0)
+        elapsed = tb.finish_job(ctx)
+        assert elapsed == pytest.approx(3.0)
+        assert ctx.job.state == "COMPLETED"
+
+    def test_node_factors_reflect_degradation(self, tb):
+        ctx = tb.start_job("deg", 2, 2)
+        idx = ctx.job.allocation.node_indices[0]
+        tb.cluster.node(idx).degrade(0.5)
+        assert 0.5 in ctx.node_factors()
+
+    def test_phase_ctx_fields(self, jobctx):
+        ctx = jobctx.phase_ctx("write", shared_file=True, fsync=True, tags={"a": 1})
+        assert ctx.active_procs == 8
+        assert ctx.procs_per_node == 4
+        assert ctx.shared_file and ctx.fsync
+        assert ctx.tags == {"a": 1}
+
+    def test_system_info(self, tb):
+        assert tb.system_info().system_name == "FUCHS-CSC"

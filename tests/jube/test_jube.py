@@ -1,0 +1,227 @@
+"""Tests for the JUBE-like benchmarking environment."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.iostack.stack import Testbed
+from repro.jube import (
+    Analyser,
+    DEFAULT_WORK_REGISTRY,
+    JubeBenchmark,
+    Parameter,
+    ParameterSet,
+    Pattern,
+    Step,
+    expand_parameter_space,
+    load_benchmark,
+    substitute,
+)
+from repro.util.errors import JubeError
+
+
+class TestParameters:
+    def test_from_text_expansion(self):
+        p = Parameter.from_text("ts", "1m, 2m ,4m")
+        assert p.values == ("1m", "2m", "4m")
+        assert p.is_template
+
+    def test_single_value(self):
+        assert not Parameter.from_text("x", "42").is_template
+
+    def test_invalid_name(self):
+        with pytest.raises(JubeError):
+            Parameter("2bad", ("x",))
+
+    def test_duplicate_in_set(self):
+        with pytest.raises(JubeError):
+            ParameterSet("s", (Parameter("a", ("1",)), Parameter("a", ("2",))))
+
+    def test_expansion_cartesian(self):
+        sets = [
+            ParameterSet("a", (Parameter("x", ("1", "2")), Parameter("y", ("a",)))),
+            ParameterSet("b", (Parameter("z", ("u", "v")),)),
+        ]
+        combos = expand_parameter_space(sets)
+        assert len(combos) == 4
+        assert {(c["x"], c["z"]) for c in combos} == {("1", "u"), ("1", "v"), ("2", "u"), ("2", "v")}
+
+    def test_later_set_overrides(self):
+        sets = [
+            ParameterSet("a", (Parameter("x", ("1",)),)),
+            ParameterSet("b", (Parameter("x", ("9",)),)),
+        ]
+        assert expand_parameter_space(sets) == [{"x": "9"}]
+
+    def test_empty(self):
+        assert expand_parameter_space([]) == [{}]
+
+    @given(
+        st.lists(st.sampled_from(["1", "2", "3"]), min_size=1, max_size=3, unique=True),
+        st.lists(st.sampled_from(["a", "b"]), min_size=1, max_size=2, unique=True),
+    )
+    def test_expansion_size_property(self, xs, ys):
+        sets = [ParameterSet("s", (Parameter("x", tuple(xs)), Parameter("y", tuple(ys))))]
+        assert len(expand_parameter_space(sets)) == len(xs) * len(ys)
+
+
+class TestSubstitute:
+    def test_both_forms(self):
+        out = substitute("ior -t $ts -b ${bs}", {"ts": "2m", "bs": "4m"})
+        assert out == "ior -t 2m -b 4m"
+
+    def test_strict_undefined(self):
+        with pytest.raises(JubeError):
+            substitute("$missing", {})
+
+    def test_non_strict_keeps_reference(self):
+        assert substitute("$missing", {}, strict=False) == "$missing"
+
+
+class TestBenchmarkExecution:
+    def test_step_per_combination(self, tmp_path):
+        seen = []
+
+        def work(ctx):
+            seen.append(ctx.params["x"])
+            ctx.write_file("out.txt", f"value {ctx.params['x']}")
+
+        bench = JubeBenchmark(
+            "t",
+            tmp_path,
+            parameter_sets=[ParameterSet("p", (Parameter("x", ("1", "2", "3")),))],
+            steps=[Step(name="run", work=work, use=("p",))],
+        )
+        wps = bench.run()
+        assert sorted(seen) == ["1", "2", "3"]
+        assert len(wps) == 3
+        for wp in wps:
+            assert (wp.workdir / "out.txt").exists()
+            assert (wp.workdir.parent / "parameters.json").exists()
+
+    def test_dependency_wiring(self, tmp_path):
+        def producer(ctx):
+            ctx.write_file("data.txt", f"from {ctx.params['x']}")
+
+        def consumer(ctx):
+            text = ctx.dependency_file("make", "data.txt").read_text()
+            assert text == f"from {ctx.params['x']}"
+            ctx.write_file("ok.txt", "yes")
+
+        bench = JubeBenchmark(
+            "t",
+            tmp_path,
+            parameter_sets=[ParameterSet("p", (Parameter("x", ("a", "b")),))],
+            steps=[
+                Step(name="make", work=producer, use=("p",)),
+                Step(name="check", work=consumer, use=("p",), depends=("make",)),
+            ],
+        )
+        wps = bench.run()
+        assert sum(1 for wp in wps if wp.step == "check") == 2
+
+    def test_unknown_dependency_rejected(self, tmp_path):
+        bench = JubeBenchmark("t", tmp_path)
+        with pytest.raises(JubeError):
+            bench.add_step(Step(name="s", work=lambda ctx: None, depends=("ghost",)))
+
+    def test_run_dirs_increment(self, tmp_path):
+        bench = JubeBenchmark(
+            "t", tmp_path, steps=[Step(name="run", work=lambda ctx: None)]
+        )
+        bench.run()
+        first = bench.run_dir
+        bench.run()
+        assert bench.run_dir != first
+        assert bench.run_dir.name == "000001"
+
+    def test_run_dir_before_run(self, tmp_path):
+        with pytest.raises(JubeError):
+            JubeBenchmark("t", tmp_path).run_dir
+
+
+class TestAnalyser:
+    def test_pattern_extraction(self, tmp_path):
+        def work(ctx):
+            ctx.write_file("out.txt", f"bw = {float(ctx.params['x']) * 10} MiB/s")
+
+        bench = JubeBenchmark(
+            "t",
+            tmp_path,
+            parameter_sets=[ParameterSet("p", (Parameter("x", ("1", "2")),))],
+            steps=[Step(name="run", work=work, use=("p",))],
+        )
+        bench.run()
+        analyser = Analyser(
+            "a", step="run", files=["out.txt"],
+            patterns=[Pattern("bw", r"bw = ([\d.]+) MiB/s")],
+        )
+        table = analyser.analyse(bench)
+        assert table.column("bw") == [10.0, 20.0]
+        assert "bw" in table.render()
+
+    def test_pattern_validation(self):
+        with pytest.raises(JubeError):
+            Pattern("p", "no capture group")
+        with pytest.raises(JubeError):
+            Pattern("p", "(x)", dtype="complex")
+        with pytest.raises(JubeError):
+            Pattern("p", "(unclosed")
+
+    def test_missing_file_errors(self, tmp_path):
+        bench = JubeBenchmark("t", tmp_path, steps=[Step(name="run", work=lambda c: None)])
+        bench.run()
+        analyser = Analyser("a", step="run", files=["ghost.txt"], patterns=[Pattern("x", r"(\d+)")])
+        with pytest.raises(JubeError):
+            analyser.analyse(bench)
+
+    def test_pattern_returns_none_without_match(self, tmp_path):
+        def work(ctx):
+            ctx.write_file("out.txt", "nothing here")
+
+        bench = JubeBenchmark("t", tmp_path, steps=[Step(name="run", work=work)])
+        bench.run()
+        analyser = Analyser("a", "run", ["out.txt"], [Pattern("x", r"value (\d+)", "int")])
+        assert analyser.analyse(bench).column("x") == [None]
+
+
+class TestXMLLoading:
+    XML = """
+    <jube>
+      <benchmark name="x" outpath="ignored">
+        <parameterset name="p">
+          <parameter name="transfersize">1m</parameter>
+          <parameter name="command">ior -a posix -b 4m -t $transfersize -s 2 -i 1 -o /scratch/xml/t -w</parameter>
+          <parameter name="nodes">1</parameter>
+          <parameter name="taskspernode">4</parameter>
+        </parameterset>
+        <step name="run" work="ior"><use>p</use></step>
+        <analyser name="bw" step="run">
+          <file>ior_output.txt</file>
+          <pattern name="max_write" type="float">Max Write: ([\\d.]+) MiB/sec</pattern>
+        </analyser>
+      </benchmark>
+    </jube>
+    """
+
+    def test_load_and_run(self, tmp_path):
+        bench, analysers = load_benchmark(
+            self.XML, DEFAULT_WORK_REGISTRY, outpath=tmp_path,
+            shared={"testbed": Testbed.fuchs_csc(seed=8)},
+        )
+        bench.run()
+        table = analysers[0].analyse(bench)
+        assert table.column("max_write")[0] > 0
+
+    def test_bad_xml(self):
+        with pytest.raises(JubeError):
+            load_benchmark("<jube><benchmark", {})
+
+    def test_unknown_work(self):
+        xml = '<jube><benchmark name="b"><step name="s" work="ghost"/></benchmark></jube>'
+        with pytest.raises(JubeError):
+            load_benchmark(xml, DEFAULT_WORK_REGISTRY)
+
+    def test_missing_benchmark_element(self):
+        with pytest.raises(JubeError):
+            load_benchmark("<jube></jube>", {})

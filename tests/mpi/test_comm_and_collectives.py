@@ -1,0 +1,130 @@
+"""Tests for the simulated MPI runtime."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.cluster.slurm import Allocation
+from repro.mpi.collective import barrier_cost_s, bcast_cost_s, exchange_cost_s, gather_cost_s
+from repro.mpi.comm import Communicator
+from repro.mpi.hints import MPIIOHints
+from repro.util.errors import ConfigurationError, MPIError
+
+
+def make_comm(nodes=2, tpn=4):
+    return Communicator(
+        Allocation(job_id=1, node_indices=tuple(range(nodes)), tasks_per_node=tpn)
+    )
+
+
+class TestCollectiveCosts:
+    def test_barrier_single_rank_free(self):
+        assert barrier_cost_s(1, 1e-6) == 0.0
+
+    def test_barrier_log_scaling(self):
+        assert barrier_cost_s(8, 1e-6) == pytest.approx(3e-6)
+        assert barrier_cost_s(9, 1e-6) == pytest.approx(4e-6)
+
+    def test_bcast_grows_with_size(self):
+        assert bcast_cost_s(8, 1 << 20, 1e-6, 1e9) > bcast_cost_s(8, 1 << 10, 1e-6, 1e9)
+
+    def test_gather_root_receives_all(self):
+        cost = gather_cost_s(4, 100, 0.0, 1e3)
+        assert cost == pytest.approx(300 / 1e3)
+
+    def test_exchange_zero_bytes_free(self):
+        assert exchange_cost_s(8, 2, 0, 1e-6, 1e9) == 0.0
+
+    def test_exchange_more_aggregators_faster(self):
+        slow = exchange_cost_s(16, 1, 1 << 26, 1e-6, 1e9)
+        fast = exchange_cost_s(16, 8, 1 << 26, 1e-6, 1e9)
+        assert fast < slow
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            barrier_cost_s(0, 1e-6)
+        with pytest.raises(ConfigurationError):
+            bcast_cost_s(4, -1, 1e-6, 1e9)
+        with pytest.raises(ConfigurationError):
+            exchange_cost_s(4, 0, 10, 1e-6, 1e9)
+
+
+class TestCommunicator:
+    def test_size_and_node_mapping(self):
+        comm = make_comm(nodes=2, tpn=4)
+        assert comm.size == 8
+        assert comm.node_of(0) == 0
+        assert comm.node_of(7) == 1
+
+    def test_advance_and_barrier(self):
+        comm = make_comm()
+        comm.advance(0, 5.0)
+        comm.advance(1, 2.0)
+        t = comm.barrier()
+        assert t >= 5.0
+        assert all(comm.now(r) == t for r in comm.ranks())
+
+    def test_advance_all_vectorized(self):
+        comm = make_comm(nodes=1, tpn=4)
+        comm.advance_all(np.array([1.0, 2.0, 3.0, 4.0]))
+        assert comm.max_time() == 4.0
+
+    def test_advance_all_shape_check(self):
+        comm = make_comm(nodes=1, tpn=4)
+        with pytest.raises(MPIError):
+            comm.advance_all(np.ones(3))
+
+    def test_negative_advance_rejected(self):
+        comm = make_comm()
+        with pytest.raises(MPIError):
+            comm.advance(0, -1.0)
+
+    def test_bad_rank(self):
+        comm = make_comm()
+        with pytest.raises(MPIError):
+            comm.now(99)
+
+    def test_elapsed_since(self):
+        comm = make_comm()
+        t0 = comm.barrier()
+        comm.advance(3, 2.5)
+        assert math.isclose(comm.elapsed_since(t0), 2.5)
+
+    def test_set_all(self):
+        comm = make_comm()
+        comm.set_all(10.0)
+        assert comm.max_time() == 10.0
+        with pytest.raises(MPIError):
+            comm.set_all(-1.0)
+
+
+class TestHints:
+    def test_defaults_automatic(self):
+        h = MPIIOHints()
+        assert h.collective_enabled("write", shared_file=True)
+        assert not h.collective_enabled("write", shared_file=False)
+
+    def test_explicit_enable_disable(self):
+        assert MPIIOHints(romio_cb_write="enable").collective_enabled("write", False)
+        assert not MPIIOHints(romio_cb_write="disable").collective_enabled("write", True)
+
+    def test_read_write_independent(self):
+        h = MPIIOHints(romio_cb_write="disable", romio_cb_read="enable")
+        assert not h.collective_enabled("write", True)
+        assert h.collective_enabled("read", False)
+
+    def test_aggregators_default_per_node(self):
+        assert MPIIOHints().aggregators(4) == 4
+        assert MPIIOHints(cb_nodes=2).aggregators(4) == 2
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            MPIIOHints(romio_cb_write="yes")
+        with pytest.raises(ConfigurationError):
+            MPIIOHints(cb_buffer_size=0)
+
+    def test_as_dict_round_trip(self):
+        d = MPIIOHints(cb_nodes=2).as_dict()
+        assert d["cb_nodes"] == 2
+        assert MPIIOHints(**d) == MPIIOHints(cb_nodes=2)

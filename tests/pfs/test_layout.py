@@ -1,0 +1,86 @@
+"""Unit and property tests for stripe layouts."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.pfs.layout import StripeLayout, StripePattern
+from repro.util.errors import ConfigurationError
+from repro.util.units import KIB, MIB
+
+
+class TestStripeLayout:
+    def test_defaults(self):
+        lo = StripeLayout()
+        assert lo.chunk_size == 512 * KIB
+        assert lo.num_targets == 4
+        assert lo.stripe_width == 2 * MIB
+        assert lo.pattern == StripePattern.RAID0
+
+    def test_chunk_target_round_robin(self):
+        lo = StripeLayout(chunk_size=10, target_ids=(7, 8, 9))
+        assert [lo.chunk_target(o) for o in (0, 10, 20, 30, 5, 29)] == [7, 8, 9, 7, 7, 9]
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ConfigurationError):
+            StripeLayout(target_ids=(1, 1))
+
+    def test_rejects_empty_targets(self):
+        with pytest.raises(ConfigurationError):
+            StripeLayout(target_ids=())
+
+    def test_rejects_bad_pattern(self):
+        with pytest.raises(ConfigurationError):
+            StripeLayout(pattern="RAID9")
+
+    def test_rejects_negative_offset(self):
+        with pytest.raises(ConfigurationError):
+            StripeLayout().chunk_target(-1)
+
+    def test_describe_chunk_size(self):
+        assert StripeLayout(chunk_size=512 * KIB).describe_chunk_size() == "512K"
+        assert StripeLayout(chunk_size=1 * MIB).describe_chunk_size() == "1M"
+
+
+class TestBytesPerTarget:
+    def test_exact_stripes_distribute_evenly(self):
+        lo = StripeLayout(chunk_size=100, target_ids=(0, 1))
+        counts = lo.bytes_per_target(0, 400)
+        assert counts == {0: 200, 1: 200}
+
+    def test_partial_head(self):
+        lo = StripeLayout(chunk_size=100, target_ids=(0, 1))
+        counts = lo.bytes_per_target(50, 100)
+        assert counts == {0: 50, 1: 50}
+
+    def test_single_chunk_interior(self):
+        lo = StripeLayout(chunk_size=100, target_ids=(0, 1))
+        assert lo.bytes_per_target(110, 30) == {0: 0, 1: 30}
+
+    def test_zero_length(self):
+        lo = StripeLayout(chunk_size=100, target_ids=(0, 1))
+        assert lo.bytes_per_target(10, 0) == {0: 0, 1: 0}
+
+    @given(
+        chunk=st.integers(min_value=1, max_value=1 << 16),
+        ntargets=st.integers(min_value=1, max_value=8),
+        offset=st.integers(min_value=0, max_value=1 << 22),
+        length=st.integers(min_value=0, max_value=1 << 22),
+    )
+    def test_conservation(self, chunk, ntargets, offset, length):
+        # Property: bytes are conserved — per-target counts sum to length.
+        lo = StripeLayout(chunk_size=chunk, target_ids=tuple(range(ntargets)))
+        counts = lo.bytes_per_target(offset, length)
+        assert sum(counts.values()) == length
+        assert all(v >= 0 for v in counts.values())
+
+    @given(
+        chunk=st.integers(min_value=1, max_value=4096),
+        ntargets=st.integers(min_value=1, max_value=6),
+        nstripes=st.integers(min_value=1, max_value=20),
+    )
+    def test_whole_stripes_balanced(self, chunk, ntargets, nstripes):
+        # Property: an integral number of stripes is perfectly balanced.
+        lo = StripeLayout(chunk_size=chunk, target_ids=tuple(range(ntargets)))
+        counts = lo.bytes_per_target(0, chunk * ntargets * nstripes)
+        assert set(counts.values()) == {chunk * nstripes}

@@ -1,0 +1,152 @@
+"""Tests for the PFS namespace (path resolution and tree operations)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.pfs.file import DirEntry, FileEntry, Namespace, normalize_path, split_path
+from repro.pfs.layout import StripeLayout
+from repro.util.errors import (
+    ConfigurationError,
+    DirectoryNotEmptyError,
+    FileExistsInPFSError,
+    FileNotFoundInPFSError,
+    NotADirectoryInPFSError,
+)
+
+
+def make_file(name="f"):
+    return FileEntry(
+        name=name,
+        entry_id="1-ABC-1",
+        metadata_node="meta01",
+        layout=StripeLayout(),
+        pool_name="Default",
+    )
+
+
+def make_dir(name="d"):
+    return DirEntry(name=name, entry_id="2-ABC-1", metadata_node="meta01")
+
+
+class TestPathHelpers:
+    @pytest.mark.parametrize(
+        "raw,norm",
+        [
+            ("/", "/"),
+            ("/a/b", "/a/b"),
+            ("/a//b/", "/a/b"),
+            ("/a/./b", "/a/b"),
+            ("/a/../b", "/b"),
+            ("/../a", "/a"),
+        ],
+    )
+    def test_normalize(self, raw, norm):
+        assert normalize_path(raw) == norm
+
+    def test_relative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            normalize_path("a/b")
+
+    def test_split(self):
+        assert split_path("/a/b/c") == ("/a/b", "c")
+        assert split_path("/a") == ("/", "a")
+
+    def test_split_root_rejected(self):
+        with pytest.raises(ConfigurationError):
+            split_path("/")
+
+
+class TestNamespace:
+    def test_add_and_resolve(self):
+        ns = Namespace()
+        ns.add("/scratch", make_dir())
+        ns.add("/scratch/file1", make_file())
+        assert ns.lookup_file("/scratch/file1").entry_type == "file"
+        assert ns.lookup_dir("/scratch").entry_type == "directory"
+
+    def test_missing_raises(self):
+        ns = Namespace()
+        with pytest.raises(FileNotFoundInPFSError):
+            ns.resolve("/nope")
+
+    def test_duplicate_create_raises(self):
+        ns = Namespace()
+        ns.add("/f", make_file())
+        with pytest.raises(FileExistsInPFSError):
+            ns.add("/f", make_file())
+
+    def test_exist_ok(self):
+        ns = Namespace()
+        ns.add("/f", make_file())
+        ns.add("/f", make_file(), exist_ok=True)
+
+    def test_file_in_path_raises(self):
+        ns = Namespace()
+        ns.add("/f", make_file())
+        with pytest.raises(NotADirectoryInPFSError):
+            ns.resolve("/f/child")
+
+    def test_lookup_file_on_dir_raises(self):
+        ns = Namespace()
+        ns.add("/d", make_dir())
+        with pytest.raises(FileNotFoundInPFSError):
+            ns.lookup_file("/d")
+
+    def test_remove_file(self):
+        ns = Namespace()
+        ns.add("/f", make_file())
+        ns.remove_file("/f")
+        assert not ns.exists("/f")
+
+    def test_remove_missing_file(self):
+        ns = Namespace()
+        with pytest.raises(FileNotFoundInPFSError):
+            ns.remove_file("/f")
+
+    def test_rmdir_non_empty(self):
+        ns = Namespace()
+        ns.add("/d", make_dir())
+        ns.add("/d/f", make_file())
+        with pytest.raises(DirectoryNotEmptyError):
+            ns.remove_dir("/d")
+        ns.remove_file("/d/f")
+        ns.remove_dir("/d")
+        assert not ns.exists("/d")
+
+    def test_listdir_sorted(self):
+        ns = Namespace()
+        ns.add("/d", make_dir())
+        for name in ("c", "a", "b"):
+            ns.add(f"/d/{name}", make_file(name))
+        assert ns.listdir("/d") == ["a", "b", "c"]
+
+    def test_walk_and_count(self):
+        ns = Namespace()
+        ns.add("/d", make_dir())
+        ns.add("/d/sub", make_dir())
+        ns.add("/d/f1", make_file())
+        ns.add("/d/sub/f2", make_file())
+        files = ns.walk_files("/")
+        assert [p for p, _ in files] == ["/d/f1", "/d/sub/f2"]
+        assert ns.count_entries("/") == (2, 2)
+
+    def test_extend_to(self):
+        f = make_file()
+        f.extend_to(100)
+        f.extend_to(50)
+        assert f.size == 100
+        with pytest.raises(ConfigurationError):
+            f.extend_to(-1)
+
+
+class TestNamespaceProperties:
+    @given(st.lists(st.sampled_from("abcde"), min_size=1, max_size=5, unique=True))
+    def test_add_then_listdir_round_trip(self, names):
+        ns = Namespace()
+        ns.add("/d", make_dir())
+        for n in names:
+            ns.add(f"/d/{n}", make_file(n))
+        assert ns.listdir("/d") == sorted(names)
+        nfiles, _ = ns.count_entries("/")
+        assert nfiles == len(names)

@@ -1,0 +1,217 @@
+"""Tests for the analytic performance model — the simulator's heart.
+
+These tests pin the *qualitative shapes* the paper's experiments rely
+on (Fig. 3 impact factors): bigger transfers are faster, contention
+hurts, shared-file small writes pay a penalty that collective buffering
+lifts, faults slow exactly the tagged phases, and noise is
+deterministic under a seed.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster.interconnect import Interconnect
+from repro.pfs.beegfs import BeeGFS
+from repro.pfs.faults import Fault, FaultInjector, FaultScope
+from repro.pfs.layout import StripeLayout
+from repro.pfs.perfmodel import PerfModelParams, PhaseContext
+from repro.util.errors import ConfigurationError
+from repro.util.units import KIB, MIB
+
+
+@pytest.fixture()
+def fs():
+    return BeeGFS(interconnect=Interconnect(), root_seed=7)
+
+
+def ctx(access="write", procs=80, ppn=20, shared=False, collective=False, fsync=False, tags=None):
+    return PhaseContext(
+        active_procs=procs,
+        procs_per_node=ppn,
+        node_factors=(1.0,) * max(1, procs // ppn),
+        access=access,
+        collective=collective,
+        shared_file=shared,
+        fsync=fsync,
+        tags=tags or {},
+    )
+
+
+def layout(fs):
+    return fs.default_layout()
+
+
+class TestEfficiencies:
+    def test_size_efficiency_monotone(self, fs):
+        m = fs.model
+        effs = [m.size_efficiency(s) for s in (4 * KIB, 64 * KIB, 1 * MIB, 16 * MIB)]
+        assert effs == sorted(effs)
+        assert 0 < effs[0] < effs[-1] < 1
+
+    def test_size_efficiency_rejects_zero(self, fs):
+        with pytest.raises(ConfigurationError):
+            fs.model.size_efficiency(0)
+
+    def test_contention_monotone(self, fs):
+        m = fs.model
+        effs = [m.contention_efficiency(p) for p in (1, 8, 80, 800)]
+        assert effs == sorted(effs, reverse=True)
+        assert all(0 < e <= 1 for e in effs)
+
+    def test_shared_penalty_small_transfers(self, fs):
+        m = fs.model
+        small = m.shared_file_penalty(47008, 512 * KIB, collective=False)
+        large = m.shared_file_penalty(2 * MIB, 512 * KIB, collective=False)
+        assert small < large == 1.0
+        assert small >= m.params.shared_small_floor
+
+    def test_collective_lifts_small_shared_penalty(self, fs):
+        m = fs.model
+        indep = m.shared_file_penalty(47008, 512 * KIB, collective=False)
+        coll = m.shared_file_penalty(47008, 512 * KIB, collective=True)
+        assert coll > indep
+        assert coll == pytest.approx(m.params.collective_efficiency)
+
+    def test_collective_never_hurts_aligned(self, fs):
+        m = fs.model
+        assert m.shared_file_penalty(2 * MIB, 512 * KIB, collective=True) == 1.0
+
+
+class TestBandwidthShapes:
+    def test_larger_transfers_faster_per_byte(self, fs):
+        lo = layout(fs)
+        t_small = fs.model.transfer_time_s(64 * KIB, lo, ctx()) / (64 * KIB)
+        t_large = fs.model.transfer_time_s(4 * MIB, lo, ctx()) / (4 * MIB)
+        assert t_large < t_small
+
+    def test_read_faster_than_write(self, fs):
+        lo = layout(fs)
+        bw_w = fs.model.per_rank_bandwidth_bps(2 * MIB, lo, ctx("write"))
+        bw_r = fs.model.per_rank_bandwidth_bps(2 * MIB, lo, ctx("read"))
+        assert bw_r > bw_w
+
+    def test_contention_reduces_per_rank_bw(self, fs):
+        lo = layout(fs)
+        bw_few = fs.model.per_rank_bandwidth_bps(2 * MIB, lo, ctx(procs=20, ppn=20))
+        bw_many = fs.model.per_rank_bandwidth_bps(2 * MIB, lo, ctx(procs=160, ppn=20))
+        assert bw_many < bw_few
+
+    def test_aggregate_saturates_but_grows_initially(self, fs):
+        lo = layout(fs)
+
+        def agg(procs, nodes):
+            c = PhaseContext(
+                active_procs=procs,
+                procs_per_node=procs // nodes,
+                node_factors=(1.0,) * nodes,
+                access="write",
+            )
+            return procs * fs.model.per_rank_bandwidth_bps(2 * MIB, lo, c)
+
+        a1, a8, a64 = agg(1, 1), agg(8, 2), agg(64, 16)
+        assert a1 < a8  # scales up before saturation
+        assert a64 < a8 * 2  # but saturates (not linear forever)
+
+    def test_shared_file_slower_than_fpp_for_small_writes(self, fs):
+        lo = layout(fs)
+        bw_fpp = fs.model.per_rank_bandwidth_bps(47008, lo, ctx(shared=False))
+        bw_shared = fs.model.per_rank_bandwidth_bps(47008, lo, ctx(shared=True))
+        assert bw_shared < bw_fpp
+
+    def test_fsync_derates_writes_only(self, fs):
+        lo = layout(fs)
+        assert fs.model.per_rank_bandwidth_bps(2 * MIB, lo, ctx(fsync=True)) < (
+            fs.model.per_rank_bandwidth_bps(2 * MIB, lo, ctx(fsync=False))
+        )
+        assert fs.model.per_rank_bandwidth_bps(2 * MIB, lo, ctx("read", fsync=True)) == (
+            fs.model.per_rank_bandwidth_bps(2 * MIB, lo, ctx("read", fsync=False))
+        )
+
+    def test_more_stripe_targets_help_single_stream(self, fs):
+        narrow = StripeLayout(chunk_size=512 * KIB, target_ids=(101,))
+        wide = StripeLayout(chunk_size=512 * KIB, target_ids=(101, 102, 103, 104))
+        c = ctx(procs=1, ppn=1)
+        assert fs.model.per_rank_bandwidth_bps(8 * MIB, wide, c) > (
+            fs.model.per_rank_bandwidth_bps(8 * MIB, narrow, c)
+        )
+
+    def test_degraded_target_slows_stripe(self, fs):
+        lo = layout(fs)
+        c = ctx(procs=1, ppn=1)
+        before = fs.model.per_rank_bandwidth_bps(8 * MIB, lo, c)
+        fs.pool.target(lo.target_ids[0]).degrade(0.1)
+        after = fs.model.per_rank_bandwidth_bps(8 * MIB, lo, c)
+        assert after < before
+
+
+class TestFaults:
+    def test_filesystem_fault_applies_by_tags(self, fs):
+        fs.faults.add(
+            Fault(name="iter2", factor=0.44, when={"iteration": 2})
+        )
+        lo = layout(fs)
+        bw_ok = fs.model.per_rank_bandwidth_bps(2 * MIB, lo, ctx(tags={"iteration": 1}))
+        bw_bad = fs.model.per_rank_bandwidth_bps(2 * MIB, lo, ctx(tags={"iteration": 2}))
+        assert bw_bad == pytest.approx(bw_ok * 0.44, rel=0.01)
+
+    def test_server_fault_hits_only_its_targets(self, fs):
+        fs.faults.add(
+            Fault(name="broken", factor=0.2, scope=FaultScope.SERVER, server="stor01")
+        )
+        on_broken = StripeLayout(chunk_size=512 * KIB, target_ids=(101, 102))
+        on_healthy = StripeLayout(chunk_size=512 * KIB, target_ids=(103, 104))
+        c = ctx(procs=1, ppn=1)
+        assert fs.model.per_rank_bandwidth_bps(8 * MIB, on_broken, c) < (
+            fs.model.per_rank_bandwidth_bps(8 * MIB, on_healthy, c)
+        )
+
+    def test_metadata_fault(self, fs):
+        fs.faults.add(Fault(name="mdslow", factor=0.5, scope=FaultScope.METADATA))
+        slow = fs.model.metadata_time_s("create", ctx())
+        fs.faults.clear()
+        fast = fs.model.metadata_time_s("create", ctx())
+        assert slow > fast
+
+    def test_fault_validation(self):
+        with pytest.raises(ConfigurationError):
+            Fault(name="x", factor=1.5)
+        with pytest.raises(ConfigurationError):
+            Fault(name="x", factor=0.5, scope="targets")
+        with pytest.raises(ConfigurationError):
+            Fault(name="x", factor=0.5, scope="server")
+
+    def test_injector_active_listing(self):
+        inj = FaultInjector([Fault(name="a", factor=0.5, when={"k": 1})])
+        assert [f.name for f in inj.active({"k": 1})] == ["a"]
+        assert inj.active({"k": 2}) == []
+
+
+class TestNoiseDeterminism:
+    def test_same_seed_same_times(self):
+        a = BeeGFS(root_seed=5)
+        b = BeeGFS(root_seed=5)
+        c = ctx(tags={"run": 1})
+        ta = a.model.transfer_times_s(2 * MIB, a.default_layout(), c, 10, rank=3)
+        tb = b.model.transfer_times_s(2 * MIB, b.default_layout(), c, 10, rank=3)
+        assert np.allclose(ta, tb)
+
+    def test_different_rank_different_noise(self, fs):
+        c = ctx(tags={"run": 1})
+        lo = layout(fs)
+        t0 = fs.model.transfer_times_s(2 * MIB, lo, c, 10, rank=0)
+        t1 = fs.model.transfer_times_s(2 * MIB, lo, c, 10, rank=1)
+        assert not np.allclose(t0, t1)
+
+    def test_phase_noise_write_wider_than_read(self, fs):
+        # Fig. 6 shape: write variance >> read variance.
+        writes = [
+            fs.model.phase_noise_factor(ctx("write", tags={"run": i})) for i in range(200)
+        ]
+        reads = [
+            fs.model.phase_noise_factor(ctx("read", tags={"run": i})) for i in range(200)
+        ]
+        assert np.std(writes) > 2 * np.std(reads)
+
+    def test_metadata_times_positive(self, fs):
+        times = fs.model.metadata_times_s("create", ctx(), 100, rank=0)
+        assert (times > 0).all()

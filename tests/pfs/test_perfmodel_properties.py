@@ -1,0 +1,126 @@
+"""Property-based tests of the performance model's global invariants.
+
+These pin the physics of the simulator with hypothesis: bandwidth is
+always positive and bounded by the hardware ceilings, costs are
+monotone in size, adding load never helps, and every penalty factor
+stays in (0, 1].
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pfs.beegfs import BeeGFS
+from repro.pfs.perfmodel import PhaseContext
+from repro.util.units import KIB, MIB
+
+_FS = BeeGFS(root_seed=99)
+_LAYOUT = _FS.default_layout()
+
+sizes = st.integers(min_value=1, max_value=64 * MIB)
+procs = st.integers(min_value=1, max_value=512)
+ppn = st.integers(min_value=1, max_value=40)
+
+
+def ctx(active_procs=8, procs_per_node=8, access="write", **kw):
+    return PhaseContext(
+        active_procs=active_procs,
+        procs_per_node=min(procs_per_node, active_procs),
+        node_factors=(1.0,) * max(1, active_procs // max(1, procs_per_node)),
+        access=access,
+        **kw,
+    )
+
+
+class TestBandwidthInvariants:
+    @settings(max_examples=60, deadline=None)
+    @given(size=sizes, p=procs, n=ppn, access=st.sampled_from(["read", "write"]))
+    def test_positive_and_bounded(self, size, p, n, access):
+        bw = _FS.model.per_rank_bandwidth_bps(size, _LAYOUT, ctx(p, n, access))
+        assert bw > 0
+        # Never above the single-client ceiling or the device raw sum.
+        assert bw <= _FS.model.params.client_stream_bw_bps + 1e-6
+        raw = sum(t.spec.bandwidth_bps(access) for t in _FS.pool.targets)
+        assert bw <= raw
+
+    @settings(max_examples=40, deadline=None)
+    @given(size=sizes, p=procs)
+    def test_more_procs_never_increase_per_rank_bw(self, size, p):
+        a = _FS.model.per_rank_bandwidth_bps(size, _LAYOUT, ctx(p, min(p, 20)))
+        b = _FS.model.per_rank_bandwidth_bps(size, _LAYOUT, ctx(p * 2, min(p * 2, 20)))
+        assert b <= a + 1e-6
+
+    @settings(max_examples=40, deadline=None)
+    @given(small=sizes, factor=st.integers(min_value=2, max_value=16))
+    def test_transfer_time_monotone_in_size(self, small, factor):
+        t_small = _FS.model.transfer_time_s(small, _LAYOUT, ctx())
+        t_big = _FS.model.transfer_time_s(small * factor, _LAYOUT, ctx())
+        assert t_big > t_small
+
+    @settings(max_examples=40, deadline=None)
+    @given(size=sizes)
+    def test_every_modifier_is_a_slowdown(self, size):
+        base = _FS.model.per_rank_bandwidth_bps(size, _LAYOUT, ctx())
+        for kw in (
+            {"shared_file": True},
+            {"fsync": True},
+            {"random_access": True},
+        ):
+            modified = _FS.model.per_rank_bandwidth_bps(size, _LAYOUT, ctx(**kw))
+            assert modified <= base + 1e-6
+
+
+class TestFactorRanges:
+    @settings(max_examples=50, deadline=None)
+    @given(size=sizes)
+    def test_size_efficiency_in_unit_interval(self, size):
+        assert 0 < _FS.model.size_efficiency(size) < 1
+
+    @settings(max_examples=50, deadline=None)
+    @given(p=procs)
+    def test_contention_efficiency_in_unit_interval(self, p):
+        assert 0 < _FS.model.contention_efficiency(p) <= 1
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        transfer=st.integers(min_value=1, max_value=8 * MIB),
+        chunk=st.sampled_from([64 * KIB, 512 * KIB, 1 * MIB]),
+        collective=st.booleans(),
+    )
+    def test_shared_penalty_in_unit_interval(self, transfer, chunk, collective):
+        p = _FS.model.shared_file_penalty(transfer, chunk, collective)
+        assert 0 < p <= 1
+        if collective:
+            assert p >= _FS.model.params.collective_efficiency - 1e-12
+
+
+class TestMetadataInvariants:
+    @settings(max_examples=40, deadline=None)
+    @given(p=procs, op=st.sampled_from(["create", "stat", "remove", "open"]))
+    def test_costs_positive(self, p, op):
+        assert _FS.model.metadata_time_s(op, ctx(p, min(p, 20))) > 0
+
+    @settings(max_examples=40, deadline=None)
+    @given(p=st.integers(min_value=2, max_value=256))
+    def test_shared_dir_never_cheaper(self, p):
+        c = ctx(p, min(p, 20))
+        private = _FS.model.metadata_time_s("create", c, shared_dir=False)
+        shared = _FS.model.metadata_time_s("create", c, shared_dir=True)
+        assert shared >= private
+
+    @settings(max_examples=40, deadline=None)
+    @given(p=procs)
+    def test_stat_cheaper_than_create(self, p):
+        c = ctx(p, min(p, 20))
+        assert _FS.model.metadata_time_s("stat", c) < _FS.model.metadata_time_s("create", c)
+
+
+class TestNoiseInvariants:
+    @settings(max_examples=30, deadline=None)
+    @given(n=st.integers(min_value=1, max_value=200), rank=st.integers(min_value=0, max_value=100))
+    def test_batched_times_positive_and_deterministic(self, n, rank):
+        c = ctx(tags={"t": 1})
+        a = _FS.model.transfer_times_s(1 * MIB, _LAYOUT, c, n, rank)
+        b = _FS.model.transfer_times_s(1 * MIB, _LAYOUT, c, n, rank)
+        assert (a > 0).all()
+        assert (a == b).all()

@@ -1,0 +1,114 @@
+"""Tests for storage pools, targets and RAID schemes."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.pfs.pool import RAIDScheme, StoragePool
+from repro.pfs.target import StorageServer, StorageTarget, TargetSpec
+from repro.util.errors import ConfigurationError
+
+
+def make_pool(n=8, raid=RAIDScheme.RAID0):
+    targets = [
+        StorageTarget(target_id=100 + i, spec=TargetSpec(), server=f"s{i // 2}")
+        for i in range(n)
+    ]
+    return StoragePool(name="p", targets=targets, raid_scheme=raid, default_num_targets=4)
+
+
+class TestTargetSpec:
+    def test_access_dispatch(self):
+        spec = TargetSpec()
+        assert spec.bandwidth_bps("read") > spec.bandwidth_bps("write")
+        with pytest.raises(ConfigurationError):
+            spec.bandwidth_bps("append")
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            TargetSpec(write_bandwidth_bps=0)
+        with pytest.raises(ConfigurationError):
+            TargetSpec(op_latency_s=-1)
+
+
+class TestStorageTarget:
+    def test_degrade_restore_cycle(self):
+        t = StorageTarget(target_id=1, spec=TargetSpec(), server="s")
+        base = t.effective_bandwidth_bps("write")
+        t.degrade(0.5)
+        assert t.effective_bandwidth_bps("write") == pytest.approx(base * 0.5)
+        t.restore()
+        assert t.health == 1.0
+
+    def test_server_degrades_all_its_targets(self):
+        server = StorageServer(name="s", targets=[
+            StorageTarget(target_id=i, spec=TargetSpec(), server="s") for i in range(3)
+        ])
+        server.degrade(0.2)
+        assert all(t.health == 0.2 for t in server.targets)
+        server.restore()
+        assert all(t.health == 1.0 for t in server.targets)
+
+
+class TestStoragePool:
+    def test_pick_targets_round_robin_coverage(self):
+        pool = make_pool(8)
+        # 8 consecutive picks of width 4 must hit every target equally.
+        from collections import Counter
+
+        counts = Counter()
+        for start in range(8):
+            counts.update(pool.pick_targets(4, start))
+        assert set(counts.values()) == {4}
+
+    @given(
+        n=st.integers(min_value=1, max_value=12),
+        width=st.integers(min_value=1, max_value=12),
+        start=st.integers(min_value=0, max_value=100),
+    )
+    def test_pick_targets_properties(self, n, width, start):
+        if width > n:
+            return
+        pool = StoragePool(
+            name="p",
+            targets=[
+                StorageTarget(target_id=i, spec=TargetSpec(), server="s")
+                for i in range(n)
+            ],
+            default_num_targets=1,
+        )
+        picked = pool.pick_targets(width, start)
+        assert len(picked) == width
+        assert len(set(picked)) == width  # distinct
+        assert set(picked) <= set(pool.target_ids)
+
+    def test_pick_too_wide(self):
+        with pytest.raises(ConfigurationError):
+            make_pool(4).pick_targets(5, 0)
+
+    def test_aggregate_bandwidth_raid_penalty(self):
+        raid0 = make_pool(raid=RAIDScheme.RAID0)
+        raid6 = make_pool(raid=RAIDScheme.RAID6)
+        assert raid6.aggregate_bandwidth_bps("write") == pytest.approx(
+            raid0.aggregate_bandwidth_bps("write") * RAIDScheme.WRITE_EFFICIENCY[RAIDScheme.RAID6]
+        )
+        # Reads don't pay parity costs.
+        assert raid6.aggregate_bandwidth_bps("read") == pytest.approx(
+            raid0.aggregate_bandwidth_bps("read")
+        )
+
+    def test_min_target_health(self):
+        pool = make_pool(4)
+        pool.target(101).degrade(0.3)
+        assert pool.min_target_health((100, 101)) == 0.3
+        assert pool.min_target_health((100, 102)) == 1.0
+
+    def test_lookup_missing_target(self):
+        with pytest.raises(ConfigurationError):
+            make_pool(2).target(999)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            StoragePool(name="empty", targets=[])
+        with pytest.raises(ConfigurationError):
+            make_pool(raid="RAID7")

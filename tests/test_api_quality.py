@@ -1,0 +1,90 @@
+"""API-quality meta-tests.
+
+Enforces the documentation deliverable mechanically: every public
+module, class, function and method in ``repro`` carries a docstring,
+public re-exports resolve, and the error taxonomy is complete.
+"""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+
+def _walk_modules():
+    out = []
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        out.append(importlib.import_module(info.name))
+    return out
+
+
+ALL_MODULES = _walk_modules()
+
+
+class TestDocstrings:
+    @pytest.mark.parametrize("module", ALL_MODULES, ids=lambda m: m.__name__)
+    def test_module_docstring(self, module):
+        assert module.__doc__ and module.__doc__.strip(), f"{module.__name__} lacks a docstring"
+
+    @pytest.mark.parametrize("module", ALL_MODULES, ids=lambda m: m.__name__)
+    def test_public_members_documented(self, module):
+        undocumented = []
+        for name, obj in vars(module).items():
+            if name.startswith("_"):
+                continue
+            if not (inspect.isclass(obj) or inspect.isfunction(obj)):
+                continue
+            if getattr(obj, "__module__", None) != module.__name__:
+                continue  # re-exports are checked at their home module
+            if not (obj.__doc__ and obj.__doc__.strip()):
+                undocumented.append(name)
+                continue
+            if inspect.isclass(obj):
+                for mname, member in vars(obj).items():
+                    if mname.startswith("_") or not inspect.isfunction(member):
+                        continue
+                    if not (member.__doc__ and member.__doc__.strip()):
+                        undocumented.append(f"{name}.{mname}")
+        assert not undocumented, (
+            f"{module.__name__}: missing docstrings on {sorted(undocumented)}"
+        )
+
+
+class TestExports:
+    @pytest.mark.parametrize("module", ALL_MODULES, ids=lambda m: m.__name__)
+    def test_all_entries_resolve(self, module):
+        exported = getattr(module, "__all__", None)
+        if exported is None:
+            return
+        missing = [name for name in exported if not hasattr(module, name)]
+        assert not missing, f"{module.__name__}.__all__ names missing members: {missing}"
+
+    def test_top_level_api(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name)
+
+
+class TestErrorTaxonomy:
+    def test_all_custom_errors_derive_from_repro_error(self):
+        from repro.util import errors
+
+        for name in errors.__all__:
+            cls = getattr(errors, name)
+            assert issubclass(cls, errors.ReproError), name
+
+    def test_every_phase_has_an_error(self):
+        from repro.util import errors
+
+        for expected in (
+            "ExtractionError",
+            "PersistenceError",
+            "AnalysisError",
+            "UsageError",
+            "BenchmarkError",
+            "JubeError",
+            "DarshanError",
+        ):
+            assert hasattr(errors, expected)

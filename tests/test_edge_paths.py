@@ -1,0 +1,106 @@
+"""Edge-path tests: error branches and rarely-hit paths across modules."""
+
+import pytest
+
+from repro.benchmarks_io.io500.find import FindResult, run_find
+from repro.benchmarks_io.io500.output import render_io500_output
+from repro.benchmarks_io.io500.runner import IO500Result
+from repro.benchmarks_io.io500.config import IO500Config
+from repro.cluster.slurm import JobRequest
+from repro.iostack.stack import Testbed
+from repro.mpi.collective import bcast_cost_s
+from repro.util.errors import BenchmarkError, ConfigurationError
+
+
+class TestFindEdges:
+    def test_empty_workdir_rejected(self):
+        tb = Testbed.fuchs_csc(seed=301)
+        ctx = tb.start_job("f", 1, 4)
+        tb.fs.makedirs("/scratch/emptydir")
+        with pytest.raises(BenchmarkError):
+            run_find(ctx, "/scratch/emptydir")
+
+    def test_match_size_counting(self):
+        tb = Testbed.fuchs_csc(seed=302)
+        ctx = tb.start_job("f", 1, 4)
+        w = ctx.phase_ctx("write")
+        tb.fs.makedirs("/scratch/fd")
+        for i, size in enumerate((3901, 3901, 100)):
+            entry, _ = tb.fs.create(f"/scratch/fd/f{i}", w)
+            entry.extend_to(size)
+        found = run_find(ctx, "/scratch/fd")
+        assert found.total_files == 3
+        assert found.matched_files == 2
+        assert found.ops_per_sec > 0
+
+    def test_zero_time_guard(self):
+        with pytest.raises(BenchmarkError):
+            FindResult(total_files=10, matched_files=1, time_s=0.0).ops_per_sec
+
+
+class TestIO500OutputEdges:
+    def test_unscored_run_rejected(self):
+        result = IO500Result(config=IO500Config(), num_nodes=1, tasks_per_node=4)
+        with pytest.raises(BenchmarkError):
+            render_io500_output(result)
+
+
+class TestSlurmEdges:
+    def test_negative_elapsed_rejected(self):
+        tb = Testbed.fuchs_csc(seed=303)
+        job = tb.slurm.submit(JobRequest("x", 1, 1))
+        with pytest.raises(ConfigurationError):
+            tb.slurm.complete(job, elapsed_s=-1.0)
+
+    def test_job_elapsed_none_before_completion(self):
+        tb = Testbed.fuchs_csc(seed=304)
+        job = tb.slurm.submit(JobRequest("x", 1, 1))
+        assert job.elapsed_s is None
+
+
+class TestHDF5Edges:
+    def test_read_at_and_flush(self):
+        tb = Testbed.fuchs_csc(seed=305)
+        ctx = tb.start_job("h", 1, 2)
+        w = ctx.phase_ctx("write")
+        tb.fs.makedirs("/scratch/h5e")
+        layer = ctx.layer("HDF5")
+        f, _ = layer.open("/scratch/h5e/x", 0, w, 0.0, create=True, shared_file=False)
+        f.write_at(0, 1024 * 1024, w, 0.0)
+        assert f.flush(0.0) > 0
+        r = ctx.phase_ctx("read")
+        assert f.read_at(0, 1024 * 1024, r, 0.0) > 0
+
+    def test_layer_param_validation(self):
+        from repro.iostack.hdf5 import HDF5Layer
+        from repro.util.errors import IOStackError
+
+        tb = Testbed.fuchs_csc(seed=306)
+        with pytest.raises(IOStackError):
+            HDF5Layer(tb.fs, chunk_bytes=0)
+        with pytest.raises(IOStackError):
+            HDF5Layer(tb.fs, chunk_floor=2.0)
+
+
+class TestCollectiveEdges:
+    def test_bcast_single_rank_free(self):
+        assert bcast_cost_s(1, 1 << 20, 1e-6, 1e9) == 0.0
+
+
+class TestTablesEdges:
+    def test_indent(self):
+        from repro.util.tables import render_table
+
+        out = render_table(["a"], [[1]], indent="    ")
+        assert all(line.startswith("    ") for line in out.splitlines())
+
+
+class TestExportEdges:
+    def test_custom_dimensions(self, tmp_path):
+        from repro.core.explorer import ChartSpec, Series, export_image
+
+        spec = ChartSpec(kind="bar", title="t",
+                         series=[Series("s", (1,), (2.0,))])
+        path = export_image(spec, tmp_path / "c.svg", width=320, height=200)
+        text = path.read_text()
+        assert 'width="320"' in text and 'height="200"' in text

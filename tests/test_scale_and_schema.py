@@ -1,0 +1,81 @@
+"""Scale smoke tests and schema versioning.
+
+The simulator must stay laptop-fast at realistic scales (the HPC-Python
+guides' rule: measure, don't guess), and the database must identify its
+schema version for forward compatibility.
+"""
+
+import time
+
+import pytest
+
+from repro.benchmarks_io.io500 import IO500Config, run_io500
+from repro.benchmarks_io.ior import IORConfig, run_ior
+from repro.core.persistence import SCHEMA_VERSION, KnowledgeDatabase
+from repro.iostack.stack import Testbed
+from repro.util.units import MIB
+
+
+class TestScale:
+    def test_large_ior_run_fast_and_sane(self):
+        # 16 nodes x 20 tasks = 320 ranks, 3 iterations, write+read.
+        tb = Testbed.fuchs_csc(seed=201)
+        cfg = IORConfig(
+            api="MPIIO", block_size=4 * MIB, transfer_size=2 * MIB, segment_count=4,
+            iterations=3, test_file="/scratch/big/t", file_per_proc=True, keep_file=True,
+        )
+        t0 = time.perf_counter()
+        res = run_ior(cfg, tb, num_nodes=16, tasks_per_node=20)
+        wall = time.perf_counter() - t0
+        assert wall < 20.0, f"320-rank IOR took {wall:.1f}s to simulate"
+        # Saturated system: aggregate must stay below the device roof.
+        bw = res.bandwidth_summary("write").mean
+        raw_pool = 8 * 643  # MiB/s
+        assert 0 < bw < raw_pool
+        # And per-rank share must shrink vs an 80-rank run.
+        small = run_ior(
+            cfg.with_(test_file="/scratch/big/s"), tb, num_nodes=4, tasks_per_node=20,
+            run_id=2,
+        )
+        assert bw / 320 < small.bandwidth_summary("write").mean / 80
+
+    def test_io500_at_scale_fast(self):
+        tb = Testbed.fuchs_csc(seed=202)
+        t0 = time.perf_counter()
+        result = run_io500(IO500Config(), tb, num_nodes=8, tasks_per_node=20)
+        wall = time.perf_counter() - t0
+        assert wall < 30.0, f"160-rank IO500 took {wall:.1f}s to simulate"
+        assert result.score.total > 0
+
+    def test_full_cluster_allocation(self):
+        # All 198 FUCHS nodes in one job.
+        tb = Testbed.fuchs_csc(seed=203)
+        ctx = tb.start_job("full", num_nodes=198, tasks_per_node=1)
+        assert ctx.comm.size == 198
+        tb.finish_job(ctx)
+
+
+class TestSchemaVersion:
+    def test_version_recorded(self):
+        with KnowledgeDatabase(":memory:") as db:
+            row = db.execute("SELECT value FROM meta WHERE key = 'schema_version'").fetchone()
+            assert int(row["value"]) == SCHEMA_VERSION
+
+    def test_reopen_preserves_version(self, tmp_path):
+        target = tmp_path / "v.db"
+        with KnowledgeDatabase(target):
+            pass
+        with KnowledgeDatabase(target) as db:
+            row = db.execute("SELECT value FROM meta WHERE key = 'schema_version'").fetchone()
+            assert int(row["value"]) == SCHEMA_VERSION
+
+    def test_schema_idempotent(self, tmp_path):
+        from repro.core.persistence import KnowledgeRepository
+        from tests.core.test_persistence import make_knowledge
+
+        target = tmp_path / "i.db"
+        with KnowledgeDatabase(target) as db:
+            KnowledgeRepository(db).save(make_knowledge())
+        # Re-opening re-runs CREATE IF NOT EXISTS without data loss.
+        with KnowledgeDatabase(target) as db:
+            assert KnowledgeRepository(db).list_ids() == [1]

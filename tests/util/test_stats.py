@@ -1,0 +1,141 @@
+"""Unit and property tests for the shared statistics helpers."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.stats import (
+    boxplot_stats,
+    geomean,
+    iqr_outliers,
+    summarize,
+    zscores,
+)
+
+finite_floats = st.floats(
+    min_value=-1e9, max_value=1e9, allow_nan=False, allow_infinity=False
+)
+
+
+class TestSummarize:
+    def test_simple_series(self):
+        s = summarize([1.0, 2.0, 3.0])
+        assert s.count == 3
+        assert s.minimum == 1.0
+        assert s.maximum == 3.0
+        assert s.mean == 2.0
+        assert math.isclose(s.stddev, math.sqrt(2 / 3))
+
+    def test_single_value(self):
+        s = summarize([5.0])
+        assert s.minimum == s.maximum == s.mean == 5.0
+        assert s.stddev == 0.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_as_dict_keys(self):
+        assert set(summarize([1.0]).as_dict()) == {"count", "max", "min", "mean", "stddev"}
+
+    @given(st.lists(finite_floats, min_size=1, max_size=50))
+    def test_invariants(self, values):
+        s = summarize(values)
+        tol = 1e-9 * max(1.0, abs(s.minimum), abs(s.maximum))
+        assert s.minimum - tol <= s.mean <= s.maximum + tol
+        assert s.stddev >= 0
+        assert s.count == len(values)
+
+    @given(st.lists(finite_floats, min_size=1, max_size=50))
+    def test_matches_numpy(self, values):
+        s = summarize(values)
+        assert math.isclose(s.mean, float(np.mean(values)), abs_tol=1e-9)
+
+
+class TestGeomean:
+    def test_known_value(self):
+        assert math.isclose(geomean([1.0, 4.0]), 2.0)
+
+    def test_single(self):
+        assert math.isclose(geomean([7.0]), 7.0)
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            geomean([1.0, 0.0])
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            geomean([1.0, -2.0])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            geomean([])
+
+    @given(st.lists(st.floats(min_value=1e-3, max_value=1e6), min_size=1, max_size=30))
+    def test_between_min_and_max(self, values):
+        g = geomean(values)
+        tol = 1e-9 * max(1.0, max(values))  # exp/log round-trip error scales with magnitude
+        assert min(values) - tol <= g <= max(values) + tol
+
+    @given(
+        st.lists(st.floats(min_value=1e-3, max_value=1e6), min_size=1, max_size=10),
+        st.floats(min_value=1.1, max_value=10),
+    )
+    def test_monotone_under_scaling(self, values, factor):
+        assert geomean([v * factor for v in values]) > geomean(values)
+
+
+class TestBoxplot:
+    def test_five_numbers(self):
+        b = boxplot_stats([1, 2, 3, 4, 5])
+        assert b.minimum == 1 and b.maximum == 5
+        assert b.median == 3
+        assert b.q1 == 2 and b.q3 == 4
+
+    def test_outlier_detected(self):
+        values = [10.0] * 10 + [100.0]
+        b = boxplot_stats(values)
+        assert 100.0 in b.outliers
+        assert b.whisker_high == 10.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            boxplot_stats([])
+
+    @given(st.lists(finite_floats, min_size=1, max_size=60))
+    def test_ordering_invariants(self, values):
+        b = boxplot_stats(values)
+        assert b.minimum <= b.q1 <= b.median <= b.q3 <= b.maximum
+        assert b.minimum <= b.whisker_low <= b.whisker_high <= b.maximum
+        assert b.iqr >= 0
+        assert len(b.outliers) <= len(values)
+        # Outliers lie strictly outside the whisker range.
+        for o in b.outliers:
+            assert o < b.whisker_low or o > b.whisker_high
+
+
+class TestOutliersAndZscores:
+    def test_iqr_outliers_flags_dip(self):
+        # The Fig. 5 situation: 5 healthy iterations and one collapsed one.
+        series = [2850, 1251, 2840, 2860, 2855, 2845]
+        assert iqr_outliers(series) == [1]
+
+    def test_no_outliers_in_tight_series(self):
+        assert iqr_outliers([10.0, 10.1, 9.9, 10.05]) == []
+
+    def test_empty(self):
+        assert iqr_outliers([]) == []
+
+    def test_zscores_constant_series(self):
+        assert np.allclose(zscores([5, 5, 5]), 0)
+
+    def test_zscores_mean_zero(self):
+        z = zscores([1.0, 2.0, 3.0, 4.0])
+        assert math.isclose(float(z.mean()), 0.0, abs_tol=1e-12)
+
+    @given(st.lists(finite_floats, min_size=2, max_size=40))
+    def test_zscores_shape(self, values):
+        assert zscores(values).shape == (len(values),)

@@ -1,0 +1,51 @@
+"""Tests for monospace table rendering."""
+
+import pytest
+
+from repro.util.tables import render_kv, render_table
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        out = render_table(["name", "bw"], [["write", 2850.0], ["read", 3170.25]])
+        lines = out.splitlines()
+        assert lines[0].startswith("name")
+        assert "2850.00" in out and "3170.25" in out
+        # numeric column right-aligned: shorter number is padded left
+        assert lines[2].endswith("2850.00")
+
+    def test_none_renders_dash(self):
+        out = render_table(["a"], [[None]])
+        assert "-" in out.splitlines()[2]
+
+    def test_bool_renders_yes_no(self):
+        out = render_table(["flag"], [[True], [False]])
+        assert "yes" in out and "no" in out
+
+    def test_ragged_row_rejected(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [[1]])
+
+    def test_empty_rows_ok(self):
+        out = render_table(["a", "b"], [])
+        assert len(out.splitlines()) == 2
+
+    def test_custom_float_format(self):
+        out = render_table(["x"], [[1.23456]], float_fmt=".4f")
+        assert "1.2346" in out
+
+
+class TestRenderKV:
+    def test_alignment(self):
+        out = render_kv({"api": "MPIIO", "blockSize": 4194304})
+        lines = out.splitlines()
+        assert len(lines) == 2
+        assert all(" : " in ln for ln in lines)
+        assert lines[0].index(":") == lines[1].index(":")
+
+    def test_empty(self):
+        assert render_kv({}) == ""
+
+    def test_accepts_pairs(self):
+        out = render_kv([("k", 1)])
+        assert "k" in out and "1" in out

@@ -1,0 +1,129 @@
+"""Unit tests for size/duration parsing and formatting."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.errors import UnitParseError
+from repro.util.units import (
+    GIB,
+    KIB,
+    MIB,
+    format_bandwidth,
+    format_size,
+    parse_duration,
+    parse_size,
+    to_gib,
+    to_mib,
+)
+
+
+class TestParseSize:
+    def test_plain_integer(self):
+        assert parse_size("47008") == 47008
+
+    def test_int_passthrough(self):
+        assert parse_size(1024) == 1024
+
+    def test_float_truncates(self):
+        assert parse_size(2.9) == 2
+
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("4m", 4 * MIB),
+            ("2M", 2 * MIB),
+            ("4MiB", 4 * MIB),
+            ("1g", GIB),
+            ("512k", 512 * KIB),
+            ("512K", 512 * KIB),
+            ("1.5m", int(1.5 * MIB)),
+            ("16b", 16),
+            ("1t", 1024 * GIB),
+            (" 8 m ", 8 * MIB),
+        ],
+    )
+    def test_suffixes(self, text, expected):
+        assert parse_size(text) == expected
+
+    @pytest.mark.parametrize("bad", ["", "x", "4x", "m4", "-4m", "4 4m", "nan"])
+    def test_rejects_garbage(self, bad):
+        with pytest.raises(UnitParseError):
+            parse_size(bad)
+
+    def test_rejects_negative_number(self):
+        with pytest.raises(UnitParseError):
+            parse_size(-5)
+
+    def test_rejects_bool(self):
+        with pytest.raises(UnitParseError):
+            parse_size(True)
+
+    def test_rejects_nan_float(self):
+        with pytest.raises(UnitParseError):
+            parse_size(float("nan"))
+
+
+class TestFormatSize:
+    def test_exact_mib(self):
+        assert format_size(4 * MIB) == "4 MiB"
+
+    def test_fractional(self):
+        assert format_size(int(1.5 * GIB)) == "1.50 GiB"
+
+    def test_bytes(self):
+        assert format_size(100) == "100 bytes"
+
+    def test_negative(self):
+        assert format_size(-2 * MIB) == "-2 MiB"
+
+    def test_zero(self):
+        assert format_size(0) == "0 bytes"
+
+
+class TestRoundTrip:
+    @given(st.integers(min_value=0, max_value=2**50))
+    def test_parse_int_is_identity(self, n):
+        assert parse_size(str(n)) == n
+
+    @given(st.integers(min_value=1, max_value=2**20))
+    def test_mib_round_trip(self, n):
+        assert parse_size(f"{n}m") == n * MIB
+
+    @given(st.integers(min_value=0, max_value=2**50))
+    def test_format_parse_round_trip_on_exact_units(self, n):
+        # Only exact multiples render without decimals; those must round-trip.
+        text = format_size(n)
+        value, unit = text.split(" ")
+        if "." not in value:
+            assert parse_size(value + {"bytes": "", "KiB": "k", "MiB": "m", "GiB": "g", "TiB": "t"}[unit]) == n
+
+
+class TestConversions:
+    def test_to_mib(self):
+        assert to_mib(3 * MIB) == 3.0
+
+    def test_to_gib(self):
+        assert to_gib(GIB // 2) == 0.5
+
+    def test_format_bandwidth(self):
+        assert format_bandwidth(2850.5 * MIB) == "2850.50 MiB/s"
+
+
+class TestParseDuration:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [("250ms", 0.25), ("2m", 120.0), ("1.5h", 5400.0), ("10", 10.0), ("3us", 3e-6)],
+    )
+    def test_valid(self, text, expected):
+        assert math.isclose(parse_duration(text), expected)
+
+    def test_numeric_passthrough(self):
+        assert parse_duration(5) == 5.0
+
+    @pytest.mark.parametrize("bad", ["", "abc", "-3s", "1d"])
+    def test_rejects_garbage(self, bad):
+        with pytest.raises(UnitParseError):
+            parse_duration(bad)
