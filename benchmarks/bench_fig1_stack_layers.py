@@ -17,7 +17,7 @@ from conftest import report
 from repro.benchmarks_io.ior import IORConfig, run_ior
 from repro.iostack.stack import Testbed
 from repro.mpi.hints import MPIIOHints
-from repro.util.units import GIB, KIB, MIB
+from repro.util.units import MIB
 
 
 def _run_stack_sweep():

@@ -14,6 +14,7 @@ from conftest import report
 
 from repro.core.cycle import KnowledgeCycle
 from repro.core.persistence import KnowledgeDatabase, KnowledgeQueries
+from repro.core.pipeline import TimingObserver
 from repro.core.usage import generate_jube_config
 from repro.iostack.stack import Testbed
 
@@ -34,9 +35,10 @@ XML = """
 
 def _run_two_revolutions():
     testbed = Testbed.fuchs_csc(seed=202)
+    timer = TimingObserver()
     with tempfile.TemporaryDirectory() as workspace:
         with KnowledgeDatabase(":memory:") as db:
-            cycle = KnowledgeCycle(testbed, db, workspace=workspace)
+            cycle = KnowledgeCycle(testbed, db, workspace=workspace, observers=[timer])
             first = cycle.run_cycle(XML)
             counts_after_first = KnowledgeQueries(db).database_report()
 
@@ -47,17 +49,29 @@ def _run_two_revolutions():
             )
             second = cycle.run_cycle(regenerated_xml)
             counts_after_second = KnowledgeQueries(db).database_report()
-    return first, second, counts_after_first, counts_after_second
+    return first, second, counts_after_first, counts_after_second, timer
 
 
 def test_fig2_knowledge_cycle(benchmark):
-    first, second, c1, c2 = benchmark.pedantic(_run_two_revolutions, rounds=1, iterations=1)
+    first, second, c1, c2, timer = benchmark.pedantic(
+        _run_two_revolutions, rounds=1, iterations=1
+    )
 
     report(
         "Fig. 2: knowledge-base growth across cycle revolutions (table row counts)",
         ["table", "after revolution 1", "after revolution 2"],
         [[t, c1[t], c2[t]] for t in ("performances", "summaries", "results", "filesystems", "systems")],
     )
+    report(
+        "Fig. 2: per-phase wall time over two revolutions (pipeline observer)",
+        ["phase", "total time [ms]"],
+        [[name, round(secs * 1000, 2)] for name, secs in timer.durations.items()],
+    )
+    # The observer saw every phase of both revolutions.
+    assert len(timer.timings) == 10
+    assert set(timer.durations) == {
+        "generation", "extraction", "persistence", "analysis", "usage",
+    }
 
     # Phase I+II: generation and extraction produced knowledge objects.
     assert len(first.knowledge) == 2

@@ -18,7 +18,6 @@ from repro.benchmarks_io.ior import IORConfig, run_ior
 from repro.core.usage import IOOptimizer, extract_pattern, validate_suggestion
 from repro.darshan import DarshanProfiler, DarshanReport
 from repro.iostack.stack import Testbed
-from repro.util.units import MIB
 
 
 def _optimize_loop():

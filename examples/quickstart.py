@@ -3,7 +3,9 @@
 
 Generates knowledge with a JUBE-driven IOR sweep on the simulated
 FUCHS-CSC testbed, extracts it, stores it in SQLite, analyzes it with
-the knowledge explorer, and runs the built-in usage modules.
+the knowledge explorer, and runs the built-in usage modules.  A
+TimingObserver attached to the phase pipeline reports how long each
+phase of the revolution took.
 
 Run:  python examples/quickstart.py
 """
@@ -11,7 +13,7 @@ Run:  python examples/quickstart.py
 import tempfile
 from pathlib import Path
 
-from repro import KnowledgeCycle, KnowledgeDatabase, Testbed
+from repro import KnowledgeCycle, KnowledgeDatabase, Testbed, TimingObserver
 
 JUBE_XML = """
 <jube>
@@ -35,7 +37,8 @@ def main() -> None:
     with tempfile.TemporaryDirectory() as workspace:
         db_path = Path(workspace) / "knowledge.db"
         with KnowledgeDatabase(db_path) as db:
-            cycle = KnowledgeCycle(testbed, db, workspace=workspace)
+            timer = TimingObserver()
+            cycle = KnowledgeCycle(testbed, db, workspace=workspace, observers=[timer])
 
             print("=== Phases I-V: running one revolution of the cycle ===\n")
             result = cycle.run_cycle(JUBE_XML)
@@ -52,6 +55,11 @@ def main() -> None:
                     print(f"[{name}] {value.description}")
                 else:
                     print(f"[{name}] {value}")
+
+            print("\n=== Per-phase wall times ===")
+            for t in timer.timings:
+                print(f"  {t.phase:<12} {t.duration_s * 1000:8.1f} ms  "
+                      f"({t.artifacts} artifact(s))")
 
             print(f"\nKnowledge base now holds {db.table_count('performances')} "
                   f"knowledge objects ({db.table_count('results')} iteration results).")

@@ -27,10 +27,17 @@ Quickstart::
 
 from repro.core.cycle import CycleResult, KnowledgeCycle
 from repro.core.knowledge import IO500Knowledge, Knowledge
+from repro.core.persistence.backend import BatchedBackend, PersistenceBackend
 from repro.core.persistence.database import KnowledgeDatabase
+from repro.core.pipeline import (
+    LoggingObserver,
+    PhaseObserver,
+    PhaseRegistry,
+    TimingObserver,
+)
 from repro.iostack.stack import Testbed
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Testbed",
@@ -39,5 +46,11 @@ __all__ = [
     "Knowledge",
     "IO500Knowledge",
     "KnowledgeDatabase",
+    "PersistenceBackend",
+    "BatchedBackend",
+    "PhaseRegistry",
+    "PhaseObserver",
+    "TimingObserver",
+    "LoggingObserver",
     "__version__",
 ]

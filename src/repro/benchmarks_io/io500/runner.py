@@ -15,7 +15,6 @@ from typing import Sequence
 from repro.benchmarks_io.io500.config import IO500Config
 from repro.benchmarks_io.io500.find import run_find
 from repro.benchmarks_io.io500.scoring import (
-    BW_PHASES,
     PHASE_ORDER,
     IO500Score,
     compute_score,

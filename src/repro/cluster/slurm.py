@@ -10,7 +10,7 @@ list, tasks per node) that ends up in the knowledge object.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.cluster.machine import Cluster
 from repro.util.errors import AllocationError, ConfigurationError

@@ -1,6 +1,6 @@
 """The paper's contribution: the five-phase I/O knowledge cycle."""
 
-from repro.core.cycle import CycleResult, KnowledgeCycle
+from repro.core.cycle import CycleResult, KnowledgeCycle, default_phase_registry
 from repro.core.knowledge import (
     FilesystemInfo,
     IO500Knowledge,
@@ -8,6 +8,16 @@ from repro.core.knowledge import (
     Knowledge,
     KnowledgeResult,
     KnowledgeSummary,
+)
+from repro.core.pipeline import (
+    CycleContext,
+    LoggingObserver,
+    Phase,
+    PhaseObserver,
+    PhasePipeline,
+    PhaseRegistry,
+    PhaseTiming,
+    TimingObserver,
 )
 from repro.core.registry import ModuleRegistry, UseCaseModule, default_module_registry
 
@@ -20,6 +30,15 @@ __all__ = [
     "IO500Testcase",
     "KnowledgeCycle",
     "CycleResult",
+    "CycleContext",
+    "Phase",
+    "PhaseRegistry",
+    "PhasePipeline",
+    "PhaseObserver",
+    "PhaseTiming",
+    "TimingObserver",
+    "LoggingObserver",
+    "default_phase_registry",
     "ModuleRegistry",
     "UseCaseModule",
     "default_module_registry",

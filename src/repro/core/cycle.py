@@ -1,19 +1,26 @@
 """The I/O knowledge cycle — five-phase workflow orchestration (§III).
 
-:class:`KnowledgeCycle` wires the phases together: **generation** runs
-a JUBE benchmark on the testbed, **extraction** scans the resulting
-workspace, **persistence** stores the knowledge objects in SQLite,
-**analysis** builds the explorer views, and **usage** runs the
-registered use-case modules.  "This iterative cyclic process is either
-re-launched or terminated" — :meth:`run_cycle` executes one revolution
-and can be called repeatedly, optionally with a configuration produced
-by the previous revolution's usage phase.
+The five phases are registered :class:`~repro.core.pipeline.Phase`
+implementations executed by the phase-pipeline engine: **generation**
+runs a JUBE benchmark on the testbed, **extraction** scans the
+resulting workspace, **persistence** stores the knowledge objects
+behind the backend protocol, **analysis** builds the explorer views,
+and **usage** runs the registered use-case modules.  "This iterative
+cyclic process is either re-launched or terminated" —
+:meth:`KnowledgeCycle.run_cycle` executes one revolution and can be
+called repeatedly, optionally with a configuration produced by the
+previous revolution's usage phase.
+
+:class:`KnowledgeCycle` owns a :class:`PhaseRegistry`, so deployments
+can insert, replace, or skip phases (say, a validation phase between
+extraction and persistence) and attach
+:class:`~repro.core.pipeline.PhaseObserver` instances, all without
+touching this module.
 """
 
 from __future__ import annotations
 
 import sys
-from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Sequence
 
@@ -22,45 +29,157 @@ from repro.core.explorer.io500_viewer import IO500Viewer
 from repro.core.explorer.viewer import KnowledgeViewer
 from repro.core.extraction.workspace import KnowledgeExtractor
 from repro.core.knowledge import IO500Knowledge, Knowledge
-from repro.core.persistence.database import KnowledgeDatabase
+from repro.core.persistence.backend import PersistenceBackend
 from repro.core.persistence.io500_repo import IO500Repository
 from repro.core.persistence.repository import KnowledgeRepository
+from repro.core.pipeline import (
+    CycleContext,
+    CycleResult,
+    PhaseObserver,
+    PhasePipeline,
+    PhaseRegistry,
+)
 from repro.core.registry import ModuleRegistry, default_module_registry
 from repro.iostack.stack import Testbed
 from repro.jube.benchmark import JubeBenchmark
 from repro.jube.steps import DEFAULT_WORK_REGISTRY
 from repro.jube.xmlconfig import load_benchmark
-from repro.util.errors import ReproError
+from repro.util.errors import ReproError, UsageError
 
-__all__ = ["CycleResult", "KnowledgeCycle", "main"]
+__all__ = [
+    "CycleResult",
+    "GenerationPhase",
+    "ExtractionPhase",
+    "PersistencePhase",
+    "AnalysisPhase",
+    "UsagePhase",
+    "default_phase_registry",
+    "KnowledgeCycle",
+    "main",
+]
 
 
-@dataclass(slots=True)
-class CycleResult:
-    """Everything one revolution of the cycle produced."""
+# ----------------------------------------------------------------------
+# the five phases as pluggable Phase implementations
+# ----------------------------------------------------------------------
+class GenerationPhase:
+    """Phase I: run a JUBE-defined benchmark campaign."""
 
-    knowledge: list[Knowledge] = field(default_factory=list)
-    io500_knowledge: list[IO500Knowledge] = field(default_factory=list)
-    knowledge_ids: list[int] = field(default_factory=list)
-    iofh_ids: list[int] = field(default_factory=list)
-    usage_results: dict[str, object] = field(default_factory=dict)
-    analysis_report: str = ""
+    name = "generation"
 
-    @property
-    def all_knowledge(self) -> list[Knowledge | IO500Knowledge]:
-        """Benchmark and IO500 knowledge together."""
-        return [*self.knowledge, *self.io500_knowledge]
+    def run(self, context: CycleContext) -> int:
+        """Execute the JUBE campaign; returns the workpackage count."""
+        benchmark, _ = load_benchmark(
+            context.jube_xml,
+            DEFAULT_WORK_REGISTRY,
+            outpath=context.workspace,
+            shared={"testbed": context.testbed},
+        )
+        benchmark.run()
+        context.benchmark = benchmark
+        return len(benchmark.workpackages)
+
+
+class ExtractionPhase:
+    """Phase II: extract knowledge from the generated output files."""
+
+    name = "extraction"
+
+    def run(self, context: CycleContext) -> int:
+        """Scan the run directory; returns the knowledge-object count."""
+        extractor = KnowledgeExtractor(jube_workspace=context.workspace)
+        benchmark = context.benchmark
+        path = benchmark.run_dir if isinstance(benchmark, JubeBenchmark) else None
+        context.extracted = extractor.extract(path)
+        context.result.knowledge = [
+            k for k in context.extracted if isinstance(k, Knowledge)
+        ]
+        context.result.io500_knowledge = [
+            k for k in context.extracted if isinstance(k, IO500Knowledge)
+        ]
+        return len(context.extracted)
+
+
+class PersistencePhase:
+    """Phase III: store the knowledge objects atomically.
+
+    The whole revolution's writes share one transaction: a failure on
+    the Nth object rolls back the N-1 already saved instead of leaving
+    partial knowledge rows behind.
+    """
+
+    name = "persistence"
+
+    def run(self, context: CycleContext) -> int:
+        """Save every extracted object in one transaction."""
+        ids: list[int] = []
+        iofh_ids: list[int] = []
+        with context.backend.transaction():
+            for k in context.extracted:
+                if isinstance(k, IO500Knowledge):
+                    iofh_ids.append(context.io500_repository.save(k))
+                else:
+                    ids.append(context.repository.save(k))
+        context.result.knowledge_ids = ids
+        context.result.iofh_ids = iofh_ids
+        return len(ids) + len(iofh_ids)
+
+
+class AnalysisPhase:
+    """Phase IV: render the explorer views of the new knowledge."""
+
+    name = "analysis"
+
+    def run(self, context: CycleContext) -> int:
+        """Build the analysis report; returns the section count."""
+        sections = []
+        benchmark_knowledge = context.result.knowledge
+        for k in benchmark_knowledge:
+            sections.append(context.viewer.render(k))
+        if len(benchmark_knowledge) > 1:
+            sections.append("Comparison:")
+            sections.append(ComparisonView(benchmark_knowledge).table())
+        for k in context.result.io500_knowledge:
+            sections.append(context.io500_viewer.render(k))
+        context.result.analysis_report = "\n".join(sections)
+        return len(sections)
+
+
+class UsagePhase:
+    """Phase V: run every registered use-case module."""
+
+    name = "usage"
+
+    def run(self, context: CycleContext) -> int:
+        """Run the use-case modules; returns how many ran."""
+        context.result.usage_results = context.modules.run_all(context.extracted)
+        return len(context.result.usage_results)
+
+
+def default_phase_registry() -> PhaseRegistry:
+    """Registry with the paper's five phases in canonical order."""
+    return PhaseRegistry(
+        [
+            GenerationPhase(),
+            ExtractionPhase(),
+            PersistencePhase(),
+            AnalysisPhase(),
+            UsagePhase(),
+        ]
+    )
 
 
 class KnowledgeCycle:
-    """Orchestrates the five phases over one testbed and one database."""
+    """Orchestrates the phase pipeline over one testbed and one backend."""
 
     def __init__(
         self,
         testbed: Testbed,
-        database: KnowledgeDatabase,
+        database: PersistenceBackend,
         workspace: str | Path,
         modules: ModuleRegistry | None = None,
+        phases: PhaseRegistry | None = None,
+        observers: Sequence[PhaseObserver] = (),
     ) -> None:
         self.testbed = testbed
         self.db = database
@@ -68,22 +187,33 @@ class KnowledgeCycle:
         self.repository = KnowledgeRepository(database)
         self.io500_repository = IO500Repository(database)
         self.modules = modules or default_module_registry()
+        self.phases = phases or default_phase_registry()
+        self.observers = list(observers)
         self.viewer = KnowledgeViewer()
         self.io500_viewer = IO500Viewer()
 
+    def _context(self, jube_xml: str = "") -> CycleContext:
+        return CycleContext(
+            testbed=self.testbed,
+            workspace=self.workspace,
+            backend=self.db,
+            repository=self.repository,
+            io500_repository=self.io500_repository,
+            modules=self.modules,
+            viewer=self.viewer,
+            io500_viewer=self.io500_viewer,
+            jube_xml=jube_xml,
+        )
+
     # ------------------------------------------------------------------
-    # the five phases
+    # single phases, runnable on their own
     # ------------------------------------------------------------------
     def generate(self, jube_xml: str) -> JubeBenchmark:
         """Phase I: run a JUBE-defined benchmark campaign."""
-        benchmark, _ = load_benchmark(
-            jube_xml,
-            DEFAULT_WORK_REGISTRY,
-            outpath=self.workspace,
-            shared={"testbed": self.testbed},
-        )
-        benchmark.run()
-        return benchmark
+        context = self._context(jube_xml)
+        GenerationPhase().run(context)
+        assert isinstance(context.benchmark, JubeBenchmark)
+        return context.benchmark
 
     def extract(self, path: str | Path | None = None) -> list[Knowledge | IO500Knowledge]:
         """Phase II: extract knowledge from output files."""
@@ -94,47 +224,33 @@ class KnowledgeCycle:
         self, knowledge: Sequence[Knowledge | IO500Knowledge]
     ) -> tuple[list[int], list[int]]:
         """Phase III: store knowledge objects; returns (ids, IOFH ids)."""
-        ids, iofh_ids = [], []
-        for k in knowledge:
-            if isinstance(k, IO500Knowledge):
-                iofh_ids.append(self.io500_repository.save(k))
-            else:
-                ids.append(self.repository.save(k))
-        return ids, iofh_ids
+        context = self._context()
+        context.extracted = list(knowledge)
+        PersistencePhase().run(context)
+        return context.result.knowledge_ids, context.result.iofh_ids
 
     def analyze(self, knowledge: Sequence[Knowledge | IO500Knowledge]) -> str:
         """Phase IV: render the explorer views of the new knowledge."""
-        sections = []
-        benchmark_knowledge = [k for k in knowledge if isinstance(k, Knowledge)]
-        for k in benchmark_knowledge:
-            sections.append(self.viewer.render(k))
-        if len(benchmark_knowledge) > 1:
-            sections.append("Comparison:")
-            sections.append(ComparisonView(benchmark_knowledge).table())
-        for k in knowledge:
-            if isinstance(k, IO500Knowledge):
-                sections.append(self.io500_viewer.render(k))
-        return "\n".join(sections)
+        context = self._context()
+        context.extracted = list(knowledge)
+        context.result.knowledge = [k for k in knowledge if isinstance(k, Knowledge)]
+        context.result.io500_knowledge = [
+            k for k in knowledge if isinstance(k, IO500Knowledge)
+        ]
+        AnalysisPhase().run(context)
+        return context.result.analysis_report
 
     def use(self, knowledge: Sequence[Knowledge | IO500Knowledge]) -> dict[str, object]:
         """Phase V: run every registered use-case module."""
         return self.modules.run_all(knowledge)
 
     # ------------------------------------------------------------------
-    # one full revolution
+    # one full revolution through the pipeline
     # ------------------------------------------------------------------
     def run_cycle(self, jube_xml: str) -> CycleResult:
-        """Run generation → extraction → persistence → analysis → usage."""
-        benchmark = self.generate(jube_xml)
-        extracted = self.extract(benchmark.run_dir)
-        result = CycleResult(
-            knowledge=[k for k in extracted if isinstance(k, Knowledge)],
-            io500_knowledge=[k for k in extracted if isinstance(k, IO500Knowledge)],
-        )
-        result.knowledge_ids, result.iofh_ids = self.persist(extracted)
-        result.analysis_report = self.analyze(extracted)
-        result.usage_results = self.use(extracted)
-        return result
+        """Run one revolution of whatever phases are registered."""
+        pipeline = PhasePipeline(self.phases, self.observers)
+        return pipeline.run(self._context(jube_xml))
 
 
 _DEFAULT_XML = """
@@ -153,18 +269,40 @@ _DEFAULT_XML = """
 """
 
 
+def _select_modules(spec: str) -> ModuleRegistry:
+    """Build a registry holding only the comma-separated module names."""
+    full = default_module_registry()
+    names = [name.strip() for name in spec.split(",") if name.strip()]
+    if not names:
+        raise UsageError(
+            f"--modules needs at least one module name; available: {full.names()}"
+        )
+    unknown = sorted(set(names) - set(full.names()))
+    if unknown:
+        raise UsageError(
+            f"unknown use-case module(s) {unknown}; available: {full.names()}"
+        )
+    selected = ModuleRegistry()
+    for name in dict.fromkeys(names):  # preserve order, drop duplicates
+        selected.register(full.get(name))
+    return selected
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """Console entry point: run revolutions of the knowledge cycle.
 
     Usage::
 
         repro-cycle [--config jube.xml] [--workspace DIR] [--db TARGET]
-                    [--seed N] [--repeat N]
+                    [--seed N] [--repeat N] [--modules a,b] [--timings]
 
     Without ``--config``, a small built-in IOR sweep demonstrates the
     cycle.
     """
     import argparse
+
+    from repro.core.persistence.database import KnowledgeDatabase
+    from repro.core.pipeline import TimingObserver
 
     parser = argparse.ArgumentParser(
         prog="repro-cycle", description="Run the five-phase I/O knowledge cycle."
@@ -174,9 +312,22 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser.add_argument("--db", default=":memory:", help="knowledge database path or URL")
     parser.add_argument("--seed", type=int, default=42, help="testbed seed")
     parser.add_argument("--repeat", type=int, default=1, help="number of revolutions")
+    parser.add_argument(
+        "--modules",
+        default=None,
+        help="comma-separated Phase-V use-case modules to run (default: all)",
+    )
+    parser.add_argument(
+        "--timings", action="store_true", help="print per-phase wall times"
+    )
     args = parser.parse_args(list(sys.argv[1:] if argv is None else argv))
     if args.repeat < 1:
         print("error: --repeat must be >= 1", file=sys.stderr)
+        return 2
+    try:
+        modules = _select_modules(args.modules) if args.modules is not None else None
+    except UsageError as exc:
+        print(f"error: {exc}", file=sys.stderr)
         return 2
     try:
         xml = (
@@ -187,15 +338,27 @@ def main(argv: Sequence[str] | None = None) -> int:
     except OSError as exc:
         print(f"error: cannot read {args.config}: {exc}", file=sys.stderr)
         return 1
+    timer = TimingObserver()
     try:
         with KnowledgeDatabase(args.db) as db:
-            cycle = KnowledgeCycle(Testbed.fuchs_csc(seed=args.seed), db, Path(args.workspace))
+            cycle = KnowledgeCycle(
+                Testbed.fuchs_csc(seed=args.seed),
+                db,
+                Path(args.workspace),
+                modules=modules,
+                observers=[timer] if args.timings else [],
+            )
             for revolution in range(args.repeat):
+                timer.reset()
                 result = cycle.run_cycle(xml)
                 print(f"=== revolution {revolution + 1}/{args.repeat} ===")
                 print(result.analysis_report)
                 for name, value in result.usage_results.items():
                     print(f"[{name}] {value}")
+                if args.timings:
+                    for t in timer.timings:
+                        print(f"[timing] {t.phase}: {t.duration_s:.3f}s "
+                              f"({t.artifacts} artifact(s))")
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1

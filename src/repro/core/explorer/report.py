@@ -19,7 +19,6 @@ from pathlib import Path
 from typing import Sequence
 
 from repro.core.explorer.bbox_chart import bounding_box_chart
-from repro.core.explorer.boxplot import overview_boxplot
 from repro.core.explorer.charts import render_svg
 from repro.core.explorer.comparison import ComparisonView
 from repro.core.explorer.io500_viewer import IO500Viewer

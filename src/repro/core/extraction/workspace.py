@@ -68,10 +68,7 @@ def scan_workspace(
     out: list[Knowledge | IO500Knowledge] = []
     candidates = [root] + sorted(p for p in root.rglob("*") if p.is_dir())
     for directory in candidates:
-        try:
-            out.extend(registry.extract_directory(directory))
-        except ExtractionError:
-            raise
+        out.extend(registry.extract_directory(directory))
     return out
 
 

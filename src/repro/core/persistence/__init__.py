@@ -1,5 +1,12 @@
-"""Phase III: knowledge persistence in SQLite (local file or sqlite:// URL)."""
+"""Phase III: knowledge persistence behind the backend protocol.
 
+The repositories depend on :class:`PersistenceBackend`; the built-in
+implementations are the synchronous SQLite :class:`KnowledgeDatabase`
+(local file or ``sqlite://`` URL) and the commit-coalescing
+:class:`BatchedBackend` wrapper.
+"""
+
+from repro.core.persistence.backend import BatchedBackend, PersistenceBackend
 from repro.core.persistence.database import KnowledgeDatabase, resolve_database_target
 from repro.core.persistence.io500_repo import IO500Repository
 from repro.core.persistence.queries import KnowledgeQueries, SummaryRow
@@ -16,6 +23,8 @@ from repro.core.persistence.transfer import (
 )
 
 __all__ = [
+    "PersistenceBackend",
+    "BatchedBackend",
     "KnowledgeDatabase",
     "resolve_database_target",
     "KnowledgeRepository",

@@ -6,12 +6,18 @@ spellings are accepted here — a plain filesystem path, ``:memory:``,
 or a ``sqlite:///...`` URL (the "remote" flavour of the prototype; the
 URL scheme is validated so pointing the tool at an unsupported engine
 fails loudly instead of silently writing a local file).
+
+:class:`KnowledgeDatabase` is the synchronous SQLite implementation of
+the :class:`~repro.core.persistence.backend.PersistenceBackend`
+protocol the repositories depend on.
 """
 
 from __future__ import annotations
 
 import sqlite3
+from contextlib import contextmanager
 from pathlib import Path
+from typing import Iterable, Iterator, Sequence
 
 from repro.core.persistence.schema import create_schema
 from repro.util.errors import PersistenceError
@@ -43,7 +49,8 @@ class KnowledgeDatabase:
     """An open knowledge database with the schema in place.
 
     Usable as a context manager; commits on clean exit, rolls back on
-    error.
+    error.  ``close()`` is idempotent, and using a closed database
+    raises :class:`PersistenceError` rather than a raw driver error.
     """
 
     def __init__(self, target: str | Path = ":memory:") -> None:
@@ -63,27 +70,92 @@ class KnowledgeDatabase:
         except sqlite3.Error as exc:
             raise PersistenceError(f"cannot open database {target!r}: {exc}") from exc
         self.target = resolved
+        self._closed = False
+        self._txn_depth = 0
 
     def __enter__(self) -> "KnowledgeDatabase":
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
-        if exc_type is None:
-            self.conn.commit()
-        else:
-            self.conn.rollback()
+        if not self._closed:
+            if exc_type is None:
+                self.conn.commit()
+            else:
+                self.conn.rollback()
         self.close()
 
     def close(self) -> None:
-        """Close the connection."""
+        """Close the connection; safe to call more than once."""
+        if self._closed:
+            return
+        self._closed = True
         self.conn.close()
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has been called."""
+        return self._closed
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise PersistenceError(f"database {self.target!r} is closed")
 
     def execute(self, sql: str, params: tuple = ()) -> sqlite3.Cursor:
         """Run one statement, wrapping driver errors."""
+        self._check_open()
         try:
             return self.conn.execute(sql, params)
         except sqlite3.Error as exc:
             raise PersistenceError(f"database error on {sql.split()[0]}: {exc}") from exc
+
+    def executemany(self, sql: str, seq_of_params: Iterable[Sequence]) -> sqlite3.Cursor:
+        """Run one statement over many parameter rows."""
+        self._check_open()
+        try:
+            return self.conn.executemany(sql, seq_of_params)
+        except sqlite3.Error as exc:
+            raise PersistenceError(f"database error on {sql.split()[0]}: {exc}") from exc
+
+    def commit(self) -> None:
+        """Commit completed writes (deferred inside a :meth:`transaction`)."""
+        self._check_open()
+        if self._txn_depth:
+            return
+        try:
+            self.conn.commit()
+        except sqlite3.Error as exc:
+            raise PersistenceError(f"database error on commit: {exc}") from exc
+
+    def rollback(self) -> None:
+        """Discard uncommitted writes."""
+        self._check_open()
+        try:
+            self.conn.rollback()
+        except sqlite3.Error as exc:
+            raise PersistenceError(f"database error on rollback: {exc}") from exc
+
+    @contextmanager
+    def transaction(self) -> Iterator["KnowledgeDatabase"]:
+        """Group writes into one atomic transaction.
+
+        Inner ``commit()`` calls become no-ops until the outermost
+        ``transaction()`` block exits cleanly; any exception rolls the
+        whole batch back.  Nested use composes: only the outermost
+        block touches the connection.
+        """
+        self._check_open()
+        self._txn_depth += 1
+        try:
+            yield self
+        except BaseException:
+            self._txn_depth -= 1
+            if self._txn_depth == 0 and not self._closed:
+                self.rollback()
+            raise
+        else:
+            self._txn_depth -= 1
+            if self._txn_depth == 0:
+                self.commit()
 
     def table_count(self, table: str) -> int:
         """Row count of one table (for tests and reports)."""

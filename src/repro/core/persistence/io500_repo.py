@@ -10,17 +10,23 @@ table and IOFHsResults table."
 
 from __future__ import annotations
 
+from typing import Sequence
+
 from repro.core.knowledge import IO500Knowledge, IO500Testcase
-from repro.core.persistence.database import KnowledgeDatabase
+from repro.core.persistence.backend import PersistenceBackend
 from repro.util.errors import PersistenceError
 
 __all__ = ["IO500Repository"]
 
 
 class IO500Repository:
-    """CRUD for IO500 knowledge objects."""
+    """CRUD for IO500 knowledge objects.
 
-    def __init__(self, db: KnowledgeDatabase) -> None:
+    Like :class:`~repro.core.persistence.repository.KnowledgeRepository`,
+    this depends only on the :class:`PersistenceBackend` protocol.
+    """
+
+    def __init__(self, db: PersistenceBackend) -> None:
         self.db = db
 
     def save(self, knowledge: IO500Knowledge) -> int:
@@ -40,10 +46,10 @@ class IO500Repository:
                 (iofh_id, testcase.name),
             )
             tc_id = int(tc_cur.lastrowid)
-            for key, value in sorted(testcase.options.items()):
-                self.db.execute(
+            if testcase.options:
+                self.db.executemany(
                     "INSERT INTO IOFHsOptions (testcase_id, key, value) VALUES (?, ?, ?)",
-                    (tc_id, key, str(value)),
+                    [(tc_id, key, str(value)) for key, value in sorted(testcase.options.items())],
                 )
             self.db.execute(
                 "INSERT INTO IOFHsResults (testcase_id, metric, value, unit, time_s) "
@@ -70,9 +76,14 @@ class IO500Repository:
                     int(knowledge.system.get("memory_bytes", 0) or 0),
                 ),
             )
-        self.db.conn.commit()
+        self.db.commit()
         knowledge.iofh_id = iofh_id
         return iofh_id
+
+    def save_many(self, knowledge: Sequence[IO500Knowledge]) -> list[int]:
+        """Persist several IO500 runs in one transaction (all or nothing)."""
+        with self.db.transaction():
+            return [self.save(k) for k in knowledge]
 
     def load(self, iofh_id: int) -> IO500Knowledge:
         """Load one IO500 run by IOFH id."""
@@ -146,4 +157,4 @@ class IO500Repository:
         cur = self.db.execute("DELETE FROM IOFHsRuns WHERE id = ?", (iofh_id,))
         if cur.rowcount == 0:
             raise PersistenceError(f"no IO500 run with IOFH id {iofh_id}")
-        self.db.conn.commit()
+        self.db.commit()

@@ -10,6 +10,7 @@ iteration results must round-trip, not just the summaries.
 from __future__ import annotations
 
 import json
+from typing import Sequence
 
 from repro.core.knowledge import (
     FilesystemInfo,
@@ -17,16 +18,21 @@ from repro.core.knowledge import (
     KnowledgeResult,
     KnowledgeSummary,
 )
-from repro.core.persistence.database import KnowledgeDatabase
+from repro.core.persistence.backend import PersistenceBackend
 from repro.util.errors import PersistenceError
 
 __all__ = ["KnowledgeRepository"]
 
 
 class KnowledgeRepository:
-    """CRUD for benchmark knowledge objects."""
+    """CRUD for benchmark knowledge objects.
 
-    def __init__(self, db: KnowledgeDatabase) -> None:
+    Depends only on the :class:`PersistenceBackend` protocol, so any
+    conforming engine (plain SQLite, batched, future async/sharded
+    backends) can hold the knowledge base.
+    """
+
+    def __init__(self, db: PersistenceBackend) -> None:
         self.db = db
 
     # ------------------------------------------------------------------
@@ -63,9 +69,18 @@ class KnowledgeRepository:
             self._save_filesystem(perf_id, knowledge.filesystem)
         if knowledge.system is not None:
             self._save_system(perf_id, knowledge.system)
-        self.db.conn.commit()
+        self.db.commit()
         knowledge.knowledge_id = perf_id
         return perf_id
+
+    def save_many(self, knowledge: Sequence[Knowledge]) -> list[int]:
+        """Persist several knowledge objects in one transaction.
+
+        Either every object lands or none does — a failure mid-batch
+        rolls the whole batch back.
+        """
+        with self.db.transaction():
+            return [self.save(k) for k in knowledge]
 
     def _save_summary(self, perf_id: int, s: KnowledgeSummary) -> int:
         cur = self.db.execute(
@@ -91,25 +106,28 @@ class KnowledgeRepository:
             ),
         )
         summary_id = int(cur.lastrowid)
-        for r in s.results:
-            self.db.execute(
+        if s.results:
+            self.db.executemany(
                 """
                 INSERT INTO results
                     (summaries_id, iteration, bandwidth, ops, latency,
                      openTime, wrRdTime, closeTime, totalTime)
                 VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)
                 """,
-                (
-                    summary_id,
-                    r.iteration,
-                    r.bandwidth_mib,
-                    r.iops,
-                    r.latency_s,
-                    r.open_time_s,
-                    r.wrrd_time_s,
-                    r.close_time_s,
-                    r.total_time_s,
-                ),
+                [
+                    (
+                        summary_id,
+                        r.iteration,
+                        r.bandwidth_mib,
+                        r.iops,
+                        r.latency_s,
+                        r.open_time_s,
+                        r.wrrd_time_s,
+                        r.close_time_s,
+                        r.total_time_s,
+                    )
+                    for r in s.results
+                ],
             )
         return summary_id
 
@@ -265,4 +283,4 @@ class KnowledgeRepository:
         cur = self.db.execute("DELETE FROM performances WHERE id = ?", (knowledge_id,))
         if cur.rowcount == 0:
             raise PersistenceError(f"no knowledge object with id {knowledge_id}")
-        self.db.conn.commit()
+        self.db.commit()

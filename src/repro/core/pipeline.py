@@ -1,0 +1,303 @@
+"""The phase-pipeline engine — pluggable orchestration of the cycle.
+
+The paper stresses that "further modules … can be integrated in the
+future with minimal effort" (Fig. 4).  This module generalises that
+promise from Phase V to the whole cycle: a revolution is a sequence of
+:class:`Phase` objects held in an ordered :class:`PhaseRegistry`
+(mirroring the use-case :class:`~repro.core.registry.ModuleRegistry`),
+executed by :class:`PhasePipeline` over a shared :class:`CycleContext`.
+Deployments insert, replace, or drop phases — a validation phase
+between extraction and persistence, say — without touching the engine
+or :class:`~repro.core.cycle.KnowledgeCycle`.
+
+Every transition is observable: :class:`PhaseObserver` callbacks fire
+on phase start/finish/error with wall time and artifact counts, so a
+revolution is traceable end to end.  :class:`TimingObserver` and
+:class:`LoggingObserver` are the built-in consumers.
+"""
+
+from __future__ import annotations
+
+import logging
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterable, Iterator, Protocol, Sequence, runtime_checkable
+
+from repro.core.knowledge import IO500Knowledge, Knowledge
+from repro.util.errors import PipelineError
+
+if TYPE_CHECKING:  # pragma: no cover - imports for type checkers only
+    from repro.core.explorer.io500_viewer import IO500Viewer
+    from repro.core.explorer.viewer import KnowledgeViewer
+    from repro.core.persistence.backend import PersistenceBackend
+    from repro.core.persistence.io500_repo import IO500Repository
+    from repro.core.persistence.repository import KnowledgeRepository
+    from repro.core.registry import ModuleRegistry
+    from repro.iostack.stack import Testbed
+
+__all__ = [
+    "CycleResult",
+    "CycleContext",
+    "Phase",
+    "PhaseRegistry",
+    "PhaseObserver",
+    "PhaseTiming",
+    "TimingObserver",
+    "LoggingObserver",
+    "PhasePipeline",
+]
+
+
+@dataclass(slots=True)
+class CycleResult:
+    """Everything one revolution of the cycle produced."""
+
+    knowledge: list[Knowledge] = field(default_factory=list)
+    io500_knowledge: list[IO500Knowledge] = field(default_factory=list)
+    knowledge_ids: list[int] = field(default_factory=list)
+    iofh_ids: list[int] = field(default_factory=list)
+    usage_results: dict[str, object] = field(default_factory=dict)
+    analysis_report: str = ""
+
+    @property
+    def all_knowledge(self) -> list[Knowledge | IO500Knowledge]:
+        """Benchmark and IO500 knowledge together."""
+        return [*self.knowledge, *self.io500_knowledge]
+
+
+@dataclass(slots=True)
+class CycleContext:
+    """Shared state one revolution's phases read and write.
+
+    The engine never interprets these fields; each phase takes what it
+    needs and leaves its products for downstream phases.  Custom phases
+    can stash arbitrary extras in :attr:`artifacts`.
+    """
+
+    testbed: "Testbed"
+    workspace: Path
+    backend: "PersistenceBackend"
+    repository: "KnowledgeRepository"
+    io500_repository: "IO500Repository"
+    modules: "ModuleRegistry"
+    viewer: "KnowledgeViewer"
+    io500_viewer: "IO500Viewer"
+    jube_xml: str = ""
+    benchmark: object | None = None
+    extracted: list[Knowledge | IO500Knowledge] = field(default_factory=list)
+    result: CycleResult = field(default_factory=CycleResult)
+    artifacts: dict[str, object] = field(default_factory=dict)
+
+
+@runtime_checkable
+class Phase(Protocol):
+    """One pluggable stage of a revolution.
+
+    ``run`` mutates the context and returns the number of artifacts the
+    phase produced (or ``None`` when counting makes no sense); the
+    count is reported to observers.
+    """
+
+    name: str
+
+    def run(self, context: CycleContext) -> int | None:  # pragma: no cover - protocol
+        """Execute the phase over the shared context."""
+        ...
+
+
+class PhaseRegistry:
+    """Ordered, named collection of phases.
+
+    Mirrors :class:`~repro.core.registry.ModuleRegistry`, but order
+    matters: phases execute in registration order, and ``before`` /
+    ``after`` anchors position an insertion relative to an existing
+    phase.
+    """
+
+    def __init__(self, phases: Iterable[Phase] = ()) -> None:
+        self._phases: list[Phase] = []
+        for phase in phases:
+            self.register(phase)
+
+    def _index(self, name: str) -> int:
+        for i, phase in enumerate(self._phases):
+            if phase.name == name:
+                return i
+        raise PipelineError(f"no phase {name!r} registered; registered: {self.names()}")
+
+    def register(
+        self, phase: Phase, *, before: str | None = None, after: str | None = None
+    ) -> None:
+        """Add a phase; names must be unique.
+
+        With ``before``/``after`` (mutually exclusive) the phase is
+        inserted relative to the named existing phase; otherwise it is
+        appended.
+        """
+        if not getattr(phase, "name", ""):
+            raise PipelineError(f"phase {phase!r} has no name")
+        if phase.name in self.names():
+            raise PipelineError(f"phase {phase.name!r} already registered")
+        if before is not None and after is not None:
+            raise PipelineError("register() takes before= or after=, not both")
+        if before is not None:
+            self._phases.insert(self._index(before), phase)
+        elif after is not None:
+            self._phases.insert(self._index(after) + 1, phase)
+        else:
+            self._phases.append(phase)
+
+    def replace(self, name: str, phase: Phase) -> Phase:
+        """Swap the named phase for another in place; returns the old one."""
+        if not getattr(phase, "name", ""):
+            raise PipelineError(f"phase {phase!r} has no name")
+        i = self._index(name)
+        if phase.name != name and phase.name in self.names():
+            raise PipelineError(f"phase {phase.name!r} already registered")
+        old, self._phases[i] = self._phases[i], phase
+        return old
+
+    def unregister(self, name: str) -> Phase:
+        """Remove and return the named phase."""
+        return self._phases.pop(self._index(name))
+
+    def get(self, name: str) -> Phase:
+        """Look up one phase by name."""
+        return self._phases[self._index(name)]
+
+    def names(self) -> list[str]:
+        """Phase names in execution order."""
+        return [phase.name for phase in self._phases]
+
+    def __iter__(self) -> Iterator[Phase]:
+        return iter(list(self._phases))
+
+    def __len__(self) -> int:
+        return len(self._phases)
+
+    def __contains__(self, name: object) -> bool:
+        return any(phase.name == name for phase in self._phases)
+
+
+class PhaseObserver:
+    """Callbacks fired around every phase of a revolution.
+
+    Subclass and override what you need; the defaults are no-ops, so an
+    observer only pays for what it watches.
+    """
+
+    def on_phase_start(self, phase: Phase, context: CycleContext) -> None:
+        """A phase is about to run."""
+
+    def on_phase_finish(
+        self, phase: Phase, context: CycleContext, duration_s: float, artifacts: int
+    ) -> None:
+        """A phase completed; ``artifacts`` is its reported product count."""
+
+    def on_phase_error(
+        self, phase: Phase, context: CycleContext, duration_s: float, error: BaseException
+    ) -> None:
+        """A phase raised; the exception propagates after all observers fire."""
+
+
+@dataclass(frozen=True, slots=True)
+class PhaseTiming:
+    """One observed phase execution."""
+
+    phase: str
+    duration_s: float
+    artifacts: int
+    error: str | None = None
+
+
+class TimingObserver(PhaseObserver):
+    """Records wall time and artifact count for every phase executed."""
+
+    def __init__(self) -> None:
+        self.timings: list[PhaseTiming] = []
+
+    def on_phase_finish(
+        self, phase: Phase, context: CycleContext, duration_s: float, artifacts: int
+    ) -> None:
+        """Record one completed phase."""
+        self.timings.append(PhaseTiming(phase.name, duration_s, artifacts))
+
+    def on_phase_error(
+        self, phase: Phase, context: CycleContext, duration_s: float, error: BaseException
+    ) -> None:
+        """Record one failed phase with its exception."""
+        self.timings.append(PhaseTiming(phase.name, duration_s, 0, error=repr(error)))
+
+    @property
+    def durations(self) -> dict[str, float]:
+        """Phase name → total wall seconds across all observed revolutions."""
+        out: dict[str, float] = {}
+        for t in self.timings:
+            out[t.phase] = out.get(t.phase, 0.0) + t.duration_s
+        return out
+
+    def reset(self) -> None:
+        """Forget everything observed so far."""
+        self.timings.clear()
+
+
+class LoggingObserver(PhaseObserver):
+    """Emits one log line per phase transition on ``repro.pipeline``."""
+
+    def __init__(self, logger: logging.Logger | None = None) -> None:
+        self.logger = logger or logging.getLogger("repro.pipeline")
+
+    def on_phase_start(self, phase: Phase, context: CycleContext) -> None:
+        """Log the phase start at DEBUG."""
+        self.logger.debug("phase %s: start", phase.name)
+
+    def on_phase_finish(
+        self, phase: Phase, context: CycleContext, duration_s: float, artifacts: int
+    ) -> None:
+        """Log the completion, duration and artifact count at INFO."""
+        self.logger.info(
+            "phase %s: done in %.3fs (%d artifact(s))", phase.name, duration_s, artifacts
+        )
+
+    def on_phase_error(
+        self, phase: Phase, context: CycleContext, duration_s: float, error: BaseException
+    ) -> None:
+        """Log the failure at ERROR."""
+        self.logger.error("phase %s: failed after %.3fs: %s", phase.name, duration_s, error)
+
+
+class PhasePipeline:
+    """Executes the registered phases, in order, over one context."""
+
+    def __init__(
+        self, registry: PhaseRegistry, observers: Sequence[PhaseObserver] = ()
+    ) -> None:
+        if len(registry) == 0:
+            raise PipelineError("cannot build a pipeline from an empty phase registry")
+        self.registry = registry
+        self.observers = list(observers)
+
+    def run(self, context: CycleContext) -> CycleResult:
+        """Run every phase over ``context``; returns ``context.result``.
+
+        A phase exception aborts the revolution after the error
+        observers have fired, leaving the context as the failed phase
+        left it — partial artifacts stay inspectable.
+        """
+        for phase in self.registry:
+            for observer in self.observers:
+                observer.on_phase_start(phase, context)
+            started = time.perf_counter()
+            try:
+                produced = phase.run(context)
+            except BaseException as exc:
+                elapsed = time.perf_counter() - started
+                for observer in self.observers:
+                    observer.on_phase_error(phase, context, elapsed, exc)
+                raise
+            elapsed = time.perf_counter() - started
+            count = int(produced) if produced is not None else 0
+            for observer in self.observers:
+                observer.on_phase_finish(phase, context, elapsed, count)
+        return context.result

@@ -23,6 +23,7 @@ __all__ = [
     "BenchmarkError",
     "ExtractionError",
     "PersistenceError",
+    "PipelineError",
     "AnalysisError",
     "UsageError",
     "JubeError",
@@ -88,6 +89,10 @@ class ExtractionError(ReproError):
 
 class PersistenceError(ReproError):
     """Phase III: database operation failed."""
+
+
+class PipelineError(ReproError):
+    """The phase-pipeline engine was misconfigured or misused."""
 
 
 class AnalysisError(ReproError):

@@ -143,6 +143,40 @@ class TestCycleCLI:
 
         assert cycle_main(["--repeat", "0"]) == 2
 
+    def test_modules_selection(self, tmp_path, capsys):
+        from repro.core.cycle import main as cycle_main
+
+        rc = cycle_main(
+            ["--workspace", str(tmp_path), "--modules", "anomaly-detection"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "[anomaly-detection]" in out
+        assert "[recommendation]" not in out
+
+    def test_modules_unknown_lists_available(self, tmp_path, capsys):
+        from repro.core.cycle import main as cycle_main
+
+        rc = cycle_main(["--workspace", str(tmp_path), "--modules", "nope,also-nope"])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "unknown use-case module(s)" in err
+        assert "anomaly-detection" in err and "recommendation" in err
+
+    def test_modules_empty_rejected(self, tmp_path, capsys):
+        from repro.core.cycle import main as cycle_main
+
+        assert cycle_main(["--workspace", str(tmp_path), "--modules", " , "]) == 2
+        assert "at least one module name" in capsys.readouterr().err
+
+    def test_timings_flag(self, tmp_path, capsys):
+        from repro.core.cycle import main as cycle_main
+
+        assert cycle_main(["--workspace", str(tmp_path), "--timings"]) == 0
+        out = capsys.readouterr().out
+        for phase in ("generation", "extraction", "persistence", "analysis", "usage"):
+            assert f"[timing] {phase}:" in out
+
 
 class TestExploreDiff:
     def test_diff_two_runs(self, tmp_path, capsys):

@@ -41,8 +41,26 @@ class TestModuleRegistry:
         reg = ModuleRegistry()
         module = UseCaseModule("m", "", lambda ks: None)
         reg.register(module)
-        with pytest.raises(UsageError):
+        with pytest.raises(UsageError, match="already registered"):
             reg.register(module)
+        # A same-named module is rejected too, not just the same object.
+        with pytest.raises(UsageError):
+            reg.register(UseCaseModule("m", "other", lambda ks: 1))
+
+    def test_unregister_missing(self):
+        reg = ModuleRegistry()
+        with pytest.raises(UsageError, match="no use-case module 'ghost'"):
+            reg.unregister("ghost")
+
+    def test_get_missing_lists_available(self):
+        reg = ModuleRegistry()
+        reg.register(UseCaseModule("present", "", lambda ks: None))
+        with pytest.raises(UsageError, match=r"\['present'\]"):
+            reg.get("absent")
+
+    def test_run_missing(self):
+        with pytest.raises(UsageError):
+            ModuleRegistry().run("nope", [])
 
     def test_default_registry_modules(self):
         assert default_module_registry().names() == ["anomaly-detection", "recommendation"]

@@ -10,7 +10,7 @@ import json
 
 import pytest
 
-from repro.core.extraction import KnowledgeExtractor, parse_ior_output, scan_workspace
+from repro.core.extraction import KnowledgeExtractor, scan_workspace
 from repro.core.persistence import (
     KnowledgeDatabase,
     KnowledgeRepository,

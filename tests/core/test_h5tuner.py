@@ -7,7 +7,7 @@ from repro.core.usage import H5TunerConfig, tune
 from repro.iostack.stack import Testbed
 from repro.mpi.hints import MPIIOHints
 from repro.util.errors import UsageError
-from repro.util.units import KIB, MIB
+from repro.util.units import MIB
 
 
 def shared_small_kernel():

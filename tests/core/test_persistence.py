@@ -81,13 +81,53 @@ class TestDatabase:
         assert resolve_database_target("sqlite:///tmp/x.db") == "/tmp/x.db"
         assert resolve_database_target("local.db") == "local.db"
 
+    def test_url_resolution_relative_vs_absolute(self):
+        # Two slashes -> relative path, three or more -> absolute.
+        assert resolve_database_target("sqlite://rel.db") == "rel.db"
+        assert resolve_database_target("sqlite:///abs.db") == "/abs.db"
+        assert resolve_database_target("sqlite:///var/lib/k.db") == "/var/lib/k.db"
+        assert resolve_database_target("sqlite3:///tmp/x.db") == "/tmp/x.db"
+
+    def test_path_object_passes_through(self, tmp_path):
+        target = tmp_path / "k.db"
+        assert resolve_database_target(target) == str(target)
+
     def test_bad_scheme_rejected(self):
-        with pytest.raises(PersistenceError):
+        with pytest.raises(PersistenceError, match="unsupported database URL scheme"):
             resolve_database_target("postgres://host/db")
+        with pytest.raises(PersistenceError):
+            resolve_database_target("mysql://host/db")
 
     def test_empty_url_path_rejected(self):
-        with pytest.raises(PersistenceError):
+        # No path at all, and slashes-only paths, are both rejected.
+        with pytest.raises(PersistenceError, match="has no path"):
             resolve_database_target("sqlite://")
+        with pytest.raises(PersistenceError, match="has no path"):
+            resolve_database_target("sqlite:///")
+        with pytest.raises(PersistenceError, match="has no path"):
+            resolve_database_target("sqlite3://")
+
+    def test_close_is_idempotent(self):
+        db = KnowledgeDatabase(":memory:")
+        db.close()
+        db.close()
+        assert db.closed
+
+    def test_context_exit_after_close(self):
+        # close() inside the with-block must not break __exit__.
+        with KnowledgeDatabase(":memory:") as db:
+            db.close()
+        assert db.closed
+
+    def test_use_after_close_raises_persistence_error(self):
+        db = KnowledgeDatabase(":memory:")
+        db.close()
+        with pytest.raises(PersistenceError, match="closed"):
+            db.execute("SELECT 1")
+        with pytest.raises(PersistenceError, match="closed"):
+            db.executemany("SELECT ?", [(1,)])
+        with pytest.raises(PersistenceError, match="closed"):
+            db.table_count("performances")
 
     def test_file_database_round_trip(self, tmp_path):
         target = tmp_path / "knowledge.db"

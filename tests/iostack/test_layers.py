@@ -1,6 +1,5 @@
 """Tests for the layered I/O stack and the testbed assembly."""
 
-import numpy as np
 import pytest
 
 from repro.iostack.stack import Testbed

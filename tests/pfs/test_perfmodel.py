@@ -14,7 +14,7 @@ from repro.cluster.interconnect import Interconnect
 from repro.pfs.beegfs import BeeGFS
 from repro.pfs.faults import Fault, FaultInjector, FaultScope
 from repro.pfs.layout import StripeLayout
-from repro.pfs.perfmodel import PerfModelParams, PhaseContext
+from repro.pfs.perfmodel import PhaseContext
 from repro.util.errors import ConfigurationError
 from repro.util.units import KIB, MIB
 

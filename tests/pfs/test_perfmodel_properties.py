@@ -6,7 +6,6 @@ monotone in size, adding load never helps, and every penalty factor
 stays in (0, 1].
 """
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -7,7 +7,6 @@ schema version for forward compatibility.
 
 import time
 
-import pytest
 
 from repro.benchmarks_io.io500 import IO500Config, run_io500
 from repro.benchmarks_io.ior import IORConfig, run_ior
