@@ -147,6 +147,10 @@ def _run_phase(
         "op": operation,
         **(extra_tags or {}),
     }
+    # Hard faults fire at the phase boundary: a matching fault with a
+    # fail_probability aborts this iteration with a typed, possibly
+    # transient error (the resilience layer decides whether to retry).
+    fs.faults.maybe_raise(tags)
     access = "write" if operation == "write" else "read"
     pctx = ctx.phase_ctx(
         access,

@@ -117,6 +117,9 @@ def run_mdtest_phase(
     shared_dir = not config.unique_dir_per_task
     access = "write" if phase in ("create", "remove") else "read"
     tags = {"benchmark": "mdtest", "run": run_id, "phase": phase, **extra_tags}
+    # Hard faults (e.g. a flaky metadata service) abort the phase with a
+    # typed, possibly transient error before any namespace bookkeeping.
+    fs.faults.maybe_raise(tags)
     pctx = ctx.phase_ctx(access, shared_file=False, tags=tags)
     phase_factor = fs.model.phase_noise_factor(pctx, kind="metadata")
     md_op = {"create": "create", "stat": "stat", "read": "open", "remove": "remove"}[phase]

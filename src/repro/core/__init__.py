@@ -11,8 +11,10 @@ from repro.core.knowledge import (
 )
 from repro.core.pipeline import (
     CycleContext,
+    FailurePolicy,
     LoggingObserver,
     Phase,
+    PhaseFailure,
     PhaseObserver,
     PhasePipeline,
     PhaseRegistry,
@@ -20,6 +22,7 @@ from repro.core.pipeline import (
     TimingObserver,
 )
 from repro.core.registry import ModuleRegistry, UseCaseModule, default_module_registry
+from repro.core.resilience import CircuitBreaker, Deadline, RetryPolicy, retry
 
 __all__ = [
     "Knowledge",
@@ -32,6 +35,8 @@ __all__ = [
     "CycleResult",
     "CycleContext",
     "Phase",
+    "PhaseFailure",
+    "FailurePolicy",
     "PhaseRegistry",
     "PhasePipeline",
     "PhaseObserver",
@@ -42,4 +47,8 @@ __all__ = [
     "ModuleRegistry",
     "UseCaseModule",
     "default_module_registry",
+    "RetryPolicy",
+    "retry",
+    "Deadline",
+    "CircuitBreaker",
 ]

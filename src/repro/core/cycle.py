@@ -21,8 +21,9 @@ touching this module.
 from __future__ import annotations
 
 import sys
+import time
 from pathlib import Path
-from typing import Sequence
+from typing import Callable, Mapping, Sequence
 
 from repro.core.explorer.comparison import ComparisonView
 from repro.core.explorer.io500_viewer import IO500Viewer
@@ -35,11 +36,13 @@ from repro.core.persistence.repository import KnowledgeRepository
 from repro.core.pipeline import (
     CycleContext,
     CycleResult,
+    FailurePolicy,
     PhaseObserver,
     PhasePipeline,
     PhaseRegistry,
 )
 from repro.core.registry import ModuleRegistry, default_module_registry
+from repro.core.resilience import RetryPolicy
 from repro.iostack.stack import Testbed
 from repro.jube.benchmark import JubeBenchmark
 from repro.jube.steps import DEFAULT_WORK_REGISTRY
@@ -180,6 +183,9 @@ class KnowledgeCycle:
         modules: ModuleRegistry | None = None,
         phases: PhaseRegistry | None = None,
         observers: Sequence[PhaseObserver] = (),
+        policies: Mapping[str, FailurePolicy] | None = None,
+        default_policy: FailurePolicy | None = None,
+        sleep: Callable[[float], None] = time.sleep,
     ) -> None:
         self.testbed = testbed
         self.db = database
@@ -189,6 +195,9 @@ class KnowledgeCycle:
         self.modules = modules or default_module_registry()
         self.phases = phases or default_phase_registry()
         self.observers = list(observers)
+        self.policies = dict(policies or {})
+        self.default_policy = default_policy
+        self.sleep = sleep
         self.viewer = KnowledgeViewer()
         self.io500_viewer = IO500Viewer()
 
@@ -248,8 +257,19 @@ class KnowledgeCycle:
     # one full revolution through the pipeline
     # ------------------------------------------------------------------
     def run_cycle(self, jube_xml: str) -> CycleResult:
-        """Run one revolution of whatever phases are registered."""
-        pipeline = PhasePipeline(self.phases, self.observers)
+        """Run one revolution of whatever phases are registered.
+
+        With a ``"skip"`` failure policy a failed revolution does not
+        raise: the failure is quarantined in the returned
+        :attr:`CycleResult.failures` and the next call runs normally.
+        """
+        pipeline = PhasePipeline(
+            self.phases,
+            self.observers,
+            policies=self.policies,
+            default_policy=self.default_policy,
+            sleep=self.sleep,
+        )
         return pipeline.run(self._context(jube_xml))
 
 
@@ -295,12 +315,18 @@ def main(argv: Sequence[str] | None = None) -> int:
 
         repro-cycle [--config jube.xml] [--workspace DIR] [--db TARGET]
                     [--seed N] [--repeat N] [--modules a,b] [--timings]
+                    [--retries N] [--phase-timeout S] [--on-failure skip|abort]
 
     Without ``--config``, a small built-in IOR sweep demonstrates the
-    cycle.
+    cycle.  ``--retries`` arms per-phase retry with deterministic
+    backoff (and wraps the database in a :class:`ResilientBackend`),
+    ``--phase-timeout`` bounds each phase's wall time, and
+    ``--on-failure=skip`` quarantines a failed revolution instead of
+    aborting the run.
     """
     import argparse
 
+    from repro.core.persistence.backend import ResilientBackend
     from repro.core.persistence.database import KnowledgeDatabase
     from repro.core.pipeline import TimingObserver
 
@@ -320,9 +346,34 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser.add_argument(
         "--timings", action="store_true", help="print per-phase wall times"
     )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        help="retries per failed phase on transient errors (default: 0)",
+    )
+    parser.add_argument(
+        "--phase-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-time budget per phase (default: unlimited)",
+    )
+    parser.add_argument(
+        "--on-failure",
+        choices=("skip", "abort"),
+        default="abort",
+        help="quarantine a failed revolution (skip) or abort the run (default)",
+    )
     args = parser.parse_args(list(sys.argv[1:] if argv is None else argv))
     if args.repeat < 1:
         print("error: --repeat must be >= 1", file=sys.stderr)
+        return 2
+    if args.retries < 0:
+        print("error: --retries must be >= 0", file=sys.stderr)
+        return 2
+    if args.phase_timeout is not None and args.phase_timeout <= 0:
+        print("error: --phase-timeout must be positive", file=sys.stderr)
         return 2
     try:
         modules = _select_modules(args.modules) if args.modules is not None else None
@@ -339,26 +390,47 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(f"error: cannot read {args.config}: {exc}", file=sys.stderr)
         return 1
     timer = TimingObserver()
+    retry_policy = (
+        RetryPolicy(max_attempts=args.retries + 1, base_delay_s=0.05, seed=args.seed)
+        if args.retries > 0
+        else None
+    )
+    default_policy = FailurePolicy(
+        retry=retry_policy,
+        on_exhausted=args.on_failure,
+        timeout_s=args.phase_timeout,
+    )
     try:
         with KnowledgeDatabase(args.db) as db:
+            backend: PersistenceBackend = (
+                ResilientBackend(db) if args.retries > 0 else db
+            )
             cycle = KnowledgeCycle(
                 Testbed.fuchs_csc(seed=args.seed),
-                db,
+                backend,
                 Path(args.workspace),
                 modules=modules,
                 observers=[timer] if args.timings else [],
+                default_policy=default_policy,
             )
             for revolution in range(args.repeat):
                 timer.reset()
                 result = cycle.run_cycle(xml)
                 print(f"=== revolution {revolution + 1}/{args.repeat} ===")
+                if result.failures:
+                    for failure in result.failures:
+                        print(f"[quarantined] {failure}", file=sys.stderr)
+                    continue
                 print(result.analysis_report)
                 for name, value in result.usage_results.items():
                     print(f"[{name}] {value}")
                 if args.timings:
                     for t in timer.timings:
                         print(f"[timing] {t.phase}: {t.duration_s:.3f}s "
-                              f"({t.artifacts} artifact(s))")
+                              f"({t.artifacts} artifact(s), "
+                              f"{t.attempts} attempt(s))")
+            if isinstance(backend, ResilientBackend):
+                backend.flush()
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1

@@ -10,14 +10,30 @@ KnowledgeDatabase` is the synchronous SQLite backend;
 :class:`BatchedBackend` wraps any backend and coalesces a burst of
 per-object commits into a single transaction — the write path for
 ingesting large corpora such as the public IO500 submission data.
+:class:`ResilientBackend` wraps any backend with retry/backoff against
+transient driver errors ("database is locked") and a circuit breaker
+that degrades into a read-only mode buffering unsaved writes for a
+later flush — so one wedged database never loses a revolution's
+knowledge.
 """
 
 from __future__ import annotations
 
+import re
 import sqlite3
-from typing import Iterable, Protocol, Sequence, runtime_checkable
+import time
+from contextlib import contextmanager
+from typing import Callable, Iterable, Protocol, Sequence, runtime_checkable
 
-__all__ = ["PersistenceBackend", "BatchedBackend"]
+from repro.core.resilience import CircuitBreaker, RetryPolicy, retry
+from repro.util.errors import PersistenceError
+
+__all__ = [
+    "PersistenceBackend",
+    "BatchedBackend",
+    "ResilientBackend",
+    "transient_db_error",
+]
 
 
 @runtime_checkable
@@ -115,3 +131,279 @@ class BatchedBackend:
         else:
             self.rollback()
         self.close()
+
+
+# ----------------------------------------------------------------------
+# resilient wrapper: retry, circuit breaker, degraded write buffering
+# ----------------------------------------------------------------------
+_TRANSIENT_DB_MARKERS = ("database is locked", "database table is locked", "busy", "disk i/o error")
+
+
+def transient_db_error(exc: BaseException) -> bool:
+    """Whether a database error is worth retrying.
+
+    SQLite signals contention as ``sqlite3.OperationalError`` with a
+    "database is locked"/"busy" message — possibly already wrapped into
+    :class:`PersistenceError` by :class:`~repro.core.persistence.
+    database.KnowledgeDatabase`.  Errors carrying a truthy ``transient``
+    attribute (injected faults) count too.
+    """
+    if getattr(exc, "transient", False):
+        return True
+    if isinstance(exc, (sqlite3.OperationalError, PersistenceError)):
+        msg = str(exc).lower()
+        return any(marker in msg for marker in _TRANSIENT_DB_MARKERS)
+    return False
+
+
+_WRITE_VERBS = frozenset({"insert", "update", "delete", "replace", "create", "drop", "alter"})
+_INSERT_TABLE_RE = re.compile(r"insert\s+(?:or\s+\w+\s+)?into\s+([A-Za-z_]\w*)", re.IGNORECASE)
+
+
+class _BufferedCursor:
+    """Stand-in cursor returned for a write deferred in degraded mode."""
+
+    def __init__(self, lastrowid: int | None) -> None:
+        self.lastrowid = lastrowid
+        self.rowcount = -1
+
+    def fetchone(self):
+        raise PersistenceError("statement was buffered (degraded mode); nothing to fetch")
+
+    def fetchall(self):
+        raise PersistenceError("statement was buffered (degraded mode); nothing to fetch")
+
+
+class ResilientBackend:
+    """Retry + circuit-breaker wrapper around any persistence backend.
+
+    Transient driver errors (``transient_db_error``) are retried under
+    a deterministic :class:`RetryPolicy`.  A write that still fails —
+    or arrives while the breaker is OPEN — is *buffered* instead of
+    raised: the backend degrades to read-only, knowledge keeps
+    accumulating in order, and :meth:`flush` (called automatically by
+    the half-open probe and by ``close()``) replays the buffer once the
+    database heals.  Reads always pass straight through.
+
+    Buffered ``INSERT`` statements are handed predicted ``lastrowid``
+    values (continuing the table's rowid sequence) so repositories can
+    keep wiring up child rows; the replay verifies every prediction and
+    fails loudly on a mismatch.  This is sound under this backend's
+    single-writer assumption — the same assumption SQLite itself makes
+    of the local knowledge base.
+    """
+
+    def __init__(
+        self,
+        backend: PersistenceBackend,
+        retry_policy: RetryPolicy | None = None,
+        breaker: CircuitBreaker | None = None,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        self.backend = backend
+        self.retry_policy = retry_policy or RetryPolicy(
+            max_attempts=4, base_delay_s=0.01, retryable=transient_db_error
+        )
+        self.breaker = breaker or CircuitBreaker(failure_threshold=3, reset_timeout_s=1.0)
+        self._sleep = sleep
+        self._buffer: list[tuple] = []  # ("stmt", sql, params, predicted) | ("many", ...) | ("commit",)
+        self._next_rowid: dict[str, int] = {}
+        self._deferred_commit = False
+
+    # -- state ---------------------------------------------------------
+    @property
+    def degraded(self) -> bool:
+        """Whether writes are currently buffered instead of executed."""
+        return bool(self._buffer) or self._deferred_commit or not self.breaker.allow()
+
+    @property
+    def buffered_statements(self) -> int:
+        """Writes waiting in the degraded-mode buffer."""
+        return sum(1 for entry in self._buffer if entry[0] != "commit")
+
+    @staticmethod
+    def _is_write(sql: str) -> bool:
+        head = sql.lstrip().split(None, 1)
+        return bool(head) and head[0].lower() in _WRITE_VERBS
+
+    def _predict_rowid(self, sql: str) -> int | None:
+        m = _INSERT_TABLE_RE.match(sql.lstrip())
+        if m is None:
+            return None
+        table = m.group(1).lower()
+        if table not in self._next_rowid:
+            # Seed from the live table; reads still work in degraded mode.
+            try:
+                row = self.backend.execute(
+                    f"SELECT COALESCE(MAX(rowid), 0) AS m FROM {m.group(1)}"
+                ).fetchone()
+                self._next_rowid[table] = int(row["m"] if hasattr(row, "keys") else row[0]) + 1
+            except Exception as exc:
+                raise PersistenceError(
+                    f"cannot buffer INSERT into {table!r}: rowid sequence "
+                    f"unavailable while degraded ({exc})"
+                ) from exc
+        predicted = self._next_rowid[table]
+        self._next_rowid[table] = predicted + 1
+        return predicted
+
+    def _note_real_insert(self, sql: str, cursor) -> None:
+        m = _INSERT_TABLE_RE.match(sql.lstrip())
+        if m is not None and getattr(cursor, "lastrowid", None):
+            self._next_rowid[m.group(1).lower()] = cursor.lastrowid + 1
+
+    def _run(self, fn):
+        """One backend call under the retry policy."""
+        return retry(fn, self.retry_policy, sleep=self._sleep)
+
+    # -- write path ----------------------------------------------------
+    def execute(self, sql: str, params: tuple = ()) -> sqlite3.Cursor:
+        """Run one statement; transient write failures degrade to the buffer."""
+        if not self._is_write(sql):
+            return self._run(lambda: self.backend.execute(sql, params))
+        if not self.breaker.allow():
+            return self._buffer_stmt(sql, params)
+        if self._buffer or self._deferred_commit:
+            # Half-open probe: the buffer must replay first to keep order.
+            try:
+                self._replay()
+            except Exception as exc:
+                if not transient_db_error(exc):
+                    raise
+                self.breaker.record_failure()
+                return self._buffer_stmt(sql, params)
+        try:
+            cursor = self._run(lambda: self.backend.execute(sql, params))
+        except Exception as exc:
+            if not transient_db_error(exc):
+                raise
+            self.breaker.record_failure()
+            return self._buffer_stmt(sql, params)
+        self.breaker.record_success()
+        self._note_real_insert(sql, cursor)
+        return cursor
+
+    def executemany(self, sql: str, seq_of_params: Iterable[Sequence]) -> sqlite3.Cursor:
+        """Run one statement over many rows, degrading like :meth:`execute`."""
+        rows = [tuple(p) for p in seq_of_params]
+        if not self.breaker.allow():
+            self._buffer.append(("many", sql, rows))
+            return _BufferedCursor(None)
+        try:
+            if self._buffer or self._deferred_commit:
+                self._replay()
+            cursor = self._run(lambda: self.backend.executemany(sql, rows))
+        except Exception as exc:
+            if not transient_db_error(exc):
+                raise
+            self.breaker.record_failure()
+            self._buffer.append(("many", sql, rows))
+            return _BufferedCursor(None)
+        self.breaker.record_success()
+        return cursor
+
+    def _buffer_stmt(self, sql: str, params: tuple) -> _BufferedCursor:
+        predicted = self._predict_rowid(sql)
+        self._buffer.append(("stmt", sql, tuple(params), predicted))
+        return _BufferedCursor(predicted)
+
+    def _replay(self) -> None:
+        """Re-execute the buffered writes in order against the backend."""
+        while self._buffer:
+            entry = self._buffer[0]
+            if entry[0] == "commit":
+                self._run(self.backend.commit)
+            elif entry[0] == "many":
+                self._run(lambda e=entry: self.backend.executemany(e[1], e[2]))
+            else:
+                _, sql, params, predicted = entry
+                cursor = self._run(lambda: self.backend.execute(sql, params))
+                if predicted is not None and cursor.lastrowid != predicted:
+                    self.backend.rollback()
+                    raise PersistenceError(
+                        f"degraded-mode replay drifted: expected rowid {predicted}, "
+                        f"database assigned {cursor.lastrowid} — was the database "
+                        "written by another client while degraded?"
+                    )
+            self._buffer.pop(0)
+        if self._deferred_commit:
+            self._run(self.backend.commit)
+            self._deferred_commit = False
+        self.breaker.record_success()
+
+    def flush(self) -> None:
+        """Replay any buffered writes and make them durable."""
+        if not self._buffer and not self._deferred_commit:
+            return
+        try:
+            self._replay()
+            self._run(self.backend.commit)
+        except Exception as exc:
+            if transient_db_error(exc):
+                self.breaker.record_failure()
+                raise PersistenceError(
+                    f"cannot flush degraded buffer ({self.buffered_statements} "
+                    f"statement(s) still unsaved): {exc}"
+                ) from exc
+            raise
+
+    def commit(self) -> None:
+        """Commit, deferring durability while degraded."""
+        if self._buffer or not self.breaker.allow():
+            self._buffer.append(("commit",))
+            return
+        try:
+            self._run(self.backend.commit)
+        except Exception as exc:
+            if not transient_db_error(exc):
+                raise
+            self.breaker.record_failure()
+            self._deferred_commit = True
+
+    def rollback(self) -> None:
+        """Discard writes since the last commit, buffered ones included."""
+        while self._buffer and self._buffer[-1][0] != "commit":
+            self._buffer.pop()
+        if self.breaker.allow():
+            self.backend.rollback()
+
+    @contextmanager
+    def transaction(self):
+        """Group writes atomically; a degraded group stays in the buffer."""
+        if not self.breaker.allow():
+            mark = len(self._buffer)
+            try:
+                yield self
+            except BaseException:
+                del self._buffer[mark:]
+                raise
+            else:
+                self._buffer.append(("commit",))
+        else:
+            with self.backend.transaction():
+                yield self
+
+    def close(self) -> None:
+        """Flush the degraded buffer, then close the wrapped backend.
+
+        Raises :class:`PersistenceError` (keeping the backend open and
+        the buffer intact) if the flush still cannot reach the
+        database, so no buffered knowledge is silently dropped.
+        """
+        self.flush()
+        self.backend.close()
+
+    # -- read path -----------------------------------------------------
+    def table_count(self, table: str) -> int:
+        """Row count of one table (buffered writes are not yet visible)."""
+        return self.backend.table_count(table)
+
+    def __enter__(self) -> "ResilientBackend":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self.close()
+        else:
+            self.rollback()
+            self.backend.close()

@@ -11,9 +11,16 @@ between extraction and persistence, say — without touching the engine
 or :class:`~repro.core.cycle.KnowledgeCycle`.
 
 Every transition is observable: :class:`PhaseObserver` callbacks fire
-on phase start/finish/error with wall time and artifact counts, so a
-revolution is traceable end to end.  :class:`TimingObserver` and
+on phase start/retry/finish/error with wall time and artifact counts,
+so a revolution is traceable end to end.  :class:`TimingObserver` and
 :class:`LoggingObserver` are the built-in consumers.
+
+Failures are data, not aborts: each phase runs under a
+:class:`FailurePolicy` — retry under a deterministic
+:class:`~repro.core.resilience.RetryPolicy`, then either quarantine the
+revolution into :attr:`CycleResult.failures` (``on_exhausted="skip"``)
+or propagate (``"abort"``, the default).  A ``timeout_s`` budget marks
+overrunning phases with :class:`~repro.util.errors.DeadlineError`.
 """
 
 from __future__ import annotations
@@ -22,9 +29,19 @@ import logging
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import TYPE_CHECKING, Iterable, Iterator, Protocol, Sequence, runtime_checkable
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Iterable,
+    Iterator,
+    Mapping,
+    Protocol,
+    Sequence,
+    runtime_checkable,
+)
 
 from repro.core.knowledge import IO500Knowledge, Knowledge
+from repro.core.resilience import Deadline, RetryPolicy
 from repro.util.errors import PipelineError
 
 if TYPE_CHECKING:  # pragma: no cover - imports for type checkers only
@@ -40,6 +57,8 @@ __all__ = [
     "CycleResult",
     "CycleContext",
     "Phase",
+    "PhaseFailure",
+    "FailurePolicy",
     "PhaseRegistry",
     "PhaseObserver",
     "PhaseTiming",
@@ -47,6 +66,57 @@ __all__ = [
     "LoggingObserver",
     "PhasePipeline",
 ]
+
+
+@dataclass(frozen=True, slots=True)
+class PhaseFailure:
+    """One quarantined phase failure (the revolution survived it)."""
+
+    phase: str
+    attempts: int
+    error: str
+    elapsed_s: float
+    exception: BaseException | None = None
+
+    def __str__(self) -> str:
+        return (
+            f"phase {self.phase!r} failed after {self.attempts} attempt(s) "
+            f"in {self.elapsed_s:.3f}s: {self.error}"
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class FailurePolicy:
+    """How :class:`PhasePipeline` treats one phase's failures.
+
+    ``retry=None`` fails on the first error; otherwise errors the
+    policy's predicate accepts are retried with its deterministic
+    backoff.  Once attempts are exhausted (or the error is permanent),
+    ``on_exhausted`` picks between ``"abort"`` (propagate, killing the
+    run — the historical behaviour) and ``"skip"`` (quarantine the
+    revolution into :attr:`CycleResult.failures` and return, so later
+    revolutions still run).  ``timeout_s`` is a per-phase wall-time
+    budget: a :class:`~repro.core.resilience.Deadline` is published at
+    ``context.artifacts["deadline"]`` for cooperative checks, and an
+    overrunning phase is failed post-hoc with ``DeadlineError``.
+    """
+
+    retry: RetryPolicy | None = None
+    on_exhausted: str = "abort"
+    timeout_s: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.on_exhausted not in ("abort", "skip"):
+            raise PipelineError(
+                f"on_exhausted must be 'abort' or 'skip', got {self.on_exhausted!r}"
+            )
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise PipelineError(f"timeout_s must be positive, got {self.timeout_s}")
+
+    @property
+    def max_attempts(self) -> int:
+        """Total attempts this policy allows for one phase."""
+        return self.retry.max_attempts if self.retry is not None else 1
 
 
 @dataclass(slots=True)
@@ -59,6 +129,12 @@ class CycleResult:
     iofh_ids: list[int] = field(default_factory=list)
     usage_results: dict[str, object] = field(default_factory=dict)
     analysis_report: str = ""
+    failures: list[PhaseFailure] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """Whether the revolution completed without quarantined failures."""
+        return not self.failures
 
     @property
     def all_knowledge(self) -> list[Knowledge | IO500Knowledge]:
@@ -188,7 +264,17 @@ class PhaseObserver:
     """
 
     def on_phase_start(self, phase: Phase, context: CycleContext) -> None:
-        """A phase is about to run."""
+        """A phase is about to run (fires once, before the first attempt)."""
+
+    def on_phase_retry(
+        self,
+        phase: Phase,
+        context: CycleContext,
+        attempt: int,
+        error: BaseException,
+        delay_s: float,
+    ) -> None:
+        """Attempt ``attempt`` (1-based) failed; a retry follows after ``delay_s``."""
 
     def on_phase_finish(
         self, phase: Phase, context: CycleContext, duration_s: float, artifacts: int
@@ -198,7 +284,8 @@ class PhaseObserver:
     def on_phase_error(
         self, phase: Phase, context: CycleContext, duration_s: float, error: BaseException
     ) -> None:
-        """A phase raised; the exception propagates after all observers fire."""
+        """A phase failed for good (all attempts spent); fires before the
+        failure policy decides between quarantine and propagation."""
 
 
 @dataclass(frozen=True, slots=True)
@@ -209,25 +296,48 @@ class PhaseTiming:
     duration_s: float
     artifacts: int
     error: str | None = None
+    attempts: int = 1
 
 
 class TimingObserver(PhaseObserver):
-    """Records wall time and artifact count for every phase executed."""
+    """Records wall time, artifact and attempt counts per phase executed."""
 
     def __init__(self) -> None:
         self.timings: list[PhaseTiming] = []
+        self._retries = 0
+
+    def on_phase_start(self, phase: Phase, context: CycleContext) -> None:
+        """Reset the per-phase retry counter."""
+        self._retries = 0
+
+    def on_phase_retry(
+        self,
+        phase: Phase,
+        context: CycleContext,
+        attempt: int,
+        error: BaseException,
+        delay_s: float,
+    ) -> None:
+        """Count one retry of the current phase."""
+        self._retries += 1
 
     def on_phase_finish(
         self, phase: Phase, context: CycleContext, duration_s: float, artifacts: int
     ) -> None:
         """Record one completed phase."""
-        self.timings.append(PhaseTiming(phase.name, duration_s, artifacts))
+        self.timings.append(
+            PhaseTiming(phase.name, duration_s, artifacts, attempts=self._retries + 1)
+        )
 
     def on_phase_error(
         self, phase: Phase, context: CycleContext, duration_s: float, error: BaseException
     ) -> None:
         """Record one failed phase with its exception."""
-        self.timings.append(PhaseTiming(phase.name, duration_s, 0, error=repr(error)))
+        self.timings.append(
+            PhaseTiming(
+                phase.name, duration_s, 0, error=repr(error), attempts=self._retries + 1
+            )
+        )
 
     @property
     def durations(self) -> dict[str, float]:
@@ -252,6 +362,20 @@ class LoggingObserver(PhaseObserver):
         """Log the phase start at DEBUG."""
         self.logger.debug("phase %s: start", phase.name)
 
+    def on_phase_retry(
+        self,
+        phase: Phase,
+        context: CycleContext,
+        attempt: int,
+        error: BaseException,
+        delay_s: float,
+    ) -> None:
+        """Log the failed attempt and upcoming retry at WARNING."""
+        self.logger.warning(
+            "phase %s: attempt %d failed (%s); retrying in %.3fs",
+            phase.name, attempt, error, delay_s,
+        )
+
     def on_phase_finish(
         self, phase: Phase, context: CycleContext, duration_s: float, artifacts: int
     ) -> None:
@@ -268,36 +392,97 @@ class LoggingObserver(PhaseObserver):
 
 
 class PhasePipeline:
-    """Executes the registered phases, in order, over one context."""
+    """Executes the registered phases, in order, over one context.
+
+    ``policies`` maps phase names to :class:`FailurePolicy` overrides;
+    ``default_policy`` applies to every unmapped phase (the default —
+    no retry, abort on error — is the historical fail-stop behaviour).
+    ``sleep`` is the backoff sleeper, injectable so tests and the
+    simulated cycle never block on real wall time.
+    """
 
     def __init__(
-        self, registry: PhaseRegistry, observers: Sequence[PhaseObserver] = ()
+        self,
+        registry: PhaseRegistry,
+        observers: Sequence[PhaseObserver] = (),
+        policies: Mapping[str, FailurePolicy] | None = None,
+        default_policy: FailurePolicy | None = None,
+        sleep: Callable[[float], None] = time.sleep,
     ) -> None:
         if len(registry) == 0:
             raise PipelineError("cannot build a pipeline from an empty phase registry")
         self.registry = registry
         self.observers = list(observers)
+        self.policies = dict(policies or {})
+        self.default_policy = default_policy or FailurePolicy()
+        self._sleep = sleep
+        for name in self.policies:
+            if name not in registry:
+                raise PipelineError(
+                    f"failure policy names unknown phase {name!r}; "
+                    f"registered: {registry.names()}"
+                )
+
+    def policy_for(self, phase: Phase) -> FailurePolicy:
+        """The failure policy governing one phase."""
+        return self.policies.get(phase.name, self.default_policy)
 
     def run(self, context: CycleContext) -> CycleResult:
         """Run every phase over ``context``; returns ``context.result``.
 
-        A phase exception aborts the revolution after the error
-        observers have fired, leaving the context as the failed phase
-        left it — partial artifacts stay inspectable.
+        Each phase executes under its :class:`FailurePolicy`: transient
+        errors are retried with deterministic backoff (observers see
+        ``on_phase_retry``); a phase that fails for good either aborts
+        the revolution (exception propagates after ``on_phase_error``
+        fired) or quarantines it — the failure is recorded in
+        ``context.result.failures``, the remaining phases are skipped,
+        and the partial result returns.  Either way the context stays
+        exactly as the failed phase left it, so partial artifacts
+        remain inspectable.
         """
         for phase in self.registry:
+            policy = self.policy_for(phase)
             for observer in self.observers:
                 observer.on_phase_start(phase, context)
-            started = time.perf_counter()
-            try:
-                produced = phase.run(context)
-            except BaseException as exc:
+            attempt = 1
+            phase_started = time.perf_counter()
+            while True:
+                deadline = Deadline(policy.timeout_s)
+                context.artifacts["deadline"] = deadline
+                started = time.perf_counter()
+                try:
+                    produced = phase.run(context)
+                    deadline.check(f"phase {phase.name!r}")
+                except BaseException as exc:
+                    if (
+                        policy.retry is not None
+                        and attempt < policy.retry.max_attempts
+                        and policy.retry.is_retryable(exc)
+                    ):
+                        delay = policy.retry.delay_s(attempt)
+                        for observer in self.observers:
+                            observer.on_phase_retry(phase, context, attempt, exc, delay)
+                        self._sleep(delay)
+                        attempt += 1
+                        continue
+                    elapsed = time.perf_counter() - phase_started
+                    for observer in self.observers:
+                        observer.on_phase_error(phase, context, elapsed, exc)
+                    if policy.on_exhausted == "skip":
+                        context.result.failures.append(
+                            PhaseFailure(
+                                phase=phase.name,
+                                attempts=attempt,
+                                error=repr(exc),
+                                elapsed_s=elapsed,
+                                exception=exc,
+                            )
+                        )
+                        return context.result
+                    raise
                 elapsed = time.perf_counter() - started
+                count = int(produced) if produced is not None else 0
                 for observer in self.observers:
-                    observer.on_phase_error(phase, context, elapsed, exc)
-                raise
-            elapsed = time.perf_counter() - started
-            count = int(produced) if produced is not None else 0
-            for observer in self.observers:
-                observer.on_phase_finish(phase, context, elapsed, count)
+                    observer.on_phase_finish(phase, context, elapsed, count)
+                break
         return context.result

@@ -1,0 +1,243 @@
+"""Resilience primitives shared by every layer of the knowledge cycle.
+
+The paper pitches the cycle as an *automated, long-running* workflow on
+a production cluster, where broken nodes and degraded iterations are
+first-class phenomena (Figs. 5-6) — so failures must be data, not
+aborts.  Three primitives cover the recurring shapes:
+
+* :class:`RetryPolicy` — bounded retries with exponential backoff and
+  *deterministic* jitter: the sleep schedule for a given seed is
+  bit-reproducible, matching the repository-wide determinism contract.
+* :class:`Deadline` — a wall-time budget handed to a phase; cooperative
+  code calls :meth:`Deadline.check` at convenient points and the
+  pipeline enforces it post-hoc on phase boundaries.
+* :class:`CircuitBreaker` — the classic closed / open / half-open state
+  machine that stops hammering a failing dependency and probes it again
+  after a cool-down.
+
+:func:`retry` ties a policy to a callable; the persistence layer
+(:class:`~repro.core.persistence.backend.ResilientBackend`) and the
+phase pipeline (:class:`~repro.core.pipeline.PhasePipeline`) both build
+on these.  Clocks and sleeps are injectable everywhere so tests run in
+zero wall time.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.util.errors import ConfigurationError, DeadlineError
+from repro.util.rng import stream
+
+__all__ = [
+    "default_retryable",
+    "RetryPolicy",
+    "retry",
+    "Deadline",
+    "CircuitBreaker",
+]
+
+
+def default_retryable(exc: BaseException) -> bool:
+    """Retry exactly the errors that declare themselves transient.
+
+    Injected hard faults (:mod:`repro.pfs.faults`) and database errors
+    wrapped by the persistence layer carry a ``transient`` attribute;
+    anything else — assertion failures, configuration errors, parse
+    errors — is permanent and retrying would only repeat it.
+    """
+    return bool(getattr(exc, "transient", False))
+
+
+@dataclass(frozen=True, slots=True)
+class RetryPolicy:
+    """Bounded exponential backoff with deterministic jitter.
+
+    ``max_attempts`` counts the first try: ``max_attempts=3`` means one
+    try plus up to two retries.  The delay before retry *n* (1-based)
+    is ``base_delay_s * multiplier**(n-1)`` capped at ``max_delay_s``,
+    perturbed by a jitter factor drawn from the seed-derived stream
+    ``(seed, "retry-jitter", n)`` — so two runs with the same seed sleep
+    the exact same schedule, while different seeds decorrelate (no
+    thundering herd when many workers share a policy template).
+    """
+
+    max_attempts: int = 3
+    base_delay_s: float = 0.05
+    multiplier: float = 2.0
+    max_delay_s: float = 5.0
+    jitter: float = 0.1
+    seed: int = 42
+    retryable: Callable[[BaseException], bool] = field(default=default_retryable)
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigurationError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.base_delay_s < 0 or self.max_delay_s < 0:
+            raise ConfigurationError("backoff delays must be >= 0")
+        if self.multiplier < 1.0:
+            raise ConfigurationError(f"multiplier must be >= 1, got {self.multiplier}")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ConfigurationError(f"jitter must be in [0, 1), got {self.jitter}")
+
+    def is_retryable(self, exc: BaseException) -> bool:
+        """Whether this policy considers ``exc`` worth another attempt."""
+        return self.retryable(exc)
+
+    def delay_s(self, attempt: int) -> float:
+        """Backoff before retrying after failed attempt ``attempt`` (1-based)."""
+        if attempt < 1:
+            raise ConfigurationError(f"attempt must be >= 1, got {attempt}")
+        base = min(self.base_delay_s * self.multiplier ** (attempt - 1), self.max_delay_s)
+        if self.jitter == 0.0 or base == 0.0:
+            return base
+        u = stream(self.seed, "retry-jitter", attempt).random()
+        return base * (1.0 + self.jitter * (2.0 * u - 1.0))
+
+    def delays_s(self) -> list[float]:
+        """The full deterministic sleep schedule (one entry per retry)."""
+        return [self.delay_s(n) for n in range(1, self.max_attempts)]
+
+
+def retry(
+    fn: Callable[[], object],
+    policy: RetryPolicy,
+    *,
+    sleep: Callable[[float], None] = time.sleep,
+    on_retry: Callable[[int, BaseException, float], None] | None = None,
+    deadline: "Deadline | None" = None,
+):
+    """Call ``fn`` under ``policy``; returns its result or re-raises.
+
+    ``on_retry(attempt, exc, delay_s)`` fires before each backoff sleep.
+    A ``deadline`` stops retrying (re-raising the last error) once the
+    budget is spent, even if attempts remain.
+    """
+    attempt = 1
+    while True:
+        try:
+            return fn()
+        except BaseException as exc:
+            if attempt >= policy.max_attempts or not policy.is_retryable(exc):
+                raise
+            if deadline is not None and deadline.expired:
+                raise
+            delay = policy.delay_s(attempt)
+            if on_retry is not None:
+                on_retry(attempt, exc, delay)
+            sleep(delay)
+            attempt += 1
+
+
+class Deadline:
+    """A wall-time budget with an injectable clock.
+
+    ``budget_s=None`` means unlimited (every query says there is time
+    left), so callers can thread one object through unconditionally.
+    """
+
+    def __init__(
+        self,
+        budget_s: float | None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if budget_s is not None and budget_s <= 0:
+            raise ConfigurationError(f"deadline budget must be positive, got {budget_s}")
+        self.budget_s = budget_s
+        self._clock = clock
+        self._start = clock()
+
+    @property
+    def elapsed_s(self) -> float:
+        """Seconds since the deadline started."""
+        return self._clock() - self._start
+
+    @property
+    def remaining_s(self) -> float:
+        """Seconds left in the budget (``inf`` when unlimited)."""
+        if self.budget_s is None:
+            return float("inf")
+        return self.budget_s - self.elapsed_s
+
+    @property
+    def expired(self) -> bool:
+        """Whether the budget is spent."""
+        return self.remaining_s <= 0
+
+    def check(self, what: str = "operation") -> None:
+        """Raise :class:`DeadlineError` if the budget is spent."""
+        if self.expired:
+            raise DeadlineError(
+                f"{what} exceeded its {self.budget_s:g}s deadline "
+                f"({self.elapsed_s:.3f}s elapsed)"
+            )
+
+
+class CircuitBreaker:
+    """Closed / open / half-open failure gate with an injectable clock.
+
+    ``record_failure`` moves the breaker to OPEN after
+    ``failure_threshold`` consecutive failures; while OPEN, ``allow()``
+    is false.  Once ``reset_timeout_s`` has elapsed the breaker becomes
+    HALF_OPEN: the next caller is allowed through as a probe, and its
+    ``record_success``/``record_failure`` closes or re-opens the
+    circuit.
+    """
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        reset_timeout_s: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ConfigurationError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        if reset_timeout_s < 0:
+            raise ConfigurationError(
+                f"reset_timeout_s must be >= 0, got {reset_timeout_s}"
+            )
+        self.failure_threshold = failure_threshold
+        self.reset_timeout_s = reset_timeout_s
+        self._clock = clock
+        self._failures = 0
+        self._state = self.CLOSED
+        self._opened_at = 0.0
+
+    @property
+    def state(self) -> str:
+        """Current state; OPEN decays to HALF_OPEN after the timeout."""
+        if (
+            self._state == self.OPEN
+            and self._clock() - self._opened_at >= self.reset_timeout_s
+        ):
+            self._state = self.HALF_OPEN
+        return self._state
+
+    @property
+    def consecutive_failures(self) -> int:
+        """Failures recorded since the last success."""
+        return self._failures
+
+    def allow(self) -> bool:
+        """Whether a call may proceed (CLOSED or probing HALF_OPEN)."""
+        return self.state != self.OPEN
+
+    def record_success(self) -> None:
+        """A call succeeded: close the circuit and forget failures."""
+        self._failures = 0
+        self._state = self.CLOSED
+
+    def record_failure(self) -> None:
+        """A call failed: trip OPEN at the threshold or on a failed probe."""
+        self._failures += 1
+        if self.state == self.HALF_OPEN or self._failures >= self.failure_threshold:
+            self._state = self.OPEN
+            self._opened_at = self._clock()

@@ -1,7 +1,17 @@
 """Simulated parallel file system (BeeGFS-like) with an analytic cost model."""
 
 from repro.pfs.beegfs import BeeGFS, BeeGFSSpec
-from repro.pfs.faults import Fault, FaultInjector, FaultScope
+from repro.pfs.faults import (
+    Fault,
+    FaultInjector,
+    FaultScope,
+    InjectedBenchmarkError,
+    InjectedFaultError,
+    InjectedFileSystemError,
+    MetadataServiceError,
+    ServerCrashError,
+    register_when_tag,
+)
 from repro.pfs.file import DirEntry, FileEntry, Namespace
 from repro.pfs.gpfs import GPFSView
 from repro.pfs.lustre import LustreView
@@ -17,6 +27,12 @@ __all__ = [
     "Fault",
     "FaultInjector",
     "FaultScope",
+    "InjectedFaultError",
+    "InjectedFileSystemError",
+    "InjectedBenchmarkError",
+    "ServerCrashError",
+    "MetadataServiceError",
+    "register_when_tag",
     "FileEntry",
     "DirEntry",
     "Namespace",

@@ -91,7 +91,7 @@ class BeeGFS:
         self.namespace = Namespace(
             root_entry_id=self.mds.next_entry_id(), metadata_node=self.mds.name
         )
-        self.faults = faults or FaultInjector()
+        self.faults = faults or FaultInjector(root_seed=root_seed)
         self.model = PerfModel(
             pool=self.pool,
             metadata_server=self.mds,

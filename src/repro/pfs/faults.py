@@ -1,4 +1,4 @@
-"""Fault injection for anomaly experiments.
+"""Fault injection for anomaly and resilience experiments.
 
 The paper's two usage examples hinge on anomalies: a degraded iteration
 in the Fig. 5 IOR run (write throughput collapsing to less than half
@@ -10,6 +10,15 @@ against the tags of the running phase (benchmark name, iteration
 number, access type, IO500 phase, ...).  The performance model consults
 the injector on every cost computation, so a fault transparently slows
 exactly the operations whose tags match.
+
+Beyond soft slowdowns, a fault can also be *hard*: with
+``fail_probability > 0`` the injector raises a typed error from
+:meth:`FaultInjector.maybe_raise` with that probability, drawn from the
+deterministic RNG streams in :mod:`repro.util.rng` — a crashed storage
+server, a flaky metadata service, or a transiently failing benchmark
+iteration.  The ``transient`` flag tells the resilience layer
+(:mod:`repro.core.resilience`) whether retrying is worthwhile; every
+injected error carries it as an attribute.
 """
 
 from __future__ import annotations
@@ -17,13 +26,30 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Mapping
 
-from repro.util.errors import ConfigurationError
+from repro.util.errors import (
+    BenchmarkError,
+    ConfigurationError,
+    FileSystemError,
+    ReproError,
+)
+from repro.util.rng import stream
 
-__all__ = ["FaultScope", "Fault", "FaultInjector"]
+__all__ = [
+    "FaultScope",
+    "Fault",
+    "FaultInjector",
+    "InjectedFaultError",
+    "InjectedFileSystemError",
+    "InjectedBenchmarkError",
+    "ServerCrashError",
+    "MetadataServiceError",
+    "KNOWN_WHEN_TAGS",
+    "register_when_tag",
+]
 
 
 class FaultScope:
-    """What part of the storage system a fault slows down."""
+    """What part of the storage system a fault affects."""
 
     FILESYSTEM = "filesystem"
     TARGETS = "targets"
@@ -33,21 +59,93 @@ class FaultScope:
     ALL = (FILESYSTEM, TARGETS, SERVER, METADATA)
 
 
+# ----------------------------------------------------------------------
+# injected hard-fault errors
+# ----------------------------------------------------------------------
+class InjectedFaultError(ReproError):
+    """Base of every error raised by a hard fault.
+
+    Carries the fault's name and its ``transient`` flag so retry
+    predicates can decide whether another attempt may succeed.
+    """
+
+    def __init__(self, message: str, *, fault_name: str = "", transient: bool = True) -> None:
+        super().__init__(message)
+        self.fault_name = fault_name
+        self.transient = transient
+
+
+class InjectedFileSystemError(InjectedFaultError, FileSystemError):
+    """A file-system operation failed because of an injected fault."""
+
+
+class InjectedBenchmarkError(InjectedFaultError, BenchmarkError):
+    """A benchmark iteration failed because of an injected fault."""
+
+
+class ServerCrashError(InjectedFileSystemError):
+    """A storage server crashed mid-operation (injected)."""
+
+
+class MetadataServiceError(InjectedFileSystemError):
+    """The metadata service dropped a request (injected)."""
+
+
+#: ``when`` keys any phase in the repository actually emits.  A typo'd
+#: key would otherwise silently match nothing; Fault construction
+#: rejects unknown keys loudly instead.  Custom phases that emit extra
+#: tags register them with :func:`register_when_tag` first.
+KNOWN_WHEN_TAGS = frozenset(
+    {"benchmark", "run", "iteration", "op", "mode", "suite", "phase"}
+)
+
+_when_tags: set[str] = set(KNOWN_WHEN_TAGS)
+
+
+def register_when_tag(key: str) -> None:
+    """Allow ``key`` in fault ``when`` conditions (custom phase tags)."""
+    if not key or not isinstance(key, str):
+        raise ConfigurationError(f"when-tag key must be a non-empty string, got {key!r}")
+    _when_tags.add(key)
+
+
+_ERROR_KINDS = ("", "filesystem", "benchmark", "server", "metadata")
+
+
 @dataclass(frozen=True, slots=True)
 class Fault:
-    """One injected fault: scope + slowdown + activation condition."""
+    """One injected fault: scope + effect + activation condition.
+
+    The effect is a slowdown (``factor < 1``), a failure
+    (``fail_probability > 0``), or both.  ``transient`` marks whether a
+    raised error may clear on retry; ``error_kind`` overrides the
+    scope-derived error class (e.g. ``"benchmark"`` to raise
+    :class:`InjectedBenchmarkError` from a filesystem-scoped fault).
+    """
 
     name: str
-    factor: float
+    factor: float = 1.0
     scope: str = FaultScope.FILESYSTEM
     target_ids: tuple[int, ...] = ()
     server: str | None = None
     when: Mapping[str, object] = field(default_factory=dict)
+    fail_probability: float = 0.0
+    transient: bool = True
+    error_kind: str = ""
 
     def __post_init__(self) -> None:
-        if not 0 < self.factor < 1.0:
+        if not 0 < self.factor <= 1.0:
             raise ConfigurationError(
-                f"fault factor must be in (0, 1) (a slowdown), got {self.factor}"
+                f"fault factor must be in (0, 1] (a slowdown), got {self.factor}"
+            )
+        if not 0.0 <= self.fail_probability <= 1.0:
+            raise ConfigurationError(
+                f"fail_probability must be in [0, 1], got {self.fail_probability}"
+            )
+        if self.factor == 1.0 and self.fail_probability == 0.0:
+            raise ConfigurationError(
+                f"fault {self.name!r} does nothing: give it a factor < 1 "
+                "(slowdown) and/or a fail_probability > 0 (hard fault)"
             )
         if self.scope not in FaultScope.ALL:
             raise ConfigurationError(f"unknown fault scope {self.scope!r}")
@@ -55,6 +153,37 @@ class Fault:
             raise ConfigurationError("target-scoped faults need target_ids")
         if self.scope == FaultScope.SERVER and not self.server:
             raise ConfigurationError("server-scoped faults need a server name")
+        if self.error_kind not in _ERROR_KINDS:
+            raise ConfigurationError(
+                f"unknown error_kind {self.error_kind!r}; known: {_ERROR_KINDS[1:]}"
+            )
+        for key in self.when:
+            if key not in _when_tags:
+                raise ConfigurationError(
+                    f"fault {self.name!r}: 'when' references unknown tag key "
+                    f"{key!r} — no phase emits it, so the condition would "
+                    f"silently match nothing (known: {sorted(_when_tags)}; "
+                    "custom tags: register_when_tag())"
+                )
+
+    def __str__(self) -> str:
+        where = self.scope
+        if self.scope == FaultScope.TARGETS:
+            where = f"targets {','.join(map(str, self.target_ids))}"
+        elif self.scope == FaultScope.SERVER:
+            where = f"server {self.server}"
+        effects = []
+        if self.factor < 1.0:
+            effects.append(f"slowdown x{self.factor:g}")
+        if self.fail_probability > 0:
+            flavor = "transient" if self.transient else "permanent"
+            effects.append(f"fails p={self.fail_probability:g} ({flavor})")
+        cond = (
+            " when " + ", ".join(f"{k}={v!r}" for k, v in self.when.items())
+            if self.when
+            else ""
+        )
+        return f"fault {self.name!r} [{where}] {' + '.join(effects)}{cond}"
 
     def matches(self, tags: Mapping[str, object]) -> bool:
         """Whether this fault is active for a phase with the given tags.
@@ -64,20 +193,69 @@ class Fault:
         """
         return all(tags.get(k) == v for k, v in self.when.items())
 
+    def make_error(self, tags: Mapping[str, object]) -> InjectedFaultError:
+        """Build the typed error this hard fault raises."""
+        kind = self.error_kind
+        if not kind:
+            kind = {
+                FaultScope.FILESYSTEM: "filesystem",
+                FaultScope.TARGETS: "filesystem",
+                FaultScope.SERVER: "server",
+                FaultScope.METADATA: "metadata",
+            }[self.scope]
+        detail = f"{self} hit (tags: {dict(tags)!r})"
+        meta = {"fault_name": self.name, "transient": self.transient}
+        if kind == "benchmark":
+            return InjectedBenchmarkError(detail, **meta)
+        if kind == "server":
+            return ServerCrashError(f"storage server {self.server or '?'} crashed: {detail}", **meta)
+        if kind == "metadata":
+            return MetadataServiceError(f"metadata service dropped request: {detail}", **meta)
+        return InjectedFileSystemError(detail, **meta)
+
 
 class FaultInjector:
-    """Registry of faults consulted by the performance model."""
+    """Registry of faults consulted by the performance model and runners.
 
-    def __init__(self, faults: list[Fault] | None = None) -> None:
+    Soft faults (``factor < 1``) derate the analytic cost model through
+    the ``*_factor`` methods.  Hard faults (``fail_probability > 0``)
+    raise from :meth:`maybe_raise`, which benchmark runners call at
+    phase boundaries.  Failure draws come from a deterministic stream
+    keyed by ``(root_seed, fault name, draw index)``: a fixed seed
+    yields the identical failure pattern on every run, while successive
+    draws (e.g. retries of the same iteration) are independent — which
+    is what lets a *transient* fault clear on a later attempt.
+    """
+
+    def __init__(self, faults: list[Fault] | None = None, root_seed: int = 42) -> None:
         self.faults: list[Fault] = list(faults or [])
+        self.root_seed = root_seed
+        self._draws: dict[str, int] = {}
 
     def add(self, fault: Fault) -> None:
         """Register a fault."""
         self.faults.append(fault)
 
     def clear(self) -> None:
-        """Remove all faults (restore a healthy system)."""
+        """Remove all faults and draw history (restore a healthy system)."""
         self.faults.clear()
+        self._draws.clear()
+
+    def maybe_raise(self, tags: Mapping[str, object]) -> None:
+        """Raise the first matching hard fault that fires for these tags.
+
+        Each matching hard fault consumes one deterministic draw per
+        call whether or not it fires, so the failure schedule of a run
+        depends only on the seed and the call sequence.
+        """
+        for f in self.faults:
+            if f.fail_probability <= 0 or not f.matches(tags):
+                continue
+            n = self._draws.get(f.name, 0)
+            self._draws[f.name] = n + 1
+            rng = stream(self.root_seed, "hard-fault", f.name, n)
+            if rng.random() < f.fail_probability:
+                raise f.make_error(tags)
 
     def filesystem_factor(self, tags: Mapping[str, object]) -> float:
         """Combined slowdown on the whole file system for these tags."""

@@ -24,6 +24,7 @@ __all__ = [
     "ExtractionError",
     "PersistenceError",
     "PipelineError",
+    "DeadlineError",
     "AnalysisError",
     "UsageError",
     "JubeError",
@@ -93,6 +94,17 @@ class PersistenceError(ReproError):
 
 class PipelineError(ReproError):
     """The phase-pipeline engine was misconfigured or misused."""
+
+
+class DeadlineError(ReproError):
+    """A phase or operation exceeded its wall-time budget.
+
+    Deadline overruns are *not* transient: retrying the same work under
+    the same budget would overrun again, so the default retry predicate
+    never retries them.
+    """
+
+    transient = False
 
 
 class AnalysisError(ReproError):

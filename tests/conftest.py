@@ -1,0 +1,64 @@
+"""Shared test fixtures: fault-seed parameterisation and test timeouts.
+
+* ``fault_seed`` — the root seed resilience/fault tests derive their
+  injected-failure schedules from.  CI's fault-matrix job exports
+  ``REPRO_FAULT_SEED`` to re-run the tier-1 suite under different
+  deterministic fault patterns; fault-blind tests are unaffected.
+* per-test timeout — a lightweight ``pytest-timeout`` equivalent so a
+  hung retry loop fails fast instead of wedging CI.  Uses ``SIGALRM``
+  (a no-op on platforms without it) and defers entirely to the real
+  ``pytest-timeout`` plugin when that is installed.  Override the
+  120 s default with ``REPRO_TEST_TIMEOUT`` or a
+  ``@pytest.mark.timeout(seconds)`` marker.
+"""
+
+import os
+import signal
+
+import pytest
+
+try:
+    import pytest_timeout  # noqa: F401
+
+    _HAVE_PYTEST_TIMEOUT = True
+except ImportError:
+    _HAVE_PYTEST_TIMEOUT = False
+
+_DEFAULT_TIMEOUT_S = float(os.environ.get("REPRO_TEST_TIMEOUT", "120"))
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "timeout(seconds): per-test wall-time limit (0 disables)"
+    )
+
+
+@pytest.fixture
+def fault_seed():
+    """Root seed for injected-fault schedules (CI matrix: REPRO_FAULT_SEED)."""
+    return int(os.environ.get("REPRO_FAULT_SEED", "42"))
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_call(item):
+    if _HAVE_PYTEST_TIMEOUT or not hasattr(signal, "SIGALRM"):
+        yield
+        return
+    marker = item.get_closest_marker("timeout")
+    limit = float(marker.args[0]) if marker and marker.args else _DEFAULT_TIMEOUT_S
+    if limit <= 0:
+        yield
+        return
+
+    def _alarm(signum, frame):
+        raise TimeoutError(
+            f"{item.nodeid} exceeded its {limit:g}s timeout (repro fallback timer)"
+        )
+
+    old_handler = signal.signal(signal.SIGALRM, _alarm)
+    signal.setitimer(signal.ITIMER_REAL, limit)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0)
+        signal.signal(signal.SIGALRM, old_handler)

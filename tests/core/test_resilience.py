@@ -1,0 +1,740 @@
+"""Resilience layer: retry/backoff, breaker, quarantine, degraded DB.
+
+Covers the PR-2 acceptance criteria: deterministic backoff schedules,
+circuit-breaker state transitions, quarantined revolutions that do not
+poison later ones, a persistence backend that survives "database is
+locked" bursts, and the end-to-end cycle demo with hard faults injected
+at both the benchmark and the database layer.
+"""
+
+import sqlite3
+
+import pytest
+
+from repro.core.cycle import KnowledgeCycle
+from repro.core.persistence import KnowledgeDatabase, KnowledgeRepository
+from repro.core.persistence.backend import ResilientBackend, transient_db_error
+from repro.core.pipeline import (
+    FailurePolicy,
+    PhaseObserver,
+    PhasePipeline,
+    PhaseRegistry,
+    TimingObserver,
+)
+from repro.core.resilience import CircuitBreaker, Deadline, RetryPolicy, retry
+from repro.iostack.stack import Testbed
+from repro.pfs.faults import Fault, FaultInjector, InjectedBenchmarkError
+from repro.util.errors import (
+    ConfigurationError,
+    DeadlineError,
+    PersistenceError,
+    PipelineError,
+)
+from repro.util.rng import stream
+
+CYCLE_XML = """
+<jube>
+  <benchmark name="resilience-test" outpath="ignored">
+    <parameterset name="pattern">
+      <parameter name="transfersize">1m</parameter>
+      <parameter name="command">ior -a mpiio -b 4m -t $transfersize -s 4 -F -e -i 3 -o /scratch/rz/test -k</parameter>
+      <parameter name="nodes">2</parameter>
+      <parameter name="taskspernode">8</parameter>
+    </parameterset>
+    <step name="run" work="ior">
+      <use>pattern</use>
+    </step>
+  </benchmark>
+</jube>
+"""
+
+
+def _transient(msg="boom"):
+    exc = RuntimeError(msg)
+    exc.transient = True
+    return exc
+
+
+class _FlakyPhase:
+    """Fails with a transient error a set number of times, then succeeds."""
+
+    def __init__(self, name, failures, error_factory=_transient):
+        self.name = name
+        self.failures = failures
+        self.error_factory = error_factory
+        self.calls = 0
+
+    def run(self, context):
+        self.calls += 1
+        if self.calls <= self.failures:
+            raise self.error_factory()
+        return 1
+
+
+def _context(tmp_path, db, seed=300):
+    cycle = KnowledgeCycle(Testbed.fuchs_csc(seed=seed), db, workspace=tmp_path)
+    return cycle._context("<unused/>")
+
+
+# ----------------------------------------------------------------------
+# RetryPolicy / retry()
+# ----------------------------------------------------------------------
+class TestRetryPolicy:
+    def test_schedule_is_deterministic_for_fixed_seed(self, fault_seed):
+        a = RetryPolicy(max_attempts=5, base_delay_s=0.1, seed=fault_seed)
+        b = RetryPolicy(max_attempts=5, base_delay_s=0.1, seed=fault_seed)
+        assert a.delays_s() == b.delays_s()
+        assert len(a.delays_s()) == 4
+        # Exponential envelope survives the +-10% jitter.
+        for n, delay in enumerate(a.delays_s(), start=1):
+            base = 0.1 * 2.0 ** (n - 1)
+            assert base * 0.9 <= delay <= base * 1.1
+        different = RetryPolicy(max_attempts=5, base_delay_s=0.1, seed=fault_seed + 1)
+        assert different.delays_s() != a.delays_s()
+
+    def test_max_delay_caps_backoff(self):
+        p = RetryPolicy(max_attempts=10, base_delay_s=1.0, max_delay_s=2.0, jitter=0.0)
+        assert p.delays_s() == [1.0, 2.0, 2.0, 2.0, 2.0, 2.0, 2.0, 2.0, 2.0]
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(jitter=1.0)
+
+    def test_retry_sleeps_exact_schedule_then_succeeds(self):
+        policy = RetryPolicy(max_attempts=4, base_delay_s=0.05, seed=9)
+        calls = {"n": 0}
+
+        def fn():
+            calls["n"] += 1
+            if calls["n"] < 4:
+                raise _transient()
+            return "done"
+
+        slept = []
+        assert retry(fn, policy, sleep=slept.append) == "done"
+        assert slept == policy.delays_s()
+
+    def test_retry_gives_up_after_max_attempts(self):
+        policy = RetryPolicy(max_attempts=3, base_delay_s=0.0, jitter=0.0)
+        slept = []
+        with pytest.raises(RuntimeError):
+            retry(lambda: (_ for _ in ()).throw(_transient()), policy, sleep=slept.append)
+        assert len(slept) == 2  # two retries after the first attempt
+
+    def test_permanent_error_is_not_retried(self):
+        policy = RetryPolicy(max_attempts=5)
+        slept = []
+
+        def fn():
+            raise ValueError("permanent")
+
+        with pytest.raises(ValueError):
+            retry(fn, policy, sleep=slept.append)
+        assert slept == []
+
+    def test_deadline_stops_retrying(self):
+        clock = {"t": 0.0}
+        deadline = Deadline(1.0, clock=lambda: clock["t"])
+        policy = RetryPolicy(max_attempts=10, base_delay_s=0.0, jitter=0.0)
+
+        def fn():
+            clock["t"] += 0.6
+            raise _transient()
+
+        with pytest.raises(RuntimeError):
+            retry(fn, policy, sleep=lambda s: None, deadline=deadline)
+        assert clock["t"] == pytest.approx(1.2)  # two attempts, not ten
+
+
+class TestDeadline:
+    def test_budget_accounting(self):
+        clock = {"t": 10.0}
+        d = Deadline(2.0, clock=lambda: clock["t"])
+        assert not d.expired and d.remaining_s == pytest.approx(2.0)
+        clock["t"] = 11.5
+        assert d.remaining_s == pytest.approx(0.5)
+        clock["t"] = 12.5
+        assert d.expired
+        with pytest.raises(DeadlineError, match="phase 'x'"):
+            d.check("phase 'x'")
+
+    def test_unlimited_budget(self):
+        d = Deadline(None)
+        assert d.remaining_s == float("inf")
+        d.check()  # never raises
+
+    def test_rejects_nonpositive_budget(self):
+        with pytest.raises(ConfigurationError):
+            Deadline(0.0)
+
+
+class TestCircuitBreaker:
+    def test_opens_half_opens_closes(self):
+        clock = {"t": 0.0}
+        cb = CircuitBreaker(failure_threshold=3, reset_timeout_s=5.0, clock=lambda: clock["t"])
+        assert cb.state == CircuitBreaker.CLOSED and cb.allow()
+        cb.record_failure()
+        cb.record_failure()
+        assert cb.state == CircuitBreaker.CLOSED  # below threshold
+        cb.record_failure()
+        assert cb.state == CircuitBreaker.OPEN and not cb.allow()
+        clock["t"] = 4.9
+        assert cb.state == CircuitBreaker.OPEN
+        clock["t"] = 5.0
+        assert cb.state == CircuitBreaker.HALF_OPEN and cb.allow()
+        cb.record_success()
+        assert cb.state == CircuitBreaker.CLOSED
+        assert cb.consecutive_failures == 0
+
+    def test_failed_probe_reopens(self):
+        clock = {"t": 0.0}
+        cb = CircuitBreaker(failure_threshold=1, reset_timeout_s=1.0, clock=lambda: clock["t"])
+        cb.record_failure()
+        assert not cb.allow()
+        clock["t"] = 1.0
+        assert cb.state == CircuitBreaker.HALF_OPEN
+        cb.record_failure()  # probe failed: snap back open
+        assert cb.state == CircuitBreaker.OPEN
+        clock["t"] = 1.5
+        assert cb.state == CircuitBreaker.OPEN  # timer restarted at reopen
+
+    def test_success_resets_failure_streak(self):
+        cb = CircuitBreaker(failure_threshold=2)
+        cb.record_failure()
+        cb.record_success()
+        cb.record_failure()
+        assert cb.state == CircuitBreaker.CLOSED
+
+
+# ----------------------------------------------------------------------
+# pipeline failure policies
+# ----------------------------------------------------------------------
+class TestPipelinePolicies:
+    def test_transient_phase_failure_is_retried(self, tmp_path):
+        flaky = _FlakyPhase("flaky", failures=2)
+        policy = FailurePolicy(retry=RetryPolicy(max_attempts=3, base_delay_s=0.01, seed=5))
+        timer = TimingObserver()
+        slept = []
+        with KnowledgeDatabase(":memory:") as db:
+            pipeline = PhasePipeline(
+                PhaseRegistry([flaky]), [timer],
+                default_policy=policy, sleep=slept.append,
+            )
+            result = pipeline.run(_context(tmp_path, db))
+        assert result.ok and flaky.calls == 3
+        assert slept == policy.retry.delays_s()
+        assert [(t.phase, t.attempts) for t in timer.timings] == [("flaky", 3)]
+
+    def test_identical_seed_identical_backoff_schedule(self, tmp_path, fault_seed):
+        schedules = []
+        for _ in range(2):
+            flaky = _FlakyPhase("flaky", failures=3)
+            policy = FailurePolicy(
+                retry=RetryPolicy(max_attempts=4, base_delay_s=0.02, seed=fault_seed)
+            )
+            slept = []
+            with KnowledgeDatabase(":memory:") as db:
+                PhasePipeline(
+                    PhaseRegistry([flaky]), default_policy=policy, sleep=slept.append
+                ).run(_context(tmp_path, db))
+            schedules.append(slept)
+        assert schedules[0] == schedules[1] and len(schedules[0]) == 3
+
+    def test_exhausted_retries_quarantine_with_skip(self, tmp_path):
+        always = _FlakyPhase("doomed", failures=99)
+        never = _FlakyPhase("never", failures=0)
+        policy = FailurePolicy(
+            retry=RetryPolicy(max_attempts=3, base_delay_s=0.0, jitter=0.0),
+            on_exhausted="skip",
+        )
+        with KnowledgeDatabase(":memory:") as db:
+            result = PhasePipeline(
+                PhaseRegistry([always, never]),
+                default_policy=policy, sleep=lambda s: None,
+            ).run(_context(tmp_path, db))
+        assert not result.ok and len(result.failures) == 1
+        failure = result.failures[0]
+        assert failure.phase == "doomed" and failure.attempts == 3
+        assert "boom" in failure.error and failure.elapsed_s >= 0
+        assert isinstance(failure.exception, RuntimeError)
+        assert never.calls == 0  # revolution abandoned after quarantine
+        assert "doomed" in str(failure)
+
+    def test_abort_policy_propagates(self, tmp_path):
+        policy = FailurePolicy(
+            retry=RetryPolicy(max_attempts=2, base_delay_s=0.0, jitter=0.0),
+            on_exhausted="abort",
+        )
+        with KnowledgeDatabase(":memory:") as db:
+            with pytest.raises(RuntimeError, match="boom"):
+                PhasePipeline(
+                    PhaseRegistry([_FlakyPhase("doomed", failures=99)]),
+                    default_policy=policy, sleep=lambda s: None,
+                ).run(_context(tmp_path, db))
+
+    def test_permanent_error_skips_retry_entirely(self, tmp_path):
+        def permanent():
+            return ValueError("not transient")
+
+        phase = _FlakyPhase("perm", failures=99, error_factory=permanent)
+        policy = FailurePolicy(
+            retry=RetryPolicy(max_attempts=5, base_delay_s=0.0, jitter=0.0),
+            on_exhausted="skip",
+        )
+        with KnowledgeDatabase(":memory:") as db:
+            result = PhasePipeline(
+                PhaseRegistry([phase]), default_policy=policy, sleep=lambda s: None
+            ).run(_context(tmp_path, db))
+        assert result.failures[0].attempts == 1 and phase.calls == 1
+
+    def test_phase_timeout_becomes_deadline_failure(self, tmp_path):
+        import time as _time
+
+        class SlowPhase:
+            name = "slow"
+
+            def run(self, context):
+                _time.sleep(0.05)
+                return 1
+
+        policy = FailurePolicy(timeout_s=0.01, on_exhausted="skip")
+        with KnowledgeDatabase(":memory:") as db:
+            result = PhasePipeline(
+                PhaseRegistry([SlowPhase()]), default_policy=policy
+            ).run(_context(tmp_path, db))
+        assert "DeadlineError" in result.failures[0].error
+
+    def test_cooperative_deadline_in_context(self, tmp_path):
+        seen = {}
+
+        class Cooperative:
+            name = "coop"
+
+            def run(self, context):
+                seen["deadline"] = context.artifacts["deadline"]
+                return 0
+
+        with KnowledgeDatabase(":memory:") as db:
+            PhasePipeline(
+                PhaseRegistry([Cooperative()]),
+                default_policy=FailurePolicy(timeout_s=30.0),
+            ).run(_context(tmp_path, db))
+        assert isinstance(seen["deadline"], Deadline)
+        assert seen["deadline"].budget_s == 30.0
+
+    def test_policy_for_unknown_phase_rejected(self):
+        with pytest.raises(PipelineError, match="unknown phase"):
+            PhasePipeline(
+                PhaseRegistry([_FlakyPhase("a", 0)]),
+                policies={"zz": FailurePolicy()},
+            )
+
+    def test_invalid_policy_rejected(self):
+        with pytest.raises(PipelineError):
+            FailurePolicy(on_exhausted="retry-forever")
+        with pytest.raises(PipelineError):
+            FailurePolicy(timeout_s=-1.0)
+
+    def test_retry_observer_hook_fires(self, tmp_path):
+        events = []
+
+        class Watcher(PhaseObserver):
+            def on_phase_retry(self, phase, context, attempt, error, delay_s):
+                events.append((phase.name, attempt, str(error), delay_s))
+
+        policy = FailurePolicy(
+            retry=RetryPolicy(max_attempts=3, base_delay_s=0.5, jitter=0.0)
+        )
+        with KnowledgeDatabase(":memory:") as db:
+            PhasePipeline(
+                PhaseRegistry([_FlakyPhase("flaky", failures=2)]),
+                [Watcher()], default_policy=policy, sleep=lambda s: None,
+            ).run(_context(tmp_path, db))
+        assert events == [("flaky", 1, "boom", 0.5), ("flaky", 2, "boom", 1.0)]
+
+    def test_logging_observer_reports_retries(self, tmp_path, caplog):
+        import logging
+
+        policy = FailurePolicy(
+            retry=RetryPolicy(max_attempts=2, base_delay_s=0.0, jitter=0.0)
+        )
+        from repro.core.pipeline import LoggingObserver
+
+        with KnowledgeDatabase(":memory:") as db:
+            with caplog.at_level(logging.WARNING, logger="repro.pipeline"):
+                PhasePipeline(
+                    PhaseRegistry([_FlakyPhase("flaky", failures=1)]),
+                    [LoggingObserver()], default_policy=policy, sleep=lambda s: None,
+                ).run(_context(tmp_path, db))
+        assert any("retrying" in r.message for r in caplog.records)
+
+
+# ----------------------------------------------------------------------
+# hard faults from the injector
+# ----------------------------------------------------------------------
+def _find_seed(pattern, p, name="flaky"):
+    """Smallest root seed whose draw sequence matches ``pattern``."""
+    for seed in range(5000):
+        draws = [
+            stream(seed, "hard-fault", name, n).random() < p
+            for n in range(len(pattern))
+        ]
+        if draws == pattern:
+            return seed
+    raise AssertionError("no seed found for pattern")
+
+
+class TestHardFaults:
+    def test_same_seed_same_failure_pattern(self, fault_seed):
+        def pattern(seed):
+            inj = FaultInjector(
+                [Fault(name="flaky", fail_probability=0.5, error_kind="benchmark")],
+                root_seed=seed,
+            )
+            out = []
+            for _ in range(20):
+                try:
+                    inj.maybe_raise({"benchmark": "ior"})
+                    out.append(0)
+                except InjectedBenchmarkError:
+                    out.append(1)
+            return out
+
+        assert pattern(fault_seed) == pattern(fault_seed)
+        assert 0 < sum(pattern(fault_seed)) < 20  # p=0.5 fires sometimes, not always
+
+    def test_transient_fault_clears_on_retry(self):
+        # Seed chosen so the first draw fires and the second does not:
+        # exactly the "transient fault survives one retry" shape.
+        seed = _find_seed([True, False], 0.5)
+        inj = FaultInjector(
+            [Fault(name="flaky", fail_probability=0.5, error_kind="benchmark")],
+            root_seed=seed,
+        )
+        with pytest.raises(InjectedBenchmarkError) as err:
+            inj.maybe_raise({"benchmark": "ior"})
+        assert err.value.transient and err.value.fault_name == "flaky"
+        inj.maybe_raise({"benchmark": "ior"})  # retry: no raise
+
+    def test_non_matching_tags_never_raise(self):
+        inj = FaultInjector(
+            [Fault(name="f", fail_probability=1.0, when={"benchmark": "mdtest"})]
+        )
+        inj.maybe_raise({"benchmark": "ior"})  # no raise
+
+    def test_error_kind_and_scope_mapping(self):
+        from repro.pfs.faults import (
+            FaultScope,
+            MetadataServiceError,
+            ServerCrashError,
+        )
+
+        md = FaultInjector(
+            [Fault(name="md", fail_probability=1.0, scope=FaultScope.METADATA)]
+        )
+        with pytest.raises(MetadataServiceError):
+            md.maybe_raise({})
+        srv = FaultInjector(
+            [Fault(name="crash", fail_probability=1.0, scope=FaultScope.SERVER,
+                   server="stor01", transient=False)]
+        )
+        with pytest.raises(ServerCrashError) as err:
+            srv.maybe_raise({})
+        assert not err.value.transient
+
+    def test_ior_run_aborts_on_hard_fault(self):
+        from repro.benchmarks_io.ior import parse_command, run_ior
+
+        tb = Testbed.fuchs_csc(seed=11)
+        tb.fs.faults.add(
+            Fault(name="dead", fail_probability=1.0, error_kind="benchmark",
+                  when={"benchmark": "ior"}, transient=False)
+        )
+        with pytest.raises(InjectedBenchmarkError):
+            run_ior(
+                parse_command("ior -a posix -b 2m -t 1m -i 1 -o /scratch/hf/t -w -k"),
+                tb, 1, 4,
+            )
+
+
+# ----------------------------------------------------------------------
+# resilient persistence backend
+# ----------------------------------------------------------------------
+class _LockedBackend:
+    """Wraps a KnowledgeDatabase, failing the first N write executes."""
+
+    def __init__(self, db, fail_writes=0, fail_commits=0):
+        self.db = db
+        self.fail_writes = fail_writes
+        self.fail_commits = fail_commits
+        self.write_attempts = 0
+
+    def execute(self, sql, params=()):
+        if sql.lstrip().split(None, 1)[0].lower() in ("insert", "update", "delete"):
+            self.write_attempts += 1
+            if self.write_attempts <= self.fail_writes:
+                raise sqlite3.OperationalError("database is locked")
+        return self.db.execute(sql, params)
+
+    def executemany(self, sql, rows):
+        self.write_attempts += 1
+        if self.write_attempts <= self.fail_writes:
+            raise sqlite3.OperationalError("database is locked")
+        return self.db.executemany(sql, rows)
+
+    def commit(self):
+        if self.fail_commits > 0:
+            self.fail_commits -= 1
+            raise sqlite3.OperationalError("database is locked")
+        self.db.commit()
+
+    def rollback(self):
+        self.db.rollback()
+
+    def close(self):
+        self.db.close()
+
+    def transaction(self):
+        return self.db.transaction()
+
+    def table_count(self, table):
+        return self.db.table_count(table)
+
+
+class TestTransientDbPredicate:
+    def test_recognises_locked_and_transient(self):
+        assert transient_db_error(sqlite3.OperationalError("database is locked"))
+        assert transient_db_error(PersistenceError("database error on INSERT: database is locked"))
+        assert transient_db_error(_transient())
+        assert not transient_db_error(sqlite3.OperationalError("no such table: x"))
+        assert not transient_db_error(ValueError("nope"))
+
+
+class TestResilientBackend:
+    def _resilient(self, inner, threshold=3):
+        return ResilientBackend(
+            inner,
+            retry_policy=RetryPolicy(
+                max_attempts=3, base_delay_s=0.0, jitter=0.0,
+                retryable=transient_db_error,
+            ),
+            breaker=CircuitBreaker(failure_threshold=threshold, reset_timeout_s=0.0),
+            sleep=lambda s: None,
+        )
+
+    def test_survives_locked_burst_within_retry_budget(self):
+        from repro.core.knowledge import Knowledge
+
+        with KnowledgeDatabase(":memory:") as db:
+            flaky = _LockedBackend(db, fail_writes=2)
+            backend = self._resilient(flaky)
+            repo = KnowledgeRepository(backend)
+            ids = [repo.save(Knowledge(benchmark="ior")) for _ in range(3)]
+            assert ids == [1, 2, 3]
+            assert not backend.degraded
+            assert backend.table_count("performances") == 3
+
+    def test_long_burst_trips_breaker_and_buffers(self):
+        from repro.core.knowledge import Knowledge
+
+        with KnowledgeDatabase(":memory:") as db:
+            # Each save retries 3x; a long burst exhausts the budget and
+            # trips the breaker after `threshold` failed statements.
+            flaky = _LockedBackend(db, fail_writes=10_000)
+            backend = self._resilient(flaky, threshold=1)
+            repo = KnowledgeRepository(backend)
+            ids = [repo.save(Knowledge(benchmark="ior")) for _ in range(2)]
+            assert backend.degraded and backend.buffered_statements > 0
+            assert ids == [1, 2]  # predicted rowids keep the sequence
+            # Database heals: flush replays the buffer in order.
+            flaky.fail_writes = 0
+            backend.flush()
+            assert not backend.degraded
+            assert backend.table_count("performances") == 2
+            loaded = repo.load(1)
+            assert loaded.benchmark == "ior"
+
+    def test_degraded_reads_still_pass_through(self):
+        with KnowledgeDatabase(":memory:") as db:
+            flaky = _LockedBackend(db, fail_writes=10_000)
+            backend = self._resilient(flaky, threshold=1)
+            backend.execute("INSERT INTO performances (benchmark, command) VALUES ('a', 'c')")
+            assert backend.degraded
+            # Reads bypass the breaker entirely (read-only degraded mode).
+            rows = backend.execute("SELECT COUNT(*) AS n FROM performances").fetchone()
+            assert rows["n"] == 0  # buffered write not yet visible
+
+    def test_close_flushes_buffer(self, tmp_path):
+        path = tmp_path / "resilient.db"
+        db = KnowledgeDatabase(path)
+        flaky = _LockedBackend(db, fail_writes=3)
+        backend = self._resilient(flaky, threshold=1)
+        backend.execute("INSERT INTO performances (benchmark, command) VALUES ('a', 'c')")
+        assert backend.degraded
+        flaky.fail_writes = 0
+        backend.close()
+        with KnowledgeDatabase(path) as check:
+            assert check.table_count("performances") == 1
+
+    def test_close_raises_when_flush_impossible(self):
+        db = KnowledgeDatabase(":memory:")
+        flaky = _LockedBackend(db, fail_writes=10_000)
+        backend = self._resilient(flaky, threshold=1)
+        backend.execute("INSERT INTO performances (benchmark, command) VALUES ('a', 'c')")
+        with pytest.raises(PersistenceError, match="unsaved"):
+            backend.close()
+        assert backend.buffered_statements == 1  # nothing silently dropped
+        db.close()
+
+    def test_rollback_drops_uncommitted_buffer(self):
+        with KnowledgeDatabase(":memory:") as db:
+            flaky = _LockedBackend(db, fail_writes=10_000)
+            backend = self._resilient(flaky, threshold=1)
+            backend.execute("INSERT INTO performances (benchmark, command) VALUES ('a', 'c')")
+            backend.commit()
+            backend.execute("INSERT INTO performances (benchmark, command) VALUES ('b', 'c')")
+            backend.rollback()  # drops only the write after the commit marker
+            assert backend.buffered_statements == 1
+            flaky.fail_writes = 0
+            backend.flush()
+            assert backend.table_count("performances") == 1
+
+    def test_non_transient_error_propagates(self):
+        with KnowledgeDatabase(":memory:") as db:
+            backend = self._resilient(db)
+            with pytest.raises(PersistenceError):
+                backend.execute("INSERT INTO nonexistent_table (x) VALUES (1)")
+            assert not backend.degraded
+
+
+# ----------------------------------------------------------------------
+# end-to-end: the acceptance demo
+# ----------------------------------------------------------------------
+class TestEndToEndResilientCycle:
+    def _run_cycle(self, tmp_path, root_seed, fail_writes=4):
+        """One three-revolution run; returns (results, sleeps, db counts)."""
+        tb = Testbed.fuchs_csc(seed=root_seed)
+        # Transient benchmark fault: fires on its first draw, clears on a
+        # later one (seed selected so retries eventually succeed).
+        tb.fs.faults.add(
+            Fault(name="flaky-bench", fail_probability=0.5, error_kind="benchmark",
+                  when={"benchmark": "ior"})
+        )
+        slept = []
+        timer = TimingObserver()
+        policy = FailurePolicy(
+            retry=RetryPolicy(max_attempts=4, base_delay_s=0.01, seed=root_seed),
+            on_exhausted="skip",
+        )
+        db = KnowledgeDatabase(":memory:")
+        flaky_db = _LockedBackend(db, fail_writes=fail_writes)
+        backend = ResilientBackend(
+            flaky_db,
+            retry_policy=RetryPolicy(
+                max_attempts=4, base_delay_s=0.0, jitter=0.0,
+                retryable=transient_db_error,
+            ),
+            breaker=CircuitBreaker(failure_threshold=3, reset_timeout_s=0.0),
+            sleep=lambda s: None,
+        )
+        cycle = KnowledgeCycle(
+            tb, backend, workspace=tmp_path / f"ws{root_seed}",
+            observers=[timer], default_policy=policy, sleep=slept.append,
+        )
+        results = [cycle.run_cycle(CYCLE_XML) for _ in range(3)]
+        backend.flush()
+        counts = backend.table_count("performances")
+        db.close()
+        return results, slept, counts, timer
+
+    def test_faulty_revolutions_retry_and_healthy_knowledge_persists(self, tmp_path):
+        # Seed chosen so the injected benchmark fault fires at least once
+        # but a retry eventually clears it (draws: fail, ..., pass).
+        seed = _find_seed([True, False], 0.5, name="flaky-bench")
+        results, slept, count, timer = self._run_cycle(tmp_path, seed)
+        # The transient fault forced at least one retry...
+        assert len(slept) >= 1
+        retried = [t for t in timer.timings if t.attempts > 1]
+        assert retried and retried[0].phase == "generation"
+        # ...and every revolution that completed persisted its knowledge
+        # through the locked burst.
+        completed = [r for r in results if r.ok]
+        assert completed
+        persisted = sum(len(r.knowledge_ids) for r in completed)
+        assert persisted == count > 0
+        # Quarantined revolutions (if any) carry full diagnostics.
+        for r in results:
+            for f in r.failures:
+                assert f.attempts == 4 and f.phase == "generation"
+
+    def test_unrecoverable_revolution_is_quarantined_but_later_ones_persist(
+        self, tmp_path
+    ):
+        tb = Testbed.fuchs_csc(seed=21)
+        policy = FailurePolicy(
+            retry=RetryPolicy(max_attempts=3, base_delay_s=0.0, jitter=0.0),
+            on_exhausted="skip",
+        )
+        with KnowledgeDatabase(":memory:") as db:
+            cycle = KnowledgeCycle(
+                tb, db, workspace=tmp_path / "ws",
+                default_policy=policy, sleep=lambda s: None,
+            )
+            healthy_first = cycle.run_cycle(CYCLE_XML)
+            assert healthy_first.ok and healthy_first.knowledge_ids
+
+            # Revolution 2: a permanently failing benchmark exhausts its
+            # retries and is quarantined instead of killing the run.
+            tb.fs.faults.add(
+                Fault(name="dead", fail_probability=1.0, error_kind="benchmark",
+                      when={"benchmark": "ior"})
+            )
+            doomed = cycle.run_cycle(CYCLE_XML)
+            assert not doomed.ok
+            assert doomed.failures[0].phase == "generation"
+            assert doomed.failures[0].attempts == 3
+            assert "flaky" not in doomed.failures[0].error  # it names the fault
+            assert "dead" in doomed.failures[0].error
+            assert doomed.knowledge_ids == []
+
+            # Revolution 3: system healed; the cycle keeps going.
+            tb.fs.faults.clear()
+            healed = cycle.run_cycle(CYCLE_XML)
+            assert healed.ok and healed.knowledge_ids
+            assert db.table_count("performances") == len(
+                healthy_first.knowledge_ids
+            ) + len(healed.knowledge_ids)
+
+    def test_identical_seed_reproduces_identical_retry_schedule(self, tmp_path, fault_seed):
+        a = self._run_cycle(tmp_path / "a", fault_seed)
+        b = self._run_cycle(tmp_path / "b", fault_seed)
+        assert a[1] == b[1]  # exact backoff sleep sequence
+        assert a[2] == b[2]  # same persisted knowledge count
+        assert [r.ok for r in a[0]] == [r.ok for r in b[0]]
+
+    def test_cli_resilience_flags_exit_zero(self, tmp_path, capsys):
+        from repro.core.cycle import main
+
+        rc = main([
+            "--workspace", str(tmp_path / "cli_ws"),
+            "--repeat", "2",
+            "--retries", "2",
+            "--phase-timeout", "300",
+            "--on-failure", "skip",
+            "--modules", "anomaly-detection",
+            "--timings",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "revolution 2/2" in out
+        assert "attempt(s)" in out
+
+    def test_cli_flag_validation(self, capsys):
+        from repro.core.cycle import main
+
+        assert main(["--retries", "-1"]) == 2
+        assert main(["--phase-timeout", "0"]) == 2

@@ -181,9 +181,38 @@ class TestFaults:
             Fault(name="x", factor=0.5, scope="server")
 
     def test_injector_active_listing(self):
-        inj = FaultInjector([Fault(name="a", factor=0.5, when={"k": 1})])
-        assert [f.name for f in inj.active({"k": 1})] == ["a"]
-        assert inj.active({"k": 2}) == []
+        inj = FaultInjector([Fault(name="a", factor=0.5, when={"run": 1})])
+        assert [f.name for f in inj.active({"run": 1})] == ["a"]
+        assert inj.active({"run": 2}) == []
+
+    def test_unknown_when_tag_rejected_with_key_name(self):
+        # A typo'd condition key used to silently match nothing; now the
+        # offending key is named loudly at construction time.
+        with pytest.raises(ConfigurationError, match="'iteraton'"):
+            Fault(name="typo", factor=0.5, when={"iteraton": 2})
+
+    def test_custom_when_tag_can_be_registered(self):
+        from repro.pfs.faults import register_when_tag
+
+        with pytest.raises(ConfigurationError):
+            Fault(name="x", factor=0.5, when={"campaign": "night"})
+        register_when_tag("campaign")
+        assert Fault(name="x", factor=0.5, when={"campaign": "night"}).matches(
+            {"campaign": "night"}
+        )
+
+    def test_fault_str_is_readable(self):
+        soft = Fault(name="slow-srv", factor=0.2, scope=FaultScope.SERVER,
+                     server="stor01", when={"op": "read"})
+        assert str(soft) == "fault 'slow-srv' [server stor01] slowdown x0.2 when op='read'"
+        hard = Fault(name="flaky", fail_probability=0.25, transient=False)
+        assert "fails p=0.25 (permanent)" in str(hard)
+        both = Fault(name="b", factor=0.5, fail_probability=0.1)
+        assert "slowdown x0.5 + fails p=0.1 (transient)" in str(both)
+
+    def test_do_nothing_fault_rejected(self):
+        with pytest.raises(ConfigurationError, match="does nothing"):
+            Fault(name="noop")
 
 
 class TestNoiseDeterminism:
