@@ -316,19 +316,27 @@ def main(argv: Sequence[str] | None = None) -> int:
         repro-cycle [--config jube.xml] [--workspace DIR] [--db TARGET]
                     [--seed N] [--repeat N] [--modules a,b] [--timings]
                     [--retries N] [--phase-timeout S] [--on-failure skip|abort]
+                    [--metrics-json PATH] [--inject-fault P]
 
     Without ``--config``, a small built-in IOR sweep demonstrates the
     cycle.  ``--retries`` arms per-phase retry with deterministic
     backoff (and wraps the database in a :class:`ResilientBackend`),
     ``--phase-timeout`` bounds each phase's wall time, and
     ``--on-failure=skip`` quarantines a failed revolution instead of
-    aborting the run.
+    aborting the run.  ``--metrics-json`` writes the run's metrics
+    snapshot (phase outcomes, retry/breaker counters, persistence and
+    I/O counters) as stable sorted JSON; ``--inject-fault P`` arms a
+    deterministic transient benchmark fault with failure probability
+    ``P`` — combined with ``--retries`` it exercises the whole
+    resilience + observability path end to end.
     """
     import argparse
 
+    from repro.core.metrics import MetricsObserver, MetricsRegistry, MetricsTracer
     from repro.core.persistence.backend import ResilientBackend
     from repro.core.persistence.database import KnowledgeDatabase
     from repro.core.pipeline import TimingObserver
+    from repro.pfs.faults import Fault
 
     parser = argparse.ArgumentParser(
         prog="repro-cycle", description="Run the five-phase I/O knowledge cycle."
@@ -365,6 +373,20 @@ def main(argv: Sequence[str] | None = None) -> int:
         default="abort",
         help="quarantine a failed revolution (skip) or abort the run (default)",
     )
+    parser.add_argument(
+        "--metrics-json",
+        default=None,
+        metavar="PATH",
+        help="write the run's metrics snapshot as sorted JSON to PATH",
+    )
+    parser.add_argument(
+        "--inject-fault",
+        type=float,
+        default=None,
+        metavar="P",
+        help="inject a deterministic transient benchmark fault with "
+        "failure probability P in [0, 1]",
+    )
     args = parser.parse_args(list(sys.argv[1:] if argv is None else argv))
     if args.repeat < 1:
         print("error: --repeat must be >= 1", file=sys.stderr)
@@ -374,6 +396,9 @@ def main(argv: Sequence[str] | None = None) -> int:
         return 2
     if args.phase_timeout is not None and args.phase_timeout <= 0:
         print("error: --phase-timeout must be positive", file=sys.stderr)
+        return 2
+    if args.inject_fault is not None and not 0.0 < args.inject_fault <= 1.0:
+        print("error: --inject-fault must be in (0, 1]", file=sys.stderr)
         return 2
     try:
         modules = _select_modules(args.modules) if args.modules is not None else None
@@ -390,6 +415,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(f"error: cannot read {args.config}: {exc}", file=sys.stderr)
         return 1
     timer = TimingObserver()
+    metrics = MetricsRegistry() if args.metrics_json else None
     retry_policy = (
         RetryPolicy(max_attempts=args.retries + 1, base_delay_s=0.05, seed=args.seed)
         if args.retries > 0
@@ -400,23 +426,45 @@ def main(argv: Sequence[str] | None = None) -> int:
         on_exhausted=args.on_failure,
         timeout_s=args.phase_timeout,
     )
+    observers: list[PhaseObserver] = [timer] if args.timings else []
+    if metrics is not None:
+        observers.append(MetricsObserver(metrics))
     try:
-        with KnowledgeDatabase(args.db) as db:
+        with KnowledgeDatabase(args.db, metrics=metrics) as db:
             backend: PersistenceBackend = (
-                ResilientBackend(db) if args.retries > 0 else db
+                ResilientBackend(db, metrics=metrics) if args.retries > 0 else db
             )
+            testbed = Testbed.fuchs_csc(seed=args.seed)
+            if metrics is not None:
+                testbed.tracer = MetricsTracer(metrics)
+            if args.inject_fault is not None:
+                testbed.fs.faults.add(
+                    Fault(
+                        name="cli-injected",
+                        fail_probability=args.inject_fault,
+                        error_kind="benchmark",
+                        when={"benchmark": "ior"},
+                        transient=True,
+                    )
+                )
             cycle = KnowledgeCycle(
-                Testbed.fuchs_csc(seed=args.seed),
+                testbed,
                 backend,
                 Path(args.workspace),
                 modules=modules,
-                observers=[timer] if args.timings else [],
+                observers=observers,
                 default_policy=default_policy,
             )
             for revolution in range(args.repeat):
                 timer.reset()
                 result = cycle.run_cycle(xml)
                 print(f"=== revolution {revolution + 1}/{args.repeat} ===")
+                outcome = "quarantined" if result.failures else "ok"
+                if metrics is not None:
+                    metrics.counter(
+                        "cycle.revolutions_total", "cycle revolutions run",
+                        outcome=outcome,
+                    ).inc()
                 if result.failures:
                     for failure in result.failures:
                         print(f"[quarantined] {failure}", file=sys.stderr)
@@ -434,6 +482,13 @@ def main(argv: Sequence[str] | None = None) -> int:
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    finally:
+        if metrics is not None:
+            try:
+                metrics.write_json(args.metrics_json)
+            except OSError as exc:
+                print(f"error: cannot write {args.metrics_json}: {exc}", file=sys.stderr)
+                return 1
     return 0
 
 

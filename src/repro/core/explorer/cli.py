@@ -7,6 +7,7 @@ Usage::
     repro-explore knowledge.db --compare 1 2 3 --x-axis xfersize --metric bw_mean
     repro-explore knowledge.db --diff 1 2
     repro-explore knowledge.db --view 3 --chart /tmp/run3.svg
+    repro-explore --metrics metrics.json
 """
 
 from __future__ import annotations
@@ -33,7 +34,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-explore", description="Explore a knowledge database."
     )
-    parser.add_argument("database", help="SQLite knowledge database path or URL")
+    parser.add_argument(
+        "database", nargs="?", default=None,
+        help="SQLite knowledge database path or URL",
+    )
     parser.add_argument("--list", action="store_true", help="list stored knowledge")
     parser.add_argument("--view", type=int, default=None, help="show one knowledge object")
     parser.add_argument("--io500", type=int, default=None, help="show one IO500 run")
@@ -47,12 +51,39 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--x-axis", default="knowledge_id", help="comparison x axis")
     parser.add_argument("--metric", default="bw_mean", help="comparison y metric")
     parser.add_argument("--chart", default=None, help="export the view's chart as SVG")
+    parser.add_argument(
+        "--metrics", default=None, metavar="PATH",
+        help="render a text report of a repro-cycle --metrics-json snapshot",
+    )
     return parser
 
 
 def main(argv: Sequence[str] | None = None) -> int:
     """Console entry point."""
     args = build_parser().parse_args(list(sys.argv[1:] if argv is None else argv))
+    if args.metrics is not None:
+        import json
+
+        from repro.core.metrics import render_metrics_report
+
+        try:
+            with open(args.metrics, encoding="utf-8") as fh:
+                snapshot = json.load(fh)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"error: cannot read metrics snapshot {args.metrics}: {exc}",
+                  file=sys.stderr)
+            return 1
+        try:
+            print(render_metrics_report(snapshot))
+        except ReproError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        if args.database is None:
+            return 0
+    if args.database is None:
+        print("error: a knowledge database is required (or use --metrics)",
+              file=sys.stderr)
+        return 2
     try:
         with KnowledgeDatabase(args.database) as db:
             repo = KnowledgeRepository(db)

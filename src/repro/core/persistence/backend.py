@@ -23,10 +23,13 @@ import re
 import sqlite3
 import time
 from contextlib import contextmanager
-from typing import Callable, Iterable, Protocol, Sequence, runtime_checkable
+from typing import TYPE_CHECKING, Callable, Iterable, Protocol, Sequence, runtime_checkable
 
 from repro.core.resilience import CircuitBreaker, RetryPolicy, retry
 from repro.util.errors import PersistenceError
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import (avoids a cycle)
+    from repro.core.metrics import MetricsRegistry
 
 __all__ = [
     "PersistenceBackend",
@@ -199,12 +202,17 @@ class ResilientBackend:
         retry_policy: RetryPolicy | None = None,
         breaker: CircuitBreaker | None = None,
         sleep: Callable[[float], None] = time.sleep,
+        metrics: "MetricsRegistry | None" = None,
     ) -> None:
         self.backend = backend
+        self.metrics = metrics
         self.retry_policy = retry_policy or RetryPolicy(
-            max_attempts=4, base_delay_s=0.01, retryable=transient_db_error
+            max_attempts=4, base_delay_s=0.01, salt="persistence",
+            retryable=transient_db_error,
         )
-        self.breaker = breaker or CircuitBreaker(failure_threshold=3, reset_timeout_s=1.0)
+        self.breaker = breaker or CircuitBreaker(
+            failure_threshold=3, reset_timeout_s=1.0, metrics=metrics, name="persistence"
+        )
         self._sleep = sleep
         self._buffer: list[tuple] = []  # ("stmt", sql, params, predicted) | ("many", ...) | ("commit",)
         self._next_rowid: dict[str, int] = {}
@@ -213,8 +221,15 @@ class ResilientBackend:
     # -- state ---------------------------------------------------------
     @property
     def degraded(self) -> bool:
-        """Whether writes are currently buffered instead of executed."""
-        return bool(self._buffer) or self._deferred_commit or not self.breaker.allow()
+        """Whether writes are currently buffered instead of executed.
+
+        A pure peek: never claims the breaker's half-open probe slot.
+        """
+        return (
+            bool(self._buffer)
+            or self._deferred_commit
+            or self.breaker.state == CircuitBreaker.OPEN
+        )
 
     @property
     def buffered_statements(self) -> int:
@@ -254,13 +269,37 @@ class ResilientBackend:
 
     def _run(self, fn):
         """One backend call under the retry policy."""
-        return retry(fn, self.retry_policy, sleep=self._sleep)
+        return retry(
+            fn, self.retry_policy, sleep=self._sleep,
+            metrics=self.metrics, site="persistence",
+        )
+
+    def _count_stmt(self, kind: str, outcome: str, rows: int = 0) -> None:
+        if self.metrics is None:
+            return
+        self.metrics.counter(
+            "persistence.statements_total", "statements through the resilient backend",
+            kind=kind, outcome=outcome,
+        ).inc()
+        if rows > 0:
+            self.metrics.counter(
+                "persistence.rows_written_total", "rows written through the backend"
+            ).inc(rows)
+
+    def _note_buffer_depth(self) -> None:
+        if self.metrics is not None:
+            self.metrics.gauge(
+                "persistence.degraded_buffer_depth",
+                "writes waiting in the degraded-mode buffer",
+            ).set(self.buffered_statements)
 
     # -- write path ----------------------------------------------------
     def execute(self, sql: str, params: tuple = ()) -> sqlite3.Cursor:
         """Run one statement; transient write failures degrade to the buffer."""
         if not self._is_write(sql):
-            return self._run(lambda: self.backend.execute(sql, params))
+            cursor = self._run(lambda: self.backend.execute(sql, params))
+            self._count_stmt("read", "ok")
+            return cursor
         if not self.breaker.allow():
             return self._buffer_stmt(sql, params)
         if self._buffer or self._deferred_commit:
@@ -268,19 +307,23 @@ class ResilientBackend:
             try:
                 self._replay()
             except Exception as exc:
+                self.breaker.record_failure()
                 if not transient_db_error(exc):
                     raise
-                self.breaker.record_failure()
                 return self._buffer_stmt(sql, params)
         try:
             cursor = self._run(lambda: self.backend.execute(sql, params))
         except Exception as exc:
+            # Success or failure must be reported either way: the
+            # half-open probe slot is held until the breaker hears back.
+            self.breaker.record_failure()
+            self._count_stmt("write", "failed")
             if not transient_db_error(exc):
                 raise
-            self.breaker.record_failure()
             return self._buffer_stmt(sql, params)
         self.breaker.record_success()
         self._note_real_insert(sql, cursor)
+        self._count_stmt("write", "ok", rows=max(getattr(cursor, "rowcount", 0), 0) or 1)
         return cursor
 
     def executemany(self, sql: str, seq_of_params: Iterable[Sequence]) -> sqlite3.Cursor:
@@ -288,48 +331,75 @@ class ResilientBackend:
         rows = [tuple(p) for p in seq_of_params]
         if not self.breaker.allow():
             self._buffer.append(("many", sql, rows))
+            self._count_stmt("write", "buffered")
+            self._note_buffer_depth()
             return _BufferedCursor(None)
         try:
             if self._buffer or self._deferred_commit:
                 self._replay()
             cursor = self._run(lambda: self.backend.executemany(sql, rows))
         except Exception as exc:
+            self.breaker.record_failure()
+            self._count_stmt("write", "failed")
             if not transient_db_error(exc):
                 raise
-            self.breaker.record_failure()
             self._buffer.append(("many", sql, rows))
+            self._note_buffer_depth()
             return _BufferedCursor(None)
         self.breaker.record_success()
+        self._count_stmt("write", "ok", rows=len(rows))
         return cursor
 
     def _buffer_stmt(self, sql: str, params: tuple) -> _BufferedCursor:
         predicted = self._predict_rowid(sql)
         self._buffer.append(("stmt", sql, tuple(params), predicted))
+        self._count_stmt("write", "buffered")
+        self._note_buffer_depth()
         return _BufferedCursor(predicted)
+
+    def _count_event(self, name: str, help_: str, outcome: str) -> None:
+        if self.metrics is not None:
+            self.metrics.counter(name, help_, outcome=outcome).inc()
 
     def _replay(self) -> None:
         """Re-execute the buffered writes in order against the backend."""
-        while self._buffer:
-            entry = self._buffer[0]
-            if entry[0] == "commit":
-                self._run(self.backend.commit)
-            elif entry[0] == "many":
-                self._run(lambda e=entry: self.backend.executemany(e[1], e[2]))
-            else:
-                _, sql, params, predicted = entry
-                cursor = self._run(lambda: self.backend.execute(sql, params))
-                if predicted is not None and cursor.lastrowid != predicted:
-                    self.backend.rollback()
-                    raise PersistenceError(
-                        f"degraded-mode replay drifted: expected rowid {predicted}, "
-                        f"database assigned {cursor.lastrowid} — was the database "
-                        "written by another client while degraded?"
+        try:
+            while self._buffer:
+                entry = self._buffer[0]
+                if entry[0] == "commit":
+                    self._run(self.backend.commit)
+                elif entry[0] == "many":
+                    self._run(lambda e=entry: self.backend.executemany(e[1], e[2]))
+                    self._count_stmt("write", "replayed", rows=len(entry[2]))
+                else:
+                    _, sql, params, predicted = entry
+                    cursor = self._run(lambda: self.backend.execute(sql, params))
+                    if predicted is not None and cursor.lastrowid != predicted:
+                        self.backend.rollback()
+                        raise PersistenceError(
+                            f"degraded-mode replay drifted: expected rowid {predicted}, "
+                            f"database assigned {cursor.lastrowid} — was the database "
+                            "written by another client while degraded?"
+                        )
+                    self._count_stmt(
+                        "write", "replayed",
+                        rows=max(getattr(cursor, "rowcount", 0), 0) or 1,
                     )
-            self._buffer.pop(0)
-        if self._deferred_commit:
-            self._run(self.backend.commit)
-            self._deferred_commit = False
+                self._buffer.pop(0)
+            if self._deferred_commit:
+                self._run(self.backend.commit)
+                self._deferred_commit = False
+        except Exception:
+            self._count_event(
+                "persistence.replays_total", "degraded-buffer replay attempts", "failed"
+            )
+            self._note_buffer_depth()
+            raise
         self.breaker.record_success()
+        self._count_event(
+            "persistence.replays_total", "degraded-buffer replay attempts", "ok"
+        )
+        self._note_buffer_depth()
 
     def flush(self) -> None:
         """Replay any buffered writes and make them durable."""
@@ -339,6 +409,7 @@ class ResilientBackend:
             self._replay()
             self._run(self.backend.commit)
         except Exception as exc:
+            self._count_event("persistence.flushes_total", "degraded-buffer flushes", "failed")
             if transient_db_error(exc):
                 self.breaker.record_failure()
                 raise PersistenceError(
@@ -346,6 +417,7 @@ class ResilientBackend:
                     f"statement(s) still unsaved): {exc}"
                 ) from exc
             raise
+        self._count_event("persistence.flushes_total", "degraded-buffer flushes", "ok")
 
     def commit(self) -> None:
         """Commit, deferring durability while degraded."""
@@ -356,21 +428,29 @@ class ResilientBackend:
             self._run(self.backend.commit)
         except Exception as exc:
             if not transient_db_error(exc):
+                self.breaker.record_failure()
                 raise
             self.breaker.record_failure()
             self._deferred_commit = True
+            return
+        self.breaker.record_success()
 
     def rollback(self) -> None:
-        """Discard writes since the last commit, buffered ones included."""
+        """Discard writes since the last commit, buffered ones included.
+
+        State is only *peeked* here: rollback is housekeeping, not a
+        half-open probe, so it must not claim the probe slot.
+        """
         while self._buffer and self._buffer[-1][0] != "commit":
             self._buffer.pop()
-        if self.breaker.allow():
+        self._note_buffer_depth()
+        if self.breaker.state != CircuitBreaker.OPEN:
             self.backend.rollback()
 
     @contextmanager
     def transaction(self):
         """Group writes atomically; a degraded group stays in the buffer."""
-        if not self.breaker.allow():
+        if self.breaker.state == CircuitBreaker.OPEN:
             mark = len(self._buffer)
             try:
                 yield self

@@ -17,10 +17,13 @@ from __future__ import annotations
 import sqlite3
 from contextlib import contextmanager
 from pathlib import Path
-from typing import Iterable, Iterator, Sequence
+from typing import TYPE_CHECKING, Iterable, Iterator, Sequence
 
 from repro.core.persistence.schema import create_schema
 from repro.util.errors import PersistenceError
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import (avoids a cycle)
+    from repro.core.metrics import MetricsRegistry
 
 __all__ = ["resolve_database_target", "KnowledgeDatabase"]
 
@@ -53,7 +56,12 @@ class KnowledgeDatabase:
     raises :class:`PersistenceError` rather than a raw driver error.
     """
 
-    def __init__(self, target: str | Path = ":memory:") -> None:
+    def __init__(
+        self,
+        target: str | Path = ":memory:",
+        metrics: "MetricsRegistry | None" = None,
+    ) -> None:
+        self.metrics = metrics
         resolved = resolve_database_target(target)
         if resolved != ":memory:":
             try:
@@ -100,21 +108,35 @@ class KnowledgeDatabase:
         if self._closed:
             raise PersistenceError(f"database {self.target!r} is closed")
 
+    def _count(self, sql: str, outcome: str) -> None:
+        if self.metrics is not None:
+            verb = sql.lstrip().split(None, 1)[0].lower() if sql.strip() else "?"
+            self.metrics.counter(
+                "persistence.db_statements_total", "statements run on the SQLite engine",
+                verb=verb, outcome=outcome,
+            ).inc()
+
     def execute(self, sql: str, params: tuple = ()) -> sqlite3.Cursor:
         """Run one statement, wrapping driver errors."""
         self._check_open()
         try:
-            return self.conn.execute(sql, params)
+            cursor = self.conn.execute(sql, params)
         except sqlite3.Error as exc:
+            self._count(sql, "error")
             raise PersistenceError(f"database error on {sql.split()[0]}: {exc}") from exc
+        self._count(sql, "ok")
+        return cursor
 
     def executemany(self, sql: str, seq_of_params: Iterable[Sequence]) -> sqlite3.Cursor:
         """Run one statement over many parameter rows."""
         self._check_open()
         try:
-            return self.conn.executemany(sql, seq_of_params)
+            cursor = self.conn.executemany(sql, seq_of_params)
         except sqlite3.Error as exc:
+            self._count(sql, "error")
             raise PersistenceError(f"database error on {sql.split()[0]}: {exc}") from exc
+        self._count(sql, "ok")
+        return cursor
 
     def commit(self) -> None:
         """Commit completed writes (deferred inside a :meth:`transaction`)."""

@@ -442,6 +442,12 @@ class PhasePipeline:
         """
         for phase in self.registry:
             policy = self.policy_for(phase)
+            # Salt the jitter stream by phase name (unless the policy
+            # already carries a call-site salt), so phases sharing one
+            # default-seeded policy template never sleep in lock-step.
+            retry_policy = policy.retry
+            if retry_policy is not None and not retry_policy.salt:
+                retry_policy = retry_policy.with_salt(f"phase:{phase.name}")
             for observer in self.observers:
                 observer.on_phase_start(phase, context)
             attempt = 1
@@ -455,11 +461,11 @@ class PhasePipeline:
                     deadline.check(f"phase {phase.name!r}")
                 except BaseException as exc:
                     if (
-                        policy.retry is not None
-                        and attempt < policy.retry.max_attempts
-                        and policy.retry.is_retryable(exc)
+                        retry_policy is not None
+                        and attempt < retry_policy.max_attempts
+                        and retry_policy.is_retryable(exc)
                     ):
-                        delay = policy.retry.delay_s(attempt)
+                        delay = retry_policy.delay_s(attempt)
                         for observer in self.observers:
                             observer.on_phase_retry(phase, context, attempt, exc, delay)
                         self._sleep(delay)

@@ -25,11 +25,14 @@ zero wall time.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
-from typing import Callable
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Callable
 
 from repro.util.errors import ConfigurationError, DeadlineError
 from repro.util.rng import stream
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import (avoids a cycle)
+    from repro.core.metrics import MetricsRegistry
 
 __all__ = [
     "default_retryable",
@@ -59,9 +62,14 @@ class RetryPolicy:
     try plus up to two retries.  The delay before retry *n* (1-based)
     is ``base_delay_s * multiplier**(n-1)`` capped at ``max_delay_s``,
     perturbed by a jitter factor drawn from the seed-derived stream
-    ``(seed, "retry-jitter", n)`` — so two runs with the same seed sleep
-    the exact same schedule, while different seeds decorrelate (no
-    thundering herd when many workers share a policy template).
+    ``(seed, "retry-jitter", salt, n)`` — so two runs with the same
+    seed *and* salt sleep the exact same schedule, while different
+    seeds or salts decorrelate.  ``salt`` identifies the call site
+    (``"phase:generation"``, ``"persistence"`` …): without it every
+    consumer sharing the default seed would sleep an *identical*
+    schedule — exactly the thundering herd jitter exists to prevent.
+    The phase pipeline and the resilient persistence backend salt their
+    policies automatically when the salt is left empty.
     """
 
     max_attempts: int = 3
@@ -70,6 +78,7 @@ class RetryPolicy:
     max_delay_s: float = 5.0
     jitter: float = 0.1
     seed: int = 42
+    salt: str = ""
     retryable: Callable[[BaseException], bool] = field(default=default_retryable)
 
     def __post_init__(self) -> None:
@@ -86,6 +95,10 @@ class RetryPolicy:
         """Whether this policy considers ``exc`` worth another attempt."""
         return self.retryable(exc)
 
+    def with_salt(self, salt: str) -> "RetryPolicy":
+        """A copy of this policy whose jitter stream is keyed by ``salt``."""
+        return replace(self, salt=salt)
+
     def delay_s(self, attempt: int) -> float:
         """Backoff before retrying after failed attempt ``attempt`` (1-based)."""
         if attempt < 1:
@@ -93,7 +106,7 @@ class RetryPolicy:
         base = min(self.base_delay_s * self.multiplier ** (attempt - 1), self.max_delay_s)
         if self.jitter == 0.0 or base == 0.0:
             return base
-        u = stream(self.seed, "retry-jitter", attempt).random()
+        u = stream(self.seed, "retry-jitter", self.salt, attempt).random()
         return base * (1.0 + self.jitter * (2.0 * u - 1.0))
 
     def delays_s(self) -> list[float]:
@@ -108,12 +121,19 @@ def retry(
     sleep: Callable[[float], None] = time.sleep,
     on_retry: Callable[[int, BaseException, float], None] | None = None,
     deadline: "Deadline | None" = None,
+    metrics: "MetricsRegistry | None" = None,
+    site: str = "retry",
 ):
     """Call ``fn`` under ``policy``; returns its result or re-raises.
 
     ``on_retry(attempt, exc, delay_s)`` fires before each backoff sleep.
     A ``deadline`` stops retrying (re-raising the last error) once the
-    budget is spent, even if attempts remain.
+    budget is spent, even if attempts remain — and every backoff sleep
+    is *clamped* to the remaining budget, so retrying can never
+    overshoot the deadline (sleeping the full exponential delay with
+    0.1 s left used to blow the budget by the whole delay).  With a
+    ``metrics`` registry, retries and backoff totals are counted under
+    the ``site`` label.
     """
     attempt = 1
     while True:
@@ -122,11 +142,23 @@ def retry(
         except BaseException as exc:
             if attempt >= policy.max_attempts or not policy.is_retryable(exc):
                 raise
-            if deadline is not None and deadline.expired:
-                raise
             delay = policy.delay_s(attempt)
+            if deadline is not None:
+                remaining = deadline.remaining_s
+                if remaining <= 0:
+                    # Budget spent: re-raise immediately, no parting sleep.
+                    raise
+                delay = min(delay, remaining)
             if on_retry is not None:
                 on_retry(attempt, exc, delay)
+            if metrics is not None:
+                metrics.counter(
+                    "resilience.retries_total", "retries performed", site=site
+                ).inc()
+                metrics.counter(
+                    "resilience.backoff_seconds_total",
+                    "deterministic backoff slept", site=site,
+                ).inc(delay)
             sleep(delay)
             attempt += 1
 
@@ -175,15 +207,28 @@ class Deadline:
             )
 
 
+#: Numeric encoding of breaker states for the state gauge.
+_STATE_CODES = {"closed": 0.0, "half-open": 1.0, "open": 2.0}
+
+
 class CircuitBreaker:
     """Closed / open / half-open failure gate with an injectable clock.
 
     ``record_failure`` moves the breaker to OPEN after
     ``failure_threshold`` consecutive failures; while OPEN, ``allow()``
     is false.  Once ``reset_timeout_s`` has elapsed the breaker becomes
-    HALF_OPEN: the next caller is allowed through as a probe, and its
-    ``record_success``/``record_failure`` closes or re-opens the
-    circuit.
+    HALF_OPEN and admits exactly *one* in-flight probe per half-open
+    window: the first ``allow()`` claims the probe slot and further
+    calls are rejected until ``record_success``/``record_failure``
+    reports the probe's outcome, closing or re-opening the circuit.
+    (Admitting every caller while half-open would stampede the very
+    dependency the breaker is protecting.)  ``allow()`` therefore has a
+    side effect in HALF_OPEN; use :attr:`state` for a pure peek.
+
+    With a ``metrics`` registry, every state transition is counted in
+    ``resilience.breaker_transitions_total{name,from,to}`` and the
+    current state is mirrored in ``resilience.breaker_state{name}``
+    (0 = closed, 1 = half-open, 2 = open).
     """
 
     CLOSED = "closed"
@@ -195,6 +240,8 @@ class CircuitBreaker:
         failure_threshold: int = 5,
         reset_timeout_s: float = 30.0,
         clock: Callable[[], float] = time.monotonic,
+        metrics: "MetricsRegistry | None" = None,
+        name: str = "breaker",
     ) -> None:
         if failure_threshold < 1:
             raise ConfigurationError(
@@ -206,19 +253,42 @@ class CircuitBreaker:
             )
         self.failure_threshold = failure_threshold
         self.reset_timeout_s = reset_timeout_s
+        self.name = name
+        self.metrics = metrics
         self._clock = clock
         self._failures = 0
         self._state = self.CLOSED
         self._opened_at = 0.0
+        self._probe_in_flight = False
+
+    def _transition(self, new_state: str) -> None:
+        old = self._state
+        self._state = new_state
+        if old != new_state:
+            self._probe_in_flight = False  # each window gets a fresh probe slot
+            if self.metrics is not None:
+                self.metrics.counter(
+                    "resilience.breaker_transitions_total",
+                    "circuit-breaker state transitions",
+                    name=self.name, **{"from": old, "to": new_state},
+                ).inc()
+                self.metrics.gauge(
+                    "resilience.breaker_state",
+                    "0=closed 1=half-open 2=open", name=self.name,
+                ).set(_STATE_CODES[new_state])
 
     @property
     def state(self) -> str:
-        """Current state; OPEN decays to HALF_OPEN after the timeout."""
+        """Current state; OPEN decays to HALF_OPEN after the timeout.
+
+        Reading the state never claims the half-open probe slot — only
+        :meth:`allow` does.
+        """
         if (
             self._state == self.OPEN
             and self._clock() - self._opened_at >= self.reset_timeout_s
         ):
-            self._state = self.HALF_OPEN
+            self._transition(self.HALF_OPEN)
         return self._state
 
     @property
@@ -227,17 +297,31 @@ class CircuitBreaker:
         return self._failures
 
     def allow(self) -> bool:
-        """Whether a call may proceed (CLOSED or probing HALF_OPEN)."""
-        return self.state != self.OPEN
+        """Whether a call may proceed (CLOSED, or *the* HALF_OPEN probe).
+
+        While HALF_OPEN only the first caller is admitted; everyone
+        else is rejected until the probe reports via
+        ``record_success``/``record_failure``.
+        """
+        state = self.state
+        if state == self.OPEN:
+            return False
+        if state == self.HALF_OPEN:
+            if self._probe_in_flight:
+                return False
+            self._probe_in_flight = True
+        return True
 
     def record_success(self) -> None:
         """A call succeeded: close the circuit and forget failures."""
         self._failures = 0
-        self._state = self.CLOSED
+        self._transition(self.CLOSED)
+        self._probe_in_flight = False
 
     def record_failure(self) -> None:
         """A call failed: trip OPEN at the threshold or on a failed probe."""
         self._failures += 1
         if self.state == self.HALF_OPEN or self._failures >= self.failure_threshold:
-            self._state = self.OPEN
+            self._transition(self.OPEN)
             self._opened_at = self._clock()
+        self._probe_in_flight = False

@@ -19,7 +19,7 @@ from repro.cluster.sysinfo import SystemInfo, collect_system_info
 from repro.iostack.hdf5 import HDF5Layer
 from repro.iostack.mpiio import MPIIOLayer
 from repro.iostack.posix import PosixLayer
-from repro.iostack.tracing import NullTracer, Tracer
+from repro.iostack.tracing import NullTracer, TeeTracer, Tracer
 from repro.mpi.comm import Communicator
 from repro.mpi.hints import MPIIOHints
 from repro.pfs.beegfs import BeeGFS, BeeGFSSpec
@@ -126,6 +126,9 @@ class Testbed:
         )
         self.fs_flavor = fs_flavor
         self.seed = seed
+        #: Default tracer attached to every job (e.g. a metrics bridge);
+        #: combined with any per-job tracer via a TeeTracer.
+        self.tracer: Tracer | None = None
 
     @classmethod
     def fuchs_csc(cls, seed: int = 42) -> "Testbed":
@@ -165,7 +168,12 @@ class Testbed:
         tasks_per_node: int,
         tracer: Tracer | None = None,
     ) -> IOJobContext:
-        """Submit an exclusive job and wrap it into an I/O context."""
+        """Submit an exclusive job and wrap it into an I/O context.
+
+        The job's tracer is the per-job ``tracer`` combined with the
+        testbed-wide default (:attr:`tracer`): both see every event
+        when both are set.
+        """
         job = self.slurm.submit(
             JobRequest(name=name, num_nodes=num_nodes, tasks_per_node=tasks_per_node)
         )
@@ -174,7 +182,11 @@ class Testbed:
             job.allocation,
             fabric_latency_s=self.cluster.interconnect.spec.latency_s,
         )
-        return IOJobContext(testbed=self, job=job, comm=comm, tracer=tracer or NullTracer())
+        if tracer is not None and self.tracer is not None:
+            combined: Tracer = TeeTracer(tracer, self.tracer)
+        else:
+            combined = tracer or self.tracer or NullTracer()
+        return IOJobContext(testbed=self, job=job, comm=comm, tracer=combined)
 
     def finish_job(self, ctx: IOJobContext, failed: bool = False) -> float:
         """Complete the job; returns its simulated wall time."""

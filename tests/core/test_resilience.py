@@ -149,6 +149,59 @@ class TestRetryPolicy:
             retry(fn, policy, sleep=lambda s: None, deadline=deadline)
         assert clock["t"] == pytest.approx(1.2)  # two attempts, not ten
 
+    def test_backoff_sleep_is_clamped_to_remaining_deadline(self):
+        # Regression: with 0.3s left and a 2s backoff due, retry() used
+        # to sleep the full 2s, overshooting the budget by 1.7s.
+        clock = {"t": 0.0}
+        deadline = Deadline(1.0, clock=lambda: clock["t"])
+        policy = RetryPolicy(max_attempts=10, base_delay_s=2.0, jitter=0.0)
+        slept = []
+
+        def sleep(s):
+            slept.append(s)
+            clock["t"] += s  # the fake clock advances while we sleep
+
+        def fn():
+            clock["t"] += 0.7
+            raise _transient()
+
+        with pytest.raises(RuntimeError):
+            retry(fn, policy, sleep=sleep, deadline=deadline)
+        # First attempt ends at t=0.7 with 0.3s left: the 2s backoff is
+        # clamped to 0.3s.  The second attempt ends past the budget and
+        # re-raises with no parting sleep.
+        assert slept == [pytest.approx(0.3)]
+        assert clock["t"] == pytest.approx(1.7)  # 0.7 + 0.3 + 0.7, not +2.0
+
+    def test_expired_deadline_reraises_without_sleeping(self):
+        clock = {"t": 0.0}
+        deadline = Deadline(0.5, clock=lambda: clock["t"])
+        policy = RetryPolicy(max_attempts=10, base_delay_s=1.0, jitter=0.0)
+        slept = []
+
+        def fn():
+            clock["t"] += 0.6  # single attempt blows the whole budget
+            raise _transient()
+
+        with pytest.raises(RuntimeError):
+            retry(fn, policy, sleep=slept.append, deadline=deadline)
+        assert slept == []
+
+    def test_distinct_salts_decorrelate_schedules(self):
+        # Regression: jitter was keyed by (seed, attempt) only, so every
+        # call site sharing the default seed slept an identical schedule
+        # — the thundering herd jitter exists to prevent.
+        base = RetryPolicy(max_attempts=6, base_delay_s=0.1, seed=42)
+        a = base.with_salt("phase:generation")
+        b = base.with_salt("persistence")
+        assert a.delays_s() != b.delays_s()
+        # Same seed + same salt stays bit-reproducible.
+        assert a.delays_s() == base.with_salt("phase:generation").delays_s()
+        # And the unsalted policy is itself reproducible.
+        assert base.delays_s() == RetryPolicy(
+            max_attempts=6, base_delay_s=0.1, seed=42
+        ).delays_s()
+
 
 class TestDeadline:
     def test_budget_accounting(self):
@@ -209,6 +262,41 @@ class TestCircuitBreaker:
         cb.record_failure()
         assert cb.state == CircuitBreaker.CLOSED
 
+    def test_half_open_admits_exactly_one_probe(self):
+        # Regression: allow() used to admit *every* caller while
+        # HALF_OPEN, stampeding the dependency with concurrent probes.
+        clock = {"t": 0.0}
+        cb = CircuitBreaker(failure_threshold=1, reset_timeout_s=1.0, clock=lambda: clock["t"])
+        cb.record_failure()
+        clock["t"] = 1.0
+        assert cb.state == CircuitBreaker.HALF_OPEN
+        assert cb.allow()  # first caller claims the probe slot
+        assert not cb.allow()  # everyone else is rejected...
+        assert not cb.allow()
+        cb.record_success()  # ...until the probe reports back
+        assert cb.state == CircuitBreaker.CLOSED
+        assert cb.allow()
+
+    def test_failed_probe_frees_slot_for_next_window(self):
+        clock = {"t": 0.0}
+        cb = CircuitBreaker(failure_threshold=1, reset_timeout_s=1.0, clock=lambda: clock["t"])
+        cb.record_failure()
+        clock["t"] = 1.0
+        assert cb.allow() and not cb.allow()
+        cb.record_failure()  # probe failed: snap back open
+        assert cb.state == CircuitBreaker.OPEN and not cb.allow()
+        clock["t"] = 2.0  # next half-open window gets a fresh slot
+        assert cb.allow() and not cb.allow()
+
+    def test_state_peek_does_not_claim_probe_slot(self):
+        clock = {"t": 0.0}
+        cb = CircuitBreaker(failure_threshold=1, reset_timeout_s=1.0, clock=lambda: clock["t"])
+        cb.record_failure()
+        clock["t"] = 1.0
+        for _ in range(3):
+            assert cb.state == CircuitBreaker.HALF_OPEN  # peeks are free
+        assert cb.allow()  # the probe slot is still available
+
 
 # ----------------------------------------------------------------------
 # pipeline failure policies
@@ -226,7 +314,9 @@ class TestPipelinePolicies:
             )
             result = pipeline.run(_context(tmp_path, db))
         assert result.ok and flaky.calls == 3
-        assert slept == policy.retry.delays_s()
+        # The pipeline salts the policy per phase so concurrent phases
+        # sharing a seed do not sleep in lockstep.
+        assert slept == policy.retry.with_salt("phase:flaky").delays_s()
         assert [(t.phase, t.attempts) for t in timer.timings] == [("flaky", 3)]
 
     def test_identical_seed_identical_backoff_schedule(self, tmp_path, fault_seed):

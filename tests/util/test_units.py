@@ -11,6 +11,7 @@ from repro.util.units import (
     GIB,
     KIB,
     MIB,
+    TIB,
     format_bandwidth,
     format_size,
     parse_duration,
@@ -99,6 +100,40 @@ class TestRoundTrip:
         value, unit = text.split(" ")
         if "." not in value:
             assert parse_size(value + {"bytes": "", "KiB": "k", "MiB": "m", "GiB": "g", "TiB": "t"}[unit]) == n
+
+    @given(
+        st.integers(min_value=0, max_value=10_000),
+        st.integers(min_value=0, max_value=999),
+        st.sampled_from(["k", "m", "g", "t"]),
+    )
+    def test_fractional_suffix_truncates_toward_zero(self, whole, frac, suffix):
+        # "1.5g" means int(1.5 * GiB): the fractional product is
+        # *truncated*, never rounded — documented parse_size behaviour.
+        text = f"{whole}.{frac:03d}{suffix}"
+        unit = {"k": KIB, "m": MIB, "g": GIB, "t": TIB}[suffix]
+        expected = int(float(f"{whole}.{frac:03d}") * unit)
+        got = parse_size(text)
+        assert got == expected
+        assert got <= float(f"{whole}.{frac:03d}") * unit  # truncation, not rounding
+
+    def test_truncation_shown_on_half_gib(self):
+        # 1.5 GiB is exact, but sub-byte fractions drop: 0.0000000001g
+        # is less than one byte and truncates to zero.
+        assert parse_size("1.5g") == int(1.5 * GIB) == 3 * GIB // 2
+        assert parse_size("0.0000000001g") == 0
+
+    @given(st.integers(min_value=1, max_value=2**40))
+    def test_format_parse_round_trip_within_precision(self, n):
+        # Fractional renderings ("1.50 GiB") lose sub-precision detail;
+        # re-parsing must land within half a least-significant digit of
+        # the rendered unit (and exact renderings round-trip exactly).
+        text = format_size(n)
+        value, unit = text.split(" ")
+        suffix = {"bytes": "", "KiB": "k", "MiB": "m", "GiB": "g", "TiB": "t"}[unit]
+        reparsed = parse_size(value + suffix)
+        unit_bytes = {"": 1, "k": KIB, "m": MIB, "g": GIB, "t": TIB}[suffix]
+        tolerance = unit_bytes * 10.0**-2 / 2 + 1  # precision=2 decimals (+1 for truncation)
+        assert abs(reparsed - n) <= tolerance
 
 
 class TestConversions:
