@@ -8,6 +8,12 @@ Usage::
     repro-explore knowledge.db --diff 1 2
     repro-explore knowledge.db --view 3 --chart /tmp/run3.svg
     repro-explore --metrics metrics.json
+    repro-explore 'knowledge+service:///var/lib/repro/store' --list
+    repro-explore /var/lib/repro/store --service --view 2048
+
+A ``knowledge+service://`` URL (or the ``--service`` flag on a store
+directory) routes every read through the sharded knowledge service —
+same commands, cache-fronted concurrent store.
 """
 
 from __future__ import annotations
@@ -24,6 +30,7 @@ from repro.core.explorer.viewer import KnowledgeViewer
 from repro.core.persistence.database import KnowledgeDatabase
 from repro.core.persistence.io500_repo import IO500Repository
 from repro.core.persistence.repository import KnowledgeRepository
+from repro.core.service.client import ServiceClient, is_service_url
 from repro.util.errors import ReproError
 
 __all__ = ["main", "build_parser"]
@@ -55,6 +62,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics", default=None, metavar="PATH",
         help="render a text report of a repro-cycle --metrics-json snapshot",
     )
+    parser.add_argument(
+        "--service", action="store_true",
+        help="treat DATABASE as a sharded knowledge-service store "
+             "(implied by knowledge+service:// URLs)",
+    )
     return parser
 
 
@@ -85,43 +97,79 @@ def main(argv: Sequence[str] | None = None) -> int:
               file=sys.stderr)
         return 2
     try:
+        if args.service or is_service_url(args.database):
+            from pathlib import Path
+
+            from repro.core.service.client import parse_service_url
+
+            root = args.database
+            if is_service_url(root):
+                root = parse_service_url(root)[0]
+            if not (Path(root) / "manifest.db").exists():
+                print(f"error: {root} is not a knowledge-service store "
+                      "(no manifest.db); create one with repro-serve",
+                      file=sys.stderr)
+                return 1
+            with ServiceClient.open(args.database) as client:
+                return _explore(args, client, None)
         with KnowledgeDatabase(args.database) as db:
-            repo = KnowledgeRepository(db)
-            io5 = IO500Repository(db)
-            spec = None
-
-            if args.view is not None:
-                knowledge = repo.load(args.view)
-                print(KnowledgeViewer().render(knowledge))
-                spec = KnowledgeViewer().iteration_chart(knowledge)
-                print(render_ascii(spec))
-            elif args.io500 is not None:
-                print(IO500Viewer().render(io5.load(args.io500)))
-            elif args.diff:
-                from repro.core.explorer.diff import diff_knowledge
-
-                left, right = (repo.load(i) for i in args.diff)
-                print(diff_knowledge(left, right).render())
-            elif args.compare:
-                view = ComparisonView([repo.load(i) for i in args.compare])
-                print(view.table())
-                spec = view.chart(x_axis=args.x_axis, y_metric=args.metric)
-                print(render_ascii(spec))
-            else:  # default / --list
-                ids = repo.list_ids()
-                print(f"{len(ids)} knowledge object(s): {ids}")
-                io5_ids = io5.list_ids()
-                print(f"{len(io5_ids)} IO500 run(s): {io5_ids}")
-
-            if args.chart:
-                if spec is None:
-                    print("error: --chart needs --view or --compare", file=sys.stderr)
-                    return 2
-                export_image(spec, args.chart)
-                print(f"chart exported to {args.chart}")
+            return _explore(args, KnowledgeRepository(db), IO500Repository(db))
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+
+
+def _explore(args, repo, io5) -> int:
+    """Run one explorer command against a repository-shaped source.
+
+    ``repo`` is either a :class:`KnowledgeRepository` (single database)
+    or a :class:`ServiceClient` (sharded service) — both speak the same
+    ``load``/``list_ids``/``count`` API.  ``io5`` is ``None`` in
+    service mode (IO500 knowledge is not served by the service yet).
+    """
+    spec = None
+    if args.view is not None:
+        knowledge = repo.load(args.view)
+        print(KnowledgeViewer().render(knowledge))
+        spec = KnowledgeViewer().iteration_chart(knowledge)
+        print(render_ascii(spec))
+    elif args.io500 is not None:
+        if io5 is None:
+            print("error: --io500 is not available through the knowledge service",
+                  file=sys.stderr)
+            return 2
+        print(IO500Viewer().render(io5.load(args.io500)))
+    elif args.diff:
+        from repro.core.explorer.diff import diff_knowledge
+
+        left, right = (repo.load(i) for i in args.diff)
+        print(diff_knowledge(left, right).render())
+    elif args.compare:
+        view = ComparisonView([repo.load(i) for i in args.compare])
+        print(view.table())
+        spec = view.chart(x_axis=args.x_axis, y_metric=args.metric)
+        print(render_ascii(spec))
+    else:  # default / --list
+        # COUNT fast path for the header: no row deserialisation just
+        # to size the knowledge base.
+        print(f"{repo.count()} knowledge object(s): {repo.list_ids()}")
+        if io5 is not None:
+            io5_ids = io5.list_ids()
+            print(f"{len(io5_ids)} IO500 run(s): {io5_ids}")
+        else:
+            shard_map = repo.service.shard_map
+            counts = shard_map.counts()
+            per_shard = ", ".join(
+                f"shard {i}: {n}" for i, n in enumerate(counts)
+            )
+            print(f"served from {shard_map.num_shards} shard(s) ({per_shard})")
+
+    if args.chart:
+        if spec is None:
+            print("error: --chart needs --view or --compare", file=sys.stderr)
+            return 2
+        export_image(spec, args.chart)
+        print(f"chart exported to {args.chart}")
     return 0
 
 

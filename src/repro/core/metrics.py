@@ -30,6 +30,7 @@ under the repository-wide seed contract.
 from __future__ import annotations
 
 import json
+import threading
 import time
 from bisect import bisect_left
 from contextlib import contextmanager
@@ -205,6 +206,10 @@ class MetricsRegistry:
     def __init__(self, clock: Callable[[], float] = time.perf_counter) -> None:
         self._families: dict[str, _Family] = {}
         self._clock = clock
+        # Guards family/series *creation* so concurrent service workers
+        # can never overwrite each other's instruments.  Increments on
+        # an existing instrument stay lock-free.
+        self._create_lock = threading.Lock()
         self.spans_finished = 0
 
     # -- instrument factories ------------------------------------------
@@ -226,32 +231,35 @@ class MetricsRegistry:
     def counter(self, name: str, help: str = "", /, *, wallclock: bool = False,
                 **labels: object) -> Counter:
         """Get or create the counter series ``name{labels}``."""
-        family = self._family(name, "counter", help, wallclock)
         key = _label_key({k: str(v) for k, v in labels.items()})
-        series = family.series.get(key)
-        if series is None:
-            series = family.series[key] = Counter(key)
+        with self._create_lock:
+            family = self._family(name, "counter", help, wallclock)
+            series = family.series.get(key)
+            if series is None:
+                series = family.series[key] = Counter(key)
         return series  # type: ignore[return-value]
 
     def gauge(self, name: str, help: str = "", /, *, wallclock: bool = False,
               **labels: object) -> Gauge:
         """Get or create the gauge series ``name{labels}``."""
-        family = self._family(name, "gauge", help, wallclock)
         key = _label_key({k: str(v) for k, v in labels.items()})
-        series = family.series.get(key)
-        if series is None:
-            series = family.series[key] = Gauge(key)
+        with self._create_lock:
+            family = self._family(name, "gauge", help, wallclock)
+            series = family.series.get(key)
+            if series is None:
+                series = family.series[key] = Gauge(key)
         return series  # type: ignore[return-value]
 
     def histogram(self, name: str, help: str = "", /, *,
                   buckets: Sequence[float] = DEFAULT_BUCKETS,
                   wallclock: bool = False, **labels: object) -> Histogram:
         """Get or create the histogram series ``name{labels}``."""
-        family = self._family(name, "histogram", help, wallclock, tuple(buckets))
         key = _label_key({k: str(v) for k, v in labels.items()})
-        series = family.series.get(key)
-        if series is None:
-            series = family.series[key] = Histogram(key, family.boundaries)
+        with self._create_lock:
+            family = self._family(name, "histogram", help, wallclock, tuple(buckets))
+            series = family.series.get(key)
+            if series is None:
+                series = family.series[key] = Histogram(key, family.boundaries)
         return series  # type: ignore[return-value]
 
     # -- span tracing --------------------------------------------------
@@ -446,6 +454,60 @@ def _fmt_value(value: float) -> str:
     return f"{value:.6g}"
 
 
+def _counter_total(snapshot: Mapping, name: str, **match: str) -> float:
+    """Sum a counter family's series whose labels include ``match``."""
+    family = snapshot.get("counters", {}).get(name)
+    if not family:
+        return 0.0
+    total = 0.0
+    for row in family["series"]:
+        labels = row.get("labels", {})
+        if all(labels.get(k) == v for k, v in match.items()):
+            total += row["value"]
+    return total
+
+
+def _service_section(snapshot: Mapping) -> list[str]:
+    """The knowledge-service digest: cache hit-rate, queue, shed load.
+
+    Rendered only when the snapshot carries ``service.*`` families —
+    i.e. the run actually went through the serving layer.
+    """
+    names = [
+        name
+        for kind in ("counters", "gauges", "histograms")
+        for name in snapshot.get(kind, {})
+    ]
+    if not any(name.startswith("service.") for name in names):
+        return []
+    hits = _counter_total(snapshot, "service.cache_hits_total")
+    misses = _counter_total(snapshot, "service.cache_misses_total")
+    lookups = hits + misses
+    hit_rate = hits / lookups if lookups else 0.0
+    stale = _counter_total(snapshot, "service.cache_evictions_total", reason="stale")
+    capacity = _counter_total(snapshot, "service.cache_evictions_total", reason="capacity")
+    shed = _counter_total(snapshot, "service.requests_total", outcome="shed")
+    served = _counter_total(snapshot, "service.requests_total", outcome="ok")
+    errors = _counter_total(snapshot, "service.requests_total", outcome="error")
+    depth = 0.0
+    depth_family = snapshot.get("gauges", {}).get("service.queue_depth")
+    if depth_family and depth_family["series"]:
+        depth = depth_family["series"][0]["value"]
+    title = "Knowledge service"
+    return [
+        "",
+        title,
+        "-" * len(title),
+        f"  cache hit rate   {hit_rate:.1%} "
+        f"({_fmt_value(hits)} hit(s) / {_fmt_value(lookups)} lookup(s))",
+        f"  cache evictions  {_fmt_value(stale)} stale (epoch), "
+        f"{_fmt_value(capacity)} capacity",
+        f"  requests         {_fmt_value(served)} ok, {_fmt_value(errors)} error(s), "
+        f"{_fmt_value(shed)} shed (overload)",
+        f"  queue depth      {_fmt_value(depth)}",
+    ]
+
+
 def render_metrics_report(snapshot: Mapping) -> str:
     """Render one metrics snapshot as a human-readable text report."""
     if not isinstance(snapshot, Mapping) or "schema" not in snapshot:
@@ -455,6 +517,7 @@ def render_metrics_report(snapshot: Mapping) -> str:
         )
     schema = snapshot["schema"]
     lines = [f"Metrics snapshot ({schema})", "=" * 40]
+    lines += _service_section(snapshot)
     for kind, title in (("counters", "Counters"), ("gauges", "Gauges")):
         families = snapshot.get(kind, {})
         if not families:

@@ -60,6 +60,7 @@ class KnowledgeDatabase:
         self,
         target: str | Path = ":memory:",
         metrics: "MetricsRegistry | None" = None,
+        check_same_thread: bool = True,
     ) -> None:
         self.metrics = metrics
         resolved = resolve_database_target(target)
@@ -71,7 +72,11 @@ class KnowledgeDatabase:
                     f"cannot create database directory for {target!r}: {exc}"
                 ) from exc
         try:
-            self.conn = sqlite3.connect(resolved)
+            # check_same_thread=False lets the knowledge service share one
+            # connection per shard across its worker pool; the service
+            # serialises access with a per-shard lock, which is the
+            # discipline sqlite3 requires when the check is disabled.
+            self.conn = sqlite3.connect(resolved, check_same_thread=check_same_thread)
             self.conn.row_factory = sqlite3.Row
             self.conn.execute("PRAGMA foreign_keys = ON")
             create_schema(self.conn)

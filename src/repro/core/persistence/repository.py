@@ -264,6 +264,27 @@ class KnowledgeRepository:
             }
         return knowledge
 
+    def count(self, benchmark: str | None = None) -> int:
+        """Number of stored knowledge objects (``SELECT COUNT``, no rows).
+
+        The fast path for cache warm-up and summary headers: counting a
+        large knowledge base must not deserialise it.
+        """
+        if benchmark is None:
+            row = self.db.execute("SELECT COUNT(*) AS n FROM performances").fetchone()
+        else:
+            row = self.db.execute(
+                "SELECT COUNT(*) AS n FROM performances WHERE benchmark = ?", (benchmark,)
+            ).fetchone()
+        return int(row["n"])
+
+    def exists(self, knowledge_id: int) -> bool:
+        """Whether a knowledge object exists (``SELECT 1``, no row fetch)."""
+        row = self.db.execute(
+            "SELECT 1 FROM performances WHERE id = ? LIMIT 1", (knowledge_id,)
+        ).fetchone()
+        return row is not None
+
     def list_ids(self, benchmark: str | None = None) -> list[int]:
         """All knowledge ids, optionally filtered by benchmark name."""
         if benchmark is None:

@@ -1,0 +1,45 @@
+"""Knowledge service: concurrent, sharded, cache-fronted serving layer.
+
+The serving story for the Phase-III knowledge base (§V-C "locally or
+remotely"): a :class:`KnowledgeShardMap` partitions knowledge across
+independent SQLite shards behind a discovery manifest, a
+:class:`KnowledgeService` fronts them with a bounded queue, worker pool
+and epoch-invalidated LRU cache, and a :class:`ServiceClient` gives the
+explorer and usage modules the blocking repository-shaped API they
+already speak — reachable through ``knowledge+service://`` URLs and
+the ``repro-serve`` console tool.
+"""
+
+from repro.core.service.cache import EpochLRUCache
+from repro.core.service.client import (
+    SERVICE_URL_SCHEME,
+    ServiceClient,
+    is_service_url,
+    open_service,
+    parse_service_url,
+)
+from repro.core.service.service import KnowledgeService
+from repro.core.service.shard import (
+    MAX_SHARDS,
+    KnowledgeShard,
+    KnowledgeShardMap,
+    decode_knowledge_id,
+    encode_knowledge_id,
+    shard_key,
+)
+
+__all__ = [
+    "MAX_SHARDS",
+    "SERVICE_URL_SCHEME",
+    "EpochLRUCache",
+    "KnowledgeShard",
+    "KnowledgeShardMap",
+    "KnowledgeService",
+    "ServiceClient",
+    "decode_knowledge_id",
+    "encode_knowledge_id",
+    "is_service_url",
+    "open_service",
+    "parse_service_url",
+    "shard_key",
+]

@@ -1,0 +1,125 @@
+"""Read-through result cache with epoch-based invalidation.
+
+The knowledge service sits between many readers and a handful of
+SQLite shards; most explorer traffic re-reads the same objects, so a
+small LRU in front of the shards absorbs the hot set.  Invalidation is
+*epoch-based*: every committed shard write bumps that shard's epoch
+(:meth:`~repro.core.service.shard.KnowledgeShardMap.bump_epoch`), and a
+cache entry remembers the epoch vector it was filled under.  A lookup
+whose stored epochs no longer match the live epochs evicts the entry
+lazily and reports a miss — no write ever has to enumerate which cached
+keys it clobbered.
+
+All mutation happens under one internal lock, which also makes the
+hit/miss/eviction counters exact (they are mirrored into
+``service.cache_*`` metric families when a registry is attached).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import TYPE_CHECKING, Hashable
+
+from repro.util.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from repro.core.metrics import MetricsRegistry
+
+__all__ = ["EpochLRUCache"]
+
+
+class EpochLRUCache:
+    """Bounded LRU keyed by request, invalidated by shard epochs.
+
+    ``capacity=0`` disables caching (every lookup misses, stores are
+    dropped) so the service can run cache-less without special-casing.
+    """
+
+    def __init__(
+        self, capacity: int, metrics: "MetricsRegistry | None" = None
+    ) -> None:
+        if capacity < 0:
+            raise ConfigurationError(f"cache capacity must be >= 0, got {capacity}")
+        self.capacity = capacity
+        self.metrics = metrics
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[Hashable, tuple[tuple[int, ...], object]]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions_stale = 0
+        self.evictions_capacity = 0
+        if metrics is not None:
+            # Pre-create the families single-threaded so concurrent
+            # workers only ever *increment* existing series.
+            self._hits = metrics.counter(
+                "service.cache_hits_total", "result-cache lookups served from memory"
+            )
+            self._misses = metrics.counter(
+                "service.cache_misses_total", "result-cache lookups that hit a shard"
+            )
+            self._stale = metrics.counter(
+                "service.cache_evictions_total", "result-cache evictions", reason="stale"
+            )
+            self._capacity_evicted = metrics.counter(
+                "service.cache_evictions_total", "result-cache evictions", reason="capacity"
+            )
+            self._size = metrics.gauge(
+                "service.cache_size", "entries currently cached"
+            )
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: Hashable, epochs: tuple[int, ...]) -> tuple[bool, object]:
+        """Look up ``key`` as of ``epochs``; returns ``(hit, value)``.
+
+        A stored entry whose epoch vector differs from ``epochs`` is
+        stale: it is evicted on the spot and the lookup is a miss.
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None and entry[0] == epochs:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                if self.metrics is not None:
+                    self._hits.inc()
+                return True, entry[1]
+            if entry is not None:  # present but written-over: lazy eviction
+                del self._entries[key]
+                self.evictions_stale += 1
+                if self.metrics is not None:
+                    self._stale.inc()
+                    self._size.set(len(self._entries))
+            self.misses += 1
+            if self.metrics is not None:
+                self._misses.inc()
+            return False, None
+
+    def put(self, key: Hashable, epochs: tuple[int, ...], value: object) -> None:
+        """Store ``key`` as observed under ``epochs``."""
+        if self.capacity == 0:
+            return
+        with self._lock:
+            self._entries[key] = (epochs, value)
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions_capacity += 1
+                if self.metrics is not None:
+                    self._capacity_evicted.inc()
+            if self.metrics is not None:
+                self._size.set(len(self._entries))
+
+    def clear(self) -> None:
+        """Drop every entry (counts nothing as an eviction)."""
+        with self._lock:
+            self._entries.clear()
+            if self.metrics is not None:
+                self._size.set(0)
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits over lookups (0.0 before any traffic)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

@@ -1,0 +1,223 @@
+"""Service client: blocking API with deterministic-jitter backoff.
+
+The explorer and usage modules should not care whether knowledge comes
+from one local SQLite file or from the sharded service — §V-C's "local
+or remote" choice is a URL.  This module adds the service flavour to
+the existing URL-resolution path::
+
+    knowledge+service:///var/lib/repro/store?shards=4&workers=8&cache=256
+
+:class:`ServiceClient` turns the service's future-based ``submit`` into
+the blocking repository-shaped API (``load`` / ``load_all`` /
+``list_ids`` / ``count`` / ``exists`` / ``save`` / ``save_many`` /
+``delete``) that those callers already speak, and absorbs admission
+control: a shed request (:class:`~repro.util.errors.
+ServiceOverloadError`) is retried under a deterministic-jitter
+:class:`~repro.core.resilience.RetryPolicy` — same seed, same backoff
+schedule — instead of surfacing to the user.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import TimeoutError as _FutureTimeoutError
+from typing import TYPE_CHECKING, Callable, Sequence
+from urllib.parse import parse_qsl
+
+from repro.core.resilience import RetryPolicy, retry
+from repro.core.service.service import KnowledgeService
+from repro.core.service.shard import KnowledgeShardMap
+from repro.util.errors import DeadlineError, ServiceError, ServiceOverloadError
+
+if TYPE_CHECKING:  # pragma: no cover - type-only imports
+    from repro.core.knowledge import Knowledge
+    from repro.core.metrics import MetricsRegistry
+
+__all__ = [
+    "SERVICE_URL_SCHEME",
+    "is_service_url",
+    "parse_service_url",
+    "open_service",
+    "ServiceClient",
+]
+
+SERVICE_URL_SCHEME = "knowledge+service"
+
+#: URL query parameters understood by :func:`parse_service_url`.
+_URL_OPTIONS = ("shards", "workers", "queue", "cache")
+
+
+def is_service_url(target: object) -> bool:
+    """Whether ``target`` is a ``knowledge+service://`` URL."""
+    return (
+        isinstance(target, str)
+        and target.partition("://")[0] == SERVICE_URL_SCHEME
+        and "://" in target
+    )
+
+
+def parse_service_url(url: str) -> tuple[str, dict[str, int]]:
+    """Split a service URL into ``(root_directory, options)``.
+
+    Follows the same path convention as the ``sqlite://`` resolver
+    (three slashes mean an absolute path) and validates option names so
+    a typo fails loudly instead of being silently ignored.
+    """
+    scheme, sep, rest = url.partition("://")
+    if not sep or scheme != SERVICE_URL_SCHEME:
+        raise ServiceError(
+            f"not a knowledge-service URL: {url!r} (expected "
+            f"{SERVICE_URL_SCHEME}://...)"
+        )
+    path_part, _, query = rest.partition("?")
+    path = path_part.lstrip("/")
+    if not path:
+        raise ServiceError(f"service URL {url!r} has no store directory")
+    head = f"{scheme}://{path_part}"
+    root = "/" + path if head.count("/") >= 3 else path
+    options: dict[str, int] = {}
+    for key, value in parse_qsl(query, keep_blank_values=True):
+        if key not in _URL_OPTIONS:
+            raise ServiceError(
+                f"unknown service URL option {key!r}; known: {list(_URL_OPTIONS)}"
+            )
+        try:
+            options[key] = int(value)
+        except ValueError:
+            raise ServiceError(
+                f"service URL option {key}={value!r} is not an integer"
+            ) from None
+    return root, options
+
+
+def open_service(
+    target: str,
+    *,
+    metrics: "MetricsRegistry | None" = None,
+    shards: int | None = None,
+    workers: int = 4,
+    queue: int = 64,
+    cache: int = 128,
+) -> KnowledgeService:
+    """Open (or create) a knowledge service from a URL or root directory.
+
+    URL options override the keyword defaults; an existing store's
+    shard count is discovered from its manifest when ``shards`` is
+    omitted.
+    """
+    options: dict[str, int] = {}
+    root = target
+    if is_service_url(target):
+        root, options = parse_service_url(target)
+    shard_map = KnowledgeShardMap(
+        root, options.get("shards", shards), metrics=metrics
+    )
+    return KnowledgeService(
+        shard_map,
+        workers=options.get("workers", workers),
+        queue_size=options.get("queue", queue),
+        cache_size=options.get("cache", cache),
+        metrics=metrics,
+    )
+
+
+def _overload_only(exc: BaseException) -> bool:
+    return isinstance(exc, ServiceOverloadError)
+
+
+class ServiceClient:
+    """Blocking facade over :class:`KnowledgeService` with backoff.
+
+    Only admission-control sheds are retried (they happen *before* the
+    request is enqueued, so a retry can never double-apply a write);
+    execution errors surface unchanged.  ``timeout_s`` bounds each wait
+    on a result, raising :class:`DeadlineError` on expiry.
+    """
+
+    def __init__(
+        self,
+        service: KnowledgeService,
+        *,
+        retry_policy: RetryPolicy | None = None,
+        sleep: Callable[[float], None] = time.sleep,
+        timeout_s: float | None = None,
+    ) -> None:
+        self.service = service
+        self.retry_policy = retry_policy or RetryPolicy(
+            max_attempts=8, base_delay_s=0.005, max_delay_s=0.25,
+            salt="service-client", retryable=_overload_only,
+        )
+        self.timeout_s = timeout_s
+        self._sleep = sleep
+
+    @classmethod
+    def open(
+        cls,
+        target: str,
+        *,
+        metrics: "MetricsRegistry | None" = None,
+        **service_options: object,
+    ) -> "ServiceClient":
+        """Open a client (and its embedded service) from a URL or path."""
+        return cls(open_service(target, metrics=metrics, **service_options))  # type: ignore[arg-type]
+
+    def _call(self, op: str, *args: object) -> object:
+        def attempt() -> object:
+            future = self.service.submit(op, *args)
+            try:
+                return future.result(timeout=self.timeout_s)
+            except _FutureTimeoutError:
+                future.cancel()
+                raise DeadlineError(
+                    f"service request {op!r} exceeded its "
+                    f"{self.timeout_s:g}s client deadline"
+                ) from None
+
+        return retry(
+            attempt, self.retry_policy, sleep=self._sleep,
+            metrics=self.service.metrics, site="service-client",
+        )
+
+    # -- repository-shaped API -----------------------------------------
+    def save(self, knowledge: "Knowledge") -> int:
+        """Persist one knowledge object; returns its global id."""
+        return self._call("save", knowledge)  # type: ignore[return-value]
+
+    def save_many(self, objects: Sequence["Knowledge"]) -> list[int]:
+        """Persist several objects (one transaction per touched shard)."""
+        return self._call("save_many", list(objects))  # type: ignore[return-value]
+
+    def load(self, knowledge_id: int) -> "Knowledge":
+        """Load one knowledge object by global id."""
+        return self._call("load", knowledge_id)  # type: ignore[return-value]
+
+    def load_all(self, benchmark: str | None = None) -> "list[Knowledge]":
+        """Load every stored knowledge object."""
+        return self._call("load_all", benchmark)  # type: ignore[return-value]
+
+    def list_ids(self, benchmark: str | None = None) -> list[int]:
+        """All global knowledge ids, optionally filtered by benchmark."""
+        return self._call("list_ids", benchmark)  # type: ignore[return-value]
+
+    def count(self, benchmark: str | None = None) -> int:
+        """Number of stored knowledge objects (COUNT fast path)."""
+        return self._call("count", benchmark)  # type: ignore[return-value]
+
+    def exists(self, knowledge_id: int) -> bool:
+        """Whether a global knowledge id is present."""
+        return self._call("exists", knowledge_id)  # type: ignore[return-value]
+
+    def delete(self, knowledge_id: int) -> None:
+        """Delete one knowledge object by global id."""
+        self._call("delete", knowledge_id)
+
+    # -- lifecycle ------------------------------------------------------
+    def close(self) -> None:
+        """Close the underlying service (and its shards)."""
+        self.service.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

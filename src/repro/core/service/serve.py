@@ -1,0 +1,152 @@
+"""``repro-serve`` — administer and exercise a sharded knowledge store.
+
+The knowledge service is *embeddable* (there is no network daemon in
+this prototype — §V-C's "remote" store is a URL away); this CLI is its
+operator console::
+
+    repro-serve /var/lib/repro/store --shards 4
+    repro-serve /var/lib/repro/store --ingest runs.json --warm-up
+    repro-serve 'knowledge+service:///var/lib/repro/store?cache=256' --list
+    repro-serve /var/lib/repro/store --rebalance 8
+    repro-serve /var/lib/repro/store --exercise 200 --metrics-json m.json
+
+``--exercise`` drives deterministic round-robin read traffic through
+the client (same ids, same order every run) — a quick way to check the
+cache and queue behave before pointing real load at the store.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.core.knowledge import Knowledge
+from repro.core.metrics import MetricsRegistry
+from repro.core.persistence.transfer import import_json
+from repro.core.service.client import ServiceClient, is_service_url, open_service
+from repro.util.errors import ReproError
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The repro-serve argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-serve",
+        description="Administer a sharded knowledge-service store.",
+    )
+    parser.add_argument(
+        "store",
+        help="store root directory or knowledge+service:// URL",
+    )
+    parser.add_argument(
+        "--shards", type=int, default=None,
+        help="shard count when creating a new store (default 2; "
+             "existing stores are discovered from their manifest)",
+    )
+    parser.add_argument("--workers", type=int, default=4, help="worker threads")
+    parser.add_argument("--queue", type=int, default=64, help="request-queue bound")
+    parser.add_argument("--cache", type=int, default=128, help="result-cache capacity")
+    parser.add_argument(
+        "--ingest", action="append", default=[], metavar="JSON",
+        help="import knowledge from a repro-knowledge JSON file (repeatable)",
+    )
+    parser.add_argument(
+        "--warm-up", action="store_true", help="preload the result cache"
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="print the shard manifest and counts"
+    )
+    parser.add_argument(
+        "--rebalance", type=int, default=None, metavar="N",
+        help="repartition the store across N shards (store must be idle)",
+    )
+    parser.add_argument(
+        "--exercise", type=int, default=None, metavar="N",
+        help="drive N deterministic read requests through the client",
+    )
+    parser.add_argument(
+        "--metrics-json", default=None, metavar="PATH",
+        help="write the service metrics snapshot to PATH on exit",
+    )
+    return parser
+
+
+def _ingest(client: ServiceClient, paths: list[str]) -> tuple[int, int]:
+    saved = skipped = 0
+    for path in paths:
+        entries = import_json(path)
+        knowledge = [k for k in entries if isinstance(k, Knowledge)]
+        skipped += len(entries) - len(knowledge)
+        if knowledge:
+            client.save_many(knowledge)
+            saved += len(knowledge)
+    return saved, skipped
+
+
+def _exercise(client: ServiceClient, requests: int) -> None:
+    ids = client.list_ids()
+    if not ids:
+        print("exercise: store is empty, nothing to read")
+        return
+    for i in range(requests):
+        client.load(ids[i % len(ids)])
+    stats = client.service.stats()
+    print(
+        f"exercise: {requests} read(s) over {len(ids)} object(s); "
+        f"cache hit rate {stats['cache_hit_rate']:.2%} "
+        f"({stats['cache_hits']} hit(s), {stats['cache_misses']} miss(es))"
+    )
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Console entry point."""
+    args = build_parser().parse_args(list(sys.argv[1:] if argv is None else argv))
+    metrics = MetricsRegistry()
+    try:
+        if args.rebalance is not None and is_service_url(args.store):
+            print("error: --rebalance takes a plain store directory, not a URL",
+                  file=sys.stderr)
+            return 2
+        service = open_service(
+            args.store, metrics=metrics, shards=args.shards,
+            workers=args.workers, queue=args.queue, cache=args.cache,
+        )
+        with ServiceClient(service) as client:
+            if args.ingest:
+                saved, skipped = _ingest(client, args.ingest)
+                print(f"ingested {saved} knowledge object(s)"
+                      + (f" ({skipped} non-benchmark entr(ies) skipped)" if skipped else ""))
+            if args.rebalance is not None:
+                moved = service.shard_map.rebalance(args.rebalance)
+                service.cache.clear()
+                print(f"rebalanced {moved} object(s) across {args.rebalance} shard(s)")
+            if args.warm_up:
+                warmed = service.warm_up()
+                print(f"warmed {warmed} object(s) into the cache")
+            if args.exercise is not None:
+                _exercise(client, args.exercise)
+            if args.list or not (
+                args.ingest or args.warm_up or args.exercise is not None
+                or args.rebalance is not None
+            ):
+                print(f"store: {service.shard_map.root}")
+                print(f"key space: {service.shard_map.key_space}")
+                counts = service.shard_map.counts()
+                for row, n in zip(service.shard_map.manifest(), counts):
+                    print(f"  shard {row['shard_index']:>3}  {row['path']:<16} "
+                          f"{n} object(s)")
+                print(f"total: {sum(counts)} object(s) in "
+                      f"{service.shard_map.num_shards} shard(s)")
+        if args.metrics_json:
+            metrics.write_json(args.metrics_json)
+            print(f"metrics snapshot written to {args.metrics_json}")
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

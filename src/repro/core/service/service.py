@@ -1,0 +1,385 @@
+"""The knowledge service: a concurrent, cache-fronted serving layer.
+
+The ROADMAP north star is a knowledge base that serves "heavy traffic"
+while ingestion keeps writing — the always-on store that corpus studies
+and LLM-driven diagnosis front-ends presume.  This module is that
+serving layer, embeddable in-process:
+
+* requests enter a **bounded queue** (admission control): when the
+  queue is full the service *sheds* the request with a typed
+  :class:`~repro.util.errors.ServiceOverloadError` instead of letting
+  callers pile onto a wedged SQLite file — overload degrades into
+  client backoff, never a deadlock.
+* a **worker pool** drains the queue.  Every shard access happens under
+  that shard's lock (SQLite's single-writer discipline), so concurrency
+  comes from spreading keys across shards and from the result cache.
+* reads go through an :class:`~repro.core.service.cache.EpochLRUCache`;
+  every committed write bumps the owning shard's epoch, lazily evicting
+  stale entries on their next lookup.
+* shard writes run on the shard map's
+  :class:`~repro.core.persistence.backend.ResilientBackend`, so a
+  wedged shard trips its circuit breaker and quarantines (writes buffer
+  and replay on heal) instead of failing the whole cycle.
+
+Every queue transition, shard latency and cache event is recorded in
+the attached :class:`~repro.core.metrics.MetricsRegistry` under the
+``service.*`` families.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
+
+from repro.core.knowledge import Knowledge
+from repro.core.persistence.transfer import knowledge_from_dict, knowledge_to_dict
+from repro.core.service.cache import EpochLRUCache
+from repro.core.service.shard import KnowledgeShard, KnowledgeShardMap, encode_knowledge_id
+from repro.util.errors import (
+    ConfigurationError,
+    PersistenceError,
+    ServiceError,
+    ServiceOverloadError,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from repro.core.metrics import MetricsRegistry
+
+__all__ = ["KnowledgeService"]
+
+_STOP = object()  # worker-shutdown sentinel
+
+
+@dataclass(slots=True)
+class _Request:
+    op: str
+    args: tuple
+    future: Future
+
+
+class KnowledgeService:
+    """Concurrent serving front for a :class:`KnowledgeShardMap`.
+
+    ``submit(op, *args)`` enqueues a request and returns a
+    :class:`~concurrent.futures.Future`; a full queue raises
+    :class:`ServiceOverloadError` immediately (admission control).
+    :class:`~repro.core.service.client.ServiceClient` wraps this with
+    deterministic-jitter backoff and a blocking API.
+
+    The service starts its workers on construction and is a context
+    manager; ``close()`` drains the queue, stops the workers and closes
+    every shard (flushing any degraded-mode write buffers).
+    """
+
+    def __init__(
+        self,
+        shard_map: KnowledgeShardMap,
+        *,
+        workers: int = 4,
+        queue_size: int = 64,
+        cache_size: int = 128,
+        metrics: "MetricsRegistry | None" = None,
+    ) -> None:
+        if workers < 1:
+            raise ConfigurationError(f"workers must be >= 1, got {workers}")
+        if queue_size < 1:
+            raise ConfigurationError(f"queue_size must be >= 1, got {queue_size}")
+        self.shard_map = shard_map
+        self.metrics = metrics if metrics is not None else shard_map.metrics
+        self.queue_size = queue_size
+        self.cache = EpochLRUCache(cache_size, metrics=self.metrics)
+        self._queue: "queue.Queue[object]" = queue.Queue(maxsize=queue_size)
+        self._stats_lock = threading.Lock()
+        self._closed = False
+        self._ops = {
+            "save": self._op_save,
+            "save_many": self._op_save_many,
+            "delete": self._op_delete,
+            "load": self._op_load,
+            "load_all": self._op_load_all,
+            "list_ids": self._op_list_ids,
+            "count": self._op_count,
+            "exists": self._op_exists,
+        }
+        if self.metrics is not None:
+            self._depth_gauge = self.metrics.gauge(
+                "service.queue_depth", "requests waiting in the service queue"
+            )
+            self._worker_gauge = self.metrics.gauge(
+                "service.workers", "worker threads serving the queue"
+            )
+            self._worker_gauge.set(workers)
+        self._workers = [
+            threading.Thread(
+                target=self._worker_loop, name=f"knowledge-service-{i}", daemon=True
+            )
+            for i in range(workers)
+        ]
+        for thread in self._workers:
+            thread.start()
+
+    # ------------------------------------------------------------------
+    # admission + dispatch
+    # ------------------------------------------------------------------
+    def submit(self, op: str, *args: object) -> "Future[object]":
+        """Enqueue one request; returns its future.
+
+        Raises :class:`ServiceOverloadError` when the bounded queue is
+        full — the caller is expected to back off (the service client
+        does, with deterministic jitter) rather than block.
+        """
+        if self._closed:
+            raise ServiceError("knowledge service is closed")
+        if op not in self._ops:
+            raise ServiceError(
+                f"unknown service operation {op!r}; known: {sorted(self._ops)}"
+            )
+        future: "Future[object]" = Future()
+        try:
+            self._queue.put_nowait(_Request(op=op, args=args, future=future))
+        except queue.Full:
+            self._count_request(op, "shed")
+            raise ServiceOverloadError(
+                f"service queue full ({self.queue_size} request(s) waiting); "
+                "back off and retry"
+            ) from None
+        self._note_depth()
+        return future
+
+    def _worker_loop(self) -> None:
+        while True:
+            item = self._queue.get()
+            try:
+                if item is _STOP:
+                    return
+                request: _Request = item  # type: ignore[assignment]
+                self._note_depth()
+                if not request.future.set_running_or_notify_cancel():
+                    continue
+                start = time.perf_counter()
+                try:
+                    result = self._ops[request.op](*request.args)
+                except BaseException as exc:  # noqa: BLE001 - delivered via future
+                    self._count_request(request.op, "error")
+                    request.future.set_exception(exc)
+                else:
+                    self._count_request(request.op, "ok")
+                    request.future.set_result(result)
+                self._observe_latency(request.op, time.perf_counter() - start)
+            finally:
+                self._queue.task_done()
+
+    # ------------------------------------------------------------------
+    # metrics plumbing (exact under the stats lock)
+    # ------------------------------------------------------------------
+    def _note_depth(self) -> None:
+        if self.metrics is not None:
+            self._depth_gauge.set(self._queue.qsize())
+
+    def _count_request(self, op: str, outcome: str) -> None:
+        if self.metrics is not None:
+            with self._stats_lock:
+                self.metrics.counter(
+                    "service.requests_total", "requests by operation and outcome",
+                    op=op, outcome=outcome,
+                ).inc()
+
+    def _observe_latency(self, op: str, seconds: float) -> None:
+        if self.metrics is not None:
+            with self._stats_lock:
+                self.metrics.histogram(
+                    "service.request_seconds", "request service time",
+                    wallclock=True, op=op,
+                ).observe(seconds)
+
+    def _observe_shard(self, shard: KnowledgeShard, seconds: float) -> None:
+        if self.metrics is not None:
+            with self._stats_lock:
+                self.metrics.histogram(
+                    "service.shard_request_seconds", "time spent inside one shard",
+                    wallclock=True, shard=shard.index,
+                ).observe(seconds)
+
+    # ------------------------------------------------------------------
+    # write operations (per-shard lock, epoch bump after commit)
+    # ------------------------------------------------------------------
+    def _op_save(self, knowledge: Knowledge) -> int:
+        shard = self.shard_map.shard_for(knowledge)
+        start = time.perf_counter()
+        with shard.lock:
+            local_id = shard.repository.save(knowledge)
+            self.shard_map.bump_epoch(shard.index)
+        self._observe_shard(shard, time.perf_counter() - start)
+        global_id = encode_knowledge_id(local_id, shard.index)
+        knowledge.knowledge_id = global_id
+        return global_id
+
+    def _op_save_many(self, objects: Sequence[Knowledge]) -> list[int]:
+        by_shard: dict[int, list[tuple[int, Knowledge]]] = {}
+        for position, knowledge in enumerate(objects):
+            shard = self.shard_map.shard_for(knowledge)
+            by_shard.setdefault(shard.index, []).append((position, knowledge))
+        global_ids: list[int] = [0] * len(objects)
+        for index, group in sorted(by_shard.items()):
+            shard = self.shard_map.shards[index]
+            start = time.perf_counter()
+            with shard.lock:
+                local_ids = shard.repository.save_many([k for _, k in group])
+                self.shard_map.bump_epoch(index)
+            self._observe_shard(shard, time.perf_counter() - start)
+            for (position, knowledge), local_id in zip(group, local_ids):
+                gid = encode_knowledge_id(local_id, index)
+                knowledge.knowledge_id = gid
+                global_ids[position] = gid
+        return global_ids
+
+    def _op_delete(self, global_id: int) -> None:
+        shard, local_id = self.shard_map.shard_of(global_id)
+        start = time.perf_counter()
+        with shard.lock:
+            shard.repository.delete(local_id)
+            self.shard_map.bump_epoch(shard.index)
+        self._observe_shard(shard, time.perf_counter() - start)
+
+    # ------------------------------------------------------------------
+    # read operations (read-through cache)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _freeze(knowledge: Knowledge) -> tuple[dict, int | None]:
+        return knowledge_to_dict(knowledge), knowledge.knowledge_id
+
+    @staticmethod
+    def _thaw(frozen: object) -> Knowledge:
+        data, global_id = frozen  # type: ignore[misc]
+        knowledge = knowledge_from_dict(data)
+        knowledge.knowledge_id = global_id
+        return knowledge
+
+    def _op_load(self, global_id: int) -> Knowledge:
+        shard, local_id = self.shard_map.shard_of(global_id)
+        epochs = (self.shard_map.epoch(shard.index),)
+        hit, frozen = self.cache.get(("load", global_id), epochs)
+        if hit:
+            return self._thaw(frozen)
+        start = time.perf_counter()
+        with shard.lock:
+            knowledge = shard.repository.load(local_id)
+        self._observe_shard(shard, time.perf_counter() - start)
+        knowledge.knowledge_id = global_id
+        self.cache.put(("load", global_id), epochs, self._freeze(knowledge))
+        return knowledge
+
+    def _op_list_ids(self, benchmark: str | None = None) -> list[int]:
+        epochs = self.shard_map.epochs()
+        hit, value = self.cache.get(("list_ids", benchmark), epochs)
+        if hit:
+            return list(value)  # type: ignore[arg-type]
+        ids: list[int] = []
+        for shard in self.shard_map.shards:
+            start = time.perf_counter()
+            with shard.lock:
+                local_ids = shard.repository.list_ids(benchmark)
+            self._observe_shard(shard, time.perf_counter() - start)
+            ids.extend(encode_knowledge_id(i, shard.index) for i in local_ids)
+        ids.sort()
+        self.cache.put(("list_ids", benchmark), epochs, tuple(ids))
+        return ids
+
+    def _op_load_all(self, benchmark: str | None = None) -> list[Knowledge]:
+        return [self._op_load(gid) for gid in self._op_list_ids(benchmark)]
+
+    def _op_count(self, benchmark: str | None = None) -> int:
+        epochs = self.shard_map.epochs()
+        hit, value = self.cache.get(("count", benchmark), epochs)
+        if hit:
+            return int(value)  # type: ignore[arg-type]
+        total = 0
+        for shard in self.shard_map.shards:
+            start = time.perf_counter()
+            with shard.lock:
+                total += shard.repository.count(benchmark)
+            self._observe_shard(shard, time.perf_counter() - start)
+        self.cache.put(("count", benchmark), epochs, total)
+        return total
+
+    def _op_exists(self, global_id: int) -> bool:
+        try:
+            shard, local_id = self.shard_map.shard_of(global_id)
+        except (ServiceError, PersistenceError):
+            return False
+        epochs = (self.shard_map.epoch(shard.index),)
+        hit, value = self.cache.get(("exists", global_id), epochs)
+        if hit:
+            return bool(value)
+        start = time.perf_counter()
+        with shard.lock:
+            present = shard.repository.exists(local_id)
+        self._observe_shard(shard, time.perf_counter() - start)
+        self.cache.put(("exists", global_id), epochs, present)
+        return present
+
+    # ------------------------------------------------------------------
+    # administration (runs in the caller's thread, not through the queue)
+    # ------------------------------------------------------------------
+    def warm_up(self, limit: int | None = None) -> int:
+        """Preload up to ``limit`` knowledge objects into the cache.
+
+        Uses the COUNT fast path to skip empty shards without touching
+        any rows, then loads ids in global order through the cache.
+        Returns how many objects were loaded.
+        """
+        if self._op_count() == 0:
+            return 0
+        warmed = 0
+        for global_id in self._op_list_ids():
+            if limit is not None and warmed >= limit:
+                break
+            self._op_load(global_id)
+            warmed += 1
+        return warmed
+
+    def stats(self) -> dict[str, object]:
+        """A point-in-time operational summary (for ``repro-serve``)."""
+        return {
+            "shards": self.shard_map.num_shards,
+            "workers": len(self._workers),
+            "queue_depth": self._queue.qsize(),
+            "queue_size": self.queue_size,
+            "cache_entries": len(self.cache),
+            "cache_hits": self.cache.hits,
+            "cache_misses": self.cache.misses,
+            "cache_hit_rate": round(self.cache.hit_rate, 4),
+            "cache_evictions_stale": self.cache.evictions_stale,
+            "cache_evictions_capacity": self.cache.evictions_capacity,
+            "epochs": list(self.shard_map.epochs()),
+            "rows_per_shard": self.shard_map.counts(),
+        }
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has been called."""
+        return self._closed
+
+    def close(self) -> None:
+        """Drain the queue, stop the workers and close every shard."""
+        if self._closed:
+            return
+        self._closed = True
+        for _ in self._workers:
+            self._queue.put(_STOP)
+        for thread in self._workers:
+            thread.join()
+        self.shard_map.close()
+
+    def __enter__(self) -> "KnowledgeService":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

@@ -25,6 +25,8 @@ __all__ = [
     "PersistenceError",
     "PipelineError",
     "DeadlineError",
+    "ServiceError",
+    "ServiceOverloadError",
     "AnalysisError",
     "UsageError",
     "JubeError",
@@ -105,6 +107,22 @@ class DeadlineError(ReproError):
     """
 
     transient = False
+
+
+class ServiceError(ReproError):
+    """The knowledge service was misconfigured or misused."""
+
+
+class ServiceOverloadError(ServiceError):
+    """The knowledge service shed a request under admission control.
+
+    Overload is transient by definition — the queue drains as workers
+    catch up — so the default retry predicate retries it, and the
+    service client backs off with deterministic jitter before trying
+    again.
+    """
+
+    transient = True
 
 
 class AnalysisError(ReproError):

@@ -31,6 +31,10 @@ def pytest_configure(config):
     config.addinivalue_line(
         "markers", "timeout(seconds): per-test wall-time limit (0 disables)"
     )
+    config.addinivalue_line(
+        "markers",
+        "stress: concurrency soak tests (CI stress job runs `pytest -m stress`)",
+    )
 
 
 @pytest.fixture

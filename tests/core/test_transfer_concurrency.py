@@ -1,0 +1,117 @@
+"""Concurrency tests for knowledge import/export (`transfer.py`).
+
+The JSON interchange is the sharing path between knowledge bases; it
+must stay consistent when the source database is being written to at
+the same time.  Repository saves are atomic (child rows land in the
+same transaction as the parent), so an exporter running against a live
+database may miss objects that have not committed yet — but it must
+never transfer a *partial* object.
+"""
+
+import threading
+
+import pytest
+
+from repro.core.knowledge import Knowledge, KnowledgeResult, KnowledgeSummary
+from repro.core.persistence.backend import ResilientBackend
+from repro.core.persistence.database import KnowledgeDatabase
+from repro.core.persistence.repository import KnowledgeRepository
+from repro.core.persistence.transfer import export_json, import_json
+
+N_OBJECTS = 30
+N_SUMMARIES = 2
+N_RESULTS = 3
+
+
+def make_knowledge(marker: int) -> Knowledge:
+    """A knowledge object with a fixed, checkable shape."""
+    summaries = [
+        KnowledgeSummary(
+            operation=op, api="MPIIO",
+            bw_max=100.0 + marker, bw_min=90.0 + marker, bw_mean=95.0 + marker,
+            bw_stddev=1.0, ops_max=30.0, ops_min=10.0, ops_mean=20.0,
+            ops_stddev=5.0, iterations=N_RESULTS,
+            results=[
+                KnowledgeResult(iteration=i, bandwidth_mib=95.0 + marker + i,
+                                iops=10.0 * (i + 1))
+                for i in range(N_RESULTS)
+            ],
+        )
+        for op in ("write", "read")
+    ]
+    return Knowledge(
+        benchmark="ior", command=f"ior -m {marker}", api="MPIIO",
+        num_nodes=2, num_tasks=8,
+        parameters={"marker": marker, "xfersize_bytes": 1 << 20},
+        summaries=summaries,
+    )
+
+
+def assert_complete(knowledge: Knowledge) -> None:
+    """Every transferred object must be whole — no partial child rows."""
+    assert len(knowledge.summaries) == N_SUMMARIES, (
+        f"object {knowledge.parameters.get('marker')} transferred with "
+        f"{len(knowledge.summaries)} of {N_SUMMARIES} summaries"
+    )
+    for summary in knowledge.summaries:
+        assert len(summary.results) == N_RESULTS, (
+            f"object {knowledge.parameters.get('marker')} summary "
+            f"{summary.operation!r} transferred with "
+            f"{len(summary.results)} of {N_RESULTS} results"
+        )
+        assert summary.iterations == N_RESULTS
+
+
+@pytest.mark.timeout(60)
+def test_export_import_round_trip_during_concurrent_writes(tmp_path):
+    """Export/import stays whole-object atomic while a writer runs."""
+    db_path = tmp_path / "knowledge.db"
+    # Prime the schema before the threads race to create it.
+    KnowledgeDatabase(db_path).close()
+
+    started = threading.Event()
+    failures: list[BaseException] = []
+
+    def writer() -> None:
+        try:
+            with ResilientBackend(KnowledgeDatabase(db_path)) as backend:
+                repo = KnowledgeRepository(backend)
+                started.set()
+                for marker in range(N_OBJECTS):
+                    repo.save(make_knowledge(marker))
+        except BaseException as exc:  # pragma: no cover - surfaced below
+            failures.append(exc)
+            started.set()
+
+    thread = threading.Thread(target=writer, name="transfer-writer")
+    thread.start()
+    started.wait(timeout=10)
+
+    # Round-trip repeatedly while the writer is live: every object that
+    # makes it into an export must be complete.
+    reader_backend = ResilientBackend(KnowledgeDatabase(db_path))
+    reader = KnowledgeRepository(reader_backend)
+    rounds = 0
+    while thread.is_alive() or rounds == 0:
+        exported = reader.load_all()
+        path = tmp_path / f"transfer-{rounds}.json"
+        export_json(exported, path)
+        for knowledge in import_json(path):
+            assert_complete(knowledge)
+        rounds += 1
+        if rounds > 500:  # pragma: no cover - runaway guard
+            break
+    thread.join(timeout=30)
+    assert not thread.is_alive(), "writer thread hung"
+    assert not failures, f"writer failed: {failures[0]!r}"
+
+    # After the writer finishes, the transfer must carry everything.
+    final_path = tmp_path / "transfer-final.json"
+    export_json(reader.load_all(), final_path)
+    final = import_json(final_path)
+    assert len(final) == N_OBJECTS
+    markers = sorted(k.parameters["marker"] for k in final)
+    assert markers == list(range(N_OBJECTS))
+    for knowledge in final:
+        assert_complete(knowledge)
+    reader_backend.close()
