@@ -1,0 +1,46 @@
+"""Campaign orchestrator: persistent job DAG + launcher worker pool.
+
+The paper's workflow is *automated* knowledge generation: JUBE drives
+parameterized benchmark campaigns whose results feed the knowledge
+cycle.  A single ``repro-cycle`` invocation is one foreground
+revolution; this subsystem is what lets an operator declare "sweep IOR
+over these 24 transfer-size/node-count combinations, then compare" and
+walk away:
+
+* :mod:`~repro.core.campaign.spec` — a campaign TOML is expanded into
+  one job per parameter combination (``jube.parameters`` cartesian
+  expansion) plus a report job that depends on every sweep run.
+* :mod:`~repro.core.campaign.store` — jobs persist in SQLite with a
+  ``CREATED → READY → RUNNING → DONE | FAILED | RESTARTING`` state
+  machine, dependency edges forming a DAG, retry budgets, and a
+  lease/heartbeat column so a crashed launcher's RUNNING jobs are
+  reclaimed deterministically.
+* :mod:`~repro.core.campaign.launcher` — a bounded worker pool drains
+  READY jobs, executes each through the existing
+  :class:`~repro.core.pipeline.PhasePipeline`, persists knowledge
+  through any backend URL (including ``knowledge+service://``), and
+  checkpoints after every state transition so ``--resume`` picks up a
+  killed campaign mid-sweep with zero lost or duplicated runs.
+* :mod:`~repro.core.campaign.cli` — the ``repro-campaign`` operator
+  console (``--submit`` / ``--status`` / ``--run`` / ``--resume`` /
+  ``--cancel`` / ``--metrics-json``).
+"""
+
+from repro.core.campaign.launcher import Launcher
+from repro.core.campaign.spec import CampaignSpec, JobSpec, job_jube_xml, parse_campaign_toml
+from repro.core.campaign.store import (
+    JOB_STATES,
+    CampaignStore,
+    JobRow,
+)
+
+__all__ = [
+    "CampaignSpec",
+    "JobSpec",
+    "parse_campaign_toml",
+    "job_jube_xml",
+    "CampaignStore",
+    "JobRow",
+    "JOB_STATES",
+    "Launcher",
+]

@@ -1,0 +1,449 @@
+"""The campaign launcher: a bounded worker pool draining the job DAG.
+
+Workers repeatedly lease the lowest-id READY job from the
+:class:`~repro.core.campaign.store.CampaignStore` and execute it
+through the existing :class:`~repro.core.pipeline.PhasePipeline`
+(generation → extraction → a campaign-specific persist phase), with
+the same admission-control discipline as the knowledge service: the
+pool is bounded, a tripped :class:`~repro.core.resilience.
+CircuitBreaker` pauses acquisition instead of hammering a failing
+backend, and every transient failure retries under a deterministic
+:class:`~repro.core.resilience.RetryPolicy`.
+
+Exactly-once across two databases
+---------------------------------
+The campaign store and the knowledge backend cannot share one
+transaction, so a crash between "knowledge committed" and "job marked
+DONE" would naively re-run the job and duplicate its rows.  Instead
+every knowledge object a job persists is tagged with the job's unique
+idempotency token (``parameters["campaign_job"]``) and the expected
+row count (``parameters["campaign_total"]``), all in one backend
+transaction.  When a crashed launcher's RUNNING jobs are reclaimed,
+:meth:`Launcher.resolve` consults the knowledge backend:
+
+* token absent → the persist never committed → requeue (zero lost);
+* token present and complete → *adopt*: mark the job DONE with the
+  ids the dead launcher already persisted (zero duplicated);
+* token present but short of ``campaign_total`` (a partial multi-shard
+  service commit) → delete the partial rows and requeue.
+
+A job whose extraction legitimately yields no taggable knowledge
+persists a single *marker* row instead, so adoption can always tell
+"committed with nothing to report" from "never committed".
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from pathlib import Path
+from typing import TYPE_CHECKING, Callable
+
+from repro.core.campaign.store import RESTARTING, RUNNING, CampaignStore, JobRow
+from repro.core.campaign.spec import job_jube_xml
+from repro.core.cycle import ExtractionPhase, GenerationPhase
+from repro.core.explorer.comparison import ComparisonView
+from repro.core.knowledge import IO500Knowledge, Knowledge
+from repro.core.persistence.backend import ResilientBackend
+from repro.core.persistence.database import KnowledgeDatabase
+from repro.core.persistence.io500_repo import IO500Repository
+from repro.core.persistence.repository import KnowledgeRepository
+from repro.core.pipeline import (
+    CycleContext,
+    FailurePolicy,
+    PhaseObserver,
+    PhasePipeline,
+    PhaseRegistry,
+)
+from repro.core.resilience import CircuitBreaker, RetryPolicy
+from repro.core.service.client import ServiceClient, is_service_url
+from repro.iostack.stack import Testbed
+from repro.util.errors import CampaignError, ReproError
+from repro.util.rng import derive_seed
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from repro.core.metrics import MetricsRegistry
+
+__all__ = ["TOKEN_PARAMETER", "Launcher", "open_sink"]
+
+#: Knowledge-parameter key carrying the job's idempotency token.
+TOKEN_PARAMETER = "campaign_job"
+#: Knowledge-parameter key carrying the job's expected row count.
+TOTAL_PARAMETER = "campaign_total"
+#: Knowledge-parameter key marking a synthetic zero-result row.
+MARKER_PARAMETER = "campaign_marker"
+
+
+# ----------------------------------------------------------------------
+# knowledge sinks: one write/lookup discipline per backend flavour
+# ----------------------------------------------------------------------
+class _DatabaseSink:
+    """Direct SQLite knowledge backend shared by all launcher workers.
+
+    One connection (``check_same_thread=False``) serialised by a lock —
+    the same single-writer discipline the service applies per shard.
+    A job's rows (benchmark knowledge and any IO500 rows) land in one
+    transaction, which is what makes token lookup a reliable witness.
+    """
+
+    def __init__(self, target: str, *, metrics: "MetricsRegistry | None" = None) -> None:
+        self._db = KnowledgeDatabase(target, metrics=metrics, check_same_thread=False)
+        self._backend = ResilientBackend(self._db, metrics=metrics)
+        self.repository = KnowledgeRepository(self._backend)
+        self._io500 = IO500Repository(self._backend)
+        self._lock = threading.Lock()
+
+    def save_tagged(
+        self, objects: list[Knowledge], io500: list[IO500Knowledge]
+    ) -> list[int]:
+        with self._lock, self._backend.transaction():
+            ids = [self.repository.save(k) for k in objects]
+            for k in io500:
+                self._io500.save(k)
+            return ids
+
+    def find_ids_by_token(self, token: str) -> list[int]:
+        with self._lock:
+            return self.repository.find_ids_by_parameter(TOKEN_PARAMETER, token)
+
+    def fetch_many(self, ids: list[int]) -> list[Knowledge]:
+        with self._lock:
+            return self.repository.fetch_many(ids)
+
+    def delete(self, knowledge_id: int) -> None:
+        with self._lock:
+            self.repository.delete(knowledge_id)
+
+    def close(self) -> None:
+        self._backend.flush()
+        self._db.close()
+
+
+class _ServiceSink:
+    """``knowledge+service://`` backend (already thread-safe)."""
+
+    def __init__(self, url: str, *, metrics: "MetricsRegistry | None" = None) -> None:
+        self._client = ServiceClient.open(url, metrics=metrics)
+
+    def save_tagged(
+        self, objects: list[Knowledge], io500: list[IO500Knowledge]
+    ) -> list[int]:
+        if io500:
+            raise CampaignError(
+                "the knowledge service cannot persist IO500 knowledge; "
+                "use a direct database backend URL for io500 campaigns"
+            )
+        return self._client.save_many(objects)
+
+    def find_ids_by_token(self, token: str) -> list[int]:
+        return self._client.find_ids_by_parameter(TOKEN_PARAMETER, token)
+
+    def fetch_many(self, ids: list[int]) -> list[Knowledge]:
+        return self._client.fetch_many(ids)
+
+    def delete(self, knowledge_id: int) -> None:
+        self._client.delete(knowledge_id)
+
+    def close(self) -> None:
+        self._client.close()
+
+
+def open_sink(backend_url: str, *, metrics: "MetricsRegistry | None" = None):
+    """Open the campaign knowledge sink matching a backend URL."""
+    if is_service_url(backend_url):
+        return _ServiceSink(backend_url, metrics=metrics)
+    return _DatabaseSink(backend_url, metrics=metrics)
+
+
+# ----------------------------------------------------------------------
+# the campaign-specific persist phase
+# ----------------------------------------------------------------------
+class _TagAndPersistPhase:
+    """Phase III variant: tag every row with the job token, save atomically."""
+
+    name = "campaign-persist"
+
+    def __init__(self, sink, token: str, benchmark: str) -> None:
+        self.sink = sink
+        self.token = token
+        self.benchmark = benchmark
+
+    def run(self, context: CycleContext) -> int:
+        objects = [k for k in context.extracted if isinstance(k, Knowledge)]
+        io500 = [k for k in context.extracted if isinstance(k, IO500Knowledge)]
+        marker = not objects
+        if marker:
+            # A zero-result (or IO500-only) job still needs a durable
+            # witness row, or resume could not tell it from a job whose
+            # persist never committed.
+            objects = [
+                Knowledge(
+                    benchmark=self.benchmark,
+                    command="campaign-marker",
+                    parameters={MARKER_PARAMETER: True},
+                )
+            ]
+        for k in objects:
+            k.parameters[TOKEN_PARAMETER] = self.token
+            k.parameters[TOTAL_PARAMETER] = len(objects)
+        ids = self.sink.save_tagged(objects, io500)
+        context.result.knowledge_ids = [] if marker else list(ids)
+        return len(ids)
+
+
+class _HeartbeatObserver(PhaseObserver):
+    """Extends the job lease on every phase boundary and retry."""
+
+    def __init__(self, launcher: "Launcher", job_id: int) -> None:
+        self.launcher = launcher
+        self.job_id = job_id
+
+    def _beat(self) -> None:
+        self.launcher.store.heartbeat(
+            self.job_id, self.launcher.clock(), self.launcher.lease_s
+        )
+
+    def on_phase_start(self, phase, context) -> None:
+        self._beat()
+
+    def on_phase_retry(self, phase, context, attempt, error, delay_s) -> None:
+        self._beat()
+
+    def on_phase_finish(self, phase, context, duration_s, artifacts) -> None:
+        self._beat()
+
+
+# ----------------------------------------------------------------------
+# the launcher
+# ----------------------------------------------------------------------
+class Launcher:
+    """Drains one campaign's READY jobs through a bounded worker pool.
+
+    ``run(resume=True)`` is the crash-recovery entry point: RUNNING
+    jobs left behind by a dead launcher are reclaimed unconditionally
+    (the operator asserts no other launcher is alive), then resolved to
+    adoption or a requeue before any new work starts.  Without
+    ``resume``, only jobs whose lease already expired are reclaimed —
+    safe when another launcher might still be heartbeating.
+
+    ``clock`` and ``sleep`` are injectable so tests drive lease expiry
+    and backoff in zero wall time.
+    """
+
+    def __init__(
+        self,
+        store: CampaignStore,
+        campaign_id: int,
+        *,
+        workspace: str | Path,
+        workers: int = 2,
+        seed: int = 42,
+        metrics: "MetricsRegistry | None" = None,
+        retry_policy: RetryPolicy | None = None,
+        breaker: CircuitBreaker | None = None,
+        lease_s: float = 60.0,
+        poll_s: float = 0.01,
+        clock: Callable[[], float] = time.monotonic,
+        sleep: Callable[[float], None] = time.sleep,
+        testbed_factory: Callable[[int], Testbed] | None = None,
+    ) -> None:
+        if workers < 1:
+            raise CampaignError(f"workers must be >= 1, got {workers}")
+        self.store = store
+        self.campaign_id = campaign_id
+        self.workspace = Path(workspace)
+        self.workers = workers
+        self.seed = seed
+        self.metrics = metrics
+        self.retry_policy = retry_policy
+        self.breaker = breaker
+        self.lease_s = lease_s
+        self.poll_s = poll_s
+        self.clock = clock
+        self.sleep = sleep
+        self.testbed_factory = testbed_factory or (
+            lambda job_seed: Testbed.fuchs_csc(seed=job_seed)
+        )
+        self._stop = threading.Event()
+        self._crash_lock = threading.Lock()
+        self._crashes: list[BaseException] = []
+        self._sink = None
+
+    # ------------------------------------------------------------------
+    # exactly-once resolution of reclaimed jobs
+    # ------------------------------------------------------------------
+    def resolve(self, job: JobRow) -> str:
+        """Resolve one RESTARTING job against the knowledge backend.
+
+        Returns ``"adopted"``, ``"requeued"``, or ``"cleaned"``
+        (partial rows deleted, then requeued).
+        """
+        ids = self._sink.find_ids_by_token(job.token)
+        if not ids:
+            self.store.requeue(job.job_id)
+            return "requeued"
+        objects = self._sink.fetch_many(ids)
+        total = max(
+            int(o.parameters.get(TOTAL_PARAMETER, len(ids))) for o in objects
+        )
+        if len(ids) < total:
+            # Partial multi-shard commit from the crashed attempt —
+            # remove it entirely, then run the job again from scratch.
+            for knowledge_id in ids:
+                self._sink.delete(knowledge_id)
+            self.store.requeue(job.job_id)
+            return "cleaned"
+        real = [
+            o.knowledge_id
+            for o in objects
+            if not o.parameters.get(MARKER_PARAMETER)
+        ]
+        self.store.complete(job.job_id, [i for i in real if i is not None])
+        return "adopted"
+
+    def _reclaim_and_resolve(self, *, force: bool) -> None:
+        for job in self.store.reclaim(self.campaign_id, self.clock(), force=force):
+            self.resolve(job)
+
+    # ------------------------------------------------------------------
+    # job execution
+    # ------------------------------------------------------------------
+    def _execute_benchmark(self, job: JobRow) -> None:
+        campaign = self.store.campaign(job.campaign_id)
+        job_seed = derive_seed(self.seed, "campaign-job", job.token, job.attempts)
+        testbed = self.testbed_factory(job_seed)
+        workspace = self.workspace / f"job-{job.job_id}-attempt-{job.attempts}"
+        registry = PhaseRegistry(
+            [
+                GenerationPhase(),
+                ExtractionPhase(),
+                _TagAndPersistPhase(self._sink, job.token, str(campaign["benchmark"])),
+            ]
+        )
+        context = CycleContext(
+            testbed=testbed,
+            workspace=workspace,
+            backend=None,  # type: ignore[arg-type] - persist goes through the sink
+            repository=None,  # type: ignore[arg-type]
+            io500_repository=None,  # type: ignore[arg-type]
+            modules=None,  # type: ignore[arg-type]
+            viewer=None,  # type: ignore[arg-type]
+            io500_viewer=None,  # type: ignore[arg-type]
+            jube_xml=job_jube_xml(str(campaign["name"]), str(campaign["benchmark"]), job.params),
+        )
+        pipeline = PhasePipeline(
+            registry,
+            observers=[_HeartbeatObserver(self, job.job_id)],
+            default_policy=FailurePolicy(retry=self.retry_policy, on_exhausted="abort"),
+            sleep=self.sleep,
+        )
+        result = pipeline.run(context)
+        self.store.complete(job.job_id, result.knowledge_ids)
+
+    def _execute_report(self, job: JobRow) -> None:
+        ids = self.store.dependency_knowledge_ids(job.job_id)
+        self.store.heartbeat(job.job_id, self.clock(), self.lease_s)
+        objects = self._sink.fetch_many(ids) if ids else []
+        text = (
+            ComparisonView(objects).table()
+            if objects
+            else "(no knowledge rows to compare)"
+        )
+        self.store.complete(job.job_id, [], result_text=text)
+
+    def _execute(self, job: JobRow) -> None:
+        started = time.perf_counter()
+        try:
+            if job.kind == "report":
+                self._execute_report(job)
+            else:
+                self._execute_benchmark(job)
+        except ReproError as exc:
+            if self.breaker is not None:
+                self.breaker.record_failure()
+            self.store.fail(
+                job.job_id, repr(exc), retryable=bool(getattr(exc, "transient", False))
+            )
+            return
+        if self.breaker is not None:
+            self.breaker.record_success()
+        if self.metrics is not None:
+            self.metrics.histogram(
+                "campaign.job_seconds", "job execution wall time",
+                wallclock=True, kind=job.kind,
+            ).observe(time.perf_counter() - started)
+
+    # ------------------------------------------------------------------
+    # the worker loop
+    # ------------------------------------------------------------------
+    def _worker_loop(self, index: int) -> None:
+        owner = f"launcher-{id(self):x}-w{index}"
+        try:
+            while not self._stop.is_set():
+                # Reclaim any job whose lease expired under the
+                # injected clock before trying to acquire new work.
+                self._reclaim_and_resolve(force=False)
+                self.store.mark_ready(self.campaign_id)
+                job = self.store.acquire(
+                    self.campaign_id, owner, self.clock(), self.lease_s
+                )
+                if job is None:
+                    if self.store.active_count(self.campaign_id) == 0:
+                        return
+                    self.sleep(self.poll_s)
+                    continue
+                if self.breaker is not None and not self.breaker.allow():
+                    # Hand the job back untouched (no retry budget
+                    # spent) and back off while the breaker cools down.
+                    self.store.release(job.job_id)
+                    self.sleep(self.poll_s)
+                    continue
+                self._execute(job)
+        except BaseException as exc:  # noqa: BLE001 - surfaced from run()
+            # A non-ReproError escaping a worker is a launcher crash
+            # (tests inject these at state-transition checkpoints).
+            # Stop the pool and let run() re-raise it.
+            with self._crash_lock:
+                self._crashes.append(exc)
+            self._stop.set()
+
+    def run(self, *, resume: bool = False) -> dict[str, int]:
+        """Drain the campaign; returns the final per-state counts.
+
+        Propagates the first worker crash (after stopping the pool),
+        leaving the store checkpointed exactly at the crash point —
+        a subsequent ``run(resume=True)`` completes the campaign with
+        zero lost and zero duplicated knowledge rows.
+        """
+        self._stop.clear()
+        self._crashes.clear()
+        self._sink = open_sink(
+            str(self.store.campaign(self.campaign_id)["backend_url"]),
+            metrics=self.metrics,
+        )
+        try:
+            # Recover first: reclaim dead-launcher RUNNING jobs and any
+            # job that crashed mid-requeue (stuck RESTARTING), resolving
+            # each to adoption or a clean requeue before new work starts.
+            self._reclaim_and_resolve(force=resume)
+            for job in self.store.jobs(self.campaign_id):
+                if job.state == RESTARTING:
+                    self.resolve(job)
+            self.store.mark_ready(self.campaign_id)
+            threads = [
+                threading.Thread(
+                    target=self._worker_loop, args=(i,), name=f"campaign-worker-{i}",
+                    daemon=True,
+                )
+                for i in range(self.workers)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            if self._crashes:
+                raise self._crashes[0]
+            return self.store.counts(self.campaign_id)
+        finally:
+            self._sink.close()
+            self._sink = None

@@ -1,0 +1,269 @@
+"""Campaign specifications: TOML in, expanded job DAG out.
+
+A campaign file declares one benchmark sweep the way the paper's JUBE
+configuration would (§V-A) — sweep parameters carry comma-separated
+value lists and the cartesian product becomes the workpackage set::
+
+    [campaign]
+    name = "ior-xfersweep"
+    benchmark = "ior"          # a jube.steps work-registry name
+    max_attempts = 3
+
+    [parameters]               # swept: comma lists, cartesian product
+    transfersize = "1m,2m,4m"
+    nodes = "2,4"
+
+    [fixed]                    # applied to every job, never expanded
+    command = "ior -a mpiio -b 4m -t $transfersize -s 8 -F -e -i 3 -o /scratch/c/test -k"
+
+    [report]                   # optional comparison job over the sweep
+    x_axis = "transfersize"
+    metric = "bw_mean"
+
+:func:`CampaignSpec.expand` reuses the JUBE parameter machinery
+(:func:`~repro.jube.parameters.expand_parameter_space`), so value-list
+semantics are identical to what ``repro-cycle`` would run; each
+combination becomes one benchmark :class:`JobSpec` and the report job
+(when a ``[report]`` table is present) depends on all of them —
+the smallest interesting DAG.
+
+TOML parsing uses :mod:`tomllib` when available (Python >= 3.11) and
+falls back to a small built-in subset parser (tables, string / integer
+/ float / boolean values) on 3.10, keeping the container's baked-in
+toolchain sufficient.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass, field
+from xml.sax.saxutils import escape
+
+from repro.jube.parameters import Parameter, ParameterSet, expand_parameter_space
+from repro.util.errors import CampaignError
+
+try:  # Python >= 3.11
+    import tomllib as _toml
+except ImportError:  # pragma: no cover - exercised only on 3.10
+    _toml = None
+
+__all__ = [
+    "JobSpec",
+    "CampaignSpec",
+    "parse_campaign_toml",
+    "load_campaign_file",
+    "job_jube_xml",
+]
+
+#: Benchmark work names the generation phase understands (jube.steps).
+KNOWN_BENCHMARKS = ("ior", "mdtest", "io500", "hacc", "ior-darshan")
+
+_KEY_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_-]*$")
+
+
+def _parse_toml_subset(text: str) -> dict[str, dict[str, object]]:
+    """Minimal TOML-table parser for platforms without :mod:`tomllib`.
+
+    Understands ``[table]`` headers, ``key = "string"`` / integer /
+    float / ``true`` / ``false`` assignments and ``#`` comments — the
+    exact subset campaign files use.
+    """
+    tables: dict[str, dict[str, object]] = {}
+    current: dict[str, object] | None = None
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        if line.startswith("[") and line.endswith("]"):
+            name = line[1:-1].strip()
+            if not _KEY_RE.match(name):
+                raise CampaignError(f"line {lineno}: invalid table name {name!r}")
+            current = tables.setdefault(name, {})
+            continue
+        key, sep, value = line.partition("=")
+        key = key.strip()
+        value = value.strip()
+        if not sep or not _KEY_RE.match(key):
+            raise CampaignError(f"line {lineno}: cannot parse {raw!r}")
+        if current is None:
+            raise CampaignError(f"line {lineno}: assignment before any [table]")
+        if value.startswith('"') and value.endswith('"') and len(value) >= 2:
+            current[key] = value[1:-1]
+        elif value in ("true", "false"):
+            current[key] = value == "true"
+        else:
+            try:
+                current[key] = int(value)
+            except ValueError:
+                try:
+                    current[key] = float(value)
+                except ValueError:
+                    raise CampaignError(
+                        f"line {lineno}: unsupported value {value!r} "
+                        "(quote strings, or use int/float/bool)"
+                    ) from None
+    return tables
+
+
+@dataclass(frozen=True, slots=True)
+class JobSpec:
+    """One node of the campaign DAG, before persistence.
+
+    ``kind`` is ``"benchmark"`` (run one parameter combination through
+    the pipeline) or ``"report"`` (compare the knowledge its
+    dependencies produced).  ``params`` holds the fully-merged,
+    single-valued parameter dict for benchmark jobs and the report
+    options (``x_axis`` / ``metric``) for report jobs.
+    """
+
+    name: str
+    kind: str
+    params: dict[str, str]
+    depends: tuple[str, ...] = ()
+
+
+@dataclass(slots=True)
+class CampaignSpec:
+    """A parsed campaign definition."""
+
+    name: str
+    benchmark: str
+    parameters: dict[str, str] = field(default_factory=dict)  # swept (comma lists)
+    fixed: dict[str, str] = field(default_factory=dict)
+    report: dict[str, str] | None = None
+    max_attempts: int = 3
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise CampaignError("campaign needs a non-empty name")
+        if self.benchmark not in KNOWN_BENCHMARKS:
+            raise CampaignError(
+                f"unknown benchmark {self.benchmark!r}; known: {list(KNOWN_BENCHMARKS)}"
+            )
+        if self.max_attempts < 1:
+            raise CampaignError(f"max_attempts must be >= 1, got {self.max_attempts}")
+
+    def expand(self) -> list[JobSpec]:
+        """The campaign's job DAG: one job per combination, plus report.
+
+        Sweep parameters expand with JUBE's cartesian-product rule;
+        fixed parameters are merged into every combination unexpanded
+        (a fixed IOR command may legitimately contain commas).  Job
+        names are stable (``run-0000`` …) so resubmitting the same
+        campaign file yields the same DAG.
+        """
+        sweep = ParameterSet(
+            name="sweep",
+            parameters=tuple(
+                Parameter.from_text(k, v) for k, v in self.parameters.items()
+            ),
+        )
+        combos = expand_parameter_space([sweep])
+        jobs = []
+        for i, combo in enumerate(combos):
+            params = dict(self.fixed)
+            params.update(combo)
+            jobs.append(JobSpec(name=f"run-{i:04d}", kind="benchmark", params=params))
+        if self.report is not None:
+            jobs.append(
+                JobSpec(
+                    name="report",
+                    kind="report",
+                    params={str(k): str(v) for k, v in self.report.items()},
+                    depends=tuple(j.name for j in jobs),
+                )
+            )
+        return jobs
+
+    def to_json(self) -> str:
+        """Stable JSON form stored with the campaign row (provenance)."""
+        return json.dumps(
+            {
+                "name": self.name,
+                "benchmark": self.benchmark,
+                "parameters": self.parameters,
+                "fixed": self.fixed,
+                "report": self.report,
+                "max_attempts": self.max_attempts,
+            },
+            sort_keys=True,
+        )
+
+
+def parse_campaign_toml(text: str) -> CampaignSpec:
+    """Parse campaign TOML text into a :class:`CampaignSpec`."""
+    if _toml is not None:
+        try:
+            tables = _toml.loads(text)
+        except _toml.TOMLDecodeError as exc:
+            raise CampaignError(f"invalid campaign TOML: {exc}") from exc
+    else:  # pragma: no cover - 3.10 fallback
+        tables = _parse_toml_subset(text)
+    campaign = tables.get("campaign")
+    if not isinstance(campaign, dict):
+        raise CampaignError("campaign file needs a [campaign] table")
+    unknown = sorted(set(tables) - {"campaign", "parameters", "fixed", "report"})
+    if unknown:
+        raise CampaignError(
+            f"unknown campaign table(s) {unknown}; "
+            "known: [campaign], [parameters], [fixed], [report]"
+        )
+    name = str(campaign.get("name", ""))
+    benchmark = str(campaign.get("benchmark", "ior"))
+    max_attempts = campaign.get("max_attempts", 3)
+    if not isinstance(max_attempts, int) or isinstance(max_attempts, bool):
+        raise CampaignError(f"max_attempts must be an integer, got {max_attempts!r}")
+    parameters = {str(k): str(v) for k, v in tables.get("parameters", {}).items()}
+    if not parameters:
+        raise CampaignError("campaign needs at least one [parameters] entry to sweep")
+    fixed = {str(k): str(v) for k, v in tables.get("fixed", {}).items()}
+    report = tables.get("report")
+    if report is not None:
+        report = {str(k): str(v) for k, v in report.items()}
+    return CampaignSpec(
+        name=name,
+        benchmark=benchmark,
+        parameters=parameters,
+        fixed=fixed,
+        report=report,
+        max_attempts=max_attempts,
+    )
+
+
+def load_campaign_file(path: str) -> CampaignSpec:
+    """Load and parse a campaign TOML file."""
+    try:
+        with open(path, encoding="utf-8") as fh:
+            text = fh.read()
+    except OSError as exc:
+        raise CampaignError(f"cannot read campaign file {path!r}: {exc}") from exc
+    return parse_campaign_toml(text)
+
+
+def job_jube_xml(campaign_name: str, benchmark: str, params: dict[str, str]) -> str:
+    """The single-workpackage JUBE XML that executes one benchmark job.
+
+    Every parameter is single-valued (the sweep was expanded at submit
+    time), so the generation phase runs exactly one workpackage — the
+    launcher's unit of retry and exactly-once accounting.
+    """
+    lines = [
+        "<jube>",
+        f'  <benchmark name="{escape(campaign_name, {chr(34): "&quot;"})}" outpath="bench_run">',
+        '    <parameterset name="job">',
+    ]
+    for key, value in sorted(params.items()):
+        lines.append(
+            f'      <parameter name="{escape(key, {chr(34): "&quot;"})}" separator=";">'
+            f"{escape(str(value))}</parameter>"
+        )
+    lines += [
+        "    </parameterset>",
+        f'    <step name="run" work="{escape(benchmark, {chr(34): "&quot;"})}">',
+        "      <use>job</use>",
+        "    </step>",
+        "  </benchmark>",
+        "</jube>",
+    ]
+    return "\n".join(lines)

@@ -1,0 +1,662 @@
+"""The persistent campaign job store: a SQLite-backed job DAG.
+
+Balsam-style orchestration (persistent job database + launcher +
+state machine) adapted to the knowledge cycle.  Each job row carries:
+
+* a benchmark spec (work name + fully-expanded parameter dict),
+* a state machine ``CREATED → READY → RUNNING → DONE | FAILED |
+  RESTARTING`` (``RESTARTING`` is the transit state between a failed /
+  reclaimed attempt and its requeue),
+* dependency edges forming a DAG (the report job waits on every sweep
+  run; a permanently failed dependency cascades),
+* a retry budget (``attempts`` / ``max_attempts``; the launcher wires
+  its :class:`~repro.core.resilience.RetryPolicy` backoff to requeues),
+* a lease (``lease_owner`` / ``lease_expires_at``) heartbeaten by the
+  launcher so a crashed launcher's RUNNING jobs are reclaimed
+  *deterministically* — reclamation is a pure function of the clock
+  value passed in, never of wall time observed inside the store,
+* an idempotency ``token`` stamped into every knowledge row the job
+  persists, which is what makes crash-resume exactly-once: a reclaimed
+  job whose token is already present in the knowledge backend is
+  *adopted* (marked DONE with the existing ids) instead of re-run.
+
+Every state transition commits immediately — the store *is* the
+checkpoint, so a launcher killed between any two transitions resumes
+from exactly the committed state.  All transitions are validated
+against the state machine and counted in the ``campaign.*`` metrics
+family when a :class:`~repro.core.metrics.MetricsRegistry` is attached.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+import threading
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING, Callable, Sequence
+
+from repro.core.campaign.spec import CampaignSpec, JobSpec
+from repro.util.errors import CampaignError, PersistenceError
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from repro.core.metrics import MetricsRegistry
+
+__all__ = [
+    "JOB_STATES",
+    "ALLOWED_TRANSITIONS",
+    "SCHEMA_VERSION",
+    "JobRow",
+    "CampaignStore",
+]
+
+#: Bump on incompatible campaign-table layout changes.
+SCHEMA_VERSION = 1
+
+CREATED = "CREATED"
+READY = "READY"
+RUNNING = "RUNNING"
+DONE = "DONE"
+FAILED = "FAILED"
+RESTARTING = "RESTARTING"
+
+JOB_STATES = (CREATED, READY, RUNNING, DONE, FAILED, RESTARTING)
+
+#: The job state machine.  DONE and FAILED are terminal.
+ALLOWED_TRANSITIONS: dict[str, tuple[str, ...]] = {
+    CREATED: (READY, FAILED),
+    READY: (RUNNING, FAILED),
+    RUNNING: (DONE, FAILED, RESTARTING),
+    RESTARTING: (READY, DONE, FAILED),
+    DONE: (),
+    FAILED: (),
+}
+
+_DDL = """
+CREATE TABLE IF NOT EXISTS campaign_meta (
+    key   TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS campaigns (
+    id          INTEGER PRIMARY KEY,
+    name        TEXT NOT NULL,
+    benchmark   TEXT NOT NULL,
+    backend_url TEXT NOT NULL,
+    spec_json   TEXT NOT NULL,
+    cancelled   INTEGER NOT NULL DEFAULT 0
+);
+CREATE TABLE IF NOT EXISTS campaign_jobs (
+    id                 INTEGER PRIMARY KEY,
+    campaign_id        INTEGER NOT NULL REFERENCES campaigns(id) ON DELETE CASCADE,
+    name               TEXT NOT NULL,
+    kind               TEXT NOT NULL DEFAULT 'benchmark',
+    state              TEXT NOT NULL DEFAULT 'CREATED',
+    params_json        TEXT NOT NULL,
+    token              TEXT NOT NULL UNIQUE,
+    attempts           INTEGER NOT NULL DEFAULT 0,
+    max_attempts       INTEGER NOT NULL DEFAULT 3,
+    lease_owner        TEXT,
+    lease_expires_at   REAL,
+    knowledge_ids_json TEXT,
+    result_text        TEXT,
+    error              TEXT,
+    UNIQUE (campaign_id, name)
+);
+CREATE TABLE IF NOT EXISTS campaign_job_deps (
+    job_id     INTEGER NOT NULL REFERENCES campaign_jobs(id) ON DELETE CASCADE,
+    depends_on INTEGER NOT NULL REFERENCES campaign_jobs(id) ON DELETE CASCADE,
+    PRIMARY KEY (job_id, depends_on)
+);
+CREATE INDEX IF NOT EXISTS idx_campaign_jobs_state
+    ON campaign_jobs (campaign_id, state);
+"""
+
+
+@dataclass(frozen=True, slots=True)
+class JobRow:
+    """A point-in-time snapshot of one job row."""
+
+    job_id: int
+    campaign_id: int
+    name: str
+    kind: str
+    state: str
+    params: dict[str, str]
+    token: str
+    attempts: int
+    max_attempts: int
+    lease_owner: str | None
+    lease_expires_at: float | None
+    knowledge_ids: tuple[int, ...]
+    result_text: str | None
+    error: str | None
+
+
+#: Transition hook: ``(job, old_state, new_state, when)`` with ``when``
+#: in ``("pre", "post")`` — fired before and after the commit.  Tests
+#: raise from it to crash the launcher on either side of a checkpoint.
+TransitionHook = Callable[[JobRow, str, str, str], None]
+
+
+class CampaignStore:
+    """Durable campaign/job DAG in one SQLite file.
+
+    One connection is shared across launcher workers; an internal
+    re-entrant lock serialises every access (SQLite's single-writer
+    discipline), and each state transition commits before it returns,
+    which is the crash-safety contract ``--resume`` relies on.
+    """
+
+    def __init__(
+        self,
+        target: str | Path,
+        *,
+        metrics: "MetricsRegistry | None" = None,
+        on_transition: TransitionHook | None = None,
+    ) -> None:
+        self.target = str(target)
+        self.metrics = metrics
+        self.on_transition = on_transition
+        self._lock = threading.RLock()
+        if self.target != ":memory:":
+            try:
+                Path(self.target).parent.mkdir(parents=True, exist_ok=True)
+            except OSError as exc:
+                raise PersistenceError(
+                    f"cannot create campaign store directory for {target!r}: {exc}"
+                ) from exc
+        try:
+            self._conn = sqlite3.connect(self.target, check_same_thread=False)
+            self._conn.row_factory = sqlite3.Row
+            self._conn.execute("PRAGMA foreign_keys = ON")
+            self._conn.executescript(_DDL)
+            self._check_schema_version()
+            self._conn.commit()
+        except sqlite3.Error as exc:
+            raise PersistenceError(
+                f"cannot open campaign store {target!r}: {exc}"
+            ) from exc
+        self._closed = False
+
+    def _check_schema_version(self) -> None:
+        row = self._conn.execute(
+            "SELECT value FROM campaign_meta WHERE key = 'schema_version'"
+        ).fetchone()
+        if row is None:
+            self._conn.execute(
+                "INSERT INTO campaign_meta (key, value) VALUES ('schema_version', ?)",
+                (str(SCHEMA_VERSION),),
+            )
+        elif int(row["value"]) != SCHEMA_VERSION:
+            raise PersistenceError(
+                f"campaign store {self.target!r} has schema version {row['value']}; "
+                f"this build understands {SCHEMA_VERSION}"
+            )
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Close the store connection; safe to call more than once."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            self._conn.close()
+
+    def __enter__(self) -> "CampaignStore":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise PersistenceError(f"campaign store {self.target!r} is closed")
+
+    # ------------------------------------------------------------------
+    # submission
+    # ------------------------------------------------------------------
+    def submit(self, spec: CampaignSpec, backend_url: str) -> int:
+        """Persist a campaign and its expanded job DAG; returns its id.
+
+        Jobs land in CREATED, then the ready sweep promotes every job
+        with no unfinished dependencies to READY — all in one
+        transaction, so a campaign is never visible half-submitted.
+        """
+        jobs = spec.expand()
+        with self._lock:
+            self._check_open()
+            try:
+                cur = self._conn.execute(
+                    "INSERT INTO campaigns (name, benchmark, backend_url, spec_json) "
+                    "VALUES (?, ?, ?, ?)",
+                    (spec.name, spec.benchmark, backend_url, spec.to_json()),
+                )
+                campaign_id = int(cur.lastrowid)
+                name_to_id: dict[str, int] = {}
+                for job in jobs:
+                    cur = self._conn.execute(
+                        "INSERT INTO campaign_jobs "
+                        "(campaign_id, name, kind, state, params_json, token, max_attempts) "
+                        "VALUES (?, ?, ?, ?, ?, ?, ?)",
+                        (
+                            campaign_id,
+                            job.name,
+                            job.kind,
+                            CREATED,
+                            json.dumps(job.params, sort_keys=True),
+                            f"campaign-{campaign_id}/{job.name}",
+                            spec.max_attempts,
+                        ),
+                    )
+                    name_to_id[job.name] = int(cur.lastrowid)
+                self._conn.executemany(
+                    "INSERT INTO campaign_job_deps (job_id, depends_on) VALUES (?, ?)",
+                    [
+                        (name_to_id[job.name], name_to_id[dep])
+                        for job in jobs
+                        for dep in job.depends
+                    ],
+                )
+                self._conn.commit()
+            except sqlite3.Error as exc:
+                self._conn.rollback()
+                raise PersistenceError(f"cannot submit campaign: {exc}") from exc
+            self.mark_ready(campaign_id)
+            return campaign_id
+
+    # ------------------------------------------------------------------
+    # row access
+    # ------------------------------------------------------------------
+    def _row(self, job_id: int) -> sqlite3.Row:
+        row = self._conn.execute(
+            "SELECT * FROM campaign_jobs WHERE id = ?", (job_id,)
+        ).fetchone()
+        if row is None:
+            raise CampaignError(f"no campaign job with id {job_id}")
+        return row
+
+    @staticmethod
+    def _to_jobrow(row: sqlite3.Row) -> JobRow:
+        ids = row["knowledge_ids_json"]
+        return JobRow(
+            job_id=int(row["id"]),
+            campaign_id=int(row["campaign_id"]),
+            name=row["name"],
+            kind=row["kind"],
+            state=row["state"],
+            params=json.loads(row["params_json"]),
+            token=row["token"],
+            attempts=int(row["attempts"]),
+            max_attempts=int(row["max_attempts"]),
+            lease_owner=row["lease_owner"],
+            lease_expires_at=row["lease_expires_at"],
+            knowledge_ids=tuple(json.loads(ids)) if ids else (),
+            result_text=row["result_text"],
+            error=row["error"],
+        )
+
+    def job(self, job_id: int) -> JobRow:
+        """Snapshot one job row."""
+        with self._lock:
+            self._check_open()
+            return self._to_jobrow(self._row(job_id))
+
+    def jobs(self, campaign_id: int) -> list[JobRow]:
+        """Snapshot every job of one campaign, in id order."""
+        with self._lock:
+            self._check_open()
+            rows = self._conn.execute(
+                "SELECT * FROM campaign_jobs WHERE campaign_id = ? ORDER BY id",
+                (campaign_id,),
+            ).fetchall()
+            return [self._to_jobrow(r) for r in rows]
+
+    def campaign(self, campaign_id: int) -> dict[str, object]:
+        """The campaign row (name, benchmark, backend URL, spec JSON)."""
+        with self._lock:
+            self._check_open()
+            row = self._conn.execute(
+                "SELECT * FROM campaigns WHERE id = ?", (campaign_id,)
+            ).fetchone()
+            if row is None:
+                raise CampaignError(f"no campaign with id {campaign_id}")
+            return dict(row)
+
+    def campaigns(self) -> list[dict[str, object]]:
+        """Every campaign row, in id order."""
+        with self._lock:
+            self._check_open()
+            rows = self._conn.execute("SELECT * FROM campaigns ORDER BY id").fetchall()
+            return [dict(r) for r in rows]
+
+    def counts(self, campaign_id: int) -> dict[str, int]:
+        """Exact per-state job counts (every state, zero-filled)."""
+        with self._lock:
+            self._check_open()
+            out = {state: 0 for state in JOB_STATES}
+            for row in self._conn.execute(
+                "SELECT state, COUNT(*) AS n FROM campaign_jobs "
+                "WHERE campaign_id = ? GROUP BY state",
+                (campaign_id,),
+            ).fetchall():
+                out[row["state"]] = int(row["n"])
+            return out
+
+    def active_count(self, campaign_id: int) -> int:
+        """Jobs not yet in a terminal state."""
+        counts = self.counts(campaign_id)
+        return sum(n for state, n in counts.items() if state not in (DONE, FAILED))
+
+    def dependency_knowledge_ids(self, job_id: int) -> list[int]:
+        """Knowledge ids persisted by a job's (DONE) dependencies."""
+        with self._lock:
+            self._check_open()
+            rows = self._conn.execute(
+                "SELECT j.knowledge_ids_json AS ids FROM campaign_job_deps d "
+                "JOIN campaign_jobs j ON j.id = d.depends_on "
+                "WHERE d.job_id = ? ORDER BY j.id",
+                (job_id,),
+            ).fetchall()
+            out: list[int] = []
+            for row in rows:
+                if row["ids"]:
+                    out.extend(json.loads(row["ids"]))
+            return out
+
+    # ------------------------------------------------------------------
+    # the state machine
+    # ------------------------------------------------------------------
+    def _transition(
+        self,
+        job_id: int,
+        new_state: str,
+        *,
+        sets: dict[str, object] | None = None,
+    ) -> JobRow:
+        """Apply one validated state transition and commit it.
+
+        The ``pre`` hook fires before anything is written (a crash
+        there leaves the old state committed); the ``post`` hook fires
+        after the commit (a crash there leaves the new state durable) —
+        together they let tests kill the launcher on either side of
+        every checkpoint.
+        """
+        with self._lock:
+            self._check_open()
+            row = self._row(job_id)
+            old = row["state"]
+            if new_state not in ALLOWED_TRANSITIONS[old]:
+                raise CampaignError(
+                    f"job {row['name']!r}: illegal transition {old} -> {new_state}"
+                )
+            snapshot = self._to_jobrow(row)
+            if self.on_transition is not None:
+                self.on_transition(snapshot, old, new_state, "pre")
+            assignments = {"state": new_state}
+            assignments.update(sets or {})
+            columns = ", ".join(f"{k} = ?" for k in assignments)
+            try:
+                self._conn.execute(
+                    f"UPDATE campaign_jobs SET {columns} WHERE id = ?",
+                    (*assignments.values(), job_id),
+                )
+                self._conn.commit()
+            except sqlite3.Error as exc:
+                self._conn.rollback()
+                raise PersistenceError(
+                    f"cannot persist transition {old} -> {new_state}: {exc}"
+                ) from exc
+            updated = self._to_jobrow(self._row(job_id))
+            self._count_transition(old, new_state)
+            self._update_state_gauges(snapshot.campaign_id)
+            if self.on_transition is not None:
+                self.on_transition(updated, old, new_state, "post")
+            return updated
+
+    def mark_ready(self, campaign_id: int) -> int:
+        """Promote CREATED jobs whose dependencies are all DONE to READY.
+
+        A permanently FAILED dependency cascades: the dependent job is
+        failed too (``error='dependency failed'``) so the DAG always
+        drains.  Sweeps until a fixpoint; returns how many jobs moved.
+        """
+        moved = 0
+        with self._lock:
+            self._check_open()
+            while True:
+                progressed = False
+                rows = self._conn.execute(
+                    "SELECT id FROM campaign_jobs WHERE campaign_id = ? AND state = ?",
+                    (campaign_id, CREATED),
+                ).fetchall()
+                for row in rows:
+                    job_id = int(row["id"])
+                    dep_states = [
+                        r["state"]
+                        for r in self._conn.execute(
+                            "SELECT p.state AS state FROM campaign_job_deps d "
+                            "JOIN campaign_jobs p ON p.id = d.depends_on "
+                            "WHERE d.job_id = ?",
+                            (job_id,),
+                        ).fetchall()
+                    ]
+                    if any(s == FAILED for s in dep_states):
+                        self._transition(
+                            job_id, FAILED, sets={"error": "dependency failed"}
+                        )
+                        progressed = True
+                        moved += 1
+                    elif all(s == DONE for s in dep_states):
+                        self._transition(job_id, READY)
+                        progressed = True
+                        moved += 1
+                if not progressed:
+                    return moved
+
+    def acquire(
+        self, campaign_id: int, owner: str, now: float, lease_s: float
+    ) -> JobRow | None:
+        """Lease the lowest-id READY job: READY → RUNNING.
+
+        Returns ``None`` when no job is ready.  The attempt counter
+        increments here — every RUNNING stint spends one unit of the
+        retry budget, including stints that end in a crash, so a
+        crash-looping job is bounded by ``max_attempts`` like any other
+        failure mode.
+        """
+        with self._lock:
+            self._check_open()
+            row = self._conn.execute(
+                "SELECT id FROM campaign_jobs WHERE campaign_id = ? AND state = ? "
+                "ORDER BY id LIMIT 1",
+                (campaign_id, READY),
+            ).fetchone()
+            if row is None:
+                return None
+            job = self._to_jobrow(self._row(int(row["id"])))
+            return self._transition(
+                job.job_id,
+                RUNNING,
+                sets={
+                    "lease_owner": owner,
+                    "lease_expires_at": now + lease_s,
+                    "attempts": job.attempts + 1,
+                },
+            )
+
+    def heartbeat(self, job_id: int, now: float, lease_s: float) -> None:
+        """Extend a RUNNING job's lease (no state transition, committed)."""
+        with self._lock:
+            self._check_open()
+            row = self._row(job_id)
+            if row["state"] != RUNNING:
+                raise CampaignError(
+                    f"job {row['name']!r}: cannot heartbeat in state {row['state']}"
+                )
+            self._conn.execute(
+                "UPDATE campaign_jobs SET lease_expires_at = ? WHERE id = ?",
+                (now + lease_s, job_id),
+            )
+            self._conn.commit()
+
+    def complete(
+        self,
+        job_id: int,
+        knowledge_ids: Sequence[int],
+        *,
+        result_text: str | None = None,
+    ) -> JobRow:
+        """RUNNING/RESTARTING → DONE, recording the persisted knowledge ids.
+
+        The RESTARTING path is *adoption*: a reclaimed job whose
+        idempotency token was found in the knowledge backend is marked
+        DONE with the rows the crashed attempt already persisted.
+        """
+        job = self._transition(
+            job_id,
+            DONE,
+            sets={
+                "knowledge_ids_json": json.dumps(sorted(int(i) for i in knowledge_ids)),
+                "result_text": result_text,
+                "lease_owner": None,
+                "lease_expires_at": None,
+                "error": None,
+            },
+        )
+        self.mark_ready(job.campaign_id)
+        return job
+
+    def fail(self, job_id: int, error: str, *, retryable: bool) -> JobRow:
+        """Record a failed execution: requeue within budget, else FAILED.
+
+        A retryable failure with budget left goes RUNNING → RESTARTING
+        → READY (two committed checkpoints, so a crash between them
+        resumes correctly); a permanent failure or an exhausted budget
+        goes to FAILED and cascades through :meth:`mark_ready`.
+        """
+        with self._lock:
+            job = self._to_jobrow(self._row(job_id))
+            if retryable and job.attempts < job.max_attempts:
+                self._transition(job_id, RESTARTING, sets={"error": error})
+                return self.requeue(job_id)
+            failed = self._transition(
+                job_id,
+                FAILED,
+                sets={"error": error, "lease_owner": None, "lease_expires_at": None},
+            )
+            self.mark_ready(job.campaign_id)
+            return failed
+
+    def requeue(self, job_id: int) -> JobRow:
+        """RESTARTING → READY (lease cleared), ready for another attempt."""
+        return self._transition(
+            job_id, READY, sets={"lease_owner": None, "lease_expires_at": None}
+        )
+
+    def release(self, job_id: int) -> JobRow:
+        """Give an acquired job back untouched (RUNNING → READY).
+
+        The launcher releases a job it acquired but never started —
+        e.g. when the circuit breaker rejects the slot — so the attempt
+        counter is handed back too: a release spends no retry budget.
+        """
+        with self._lock:
+            job = self._to_jobrow(self._row(job_id))
+            self._transition(job_id, RESTARTING, sets={"error": "released"})
+            return self._transition(
+                job_id,
+                READY,
+                sets={
+                    "lease_owner": None,
+                    "lease_expires_at": None,
+                    "attempts": max(0, job.attempts - 1),
+                    "error": None,
+                },
+            )
+
+    def reclaim(self, campaign_id: int, now: float, *, force: bool = False) -> list[JobRow]:
+        """Move crashed-launcher RUNNING jobs to RESTARTING.
+
+        A job is reclaimed when its lease expired at ``now`` (or
+        unconditionally with ``force=True`` — the ``--resume`` path,
+        where the operator asserts the previous launcher is dead).
+        Deterministic: depends only on the committed lease columns and
+        the ``now`` value passed in.  The launcher then resolves each
+        reclaimed job to adoption (token found in the knowledge
+        backend) or a requeue.
+        """
+        with self._lock:
+            self._check_open()
+            rows = self._conn.execute(
+                "SELECT id, lease_expires_at FROM campaign_jobs "
+                "WHERE campaign_id = ? AND state = ? ORDER BY id",
+                (campaign_id, RUNNING),
+            ).fetchall()
+            reclaimed = []
+            for row in rows:
+                expires = row["lease_expires_at"]
+                if force or expires is None or expires < now:
+                    reclaimed.append(
+                        self._transition(
+                            int(row["id"]), RESTARTING, sets={"error": "lease expired"}
+                        )
+                    )
+                    if self.metrics is not None:
+                        self.metrics.counter(
+                            "campaign.reclaims_total",
+                            "RUNNING jobs reclaimed from dead launchers",
+                        ).inc()
+            return reclaimed
+
+    def cancel(self, campaign_id: int) -> int:
+        """Fail every non-terminal, non-RUNNING job (``error='cancelled'``).
+
+        RUNNING jobs are left to finish (or be reclaimed); the campaign
+        row is flagged so launchers stop acquiring from it.  Returns
+        how many jobs were cancelled.
+        """
+        with self._lock:
+            self._check_open()
+            self.campaign(campaign_id)  # existence check
+            self._conn.execute(
+                "UPDATE campaigns SET cancelled = 1 WHERE id = ?", (campaign_id,)
+            )
+            self._conn.commit()
+            cancelled = 0
+            for row in self._conn.execute(
+                "SELECT id, state FROM campaign_jobs WHERE campaign_id = ? "
+                "AND state IN (?, ?, ?) ORDER BY id",
+                (campaign_id, CREATED, READY, RESTARTING),
+            ).fetchall():
+                self._transition(
+                    int(row["id"]),
+                    FAILED,
+                    sets={"error": "cancelled", "lease_owner": None,
+                          "lease_expires_at": None},
+                )
+                cancelled += 1
+            return cancelled
+
+    def is_cancelled(self, campaign_id: int) -> bool:
+        """Whether the campaign was cancelled."""
+        return bool(self.campaign(campaign_id)["cancelled"])
+
+    # ------------------------------------------------------------------
+    # metrics
+    # ------------------------------------------------------------------
+    def _count_transition(self, old: str, new: str) -> None:
+        if self.metrics is not None:
+            self.metrics.counter(
+                "campaign.transitions_total", "job state transitions",
+                **{"from": old, "to": new},
+            ).inc()
+
+    def _update_state_gauges(self, campaign_id: int) -> None:
+        if self.metrics is not None:
+            for state, n in self.counts(campaign_id).items():
+                self.metrics.gauge(
+                    "campaign.jobs", "jobs by state (READY is the queue depth)",
+                    state=state,
+                ).set(n)

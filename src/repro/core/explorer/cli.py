@@ -145,7 +145,9 @@ def _explore(args, repo, io5) -> int:
         left, right = (repo.load(i) for i in args.diff)
         print(diff_knowledge(left, right).render())
     elif args.compare:
-        view = ComparisonView([repo.load(i) for i in args.compare])
+        # Batched read: one round-trip per table (or per shard through
+        # the service) instead of a full load() per compared id.
+        view = ComparisonView(repo.fetch_many(args.compare))
         print(view.table())
         spec = view.chart(x_axis=args.x_axis, y_metric=args.metric)
         print(render_ascii(spec))

@@ -508,6 +508,44 @@ def _service_section(snapshot: Mapping) -> list[str]:
     ]
 
 
+def _campaign_section(snapshot: Mapping) -> list[str]:
+    """The campaign digest: per-state jobs, queue depth, reclaims.
+
+    Rendered only when the snapshot carries ``campaign.*`` families —
+    i.e. the run went through the campaign orchestrator.
+    """
+    names = [
+        name
+        for kind in ("counters", "gauges", "histograms")
+        for name in snapshot.get(kind, {})
+    ]
+    if not any(name.startswith("campaign.") for name in names):
+        return []
+    states = {}
+    jobs_family = snapshot.get("gauges", {}).get("campaign.jobs")
+    if jobs_family:
+        for row in jobs_family["series"]:
+            states[row.get("labels", {}).get("state", "?")] = row["value"]
+    state_text = ", ".join(
+        f"{_fmt_value(states[s])} {s}"
+        for s in ("DONE", "FAILED", "RUNNING", "READY", "RESTARTING", "CREATED")
+        if s in states
+    ) or "none recorded"
+    transitions = _counter_total(snapshot, "campaign.transitions_total")
+    retries = _counter_total(snapshot, "campaign.transitions_total", to="RESTARTING")
+    reclaims = _counter_total(snapshot, "campaign.reclaims_total")
+    title = "Campaign orchestrator"
+    return [
+        "",
+        title,
+        "-" * len(title),
+        f"  jobs by state    {state_text}",
+        f"  transitions      {_fmt_value(transitions)} total, "
+        f"{_fmt_value(retries)} restart(s)",
+        f"  lease reclaims   {_fmt_value(reclaims)}",
+    ]
+
+
 def render_metrics_report(snapshot: Mapping) -> str:
     """Render one metrics snapshot as a human-readable text report."""
     if not isinstance(snapshot, Mapping) or "schema" not in snapshot:
@@ -518,6 +556,7 @@ def render_metrics_report(snapshot: Mapping) -> str:
     schema = snapshot["schema"]
     lines = [f"Metrics snapshot ({schema})", "=" * 40]
     lines += _service_section(snapshot)
+    lines += _campaign_section(snapshot)
     for kind, title in (("counters", "Counters"), ("gauges", "Gauges")):
         families = snapshot.get(kind, {})
         if not families:

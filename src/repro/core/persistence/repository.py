@@ -295,6 +295,130 @@ class KnowledgeRepository:
             ).fetchall()
         return [int(r["id"]) for r in rows]
 
+    def fetch_many(self, ids: Sequence[int]) -> list[Knowledge]:
+        """Load several knowledge objects with one query per table.
+
+        ``load`` issues 2 + 2·summaries queries per object; comparing a
+        24-run sweep that way is ~100 round-trips through the backend.
+        Here the performances, summaries, results, filesystems and
+        systems rows for *all* requested ids are fetched in five
+        ``WHERE … IN`` queries and assembled in Python.  Input order is
+        preserved; a missing id raises :class:`PersistenceError`.
+        """
+        unique = list(dict.fromkeys(int(i) for i in ids))
+        if not unique:
+            return []
+        marks = ", ".join("?" for _ in unique)
+        by_id: dict[int, Knowledge] = {}
+        for row in self.db.execute(
+            f"SELECT * FROM performances WHERE id IN ({marks})", tuple(unique)
+        ).fetchall():
+            knowledge_id = int(row["id"])
+            by_id[knowledge_id] = Knowledge(
+                benchmark=row["benchmark"],
+                command=row["command"],
+                api=row["api"],
+                test_file=row["testFileName"],
+                file_per_proc=bool(row["filePerProc"]),
+                num_nodes=row["num_nodes"],
+                num_tasks=row["num_tasks"],
+                tasks_per_node=row["tasks_per_node"],
+                start_time=row["start_time"],
+                end_time=row["end_time"],
+                parameters=json.loads(row["parameters_json"]),
+                knowledge_id=knowledge_id,
+            )
+        missing = [i for i in unique if i not in by_id]
+        if missing:
+            raise PersistenceError(f"no knowledge object(s) with id(s) {missing}")
+        results_by_summary: dict[int, list[KnowledgeResult]] = {}
+        for r in self.db.execute(
+            f"SELECT r.* FROM results r JOIN summaries s ON s.id = r.summaries_id "
+            f"WHERE s.performance_id IN ({marks}) ORDER BY r.summaries_id, r.iteration",
+            tuple(unique),
+        ).fetchall():
+            results_by_summary.setdefault(int(r["summaries_id"]), []).append(
+                KnowledgeResult(
+                    iteration=r["iteration"],
+                    bandwidth_mib=r["bandwidth"],
+                    iops=r["ops"],
+                    latency_s=r["latency"],
+                    open_time_s=r["openTime"],
+                    wrrd_time_s=r["wrRdTime"],
+                    close_time_s=r["closeTime"],
+                    total_time_s=r["totalTime"],
+                )
+            )
+        for srow in self.db.execute(
+            f"SELECT * FROM summaries WHERE performance_id IN ({marks}) ORDER BY id",
+            tuple(unique),
+        ).fetchall():
+            by_id[int(srow["performance_id"])].summaries.append(
+                KnowledgeSummary(
+                    operation=srow["operation"],
+                    api=srow["api"],
+                    bw_max=srow["bw_max"],
+                    bw_min=srow["bw_min"],
+                    bw_mean=srow["bw_mean"],
+                    bw_stddev=srow["bw_stddev"],
+                    ops_max=srow["ops_max"],
+                    ops_min=srow["ops_min"],
+                    ops_mean=srow["ops_mean"],
+                    ops_stddev=srow["ops_stddev"],
+                    iterations=srow["iterations"],
+                    results=results_by_summary.get(int(srow["id"]), []),
+                )
+            )
+        for fsrow in self.db.execute(
+            f"SELECT * FROM filesystems WHERE performance_id IN ({marks})", tuple(unique)
+        ).fetchall():
+            by_id[int(fsrow["performance_id"])].filesystem = FilesystemInfo(
+                fs_type=fsrow["fs_type"],
+                entry_type=fsrow["entry_type"],
+                entry_id=fsrow["entry_id"],
+                metadata_node=fsrow["metadata_node"],
+                stripe_pattern=fsrow["stripe_pattern"],
+                chunk_size=fsrow["chunk_size"],
+                num_targets=fsrow["num_targets"],
+                raid_scheme=fsrow["raid_scheme"],
+                storage_pool=fsrow["storage_pool"],
+            )
+        for sysrow in self.db.execute(
+            f"SELECT * FROM systems WHERE performance_id IN ({marks})", tuple(unique)
+        ).fetchall():
+            by_id[int(sysrow["performance_id"])].system = {
+                "hostname": sysrow["hostname"],
+                "system_name": sysrow["system_name"],
+                "processor_model": sysrow["processor_model"],
+                "architecture": sysrow["architecture"],
+                "processor_cores": sysrow["processor_cores"],
+                "processor_mhz": sysrow["processor_mhz"],
+                "cache_size_bytes": sysrow["cache_bytes"],
+                "memory_bytes": sysrow["memory_bytes"],
+            }
+        return [by_id[int(i)] for i in ids]
+
+    def find_ids_by_parameter(self, key: str, value: str) -> list[int]:
+        """Ids of knowledge objects whose ``parameters[key] == value``.
+
+        The campaign orchestrator's exactly-once lookup: parameters are
+        stored as sorted JSON, so a SQL ``LIKE`` on the serialised
+        ``"key": "value"`` pair prefilters candidates cheaply; each hit
+        is then verified against the decoded dict, which removes any
+        substring false positive.
+        """
+        needle = f"%{json.dumps(key)}: {json.dumps(value)}%"
+        rows = self.db.execute(
+            "SELECT id, parameters_json FROM performances "
+            "WHERE parameters_json LIKE ? ORDER BY id",
+            (needle,),
+        ).fetchall()
+        return [
+            int(r["id"])
+            for r in rows
+            if json.loads(r["parameters_json"]).get(key) == value
+        ]
+
     def load_all(self, benchmark: str | None = None) -> list[Knowledge]:
         """Load every stored knowledge object."""
         return [self.load(i) for i in self.list_ids(benchmark)]

@@ -195,9 +195,17 @@ class ServiceClient:
         """Load every stored knowledge object."""
         return self._call("load_all", benchmark)  # type: ignore[return-value]
 
+    def fetch_many(self, ids: Sequence[int]) -> "list[Knowledge]":
+        """Batched load of several objects (one round-trip per shard)."""
+        return self._call("fetch_many", [int(i) for i in ids])  # type: ignore[return-value]
+
     def list_ids(self, benchmark: str | None = None) -> list[int]:
         """All global knowledge ids, optionally filtered by benchmark."""
         return self._call("list_ids", benchmark)  # type: ignore[return-value]
+
+    def find_ids_by_parameter(self, key: str, value: str) -> list[int]:
+        """Global ids whose ``parameters[key] == value`` (uncached)."""
+        return self._call("find_by_parameter", key, value)  # type: ignore[return-value]
 
     def count(self, benchmark: str | None = None) -> int:
         """Number of stored knowledge objects (COUNT fast path)."""

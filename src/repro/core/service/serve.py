@@ -139,12 +139,21 @@ def main(argv: Sequence[str] | None = None) -> int:
                           f"{n} object(s)")
                 print(f"total: {sum(counts)} object(s) in "
                       f"{service.shard_map.num_shards} shard(s)")
-        if args.metrics_json:
-            metrics.write_json(args.metrics_json)
-            print(f"metrics snapshot written to {args.metrics_json}")
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    finally:
+        # Parity with repro-cycle: the snapshot is written even when an
+        # --exercise/--ingest run fails, so the metrics survive for
+        # post-mortem analysis.
+        if args.metrics_json:
+            try:
+                metrics.write_json(args.metrics_json)
+                print(f"metrics snapshot written to {args.metrics_json}")
+            except OSError as exc:
+                print(f"error: cannot write {args.metrics_json}: {exc}",
+                      file=sys.stderr)
+                return 1
     return 0
 
 

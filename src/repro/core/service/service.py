@@ -101,7 +101,9 @@ class KnowledgeService:
             "delete": self._op_delete,
             "load": self._op_load,
             "load_all": self._op_load_all,
+            "fetch_many": self._op_fetch_many,
             "list_ids": self._op_list_ids,
+            "find_by_parameter": self._op_find_by_parameter,
             "count": self._op_count,
             "exists": self._op_exists,
         }
@@ -291,6 +293,51 @@ class KnowledgeService:
 
     def _op_load_all(self, benchmark: str | None = None) -> list[Knowledge]:
         return [self._op_load(gid) for gid in self._op_list_ids(benchmark)]
+
+    def _op_fetch_many(self, global_ids: Sequence[int]) -> list[Knowledge]:
+        """Batched load: cached ids are served from the cache, the
+        misses of each shard are fetched with one repository round-trip
+        (``fetch_many``) under that shard's lock."""
+        out: dict[int, Knowledge] = {}
+        misses_by_shard: dict[int, list[int]] = {}
+        for global_id in dict.fromkeys(int(i) for i in global_ids):
+            shard, _ = self.shard_map.shard_of(global_id)
+            epochs = (self.shard_map.epoch(shard.index),)
+            hit, frozen = self.cache.get(("load", global_id), epochs)
+            if hit:
+                out[global_id] = self._thaw(frozen)
+            else:
+                misses_by_shard.setdefault(shard.index, []).append(global_id)
+        for index, group in sorted(misses_by_shard.items()):
+            shard = self.shard_map.shards[index]
+            epochs = (self.shard_map.epoch(index),)
+            local_ids = [self.shard_map.shard_of(gid)[1] for gid in group]
+            start = time.perf_counter()
+            with shard.lock:
+                loaded = shard.repository.fetch_many(local_ids)
+            self._observe_shard(shard, time.perf_counter() - start)
+            for global_id, knowledge in zip(group, loaded):
+                knowledge.knowledge_id = global_id
+                self.cache.put(("load", global_id), epochs, self._freeze(knowledge))
+                out[global_id] = knowledge
+        return [out[int(i)] for i in global_ids]
+
+    def _op_find_by_parameter(self, key: str, value: str) -> list[int]:
+        """Global ids whose ``parameters[key] == value``, across shards.
+
+        The campaign orchestrator's exactly-once token lookup — always
+        answered from the shards, never the cache: a stale answer here
+        could duplicate a benchmark run.
+        """
+        ids: list[int] = []
+        for shard in self.shard_map.shards:
+            start = time.perf_counter()
+            with shard.lock:
+                local_ids = shard.repository.find_ids_by_parameter(key, value)
+            self._observe_shard(shard, time.perf_counter() - start)
+            ids.extend(encode_knowledge_id(i, shard.index) for i in local_ids)
+        ids.sort()
+        return ids
 
     def _op_count(self, benchmark: str | None = None) -> int:
         epochs = self.shard_map.epochs()

@@ -31,6 +31,7 @@ __all__ = [
     "UsageError",
     "JubeError",
     "DarshanError",
+    "CampaignError",
 ]
 
 
@@ -139,3 +140,14 @@ class JubeError(ReproError):
 
 class DarshanError(ReproError):
     """Errors raised by the Darshan-like profiler or log reader."""
+
+
+class CampaignError(ReproError):
+    """The campaign orchestrator was misconfigured or misused.
+
+    Raised for invalid campaign specs, illegal job state transitions,
+    and operations on unknown campaigns/jobs — operator errors, never
+    transient, so the retry predicate leaves them alone.
+    """
+
+    transient = False
