@@ -1,0 +1,113 @@
+"""``repro-bench`` — time the repro runtime's own hot paths.
+
+Usage::
+
+    repro-bench service --out BENCH_service.json
+    repro-bench service --objects 128 --reads 512 --worker-processes 4
+
+Each sub-benchmark writes a ``repro.bench/v1`` JSON report (and prints
+a one-screen summary), comparing the code paths it exercises — today
+that is the knowledge service, in-process against the ``repro.wire/v1``
+TCP link — so the cost of a transport or a refactor lands in a diffable
+artifact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+from typing import Sequence
+
+from repro.bench.service_bench import run_service_bench
+from repro.util.errors import ReproError
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The repro-bench argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-bench", description="Benchmark the repro runtime itself."
+    )
+    sub = parser.add_subparsers(dest="bench", required=True)
+    service = sub.add_parser(
+        "service", help="knowledge service: in-process vs knowledge+tcp://"
+    )
+    service.add_argument(
+        "--out", default="BENCH_service.json", metavar="PATH",
+        help="where to write the repro.bench/v1 report (default: %(default)s)",
+    )
+    service.add_argument("--objects", type=int, default=64,
+                         help="objects saved per mode (default: %(default)s)")
+    service.add_argument("--reads", type=int, default=256,
+                         help="single-object loads per mode (default: %(default)s)")
+    service.add_argument("--batch", type=int, default=16,
+                         help="ids per fetch_many call (default: %(default)s)")
+    service.add_argument("--shards", type=int, default=2,
+                         help="shards per store (default: %(default)s)")
+    service.add_argument("--worker-processes", type=int, default=2,
+                         help="TCP server worker processes (default: %(default)s)")
+    service.add_argument("--store", default=None, metavar="DIR",
+                         help="scratch directory (default: a temp dir)")
+    return parser
+
+
+def _print_summary(report: dict) -> None:
+    print(f"repro-bench service ({report['schema']})")
+    for mode in ("in_process", "tcp"):
+        stats = report["modes"][mode]
+        print(f"  {mode}:")
+        for op in ("save", "load", "fetch_many"):
+            row = stats[op]
+            print(
+                f"    {op:<10} p50 {row['p50_us']:8.1f} us   "
+                f"p99 {row['p99_us']:8.1f} us   "
+                f"{row['ops_per_s']:8.1f} op/s"
+            )
+    ratios = ", ".join(
+        f"{op} {report['overhead'][f'{op}_p50_ratio']}x"
+        for op in ("save", "load", "fetch_many")
+    )
+    print(f"  tcp/in-process p50 ratio: {ratios}")
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Console entry point."""
+    args = build_parser().parse_args(list(sys.argv[1:] if argv is None else argv))
+    for name in ("objects", "reads", "batch"):
+        if getattr(args, name) < 1:
+            print(f"error: --{name} must be >= 1", file=sys.stderr)
+            return 2
+    try:
+        if args.store is not None:
+            report = run_service_bench(
+                args.store, objects=args.objects, reads=args.reads,
+                batch=args.batch, shards=args.shards,
+                worker_processes=args.worker_processes,
+            )
+        else:
+            with tempfile.TemporaryDirectory(prefix="repro-bench-") as scratch:
+                report = run_service_bench(
+                    scratch, objects=args.objects, reads=args.reads,
+                    batch=args.batch, shards=args.shards,
+                    worker_processes=args.worker_processes,
+                )
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    try:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    except OSError as exc:
+        print(f"error: cannot write {args.out}: {exc}", file=sys.stderr)
+        return 1
+    _print_summary(report)
+    print(f"report written to {args.out}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -11,8 +11,9 @@ The operator console for the campaign orchestrator::
 
 The first positional argument is the campaign store (a SQLite file
 holding the job DAG); ``--db`` at submit time records the knowledge
-backend URL (a path, ``sqlite://`` URL, or ``knowledge+service://``
-URL) with the campaign, so ``--run``/``--resume`` need no further
+backend URL (a path, ``sqlite://`` URL, ``knowledge+service://`` URL,
+or a ``knowledge+tcp://`` URL naming a running ``repro-serve --listen``
+server) with the campaign, so ``--run``/``--resume`` need no further
 configuration.  ``--resume`` differs from ``--run`` in one way only:
 RUNNING jobs left behind by a dead launcher are reclaimed immediately
 instead of waiting for their lease to expire.
@@ -61,7 +62,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--db", default=":memory:",
         help="knowledge backend URL recorded at --submit time "
-             "(path, sqlite:// or knowledge+service:// URL)",
+             "(path, sqlite://, knowledge+service:// or knowledge+tcp:// URL)",
     )
     parser.add_argument(
         "--max-attempts", type=int, default=None, metavar="N",

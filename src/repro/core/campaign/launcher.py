@@ -56,7 +56,7 @@ from repro.core.pipeline import (
     PhaseRegistry,
 )
 from repro.core.resilience import CircuitBreaker, RetryPolicy
-from repro.core.service.client import ServiceClient, is_service_url
+from repro.core.service.client import ServiceClient, is_service_url, is_tcp_url
 from repro.iostack.stack import Testbed
 from repro.util.errors import CampaignError, ReproError
 from repro.util.rng import derive_seed
@@ -120,7 +120,13 @@ class _DatabaseSink:
 
 
 class _ServiceSink:
-    """``knowledge+service://`` backend (already thread-safe)."""
+    """``knowledge+service://`` or ``knowledge+tcp://`` backend.
+
+    Both are thread-safe: the embedded service serialises through its
+    queue, and the TCP client pools connections per request.  A remote
+    URL lets a campaign drain against a ``repro-serve --listen`` server
+    in another process — launcher and store no longer share a fate.
+    """
 
     def __init__(self, url: str, *, metrics: "MetricsRegistry | None" = None) -> None:
         self._client = ServiceClient.open(url, metrics=metrics)
@@ -150,7 +156,7 @@ class _ServiceSink:
 
 def open_sink(backend_url: str, *, metrics: "MetricsRegistry | None" = None):
     """Open the campaign knowledge sink matching a backend URL."""
-    if is_service_url(backend_url):
+    if is_service_url(backend_url) or is_tcp_url(backend_url):
         return _ServiceSink(backend_url, metrics=metrics)
     return _DatabaseSink(backend_url, metrics=metrics)
 

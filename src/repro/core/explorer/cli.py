@@ -10,10 +10,13 @@ Usage::
     repro-explore --metrics metrics.json
     repro-explore 'knowledge+service:///var/lib/repro/store' --list
     repro-explore /var/lib/repro/store --service --view 2048
+    repro-explore 'knowledge+tcp://db-node:9477/' --list
 
 A ``knowledge+service://`` URL (or the ``--service`` flag on a store
 directory) routes every read through the sharded knowledge service —
-same commands, cache-fronted concurrent store.
+same commands, cache-fronted concurrent store.  A ``knowledge+tcp://``
+URL reaches a ``repro-serve --listen`` server in another process or on
+another host; the explorer commands are identical.
 """
 
 from __future__ import annotations
@@ -30,7 +33,7 @@ from repro.core.explorer.viewer import KnowledgeViewer
 from repro.core.persistence.database import KnowledgeDatabase
 from repro.core.persistence.io500_repo import IO500Repository
 from repro.core.persistence.repository import KnowledgeRepository
-from repro.core.service.client import ServiceClient, is_service_url
+from repro.core.service.client import ServiceClient, is_service_url, is_tcp_url
 from repro.util.errors import ReproError
 
 __all__ = ["main", "build_parser"]
@@ -97,6 +100,12 @@ def main(argv: Sequence[str] | None = None) -> int:
               file=sys.stderr)
         return 2
     try:
+        if is_tcp_url(args.database):
+            # Remote server: no local store to sanity-check — the URL is
+            # the store, and connect errors surface as typed transport
+            # faults below.
+            with ServiceClient.open(args.database) as client:
+                return _explore(args, client, None)
         if args.service or is_service_url(args.database):
             from pathlib import Path
 
@@ -159,12 +168,14 @@ def _explore(args, repo, io5) -> int:
             io5_ids = io5.list_ids()
             print(f"{len(io5_ids)} IO500 run(s): {io5_ids}")
         else:
-            shard_map = repo.service.shard_map
-            counts = shard_map.counts()
+            # stats() is transport-neutral: the same summary whether the
+            # service is embedded or a TCP round-trip away.
+            stats = repo.stats()
+            rows = stats.get("rows_per_shard", {})
             per_shard = ", ".join(
-                f"shard {i}: {n}" for i, n in enumerate(counts)
+                f"shard {int(i)}: {rows[i]}" for i in sorted(rows, key=int)
             )
-            print(f"served from {shard_map.num_shards} shard(s) ({per_shard})")
+            print(f"served from {stats['shards']} shard(s) ({per_shard})")
 
     if args.chart:
         if spec is None:

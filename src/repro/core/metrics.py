@@ -494,7 +494,7 @@ def _service_section(snapshot: Mapping) -> list[str]:
     if depth_family and depth_family["series"]:
         depth = depth_family["series"][0]["value"]
     title = "Knowledge service"
-    return [
+    lines = [
         "",
         title,
         "-" * len(title),
@@ -506,6 +506,61 @@ def _service_section(snapshot: Mapping) -> list[str]:
         f"{_fmt_value(shed)} shed (overload)",
         f"  queue depth      {_fmt_value(depth)}",
     ]
+    lines += _transport_lines(snapshot)
+    return lines
+
+
+def _transport_lines(snapshot: Mapping) -> list[str]:
+    """Wire-transport digest lines, when the run crossed a socket.
+
+    The ``service.transport.*`` families are emitted by both sides of
+    the ``repro.wire/v1`` link — :class:`~repro.core.service.server.
+    KnowledgeServer` and ``TcpTransport`` share the metric names — so
+    this renders the same shape for server and client snapshots.
+    """
+    names = [
+        name
+        for kind in ("counters", "gauges", "histograms")
+        for name in snapshot.get(kind, {})
+    ]
+    if not any(name.startswith("service.transport.") for name in names):
+        return []
+    conns = _counter_total(snapshot, "service.transport.connections_total")
+    frames_in = _counter_total(snapshot, "service.transport.frames_total",
+                               direction="in")
+    frames_out = _counter_total(snapshot, "service.transport.frames_total",
+                                direction="out")
+    bytes_in = _counter_total(snapshot, "service.transport.bytes_total",
+                              direction="in")
+    bytes_out = _counter_total(snapshot, "service.transport.bytes_total",
+                               direction="out")
+    retries = _counter_total(snapshot, "service.client.retries_total")
+    lines = [
+        f"  wire connections {_fmt_value(conns)}",
+        f"  wire frames      {_fmt_value(frames_in)} in / "
+        f"{_fmt_value(frames_out)} out "
+        f"({_fmt_value(bytes_in)} B in / {_fmt_value(bytes_out)} B out)",
+    ]
+    if retries:
+        kinds = snapshot.get("counters", {}).get("service.client.retries_total")
+        by_kind = ", ".join(
+            f"{row['labels'].get('kind', '?')}: {_fmt_value(row['value'])}"
+            for row in sorted(kinds["series"],
+                              key=lambda r: r["labels"].get("kind", ""))
+        )
+        lines.append(f"  client retries   {_fmt_value(retries)} ({by_kind})")
+    latency = snapshot.get("histograms", {}).get(
+        "service.transport.request_seconds"
+    )
+    if latency and latency["series"]:
+        count = sum(row["count"] for row in latency["series"])
+        total = sum(row["sum"] for row in latency["series"])
+        mean_us = (total / count) * 1e6 if count else 0.0
+        lines.append(
+            f"  wire latency     {_fmt_value(count)} request(s), "
+            f"mean {mean_us:.0f} us"
+        )
+    return lines
 
 
 def _campaign_section(snapshot: Mapping) -> list[str]:

@@ -1,33 +1,54 @@
-"""Service client: blocking API with deterministic-jitter backoff.
+"""Service client: blocking API over a local *or* remote transport.
 
 The explorer and usage modules should not care whether knowledge comes
-from one local SQLite file or from the sharded service — §V-C's "local
-or remote" choice is a URL.  This module adds the service flavour to
-the existing URL-resolution path::
+from one local SQLite file, an in-process sharded service or a server
+on another host — §V-C's "local or remote" choice is a URL::
 
     knowledge+service:///var/lib/repro/store?shards=4&workers=8&cache=256
+    knowledge+tcp://db-node:9477/?pool=4&timeout_ms=30000
 
-:class:`ServiceClient` turns the service's future-based ``submit`` into
-the blocking repository-shaped API (``load`` / ``load_all`` /
-``list_ids`` / ``count`` / ``exists`` / ``save`` / ``save_many`` /
-``delete``) that those callers already speak, and absorbs admission
-control: a shed request (:class:`~repro.util.errors.
-ServiceOverloadError`) is retried under a deterministic-jitter
-:class:`~repro.core.resilience.RetryPolicy` — same seed, same backoff
-schedule — instead of surfacing to the user.
+Both flavours run the same code path: :class:`ServiceClient` encodes
+each operation with the :mod:`repro.core.service.ops` codec, hands the
+payload to a transport (:class:`~repro.core.service.ops.LocalTransport`
+around an embedded :class:`~repro.core.service.service.
+KnowledgeService`, or :class:`~repro.core.service.transport.
+TcpTransport` speaking ``repro.wire/v1`` to ``repro-serve --listen``)
+and decodes the result back into the repository-shaped blocking API
+(``load`` / ``load_all`` / ``list_ids`` / ``count`` / ``exists`` /
+``save`` / ``save_many`` / ``delete``).
+
+Failures are absorbed the same way on both paths, under one
+deterministic-jitter :class:`~repro.core.resilience.RetryPolicy`:
+
+* an admission-control shed (:class:`~repro.util.errors.
+  ServiceOverloadError`) is always retried — it happens before the
+  request is enqueued, so a retry can never double-apply;
+* a *retryable* transport fault (connection refused/reset, short read,
+  timeout — :class:`~repro.util.errors.ServiceTransportError` with
+  ``transient=True``) is retried too; the transport marks post-send
+  faults on mutating ops non-retryable, and those surface;
+* retries are counted per kind under ``service.client.retries_total``
+  and every backoff sleep is clamped to the per-request ``timeout_s``
+  deadline, so a retrying client can never overshoot its budget.
 """
 
 from __future__ import annotations
 
 import time
-from concurrent.futures import TimeoutError as _FutureTimeoutError
 from typing import TYPE_CHECKING, Callable, Sequence
 from urllib.parse import parse_qsl
 
-from repro.core.resilience import RetryPolicy, retry
+from repro.core.resilience import Deadline, RetryPolicy, retry
+from repro.core.service.ops import LocalTransport, decode_result, encode_args
 from repro.core.service.service import KnowledgeService
 from repro.core.service.shard import KnowledgeShardMap
-from repro.util.errors import DeadlineError, ServiceError, ServiceOverloadError
+from repro.core.service.transport import TcpTransport
+from repro.util.errors import (
+    DeadlineError,
+    ServiceError,
+    ServiceOverloadError,
+    ServiceTransportError,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - type-only imports
     from repro.core.knowledge import Knowledge
@@ -35,25 +56,41 @@ if TYPE_CHECKING:  # pragma: no cover - type-only imports
 
 __all__ = [
     "SERVICE_URL_SCHEME",
+    "TCP_URL_SCHEME",
     "is_service_url",
+    "is_tcp_url",
     "parse_service_url",
+    "parse_tcp_url",
     "open_service",
     "ServiceClient",
 ]
 
 SERVICE_URL_SCHEME = "knowledge+service"
+TCP_URL_SCHEME = "knowledge+tcp"
 
 #: URL query parameters understood by :func:`parse_service_url`.
 _URL_OPTIONS = ("shards", "workers", "queue", "cache")
 
+#: URL query parameters understood by :func:`parse_tcp_url`.
+_TCP_URL_OPTIONS = ("pool", "timeout_ms", "connect_timeout_ms")
+
+
+def _has_scheme(target: object, scheme: str) -> bool:
+    return (
+        isinstance(target, str)
+        and "://" in target
+        and target.partition("://")[0] == scheme
+    )
+
 
 def is_service_url(target: object) -> bool:
     """Whether ``target`` is a ``knowledge+service://`` URL."""
-    return (
-        isinstance(target, str)
-        and target.partition("://")[0] == SERVICE_URL_SCHEME
-        and "://" in target
-    )
+    return _has_scheme(target, SERVICE_URL_SCHEME)
+
+
+def is_tcp_url(target: object) -> bool:
+    """Whether ``target`` is a ``knowledge+tcp://`` URL."""
+    return _has_scheme(target, TCP_URL_SCHEME)
 
 
 def parse_service_url(url: str) -> tuple[str, dict[str, int]]:
@@ -90,6 +127,48 @@ def parse_service_url(url: str) -> tuple[str, dict[str, int]]:
     return root, options
 
 
+def parse_tcp_url(url: str) -> tuple[str, int, dict[str, int]]:
+    """Split a ``knowledge+tcp://host:port/`` URL into its parts."""
+    scheme, sep, rest = url.partition("://")
+    if not sep or scheme != TCP_URL_SCHEME:
+        raise ServiceError(
+            f"not a knowledge-tcp URL: {url!r} (expected {TCP_URL_SCHEME}://host:port/)"
+        )
+    authority, _, tail = rest.partition("/")
+    path, _, query = tail.partition("?")
+    if path:
+        raise ServiceError(
+            f"knowledge-tcp URL {url!r} must not carry a path — the server "
+            "chose the store when it started"
+        )
+    host, colon, port_text = authority.rpartition(":")
+    if not colon or not host:
+        raise ServiceError(
+            f"knowledge-tcp URL {url!r} must name host:port "
+            f"(e.g. {TCP_URL_SCHEME}://127.0.0.1:9477/)"
+        )
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise ServiceError(
+            f"knowledge-tcp URL port {port_text!r} is not an integer"
+        ) from None
+    options: dict[str, int] = {}
+    for key, value in parse_qsl(query, keep_blank_values=True):
+        if key not in _TCP_URL_OPTIONS:
+            raise ServiceError(
+                f"unknown knowledge-tcp URL option {key!r}; "
+                f"known: {list(_TCP_URL_OPTIONS)}"
+            )
+        try:
+            options[key] = int(value)
+        except ValueError:
+            raise ServiceError(
+                f"knowledge-tcp URL option {key}={value!r} is not an integer"
+            ) from None
+    return host, port, options
+
+
 def open_service(
     target: str,
     *,
@@ -99,11 +178,12 @@ def open_service(
     queue: int = 64,
     cache: int = 128,
 ) -> KnowledgeService:
-    """Open (or create) a knowledge service from a URL or root directory.
+    """Open (or create) an embedded knowledge service from a URL or path.
 
     URL options override the keyword defaults; an existing store's
     shard count is discovered from its manifest when ``shards`` is
-    omitted.
+    omitted.  (Remote ``knowledge+tcp://`` URLs have no embedded
+    service — open those with :meth:`ServiceClient.open`.)
     """
     options: dict[str, int] = {}
     root = target
@@ -121,31 +201,53 @@ def open_service(
     )
 
 
-def _overload_only(exc: BaseException) -> bool:
-    return isinstance(exc, ServiceOverloadError)
+def _default_retryable(exc: BaseException) -> bool:
+    """Overload sheds always; transport faults when marked transient."""
+    if isinstance(exc, ServiceOverloadError):
+        return True
+    return isinstance(exc, ServiceTransportError) and bool(
+        getattr(exc, "transient", False)
+    )
+
+
+def _retry_kind(exc: BaseException) -> str:
+    if isinstance(exc, ServiceOverloadError):
+        return "overload"
+    if isinstance(exc, ServiceTransportError):
+        return "transport"
+    return "other"
 
 
 class ServiceClient:
-    """Blocking facade over :class:`KnowledgeService` with backoff.
+    """Blocking facade over a service transport, with backoff.
 
-    Only admission-control sheds are retried (they happen *before* the
-    request is enqueued, so a retry can never double-apply a write);
-    execution errors surface unchanged.  ``timeout_s`` bounds each wait
-    on a result, raising :class:`DeadlineError` on expiry.
+    Accepts either an embedded :class:`KnowledgeService` (wrapped in a
+    :class:`LocalTransport`) or any transport object exposing
+    ``call(op, payload, timeout_s=)`` / ``close()``.  ``timeout_s`` is
+    a *per-request deadline*: it bounds each transport wait **and**
+    clamps every retry backoff sleep, raising :class:`DeadlineError`
+    once the budget is spent.
     """
 
     def __init__(
         self,
-        service: KnowledgeService,
+        service: "KnowledgeService | LocalTransport | TcpTransport",
         *,
         retry_policy: RetryPolicy | None = None,
         sleep: Callable[[float], None] = time.sleep,
         timeout_s: float | None = None,
     ) -> None:
-        self.service = service
+        if isinstance(service, KnowledgeService):
+            self.transport = LocalTransport(service)
+        else:
+            self.transport = service  # type: ignore[assignment]
+        self.service: "KnowledgeService | None" = getattr(
+            self.transport, "service", None
+        )
+        self.metrics = getattr(self.transport, "metrics", None)
         self.retry_policy = retry_policy or RetryPolicy(
             max_attempts=8, base_delay_s=0.005, max_delay_s=0.25,
-            salt="service-client", retryable=_overload_only,
+            salt="service-client", retryable=_default_retryable,
         )
         self.timeout_s = timeout_s
         self._sleep = sleep
@@ -156,36 +258,85 @@ class ServiceClient:
         target: str,
         *,
         metrics: "MetricsRegistry | None" = None,
+        retry_policy: RetryPolicy | None = None,
+        timeout_s: float | None = None,
         **service_options: object,
     ) -> "ServiceClient":
-        """Open a client (and its embedded service) from a URL or path."""
-        return cls(open_service(target, metrics=metrics, **service_options))  # type: ignore[arg-type]
+        """Open a client from a URL or path — embedded or remote.
+
+        ``knowledge+tcp://host:port/`` dials a running server;
+        everything else opens an embedded service in this process.
+        """
+        if is_tcp_url(target):
+            host, port, options = parse_tcp_url(target)
+            transport = TcpTransport(
+                host, port,
+                pool_size=options.get("pool", 4),
+                timeout_s=(
+                    options["timeout_ms"] / 1000.0
+                    if "timeout_ms" in options else 30.0
+                ),
+                connect_timeout_s=(
+                    options["connect_timeout_ms"] / 1000.0
+                    if "connect_timeout_ms" in options else 5.0
+                ),
+                metrics=metrics,
+            )
+            return cls(transport, retry_policy=retry_policy, timeout_s=timeout_s)
+        return cls(
+            open_service(target, metrics=metrics, **service_options),  # type: ignore[arg-type]
+            retry_policy=retry_policy,
+            timeout_s=timeout_s,
+        )
+
+    # ------------------------------------------------------------------
+    # one code path: encode -> transport (with retry) -> decode
+    # ------------------------------------------------------------------
+    def _count_retry(self, exc: BaseException) -> None:
+        if self.metrics is not None:
+            self.metrics.counter(
+                "service.client.retries_total",
+                "client retries by failure kind", kind=_retry_kind(exc),
+            ).inc()
 
     def _call(self, op: str, *args: object) -> object:
-        def attempt() -> object:
-            future = self.service.submit(op, *args)
-            try:
-                return future.result(timeout=self.timeout_s)
-            except _FutureTimeoutError:
-                future.cancel()
-                raise DeadlineError(
-                    f"service request {op!r} exceeded its "
-                    f"{self.timeout_s:g}s client deadline"
-                ) from None
+        payload = encode_args(op, args)
+        deadline = Deadline(self.timeout_s) if self.timeout_s is not None else None
 
-        return retry(
-            attempt, self.retry_policy, sleep=self._sleep,
-            metrics=self.service.metrics, site="service-client",
+        def attempt() -> dict[str, object]:
+            remaining: float | None = None
+            if deadline is not None:
+                remaining = deadline.remaining_s
+                if remaining <= 0:
+                    raise DeadlineError(
+                        f"service request {op!r} exceeded its "
+                        f"{self.timeout_s:g}s client deadline"
+                    )
+            return self.transport.call(op, payload, timeout_s=remaining)
+
+        def on_retry(attempt_n: int, exc: BaseException, delay_s: float) -> None:
+            self._count_retry(exc)
+
+        result = retry(
+            attempt, self.retry_policy, sleep=self._sleep, on_retry=on_retry,
+            deadline=deadline, metrics=self.metrics, site="service-client",
         )
+        return decode_result(op, result)  # type: ignore[arg-type]
 
     # -- repository-shaped API -----------------------------------------
     def save(self, knowledge: "Knowledge") -> int:
         """Persist one knowledge object; returns its global id."""
-        return self._call("save", knowledge)  # type: ignore[return-value]
+        global_id = int(self._call("save", knowledge))  # type: ignore[arg-type]
+        knowledge.knowledge_id = global_id
+        return global_id
 
     def save_many(self, objects: Sequence["Knowledge"]) -> list[int]:
         """Persist several objects (one transaction per touched shard)."""
-        return self._call("save_many", list(objects))  # type: ignore[return-value]
+        batch = list(objects)
+        ids: list[int] = self._call("save_many", batch)  # type: ignore[assignment]
+        for knowledge, global_id in zip(batch, ids):
+            knowledge.knowledge_id = global_id
+        return ids
 
     def load(self, knowledge_id: int) -> "Knowledge":
         """Load one knowledge object by global id."""
@@ -219,10 +370,25 @@ class ServiceClient:
         """Delete one knowledge object by global id."""
         self._call("delete", knowledge_id)
 
+    # -- service-level introspection -----------------------------------
+    def stats(self) -> dict[str, object]:
+        """Operational stats of the backing service (local or remote)."""
+        return self._call("stats")  # type: ignore[return-value]
+
+    def ping(self) -> bool:
+        """Round-trip liveness probe (True, or a typed error raised)."""
+        self._call("ping")
+        return True
+
+    @property
+    def server_info(self) -> dict[str, object]:
+        """What the transport negotiated on connect (empty if unknown)."""
+        return dict(getattr(self.transport, "server_info", {}) or {})
+
     # -- lifecycle ------------------------------------------------------
     def close(self) -> None:
-        """Close the underlying service (and its shards)."""
-        self.service.close()
+        """Close the transport (and an embedded service's shards)."""
+        self.transport.close()
 
     def __enter__(self) -> "ServiceClient":
         return self

@@ -1,0 +1,243 @@
+"""Transport-neutral request/response model for the service operations.
+
+The knowledge service's operations (``save``/``load``/``fetch_many``/
+``find_by_parameter``/``count``/…) are defined here as *payloads*: a
+JSON-safe argument dict on the way in, a JSON-safe result dict on the
+way out, with :mod:`repro.core.persistence.transfer` carrying knowledge
+objects across.  Both transports speak exactly this model:
+
+* :class:`LocalTransport` — the ``knowledge+service://`` in-process
+  path: payloads are decoded straight into a
+  :class:`~repro.core.service.service.KnowledgeService` ``submit``.
+* the TCP path — payloads travel inside :mod:`repro.core.service.wire`
+  frames to a ``repro-serve --listen`` server and on to its shard-group
+  worker processes.
+
+Because the in-process client round-trips through the same codec, a URL
+flip from ``knowledge+service://`` to ``knowledge+tcp://`` changes the
+transport and nothing else — the paper's §V-C "local or remote" choice,
+kept honest by construction.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import TimeoutError as _FutureTimeoutError
+from typing import TYPE_CHECKING, Sequence
+
+from repro.core.persistence.transfer import knowledge_from_dict, knowledge_to_dict
+from repro.core.service.wire import PROTOCOL, WireProtocolError
+from repro.util.errors import DeadlineError, ServiceError
+
+if TYPE_CHECKING:  # pragma: no cover - type-only imports
+    from repro.core.knowledge import Knowledge
+    from repro.core.service.service import KnowledgeService
+
+__all__ = [
+    "SERVICE_OPS",
+    "MUTATING_OPS",
+    "encode_args",
+    "decode_args",
+    "encode_result",
+    "decode_result",
+    "ServiceDispatcher",
+    "LocalTransport",
+]
+
+#: Every operation a transport may carry (``hello`` is negotiated at
+#: the connection layer, not dispatched).
+SERVICE_OPS = frozenset(
+    {
+        "save", "save_many", "delete",
+        "load", "load_all", "fetch_many", "list_ids",
+        "find_by_parameter", "count", "exists",
+        "stats", "ping",
+    }
+)
+
+#: Operations whose retry after a mid-flight transport fault could
+#: double-apply a write (the server may have committed already).
+MUTATING_OPS = frozenset({"save", "save_many", "delete"})
+
+
+def _pack_knowledge(knowledge: "Knowledge") -> dict[str, object]:
+    return {"data": knowledge_to_dict(knowledge), "id": knowledge.knowledge_id}
+
+
+def _unpack_knowledge(obj: dict[str, object]) -> "Knowledge":
+    knowledge = knowledge_from_dict(obj["data"])  # type: ignore[arg-type]
+    raw_id = obj.get("id")
+    knowledge.knowledge_id = int(raw_id) if raw_id is not None else None
+    return knowledge
+
+
+def _check_op(op: str) -> None:
+    if op not in SERVICE_OPS:
+        raise ServiceError(
+            f"unknown service operation {op!r}; known: {sorted(SERVICE_OPS)}"
+        )
+
+
+# ----------------------------------------------------------------------
+# argument payloads
+# ----------------------------------------------------------------------
+def encode_args(op: str, args: Sequence[object]) -> dict[str, object]:
+    """Encode one operation's positional arguments as a JSON-safe dict."""
+    _check_op(op)
+    if op == "save":
+        return {"knowledge": _pack_knowledge(args[0])}  # type: ignore[arg-type]
+    if op == "save_many":
+        return {"objects": [_pack_knowledge(k) for k in args[0]]}  # type: ignore[union-attr]
+    if op in ("load", "delete", "exists"):
+        return {"id": int(args[0])}  # type: ignore[arg-type]
+    if op == "fetch_many":
+        return {"ids": [int(i) for i in args[0]]}  # type: ignore[union-attr]
+    if op in ("load_all", "list_ids", "count"):
+        benchmark = args[0] if args else None
+        return {"benchmark": None if benchmark is None else str(benchmark)}
+    if op == "find_by_parameter":
+        return {"key": str(args[0]), "value": str(args[1])}
+    return {}  # stats / ping
+
+
+def decode_args(op: str, payload: dict[str, object]) -> tuple:
+    """Decode an argument payload back into ``submit``-shaped positionals."""
+    _check_op(op)
+    if op == "save":
+        return (_unpack_knowledge(payload["knowledge"]),)  # type: ignore[arg-type]
+    if op == "save_many":
+        return ([_unpack_knowledge(o) for o in payload["objects"]],)  # type: ignore[union-attr]
+    if op in ("load", "delete", "exists"):
+        return (int(payload["id"]),)  # type: ignore[arg-type]
+    if op == "fetch_many":
+        return ([int(i) for i in payload["ids"]],)  # type: ignore[union-attr]
+    if op in ("load_all", "list_ids", "count"):
+        benchmark = payload.get("benchmark")
+        return (None if benchmark is None else str(benchmark),)
+    if op == "find_by_parameter":
+        return (str(payload["key"]), str(payload["value"]))
+    return ()  # stats / ping
+
+
+# ----------------------------------------------------------------------
+# result payloads
+# ----------------------------------------------------------------------
+def encode_result(op: str, result: object) -> dict[str, object]:
+    """Encode one operation's return value as a JSON-safe dict."""
+    _check_op(op)
+    if op == "save":
+        return {"id": int(result)}  # type: ignore[arg-type]
+    if op in ("save_many", "list_ids", "find_by_parameter"):
+        return {"ids": [int(i) for i in result]}  # type: ignore[union-attr]
+    if op == "load":
+        return {"knowledge": _pack_knowledge(result)}  # type: ignore[arg-type]
+    if op in ("load_all", "fetch_many"):
+        return {"objects": [_pack_knowledge(k) for k in result]}  # type: ignore[union-attr]
+    if op == "count":
+        return {"count": int(result)}  # type: ignore[arg-type]
+    if op == "exists":
+        return {"exists": bool(result)}
+    if op == "stats":
+        return {"stats": dict(result)}  # type: ignore[arg-type]
+    return {}  # delete / ping
+
+
+def decode_result(op: str, payload: dict[str, object]) -> object:
+    """Decode a result payload back into the blocking-API return value."""
+    _check_op(op)
+    if op == "save":
+        return int(payload["id"])  # type: ignore[arg-type]
+    if op in ("save_many", "list_ids", "find_by_parameter"):
+        return [int(i) for i in payload["ids"]]  # type: ignore[union-attr]
+    if op == "load":
+        return _unpack_knowledge(payload["knowledge"])  # type: ignore[arg-type]
+    if op in ("load_all", "fetch_many"):
+        return [_unpack_knowledge(o) for o in payload["objects"]]  # type: ignore[union-attr]
+    if op == "count":
+        return int(payload["count"])  # type: ignore[arg-type]
+    if op == "exists":
+        return bool(payload["exists"])
+    if op == "stats":
+        return dict(payload["stats"])  # type: ignore[arg-type]
+    return None  # delete / ping
+
+
+# ----------------------------------------------------------------------
+# dispatch
+# ----------------------------------------------------------------------
+class ServiceDispatcher:
+    """Execute decoded wire requests against one :class:`KnowledgeService`.
+
+    The single choke point between "bytes from a peer" and the service:
+    argument payloads are validated here, so a malformed request becomes
+    a typed ``bad-request`` error frame instead of an arbitrary
+    exception (or a dead worker process).
+    """
+
+    def __init__(self, service: "KnowledgeService") -> None:
+        self.service = service
+
+    def call(
+        self, op: str, payload: dict[str, object], *, timeout_s: float | None = None
+    ) -> dict[str, object]:
+        """Run one operation payload-to-payload; raises typed errors."""
+        if op == "ping":
+            return {}
+        if op == "stats":
+            return {"stats": self.service.stats()}
+        try:
+            args = decode_args(op, payload)
+        except ServiceError:
+            raise
+        except (KeyError, TypeError, ValueError, AttributeError) as exc:
+            error = WireProtocolError(
+                f"malformed arguments for operation {op!r}: {exc}"
+            )
+            error.wire_code = "bad-request"  # type: ignore[attr-defined]
+            raise error from exc
+        future = self.service.submit(op, *args)
+        try:
+            result = future.result(timeout=timeout_s)
+        except _FutureTimeoutError:
+            future.cancel()
+            raise DeadlineError(
+                f"service request {op!r} exceeded its "
+                f"{timeout_s:g}s client deadline"
+            ) from None
+        return encode_result(op, result)
+
+
+class LocalTransport:
+    """The in-process transport: same codec, no socket.
+
+    Wraps an embedded :class:`KnowledgeService` behind the transport
+    interface (``call``/``close``/``server_info``) so
+    :class:`~repro.core.service.client.ServiceClient` runs one code
+    path for ``knowledge+service://`` and ``knowledge+tcp://``.
+    Exceptions propagate natively (no error-frame round trip): the
+    classes and ``transient`` flags are identical to what the wire
+    codec would reconstruct, with full local detail preserved.
+    """
+
+    def __init__(self, service: "KnowledgeService") -> None:
+        self.service = service
+        self.dispatcher = ServiceDispatcher(service)
+        self.metrics = service.metrics
+
+    @property
+    def server_info(self) -> dict[str, object]:
+        """What a remote ``hello`` would have negotiated."""
+        return {
+            "protocol": PROTOCOL,
+            "transport": "local",
+            "shards": self.service.shard_map.num_shards,
+        }
+
+    def call(
+        self, op: str, payload: dict[str, object], *, timeout_s: float | None = None
+    ) -> dict[str, object]:
+        """Run one operation against the embedded service."""
+        return self.dispatcher.call(op, payload, timeout_s=timeout_s)
+
+    def close(self) -> None:
+        """Close the embedded service (and its shards)."""
+        self.service.close()

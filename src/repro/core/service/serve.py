@@ -1,14 +1,26 @@
-"""``repro-serve`` — administer and exercise a sharded knowledge store.
+"""``repro-serve`` — run, administer and exercise a knowledge store.
 
-The knowledge service is *embeddable* (there is no network daemon in
-this prototype — §V-C's "remote" store is a URL away); this CLI is its
-operator console::
+Operator console for the sharded knowledge service, in three modes::
 
+    # embedded administration (no daemon)
     repro-serve /var/lib/repro/store --shards 4
     repro-serve /var/lib/repro/store --ingest runs.json --warm-up
     repro-serve 'knowledge+service:///var/lib/repro/store?cache=256' --list
     repro-serve /var/lib/repro/store --rebalance 8
     repro-serve /var/lib/repro/store --exercise 200 --metrics-json m.json
+
+    # networked server: shard groups in separate worker processes
+    repro-serve /var/lib/repro/store --listen 0.0.0.0:9477 --worker-processes 4
+
+    # remote administration of a running server
+    repro-serve 'knowledge+tcp://db-node:9477/' --list
+    repro-serve 'knowledge+tcp://db-node:9477/' --ingest runs.json --exercise 200
+
+``--listen`` promotes the store to a TCP server speaking the versioned
+``repro.wire/v1`` protocol; clients reach it through
+``knowledge+tcp://host:port/`` URLs.  SIGTERM (or Ctrl-C) drains
+gracefully: in-flight requests finish, new ones get typed ``draining``
+errors, and every shard-group worker flushes its shards before exit.
 
 ``--exercise`` drives deterministic round-robin read traffic through
 the client (same ids, same order every run) — a quick way to check the
@@ -18,14 +30,22 @@ cache and queue behave before pointing real load at the store.
 from __future__ import annotations
 
 import argparse
+import signal
 import sys
 from typing import Sequence
 
 from repro.core.knowledge import Knowledge
 from repro.core.metrics import MetricsRegistry
 from repro.core.persistence.transfer import import_json
-from repro.core.service.client import ServiceClient, is_service_url, open_service
-from repro.util.errors import ReproError
+from repro.core.service.client import (
+    ServiceClient,
+    is_service_url,
+    is_tcp_url,
+    open_service,
+    parse_service_url,
+)
+from repro.core.service.server import KnowledgeServer
+from repro.util.errors import ReproError, ServiceError
 
 __all__ = ["main", "build_parser"]
 
@@ -34,11 +54,12 @@ def build_parser() -> argparse.ArgumentParser:
     """The repro-serve argument parser."""
     parser = argparse.ArgumentParser(
         prog="repro-serve",
-        description="Administer a sharded knowledge-service store.",
+        description="Run or administer a sharded knowledge-service store.",
     )
     parser.add_argument(
         "store",
-        help="store root directory or knowledge+service:// URL",
+        help="store root directory, knowledge+service:// URL, or "
+             "knowledge+tcp:// URL of a running server",
     )
     parser.add_argument(
         "--shards", type=int, default=None,
@@ -48,6 +69,19 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--workers", type=int, default=4, help="worker threads")
     parser.add_argument("--queue", type=int, default=64, help="request-queue bound")
     parser.add_argument("--cache", type=int, default=128, help="result-cache capacity")
+    parser.add_argument(
+        "--listen", default=None, metavar="HOST:PORT",
+        help="serve the store over TCP (repro.wire/v1); port 0 picks a free port",
+    )
+    parser.add_argument(
+        "--worker-processes", type=int, default=2, metavar="N",
+        help="shard-group worker processes behind --listen (default 2, "
+             "capped at the shard count)",
+    )
+    parser.add_argument(
+        "--channels", type=int, default=2, metavar="N",
+        help="wire channels per worker process behind --listen (default 2)",
+    )
     parser.add_argument(
         "--ingest", action="append", default=[], metavar="JSON",
         help="import knowledge from a repro-knowledge JSON file (repeatable)",
@@ -92,7 +126,7 @@ def _exercise(client: ServiceClient, requests: int) -> None:
         return
     for i in range(requests):
         client.load(ids[i % len(ids)])
-    stats = client.service.stats()
+    stats = client.stats()
     print(
         f"exercise: {requests} read(s) over {len(ids)} object(s); "
         f"cache hit rate {stats['cache_hit_rate']:.2%} "
@@ -100,11 +134,94 @@ def _exercise(client: ServiceClient, requests: int) -> None:
     )
 
 
+def _parse_listen(listen: str) -> tuple[str, int]:
+    host, colon, port_text = listen.rpartition(":")
+    if not colon or not host:
+        raise ServiceError(
+            f"--listen wants HOST:PORT, got {listen!r} "
+            "(use 127.0.0.1:0 for an ephemeral local port)"
+        )
+    try:
+        return host, int(port_text)
+    except ValueError:
+        raise ServiceError(f"--listen port {port_text!r} is not an integer") from None
+
+
+def _run_server(args: argparse.Namespace, metrics: MetricsRegistry) -> int:
+    if is_tcp_url(args.store):
+        raise ServiceError(
+            "--listen serves a local store; point it at a store directory "
+            "or knowledge+service:// URL, not a running server's URL"
+        )
+    root = args.store
+    shards = args.shards
+    if is_service_url(args.store):
+        root, options = parse_service_url(args.store)
+        shards = options.get("shards", shards)
+    host, port = _parse_listen(args.listen)
+    server = KnowledgeServer(
+        root, host=host, port=port, shards=shards,
+        worker_processes=args.worker_processes,
+        channels_per_worker=args.channels,
+        worker_threads=args.workers, queue_size=args.queue,
+        cache_size=args.cache, metrics=metrics,
+    )
+
+    def _drain(signum, frame):  # noqa: ARG001 - signal handler signature
+        server.initiate_drain()
+
+    signal.signal(signal.SIGTERM, _drain)
+    signal.signal(signal.SIGINT, _drain)
+    print(
+        f"repro-serve: listening on knowledge+tcp://{server.host}:{server.port}/ "
+        f"({server.num_shards} shard(s) in {len(server.workers)} worker "
+        "process(es)); SIGTERM drains",
+        flush=True,
+    )
+    server.serve_forever()
+    bad = [code for code in server.worker_returncodes if code != 0]
+    print(
+        "repro-serve: drained; worker exit codes "
+        f"{server.worker_returncodes}",
+        flush=True,
+    )
+    return 1 if bad else 0
+
+
+def _remote_summary(client: ServiceClient) -> None:
+    stats = client.stats()
+    rows = stats.get("rows_per_shard", {})
+    print(f"server: {client.transport.host}:{client.transport.port} "  # type: ignore[union-attr]
+          f"({stats.get('worker_processes', '?')} worker process(es))")
+    for index in sorted(rows, key=int):
+        print(f"  shard {int(index):>3}  {rows[index]} object(s)")
+    total = sum(int(n) for n in rows.values())
+    print(f"total: {total} object(s) in {stats['shards']} shard(s)")
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """Console entry point."""
     args = build_parser().parse_args(list(sys.argv[1:] if argv is None else argv))
     metrics = MetricsRegistry()
     try:
+        if args.listen is not None:
+            return _run_server(args, metrics)
+        if is_tcp_url(args.store):
+            if args.rebalance is not None or args.warm_up:
+                print("error: --rebalance/--warm-up need direct store access, "
+                      "not a knowledge+tcp:// URL", file=sys.stderr)
+                return 2
+            with ServiceClient.open(args.store, metrics=metrics) as client:
+                if args.ingest:
+                    saved, skipped = _ingest(client, args.ingest)
+                    print(f"ingested {saved} knowledge object(s)"
+                          + (f" ({skipped} non-benchmark entr(ies) skipped)"
+                             if skipped else ""))
+                if args.exercise is not None:
+                    _exercise(client, args.exercise)
+                if args.list or not (args.ingest or args.exercise is not None):
+                    _remote_summary(client)
+            return 0
         if args.rebalance is not None and is_service_url(args.store):
             print("error: --rebalance takes a plain store directory, not a URL",
                   file=sys.stderr)

@@ -1,0 +1,728 @@
+"""The networked knowledge server behind ``repro-serve --listen``.
+
+Three pieces, one wire protocol:
+
+* :class:`WorkerHandle` — one shard-group worker *process* (spawned as
+  ``python -m repro.core.service.worker`` with ``socketpair`` channels
+  passed by fd).  The parent talks to it in ``repro.wire/v1`` frames,
+  one in-flight request per channel, and guards it with a circuit
+  breaker: a worker that stops answering is quarantined, and requests
+  for its shards fail fast with a typed ``quarantine`` error instead of
+  piling onto a dead process.
+* :class:`ShardRouter` — routes each operation to the worker(s) owning
+  the shards it touches.  Placement reuses the store's deterministic
+  key hash, global-id decoding names the shard directly, and the
+  multi-shard operations (``save_many``/``fetch_many``/``list_ids``/
+  ``count``/``find_by_parameter``/``load_all``/``stats``) are split per
+  worker and merged back in the exact order the embedded service would
+  have produced.
+* :class:`KnowledgeServer` — the TCP front end: accepts connections,
+  answers ``hello`` protocol negotiation, hardens against malformed
+  frames (typed error frame or clean close — never a crashed thread),
+  counts every connection/frame/byte under ``service.transport.*``, and
+  drains gracefully: stop accepting, finish in-flight requests, answer
+  ``draining`` to new ones, then close the worker channels so each
+  worker flushes its shards and exits 0.
+
+SQLite never runs in this process — the server routes, the workers own
+the shards, and writes to different shard groups proceed on different
+GILs.  That is the ROADMAP's "service split" step: the same knowledge
+store, reachable from another process or host via ``knowledge+tcp://``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import queue
+import select
+import socket
+import subprocess
+import sys
+import threading
+import time
+from contextlib import contextmanager
+from pathlib import Path
+from typing import TYPE_CHECKING, Sequence
+
+import repro
+from repro.core.resilience import CircuitBreaker
+from repro.core.service.ops import MUTATING_OPS, SERVICE_OPS
+from repro.core.service.shard import (
+    KnowledgeShardMap,
+    decode_knowledge_id,
+    shard_index_for_key,
+)
+from repro.core.service.wire import (
+    MAX_FRAME_BYTES,
+    PROTOCOL,
+    TruncatedFrameError,
+    WireProtocolError,
+    WireVersionError,
+    error_body,
+    raise_wire_error,
+    read_frame,
+    write_frame,
+)
+from repro.util.errors import PersistenceError, ServiceError, ServiceTransportError
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from repro.core.metrics import MetricsRegistry
+
+__all__ = ["WorkerHandle", "ShardRouter", "KnowledgeServer"]
+
+
+def _typed(exc: Exception, code: str) -> Exception:
+    """Stamp an explicit wire code onto one exception instance."""
+    exc.wire_code = code  # type: ignore[attr-defined]
+    return exc
+
+
+class WorkerHandle:
+    """The parent-side handle of one shard-group worker process."""
+
+    def __init__(
+        self,
+        index: int,
+        owned_shards: Sequence[int],
+        process: subprocess.Popen,
+        channels: Sequence[socket.socket],
+        *,
+        breaker: CircuitBreaker,
+        max_frame: int = MAX_FRAME_BYTES,
+        request_timeout_s: float = 30.0,
+    ) -> None:
+        self.index = index
+        self.owned_shards = tuple(owned_shards)
+        self.process = process
+        self.breaker = breaker
+        self.max_frame = max_frame
+        self.request_timeout_s = request_timeout_s
+        self.channel_count = len(channels)
+        self._pool: "queue.Queue[socket.socket]" = queue.Queue()
+        self._all_channels = list(channels)
+        for channel in channels:
+            self._pool.put(channel)
+        self._seq = itertools.count(1)
+
+    def call(self, op: str, payload: dict[str, object]) -> dict[str, object]:
+        """One wire round-trip to the worker; raises typed errors.
+
+        Transport faults (dead channel, short read, timeout) trip the
+        breaker and surface as :class:`ServiceTransportError` — marked
+        non-retryable for mutating ops, whose effect on the worker is
+        unknowable once the request left this process.  Typed error
+        frames from the worker re-raise as their registered classes.
+        """
+        if not self.breaker.allow():
+            raise _typed(
+                ServiceTransportError(
+                    f"shard-group worker {self.index} "
+                    f"(shards {list(self.owned_shards)}) is quarantined by its "
+                    "circuit breaker; its shards are unavailable until it heals",
+                    retryable=True,
+                ),
+                "quarantine",
+            )
+        try:
+            channel = self._pool.get(timeout=self.request_timeout_s)
+        except queue.Empty:
+            self.breaker.record_failure()
+            raise _typed(
+                ServiceTransportError(
+                    f"no free channel to shard-group worker {self.index} within "
+                    f"{self.request_timeout_s:g}s",
+                    retryable=True,
+                ),
+                "unavailable",
+            ) from None
+        request_id = next(self._seq)
+        try:
+            channel.settimeout(self.request_timeout_s)
+            write_frame(
+                channel,
+                {"id": request_id, "op": op, "args": payload},
+                max_frame=self.max_frame,
+            )
+            response = read_frame(channel, max_frame=self.max_frame)
+        except (OSError, WireProtocolError) as exc:
+            self.breaker.record_failure()
+            self._discard(channel)
+            raise ServiceTransportError(
+                f"channel to shard-group worker {self.index} failed during "
+                f"{op!r}: {exc}",
+                retryable=op not in MUTATING_OPS,
+            ) from exc
+        if response is None or response.get("id") != request_id:
+            self.breaker.record_failure()
+            self._discard(channel)
+            detail = (
+                "closed its channel" if response is None else "answered out of sequence"
+            )
+            raise ServiceTransportError(
+                f"shard-group worker {self.index} {detail} during {op!r}",
+                retryable=op not in MUTATING_OPS,
+            )
+        self._pool.put(channel)
+        self.breaker.record_success()
+        if response.get("ok"):
+            result = response.get("result")
+            return result if isinstance(result, dict) else {}
+        error = response.get("error")
+        raise_wire_error(error if isinstance(error, dict) else {})
+        raise AssertionError("raise_wire_error always raises")  # pragma: no cover
+
+    def _discard(self, channel: socket.socket) -> None:
+        try:
+            channel.close()
+        except OSError:
+            pass
+        if channel in self._all_channels:
+            self._all_channels.remove(channel)
+
+    def handshake(self) -> None:
+        """Verify every channel answers ``hello`` (worker readiness)."""
+        for _ in range(self.channel_count):  # FIFO pool: each call rotates
+            self.call("hello", {})
+
+    @property
+    def alive(self) -> bool:
+        """Whether the worker process is still running."""
+        return self.process.poll() is None
+
+    def close_channels(self) -> None:
+        """EOF every channel: the worker flushes its shards and exits."""
+        while True:
+            try:
+                self._pool.get_nowait()
+            except queue.Empty:
+                break
+        for channel in list(self._all_channels):
+            self._discard(channel)
+
+
+class ShardRouter:
+    """Route wire operations to the shard-group workers that own them."""
+
+    def __init__(self, workers: Sequence[WorkerHandle], num_shards: int) -> None:
+        self.workers = list(workers)
+        self.num_shards = num_shards
+        self._owner: dict[int, WorkerHandle] = {}
+        for worker in self.workers:
+            for shard in worker.owned_shards:
+                self._owner[shard] = worker
+
+    # -- placement -----------------------------------------------------
+    def _worker_of_shard(self, index: int) -> WorkerHandle:
+        if not 0 <= index < self.num_shards:
+            raise PersistenceError(
+                f"shard {index} outside the store's {self.num_shards} shard(s)"
+            )
+        return self._owner[index]
+
+    def _shard_of_id(self, global_id: int) -> int:
+        _, index = decode_knowledge_id(int(global_id))
+        if index >= self.num_shards:
+            raise PersistenceError(
+                f"knowledge id {global_id} names shard {index} but the store "
+                f"has only {self.num_shards} shard(s)"
+            )
+        return index
+
+    def _placement(self, packed: dict[str, object]) -> int:
+        data = packed["data"]  # type: ignore[index]
+        system = data.get("system") or {}  # type: ignore[union-attr]
+        hostname = system.get("hostname") or "" if isinstance(system, dict) else ""
+        return shard_index_for_key(f"{data['benchmark']}/{hostname}", self.num_shards)
+
+    # -- dispatch ------------------------------------------------------
+    def call(self, op: str, payload: dict[str, object]) -> dict[str, object]:
+        """Route one operation payload; returns its result payload."""
+        try:
+            return self._route(op, payload)
+        except (KeyError, TypeError, ValueError, AttributeError, IndexError) as exc:
+            raise _typed(
+                WireProtocolError(f"malformed arguments for operation {op!r}: {exc}"),
+                "bad-request",
+            ) from exc
+
+    def _route(self, op: str, payload: dict[str, object]) -> dict[str, object]:
+        if op == "ping":
+            return {}
+        if op == "stats":
+            return {"stats": self._merged_stats()}
+        if op not in SERVICE_OPS:
+            raise _typed(
+                ServiceError(
+                    f"unknown service operation {op!r}; known: {sorted(SERVICE_OPS)}"
+                ),
+                "unknown-op",
+            )
+        if op == "save":
+            owner = self._worker_of_shard(self._placement(payload["knowledge"]))  # type: ignore[arg-type]
+            return owner.call("save", payload)
+        if op == "save_many":
+            return self._save_many(payload)
+        if op == "fetch_many":
+            return self._fetch_many(payload)
+        if op in ("load", "delete"):
+            owner = self._worker_of_shard(self._shard_of_id(payload["id"]))  # type: ignore[arg-type]
+            return owner.call(op, payload)
+        if op == "exists":
+            try:
+                index = self._shard_of_id(payload["id"])  # type: ignore[arg-type]
+            except (ServiceError, PersistenceError):
+                return {"exists": False}
+            return self._worker_of_shard(index).call("exists", payload)
+        if op in ("list_ids", "find_by_parameter"):
+            ids: list[int] = []
+            for worker in self.workers:
+                ids.extend(worker.call(op, payload)["ids"])  # type: ignore[arg-type]
+            ids.sort()
+            return {"ids": ids}
+        if op == "count":
+            return {
+                "count": sum(
+                    int(worker.call("count", payload)["count"])  # type: ignore[arg-type]
+                    for worker in self.workers
+                )
+            }
+        # load_all: every worker returns its owned objects, merged in
+        # global-id order — exactly the embedded service's ordering.
+        objects: list[dict[str, object]] = []
+        for worker in self.workers:
+            objects.extend(worker.call("load_all", payload)["objects"])  # type: ignore[arg-type]
+        objects.sort(key=lambda obj: int(obj["id"]))  # type: ignore[arg-type]
+        return {"objects": objects}
+
+    def _save_many(self, payload: dict[str, object]) -> dict[str, object]:
+        objects = payload["objects"]  # type: ignore[index]
+        if not objects:
+            return {"ids": []}
+        by_worker: dict[int, tuple[WorkerHandle, list[tuple[int, object]]]] = {}
+        for position, packed in enumerate(objects):  # type: ignore[arg-type]
+            worker = self._worker_of_shard(self._placement(packed))
+            by_worker.setdefault(worker.index, (worker, []))[1].append(
+                (position, packed)
+            )
+        ids: list[int] = [0] * len(objects)  # type: ignore[arg-type]
+        for worker, group in (by_worker[i] for i in sorted(by_worker)):
+            result = worker.call("save_many", {"objects": [o for _, o in group]})
+            for (position, _), global_id in zip(group, result["ids"]):  # type: ignore[arg-type]
+                ids[position] = int(global_id)
+        return {"ids": ids}
+
+    def _fetch_many(self, payload: dict[str, object]) -> dict[str, object]:
+        wanted = [int(i) for i in payload["ids"]]  # type: ignore[union-attr]
+        by_worker: dict[int, tuple[WorkerHandle, list[int]]] = {}
+        for global_id in dict.fromkeys(wanted):
+            worker = self._worker_of_shard(self._shard_of_id(global_id))
+            by_worker.setdefault(worker.index, (worker, []))[1].append(global_id)
+        fetched: dict[int, object] = {}
+        for worker, group in (by_worker[i] for i in sorted(by_worker)):
+            result = worker.call("fetch_many", {"ids": group})
+            for global_id, packed in zip(group, result["objects"]):  # type: ignore[arg-type]
+                fetched[global_id] = packed
+        return {"objects": [fetched[i] for i in wanted]}
+
+    def _merged_stats(self) -> dict[str, object]:
+        merged: dict[str, object] = {
+            "shards": self.num_shards,
+            "worker_processes": len(self.workers),
+            "shard_groups": [list(w.owned_shards) for w in self.workers],
+            "workers": 0,
+            "queue_depth": 0,
+            "queue_size": 0,
+            "cache_entries": 0,
+            "cache_hits": 0,
+            "cache_misses": 0,
+            "cache_evictions_stale": 0,
+            "cache_evictions_capacity": 0,
+            "epochs": [0] * self.num_shards,
+            "rows_per_shard": {},
+        }
+        summed = (
+            "workers", "queue_depth", "queue_size", "cache_entries",
+            "cache_hits", "cache_misses",
+            "cache_evictions_stale", "cache_evictions_capacity",
+        )
+        for worker in self.workers:
+            stats = worker.call("stats", {})["stats"]
+            for key in summed:
+                merged[key] += int(stats.get(key, 0))  # type: ignore[operator]
+            merged["rows_per_shard"].update(stats.get("rows_per_shard", {}))  # type: ignore[union-attr]
+            epochs = stats.get("epochs") or []
+            for shard in worker.owned_shards:  # the owner's epoch is the truth
+                if shard < len(epochs):
+                    merged["epochs"][shard] = int(epochs[shard])  # type: ignore[index]
+        lookups = merged["cache_hits"] + merged["cache_misses"]  # type: ignore[operator]
+        merged["cache_hit_rate"] = (
+            round(merged["cache_hits"] / lookups, 4) if lookups else 0.0  # type: ignore[operator]
+        )
+        return merged
+
+
+class KnowledgeServer:
+    """TCP front end over shard-group worker processes.
+
+    ``port=0`` binds an ephemeral port (``.port`` reports the real one).
+    The server is a context manager; ``start()`` begins accepting,
+    ``initiate_drain()`` (or SIGTERM via ``repro-serve``) starts the
+    graceful shutdown, ``close()`` completes it.
+    """
+
+    def __init__(
+        self,
+        root: str | Path,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        shards: int | None = None,
+        worker_processes: int = 2,
+        channels_per_worker: int = 2,
+        worker_threads: int = 2,
+        queue_size: int = 64,
+        cache_size: int = 128,
+        max_frame: int = MAX_FRAME_BYTES,
+        request_timeout_s: float = 30.0,
+        metrics: "MetricsRegistry | None" = None,
+    ) -> None:
+        self.root = Path(root)
+        self.metrics = metrics
+        self.max_frame = max_frame
+        self.request_timeout_s = request_timeout_s
+        self._metrics_lock = threading.Lock()
+        self._state_lock = threading.Lock()
+        self._idle = threading.Condition(self._state_lock)
+        self._inflight = 0
+        self._draining = False
+        self._shutdown = False
+        self._closed = False
+        self._stop_event = threading.Event()
+        self._accept_thread: threading.Thread | None = None
+        self._conn_threads: list[threading.Thread] = []
+        self._open_conns: set[socket.socket] = set()
+        self._active_conns = 0
+        self.worker_returncodes: list[int] = []
+
+        # Fix the shard layout up front so the workers *discover* it
+        # instead of racing to create it.
+        bootstrap = KnowledgeShardMap(self.root, shards)
+        self.num_shards = bootstrap.num_shards
+        bootstrap.close()
+
+        n_workers = max(1, min(worker_processes, self.num_shards))
+        groups: list[list[int]] = [[] for _ in range(n_workers)]
+        for index in range(self.num_shards):
+            groups[index % n_workers].append(index)
+        self.workers = [
+            self._spawn_worker(
+                wi, owned, channels_per_worker, worker_threads, queue_size, cache_size
+            )
+            for wi, owned in enumerate(groups)
+        ]
+        for worker in self.workers:
+            worker.handshake()
+        self.router = ShardRouter(self.workers, self.num_shards)
+
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind((host, port))
+        self._listener.listen(64)
+        self.host, self.port = self._listener.getsockname()[:2]
+
+    # ------------------------------------------------------------------
+    # worker processes
+    # ------------------------------------------------------------------
+    def _spawn_worker(
+        self,
+        worker_index: int,
+        owned: list[int],
+        channels_per_worker: int,
+        worker_threads: int,
+        queue_size: int,
+        cache_size: int,
+    ) -> WorkerHandle:
+        pairs = [socket.socketpair() for _ in range(max(1, channels_per_worker))]
+        child_fds = [child.fileno() for _, child in pairs]
+        env = dict(os.environ)
+        src_root = str(Path(repro.__file__).resolve().parents[1])
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = (
+            src_root if not existing else f"{src_root}{os.pathsep}{existing}"
+        )
+        argv = [
+            sys.executable, "-m", "repro.core.service.worker",
+            "--store", str(self.root),
+            "--shards", ",".join(str(i) for i in owned),
+            "--fds", ",".join(str(fd) for fd in child_fds),
+            "--threads", str(worker_threads),
+            "--queue", str(queue_size),
+            "--cache", str(cache_size),
+            "--max-frame", str(self.max_frame),
+        ]
+        process = subprocess.Popen(argv, pass_fds=child_fds, env=env)
+        parent_channels = []
+        for parent, child in pairs:
+            child.close()  # the worker owns its end now
+            parent_channels.append(parent)
+        breaker = CircuitBreaker(
+            failure_threshold=3, reset_timeout_s=1.0,
+            metrics=self.metrics, name=f"service-worker-{worker_index}",
+        )
+        return WorkerHandle(
+            worker_index, owned, process, parent_channels,
+            breaker=breaker, max_frame=self.max_frame,
+            request_timeout_s=self.request_timeout_s,
+        )
+
+    # ------------------------------------------------------------------
+    # accept loop + per-connection protocol
+    # ------------------------------------------------------------------
+    def start(self) -> "KnowledgeServer":
+        """Begin accepting connections (idempotent)."""
+        if self._accept_thread is None:
+            self._accept_thread = threading.Thread(
+                target=self._accept_loop, name="repro-serve-accept", daemon=True
+            )
+            self._accept_thread.start()
+        return self
+
+    def _accept_loop(self) -> None:
+        while not self._draining:
+            try:
+                ready, _, _ = select.select([self._listener], [], [], 0.2)
+            except (OSError, ValueError):
+                return
+            if not ready:
+                continue
+            try:
+                conn, _addr = self._listener.accept()
+            except OSError:
+                return
+            self._track_connection(conn, opened=True)
+            thread = threading.Thread(
+                target=self._serve_connection, args=(conn,), daemon=True
+            )
+            with self._state_lock:
+                self._conn_threads.append(thread)
+            thread.start()
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        conn.settimeout(self.request_timeout_s)
+        try:
+            while True:
+                try:
+                    ready, _, _ = select.select([conn], [], [], 0.25)
+                except (OSError, ValueError):
+                    return
+                if not ready:
+                    if self._shutdown:
+                        return
+                    continue
+                received = [0]
+                try:
+                    request = read_frame(
+                        conn, max_frame=self.max_frame,
+                        on_bytes=lambda n: received.__setitem__(0, n),
+                    )
+                except TruncatedFrameError:
+                    return  # mid-frame disconnect: nothing to answer
+                except WireVersionError as exc:
+                    # Answer in *our* version — the one thing both ends
+                    # can parse — then hang up.
+                    self._send(conn, {"id": None, "ok": False,
+                                      "error": error_body(_typed(exc, "version-mismatch"))})
+                    return
+                except WireProtocolError as exc:
+                    code = "frame-too-large" if "cap" in str(exc) else "bad-frame"
+                    self._send(conn, {"id": None, "ok": False,
+                                      "error": error_body(_typed(exc, code))})
+                    return
+                except (OSError, ValueError):
+                    return
+                if request is None:
+                    return  # clean close at a frame boundary
+                self._count_frame("in", received[0])
+                if not self._send(conn, self._respond(request)):
+                    return
+        finally:
+            self._track_connection(conn, opened=False)
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    def _respond(self, request: dict[str, object]) -> dict[str, object]:
+        request_id = request.get("id")
+        op = str(request.get("op", ""))
+        args = request.get("args")
+        payload = args if isinstance(args, dict) else {}
+        start = time.perf_counter()
+        try:
+            if op == "hello":
+                result = self._hello(payload)
+            elif self._draining:
+                raise _typed(
+                    ServiceTransportError(
+                        "server is draining; finish against another endpoint "
+                        "or retry once a replacement is up",
+                        retryable=True,
+                    ),
+                    "draining",
+                )
+            else:
+                with self._inflight_guard():
+                    result = self.router.call(op, payload)
+        except Exception as exc:  # noqa: BLE001 - typed error frame, never die
+            self._observe_op(op, time.perf_counter() - start)
+            return {"id": request_id, "ok": False, "error": error_body(exc)}
+        self._observe_op(op, time.perf_counter() - start)
+        return {"id": request_id, "ok": True, "result": result}
+
+    def _hello(self, payload: dict[str, object]) -> dict[str, object]:
+        offered = payload.get("protocols")
+        if offered is not None and PROTOCOL not in offered:  # type: ignore[operator]
+            raise _typed(
+                WireProtocolError(
+                    f"no common protocol: client offers {offered!r}, "
+                    f"server speaks {PROTOCOL}"
+                ),
+                "version-mismatch",
+            )
+        return {
+            "protocol": PROTOCOL,
+            "transport": "tcp",
+            "server": "repro-serve",
+            "shards": self.num_shards,
+            "worker_processes": len(self.workers),
+            "draining": self._draining,
+        }
+
+    def _send(self, conn: socket.socket, body: dict[str, object]) -> bool:
+        try:
+            sent = write_frame(conn, body, max_frame=self.max_frame)
+        except (OSError, WireProtocolError):
+            return False
+        self._count_frame("out", sent)
+        return True
+
+    @contextmanager
+    def _inflight_guard(self):
+        with self._idle:
+            self._inflight += 1
+        try:
+            yield
+        finally:
+            with self._idle:
+                self._inflight -= 1
+                self._idle.notify_all()
+
+    # ------------------------------------------------------------------
+    # service.transport.* metrics
+    # ------------------------------------------------------------------
+    def _track_connection(self, conn: socket.socket, *, opened: bool) -> None:
+        with self._state_lock:
+            if opened:
+                self._open_conns.add(conn)
+                self._active_conns += 1
+            else:
+                self._open_conns.discard(conn)
+                self._active_conns -= 1
+            active = self._active_conns
+        if self.metrics is not None:
+            with self._metrics_lock:
+                if opened:
+                    self.metrics.counter(
+                        "service.transport.connections_total",
+                        "client connections accepted",
+                    ).inc()
+                self.metrics.gauge(
+                    "service.transport.connections_active",
+                    "client connections currently open",
+                ).set(active)
+
+    def _count_frame(self, direction: str, nbytes: int) -> None:
+        if self.metrics is None:
+            return
+        with self._metrics_lock:
+            self.metrics.counter(
+                "service.transport.frames_total",
+                "wire frames by direction", direction=direction,
+            ).inc()
+            self.metrics.counter(
+                "service.transport.bytes_total",
+                "wire bytes by direction", direction=direction,
+            ).inc(nbytes)
+
+    def _observe_op(self, op: str, seconds: float) -> None:
+        if self.metrics is None:
+            return
+        with self._metrics_lock:
+            self.metrics.histogram(
+                "service.transport.request_seconds",
+                "wire round-trip time spent inside the server",
+                wallclock=True, op=op,
+            ).observe(seconds)
+
+    # ------------------------------------------------------------------
+    # lifecycle: drain, then close
+    # ------------------------------------------------------------------
+    def initiate_drain(self) -> None:
+        """Stop accepting; new requests get typed ``draining`` errors."""
+        with self._state_lock:
+            if self._draining:
+                return
+            self._draining = True
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        self._stop_event.set()
+
+    def serve_forever(self) -> None:
+        """Accept until :meth:`initiate_drain` is called, then close."""
+        self.start()
+        self._stop_event.wait()
+        self.close()
+
+    def close(self, *, drain_timeout_s: float = 10.0) -> None:
+        """Finish in-flight requests, drain the workers, release sockets."""
+        if self._closed:
+            return
+        self.initiate_drain()
+        deadline = time.monotonic() + drain_timeout_s
+        with self._idle:
+            while self._inflight > 0 and time.monotonic() < deadline:
+                self._idle.wait(timeout=0.1)
+        self._shutdown = True
+        for worker in self.workers:
+            worker.close_channels()  # EOF: workers flush their shards
+        self.worker_returncodes = []
+        for worker in self.workers:
+            try:
+                self.worker_returncodes.append(
+                    worker.process.wait(timeout=drain_timeout_s)
+                )
+            except subprocess.TimeoutExpired:  # pragma: no cover - safety net
+                worker.process.kill()
+                self.worker_returncodes.append(worker.process.wait())
+        with self._state_lock:
+            lingering = list(self._open_conns)
+            threads = list(self._conn_threads)
+        for conn in lingering:
+            try:
+                conn.close()
+            except OSError:
+                pass
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=2.0)
+        for thread in threads:
+            thread.join(timeout=2.0)
+        self._closed = True
+
+    def __enter__(self) -> "KnowledgeServer":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

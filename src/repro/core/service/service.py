@@ -83,12 +83,28 @@ class KnowledgeService:
         queue_size: int = 64,
         cache_size: int = 128,
         metrics: "MetricsRegistry | None" = None,
+        owned_shards: Sequence[int] | None = None,
     ) -> None:
         if workers < 1:
             raise ConfigurationError(f"workers must be >= 1, got {workers}")
         if queue_size < 1:
             raise ConfigurationError(f"queue_size must be >= 1, got {queue_size}")
         self.shard_map = shard_map
+        if owned_shards is None:
+            self.owned_shards = tuple(range(shard_map.num_shards))
+        else:
+            indices = sorted({int(i) for i in owned_shards})
+            if not indices:
+                raise ConfigurationError("owned_shards must name at least one shard")
+            for index in indices:
+                if not 0 <= index < shard_map.num_shards:
+                    raise ConfigurationError(
+                        f"owned shard {index} outside the store's "
+                        f"[0, {shard_map.num_shards}) shard range"
+                    )
+            self.owned_shards = tuple(indices)
+        self._owned = [shard_map.shards[i] for i in self.owned_shards]
+        self._owned_set = frozenset(self.owned_shards)
         self.metrics = metrics if metrics is not None else shard_map.metrics
         self.queue_size = queue_size
         self.cache = EpochLRUCache(cache_size, metrics=self.metrics)
@@ -207,10 +223,22 @@ class KnowledgeService:
                 ).observe(seconds)
 
     # ------------------------------------------------------------------
+    # shard ownership (a networked worker serves a subset of the shards)
+    # ------------------------------------------------------------------
+    def _check_owned(self, shard_index: int) -> None:
+        if shard_index not in self._owned_set:
+            raise ServiceError(
+                f"shard {shard_index} is not owned by this service "
+                f"(owns {list(self.owned_shards)}); the request was "
+                "routed to the wrong shard group"
+            )
+
+    # ------------------------------------------------------------------
     # write operations (per-shard lock, epoch bump after commit)
     # ------------------------------------------------------------------
     def _op_save(self, knowledge: Knowledge) -> int:
         shard = self.shard_map.shard_for(knowledge)
+        self._check_owned(shard.index)
         start = time.perf_counter()
         with shard.lock:
             local_id = shard.repository.save(knowledge)
@@ -224,6 +252,7 @@ class KnowledgeService:
         by_shard: dict[int, list[tuple[int, Knowledge]]] = {}
         for position, knowledge in enumerate(objects):
             shard = self.shard_map.shard_for(knowledge)
+            self._check_owned(shard.index)
             by_shard.setdefault(shard.index, []).append((position, knowledge))
         global_ids: list[int] = [0] * len(objects)
         for index, group in sorted(by_shard.items()):
@@ -241,6 +270,7 @@ class KnowledgeService:
 
     def _op_delete(self, global_id: int) -> None:
         shard, local_id = self.shard_map.shard_of(global_id)
+        self._check_owned(shard.index)
         start = time.perf_counter()
         with shard.lock:
             shard.repository.delete(local_id)
@@ -263,6 +293,7 @@ class KnowledgeService:
 
     def _op_load(self, global_id: int) -> Knowledge:
         shard, local_id = self.shard_map.shard_of(global_id)
+        self._check_owned(shard.index)
         epochs = (self.shard_map.epoch(shard.index),)
         hit, frozen = self.cache.get(("load", global_id), epochs)
         if hit:
@@ -281,7 +312,7 @@ class KnowledgeService:
         if hit:
             return list(value)  # type: ignore[arg-type]
         ids: list[int] = []
-        for shard in self.shard_map.shards:
+        for shard in self._owned:
             start = time.perf_counter()
             with shard.lock:
                 local_ids = shard.repository.list_ids(benchmark)
@@ -302,6 +333,7 @@ class KnowledgeService:
         misses_by_shard: dict[int, list[int]] = {}
         for global_id in dict.fromkeys(int(i) for i in global_ids):
             shard, _ = self.shard_map.shard_of(global_id)
+            self._check_owned(shard.index)
             epochs = (self.shard_map.epoch(shard.index),)
             hit, frozen = self.cache.get(("load", global_id), epochs)
             if hit:
@@ -330,7 +362,7 @@ class KnowledgeService:
         could duplicate a benchmark run.
         """
         ids: list[int] = []
-        for shard in self.shard_map.shards:
+        for shard in self._owned:
             start = time.perf_counter()
             with shard.lock:
                 local_ids = shard.repository.find_ids_by_parameter(key, value)
@@ -345,7 +377,7 @@ class KnowledgeService:
         if hit:
             return int(value)  # type: ignore[arg-type]
         total = 0
-        for shard in self.shard_map.shards:
+        for shard in self._owned:
             start = time.perf_counter()
             with shard.lock:
                 total += shard.repository.count(benchmark)
@@ -358,6 +390,7 @@ class KnowledgeService:
             shard, local_id = self.shard_map.shard_of(global_id)
         except (ServiceError, PersistenceError):
             return False
+        self._check_owned(shard.index)
         epochs = (self.shard_map.epoch(shard.index),)
         hit, value = self.cache.get(("exists", global_id), epochs)
         if hit:
@@ -390,9 +423,20 @@ class KnowledgeService:
         return warmed
 
     def stats(self) -> dict[str, object]:
-        """A point-in-time operational summary (for ``repro-serve``)."""
+        """A point-in-time operational summary (for ``repro-serve``).
+
+        ``rows_per_shard`` is keyed by shard index (as strings: the dict
+        crosses JSON on the wire) and covers only the *owned* shards, so
+        a server can merge its shard-group workers' stats into one
+        store-wide view without double counting.
+        """
+        rows: dict[str, int] = {}
+        for shard in self._owned:
+            with shard.lock:
+                rows[str(shard.index)] = shard.repository.count()
         return {
             "shards": self.shard_map.num_shards,
+            "owned_shards": list(self.owned_shards),
             "workers": len(self._workers),
             "queue_depth": self._queue.qsize(),
             "queue_size": self.queue_size,
@@ -403,7 +447,7 @@ class KnowledgeService:
             "cache_evictions_stale": self.cache.evictions_stale,
             "cache_evictions_capacity": self.cache.evictions_capacity,
             "epochs": list(self.shard_map.epochs()),
-            "rows_per_shard": self.shard_map.counts(),
+            "rows_per_shard": rows,
         }
 
     # ------------------------------------------------------------------

@@ -47,6 +47,7 @@ __all__ = [
     "encode_knowledge_id",
     "decode_knowledge_id",
     "shard_key",
+    "shard_index_for_key",
     "KnowledgeShard",
     "KnowledgeShardMap",
 ]
@@ -97,6 +98,17 @@ def shard_key(knowledge: "Knowledge") -> str:
     """
     system = (knowledge.system or {}).get("hostname", "") if knowledge.system else ""
     return f"{knowledge.benchmark}/{system}"
+
+
+def shard_index_for_key(key: str, num_shards: int) -> int:
+    """Deterministic shard assignment of one partition key.
+
+    Derived from the repository-wide SHA-256 seed derivation — the same
+    key maps to the same shard in every process and run, which is what
+    lets a server route requests to shard-group workers without the
+    workers sharing any state.
+    """
+    return derive_seed(0, "knowledge-shard", key) % num_shards
 
 
 @dataclass
@@ -271,10 +283,10 @@ class KnowledgeShardMap:
     def shard_index_for_key(self, key: str) -> int:
         """Deterministic shard assignment of one partition key.
 
-        Derived from the repository-wide SHA-256 seed derivation — the
-        same key maps to the same shard in every process and run.
+        Delegates to the module-level :func:`shard_index_for_key` so the
+        TCP server's router computes the identical placement.
         """
-        return derive_seed(0, "knowledge-shard", key) % self.num_shards
+        return shard_index_for_key(key, self.num_shards)
 
     def shard_for(self, knowledge: "Knowledge") -> KnowledgeShard:
         """The shard one knowledge object belongs on."""

@@ -1,0 +1,268 @@
+"""``repro.wire/v1`` — the knowledge service's versioned frame codec.
+
+One frame format carries every request and response on every hop of the
+networked service: client → server over TCP, and server → shard-group
+worker over its ``socketpair`` channels.  A frame is a fixed header
+followed by a JSON body::
+
+    +-------+---------+-----------+----------------------+
+    | magic | version | body len  | body (UTF-8 JSON)    |
+    | 4 B   | 1 B     | 4 B (BE)  | <= max_frame bytes   |
+    +-------+---------+-----------+----------------------+
+
+* ``magic`` is ``b"RPRO"`` — a connection speaking anything else is
+  rejected on the first frame instead of being misparsed.
+* ``version`` is the wire-protocol version (currently 1).  A peer
+  seeing a version it does not speak answers with a typed
+  ``version-mismatch`` error frame (in *its* version) and closes.
+* ``body len`` is the byte length of the JSON body, capped at
+  ``max_frame`` so a hostile or corrupt length prefix cannot make a
+  worker allocate unbounded memory.
+
+Request bodies are ``{"id", "op", "args"}``; responses are
+``{"id", "ok": true, "result"}`` or ``{"id", "ok": false, "error":
+{"code", "message", "retryable"}}``.  Error frames are *typed*: the
+code names an exception class on the registry below, so a
+:class:`~repro.util.errors.ServiceOverloadError` shed by a remote
+worker re-raises as exactly that class in the client, with its
+``transient`` flag carried across the wire.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+
+from repro.util.errors import (
+    ConfigurationError,
+    DeadlineError,
+    PersistenceError,
+    ServiceError,
+    ServiceOverloadError,
+    ServiceTransportError,
+    WireProtocolError,
+)
+
+__all__ = [
+    "PROTOCOL",
+    "WIRE_VERSION",
+    "MAGIC",
+    "MAX_FRAME_BYTES",
+    "HEADER",
+    "TruncatedFrameError",
+    "WireVersionError",
+    "encode_frame",
+    "read_frame",
+    "write_frame",
+    "error_body",
+    "error_code",
+    "raise_wire_error",
+]
+
+#: Protocol name exchanged during ``hello`` negotiation.
+PROTOCOL = "repro.wire/v1"
+
+#: Wire-format version stamped into every frame header.
+WIRE_VERSION = 1
+
+#: First four bytes of every frame.
+MAGIC = b"RPRO"
+
+#: Default cap on a frame body — a corrupt length prefix must not turn
+#: into an unbounded allocation inside a worker process.
+MAX_FRAME_BYTES = 8 * 1024 * 1024
+
+#: Frame header: magic, version, body length (network byte order).
+HEADER = struct.Struct("!4sBI")
+
+
+class TruncatedFrameError(WireProtocolError):
+    """The peer closed the connection in the middle of a frame."""
+
+
+class WireVersionError(WireProtocolError):
+    """The peer framed its request in a version this build cannot parse."""
+
+    def __init__(self, message: str, *, version: int) -> None:
+        super().__init__(message)
+        self.version = version
+
+
+# ----------------------------------------------------------------------
+# typed error codes: exception class <-> wire code
+# ----------------------------------------------------------------------
+#: Most-specific-first: the first matching class names the frame code.
+_ERROR_TO_CODE: tuple[tuple[type[BaseException], str], ...] = (
+    (ServiceOverloadError, "overload"),
+    (ServiceTransportError, "unavailable"),
+    (WireProtocolError, "bad-request"),
+    (DeadlineError, "deadline"),
+    (ConfigurationError, "configuration"),
+    (PersistenceError, "persistence"),
+    (ServiceError, "service"),
+)
+
+#: Decode side of the registry, plus protocol-level codes a server can
+#: emit without an exception instance behind them.
+_CODE_TO_ERROR: dict[str, type[Exception]] = {
+    "overload": ServiceOverloadError,
+    "unavailable": ServiceTransportError,
+    "quarantine": ServiceTransportError,
+    "draining": ServiceTransportError,
+    "deadline": DeadlineError,
+    "configuration": ConfigurationError,
+    "persistence": PersistenceError,
+    "service": ServiceError,
+    "unknown-op": ServiceError,
+    "internal": ServiceError,
+    "bad-request": WireProtocolError,
+    "bad-frame": WireProtocolError,
+    "frame-too-large": WireProtocolError,
+    "version-mismatch": WireProtocolError,
+}
+
+
+def error_code(exc: BaseException) -> str:
+    """The wire code of one exception (``wire_code`` attribute wins)."""
+    explicit = getattr(exc, "wire_code", None)
+    if isinstance(explicit, str) and explicit in _CODE_TO_ERROR:
+        return explicit
+    for cls, code in _ERROR_TO_CODE:
+        if isinstance(exc, cls):
+            return code
+    return "internal"
+
+
+def error_body(exc: BaseException) -> dict[str, object]:
+    """The typed-error payload of a response frame."""
+    return {
+        "code": error_code(exc),
+        "message": str(exc),
+        "retryable": bool(getattr(exc, "transient", False)),
+    }
+
+
+def raise_wire_error(error: dict[str, object]) -> None:
+    """Re-raise a typed error frame as its registered exception class.
+
+    The reconstructed exception carries the frame's ``retryable`` flag
+    as its ``transient`` attribute, so retry predicates behave the same
+    whether the error was raised locally or a network away.
+    """
+    code = str(error.get("code", "internal"))
+    message = str(error.get("message", "remote service error"))
+    retryable = bool(error.get("retryable", False))
+    cls = _CODE_TO_ERROR.get(code, ServiceError)
+    if cls is ServiceTransportError:
+        exc: Exception = ServiceTransportError(
+            f"[{code}] {message}", retryable=retryable
+        )
+    else:
+        exc = cls(message)
+        exc.transient = retryable  # type: ignore[attr-defined]
+    exc.wire_code = code  # type: ignore[attr-defined]
+    raise exc
+
+
+# ----------------------------------------------------------------------
+# framing
+# ----------------------------------------------------------------------
+def encode_frame(
+    body: dict[str, object],
+    *,
+    version: int = WIRE_VERSION,
+    max_frame: int = MAX_FRAME_BYTES,
+) -> bytes:
+    """Serialize one frame (header + JSON body) to bytes."""
+    payload = json.dumps(body, separators=(",", ":")).encode("utf-8")
+    if len(payload) > max_frame:
+        raise WireProtocolError(
+            f"frame body of {len(payload)} bytes exceeds the "
+            f"{max_frame}-byte frame cap; split the request "
+            "(e.g. batch fewer objects per save_many/fetch_many)"
+        )
+    return HEADER.pack(MAGIC, version, len(payload)) + payload
+
+
+def _read_exact(sock: socket.socket, n: int, *, first: bool) -> bytes | None:
+    """Read exactly ``n`` bytes.
+
+    Returns ``None`` on a clean EOF before the first byte (the peer
+    closed between frames); raises :class:`TruncatedFrameError` on EOF
+    mid-read.  Socket timeouts propagate as ``socket.timeout`` for the
+    caller to classify (client: transport fault; server: idle poll).
+    """
+    chunks: list[bytes] = []
+    remaining = n
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            if first and not chunks:
+                return None
+            got = n - remaining
+            raise TruncatedFrameError(
+                f"peer closed mid-frame ({got}/{n} byte(s) read)"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def read_frame(
+    sock: socket.socket,
+    *,
+    max_frame: int = MAX_FRAME_BYTES,
+    on_bytes=None,
+) -> dict[str, object] | None:
+    """Read one frame; ``None`` means the peer closed at a frame boundary.
+
+    ``on_bytes(n)``, when given, is called with the frame's total size
+    once it has been read — the hook the server's ``service.transport``
+    byte counters hang off.
+    """
+    header = _read_exact(sock, HEADER.size, first=True)
+    if header is None:
+        return None
+    magic, version, length = HEADER.unpack(header)
+    if magic != MAGIC:
+        raise WireProtocolError(
+            f"bad frame magic {magic!r} (expected {MAGIC!r}); "
+            "is the peer speaking repro.wire at all?"
+        )
+    if version != WIRE_VERSION:
+        raise WireVersionError(
+            f"peer framed its request as wire version {version}; "
+            f"this build speaks version {WIRE_VERSION} ({PROTOCOL})",
+            version=version,
+        )
+    if length > max_frame:
+        raise WireProtocolError(
+            f"frame announces a {length}-byte body, over the "
+            f"{max_frame}-byte cap; refusing to allocate"
+        )
+    body = _read_exact(sock, length, first=False)
+    if on_bytes is not None:
+        on_bytes(HEADER.size + length)
+    try:
+        decoded = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise WireProtocolError(f"frame body is not valid JSON: {exc}") from exc
+    if not isinstance(decoded, dict):
+        raise WireProtocolError(
+            f"frame body must be a JSON object, got {type(decoded).__name__}"
+        )
+    return decoded
+
+
+def write_frame(
+    sock: socket.socket,
+    body: dict[str, object],
+    *,
+    version: int = WIRE_VERSION,
+    max_frame: int = MAX_FRAME_BYTES,
+) -> int:
+    """Encode and send one frame; returns the bytes written."""
+    data = encode_frame(body, version=version, max_frame=max_frame)
+    sock.sendall(data)
+    return len(data)

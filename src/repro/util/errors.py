@@ -27,6 +27,8 @@ __all__ = [
     "DeadlineError",
     "ServiceError",
     "ServiceOverloadError",
+    "ServiceTransportError",
+    "WireProtocolError",
     "AnalysisError",
     "UsageError",
     "JubeError",
@@ -124,6 +126,36 @@ class ServiceOverloadError(ServiceError):
     """
 
     transient = True
+
+
+class ServiceTransportError(ServiceError):
+    """A remote service call failed in the transport layer.
+
+    Connection refused/reset, a short read, a timed-out socket or a
+    quarantined endpoint — the request may never have reached the
+    server.  Connect-phase faults are always safe to retry; a fault
+    *after* a mutating request was written is ambiguous (the server may
+    have committed before the connection died), so the client marks
+    those non-transient and surfaces them instead of risking a
+    double-apply.
+    """
+
+    transient = True
+
+    def __init__(self, message: str, *, retryable: bool = True) -> None:
+        super().__init__(message)
+        self.transient = retryable
+
+
+class WireProtocolError(ServiceError):
+    """A ``repro.wire`` frame violated the protocol.
+
+    Bad magic, an unsupported version, an oversized frame or a body
+    that is not valid JSON.  Never transient: resending the same bytes
+    would fail the same way.
+    """
+
+    transient = False
 
 
 class AnalysisError(ReproError):

@@ -58,7 +58,7 @@ def _launcher(store, campaign_id, tmp_path, tag="ws", **kwargs):
 
 
 def _knowledge_rows(backend_url):
-    if backend_url.startswith("knowledge+service://"):
+    if backend_url.startswith("knowledge+"):  # service:// and tcp:// alike
         with ServiceClient.open(backend_url) as client:
             return client.fetch_many(client.list_ids())
     with KnowledgeDatabase(backend_url) as db:
@@ -391,6 +391,26 @@ class TestKillAndResume:
         k = int(rng.random() * 10) + 1
         url = f"knowledge+service://{tmp_path}/svcstore?shards=2&workers=2"
         _run_crash_resume(tmp_path, crash_at=k, backend=url)
+
+    def test_resume_through_tcp_backend(self, tmp_path, fault_seed):
+        """The same exactly-once guarantee with the knowledge base a
+        network hop away: launcher crash, resume, zero lost / zero
+        duplicated rows through a knowledge+tcp:// server whose shard
+        groups live in separate worker processes."""
+        from repro.core.service.server import KnowledgeServer
+
+        rng = stream(fault_seed, "campaign-tcp-crash")
+        k = int(rng.random() * 10) + 1
+        server = KnowledgeServer(
+            tmp_path / "tcpstore", shards=2, worker_processes=2
+        )
+        server.start()
+        try:
+            url = f"knowledge+tcp://{server.host}:{server.port}/"
+            _run_crash_resume(tmp_path, crash_at=k, backend=url)
+        finally:
+            server.close()
+        assert server.worker_returncodes == [0, 0]
 
     def test_resume_of_a_clean_campaign_is_a_no_op(self, tmp_path):
         store, cid, backend = _submit(tmp_path)

@@ -1,0 +1,281 @@
+"""repro.wire/v1 codec tests + malformed-input hardening (live server).
+
+The hardening half feeds a running :class:`KnowledgeServer` raw bytes —
+truncated length prefixes, oversized frames, unknown ops, wrong version
+bytes, mid-frame disconnects — and asserts the contract from the
+architecture doc: a typed error frame or a clean close, never a dead
+worker, and the very next well-formed request succeeds.
+"""
+
+import socket
+import struct
+
+import pytest
+
+from repro.core.metrics import MetricsRegistry
+from repro.core.service.server import KnowledgeServer
+from repro.core.service.wire import (
+    HEADER,
+    MAGIC,
+    PROTOCOL,
+    WIRE_VERSION,
+    TruncatedFrameError,
+    WireVersionError,
+    encode_frame,
+    error_body,
+    error_code,
+    raise_wire_error,
+    read_frame,
+    write_frame,
+)
+from repro.util.errors import (
+    DeadlineError,
+    PersistenceError,
+    ServiceError,
+    ServiceOverloadError,
+    ServiceTransportError,
+    WireProtocolError,
+)
+
+
+# ----------------------------------------------------------------------
+# framing
+# ----------------------------------------------------------------------
+class TestFraming:
+    def test_round_trip_over_socketpair(self):
+        a, b = socket.socketpair()
+        try:
+            body = {"id": 7, "op": "ping", "args": {"deep": [1, {"k": "v"}]}}
+            sent = write_frame(a, body)
+            assert sent == len(encode_frame(body))
+            seen = []
+            got = read_frame(b, on_bytes=seen.append)
+            assert got == body
+            assert seen == [sent]  # the byte hook sees header + body
+        finally:
+            a.close()
+            b.close()
+
+    def test_clean_eof_is_none_mid_frame_is_truncated(self):
+        a, b = socket.socketpair()
+        a.close()
+        assert read_frame(b) is None  # EOF at a frame boundary
+        b.close()
+
+        a, b = socket.socketpair()
+        a.sendall(encode_frame({"id": 1, "op": "ping"})[:5])  # header cut short
+        a.close()
+        with pytest.raises(TruncatedFrameError, match="mid-frame"):
+            read_frame(b)
+        b.close()
+
+    def test_bad_magic_and_wrong_version(self):
+        a, b = socket.socketpair()
+        a.sendall(HEADER.pack(b"HTTP", WIRE_VERSION, 2) + b"{}")
+        with pytest.raises(WireProtocolError, match="magic"):
+            read_frame(b)
+        a.close()
+        b.close()
+
+        a, b = socket.socketpair()
+        a.sendall(HEADER.pack(MAGIC, 9, 2) + b"{}")
+        with pytest.raises(WireVersionError) as excinfo:
+            read_frame(b)
+        assert excinfo.value.version == 9
+        a.close()
+        b.close()
+
+    def test_length_cap_both_directions(self):
+        with pytest.raises(WireProtocolError, match="cap"):
+            encode_frame({"blob": "x" * 64}, max_frame=16)
+        a, b = socket.socketpair()
+        a.sendall(HEADER.pack(MAGIC, WIRE_VERSION, 1 << 30))  # hostile prefix
+        with pytest.raises(WireProtocolError, match="refusing to allocate"):
+            read_frame(b, max_frame=1024)
+        a.close()
+        b.close()
+
+    def test_non_json_and_non_object_bodies(self):
+        for payload in (b"not json!!", b"[1,2,3]"):
+            a, b = socket.socketpair()
+            a.sendall(HEADER.pack(MAGIC, WIRE_VERSION, len(payload)) + payload)
+            with pytest.raises(WireProtocolError):
+                read_frame(b)
+            a.close()
+            b.close()
+
+
+# ----------------------------------------------------------------------
+# typed error registry
+# ----------------------------------------------------------------------
+class TestErrorRegistry:
+    def test_codes_most_specific_first(self):
+        assert error_code(ServiceOverloadError("full")) == "overload"
+        assert error_code(ServiceTransportError("reset")) == "unavailable"
+        assert error_code(WireProtocolError("junk")) == "bad-request"
+        assert error_code(PersistenceError("no row")) == "persistence"
+        assert error_code(DeadlineError("late")) == "deadline"
+        assert error_code(ServiceError("generic")) == "service"
+        assert error_code(RuntimeError("boom")) == "internal"
+
+    def test_explicit_wire_code_wins(self):
+        exc = ServiceTransportError("drain", retryable=True)
+        exc.wire_code = "draining"
+        assert error_code(exc) == "draining"
+        exc.wire_code = "made-up"  # unknown codes fall back to the class
+        assert error_code(exc) == "unavailable"
+
+    def test_error_body_carries_transient_flag(self):
+        assert error_body(ServiceOverloadError("shed"))["retryable"] is True
+        assert error_body(ServiceTransportError("x", retryable=False))[
+            "retryable"
+        ] is False
+
+    def test_raise_wire_error_reconstructs_class_and_flags(self):
+        with pytest.raises(ServiceOverloadError) as excinfo:
+            raise_wire_error({"code": "overload", "message": "shed", "retryable": True})
+        assert excinfo.value.transient and excinfo.value.wire_code == "overload"
+
+        with pytest.raises(ServiceTransportError) as excinfo:
+            raise_wire_error({"code": "quarantine", "message": "w0", "retryable": True})
+        assert excinfo.value.transient and excinfo.value.wire_code == "quarantine"
+
+        with pytest.raises(PersistenceError) as excinfo:
+            raise_wire_error({"code": "persistence", "message": "gone"})
+        assert not excinfo.value.transient
+
+        with pytest.raises(ServiceError):  # unknown code -> base class
+            raise_wire_error({"code": "from-the-future", "message": "?"})
+
+
+# ----------------------------------------------------------------------
+# malformed input against a live server (S2 hardening)
+# ----------------------------------------------------------------------
+@pytest.fixture()
+def server(tmp_path):
+    srv = KnowledgeServer(
+        tmp_path / "store", shards=2, worker_processes=2,
+        metrics=MetricsRegistry(), request_timeout_s=10.0,
+    )
+    srv.start()
+    yield srv
+    srv.close()
+
+
+def _connect(server):
+    sock = socket.create_connection((server.host, server.port), timeout=10.0)
+    sock.settimeout(10.0)
+    return sock
+
+
+def _roundtrip(sock, body):
+    write_frame(sock, body)
+    return read_frame(sock)
+
+
+def _expect_close(sock):
+    """The server hung up: clean FIN or RST (unread bytes pending) both
+    count — the contract is the typed frame *then* a close, not which
+    TCP teardown the kernel picks."""
+    try:
+        assert read_frame(sock) is None
+    except (ConnectionResetError, TruncatedFrameError):
+        pass
+
+
+def _assert_server_healthy(server):
+    """Every worker still runs and a fresh connection serves requests."""
+    assert all(worker.alive for worker in server.workers)
+    with _connect(server) as sock:
+        response = _roundtrip(sock, {"id": 99, "op": "ping", "args": {}})
+        assert response == {"id": 99, "ok": True, "result": {}}
+
+
+class TestMalformedInputHardening:
+    def test_truncated_length_prefix(self, server):
+        with _connect(server) as sock:
+            sock.sendall(HEADER.pack(MAGIC, WIRE_VERSION, 64)[:6])
+        _assert_server_healthy(server)
+
+    def test_mid_frame_disconnect(self, server):
+        with _connect(server) as sock:
+            sock.sendall(HEADER.pack(MAGIC, WIRE_VERSION, 400) + b'{"id"')
+        _assert_server_healthy(server)
+
+    def test_oversized_frame_gets_typed_error_then_close(self, server):
+        with _connect(server) as sock:
+            sock.sendall(HEADER.pack(MAGIC, WIRE_VERSION, server.max_frame + 1))
+            response = read_frame(sock)
+            assert response["ok"] is False
+            assert response["error"]["code"] == "frame-too-large"
+            _expect_close(sock)
+        _assert_server_healthy(server)
+
+    def test_wrong_version_byte_gets_version_mismatch(self, server):
+        with _connect(server) as sock:
+            sock.sendall(HEADER.pack(MAGIC, 42, 2) + b"{}")
+            response = read_frame(sock)
+            assert response["ok"] is False
+            assert response["error"]["code"] == "version-mismatch"
+            _expect_close(sock)
+        _assert_server_healthy(server)
+
+    def test_garbage_bytes_get_bad_frame(self, server):
+        with _connect(server) as sock:
+            sock.sendall(b"GET / HTTP/1.1\r\n\r\n" + b"\x00" * 16)
+            response = read_frame(sock)
+            assert response["ok"] is False
+            assert response["error"]["code"] == "bad-frame"
+        _assert_server_healthy(server)
+
+    def test_unknown_op_is_typed_and_keeps_connection(self, server):
+        with _connect(server) as sock:
+            response = _roundtrip(sock, {"id": 1, "op": "explode", "args": {}})
+            assert response["ok"] is False
+            assert response["error"]["code"] == "unknown-op"
+            # same connection keeps serving after the typed error
+            assert _roundtrip(sock, {"id": 2, "op": "ping", "args": {}})["ok"]
+        _assert_server_healthy(server)
+
+    def test_malformed_args_are_bad_request(self, server):
+        with _connect(server) as sock:
+            response = _roundtrip(
+                sock, {"id": 3, "op": "load", "args": {"wrong": "shape"}}
+            )
+            assert response["ok"] is False
+            assert response["error"]["code"] == "bad-request"
+        _assert_server_healthy(server)
+
+    def test_hello_negotiation_rejects_alien_protocol(self, server):
+        with _connect(server) as sock:
+            response = _roundtrip(
+                sock,
+                {"id": 4, "op": "hello", "args": {"protocols": ["sprockets/v9"]}},
+            )
+            assert response["ok"] is False
+            assert response["error"]["code"] == "version-mismatch"
+        with _connect(server) as sock:
+            response = _roundtrip(
+                sock, {"id": 5, "op": "hello", "args": {"protocols": [PROTOCOL]}}
+            )
+            assert response["ok"] is True
+            assert response["result"]["protocol"] == PROTOCOL
+            assert response["result"]["shards"] == 2
+
+    def test_abuse_volley_never_kills_a_worker(self, server):
+        """The whole rogues' gallery in sequence against one server."""
+        volleys = [
+            HEADER.pack(MAGIC, WIRE_VERSION, 64)[:3],
+            HEADER.pack(MAGIC, 7, 2) + b"{}",
+            HEADER.pack(MAGIC, WIRE_VERSION, 12) + b"half a body",
+            b"\xff" * 32,
+            struct.pack("!4sBI", MAGIC, WIRE_VERSION, 4) + b"null",
+        ]
+        for volley in volleys:
+            with _connect(server) as sock:
+                sock.sendall(volley)
+                try:
+                    read_frame(sock)
+                except (WireProtocolError, OSError):
+                    pass
+        _assert_server_healthy(server)
