@@ -71,6 +71,13 @@ def _print_summary(report: dict) -> None:
         for op in ("save", "load", "fetch_many")
     )
     print(f"  tcp/in-process p50 ratio: {ratios}")
+    heal = report.get("heal") or {}
+    if heal:
+        print(
+            f"  supervised heal after SIGKILL: "
+            f"{heal['time_to_heal_s'] * 1000:.1f} ms "
+            f"({heal['respawns_total']:.0f} respawn(s))"
+        )
 
 
 def main(argv: Sequence[str] | None = None) -> int:

@@ -15,11 +15,15 @@ folklore.  The report schema is ``repro.bench/v1``::
                                 "samples": ...}, "load": ..., "fetch_many": ...},
         "tcp": {...}
       },
-      "overhead": {"load_p50_ratio": ...}
+      "overhead": {"load_p50_ratio": ...},
+      "heal": {"time_to_heal_s": ..., "respawns_total": ...}
     }
 
 Latencies are wall-clock microseconds per call; ``fetch_many`` counts
-one sample per *batch* call, with ``batch`` ids per call.
+one sample per *batch* call, with ``batch`` ids per call.  The ``heal``
+section measures self-healing rather than throughput: after the TCP
+workload one shard-group worker is SIGKILL'd and the supervisor's time
+to restore full-shard service is clocked wall-to-wall.
 """
 
 from __future__ import annotations
@@ -152,20 +156,24 @@ def run_service_bench(
     service.close()
     shard_map.close()
 
+    metrics = MetricsRegistry()
     server = KnowledgeServer(
         f"{root}/tcp",
         shards=shards,
         worker_processes=worker_processes,
         cache_size=cache_size,
-        metrics=MetricsRegistry(),
+        metrics=metrics,
+        supervisor_poll_s=0.02,
     )
     server.start()
+    heal: dict[str, float] = {}
     try:
         url = f"knowledge+tcp://{server.host}:{server.port}/"
         with ServiceClient.open(url) as client:
             modes["tcp"] = _bench_client(
                 client, objects=objects, reads=reads, batch=batch
             )
+            heal = _measure_heal(server, client, objects=objects)
     finally:
         server.close()
 
@@ -180,4 +188,44 @@ def run_service_bench(
         "config": config,
         "modes": modes,
         "overhead": overhead,
+        "heal": heal,
+    }
+
+
+def _measure_heal(
+    server: KnowledgeServer, client: ServiceClient, *, objects: int,
+    deadline_s: float = 30.0,
+) -> dict[str, float]:
+    """SIGKILL one shard-group worker and time the supervised heal.
+
+    ``time_to_heal_s`` is wall clock from the kill to the first
+    ``count`` that again covers every shard (a multi-worker op, so it
+    only succeeds once the respawned worker answers).
+    """
+    from repro.util.errors import ServiceError
+
+    victim = server.workers[0]
+    killed_at = time.perf_counter()
+    victim.process.kill()
+    victim.process.wait()
+    deadline = time.perf_counter() + deadline_s
+    while True:
+        try:
+            if client.count() == objects:
+                break
+        except ServiceError:
+            pass
+        if time.perf_counter() > deadline:
+            return {"time_to_heal_s": -1.0, "respawns_total": 0.0}
+        time.sleep(0.005)
+    elapsed = time.perf_counter() - killed_at
+    respawns = 0.0
+    if server.metrics is not None:
+        family = server.metrics.snapshot()["counters"].get(
+            "service.supervisor.respawns_total", {}
+        )
+        respawns = sum(r["value"] for r in family.get("series", []))
+    return {
+        "time_to_heal_s": round(elapsed, 6),
+        "respawns_total": respawns,
     }

@@ -507,7 +507,54 @@ def _service_section(snapshot: Mapping) -> list[str]:
         f"  queue depth      {_fmt_value(depth)}",
     ]
     lines += _transport_lines(snapshot)
+    lines += _supervisor_lines(snapshot)
+    lines += _chaos_lines(snapshot)
     return lines
+
+
+def _supervisor_lines(snapshot: Mapping) -> list[str]:
+    """Self-healing digest, when the run was supervised.
+
+    ``service.supervisor.*`` families come from the
+    :class:`~repro.core.service.server.WorkerSupervisor`: respawned
+    worker processes, crash-looped shard groups, and the time-to-heal
+    histogram (detection to healthy, labeled by heal mode).
+    """
+    respawns = _counter_total(snapshot, "service.supervisor.respawns_total")
+    crash_loops = _counter_total(
+        snapshot, "service.supervisor.crash_loops_total"
+    )
+    heal = snapshot.get("histograms", {}).get("service.supervisor.heal_seconds")
+    if not (respawns or crash_loops or (heal and heal["series"])):
+        return []
+    lines = [
+        f"  worker respawns  {_fmt_value(respawns)} "
+        f"({_fmt_value(crash_loops)} crash-looped group(s))",
+    ]
+    if heal and heal["series"]:
+        count = sum(row["count"] for row in heal["series"])
+        total = sum(row["sum"] for row in heal["series"])
+        mean_ms = (total / count) * 1e3 if count else 0.0
+        lines.append(
+            f"  time to heal     {_fmt_value(count)} heal(s), "
+            f"mean {mean_ms:.0f} ms"
+        )
+    return lines
+
+
+def _chaos_lines(snapshot: Mapping) -> list[str]:
+    """Injected-fault digest, when a chaos proxy was in the path."""
+    family = snapshot.get("counters", {}).get("service.chaos.faults_total")
+    if not family or not family["series"]:
+        return []
+    total = _counter_total(snapshot, "service.chaos.faults_total")
+    by_kind = ", ".join(
+        f"{row['labels'].get('kind', '?')}: {_fmt_value(row['value'])}"
+        for row in sorted(
+            family["series"], key=lambda r: r["labels"].get("kind", "")
+        )
+    )
+    return [f"  chaos faults     {_fmt_value(total)} ({by_kind})"]
 
 
 def _transport_lines(snapshot: Mapping) -> list[str]:

@@ -123,6 +123,7 @@ def retry(
     deadline: "Deadline | None" = None,
     metrics: "MetricsRegistry | None" = None,
     site: str = "retry",
+    delay_override: Callable[[BaseException], float | None] | None = None,
 ):
     """Call ``fn`` under ``policy``; returns its result or re-raises.
 
@@ -134,6 +135,14 @@ def retry(
     0.1 s left used to blow the budget by the whole delay).  With a
     ``metrics`` registry, retries and backoff totals are counted under
     the ``site`` label.
+
+    ``delay_override(exc)`` lets the *failure itself* dictate the next
+    backoff: when it returns a non-None number of seconds, that replaces
+    the policy's exponential delay for this one retry (the deadline
+    clamp still applies).  The service client uses this to honor a
+    server-supplied ``retry_after`` hint on ``quarantine``/``crash_loop``
+    errors — the server knows its breaker window; the client's own
+    schedule is just a guess.
     """
     attempt = 1
     while True:
@@ -143,6 +152,10 @@ def retry(
             if attempt >= policy.max_attempts or not policy.is_retryable(exc):
                 raise
             delay = policy.delay_s(attempt)
+            if delay_override is not None:
+                hinted = delay_override(exc)
+                if hinted is not None and hinted >= 0:
+                    delay = hinted
             if deadline is not None:
                 remaining = deadline.remaining_s
                 if remaining <= 0:
@@ -295,6 +308,20 @@ class CircuitBreaker:
     def consecutive_failures(self) -> int:
         """Failures recorded since the last success."""
         return self._failures
+
+    @property
+    def retry_after_s(self) -> float:
+        """Seconds until an OPEN circuit admits its half-open probe.
+
+        0.0 while CLOSED or HALF_OPEN — there is nothing to wait for.
+        This is the honest ``retry_after`` hint a server can hand a
+        client: retrying sooner is guaranteed to bounce off ``allow()``.
+        """
+        if self._state != self.OPEN:
+            return 0.0
+        return max(
+            0.0, self.reset_timeout_s - (self._clock() - self._opened_at)
+        )
 
     def allow(self) -> bool:
         """Whether a call may proceed (CLOSED, or *the* HALF_OPEN probe).

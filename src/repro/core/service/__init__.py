@@ -14,6 +14,12 @@ run in separate worker processes speaking the versioned
 """
 
 from repro.core.service.cache import EpochLRUCache
+from repro.core.service.chaos import (
+    ChaosPolicy,
+    ChaosProxy,
+    WorkerKiller,
+    parse_chaos_spec,
+)
 from repro.core.service.client import (
     SERVICE_URL_SCHEME,
     TCP_URL_SCHEME,
@@ -25,7 +31,11 @@ from repro.core.service.client import (
     parse_tcp_url,
 )
 from repro.core.service.ops import LocalTransport, ServiceDispatcher
-from repro.core.service.server import KnowledgeServer
+from repro.core.service.server import (
+    CrashLoopedHandle,
+    KnowledgeServer,
+    WorkerSupervisor,
+)
 from repro.core.service.service import KnowledgeService
 from repro.core.service.shard import (
     MAX_SHARDS,
@@ -46,6 +56,9 @@ __all__ = [
     "SERVICE_URL_SCHEME",
     "TCP_URL_SCHEME",
     "WIRE_VERSION",
+    "ChaosPolicy",
+    "ChaosProxy",
+    "CrashLoopedHandle",
     "EpochLRUCache",
     "KnowledgeServer",
     "KnowledgeShard",
@@ -55,11 +68,14 @@ __all__ = [
     "ServiceClient",
     "ServiceDispatcher",
     "TcpTransport",
+    "WorkerKiller",
+    "WorkerSupervisor",
     "decode_knowledge_id",
     "encode_knowledge_id",
     "is_service_url",
     "is_tcp_url",
     "open_service",
+    "parse_chaos_spec",
     "parse_service_url",
     "parse_tcp_url",
     "shard_index_for_key",

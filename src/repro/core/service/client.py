@@ -48,6 +48,7 @@ from repro.util.errors import (
     ServiceError,
     ServiceOverloadError,
     ServiceTransportError,
+    WireProtocolError,
 )
 
 if TYPE_CHECKING:  # pragma: no cover - type-only imports
@@ -210,6 +211,26 @@ def _default_retryable(exc: BaseException) -> bool:
     )
 
 
+def _typed(exc: Exception, code: str) -> Exception:
+    exc.wire_code = code  # type: ignore[attr-defined]
+    return exc
+
+
+def _server_retry_after(exc: BaseException) -> float | None:
+    """Honor a server-supplied ``retry_after`` hint over our own schedule.
+
+    ``quarantine`` and ``crash_loop`` error frames carry the server's
+    remaining breaker window as ``retry_after_s`` — retrying sooner is
+    guaranteed to bounce off the breaker, and retrying much later wastes
+    the request's deadline.  The :func:`~repro.core.resilience.retry`
+    deadline clamp still applies on top.
+    """
+    hint = getattr(exc, "retry_after_s", None)
+    if isinstance(hint, (int, float)) and hint > 0:
+        return float(hint)
+    return None
+
+
 def _retry_kind(exc: BaseException) -> str:
     if isinstance(exc, ServiceOverloadError):
         return "overload"
@@ -320,8 +341,21 @@ class ServiceClient:
         result = retry(
             attempt, self.retry_policy, sleep=self._sleep, on_retry=on_retry,
             deadline=deadline, metrics=self.metrics, site="service-client",
+            delay_override=_server_retry_after,
         )
-        return decode_result(op, result)  # type: ignore[arg-type]
+        try:
+            return decode_result(op, result)  # type: ignore[arg-type]
+        except (KeyError, TypeError, ValueError) as exc:
+            # A response that parsed as JSON but no longer has the shape
+            # the codec promised (e.g. a corrupted-in-flight frame whose
+            # mangled bytes still decode) is a protocol fault, not a
+            # caller bug — surface it as the typed wire error.
+            raise _typed(
+                WireProtocolError(
+                    f"malformed {op!r} result payload from the service: {exc!r}"
+                ),
+                "bad-frame",
+            ) from exc
 
     # -- repository-shaped API -----------------------------------------
     def save(self, knowledge: "Knowledge") -> int:
@@ -379,6 +413,15 @@ class ServiceClient:
         """Round-trip liveness probe (True, or a typed error raised)."""
         self._call("ping")
         return True
+
+    def health(self) -> dict[str, object]:
+        """Per-worker liveness and supervision state.
+
+        Against a ``repro-serve`` server: status, per-worker pid,
+        breaker state, shards owned, respawn count and last heal time.
+        Against an embedded service: a minimal healthy stub.
+        """
+        return self._call("health")  # type: ignore[return-value]
 
     @property
     def server_info(self) -> dict[str, object]:

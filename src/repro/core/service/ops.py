@@ -50,7 +50,7 @@ SERVICE_OPS = frozenset(
         "save", "save_many", "delete",
         "load", "load_all", "fetch_many", "list_ids",
         "find_by_parameter", "count", "exists",
-        "stats", "ping",
+        "stats", "ping", "health",
     }
 )
 
@@ -138,6 +138,8 @@ def encode_result(op: str, result: object) -> dict[str, object]:
         return {"exists": bool(result)}
     if op == "stats":
         return {"stats": dict(result)}  # type: ignore[arg-type]
+    if op == "health":
+        return {"health": dict(result)}  # type: ignore[arg-type]
     return {}  # delete / ping
 
 
@@ -158,6 +160,8 @@ def decode_result(op: str, payload: dict[str, object]) -> object:
         return bool(payload["exists"])
     if op == "stats":
         return dict(payload["stats"])  # type: ignore[arg-type]
+    if op == "health":
+        return dict(payload["health"])  # type: ignore[arg-type]
     return None  # delete / ping
 
 
@@ -184,6 +188,17 @@ class ServiceDispatcher:
             return {}
         if op == "stats":
             return {"stats": self.service.stats()}
+        if op == "health":
+            # The embedded service has no worker processes or
+            # supervisor — healthy as long as it answers at all.
+            return {
+                "health": {
+                    "status": "healthy",
+                    "shards": self.service.shard_map.num_shards,
+                    "supervised": False,
+                    "workers": [],
+                }
+            }
         try:
             args = decode_args(op, payload)
         except ServiceError:

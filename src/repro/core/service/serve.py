@@ -15,12 +15,22 @@ Operator console for the sharded knowledge service, in three modes::
     # remote administration of a running server
     repro-serve 'knowledge+tcp://db-node:9477/' --list
     repro-serve 'knowledge+tcp://db-node:9477/' --ingest runs.json --exercise 200
+    repro-serve --health 'knowledge+tcp://db-node:9477/'
 
 ``--listen`` promotes the store to a TCP server speaking the versioned
 ``repro.wire/v1`` protocol; clients reach it through
 ``knowledge+tcp://host:port/`` URLs.  SIGTERM (or Ctrl-C) drains
 gracefully: in-flight requests finish, new ones get typed ``draining``
 errors, and every shard-group worker flushes its shards before exit.
+
+A listening server is *supervised* by default: a shard-group worker
+that dies or wedges is respawned with the same shard set under a
+restart budget (``--crash-loop-threshold`` demotes a flapping group to
+permanent quarantine); ``--no-supervise`` restores the PR 6 behavior.
+``--chaos SPEC`` puts a seeded fault-injecting proxy in front of the
+server (frame corruption, truncation, disconnects, scheduled worker
+kills) for reproducible resilience drills, and ``--health URL`` asks a
+running server for per-worker pid/breaker/respawn state.
 
 ``--exercise`` drives deterministic round-robin read traffic through
 the client (same ids, same order every run) — a quick way to check the
@@ -44,6 +54,7 @@ from repro.core.service.client import (
     open_service,
     parse_service_url,
 )
+from repro.core.service.chaos import ChaosProxy, WorkerKiller, parse_chaos_spec
 from repro.core.service.server import KnowledgeServer
 from repro.util.errors import ReproError, ServiceError
 
@@ -57,9 +68,10 @@ def build_parser() -> argparse.ArgumentParser:
         description="Run or administer a sharded knowledge-service store.",
     )
     parser.add_argument(
-        "store",
+        "store", nargs="?", default=None,
         help="store root directory, knowledge+service:// URL, or "
-             "knowledge+tcp:// URL of a running server",
+             "knowledge+tcp:// URL of a running server "
+             "(optional with --health)",
     )
     parser.add_argument(
         "--shards", type=int, default=None,
@@ -81,6 +93,32 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--channels", type=int, default=2, metavar="N",
         help="wire channels per worker process behind --listen (default 2)",
+    )
+    parser.add_argument(
+        "--no-supervise", action="store_true",
+        help="disable the worker supervisor behind --listen (a dead "
+             "shard-group worker stays quarantined instead of respawning)",
+    )
+    parser.add_argument(
+        "--startup-deadline", type=float, default=15.0, metavar="S",
+        help="seconds a (re)spawned worker gets to finish its hello "
+             "handshake before it is killed and retried (default 15)",
+    )
+    parser.add_argument(
+        "--crash-loop-threshold", type=int, default=5, metavar="N",
+        help="respawn attempts within the crash-loop window before a "
+             "flapping shard group is permanently quarantined (default 5)",
+    )
+    parser.add_argument(
+        "--chaos", default=None, metavar="SPEC",
+        help="put a seeded fault-injecting proxy in front of --listen; "
+             "SPEC is comma-separated key=value, e.g. "
+             "'seed=7,corrupt=0.01,disconnect=0.005,kill_every=200'",
+    )
+    parser.add_argument(
+        "--health", default=None, metavar="URL",
+        help="print per-worker health of a running server "
+             "(knowledge+tcp:// URL) and exit 0 iff it is healthy",
     )
     parser.add_argument(
         "--ingest", action="append", default=[], metavar="JSON",
@@ -165,7 +203,21 @@ def _run_server(args: argparse.Namespace, metrics: MetricsRegistry) -> int:
         channels_per_worker=args.channels,
         worker_threads=args.workers, queue_size=args.queue,
         cache_size=args.cache, metrics=metrics,
+        supervise=not args.no_supervise,
+        startup_deadline_s=args.startup_deadline,
+        crash_loop_threshold=args.crash_loop_threshold,
     )
+    proxy = None
+    if args.chaos is not None:
+        policy = parse_chaos_spec(args.chaos)
+        killer = (
+            WorkerKiller(server, every_frames=policy.kill_every, metrics=metrics)
+            if policy.kill_every > 0 else None
+        )
+        proxy = ChaosProxy(
+            server.host, server.port, policy,
+            host=server.host, metrics=metrics, killer=killer,
+        ).start()
 
     def _drain(signum, frame):  # noqa: ARG001 - signal handler signature
         server.initiate_drain()
@@ -178,7 +230,17 @@ def _run_server(args: argparse.Namespace, metrics: MetricsRegistry) -> int:
         "process(es)); SIGTERM drains",
         flush=True,
     )
-    server.serve_forever()
+    if proxy is not None:
+        print(
+            f"repro-serve: chaos proxy on knowledge+tcp://{proxy.host}:"
+            f"{proxy.port}/ (spec {args.chaos!r}) — point clients here",
+            flush=True,
+        )
+    try:
+        server.serve_forever()
+    finally:
+        if proxy is not None:
+            proxy.close()
     bad = [code for code in server.worker_returncodes if code != 0]
     print(
         "repro-serve: drained; worker exit codes "
@@ -186,6 +248,31 @@ def _run_server(args: argparse.Namespace, metrics: MetricsRegistry) -> int:
         flush=True,
     )
     return 1 if bad else 0
+
+
+def _print_health(url: str, metrics: MetricsRegistry) -> int:
+    """Print a running server's per-worker health; exit 0 iff healthy."""
+    if not is_tcp_url(url):
+        raise ServiceError(
+            f"--health wants a knowledge+tcp:// URL of a running server, "
+            f"got {url!r}"
+        )
+    with ServiceClient.open(url, metrics=metrics) as client:
+        health = client.health()
+    supervised = "supervised" if health.get("supervised") else "unsupervised"
+    print(
+        f"server {url} is {health.get('status', '?')} "
+        f"({health.get('shards', '?')} shard(s), {supervised})"
+    )
+    for info in health.get("workers", []):  # type: ignore[union-attr]
+        heal = info.get("last_heal_s_ago")
+        print(
+            f"  worker {info.get('worker')}  pid={info.get('pid')}  "
+            f"alive={info.get('alive')}  breaker={info.get('breaker')}  "
+            f"shards={info.get('shards')}  respawns={info.get('respawns', 0)}"
+            + (f"  last_heal={heal:g}s ago" if heal is not None else "")
+        )
+    return 0 if health.get("status") == "healthy" else 1
 
 
 def _remote_summary(client: ServiceClient) -> None:
@@ -204,6 +291,16 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(list(sys.argv[1:] if argv is None else argv))
     metrics = MetricsRegistry()
     try:
+        if args.health is not None:
+            return _print_health(args.health, metrics)
+        if args.store is None:
+            print("error: a store argument is required unless --health URL "
+                  "is used", file=sys.stderr)
+            return 2
+        if args.chaos is not None and args.listen is None:
+            print("error: --chaos only applies to a --listen server",
+                  file=sys.stderr)
+            return 2
         if args.listen is not None:
             return _run_server(args, metrics)
         if is_tcp_url(args.store):

@@ -41,12 +41,13 @@ import subprocess
 import sys
 import threading
 import time
+from collections import deque
 from contextlib import contextmanager
 from pathlib import Path
-from typing import TYPE_CHECKING, Sequence
+from typing import TYPE_CHECKING, Callable, Sequence
 
 import repro
-from repro.core.resilience import CircuitBreaker
+from repro.core.resilience import CircuitBreaker, Deadline, RetryPolicy
 from repro.core.service.ops import MUTATING_OPS, SERVICE_OPS
 from repro.core.service.shard import (
     KnowledgeShardMap,
@@ -64,12 +65,23 @@ from repro.core.service.wire import (
     read_frame,
     write_frame,
 )
-from repro.util.errors import PersistenceError, ServiceError, ServiceTransportError
+from repro.util.errors import (
+    PersistenceError,
+    ServiceError,
+    ServiceTransportError,
+    WorkerStartupError,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - type-only import
     from repro.core.metrics import MetricsRegistry
 
-__all__ = ["WorkerHandle", "ShardRouter", "KnowledgeServer"]
+__all__ = [
+    "WorkerHandle",
+    "CrashLoopedHandle",
+    "ShardRouter",
+    "WorkerSupervisor",
+    "KnowledgeServer",
+]
 
 
 def _typed(exc: Exception, code: str) -> Exception:
@@ -105,7 +117,9 @@ class WorkerHandle:
             self._pool.put(channel)
         self._seq = itertools.count(1)
 
-    def call(self, op: str, payload: dict[str, object]) -> dict[str, object]:
+    def call(
+        self, op: str, payload: dict[str, object], *, timeout_s: float | None = None
+    ) -> dict[str, object]:
         """One wire round-trip to the worker; raises typed errors.
 
         Transport faults (dead channel, short read, timeout) trip the
@@ -113,32 +127,24 @@ class WorkerHandle:
         non-retryable for mutating ops, whose effect on the worker is
         unknowable once the request left this process.  Typed error
         frames from the worker re-raise as their registered classes.
+        ``timeout_s`` overrides the handle's default per-request
+        timeout (the supervisor uses a short one for startup and heal
+        probes).
         """
+        effective = self.request_timeout_s if timeout_s is None else timeout_s
         if not self.breaker.allow():
-            raise _typed(
-                ServiceTransportError(
-                    f"shard-group worker {self.index} "
-                    f"(shards {list(self.owned_shards)}) is quarantined by its "
-                    "circuit breaker; its shards are unavailable until it heals",
-                    retryable=True,
-                ),
-                "quarantine",
+            exc = ServiceTransportError(
+                f"shard-group worker {self.index} "
+                f"(shards {list(self.owned_shards)}) is quarantined by its "
+                "circuit breaker; its shards are unavailable until it heals",
+                retryable=True,
             )
-        try:
-            channel = self._pool.get(timeout=self.request_timeout_s)
-        except queue.Empty:
-            self.breaker.record_failure()
-            raise _typed(
-                ServiceTransportError(
-                    f"no free channel to shard-group worker {self.index} within "
-                    f"{self.request_timeout_s:g}s",
-                    retryable=True,
-                ),
-                "unavailable",
-            ) from None
+            exc.retry_after_s = self.breaker.retry_after_s
+            raise _typed(exc, "quarantine")
+        channel = self._checkout_channel(effective)
         request_id = next(self._seq)
         try:
-            channel.settimeout(self.request_timeout_s)
+            channel.settimeout(effective)
             write_frame(
                 channel,
                 {"id": request_id, "op": op, "args": payload},
@@ -172,6 +178,45 @@ class WorkerHandle:
         raise_wire_error(error if isinstance(error, dict) else {})
         raise AssertionError("raise_wire_error always raises")  # pragma: no cover
 
+    def _checkout_channel(self, timeout_s: float) -> socket.socket:
+        """Claim a free channel, failing *fast* once the process is gone.
+
+        A SIGKILL'd worker EOFs the channels in flight, but requests
+        queued behind them would otherwise sit in the (now permanently
+        empty) pool for the full request timeout.  Waiting in short
+        slices and re-checking process liveness bounds that stall —
+        and thereby the server's time-to-heal — to one slice.
+        """
+        deadline = time.monotonic() + timeout_s
+        while True:
+            if self.process.poll() is not None:
+                self.breaker.record_failure()
+                raise _typed(
+                    ServiceTransportError(
+                        f"shard-group worker {self.index} (shards "
+                        f"{list(self.owned_shards)}) exited with code "
+                        f"{self.process.returncode}; its shards are "
+                        "unavailable until the supervisor respawns it",
+                        retryable=True,
+                    ),
+                    "unavailable",
+                ) from None
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                self.breaker.record_failure()
+                raise _typed(
+                    ServiceTransportError(
+                        f"no free channel to shard-group worker {self.index} "
+                        f"within {timeout_s:g}s",
+                        retryable=True,
+                    ),
+                    "unavailable",
+                ) from None
+            try:
+                return self._pool.get(timeout=min(0.25, remaining))
+            except queue.Empty:
+                continue
+
     def _discard(self, channel: socket.socket) -> None:
         try:
             channel.close()
@@ -180,10 +225,36 @@ class WorkerHandle:
         if channel in self._all_channels:
             self._all_channels.remove(channel)
 
-    def handshake(self) -> None:
-        """Verify every channel answers ``hello`` (worker readiness)."""
+    def handshake(self, *, deadline_s: float | None = None) -> None:
+        """Verify every channel answers ``hello`` (worker readiness).
+
+        With a ``deadline_s`` the whole handshake must finish inside
+        that startup budget: a worker that hangs during spawn raises a
+        typed :class:`WorkerStartupError` instead of blocking the
+        server's boot (or the supervisor's respawn) indefinitely.
+        """
+        deadline = Deadline(deadline_s) if deadline_s is not None else None
         for _ in range(self.channel_count):  # FIFO pool: each call rotates
-            self.call("hello", {})
+            timeout: float | None = None
+            if deadline is not None:
+                remaining = deadline.remaining_s
+                if remaining <= 0:
+                    raise WorkerStartupError(
+                        f"shard-group worker {self.index} (shards "
+                        f"{list(self.owned_shards)}) did not finish its startup "
+                        f"handshake within {deadline_s:g}s"
+                    )
+                timeout = min(self.request_timeout_s, remaining)
+            try:
+                self.call("hello", {}, timeout_s=timeout)
+            except WorkerStartupError:
+                raise
+            except (ServiceError, OSError) as exc:
+                raise WorkerStartupError(
+                    f"shard-group worker {self.index} (shards "
+                    f"{list(self.owned_shards)}) failed its startup handshake: "
+                    f"{exc}"
+                ) from exc
 
     @property
     def alive(self) -> bool:
@@ -200,17 +271,100 @@ class WorkerHandle:
         for channel in list(self._all_channels):
             self._discard(channel)
 
+    def reap(self, *, timeout_s: float = 5.0) -> None:
+        """Kill the worker process (if needed) and collect its exit.
+
+        Safe on an already-dead process; the supervisor calls this
+        before respawning so a wedged worker cannot linger as a zombie
+        holding its SQLite file handles.
+        """
+        self.close_channels()
+        if self.process.poll() is None:
+            self.process.kill()
+        try:
+            self.process.wait(timeout=timeout_s)
+        except subprocess.TimeoutExpired:  # pragma: no cover - kernel lag
+            pass
+
+
+class CrashLoopedHandle:
+    """The tombstone of a shard group demoted to permanent quarantine.
+
+    When the supervisor's crash-loop detector gives up on a flapping
+    worker, this handle takes its slot: every call answers a typed
+    ``crash_loop`` error carrying a ``retry_after`` hint, so clients
+    back off for the hinted window instead of hammering shards that
+    will not come back without operator intervention.
+    """
+
+    process = None
+
+    def __init__(
+        self, index: int, owned_shards: Sequence[int], *, retry_after_s: float
+    ) -> None:
+        self.index = index
+        self.owned_shards = tuple(owned_shards)
+        self.retry_after_s = retry_after_s
+
+    @property
+    def alive(self) -> bool:
+        """A crash-looped group has no process — never alive."""
+        return False
+
+    def call(
+        self, op: str, payload: dict[str, object], *, timeout_s: float | None = None
+    ) -> dict[str, object]:
+        """Every operation fails fast with the typed crash-loop error."""
+        exc = ServiceTransportError(
+            f"shard-group worker {self.index} (shards "
+            f"{list(self.owned_shards)}) is in a crash loop and permanently "
+            "quarantined; its shards stay dark until an operator restarts "
+            "the server",
+            retryable=True,
+        )
+        exc.retry_after_s = self.retry_after_s
+        raise _typed(exc, "crash_loop")
+
+    def handshake(self, *, deadline_s: float | None = None) -> None:
+        """Crash-looped groups never hand-shake again."""
+        self.call("hello", {})
+
+    def close_channels(self) -> None:
+        """Nothing to close — the last process was reaped at demotion."""
+
+    def reap(self, *, timeout_s: float = 5.0) -> None:
+        """Nothing to reap."""
+
 
 class ShardRouter:
-    """Route wire operations to the shard-group workers that own them."""
+    """Route wire operations to the shard-group workers that own them.
+
+    Worker handles are *replaceable*: the supervisor swaps a dead
+    group's handle for its respawned successor (or a
+    :class:`CrashLoopedHandle`) via :meth:`replace` while connection
+    threads keep routing — reads take a consistent snapshot under the
+    same lock.
+    """
 
     def __init__(self, workers: Sequence[WorkerHandle], num_shards: int) -> None:
         self.workers = list(workers)
         self.num_shards = num_shards
+        self._replace_lock = threading.Lock()
         self._owner: dict[int, WorkerHandle] = {}
         for worker in self.workers:
             for shard in worker.owned_shards:
                 self._owner[shard] = worker
+
+    def replace(self, index: int, worker: "WorkerHandle | CrashLoopedHandle") -> None:
+        """Atomically swap the handle serving one shard group."""
+        with self._replace_lock:
+            self.workers[index] = worker  # type: ignore[assignment]
+            for shard in worker.owned_shards:
+                self._owner[shard] = worker  # type: ignore[assignment]
+
+    def _snapshot(self) -> "list[WorkerHandle]":
+        with self._replace_lock:
+            return list(self.workers)
 
     # -- placement -----------------------------------------------------
     def _worker_of_shard(self, index: int) -> WorkerHandle:
@@ -276,7 +430,7 @@ class ShardRouter:
             return self._worker_of_shard(index).call("exists", payload)
         if op in ("list_ids", "find_by_parameter"):
             ids: list[int] = []
-            for worker in self.workers:
+            for worker in self._snapshot():
                 ids.extend(worker.call(op, payload)["ids"])  # type: ignore[arg-type]
             ids.sort()
             return {"ids": ids}
@@ -284,13 +438,13 @@ class ShardRouter:
             return {
                 "count": sum(
                     int(worker.call("count", payload)["count"])  # type: ignore[arg-type]
-                    for worker in self.workers
+                    for worker in self._snapshot()
                 )
             }
         # load_all: every worker returns its owned objects, merged in
         # global-id order — exactly the embedded service's ordering.
         objects: list[dict[str, object]] = []
-        for worker in self.workers:
+        for worker in self._snapshot():
             objects.extend(worker.call("load_all", payload)["objects"])  # type: ignore[arg-type]
         objects.sort(key=lambda obj: int(obj["id"]))  # type: ignore[arg-type]
         return {"objects": objects}
@@ -326,10 +480,11 @@ class ShardRouter:
         return {"objects": [fetched[i] for i in wanted]}
 
     def _merged_stats(self) -> dict[str, object]:
+        workers = self._snapshot()
         merged: dict[str, object] = {
             "shards": self.num_shards,
-            "worker_processes": len(self.workers),
-            "shard_groups": [list(w.owned_shards) for w in self.workers],
+            "worker_processes": len(workers),
+            "shard_groups": [list(w.owned_shards) for w in workers],
             "workers": 0,
             "queue_depth": 0,
             "queue_size": 0,
@@ -346,7 +501,7 @@ class ShardRouter:
             "cache_hits", "cache_misses",
             "cache_evictions_stale", "cache_evictions_capacity",
         )
-        for worker in self.workers:
+        for worker in workers:
             stats = worker.call("stats", {})["stats"]
             for key in summed:
                 merged[key] += int(stats.get(key, 0))  # type: ignore[operator]
@@ -360,6 +515,251 @@ class ShardRouter:
             round(merged["cache_hits"] / lookups, 4) if lookups else 0.0  # type: ignore[operator]
         )
         return merged
+
+
+class _SupervisedSlot:
+    """Per-shard-group supervision state (touched only by the supervisor)."""
+
+    __slots__ = (
+        "attempt", "next_attempt_at", "respawn_times", "unhealthy_since",
+        "respawns", "last_heal_at", "crash_looped", "probe_failures",
+    )
+
+    def __init__(self) -> None:
+        self.attempt = 0  # consecutive failed respawn attempts
+        self.next_attempt_at = 0.0  # monotonic time the next respawn is due
+        self.respawn_times: deque[float] = deque()  # crash-loop window
+        self.unhealthy_since: float | None = None  # first unhealthy sighting
+        self.respawns = 0  # successful respawns over the slot's lifetime
+        self.last_heal_at: float | None = None
+        self.crash_looped = False
+        self.probe_failures = 0  # consecutive failed heal probes
+
+
+class WorkerSupervisor:
+    """Self-healing loop over a :class:`KnowledgeServer`'s worker slots.
+
+    Every ``poll_interval_s`` the supervisor walks the shard groups and
+    converges each one back to healthy:
+
+    * **dead process** (SIGKILL, OOM, crash) — respawn the worker with
+      the same shard set (shards are durable SQLite; the successor
+      re-opens them), re-run the hello handshake under the startup
+      deadline, and swap the new handle into the router.  Respawns are
+      budgeted by a :class:`RetryPolicy`'s exponential backoff.
+    * **quarantined but alive** (breaker open past its window) — send
+      one ``ping`` through the breaker's half-open probe slot; success
+      closes the breaker with no respawn.  ``wedged_probe_limit``
+      consecutive failed probes against a *live* process mean the
+      worker is wedged, not slow: it is killed so the respawn path can
+      take over.
+    * **crash loop** — more than ``crash_loop_threshold`` respawn
+      attempts inside ``crash_loop_window_s`` demotes the group to a
+      :class:`CrashLoopedHandle`: permanent quarantine, typed
+      ``crash_loop`` errors with a ``retry_after`` hint, no more
+      respawn attempts burning CPU on a group that cannot stay up.
+
+    Heals are measured: ``service.supervisor.respawns_total`` /
+    ``crash_loops_total`` counters and a ``heal_seconds`` histogram
+    (detection to healthy) land in the ordinary metrics report.
+    """
+
+    def __init__(
+        self,
+        server: "KnowledgeServer",
+        *,
+        poll_interval_s: float = 0.1,
+        startup_deadline_s: float = 15.0,
+        respawn_policy: RetryPolicy | None = None,
+        crash_loop_threshold: int = 5,
+        crash_loop_window_s: float = 30.0,
+        crash_loop_retry_after_s: float | None = None,
+        wedged_probe_limit: int = 3,
+        clock: Callable[[], float] = time.monotonic,
+        metrics: "MetricsRegistry | None" = None,
+    ) -> None:
+        self.server = server
+        self.poll_interval_s = poll_interval_s
+        self.startup_deadline_s = startup_deadline_s
+        self.respawn_policy = respawn_policy or RetryPolicy(
+            max_attempts=crash_loop_threshold + 1,
+            base_delay_s=0.05, multiplier=2.0, max_delay_s=2.0,
+            salt="worker-supervisor",
+        )
+        self.crash_loop_threshold = crash_loop_threshold
+        self.crash_loop_window_s = crash_loop_window_s
+        self.crash_loop_retry_after_s = (
+            crash_loop_retry_after_s
+            if crash_loop_retry_after_s is not None
+            else crash_loop_window_s
+        )
+        self.wedged_probe_limit = wedged_probe_limit
+        self.metrics = metrics
+        self._clock = clock
+        self._slots = [_SupervisedSlot() for _ in server.workers]
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    # -- lifecycle -----------------------------------------------------
+    def start(self) -> "WorkerSupervisor":
+        """Begin supervising (idempotent)."""
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._run, name="repro-serve-supervisor", daemon=True
+            )
+            self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop the loop; a drain's worker exits must not look like crashes."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.poll_interval_s):
+            try:
+                self.tick()
+            except Exception:  # noqa: BLE001 - supervision must not die
+                # A tick that throws (a worker vanishing mid-inspection)
+                # is retried on the next interval; the loop is the
+                # safety net and must outlive any single surprise.
+                continue
+
+    # -- one supervision pass ------------------------------------------
+    def tick(self) -> None:
+        """Inspect every shard group once and converge it toward healthy."""
+        for index in range(len(self._slots)):
+            slot = self._slots[index]
+            if slot.crash_looped:
+                continue
+            worker = self.server.workers[index]
+            if worker.process is None:
+                continue
+            if not worker.alive:
+                self._handle_dead(index, slot, worker)
+            else:
+                self._handle_alive(index, slot, worker)
+
+    def _handle_alive(
+        self, index: int, slot: _SupervisedSlot, worker: WorkerHandle
+    ) -> None:
+        state = worker.breaker.state
+        if state == CircuitBreaker.CLOSED:
+            if slot.unhealthy_since is not None:
+                # Regular traffic healed the breaker through its own
+                # half-open probe — record the heal, keep the worker.
+                self._healed(index, slot, respawned=False)
+            slot.probe_failures = 0
+            return
+        if slot.unhealthy_since is None:
+            slot.unhealthy_since = self._clock()
+        if state != CircuitBreaker.HALF_OPEN:
+            return  # OPEN inside its window: breaker says wait, so wait
+        try:
+            worker.call("ping", {}, timeout_s=min(2.0, worker.request_timeout_s))
+        except Exception as exc:  # noqa: BLE001 - typed probe outcomes
+            if getattr(exc, "wire_code", "") == "quarantine":
+                return  # a client claimed this window's probe; defer to it
+            slot.probe_failures += 1
+            if slot.probe_failures >= self.wedged_probe_limit and worker.alive:
+                # Alive but unresponsive: the process is wedged.  Kill it
+                # so the next tick takes the respawn path.
+                worker.reap()
+        else:
+            slot.probe_failures = 0
+            self._healed(index, slot, respawned=False)
+
+    def _handle_dead(
+        self, index: int, slot: _SupervisedSlot, worker: WorkerHandle
+    ) -> None:
+        now = self._clock()
+        if slot.unhealthy_since is None:
+            slot.unhealthy_since = now
+        if now < slot.next_attempt_at:
+            return  # respawn budget: back off between attempts
+        slot.respawn_times.append(now)
+        while (
+            slot.respawn_times
+            and now - slot.respawn_times[0] > self.crash_loop_window_s
+        ):
+            slot.respawn_times.popleft()
+        if len(slot.respawn_times) > self.crash_loop_threshold:
+            self._declare_crash_loop(index, slot, worker)
+            return
+        worker.reap()
+        slot.attempt += 1
+        try:
+            successor = self.server._respawn_worker(index)
+        except Exception:  # noqa: BLE001 - spawn/handshake failed; back off
+            delay = self.respawn_policy.delay_s(
+                min(slot.attempt, self.respawn_policy.max_attempts - 1) or 1
+            )
+            slot.next_attempt_at = self._clock() + delay
+            return
+        self.server._replace_worker(index, successor)
+        slot.attempt = 0
+        slot.next_attempt_at = 0.0
+        slot.probe_failures = 0
+        slot.respawns += 1
+        if self.metrics is not None:
+            self.metrics.counter(
+                "service.supervisor.respawns_total",
+                "shard-group worker processes respawned",
+                worker=str(index),
+            ).inc()
+        self._healed(index, slot, respawned=True)
+
+    def _declare_crash_loop(
+        self, index: int, slot: _SupervisedSlot, worker: WorkerHandle
+    ) -> None:
+        worker.reap()
+        slot.crash_looped = True
+        self.server._replace_worker(
+            index,
+            CrashLoopedHandle(
+                index, worker.owned_shards,
+                retry_after_s=self.crash_loop_retry_after_s,
+            ),
+        )
+        if self.metrics is not None:
+            self.metrics.counter(
+                "service.supervisor.crash_loops_total",
+                "shard groups demoted to permanent quarantine",
+                worker=str(index),
+            ).inc()
+
+    def _healed(self, index: int, slot: _SupervisedSlot, *, respawned: bool) -> None:
+        now = self._clock()
+        if slot.unhealthy_since is not None and self.metrics is not None:
+            self.metrics.histogram(
+                "service.supervisor.heal_seconds",
+                "time from detecting an unhealthy shard group to healthy",
+                wallclock=True,
+                mode="respawn" if respawned else "probe",
+            ).observe(now - slot.unhealthy_since)
+        slot.unhealthy_since = None
+        slot.last_heal_at = now
+
+    # -- introspection (the health op) ---------------------------------
+    def slot_info(self, index: int) -> dict[str, object]:
+        """Supervision state of one shard group, JSON-safe."""
+        slot = self._slots[index]
+        now = self._clock()
+        return {
+            "respawns": slot.respawns,
+            "crash_looped": slot.crash_looped,
+            "failed_attempts": slot.attempt,
+            "last_heal_s_ago": (
+                round(now - slot.last_heal_at, 3)
+                if slot.last_heal_at is not None else None
+            ),
+            "unhealthy_for_s": (
+                round(now - slot.unhealthy_since, 3)
+                if slot.unhealthy_since is not None else None
+            ),
+        }
 
 
 class KnowledgeServer:
@@ -386,11 +786,18 @@ class KnowledgeServer:
         max_frame: int = MAX_FRAME_BYTES,
         request_timeout_s: float = 30.0,
         metrics: "MetricsRegistry | None" = None,
+        supervise: bool = True,
+        startup_deadline_s: float = 15.0,
+        respawn_policy: RetryPolicy | None = None,
+        crash_loop_threshold: int = 5,
+        crash_loop_window_s: float = 30.0,
+        supervisor_poll_s: float = 0.1,
     ) -> None:
         self.root = Path(root)
         self.metrics = metrics
         self.max_frame = max_frame
         self.request_timeout_s = request_timeout_s
+        self._startup_deadline_s = startup_deadline_s
         self._metrics_lock = threading.Lock()
         self._state_lock = threading.Lock()
         self._idle = threading.Condition(self._state_lock)
@@ -415,15 +822,39 @@ class KnowledgeServer:
         groups: list[list[int]] = [[] for _ in range(n_workers)]
         for index in range(self.num_shards):
             groups[index % n_workers].append(index)
-        self.workers = [
+        self._shard_groups = groups
+        self._worker_config = (
+            channels_per_worker, worker_threads, queue_size, cache_size
+        )
+        self.workers: "list[WorkerHandle | CrashLoopedHandle]" = [
             self._spawn_worker(
                 wi, owned, channels_per_worker, worker_threads, queue_size, cache_size
             )
             for wi, owned in enumerate(groups)
         ]
         for worker in self.workers:
-            worker.handshake()
+            try:
+                worker.handshake(deadline_s=startup_deadline_s)
+            except WorkerStartupError:
+                if not supervise:
+                    for peer in self.workers:
+                        peer.reap()
+                    raise
+                # Kill the half-born process; the supervisor respawns
+                # the slot under its restart budget once it starts.
+                worker.reap()
         self.router = ShardRouter(self.workers, self.num_shards)
+        self.supervisor: WorkerSupervisor | None = None
+        if supervise:
+            self.supervisor = WorkerSupervisor(
+                self,
+                poll_interval_s=supervisor_poll_s,
+                startup_deadline_s=startup_deadline_s,
+                respawn_policy=respawn_policy,
+                crash_loop_threshold=crash_loop_threshold,
+                crash_loop_window_s=crash_loop_window_s,
+                metrics=metrics,
+            )
 
         self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
@@ -476,16 +907,72 @@ class KnowledgeServer:
             request_timeout_s=self.request_timeout_s,
         )
 
+    def _respawn_worker(self, index: int) -> WorkerHandle:
+        """Spawn + handshake a successor for one shard group.
+
+        Raises (and reaps the half-born process) when the successor
+        fails or overruns its startup handshake — the supervisor backs
+        off and tries again under its restart budget.
+        """
+        channels_per_worker, worker_threads, queue_size, cache_size = (
+            self._worker_config
+        )
+        handle = self._spawn_worker(
+            index, self._shard_groups[index],
+            channels_per_worker, worker_threads, queue_size, cache_size,
+        )
+        try:
+            handle.handshake(deadline_s=self._startup_deadline_s)
+        except Exception:
+            handle.reap()
+            raise
+        return handle
+
+    def _replace_worker(
+        self, index: int, handle: "WorkerHandle | CrashLoopedHandle"
+    ) -> None:
+        """Install a successor handle in both the slot list and router."""
+        self.workers[index] = handle
+        self.router.replace(index, handle)
+
+    def health(self) -> dict[str, object]:
+        """The ``health`` admin op: per-worker liveness + supervision."""
+        workers: list[dict[str, object]] = []
+        for index, worker in enumerate(self.router._snapshot()):
+            breaker = getattr(worker, "breaker", None)
+            info: dict[str, object] = {
+                "worker": index,
+                "pid": worker.process.pid if worker.process is not None else None,
+                "alive": worker.alive,
+                "shards": list(worker.owned_shards),
+                "breaker": breaker.state if breaker is not None else "crash-loop",
+            }
+            if self.supervisor is not None:
+                info.update(self.supervisor.slot_info(index))
+            workers.append(info)
+        healthy = all(
+            w["alive"] and w["breaker"] == CircuitBreaker.CLOSED for w in workers
+        )
+        return {
+            "status": "draining" if self._draining
+            else ("healthy" if healthy else "degraded"),
+            "shards": self.num_shards,
+            "supervised": self.supervisor is not None,
+            "workers": workers,
+        }
+
     # ------------------------------------------------------------------
     # accept loop + per-connection protocol
     # ------------------------------------------------------------------
     def start(self) -> "KnowledgeServer":
-        """Begin accepting connections (idempotent)."""
+        """Begin accepting connections and supervising (idempotent)."""
         if self._accept_thread is None:
             self._accept_thread = threading.Thread(
                 target=self._accept_loop, name="repro-serve-accept", daemon=True
             )
             self._accept_thread.start()
+        if self.supervisor is not None:
+            self.supervisor.start()
         return self
 
     def _accept_loop(self) -> None:
@@ -562,6 +1049,10 @@ class KnowledgeServer:
         try:
             if op == "hello":
                 result = self._hello(payload)
+            elif op == "health":
+                # Health answers even while draining — that is exactly
+                # when an operator wants to see worker state.
+                result = {"health": self.health()}
             elif self._draining:
                 raise _typed(
                     ServiceTransportError(
@@ -690,6 +1181,10 @@ class KnowledgeServer:
         """Finish in-flight requests, drain the workers, release sockets."""
         if self._closed:
             return
+        if self.supervisor is not None:
+            # Stop supervising *before* the drain: workers exiting 0 on
+            # EOF must not look like crashes and get respawned mid-close.
+            self.supervisor.stop()
         self.initiate_drain()
         deadline = time.monotonic() + drain_timeout_s
         with self._idle:
@@ -700,6 +1195,9 @@ class KnowledgeServer:
             worker.close_channels()  # EOF: workers flush their shards
         self.worker_returncodes = []
         for worker in self.workers:
+            if worker.process is None:  # crash-looped tombstone
+                self.worker_returncodes.append(-1)
+                continue
             try:
                 self.worker_returncodes.append(
                     worker.process.wait(timeout=drain_timeout_s)

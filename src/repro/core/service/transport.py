@@ -163,7 +163,15 @@ class TcpTransport:
             with self._lock:
                 if self._idle:
                     return self._idle.popleft()
-            return self._dial()
+            try:
+                return self._dial()
+            except BaseException:
+                # A failed dial is an endpoint fault: it must settle the
+                # breaker (a claimed half-open probe that records neither
+                # success nor failure would quarantine the endpoint
+                # forever).  Pool exhaustion above is local and does not.
+                self.breaker.record_failure()
+                raise
         except BaseException:
             self._slots.release()
             raise
@@ -189,15 +197,16 @@ class TcpTransport:
         if self._closed:
             raise ServiceError("tcp transport is closed")
         if not self.breaker.allow():
-            raise _typed(
-                ServiceTransportError(
-                    f"knowledge server {self.host}:{self.port} is quarantined "
-                    "by the client's circuit breaker after repeated transport "
-                    "faults; backing off",
-                    retryable=True,
-                ),
-                "quarantine",
+            exc = ServiceTransportError(
+                f"knowledge server {self.host}:{self.port} is quarantined "
+                "by the client's circuit breaker after repeated transport "
+                "faults; backing off",
+                retryable=True,
             )
+            # Same contract as a server-sent quarantine frame: tell the
+            # retry loop exactly how long the breaker window has left.
+            exc.retry_after_s = self.breaker.retry_after_s
+            raise _typed(exc, "quarantine")
         effective = timeout_s if timeout_s is not None else self.timeout_s
         start = time.perf_counter()
         sock = self._checkout(effective)  # transport errors here are pre-send

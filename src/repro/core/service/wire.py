@@ -42,6 +42,7 @@ from repro.util.errors import (
     ServiceOverloadError,
     ServiceTransportError,
     WireProtocolError,
+    WorkerStartupError,
 )
 
 __all__ = [
@@ -95,6 +96,7 @@ class WireVersionError(WireProtocolError):
 #: Most-specific-first: the first matching class names the frame code.
 _ERROR_TO_CODE: tuple[tuple[type[BaseException], str], ...] = (
     (ServiceOverloadError, "overload"),
+    (WorkerStartupError, "worker-startup"),
     (ServiceTransportError, "unavailable"),
     (WireProtocolError, "bad-request"),
     (DeadlineError, "deadline"),
@@ -109,6 +111,8 @@ _CODE_TO_ERROR: dict[str, type[Exception]] = {
     "overload": ServiceOverloadError,
     "unavailable": ServiceTransportError,
     "quarantine": ServiceTransportError,
+    "crash_loop": ServiceTransportError,
+    "worker-startup": WorkerStartupError,
     "draining": ServiceTransportError,
     "deadline": DeadlineError,
     "configuration": ConfigurationError,
@@ -135,33 +139,45 @@ def error_code(exc: BaseException) -> str:
 
 
 def error_body(exc: BaseException) -> dict[str, object]:
-    """The typed-error payload of a response frame."""
-    return {
+    """The typed-error payload of a response frame.
+
+    A positive ``retry_after_s`` attribute on the exception (the
+    remaining breaker window of a quarantined worker, the crash-loop
+    back-off of a demoted one) travels as a ``retry_after`` hint the
+    client's backoff honors in place of its own schedule.
+    """
+    body: dict[str, object] = {
         "code": error_code(exc),
         "message": str(exc),
         "retryable": bool(getattr(exc, "transient", False)),
     }
+    hint = getattr(exc, "retry_after_s", None)
+    if isinstance(hint, (int, float)) and hint > 0:
+        body["retry_after"] = round(float(hint), 6)
+    return body
 
 
 def raise_wire_error(error: dict[str, object]) -> None:
     """Re-raise a typed error frame as its registered exception class.
 
     The reconstructed exception carries the frame's ``retryable`` flag
-    as its ``transient`` attribute, so retry predicates behave the same
+    as its ``transient`` attribute (and any ``retry_after`` hint as
+    ``retry_after_s``), so retry predicates and backoff behave the same
     whether the error was raised locally or a network away.
     """
     code = str(error.get("code", "internal"))
     message = str(error.get("message", "remote service error"))
     retryable = bool(error.get("retryable", False))
     cls = _CODE_TO_ERROR.get(code, ServiceError)
-    if cls is ServiceTransportError:
-        exc: Exception = ServiceTransportError(
-            f"[{code}] {message}", retryable=retryable
-        )
+    if issubclass(cls, ServiceTransportError):
+        exc: Exception = cls(f"[{code}] {message}", retryable=retryable)
     else:
         exc = cls(message)
         exc.transient = retryable  # type: ignore[attr-defined]
     exc.wire_code = code  # type: ignore[attr-defined]
+    hint = error.get("retry_after")
+    if isinstance(hint, (int, float)) and hint > 0:
+        exc.retry_after_s = float(hint)  # type: ignore[attr-defined]
     raise exc
 
 

@@ -20,6 +20,7 @@ frame; nothing a peer sends can kill the process.  EOF on all channels
 from __future__ import annotations
 
 import argparse
+import os
 import signal
 import socket
 import sys
@@ -48,6 +49,9 @@ def _hello_result(service: KnowledgeService) -> dict[str, object]:
         "transport": "worker",
         "shards": service.shard_map.num_shards,
         "owned_shards": list(service.owned_shards),
+        # The supervisor/health op reports the pid the *worker* claims,
+        # which catches a handle pointing at a stale process.
+        "pid": os.getpid(),
     }
 
 

@@ -147,6 +147,17 @@ class ServiceTransportError(ServiceError):
         self.transient = retryable
 
 
+class WorkerStartupError(ServiceTransportError):
+    """A shard-group worker failed (or hung past) its startup handshake.
+
+    Raised when a freshly spawned worker process does not answer
+    ``hello`` on every channel within the startup deadline.  Transient
+    by definition: the supervisor kills the half-born process and
+    respawns it under its restart budget, so a retry against the same
+    shard group may well succeed.
+    """
+
+
 class WireProtocolError(ServiceError):
     """A ``repro.wire`` frame violated the protocol.
 

@@ -43,6 +43,32 @@ def fault_seed():
     return int(os.environ.get("REPRO_FAULT_SEED", "42"))
 
 
+@pytest.fixture
+def chaos_proxy():
+    """Factory for seeded wire-level chaos proxies, closed on teardown.
+
+    Usage::
+
+        proxy = chaos_proxy(server.host, server.port,
+                            ChaosPolicy(seed=7, corrupt=0.1))
+        url = f"knowledge+tcp://{proxy.host}:{proxy.port}/"
+    """
+    from repro.core.service.chaos import ChaosPolicy, ChaosProxy
+
+    proxies = []
+
+    def _make(upstream_host, upstream_port, policy=None, **kwargs):
+        proxy = ChaosProxy(
+            upstream_host, upstream_port, policy or ChaosPolicy(), **kwargs
+        )
+        proxies.append(proxy)
+        return proxy.start()
+
+    yield _make
+    for proxy in proxies:
+        proxy.close()
+
+
 @pytest.hookimpl(hookwrapper=True)
 def pytest_runtest_call(item):
     if _HAVE_PYTEST_TIMEOUT or not hasattr(signal, "SIGALRM"):

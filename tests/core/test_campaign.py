@@ -451,6 +451,59 @@ class TestKillAndResume:
             tokens = [r.parameters["campaign_job"] for r in rows]
             assert len(tokens) == len(set(tokens)) == 3, (trial, k, tokens)
 
+    @pytest.mark.stress
+    @pytest.mark.timeout(600)
+    def test_exactly_once_through_chaos_proxy(self, tmp_path, chaos_proxy,
+                                              fault_seed):
+        """CI chaos-soak: the campaign's exactly-once tokens survive a
+        knowledge backend whose workers are SIGKILL'd on a seeded
+        cadence mid-campaign — supervised respawn heals each kill, and
+        the campaign-job idempotence check absorbs the ambiguity."""
+        from repro.core.service.chaos import ChaosPolicy, WorkerKiller
+        from repro.core.service.server import KnowledgeServer
+
+        toml = SWEEP_TOML.replace("max_attempts = 3", "max_attempts = 8")
+        metrics = MetricsRegistry()
+        server = KnowledgeServer(
+            tmp_path / "tcpstore", shards=2, worker_processes=2,
+            metrics=metrics, supervisor_poll_s=0.05,
+            crash_loop_threshold=10_000,
+        )
+        server.start()
+        try:
+            policy = ChaosPolicy(seed=fault_seed, kill_every=6)
+            killer = WorkerKiller(server, every_frames=6, metrics=metrics)
+            proxy = chaos_proxy(server.host, server.port, policy,
+                                metrics=metrics, killer=killer)
+            url = f"knowledge+tcp://{proxy.host}:{proxy.port}/"
+            store, cid, backend_url = _submit(tmp_path, toml=toml, backend=url)
+            for attempt in range(6):
+                try:
+                    _launcher(store, cid, tmp_path, tag=f"ws{attempt}").run(
+                        resume=attempt > 0
+                    )
+                except Exception:  # noqa: BLE001 - a kill window; resume
+                    continue
+                if store.counts(cid)["DONE"] == 3:
+                    break
+            assert store.counts(cid)["DONE"] == 3
+            rows = [
+                r for r in _knowledge_rows(backend_url)
+                if not r.parameters.get("campaign_marker")
+            ]
+            tokens = [r.parameters["campaign_job"] for r in rows]
+            assert len(tokens) == len(set(tokens)) == 2, tokens
+            assert killer.kills >= 1
+            respawns = sum(
+                row["value"]
+                for row in metrics.snapshot()["counters"][
+                    "service.supervisor.respawns_total"
+                ]["series"]
+            )
+            assert respawns >= 1
+        finally:
+            server.close()
+
 
 # ----------------------------------------------------------------------
 # the CLI

@@ -274,9 +274,21 @@ class TestLifecycle:
         finally:
             client.close()
 
-    def test_sigkilled_workers_surface_typed_errors_not_hangs(self, server):
+    def test_sigkilled_workers_surface_typed_errors_not_hangs(self, tmp_path):
         """SIGKILL every shard-group worker mid-session: requests fail
-        fast with typed transport errors and the breaker quarantines."""
+        fast with typed transport errors and the breaker quarantines.
+        (``supervise=False`` — with the supervisor on, the workers would
+        be respawned before the quarantine could be observed.)"""
+        server = KnowledgeServer(
+            tmp_path / "store", shards=2, worker_processes=2,
+            metrics=MetricsRegistry(), request_timeout_s=15.0,
+            supervise=False,
+        )
+        server.start()
+        self._kill_and_observe(server)
+        server.close()
+
+    def _kill_and_observe(self, server):
         policy = RetryPolicy(max_attempts=2, base_delay_s=0.001,
                              retryable=lambda exc: False)
         with ServiceClient.open(_url(server), retry_policy=policy) as client:
