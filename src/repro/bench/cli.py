@@ -4,12 +4,15 @@ Usage::
 
     repro-bench service --out BENCH_service.json
     repro-bench service --objects 128 --reads 512 --worker-processes 4
+    repro-bench scan --out BENCH_scan.json
+    repro-bench scan --rows 20000 --shards 8
 
 Each sub-benchmark writes a ``repro.bench/v1`` JSON report (and prints
-a one-screen summary), comparing the code paths it exercises — today
-that is the knowledge service, in-process against the ``repro.wire/v1``
-TCP link — so the cost of a transport or a refactor lands in a diffable
-artifact.
+a one-screen summary), comparing the code paths it exercises — the
+knowledge service in-process against the ``repro.wire/v1`` TCP link,
+and the columnar ``scan()`` pushdown against row-loop and batched
+Python folds — so the cost of a transport or a refactor lands in a
+diffable artifact.
 """
 
 from __future__ import annotations
@@ -51,7 +54,43 @@ def build_parser() -> argparse.ArgumentParser:
                          help="TCP server worker processes (default: %(default)s)")
     service.add_argument("--store", default=None, metavar="DIR",
                          help="scratch directory (default: a temp dir)")
+    scan = sub.add_parser(
+        "scan", help="columnar scan() vs row-loop and fetch_many folds"
+    )
+    scan.add_argument(
+        "--out", default="BENCH_scan.json", metavar="PATH",
+        help="where to write the repro.bench/v1 report (default: %(default)s)",
+    )
+    scan.add_argument("--rows", type=int, default=10_000,
+                      help="embedded store size (default: %(default)s)")
+    scan.add_argument("--tcp-rows", type=int, default=512,
+                      help="TCP value-identity store size (default: %(default)s)")
+    scan.add_argument("--shards", type=int, default=4,
+                      help="TCP server shards (default: %(default)s)")
+    scan.add_argument("--worker-processes", type=int, default=2,
+                      help="TCP server worker processes (default: %(default)s)")
+    scan.add_argument("--store", default=None, metavar="DIR",
+                      help="scratch directory (default: a temp dir)")
     return parser
+
+
+def _print_scan_summary(report: dict) -> None:
+    print(f"repro-bench scan ({report['schema']})")
+    timings = report["timings"]
+    for strategy in ("row_loop_fold", "fetch_many_fold", "scan"):
+        row = timings[strategy]
+        extra = f"  ({row['source']})" if "source" in row else ""
+        print(f"  {strategy:<16} {row['seconds'] * 1000:10.1f} ms{extra}")
+    speedup = report["speedup"]
+    print(
+        f"  scan speedup: {speedup['scan_vs_row_loop']}x vs row loop, "
+        f"{speedup['scan_vs_fetch_many']}x vs fetch_many fold"
+    )
+    identical = report["value_identical"]
+    print(
+        f"  value identical to fold: embedded={identical['embedded']}, "
+        f"tcp={identical['tcp']}"
+    )
 
 
 def _print_summary(report: dict) -> None:
@@ -83,24 +122,37 @@ def _print_summary(report: dict) -> None:
 def main(argv: Sequence[str] | None = None) -> int:
     """Console entry point."""
     args = build_parser().parse_args(list(sys.argv[1:] if argv is None else argv))
-    for name in ("objects", "reads", "batch"):
-        if getattr(args, name) < 1:
-            print(f"error: --{name} must be >= 1", file=sys.stderr)
-            return 2
-    try:
-        if args.store is not None:
-            report = run_service_bench(
-                args.store, objects=args.objects, reads=args.reads,
+    if args.bench == "service":
+        knobs, summarize = ("objects", "reads", "batch"), _print_summary
+
+        def runner(scratch: str) -> dict:
+            return run_service_bench(
+                scratch, objects=args.objects, reads=args.reads,
                 batch=args.batch, shards=args.shards,
                 worker_processes=args.worker_processes,
             )
+    else:
+        from repro.bench.scan_bench import run_scan_bench
+
+        knobs, summarize = ("rows", "tcp_rows"), _print_scan_summary
+
+        def runner(scratch: str) -> dict:
+            return run_scan_bench(
+                scratch, rows=args.rows, tcp_rows=args.tcp_rows,
+                shards=args.shards,
+                worker_processes=args.worker_processes,
+            )
+    for name in knobs:
+        if getattr(args, name) < 1:
+            print(f"error: --{name.replace('_', '-')} must be >= 1",
+                  file=sys.stderr)
+            return 2
+    try:
+        if args.store is not None:
+            report = runner(args.store)
         else:
             with tempfile.TemporaryDirectory(prefix="repro-bench-") as scratch:
-                report = run_service_bench(
-                    scratch, objects=args.objects, reads=args.reads,
-                    batch=args.batch, shards=args.shards,
-                    worker_processes=args.worker_processes,
-                )
+                report = runner(scratch)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
@@ -111,7 +163,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     except OSError as exc:
         print(f"error: cannot write {args.out}: {exc}", file=sys.stderr)
         return 1
-    _print_summary(report)
+    summarize(report)
     print(f"report written to {args.out}")
     return 0
 

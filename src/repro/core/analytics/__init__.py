@@ -1,0 +1,41 @@
+"""Fleet-scale knowledge-base analytics (ROADMAP item 2).
+
+Reproduces the "Treasure Trove of Performance" IO500 analyses over the
+repro knowledge base: per-sub-benchmark percentile/CDF distributions,
+cross-metric correlation matrices, scoring-balance analysis and outlier
+mining — all fed by the columnar paths
+(:meth:`~repro.core.persistence.repository.KnowledgeRepository.scan`,
+:meth:`~repro.core.persistence.io500_repo.IO500Repository.fetch_score_columns`)
+so a 100k-run store is analysed without materialising 100k objects.
+"""
+
+from repro.core.analytics.correlation import (
+    correlation_matrix,
+    io500_correlations,
+    scoring_balance,
+)
+from repro.core.analytics.distributions import (
+    QUANTILES,
+    cdf_table,
+    io500_distributions,
+    metric_distributions,
+    percentile_table,
+)
+from repro.core.analytics.fleet import synthesize_fleet
+from repro.core.analytics.outliers import run_outliers, score_outliers
+from repro.core.analytics.report import analytics_report
+
+__all__ = [
+    "QUANTILES",
+    "percentile_table",
+    "cdf_table",
+    "metric_distributions",
+    "io500_distributions",
+    "correlation_matrix",
+    "io500_correlations",
+    "scoring_balance",
+    "run_outliers",
+    "score_outliers",
+    "analytics_report",
+    "synthesize_fleet",
+]

@@ -1,0 +1,112 @@
+"""Cross-metric correlation and scoring-balance analysis.
+
+The Treasure-Trove paper's two headline observations about the IO500
+corpus: (1) sub-benchmark results correlate strongly within their
+bandwidth/metadata families and weakly across them, and (2) the total
+score's geometric-mean construction lets a bandwidth-heavy system mask
+weak metadata performance (and vice versa).  Both analyses run here
+over the columnar score/testcase feeds.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.core.persistence.io500_repo import IO500Repository
+from repro.util.errors import UsageError
+
+__all__ = ["correlation_matrix", "io500_correlations", "scoring_balance"]
+
+
+def correlation_matrix(
+    series: Mapping[str, Sequence[float]]
+) -> tuple[list[str], np.ndarray]:
+    """Pearson correlation matrix over equal-length named series.
+
+    Constant series (zero variance) would make ``corrcoef`` emit NaN;
+    their off-diagonal entries are defined as 0.0 instead so the matrix
+    stays renderable and mergeable downstream.
+    """
+    names = list(series)
+    if len(names) < 2:
+        raise UsageError("need at least two series to correlate")
+    lengths = {len(series[n]) for n in names}
+    if len(lengths) != 1:
+        raise UsageError(
+            f"series lengths differ: { {n: len(series[n]) for n in names} }"
+        )
+    if lengths == {0}:
+        raise UsageError("cannot correlate empty series")
+    data = np.asarray([list(series[n]) for n in names], dtype=float)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        matrix = np.corrcoef(data)
+    matrix = np.atleast_2d(matrix)
+    constant = data.std(axis=1) == 0
+    for i in np.nonzero(constant)[0]:
+        matrix[i, :] = 0.0
+        matrix[:, i] = 0.0
+        matrix[i, i] = 1.0
+    return names, matrix
+
+
+def io500_correlations(
+    io5: IO500Repository, *, include_geometry: bool = True
+) -> tuple[list[str], np.ndarray]:
+    """Correlation matrix over every IO500 testcase + score series.
+
+    Series are aligned run-by-run on ``IOFH_id``; runs missing a
+    testcase are dropped from all series (pairwise-complete alignment
+    would make the matrix non-positive-semidefinite).
+    """
+    columns = io5.fetch_score_columns()
+    ids = columns["iofh_id"]
+    if len(ids) < 3:
+        raise UsageError("need at least three IO500 runs to correlate")
+    by_testcase = io5.fetch_testcase_columns()
+    complete = [
+        i for i in ids
+        if all(i in values for values in by_testcase.values())
+    ]
+    series: dict[str, list[float]] = {}
+    for name in sorted(by_testcase):
+        series[name] = [by_testcase[name][i] for i in complete]
+    index_of = {iofh_id: pos for pos, iofh_id in enumerate(ids)}
+    rows = [index_of[i] for i in complete]
+    for score in ("score_bw", "score_md", "score_total"):
+        series[score] = [columns[score][r] for r in rows]
+    if include_geometry:
+        series["num_nodes"] = [float(columns["num_nodes"][r]) for r in rows]
+    return correlation_matrix(series)
+
+
+def scoring_balance(io5: IO500Repository) -> dict[str, float]:
+    """How balanced the fleet's bandwidth and metadata scores are.
+
+    Reports the distribution of ``score_bw / score_md`` (the paper's
+    balance ratio: ≫1 means bandwidth-heavy systems dominate), plus the
+    largest relative deviation of ``score_total`` from
+    ``sqrt(score_bw · score_md)`` — a consistency check that submitted
+    totals actually follow the geometric-mean construction.
+    """
+    columns = io5.fetch_score_columns()
+    bw = np.asarray(columns["score_bw"], dtype=float)
+    md = np.asarray(columns["score_md"], dtype=float)
+    total = np.asarray(columns["score_total"], dtype=float)
+    if bw.size == 0:
+        raise UsageError("no IO500 runs to analyse")
+    if (md <= 0).any() or (bw <= 0).any():
+        raise UsageError("IO500 scores must be strictly positive")
+    ratio = bw / md
+    expected = np.sqrt(bw * md)
+    deviation = np.abs(total - expected) / expected
+    return {
+        "runs": float(bw.size),
+        "ratio_mean": float(ratio.mean()),
+        "ratio_median": float(np.median(ratio)),
+        "ratio_p5": float(np.percentile(ratio, 5)),
+        "ratio_p95": float(np.percentile(ratio, 95)),
+        "bw_heavy_fraction": float((ratio > 1.0).mean()),
+        "geomean_max_rel_error": float(deviation.max()),
+    }

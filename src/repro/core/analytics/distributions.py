@@ -1,0 +1,138 @@
+"""Percentile and CDF distributions (Treasure-Trove §"distributions").
+
+Two feeds, one shape:
+
+* :func:`metric_distributions` — IOR/mdtest summary metrics via the
+  columnar :class:`~repro.core.persistence.scan.ScanQuery` pushdown
+  (works identically against an embedded repository, an in-process
+  service or ``knowledge+tcp://``).
+* :func:`io500_distributions` — per-sub-benchmark (ior-easy-write,
+  mdtest-hard-stat, …) exact percentile tables from the IO500 columnar
+  fetch, no run objects materialised.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Protocol, Sequence
+
+import numpy as np
+
+from repro.core.persistence.io500_repo import IO500Repository
+from repro.core.persistence.scan import ScanQuery, ScanResult
+
+__all__ = [
+    "QUANTILES",
+    "percentile_table",
+    "cdf_table",
+    "metric_distributions",
+    "io500_distributions",
+]
+
+#: The quantiles every distribution table reports.
+QUANTILES = (1.0, 5.0, 25.0, 50.0, 75.0, 95.0, 99.0)
+
+
+class _Scannable(Protocol):  # pragma: no cover - typing only
+    def scan(self, query: ScanQuery) -> ScanResult: ...
+
+
+def percentile_table(
+    values: Sequence[float], quantiles: Sequence[float] = QUANTILES
+) -> dict[str, float]:
+    """Exact count/mean/stddev/min/max plus the requested percentiles."""
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        raise ValueError("cannot build a percentile table of an empty series")
+    out = {
+        "count": float(arr.size),
+        "mean": float(arr.mean()),
+        "stddev": float(arr.std(ddof=0)),
+        "min": float(arr.min()),
+        "max": float(arr.max()),
+    }
+    for q, v in zip(quantiles, np.percentile(arr, list(quantiles))):
+        out[f"p{q:g}"] = float(v)
+    return out
+
+
+def cdf_table(
+    values: Sequence[float], points: int = 20
+) -> list[tuple[float, float]]:
+    """An empirical CDF sampled at ``points`` evenly spaced fractions.
+
+    Returns ``(value, fraction)`` pairs: ``fraction`` of observations
+    are ≤ ``value``.  Useful for the explorer's textual CDF plots and
+    for diffing two fleets' distributions.
+    """
+    arr = np.sort(np.asarray(list(values), dtype=float))
+    if arr.size == 0:
+        raise ValueError("cannot build a CDF of an empty series")
+    if points < 2:
+        raise ValueError(f"points must be >= 2, got {points}")
+    fractions = np.linspace(1.0 / points, 1.0, points)
+    ranks = np.minimum(arr.size - 1, (fractions * arr.size).astype(int))
+    return [(float(arr[r]), float(f)) for r, f in zip(ranks, fractions)]
+
+
+def metric_distributions(
+    store: _Scannable,
+    *,
+    metric: str = "bw_mean",
+    group_by: Sequence[str] = ("benchmark", "operation"),
+    benchmark: str | None = None,
+    percentiles: Sequence[float] = QUANTILES,
+) -> ScanResult:
+    """Grouped distribution of one summary metric via the scan pushdown.
+
+    ``store`` is anything exposing ``scan()`` — a
+    :class:`KnowledgeRepository` or a :class:`ServiceClient` — so the
+    same call analyses a local file or a remote fleet store.
+    Percentiles come from the mergeable sketch (~1% relative error);
+    count/mean/stddev/min/max are exact.
+    """
+    query = ScanQuery(
+        metric=metric,
+        benchmark=benchmark,
+        group_by=tuple(group_by),
+        percentiles=tuple(percentiles),
+    )
+    return store.scan(query)
+
+
+def io500_distributions(
+    io5: IO500Repository, quantiles: Sequence[float] = QUANTILES
+) -> dict[str, dict[str, float]]:
+    """Per-sub-benchmark percentile tables over every stored IO500 run.
+
+    One columnar JOIN feeds all the testcase series; an additional
+    three synthetic series cover the run-level scores
+    (``score_total``/``score_bw``/``score_md``).
+    """
+    tables: dict[str, dict[str, float]] = {}
+    by_testcase = io5.fetch_testcase_columns()
+    for name in sorted(by_testcase):
+        tables[name] = percentile_table(
+            list(by_testcase[name].values()), quantiles
+        )
+    columns = io5.fetch_score_columns()
+    for score in ("score_total", "score_bw", "score_md"):
+        if columns[score]:
+            tables[score] = percentile_table(columns[score], quantiles)
+    return tables
+
+
+def distribution_rows(
+    tables: Mapping[str, Mapping[str, float]]
+) -> tuple[list[str], list[list[object]]]:
+    """Flatten percentile tables into (headers, rows) for rendering."""
+    keys: list[str] = []
+    for table in tables.values():
+        for key in table:
+            if key not in keys:
+                keys.append(key)
+    headers = ["series"] + keys
+    rows = [
+        [name] + [table.get(key) for key in keys]
+        for name, table in tables.items()
+    ]
+    return headers, rows

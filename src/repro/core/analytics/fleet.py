@@ -1,0 +1,220 @@
+"""Deterministic synthetic fleets for analytics tests and benchmarks.
+
+The Treasure-Trove analyses only get interesting at fleet scale — many
+systems, varied stripe/RAID configurations, a sprinkling of degraded
+runs.  :func:`synthesize_fleet` manufactures such a fleet from a single
+root seed: every run's noise, filesystem layout and fault draw comes
+from a :func:`repro.util.rng.stream` keyed on the run index, so the
+same seed always yields byte-identical knowledge objects (and therefore
+byte-identical analytics), while different seeds give statistically
+independent fleets.
+"""
+
+from __future__ import annotations
+
+from repro.core.knowledge import (
+    FilesystemInfo,
+    IO500Knowledge,
+    IO500Testcase,
+    Knowledge,
+    KnowledgeResult,
+    KnowledgeSummary,
+)
+from repro.util.rng import stream
+from repro.util.stats import geomean, summarize
+
+__all__ = [
+    "STRIPE_PATTERNS",
+    "RAID_SCHEMES",
+    "IO500_BW_PHASES",
+    "IO500_MD_PHASES",
+    "synthesize_fleet",
+]
+
+#: BeeGFS-style stripe layouts the fleet cycles through.
+STRIPE_PATTERNS = ("4x512K", "8x1M", "16x1M")
+
+#: RAID schemes of the backing storage targets.
+RAID_SCHEMES = ("RAID0", "RAID10", "RAID6")
+
+#: IO500 bandwidth phases (GiB/s) — score_bw is their geometric mean.
+IO500_BW_PHASES = (
+    "ior-easy-write",
+    "ior-hard-write",
+    "ior-easy-read",
+    "ior-hard-read",
+)
+
+#: IO500 metadata phases (kIOPS) — score_md is their geometric mean.
+IO500_MD_PHASES = (
+    "mdtest-easy-write",
+    "mdtest-hard-write",
+    "mdtest-easy-stat",
+    "mdtest-hard-stat",
+    "mdtest-easy-delete",
+    "mdtest-hard-delete",
+    "find",
+)
+
+#: One degraded run per this many healthy ones (the planted outliers
+#: the anomaly miners are expected to recover).
+_FAULT_EVERY = 25
+
+
+def _fleet_geometry(rng) -> tuple[int, int]:
+    nodes = int(2 ** rng.integers(0, 5))  # 1..16
+    tasks_per_node = int(rng.choice((4, 8, 16)))
+    return nodes, nodes * tasks_per_node
+
+
+def _filesystem(rng, index: int) -> FilesystemInfo:
+    return FilesystemInfo(
+        fs_type="beegfs",
+        entry_type="directory",
+        entry_id=f"0-{index:06X}-1",
+        metadata_node=f"meta{int(rng.integers(1, 5)):02d}",
+        stripe_pattern=str(rng.choice(STRIPE_PATTERNS)),
+        chunk_size="512K",
+        num_targets=int(rng.choice((4, 8, 16, 24))),
+        raid_scheme=str(rng.choice(RAID_SCHEMES)),
+        storage_pool="default",
+    )
+
+
+def _system(rng, index: int) -> dict[str, object]:
+    return {
+        "hostname": f"node{int(rng.integers(0, 64)):03d}",
+        "system_name": f"cluster-{index % 4}",
+        "architecture": "x86_64",
+        "processor_cores": int(rng.choice((32, 64, 128))),
+    }
+
+
+def _summary(operation: str, samples, iterations: int) -> KnowledgeSummary:
+    bw = summarize(samples)
+    ops = summarize([s * 8.0 for s in samples])
+    return KnowledgeSummary(
+        operation=operation,
+        api="POSIX",
+        bw_max=bw.maximum,
+        bw_min=bw.minimum,
+        bw_mean=bw.mean,
+        bw_stddev=bw.stddev,
+        ops_max=ops.maximum,
+        ops_min=ops.minimum,
+        ops_mean=ops.mean,
+        ops_stddev=ops.stddev,
+        iterations=iterations,
+        results=[
+            KnowledgeResult(
+                iteration=i, bandwidth_mib=float(s), iops=float(s) * 8.0,
+                total_time_s=1024.0 / max(float(s), 1e-9),
+            )
+            for i, s in enumerate(samples)
+        ],
+    )
+
+
+def _ior_run(root_seed: int, index: int) -> Knowledge:
+    rng = stream(root_seed, "fleet", "ior", index)
+    nodes, tasks = _fleet_geometry(rng)
+    fs = _filesystem(rng, index)
+    # Throughput scales with node count and stripe width, with
+    # log-normal run-to-run noise; every _FAULT_EVERY-th run is
+    # degraded (a planted outlier for the anomaly miners).
+    base = 900.0 * nodes ** 0.8 * (1.0 + 0.05 * fs.num_targets)
+    degraded = index % _FAULT_EVERY == _FAULT_EVERY - 1
+    scale = 0.35 if degraded else 1.0
+    iterations = 3
+    write = base * scale * rng.lognormal(0.0, 0.08, iterations)
+    read = base * scale * 1.15 * rng.lognormal(0.0, 0.06, iterations)
+    benchmark = "ior" if index % 3 else "mdtest"
+    return Knowledge(
+        benchmark,
+        command=f"{benchmark} -a POSIX",
+        api=str(rng.choice(("POSIX", "MPIIO"))),
+        num_nodes=nodes,
+        num_tasks=tasks,
+        tasks_per_node=tasks // nodes,
+        parameters={
+            "fleet_index": index,
+            "stripe_pattern": fs.stripe_pattern,
+            "raid_scheme": fs.raid_scheme,
+            "fault_seed": int(rng.integers(0, 2**31)),
+            "degraded": degraded,
+        },
+        summaries=[
+            _summary("write", [float(v) for v in write], iterations),
+            _summary("read", [float(v) for v in read], iterations),
+        ],
+        filesystem=fs,
+        system=_system(rng, index),
+    )
+
+
+def _io500_run(root_seed: int, index: int) -> IO500Knowledge:
+    rng = stream(root_seed, "fleet", "io500", index)
+    nodes, tasks = _fleet_geometry(rng)
+    degraded = index % _FAULT_EVERY == _FAULT_EVERY - 1
+    scale = 0.3 if degraded else 1.0
+    testcases: list[IO500Testcase] = []
+    bw_values: list[float] = []
+    md_values: list[float] = []
+    for name in IO500_BW_PHASES:
+        hard = 0.25 if "hard" in name else 1.0
+        value = float(
+            2.0 * nodes ** 0.75 * hard * scale * rng.lognormal(0.0, 0.15)
+        )
+        bw_values.append(value)
+        testcases.append(
+            IO500Testcase(
+                name=name, value=value, unit="GiB/s",
+                time_s=float(rng.uniform(280.0, 420.0)),
+                options={"api": "POSIX", "transferSize": "1m"},
+            )
+        )
+    for name in IO500_MD_PHASES:
+        hard = 0.4 if "hard" in name else 1.0
+        value = float(
+            30.0 * nodes ** 0.6 * hard * scale * rng.lognormal(0.0, 0.2)
+        )
+        md_values.append(value)
+        testcases.append(
+            IO500Testcase(
+                name=name, value=value, unit="kIOPS",
+                time_s=float(rng.uniform(280.0, 420.0)),
+                options={"api": "POSIX"},
+            )
+        )
+    score_bw = geomean(bw_values)
+    score_md = geomean(md_values)
+    return IO500Knowledge(
+        score_total=(score_bw * score_md) ** 0.5,
+        score_bw=score_bw,
+        score_md=score_md,
+        num_nodes=nodes,
+        num_tasks=tasks,
+        timestamp=1.7e9 + index * 3600.0,
+        version="io500-sc23",
+        testcases=testcases,
+        system=_system(rng, index),
+    )
+
+
+def synthesize_fleet(
+    root_seed: int, *, runs: int = 120, io500_runs: int | None = None
+) -> tuple[list[Knowledge], list[IO500Knowledge]]:
+    """Manufacture a deterministic synthetic fleet.
+
+    Returns ``runs`` IOR/mdtest knowledge objects (varied node counts,
+    stripe patterns, RAID schemes and APIs, with one degraded run in
+    every 25) and ``io500_runs`` IO500 runs (default ``runs // 2``)
+    whose scores follow the IO500 geometric-mean construction.  Same
+    seed, same fleet — across processes and platforms.
+    """
+    if runs < 0:
+        raise ValueError(f"runs must be >= 0, got {runs}")
+    n_io500 = runs // 2 if io500_runs is None else io500_runs
+    knowledge = [_ior_run(root_seed, i) for i in range(runs)]
+    io500 = [_io500_run(root_seed, i) for i in range(n_io500)]
+    return knowledge, io500

@@ -1,0 +1,70 @@
+"""Outlier mining over the fleet (Treasure-Trove + usage example II).
+
+Two miners:
+
+* :func:`score_outliers` — columnar: z-scores over the IO500 total
+  scores straight from :meth:`fetch_score_columns`, no objects.
+* :func:`run_outliers` — object-level: the existing
+  :class:`~repro.core.usage.anomaly.RunComparisonDetector` over
+  comparable IOR/mdtest runs, fed by the (now batched) ``load_all``.
+  The scan layer narrows *which* runs to materialise; the detector
+  then works at full fidelity on that shortlist.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.knowledge import Knowledge
+from repro.core.persistence.io500_repo import IO500Repository
+from repro.core.usage.anomaly import RunComparisonDetector
+from repro.util.stats import zscores
+
+__all__ = ["score_outliers", "run_outliers"]
+
+
+def score_outliers(
+    io5: IO500Repository, *, threshold_z: float = 2.0
+) -> list[tuple[int, float, float]]:
+    """IO500 runs whose total score is anomalously low for the fleet.
+
+    Returns ``(iofh_id, score_total, z)`` triples with ``z`` below
+    ``-threshold_z``, most anomalous first.
+    """
+    columns = io5.fetch_score_columns()
+    totals = columns["score_total"]
+    if not totals:
+        return []
+    z = zscores(totals)
+    flagged = [
+        (int(iofh_id), float(total), float(score))
+        for iofh_id, total, score in zip(columns["iofh_id"], totals, z)
+        if score < -threshold_z
+    ]
+    return sorted(flagged, key=lambda item: item[2])
+
+
+def run_outliers(
+    runs: Sequence[Knowledge],
+    *,
+    operation: str = "write",
+    threshold_z: float = 2.0,
+) -> list[tuple[Knowledge, float]]:
+    """Anomalously slow runs among comparable knowledge objects.
+
+    Filters to runs that actually report ``operation`` (the detector
+    requires it), then delegates to :class:`RunComparisonDetector`.
+    Returns ``(run, z)`` pairs, most anomalous first; an empty list
+    when fewer than three comparable runs exist.
+    """
+    comparable = [
+        k for k in runs
+        if any(s.operation == operation for s in k.summaries)
+    ]
+    if len(comparable) < 3:
+        return []
+    detector = RunComparisonDetector(threshold_z=threshold_z)
+    return sorted(
+        detector.detect(comparable, operation=operation),
+        key=lambda pair: pair[1],
+    )

@@ -1,0 +1,153 @@
+"""The ``repro-explore --analytics`` text report.
+
+One screenful per analysis family: grouped metric distributions (via
+the scan pushdown), run outliers, and — when an IO500 repository is
+available (embedded mode; the TCP service serves IOR-style knowledge
+only) — per-sub-benchmark percentile tables, the cross-metric
+correlation matrix, scoring balance and score outliers.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, Sequence
+
+from repro.core.analytics.correlation import io500_correlations, scoring_balance
+from repro.core.analytics.distributions import (
+    QUANTILES,
+    distribution_rows,
+    io500_distributions,
+    metric_distributions,
+)
+from repro.core.analytics.outliers import run_outliers, score_outliers
+from repro.core.knowledge import Knowledge
+from repro.core.persistence.io500_repo import IO500Repository
+from repro.core.persistence.scan import ScanQuery, ScanResult
+from repro.util.errors import UsageError
+from repro.util.tables import render_kv, render_table
+
+__all__ = ["analytics_report"]
+
+_REPORT_QUANTILES = (5.0, 25.0, 50.0, 75.0, 95.0)
+
+
+class _KnowledgeStore(Protocol):  # pragma: no cover - typing only
+    def scan(self, query: ScanQuery) -> ScanResult: ...
+
+    def load_all(self, benchmark: str | None = None) -> list[Knowledge]: ...
+
+    def count(self, benchmark: str | None = None) -> int: ...
+
+
+def _distribution_section(store: _KnowledgeStore, metric: str) -> list[str]:
+    result = metric_distributions(
+        store,
+        metric=metric,
+        group_by=("benchmark", "operation"),
+        percentiles=_REPORT_QUANTILES,
+    )
+    if not result.rows:
+        return [f"  ({metric}: no knowledge objects)"]
+    value_keys = ["count", "mean", "stddev"] + [
+        f"p{q:g}" for q in _REPORT_QUANTILES
+    ]
+    headers = ["benchmark", "operation"] + value_keys
+    rows = [
+        [row.group["benchmark"], row.group["operation"]]
+        + [row.values[key] for key in value_keys]
+        for row in result.rows
+    ]
+    return [
+        f"  {metric} by benchmark/operation (source: {result.source})",
+        render_table(headers, rows, indent="  "),
+    ]
+
+
+def _outlier_section(store: _KnowledgeStore, threshold_z: float) -> list[str]:
+    # Compare like with like: a degraded 16-node run is not an outlier
+    # against 1-node runs, so the detector runs per (benchmark, nodes)
+    # cohort — the scan layer's group-by semantics, applied to mining.
+    lines: list[str] = []
+    cohorts: dict[tuple[str, int], list[Knowledge]] = {}
+    for knowledge in store.load_all():
+        cohorts.setdefault(
+            (knowledge.benchmark, knowledge.num_nodes), []
+        ).append(knowledge)
+    for (benchmark, nodes), runs in sorted(cohorts.items()):
+        for operation in ("write", "read"):
+            flagged = run_outliers(
+                runs, operation=operation, threshold_z=threshold_z
+            )
+            for knowledge, z in flagged[:5]:
+                lines.append(
+                    f"  {operation}: id {knowledge.knowledge_id} "
+                    f"({benchmark}, {nodes} node(s)) "
+                    f"bw_mean {knowledge.summary(operation).bw_mean:.1f} "
+                    f"MiB/s, z = {z:.2f}"
+                )
+    if not lines:
+        lines.append(f"  (no runs below z = -{threshold_z:g})")
+    return lines
+
+
+def _io500_sections(io5: IO500Repository, threshold_z: float) -> list[str]:
+    lines = ["", "IO500 sub-benchmark distributions"]
+    tables = io500_distributions(io5, QUANTILES)
+    headers, rows = distribution_rows(tables)
+    lines.append(render_table(headers, rows, indent="  "))
+    lines.append("")
+    lines.append("IO500 cross-metric correlation")
+    try:
+        names, matrix = io500_correlations(io5)
+    except UsageError as exc:
+        lines.append(f"  ({exc})")
+    else:
+        corr_rows = [
+            [name] + [float(matrix[i, j]) for j in range(len(names))]
+            for i, name in enumerate(names)
+        ]
+        lines.append(
+            render_table(["series"] + names, corr_rows, indent="  ")
+        )
+    lines.append("")
+    lines.append("IO500 scoring balance")
+    lines.append(render_kv(scoring_balance(io5), indent="  "))
+    lines.append("")
+    lines.append(f"IO500 score outliers (z < -{threshold_z:g})")
+    flagged = score_outliers(io5, threshold_z=threshold_z)
+    if flagged:
+        for iofh_id, total, z in flagged[:10]:
+            lines.append(
+                f"  run {iofh_id}: score_total {total:.3f}, z = {z:.2f}"
+            )
+    else:
+        lines.append("  (none)")
+    return lines
+
+
+def analytics_report(
+    store: _KnowledgeStore,
+    io5: IO500Repository | None = None,
+    *,
+    metrics: Sequence[str] = ("bw_mean", "ops_mean"),
+    threshold_z: float = 2.0,
+) -> str:
+    """Render the full fleet-analytics report as monospace text.
+
+    ``store`` is a :class:`KnowledgeRepository` or a
+    :class:`~repro.core.service.client.ServiceClient` — the
+    distribution section runs entirely over the scan pushdown either
+    way.  ``io5`` adds the IO500 sections (embedded mode only).
+    """
+    lines = [f"Fleet analytics ({store.count()} knowledge object(s))", ""]
+    lines.append("Metric distributions")
+    if store.count() == 0:
+        lines.append("  (empty store)")
+    else:
+        for metric in metrics:
+            lines.extend(_distribution_section(store, metric))
+        lines.append("")
+        lines.append(f"Run outliers (z < -{threshold_z:g})")
+        lines.extend(_outlier_section(store, threshold_z))
+    if io5 is not None and io5.list_ids():
+        lines.extend(_io500_sections(io5, threshold_z))
+    return "\n".join(lines)

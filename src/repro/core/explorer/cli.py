@@ -8,6 +8,7 @@ Usage::
     repro-explore knowledge.db --diff 1 2
     repro-explore knowledge.db --view 3 --chart /tmp/run3.svg
     repro-explore --metrics metrics.json
+    repro-explore knowledge.db --analytics
     repro-explore 'knowledge+service:///var/lib/repro/store' --list
     repro-explore /var/lib/repro/store --service --view 2048
     repro-explore 'knowledge+tcp://db-node:9477/' --list
@@ -69,6 +70,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--service", action="store_true",
         help="treat DATABASE as a sharded knowledge-service store "
              "(implied by knowledge+service:// URLs)",
+    )
+    parser.add_argument(
+        "--analytics", action="store_true",
+        help="fleet analytics report: percentile distributions, "
+             "correlations, scoring balance and outliers (runs over the "
+             "columnar scan API, local or via knowledge+tcp://)",
     )
     return parser
 
@@ -137,6 +144,14 @@ def _explore(args, repo, io5) -> int:
     service mode (IO500 knowledge is not served by the service yet).
     """
     spec = None
+    if args.analytics:
+        from repro.core.analytics import analytics_report
+
+        # The distribution tables run over the scan pushdown either
+        # way; IO500 sections need the embedded repositories (io5 is
+        # None through the service).
+        print(analytics_report(repo, io5))
+        return 0
     if args.view is not None:
         knowledge = repo.load(args.view)
         print(KnowledgeViewer().render(knowledge))

@@ -11,6 +11,13 @@ from repro.core.persistence.database import KnowledgeDatabase, resolve_database_
 from repro.core.persistence.io500_repo import IO500Repository
 from repro.core.persistence.queries import KnowledgeQueries, SummaryRow
 from repro.core.persistence.repository import KnowledgeRepository
+from repro.core.persistence.scan import (
+    PercentileSketch,
+    ScanQuery,
+    ScanResult,
+    ScanRow,
+    fold_scan,
+)
 from repro.core.persistence.schema import SCHEMA_VERSION, TABLES, create_schema
 from repro.core.persistence.transfer import (
     export_csv,
@@ -31,6 +38,11 @@ __all__ = [
     "IO500Repository",
     "KnowledgeQueries",
     "SummaryRow",
+    "ScanQuery",
+    "ScanResult",
+    "ScanRow",
+    "PercentileSketch",
+    "fold_scan",
     "create_schema",
     "SCHEMA_VERSION",
     "TABLES",

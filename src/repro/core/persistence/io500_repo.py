@@ -14,6 +14,7 @@ from typing import Sequence
 
 from repro.core.knowledge import IO500Knowledge, IO500Testcase
 from repro.core.persistence.backend import PersistenceBackend
+from repro.core.persistence.scan import chunked
 from repro.util.errors import PersistenceError
 
 __all__ = ["IO500Repository"]
@@ -148,9 +149,149 @@ class IO500Repository:
         rows = self.db.execute("SELECT id FROM IOFHsRuns ORDER BY id").fetchall()
         return [int(r["id"]) for r in rows]
 
+    def fetch_many(self, ids: Sequence[int]) -> list[IO500Knowledge]:
+        """Load several IO500 runs with chunked multi-row queries.
+
+        The batched sibling of :meth:`load`: runs, scores, testcases,
+        options, results and system rows for all requested ids come
+        back in six ``WHERE … IN`` queries per id chunk instead of
+        ``load``'s 3 + 2·testcases round-trips per run.  Input order is
+        preserved; a missing id raises :class:`PersistenceError`.
+        """
+        unique = list(dict.fromkeys(int(i) for i in ids))
+        if not unique:
+            return []
+        by_id: dict[int, IO500Knowledge] = {}
+        for batch in chunked(unique):
+            marks = ", ".join("?" for _ in batch)
+            runs = {
+                int(r["id"]): r
+                for r in self.db.execute(
+                    f"SELECT * FROM IOFHsRuns WHERE id IN ({marks})", tuple(batch)
+                ).fetchall()
+            }
+            missing = [i for i in batch if i not in runs]
+            if missing:
+                raise PersistenceError(
+                    f"no IO500 run(s) with IOFH id(s) {missing}"
+                )
+            scores = {
+                int(r["IOFH_id"]): r
+                for r in self.db.execute(
+                    f"SELECT * FROM IOFHsScores WHERE IOFH_id IN ({marks})",
+                    tuple(batch),
+                ).fetchall()
+            }
+            unscored = [i for i in batch if i not in scores]
+            if unscored:
+                raise PersistenceError(
+                    f"IO500 run {unscored[0]} has no score row"
+                )
+            for iofh_id in batch:
+                run, score = runs[iofh_id], scores[iofh_id]
+                by_id[iofh_id] = IO500Knowledge(
+                    score_total=score["score_total"],
+                    score_bw=score["score_bw"],
+                    score_md=score["score_md"],
+                    num_nodes=run["num_nodes"],
+                    num_tasks=run["num_tasks"],
+                    timestamp=run["timestamp"],
+                    version=run["version"],
+                    iofh_id=iofh_id,
+                )
+            options_by_tc: dict[int, dict[str, str]] = {}
+            for r in self.db.execute(
+                "SELECT o.* FROM IOFHsOptions o "
+                "JOIN IOFHsTestcases t ON t.id = o.testcase_id "
+                f"WHERE t.IOFH_id IN ({marks}) ORDER BY o.key",
+                tuple(batch),
+            ).fetchall():
+                options_by_tc.setdefault(int(r["testcase_id"]), {})[r["key"]] = (
+                    r["value"]
+                )
+            results_by_tc = {
+                int(r["testcase_id"]): r
+                for r in self.db.execute(
+                    "SELECT r.* FROM IOFHsResults r "
+                    "JOIN IOFHsTestcases t ON t.id = r.testcase_id "
+                    f"WHERE t.IOFH_id IN ({marks})",
+                    tuple(batch),
+                ).fetchall()
+            }
+            for tc in self.db.execute(
+                f"SELECT * FROM IOFHsTestcases WHERE IOFH_id IN ({marks}) ORDER BY id",
+                tuple(batch),
+            ).fetchall():
+                result = results_by_tc.get(int(tc["id"]))
+                by_id[int(tc["IOFH_id"])].testcases.append(
+                    IO500Testcase(
+                        name=tc["name"],
+                        value=result["value"] if result else 0.0,
+                        unit=result["unit"] if result else "",
+                        time_s=result["time_s"] if result else 0.0,
+                        options=options_by_tc.get(int(tc["id"]), {}),
+                    )
+                )
+            for sysrow in self.db.execute(
+                f"SELECT * FROM systems WHERE IOFH_id IN ({marks})", tuple(batch)
+            ).fetchall():
+                by_id[int(sysrow["IOFH_id"])].system = {
+                    "hostname": sysrow["hostname"],
+                    "system_name": sysrow["system_name"],
+                    "processor_model": sysrow["processor_model"],
+                    "architecture": sysrow["architecture"],
+                    "processor_cores": sysrow["processor_cores"],
+                    "processor_mhz": sysrow["processor_mhz"],
+                    "cache_size_bytes": sysrow["cache_bytes"],
+                    "memory_bytes": sysrow["memory_bytes"],
+                }
+        return [by_id[int(i)] for i in ids]
+
     def load_all(self) -> list[IO500Knowledge]:
-        """Load every stored IO500 run."""
-        return [self.load(i) for i in self.list_ids()]
+        """Load every stored IO500 run (batched, not per-row)."""
+        return self.fetch_many(self.list_ids())
+
+    def fetch_score_columns(self) -> dict[str, list]:
+        """Every run's scores as aligned columns (one JOIN, no objects).
+
+        The columnar feed for fleet analytics: correlation matrices and
+        scoring-balance analysis need whole-column vectors, not 100k
+        :class:`IO500Knowledge` objects.
+        """
+        columns: dict[str, list] = {
+            "iofh_id": [], "timestamp": [], "num_nodes": [], "num_tasks": [],
+            "score_total": [], "score_bw": [], "score_md": [],
+        }
+        for row in self.db.execute(
+            "SELECT r.id, r.timestamp, r.num_nodes, r.num_tasks, "
+            "s.score_total, s.score_bw, s.score_md "
+            "FROM IOFHsRuns r JOIN IOFHsScores s ON s.IOFH_id = r.id "
+            "ORDER BY r.id"
+        ).fetchall():
+            columns["iofh_id"].append(int(row["id"]))
+            columns["timestamp"].append(float(row["timestamp"]))
+            columns["num_nodes"].append(int(row["num_nodes"]))
+            columns["num_tasks"].append(int(row["num_tasks"]))
+            columns["score_total"].append(float(row["score_total"]))
+            columns["score_bw"].append(float(row["score_bw"]))
+            columns["score_md"].append(float(row["score_md"]))
+        return columns
+
+    def fetch_testcase_columns(self) -> dict[str, dict[int, float]]:
+        """Per-testcase result values, keyed ``name -> {iofh_id: value}``.
+
+        One JOIN over testcases⋈results feeds every per-sub-benchmark
+        distribution (ior-easy-write, mdtest-hard-stat, …) without
+        materialising run objects.
+        """
+        out: dict[str, dict[int, float]] = {}
+        for row in self.db.execute(
+            "SELECT t.IOFH_id, t.name, r.value "
+            "FROM IOFHsTestcases t JOIN IOFHsResults r ON r.testcase_id = t.id "
+            "ORDER BY t.IOFH_id, t.id"
+        ).fetchall():
+            out.setdefault(row["name"], {})[int(row["IOFH_id"])] = float(row["value"])
+        return out
 
     def delete(self, iofh_id: int) -> None:
         """Delete one IO500 run and its dependent rows."""

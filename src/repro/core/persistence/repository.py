@@ -18,10 +18,35 @@ from repro.core.knowledge import (
     KnowledgeResult,
     KnowledgeSummary,
 )
+from repro.core.persistence import schema
 from repro.core.persistence.backend import PersistenceBackend
+from repro.core.persistence.scan import (
+    GROUP_COLUMNS,
+    METRIC_COLUMNS,
+    AggregateState,
+    PercentileSketch,
+    ScanQuery,
+    ScanResult,
+    chunked,
+    escape_like,
+    finalize_partials,
+    group_key,
+)
 from repro.util.errors import PersistenceError
 
 __all__ = ["KnowledgeRepository"]
+
+_AGG_UPSERT = """
+    INSERT INTO agg_summaries
+        (benchmark, api, operation, metric, n, total, total_sq, vmin, vmax)
+    VALUES (?, ?, ?, ?, 1, ?, ?, ?, ?)
+    ON CONFLICT (benchmark, api, operation, metric) DO UPDATE SET
+        n = n + 1,
+        total = total + excluded.total,
+        total_sq = total_sq + excluded.total_sq,
+        vmin = MIN(vmin, excluded.vmin),
+        vmax = MAX(vmax, excluded.vmax)
+"""
 
 
 class KnowledgeRepository:
@@ -69,6 +94,7 @@ class KnowledgeRepository:
             self._save_filesystem(perf_id, knowledge.filesystem)
         if knowledge.system is not None:
             self._save_system(perf_id, knowledge.system)
+        self._record_agg(knowledge)
         self.db.commit()
         knowledge.knowledge_id = perf_id
         return perf_id
@@ -152,6 +178,34 @@ class KnowledgeRepository:
                 fs.storage_pool,
             ),
         )
+
+    def _record_agg(self, knowledge: Knowledge) -> None:
+        """Fold one knowledge object into the pre-aggregated summaries.
+
+        Runs inside the same transaction as :meth:`save`, so the agg
+        table can never drift from the base tables — and because the
+        upsert is one plain SQL statement, a degraded
+        :class:`ResilientBackend` buffers and replays it in write order
+        like any other ingest statement.
+        """
+        rows = []
+        for s in knowledge.summaries:
+            for metric in schema.AGG_METRICS:
+                value = float(getattr(s, metric))
+                rows.append(
+                    (
+                        knowledge.benchmark,
+                        knowledge.api,
+                        s.operation,
+                        metric,
+                        value,
+                        value * value,
+                        value,
+                        value,
+                    )
+                )
+        if rows:
+            self.db.executemany(_AGG_UPSERT, rows)
 
     def _save_system(self, perf_id: int, system: dict[str, object]) -> None:
         self.db.execute(
@@ -302,100 +356,110 @@ class KnowledgeRepository:
         24-run sweep that way is ~100 round-trips through the backend.
         Here the performances, summaries, results, filesystems and
         systems rows for *all* requested ids are fetched in five
-        ``WHERE … IN`` queries and assembled in Python.  Input order is
-        preserved; a missing id raises :class:`PersistenceError`.
+        ``WHERE … IN`` queries per id chunk and assembled in Python.
+        Id lists are chunked (:data:`~repro.core.persistence.scan.SQL_VARIABLE_CHUNK`
+        ids per query) so fleet-scale fetches stay under SQLite's
+        host-variable limit instead of dying with ``too many SQL
+        variables``.  Input order is preserved; a missing id raises
+        :class:`PersistenceError`.
         """
         unique = list(dict.fromkeys(int(i) for i in ids))
         if not unique:
             return []
-        marks = ", ".join("?" for _ in unique)
         by_id: dict[int, Knowledge] = {}
-        for row in self.db.execute(
-            f"SELECT * FROM performances WHERE id IN ({marks})", tuple(unique)
-        ).fetchall():
-            knowledge_id = int(row["id"])
-            by_id[knowledge_id] = Knowledge(
-                benchmark=row["benchmark"],
-                command=row["command"],
-                api=row["api"],
-                test_file=row["testFileName"],
-                file_per_proc=bool(row["filePerProc"]),
-                num_nodes=row["num_nodes"],
-                num_tasks=row["num_tasks"],
-                tasks_per_node=row["tasks_per_node"],
-                start_time=row["start_time"],
-                end_time=row["end_time"],
-                parameters=json.loads(row["parameters_json"]),
-                knowledge_id=knowledge_id,
-            )
+        for batch in chunked(unique):
+            marks = ", ".join("?" for _ in batch)
+            for row in self.db.execute(
+                f"SELECT * FROM performances WHERE id IN ({marks})", tuple(batch)
+            ).fetchall():
+                knowledge_id = int(row["id"])
+                by_id[knowledge_id] = Knowledge(
+                    benchmark=row["benchmark"],
+                    command=row["command"],
+                    api=row["api"],
+                    test_file=row["testFileName"],
+                    file_per_proc=bool(row["filePerProc"]),
+                    num_nodes=row["num_nodes"],
+                    num_tasks=row["num_tasks"],
+                    tasks_per_node=row["tasks_per_node"],
+                    start_time=row["start_time"],
+                    end_time=row["end_time"],
+                    parameters=json.loads(row["parameters_json"]),
+                    knowledge_id=knowledge_id,
+                )
         missing = [i for i in unique if i not in by_id]
         if missing:
             raise PersistenceError(f"no knowledge object(s) with id(s) {missing}")
-        results_by_summary: dict[int, list[KnowledgeResult]] = {}
-        for r in self.db.execute(
-            f"SELECT r.* FROM results r JOIN summaries s ON s.id = r.summaries_id "
-            f"WHERE s.performance_id IN ({marks}) ORDER BY r.summaries_id, r.iteration",
-            tuple(unique),
-        ).fetchall():
-            results_by_summary.setdefault(int(r["summaries_id"]), []).append(
-                KnowledgeResult(
-                    iteration=r["iteration"],
-                    bandwidth_mib=r["bandwidth"],
-                    iops=r["ops"],
-                    latency_s=r["latency"],
-                    open_time_s=r["openTime"],
-                    wrrd_time_s=r["wrRdTime"],
-                    close_time_s=r["closeTime"],
-                    total_time_s=r["totalTime"],
+        for batch in chunked(unique):
+            marks = ", ".join("?" for _ in batch)
+            results_by_summary: dict[int, list[KnowledgeResult]] = {}
+            for r in self.db.execute(
+                f"SELECT r.* FROM results r JOIN summaries s ON s.id = r.summaries_id "
+                f"WHERE s.performance_id IN ({marks}) "
+                f"ORDER BY r.summaries_id, r.iteration",
+                tuple(batch),
+            ).fetchall():
+                results_by_summary.setdefault(int(r["summaries_id"]), []).append(
+                    KnowledgeResult(
+                        iteration=r["iteration"],
+                        bandwidth_mib=r["bandwidth"],
+                        iops=r["ops"],
+                        latency_s=r["latency"],
+                        open_time_s=r["openTime"],
+                        wrrd_time_s=r["wrRdTime"],
+                        close_time_s=r["closeTime"],
+                        total_time_s=r["totalTime"],
+                    )
                 )
-            )
-        for srow in self.db.execute(
-            f"SELECT * FROM summaries WHERE performance_id IN ({marks}) ORDER BY id",
-            tuple(unique),
-        ).fetchall():
-            by_id[int(srow["performance_id"])].summaries.append(
-                KnowledgeSummary(
-                    operation=srow["operation"],
-                    api=srow["api"],
-                    bw_max=srow["bw_max"],
-                    bw_min=srow["bw_min"],
-                    bw_mean=srow["bw_mean"],
-                    bw_stddev=srow["bw_stddev"],
-                    ops_max=srow["ops_max"],
-                    ops_min=srow["ops_min"],
-                    ops_mean=srow["ops_mean"],
-                    ops_stddev=srow["ops_stddev"],
-                    iterations=srow["iterations"],
-                    results=results_by_summary.get(int(srow["id"]), []),
+            for srow in self.db.execute(
+                f"SELECT * FROM summaries WHERE performance_id IN ({marks}) ORDER BY id",
+                tuple(batch),
+            ).fetchall():
+                by_id[int(srow["performance_id"])].summaries.append(
+                    KnowledgeSummary(
+                        operation=srow["operation"],
+                        api=srow["api"],
+                        bw_max=srow["bw_max"],
+                        bw_min=srow["bw_min"],
+                        bw_mean=srow["bw_mean"],
+                        bw_stddev=srow["bw_stddev"],
+                        ops_max=srow["ops_max"],
+                        ops_min=srow["ops_min"],
+                        ops_mean=srow["ops_mean"],
+                        ops_stddev=srow["ops_stddev"],
+                        iterations=srow["iterations"],
+                        results=results_by_summary.get(int(srow["id"]), []),
+                    )
                 )
-            )
-        for fsrow in self.db.execute(
-            f"SELECT * FROM filesystems WHERE performance_id IN ({marks})", tuple(unique)
-        ).fetchall():
-            by_id[int(fsrow["performance_id"])].filesystem = FilesystemInfo(
-                fs_type=fsrow["fs_type"],
-                entry_type=fsrow["entry_type"],
-                entry_id=fsrow["entry_id"],
-                metadata_node=fsrow["metadata_node"],
-                stripe_pattern=fsrow["stripe_pattern"],
-                chunk_size=fsrow["chunk_size"],
-                num_targets=fsrow["num_targets"],
-                raid_scheme=fsrow["raid_scheme"],
-                storage_pool=fsrow["storage_pool"],
-            )
-        for sysrow in self.db.execute(
-            f"SELECT * FROM systems WHERE performance_id IN ({marks})", tuple(unique)
-        ).fetchall():
-            by_id[int(sysrow["performance_id"])].system = {
-                "hostname": sysrow["hostname"],
-                "system_name": sysrow["system_name"],
-                "processor_model": sysrow["processor_model"],
-                "architecture": sysrow["architecture"],
-                "processor_cores": sysrow["processor_cores"],
-                "processor_mhz": sysrow["processor_mhz"],
-                "cache_size_bytes": sysrow["cache_bytes"],
-                "memory_bytes": sysrow["memory_bytes"],
-            }
+            for fsrow in self.db.execute(
+                f"SELECT * FROM filesystems WHERE performance_id IN ({marks})",
+                tuple(batch),
+            ).fetchall():
+                by_id[int(fsrow["performance_id"])].filesystem = FilesystemInfo(
+                    fs_type=fsrow["fs_type"],
+                    entry_type=fsrow["entry_type"],
+                    entry_id=fsrow["entry_id"],
+                    metadata_node=fsrow["metadata_node"],
+                    stripe_pattern=fsrow["stripe_pattern"],
+                    chunk_size=fsrow["chunk_size"],
+                    num_targets=fsrow["num_targets"],
+                    raid_scheme=fsrow["raid_scheme"],
+                    storage_pool=fsrow["storage_pool"],
+                )
+            for sysrow in self.db.execute(
+                f"SELECT * FROM systems WHERE performance_id IN ({marks})",
+                tuple(batch),
+            ).fetchall():
+                by_id[int(sysrow["performance_id"])].system = {
+                    "hostname": sysrow["hostname"],
+                    "system_name": sysrow["system_name"],
+                    "processor_model": sysrow["processor_model"],
+                    "architecture": sysrow["architecture"],
+                    "processor_cores": sysrow["processor_cores"],
+                    "processor_mhz": sysrow["processor_mhz"],
+                    "cache_size_bytes": sysrow["cache_bytes"],
+                    "memory_bytes": sysrow["memory_bytes"],
+                }
         return [by_id[int(i)] for i in ids]
 
     def find_ids_by_parameter(self, key: str, value: str) -> list[int]:
@@ -406,11 +470,17 @@ class KnowledgeRepository:
         ``"key": "value"`` pair prefilters candidates cheaply; each hit
         is then verified against the decoded dict, which removes any
         substring false positive.
+
+        The serialised pair is LIKE-escaped before the wildcards are
+        wrapped around it, so values containing ``%``/``_`` (e.g. a
+        utilisation of ``"100%"``) keep the prefilter selective instead
+        of degrading it to a near-full scan.
         """
-        needle = f"%{json.dumps(key)}: {json.dumps(value)}%"
+        fragment = f"{json.dumps(key)}: {json.dumps(value)}"
+        needle = f"%{escape_like(fragment)}%"
         rows = self.db.execute(
             "SELECT id, parameters_json FROM performances "
-            "WHERE parameters_json LIKE ? ORDER BY id",
+            "WHERE parameters_json LIKE ? ESCAPE '\\' ORDER BY id",
             (needle,),
         ).fetchall()
         return [
@@ -420,12 +490,198 @@ class KnowledgeRepository:
         ]
 
     def load_all(self, benchmark: str | None = None) -> list[Knowledge]:
-        """Load every stored knowledge object."""
-        return [self.load(i) for i in self.list_ids(benchmark)]
+        """Load every stored knowledge object (batched, not per-row)."""
+        return self.fetch_many(self.list_ids(benchmark))
+
+    # ------------------------------------------------------------------
+    # columnar scan
+    # ------------------------------------------------------------------
+    def scan(self, query: ScanQuery) -> ScanResult:
+        """Evaluate a columnar aggregate query entirely down in SQL.
+
+        No :class:`Knowledge` objects are materialised: filters,
+        group-bys and the five mergeable aggregates are pushed into one
+        ``GROUP BY`` over ``summaries ⋈ performances`` (plus a
+        values-only pass when percentile sketches are requested).
+        Queries the pre-aggregated ``agg_summaries`` table can answer —
+        no range/parameter filters, no percentiles, grouping only by
+        benchmark/api/operation — never touch the base tables at all.
+        """
+        source = "summary-table" if self._agg_eligible(query) else "base-tables"
+        return finalize_partials(query, self.scan_partial(query), source=source)
+
+    def scan_partial(self, query: ScanQuery) -> dict[str, object]:
+        """Evaluate ``query`` into mergeable partial aggregate states.
+
+        This is the per-shard half of a distributed scan: the returned
+        mapping (canonical group key → JSON-safe
+        :class:`AggregateState` payload) can be merged with any other
+        shard's partials via
+        :func:`~repro.core.persistence.scan.merge_partial_payloads`.
+        """
+        if self._agg_eligible(query):
+            return self._scan_partial_from_agg(query)
+        return self._scan_partial_from_base(query)
+
+    @staticmethod
+    def _agg_eligible(query: ScanQuery) -> bool:
+        """Whether ``agg_summaries`` alone can answer this query."""
+        return (
+            not query.percentiles
+            and query.parameter is None
+            and query.num_nodes_min is None
+            and query.num_nodes_max is None
+            and query.num_tasks_min is None
+            and query.num_tasks_max is None
+            and set(query.group_by) <= {"benchmark", "api", "operation"}
+        )
+
+    def _scan_partial_from_agg(self, query: ScanQuery) -> dict[str, object]:
+        """Answer from the pre-aggregated rows (no base-table touch)."""
+        clauses = ["metric = ?"]
+        params: list[object] = [query.metric]
+        for column in ("benchmark", "api", "operation"):
+            value = getattr(query, column)
+            if value is not None:
+                clauses.append(f"{column} = ?")
+                params.append(value)
+        rows = self.db.execute(
+            "SELECT benchmark, api, operation, n, total, total_sq, vmin, vmax "
+            f"FROM agg_summaries WHERE {' AND '.join(clauses)}",
+            tuple(params),
+        ).fetchall()
+        groups: dict[str, AggregateState] = {}
+        for row in rows:
+            key = group_key([row[dim] for dim in query.group_by])
+            state = AggregateState(
+                n=int(row["n"]),
+                total=float(row["total"]),
+                total_sq=float(row["total_sq"]),
+                vmin=float(row["vmin"]),
+                vmax=float(row["vmax"]),
+            )
+            if key in groups:
+                groups[key].merge(state)
+            else:
+                groups[key] = state
+        return {key: state.to_payload() for key, state in groups.items()}
+
+    def _scan_where(self, query: ScanQuery) -> tuple[list[str], list[object]]:
+        """The pushed-down WHERE clauses (minus any parameter filter)."""
+        clauses: list[str] = []
+        params: list[object] = []
+        for column, value in (
+            ("p.benchmark", query.benchmark),
+            ("p.api", query.api),
+            ("s.operation", query.operation),
+        ):
+            if value is not None:
+                clauses.append(f"{column} = ?")
+                params.append(value)
+        for column, value, op in (
+            ("p.num_nodes", query.num_nodes_min, ">="),
+            ("p.num_nodes", query.num_nodes_max, "<="),
+            ("p.num_tasks", query.num_tasks_min, ">="),
+            ("p.num_tasks", query.num_tasks_max, "<="),
+        ):
+            if value is not None:
+                clauses.append(f"{column} {op} ?")
+                params.append(value)
+        return clauses, params
+
+    def _scan_partial_from_base(self, query: ScanQuery) -> dict[str, object]:
+        """Push the scan into SQL over ``summaries ⋈ performances``.
+
+        A parameter filter is resolved to an id set first (via the
+        LIKE-prefiltered, JSON-verified lookup) and applied as chunked
+        ``p.id IN (…)`` clauses; the per-chunk aggregate states merge,
+        so the chunking is invisible in the result.
+        """
+        column = f"s.{METRIC_COLUMNS[query.metric]}"
+        base_clauses, base_params = self._scan_where(query)
+        id_batches: list[tuple[int, ...]] | None = None
+        if query.parameter is not None:
+            ids = self.find_ids_by_parameter(*query.parameter)
+            if not ids:
+                return {}
+            id_batches = [tuple(batch) for batch in chunked(ids)]
+        group_exprs = [GROUP_COLUMNS[dim] for dim in query.group_by]
+        select_groups = "".join(f"{expr}, " for expr in group_exprs)
+        group_clause = (
+            f" GROUP BY {', '.join(group_exprs)}" if group_exprs else ""
+        )
+        groups: dict[str, AggregateState] = {}
+        for batch in id_batches if id_batches is not None else [None]:
+            clauses = list(base_clauses)
+            params = list(base_params)
+            if batch is not None:
+                marks = ", ".join("?" for _ in batch)
+                clauses.append(f"p.id IN ({marks})")
+                params.extend(batch)
+            where_clause = (
+                f" WHERE {' AND '.join(clauses)}" if clauses else ""
+            )
+            for row in self.db.execute(
+                f"SELECT {select_groups}COUNT(*) AS n, SUM({column}) AS total, "
+                f"SUM({column} * {column}) AS total_sq, "
+                f"MIN({column}) AS vmin, MAX({column}) AS vmax "
+                "FROM summaries s JOIN performances p ON p.id = s.performance_id"
+                f"{where_clause}{group_clause}",
+                tuple(params),
+            ).fetchall():
+                if int(row["n"]) == 0:
+                    continue  # ungrouped aggregate over zero rows
+                key = group_key([row[i] for i in range(len(group_exprs))])
+                state = AggregateState(
+                    n=int(row["n"]),
+                    total=float(row["total"]),
+                    total_sq=float(row["total_sq"]),
+                    vmin=float(row["vmin"]),
+                    vmax=float(row["vmax"]),
+                )
+                if key in groups:
+                    groups[key].merge(state)
+                else:
+                    groups[key] = state
+            if query.wants_sketch:
+                for row in self.db.execute(
+                    f"SELECT {select_groups}{column} AS value "
+                    "FROM summaries s JOIN performances p ON p.id = s.performance_id"
+                    f"{where_clause}",
+                    tuple(params),
+                ).fetchall():
+                    key = group_key([row[i] for i in range(len(group_exprs))])
+                    state = groups.get(key)
+                    if state is None:  # pragma: no cover - same WHERE as above
+                        continue
+                    if state.sketch is None:
+                        state.sketch = PercentileSketch()
+                    state.sketch.add(float(row["value"]))
+        return {key: state.to_payload() for key, state in groups.items()}
 
     def delete(self, knowledge_id: int) -> None:
-        """Delete one knowledge object and its dependent rows."""
+        """Delete one knowledge object and its dependent rows.
+
+        The deleted object's benchmark has its ``agg_summaries`` rows
+        rebuilt from the base tables in the same transaction — an
+        ``INSERT … SELECT`` recompute rather than a decrement, because
+        min/max are not subtractable.
+        """
+        row = self.db.execute(
+            "SELECT benchmark FROM performances WHERE id = ?", (knowledge_id,)
+        ).fetchone()
+        if row is None:
+            raise PersistenceError(f"no knowledge object with id {knowledge_id}")
+        benchmark = row["benchmark"]
         cur = self.db.execute("DELETE FROM performances WHERE id = ?", (knowledge_id,))
         if cur.rowcount == 0:
             raise PersistenceError(f"no knowledge object with id {knowledge_id}")
+        self.db.execute(
+            "DELETE FROM agg_summaries WHERE benchmark = ?", (benchmark,)
+        )
+        for metric in schema.AGG_METRICS:
+            self.db.execute(
+                schema.agg_insert_select(metric, where="p.benchmark = ?"),
+                (benchmark,),
+            )
         self.db.commit()

@@ -15,9 +15,16 @@ from __future__ import annotations
 
 import sqlite3
 
-__all__ = ["SCHEMA_VERSION", "DDL_STATEMENTS", "create_schema", "TABLES"]
+__all__ = [
+    "SCHEMA_VERSION",
+    "DDL_STATEMENTS",
+    "create_schema",
+    "TABLES",
+    "AGG_METRICS",
+    "agg_insert_select",
+]
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 DDL_STATEMENTS: tuple[str, ...] = (
     """
@@ -142,6 +149,20 @@ DDL_STATEMENTS: tuple[str, ...] = (
     )
     """,
     """
+    CREATE TABLE IF NOT EXISTS agg_summaries (
+        benchmark TEXT NOT NULL,
+        api       TEXT NOT NULL,
+        operation TEXT NOT NULL,
+        metric    TEXT NOT NULL,
+        n         INTEGER NOT NULL,
+        total     REAL NOT NULL,
+        total_sq  REAL NOT NULL,
+        vmin      REAL NOT NULL,
+        vmax      REAL NOT NULL,
+        PRIMARY KEY (benchmark, api, operation, metric)
+    )
+    """,
+    """
     CREATE TABLE IF NOT EXISTS meta (
         key   TEXT PRIMARY KEY,
         value TEXT NOT NULL
@@ -165,15 +186,63 @@ TABLES = (
     "IOFHsTestcases",
     "IOFHsOptions",
     "IOFHsResults",
+    "agg_summaries",
+)
+
+#: Summary metrics mirrored into ``agg_summaries`` — one pre-aggregated
+#: row per (benchmark, api, operation, metric), maintained in the same
+#: transaction as every ``save`` so cheap fleet-wide aggregate scans
+#: never have to touch the base tables.
+AGG_METRICS = (
+    "bw_max",
+    "bw_min",
+    "bw_mean",
+    "bw_stddev",
+    "ops_max",
+    "ops_min",
+    "ops_mean",
+    "ops_stddev",
+    "iterations",
 )
 
 
+def agg_insert_select(metric: str, where: str = "") -> str:
+    """The ``INSERT … SELECT`` that (re)builds one metric's agg rows.
+
+    ``metric`` must come from :data:`AGG_METRICS` (it is interpolated,
+    not bound); ``where`` optionally narrows the rebuild, e.g.
+    ``"p.benchmark = ?"`` after a delete.
+    """
+    if metric not in AGG_METRICS:
+        raise ValueError(f"unknown agg metric {metric!r}")
+    col = f"s.{metric}"
+    clause = f"WHERE {where} " if where else ""
+    return (
+        "INSERT INTO agg_summaries "
+        "(benchmark, api, operation, metric, n, total, total_sq, vmin, vmax) "
+        f"SELECT p.benchmark, p.api, s.operation, '{metric}', COUNT(*), "
+        f"SUM({col}), SUM({col} * {col}), MIN({col}), MAX({col}) "
+        "FROM summaries s JOIN performances p ON p.id = s.performance_id "
+        f"{clause}GROUP BY p.benchmark, p.api, s.operation"
+    )
+
+
 def create_schema(conn: sqlite3.Connection) -> None:
-    """Create all tables, indexes and schema metadata (idempotent)."""
+    """Create all tables, indexes and schema metadata (idempotent).
+
+    Opening a version-1 store (no ``agg_summaries`` rows yet) backfills
+    the pre-aggregated table from the base tables, so the upgrade is a
+    plain re-open.
+    """
     cur = conn.cursor()
     cur.execute("PRAGMA foreign_keys = ON")
     for ddl in DDL_STATEMENTS:
         cur.execute(ddl)
+    agg_rows = cur.execute("SELECT COUNT(*) FROM agg_summaries").fetchone()[0]
+    summary_rows = cur.execute("SELECT COUNT(*) FROM summaries").fetchone()[0]
+    if agg_rows == 0 and summary_rows > 0:
+        for metric in AGG_METRICS:
+            cur.execute(agg_insert_select(metric))
     cur.execute(
         "INSERT OR REPLACE INTO meta (key, value) VALUES ('schema_version', ?)",
         (str(SCHEMA_VERSION),),

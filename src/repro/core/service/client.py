@@ -54,6 +54,7 @@ from repro.util.errors import (
 if TYPE_CHECKING:  # pragma: no cover - type-only imports
     from repro.core.knowledge import Knowledge
     from repro.core.metrics import MetricsRegistry
+    from repro.core.persistence.scan import ScanQuery, ScanResult
 
 __all__ = [
     "SERVICE_URL_SCHEME",
@@ -403,6 +404,20 @@ class ServiceClient:
     def delete(self, knowledge_id: int) -> None:
         """Delete one knowledge object by global id."""
         self._call("delete", knowledge_id)
+
+    def scan(self, query: "ScanQuery") -> "ScanResult":
+        """Run a columnar aggregate scan across every shard.
+
+        Only mergeable partial aggregate states cross the transport —
+        per shard-group worker on the TCP path, merged by the router
+        and finalized here — so a fleet-wide percentile table costs a
+        few KiB of state on the wire instead of every knowledge object.
+        Same results as ``KnowledgeRepository.scan`` on the same rows.
+        """
+        from repro.core.persistence.scan import finalize_partials
+
+        partials = self._call("scan", query)
+        return finalize_partials(query, partials, source="service")  # type: ignore[arg-type]
 
     # -- service-level introspection -----------------------------------
     def stats(self) -> dict[str, object]:

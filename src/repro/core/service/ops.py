@@ -24,6 +24,7 @@ from __future__ import annotations
 from concurrent.futures import TimeoutError as _FutureTimeoutError
 from typing import TYPE_CHECKING, Sequence
 
+from repro.core.persistence.scan import ScanQuery
 from repro.core.persistence.transfer import knowledge_from_dict, knowledge_to_dict
 from repro.core.service.wire import PROTOCOL, WireProtocolError
 from repro.util.errors import DeadlineError, ServiceError
@@ -49,7 +50,7 @@ SERVICE_OPS = frozenset(
     {
         "save", "save_many", "delete",
         "load", "load_all", "fetch_many", "list_ids",
-        "find_by_parameter", "count", "exists",
+        "find_by_parameter", "count", "exists", "scan",
         "stats", "ping", "health",
     }
 )
@@ -96,6 +97,8 @@ def encode_args(op: str, args: Sequence[object]) -> dict[str, object]:
         return {"benchmark": None if benchmark is None else str(benchmark)}
     if op == "find_by_parameter":
         return {"key": str(args[0]), "value": str(args[1])}
+    if op == "scan":
+        return {"query": args[0].to_payload()}  # type: ignore[attr-defined]
     return {}  # stats / ping
 
 
@@ -115,6 +118,8 @@ def decode_args(op: str, payload: dict[str, object]) -> tuple:
         return (None if benchmark is None else str(benchmark),)
     if op == "find_by_parameter":
         return (str(payload["key"]), str(payload["value"]))
+    if op == "scan":
+        return (ScanQuery.from_payload(payload["query"]),)  # type: ignore[arg-type]
     return ()  # stats / ping
 
 
@@ -140,6 +145,10 @@ def encode_result(op: str, result: object) -> dict[str, object]:
         return {"stats": dict(result)}  # type: ignore[arg-type]
     if op == "health":
         return {"health": dict(result)}  # type: ignore[arg-type]
+    if op == "scan":
+        # Mergeable partial-aggregate states, not finalized values: the
+        # router merges worker partials, the client finalizes.
+        return {"partials": dict(result)}  # type: ignore[arg-type]
     return {}  # delete / ping
 
 
@@ -162,6 +171,8 @@ def decode_result(op: str, payload: dict[str, object]) -> object:
         return dict(payload["stats"])  # type: ignore[arg-type]
     if op == "health":
         return dict(payload["health"])  # type: ignore[arg-type]
+    if op == "scan":
+        return dict(payload["partials"])  # type: ignore[arg-type]
     return None  # delete / ping
 
 

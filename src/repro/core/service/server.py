@@ -47,6 +47,7 @@ from pathlib import Path
 from typing import TYPE_CHECKING, Callable, Sequence
 
 import repro
+from repro.core.persistence.scan import merge_partial_payloads
 from repro.core.resilience import CircuitBreaker, Deadline, RetryPolicy
 from repro.core.service.ops import MUTATING_OPS, SERVICE_OPS
 from repro.core.service.shard import (
@@ -438,6 +439,17 @@ class ShardRouter:
             return {
                 "count": sum(
                     int(worker.call("count", payload)["count"])  # type: ignore[arg-type]
+                    for worker in self._snapshot()
+                )
+            }
+        if op == "scan":
+            # Each shard-group worker answers with mergeable partial
+            # aggregate states for its shards; the group-wise merge is
+            # associative, so router-then-client merging equals the
+            # embedded single-service evaluation.
+            return {
+                "partials": merge_partial_payloads(
+                    worker.call("scan", payload)["partials"]  # type: ignore[arg-type]
                     for worker in self._snapshot()
                 )
             }

@@ -28,6 +28,7 @@ the attached :class:`~repro.core.metrics.MetricsRegistry` under the
 
 from __future__ import annotations
 
+import json
 import queue
 import threading
 import time
@@ -36,6 +37,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Sequence
 
 from repro.core.knowledge import Knowledge
+from repro.core.persistence.scan import ScanQuery, merge_partial_payloads
 from repro.core.persistence.transfer import knowledge_from_dict, knowledge_to_dict
 from repro.core.service.cache import EpochLRUCache
 from repro.core.service.shard import KnowledgeShard, KnowledgeShardMap, encode_knowledge_id
@@ -122,6 +124,7 @@ class KnowledgeService:
             "find_by_parameter": self._op_find_by_parameter,
             "count": self._op_count,
             "exists": self._op_exists,
+            "scan": self._op_scan,
         }
         if self.metrics is not None:
             self._depth_gauge = self.metrics.gauge(
@@ -323,7 +326,8 @@ class KnowledgeService:
         return ids
 
     def _op_load_all(self, benchmark: str | None = None) -> list[Knowledge]:
-        return [self._op_load(gid) for gid in self._op_list_ids(benchmark)]
+        # One batched fetch per shard (cache-aware), not a load() per id.
+        return self._op_fetch_many(self._op_list_ids(benchmark))
 
     def _op_fetch_many(self, global_ids: Sequence[int]) -> list[Knowledge]:
         """Batched load: cached ids are served from the cache, the
@@ -384,6 +388,30 @@ class KnowledgeService:
             self._observe_shard(shard, time.perf_counter() - start)
         self.cache.put(("count", benchmark), epochs, total)
         return total
+
+    def _op_scan(self, query: ScanQuery) -> dict[str, object]:
+        """Partial aggregate states for ``query`` over the owned shards.
+
+        Each shard evaluates the scan down in SQL (never materialising
+        knowledge objects); the per-shard states merge here, and merge
+        again in the router when several shard-group workers each
+        answer for their subset.  The merged partials are cached keyed
+        on the canonical query payload + every owned shard's epoch.
+        """
+        cache_key = ("scan", json.dumps(query.to_payload(), sort_keys=True))
+        epochs = self.shard_map.epochs()
+        hit, value = self.cache.get(cache_key, epochs)
+        if hit:
+            return dict(value)  # type: ignore[arg-type]
+        parts: list[dict[str, object]] = []
+        for shard in self._owned:
+            start = time.perf_counter()
+            with shard.lock:
+                parts.append(shard.repository.scan_partial(query))
+            self._observe_shard(shard, time.perf_counter() - start)
+        merged = merge_partial_payloads(parts)
+        self.cache.put(cache_key, epochs, merged)
+        return merged
 
     def _op_exists(self, global_id: int) -> bool:
         try:

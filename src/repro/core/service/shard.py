@@ -345,8 +345,9 @@ class KnowledgeShardMap:
         moved: list["Knowledge"] = []
         for shard in self.shards:
             with shard.lock:
-                for local_id in shard.repository.list_ids():
-                    knowledge = shard.repository.load(local_id)
+                for knowledge in shard.repository.fetch_many(
+                    shard.repository.list_ids()
+                ):
                     knowledge.knowledge_id = None
                     moved.append(knowledge)
         self.close()

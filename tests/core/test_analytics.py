@@ -1,0 +1,292 @@
+"""Fleet analytics: distributions, correlations, balance, outliers.
+
+Everything runs over the deterministic synthetic fleet from
+:func:`repro.core.analytics.synthesize_fleet` — same seed, same fleet —
+so planted degraded runs are recoverable by the outlier miners and the
+assertions stay exact across platforms.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.analytics import (
+    QUANTILES,
+    analytics_report,
+    cdf_table,
+    correlation_matrix,
+    io500_correlations,
+    io500_distributions,
+    metric_distributions,
+    percentile_table,
+    run_outliers,
+    score_outliers,
+    scoring_balance,
+    synthesize_fleet,
+)
+from repro.core.analytics.distributions import distribution_rows
+from repro.core.persistence.database import KnowledgeDatabase
+from repro.core.persistence.io500_repo import IO500Repository
+from repro.core.persistence.repository import KnowledgeRepository
+from repro.util.errors import PersistenceError, UsageError
+
+
+@pytest.fixture(scope="module")
+def fleet():
+    return synthesize_fleet(4242, runs=75, io500_runs=30)
+
+
+@pytest.fixture()
+def stores(tmp_path, fleet):
+    runs, io500_runs = fleet
+    with KnowledgeDatabase(tmp_path / "fleet.db") as db:
+        repo = KnowledgeRepository(db)
+        io5 = IO500Repository(db)
+        for k in runs:
+            repo.save(k)
+        for k in io500_runs:
+            io5.save(k)
+        yield repo, io5
+
+
+class TestFleetSynthesis:
+    def test_same_seed_same_fleet(self):
+        a_runs, a_io5 = synthesize_fleet(7, runs=30, io500_runs=10)
+        b_runs, b_io5 = synthesize_fleet(7, runs=30, io500_runs=10)
+        assert [k.parameters for k in a_runs] == [k.parameters for k in b_runs]
+        assert [k.summary("write").bw_mean for k in a_runs] == [
+            k.summary("write").bw_mean for k in b_runs
+        ]
+        assert [k.score_total for k in a_io5] == [k.score_total for k in b_io5]
+
+    def test_different_seeds_differ(self):
+        a, _ = synthesize_fleet(1, runs=10, io500_runs=0)
+        b, _ = synthesize_fleet(2, runs=10, io500_runs=0)
+        assert [k.summary("write").bw_mean for k in a] != [
+            k.summary("write").bw_mean for k in b
+        ]
+
+    def test_fleet_plants_degraded_runs(self, fleet):
+        runs, _ = fleet
+        degraded = [k for k in runs if k.parameters.get("degraded")]
+        assert len(degraded) == len(runs) // 25
+        for k in degraded:
+            # Degradation is relative to the run's own cohort — node
+            # scaling means a degraded 8-node run can still out-run a
+            # healthy 1-node one.
+            cohort = np.median([
+                other.summary("write").bw_mean for other in runs
+                if other.benchmark == k.benchmark
+                and other.num_nodes == k.num_nodes
+                and not other.parameters.get("degraded")
+            ])
+            assert k.summary("write").bw_mean < cohort / 2
+
+    def test_io500_scores_follow_geometric_mean(self, fleet):
+        _, io500_runs = fleet
+        for k in io500_runs:
+            assert k.score_total == pytest.approx(
+                math.sqrt(k.score_bw * k.score_md), rel=1e-9
+            )
+
+
+class TestDistributions:
+    def test_percentile_table_on_known_values(self):
+        table = percentile_table(list(range(101)), (5, 50, 95))
+        assert table["p5"] == pytest.approx(5.0)
+        assert table["p50"] == pytest.approx(50.0)
+        assert table["p95"] == pytest.approx(95.0)
+
+    def test_cdf_table_is_monotone_and_spans_unit_interval(self):
+        points = cdf_table([3.0, 1.0, 4.0, 1.0, 5.0], points=10)
+        fractions = [f for _, f in points]
+        assert fractions == sorted(fractions)
+        assert fractions[-1] == pytest.approx(1.0)
+        values = [v for v, _ in points]
+        assert values[0] == pytest.approx(1.0)
+        assert values[-1] == pytest.approx(5.0)
+
+    def test_metric_distributions_run_over_scan(self, stores):
+        repo, _ = stores
+        result = metric_distributions(repo, metric="bw_mean",
+                                      group_by=("benchmark", "operation"))
+        assert result.source in ("summary-table", "base-tables")
+        groups = {tuple(row.group.values()) for row in result.rows}
+        assert ("ior", "write") in groups and ("mdtest", "read") in groups
+        for row in result.rows:
+            assert row.values["count"] > 0
+            assert {f"p{q:g}" for q in QUANTILES} <= set(row.values)
+
+    def test_io500_distribution_tables_render(self, stores):
+        _, io5 = stores
+        tables = io500_distributions(io5, QUANTILES)
+        assert "score_total" in tables and "ior-easy-write" in tables
+        headers, rows = distribution_rows(tables)
+        assert headers[0] == "series"
+        assert len(rows) == len(tables)
+
+
+class TestCorrelation:
+    def test_perfectly_correlated_series(self):
+        names, matrix = correlation_matrix(
+            {"a": [1.0, 2.0, 3.0], "b": [2.0, 4.0, 6.0],
+             "c": [3.0, 2.0, 1.0]}
+        )
+        i, j, k = names.index("a"), names.index("b"), names.index("c")
+        assert matrix[i, j] == pytest.approx(1.0)
+        assert matrix[i, k] == pytest.approx(-1.0)
+
+    def test_constant_series_yields_zero_not_nan(self):
+        _, matrix = correlation_matrix(
+            {"flat": [5.0, 5.0, 5.0], "vary": [1.0, 2.0, 3.0]}
+        )
+        assert not np.isnan(matrix).any()
+        assert matrix[0, 1] == 0.0 and matrix[0, 0] == 1.0
+
+    def test_single_series_rejected(self):
+        with pytest.raises(UsageError, match="two series"):
+            correlation_matrix({"only": [1.0, 2.0]})
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(UsageError, match="lengths"):
+            correlation_matrix({"a": [1.0], "b": [1.0, 2.0]})
+
+    def test_io500_families_correlate_internally(self, stores):
+        _, io5 = stores
+        names, matrix = io500_correlations(io5)
+        assert not np.isnan(matrix).any()
+
+        def corr(a, b):
+            return matrix[names.index(a), names.index(b)]
+
+        # Same-family testcases ride the same per-run system factor, so
+        # bw/bw and md/md pairs must correlate more strongly than the
+        # cross-family pair.
+        assert corr("ior-easy-write", "ior-hard-write") > corr(
+            "ior-easy-write", "mdtest-easy-stat"
+        )
+        assert corr("score_bw", "score_total") > 0.5
+        assert corr("score_md", "score_total") > 0.5
+
+    def test_scoring_balance_reports_consistent_geomean(self, stores):
+        _, io5 = stores
+        balance = scoring_balance(io5)
+        assert balance["runs"] == len(io5.list_ids())
+        assert balance["geomean_max_rel_error"] < 1e-9
+        assert 0.0 <= balance["bw_heavy_fraction"] <= 1.0
+        assert balance["ratio_p5"] <= balance["ratio_median"] <= balance["ratio_p95"]
+
+
+class TestOutliers:
+    def test_run_outliers_recover_planted_degraded_runs(self, fleet):
+        runs, _ = fleet
+        # Compare within one cohort, as the report does.
+        cohorts = {}
+        for k in runs:
+            cohorts.setdefault((k.benchmark, k.num_nodes), []).append(k)
+        # |z| in an n-run cohort is bounded by (n-1)/sqrt(n), so small
+        # cohorts need a permissive threshold for the superset check.
+        flagged_ids = set()
+        for cohort in cohorts.values():
+            for k, _z in run_outliers(cohort, operation="write",
+                                      threshold_z=1.0):
+                flagged_ids.add(id(k))
+        degraded_ids = {id(k) for k in runs if k.parameters.get("degraded")}
+        assert degraded_ids <= flagged_ids
+
+    def test_run_outliers_need_three_comparable_runs(self, fleet):
+        runs, _ = fleet
+        assert run_outliers(runs[:2], operation="write") == []
+
+    def test_score_outliers_flag_degraded_io500_runs(self, stores):
+        # Fleet-wide z on the node-scaled (right-skewed) score spread
+        # puts the planted degraded run near -1.1, so mine at 1.0.
+        _, io5 = stores
+        flagged = score_outliers(io5, threshold_z=1.0)
+        assert flagged, "no outliers despite planted degraded runs"
+        totals = io5.fetch_score_columns()["score_total"]
+        worst_id, worst_total, worst_z = flagged[0]
+        assert worst_total == min(totals)
+        assert worst_z < -1.0
+
+
+class TestIO500Columnar:
+    def test_fetch_many_preserves_order_and_options(self, stores):
+        _, io5 = stores
+        ids = io5.list_ids()
+        shuffled = ids[::-1]
+        fetched = io5.fetch_many(shuffled)
+        assert [k.iofh_id for k in fetched] == shuffled
+        assert fetched == [io5.load(i) for i in shuffled]
+
+    def test_fetch_many_missing_id_is_typed(self, stores):
+        _, io5 = stores
+        with pytest.raises(PersistenceError, match="424242"):
+            io5.fetch_many(io5.list_ids()[:2] + [424242])
+
+    def test_score_columns_are_aligned(self, stores):
+        _, io5 = stores
+        columns = io5.fetch_score_columns()
+        n = len(columns["iofh_id"])
+        assert n == len(io5.list_ids())
+        assert all(len(v) == n for v in columns.values())
+        first = io5.load(columns["iofh_id"][0])
+        assert columns["score_total"][0] == pytest.approx(first.score_total)
+
+    def test_testcase_columns_cover_every_run(self, stores):
+        _, io5 = stores
+        by_testcase = io5.fetch_testcase_columns()
+        ids = set(io5.list_ids())
+        for values in by_testcase.values():
+            assert set(values) == ids
+
+
+class TestReportAndCli:
+    def test_report_renders_every_section(self, stores):
+        repo, io5 = stores
+        text = analytics_report(repo, io5)
+        assert "Fleet analytics" in text
+        assert "bw_mean by benchmark/operation" in text
+        assert "IO500 sub-benchmark distributions" in text
+        assert "IO500 cross-metric correlation" in text
+        assert "IO500 scoring balance" in text
+        assert "score outliers" in text
+
+    def test_report_on_empty_store(self, tmp_path):
+        with KnowledgeDatabase(tmp_path / "empty.db") as db:
+            text = analytics_report(KnowledgeRepository(db))
+        assert "(empty store)" in text
+
+    def test_explorer_analytics_flag(self, tmp_path, fleet, capsys):
+        from repro.core.explorer.cli import main
+
+        runs, io500_runs = fleet
+        path = tmp_path / "fleet.db"
+        with KnowledgeDatabase(path) as db:
+            repo = KnowledgeRepository(db)
+            io5 = IO500Repository(db)
+            for k in runs:
+                repo.save(k)
+            for k in io500_runs:
+                io5.save(k)
+        assert main([str(path), "--analytics"]) == 0
+        out = capsys.readouterr().out
+        assert "Fleet analytics" in out
+        assert "IO500 scoring balance" in out
+
+
+class TestFleetPreset:
+    def test_fleet_toml_expands_to_full_cartesian_fleet(self):
+        from repro.core.campaign.spec import load_campaign_file
+
+        spec = load_campaign_file("examples/fleet.toml")
+        assert spec.benchmark == "io500"
+        jobs = spec.expand()
+        benchmark_jobs = [j for j in jobs if j.kind == "benchmark"]
+        assert len(benchmark_jobs) == 3 * 2 * 3 * 2 * 2
+        stripe_values = {j.params["stripe_pattern"] for j in benchmark_jobs}
+        assert stripe_values == {"4x512K", "8x1M", "16x1M"}
+        report = [j for j in jobs if j.kind == "report"]
+        assert len(report) == 1
+        assert set(report[0].depends) == {j.name for j in benchmark_jobs}
