@@ -6,12 +6,15 @@ Usage::
     repro-bench service --objects 128 --reads 512 --worker-processes 4
     repro-bench scan --out BENCH_scan.json
     repro-bench scan --rows 20000 --shards 8
+    repro-bench scenario --out BENCH_scenario.json
+    repro-bench scenario --derivations 5000 --traces 96
 
 Each sub-benchmark writes a ``repro.bench/v1`` JSON report (and prints
 a one-screen summary), comparing the code paths it exercises — the
 knowledge service in-process against the ``repro.wire/v1`` TCP link,
-and the columnar ``scan()`` pushdown against row-loop and batched
-Python folds — so the cost of a transport or a refactor lands in a
+the columnar ``scan()`` pushdown against row-loop and batched Python
+folds, and the scenario engine's grammar expansion and period
+detection — so the cost of a transport or a refactor lands in a
 diffable artifact.
 """
 
@@ -71,6 +74,23 @@ def build_parser() -> argparse.ArgumentParser:
                       help="TCP server worker processes (default: %(default)s)")
     scan.add_argument("--store", default=None, metavar="DIR",
                       help="scratch directory (default: a temp dir)")
+    scenario = sub.add_parser(
+        "scenario", help="grammar expansion + period-detection throughput"
+    )
+    scenario.add_argument(
+        "--out", default="BENCH_scenario.json", metavar="PATH",
+        help="where to write the repro.bench/v1 report (default: %(default)s)",
+    )
+    scenario.add_argument("--derivations", type=int, default=2000,
+                          help="derivations to expand (default: %(default)s)")
+    scenario.add_argument("--traces", type=int, default=48,
+                          help="throughput traces to diagnose (default: %(default)s)")
+    scenario.add_argument("--windows", type=int, default=256,
+                          help="windows per trace (default: %(default)s)")
+    scenario.add_argument("--seed", type=int, default=42,
+                          help="expansion seed (default: %(default)s)")
+    scenario.add_argument("--store", default=None, metavar="DIR",
+                          help="scratch directory (unused; default: a temp dir)")
     return parser
 
 
@@ -90,6 +110,28 @@ def _print_scan_summary(report: dict) -> None:
     print(
         f"  value identical to fold: embedded={identical['embedded']}, "
         f"tcp={identical['tcp']}"
+    )
+
+
+def _print_scenario_summary(report: dict) -> None:
+    print(f"repro-bench scenario ({report['schema']})")
+    timings, rates = report["timings"], report["rates"]
+    print(
+        f"  expand   {timings['expand']['seconds'] * 1000:10.1f} ms  "
+        f"({timings['expand']['derivations']} derivations, "
+        f"{rates['derivations_per_s']:.0f}/s)"
+    )
+    print(
+        f"  detect   {timings['detect']['seconds'] * 1000:10.1f} ms  "
+        f"({timings['detect']['traces']} traces, "
+        f"{rates['detect_ms_per_trace']:.2f} ms/trace, "
+        f"{rates['windows_per_s']:.0f} windows/s)"
+    )
+    good = report["correctness"]
+    print(
+        f"  planted periods recovered: {good['planted_recovered']}/"
+        f"{good['planted_total']}, aperiodic quiet: "
+        f"{good['aperiodic_quiet']}, deterministic: {good['deterministic']}"
     )
 
 
@@ -131,7 +173,7 @@ def main(argv: Sequence[str] | None = None) -> int:
                 batch=args.batch, shards=args.shards,
                 worker_processes=args.worker_processes,
             )
-    else:
+    elif args.bench == "scan":
         from repro.bench.scan_bench import run_scan_bench
 
         knobs, summarize = ("rows", "tcp_rows"), _print_scan_summary
@@ -141,6 +183,16 @@ def main(argv: Sequence[str] | None = None) -> int:
                 scratch, rows=args.rows, tcp_rows=args.tcp_rows,
                 shards=args.shards,
                 worker_processes=args.worker_processes,
+            )
+    else:
+        from repro.bench.scenario_bench import run_scenario_bench
+
+        knobs, summarize = ("derivations", "traces", "windows"), _print_scenario_summary
+
+        def runner(scratch: str) -> dict:
+            return run_scenario_bench(
+                scratch, derivations=args.derivations, traces=args.traces,
+                windows=args.windows, seed=args.seed,
             )
     for name in knobs:
         if getattr(args, name) < 1:

@@ -347,6 +347,13 @@ class ResilientBackend:
             self._note_buffer_depth()
             return _BufferedCursor(None)
         self.breaker.record_success()
+        # A batch INSERT advances the table's rowid sequence by an
+        # amount the cursor does not report reliably; drop the cached
+        # prediction base so the next degraded buffering re-seeds from
+        # the live table instead of predicting stale rowids.
+        m = _INSERT_TABLE_RE.match(sql.lstrip())
+        if m is not None:
+            self._next_rowid.pop(m.group(1).lower(), None)
         self._count_stmt("write", "ok", rows=len(rows))
         return cursor
 

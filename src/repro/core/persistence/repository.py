@@ -104,9 +104,205 @@ class KnowledgeRepository:
 
         Either every object lands or none does — a failure mid-batch
         rolls the whole batch back.
+
+        The write path is batched: ids are computed up front (continuing
+        the ``AUTOINCREMENT`` sequence, so deleted ids are never reused)
+        and each table receives one ``executemany`` for the whole batch
+        instead of one ``INSERT`` round-trip per row.  The agg upsert
+        stays inside the same transaction, so ``agg_summaries`` cannot
+        drift from the base tables.  A degraded
+        :class:`~repro.core.persistence.backend.ResilientBackend`
+        falls back to the row-at-a-time path: its buffered-write rowid
+        predictions are per statement, which explicit precomputed ids
+        would bypass.
         """
+        knowledge = list(knowledge)
+        if not knowledge:
+            return []
+        if getattr(self.db, "degraded", False):
+            with self.db.transaction():
+                return [self.save(k) for k in knowledge]
         with self.db.transaction():
-            return [self.save(k) for k in knowledge]
+            ids = self._save_batch(knowledge)
+        for k, perf_id in zip(knowledge, ids):
+            k.knowledge_id = perf_id
+        return ids
+
+    def _next_explicit_id(self, table: str) -> int:
+        """First id an explicit-id batch insert into ``table`` may use.
+
+        ``MAX(id)`` alone regresses after a delete; ``AUTOINCREMENT``
+        tables promise never to reuse ids, so the ``sqlite_sequence``
+        high-water mark (when present) is folded in too — explicit-id
+        inserts above it keep the sequence advancing exactly as the
+        implicit path would.
+        """
+        row = self.db.execute(f"SELECT COALESCE(MAX(id), 0) AS m FROM {table}").fetchone()
+        base = int(row["m"])
+        has_seq = self.db.execute(
+            "SELECT 1 FROM sqlite_master WHERE type = 'table' AND name = 'sqlite_sequence'"
+        ).fetchone()
+        if has_seq is not None:
+            seq = self.db.execute(
+                "SELECT seq FROM sqlite_sequence WHERE name = ?", (table,)
+            ).fetchone()
+            if seq is not None:
+                base = max(base, int(seq["seq"]))
+        return base + 1
+
+    def _save_batch(self, knowledge: list[Knowledge]) -> list[int]:
+        """One ``executemany`` per table for the whole batch."""
+        perf_base = self._next_explicit_id("performances")
+        summary_base = self._next_explicit_id("summaries")
+        perf_rows: list[tuple] = []
+        summary_rows: list[tuple] = []
+        result_rows: list[tuple] = []
+        fs_rows: list[tuple] = []
+        sys_rows: list[tuple] = []
+        agg_rows: list[tuple] = []
+        next_summary = summary_base
+        for offset, k in enumerate(knowledge):
+            perf_id = perf_base + offset
+            perf_rows.append(
+                (
+                    perf_id,
+                    k.benchmark,
+                    k.command,
+                    k.api,
+                    k.test_file,
+                    int(k.file_per_proc),
+                    k.num_nodes,
+                    k.num_tasks,
+                    k.tasks_per_node,
+                    k.start_time,
+                    k.end_time,
+                    json.dumps(k.parameters, sort_keys=True, default=str),
+                )
+            )
+            for s in k.summaries:
+                summary_id = next_summary
+                next_summary += 1
+                summary_rows.append(
+                    (
+                        summary_id,
+                        perf_id,
+                        s.operation,
+                        s.api,
+                        s.bw_max,
+                        s.bw_min,
+                        s.bw_mean,
+                        s.bw_stddev,
+                        s.ops_max,
+                        s.ops_min,
+                        s.ops_mean,
+                        s.ops_stddev,
+                        s.iterations,
+                    )
+                )
+                result_rows.extend(
+                    (
+                        summary_id,
+                        r.iteration,
+                        r.bandwidth_mib,
+                        r.iops,
+                        r.latency_s,
+                        r.open_time_s,
+                        r.wrrd_time_s,
+                        r.close_time_s,
+                        r.total_time_s,
+                    )
+                    for r in s.results
+                )
+                for metric in schema.AGG_METRICS:
+                    value = float(getattr(s, metric))
+                    agg_rows.append(
+                        (k.benchmark, k.api, s.operation, metric,
+                         value, value * value, value, value)
+                    )
+            if k.filesystem is not None:
+                fs = k.filesystem
+                fs_rows.append(
+                    (
+                        perf_id,
+                        fs.fs_type,
+                        fs.entry_type,
+                        fs.entry_id,
+                        fs.metadata_node,
+                        fs.stripe_pattern,
+                        fs.chunk_size,
+                        fs.num_targets,
+                        fs.raid_scheme,
+                        fs.storage_pool,
+                    )
+                )
+            if k.system is not None:
+                system = k.system
+                sys_rows.append(
+                    (
+                        perf_id,
+                        str(system.get("hostname", "")),
+                        str(system.get("system_name", "")),
+                        str(system.get("processor_model", "")),
+                        str(system.get("architecture", "")),
+                        int(system.get("processor_cores", 0) or 0),
+                        float(system.get("processor_mhz", 0) or 0),
+                        int(system.get("cache_size_bytes", 0) or 0),
+                        int(system.get("memory_bytes", 0) or 0),
+                    )
+                )
+        self.db.executemany(
+            """
+            INSERT INTO performances
+                (id, benchmark, command, api, testFileName, filePerProc,
+                 num_nodes, num_tasks, tasks_per_node, start_time, end_time,
+                 parameters_json)
+            VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)
+            """,
+            perf_rows,
+        )
+        if summary_rows:
+            self.db.executemany(
+                """
+                INSERT INTO summaries
+                    (id, performance_id, operation, api, bw_max, bw_min, bw_mean,
+                     bw_stddev, ops_max, ops_min, ops_mean, ops_stddev, iterations)
+                VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)
+                """,
+                summary_rows,
+            )
+        if result_rows:
+            self.db.executemany(
+                """
+                INSERT INTO results
+                    (summaries_id, iteration, bandwidth, ops, latency,
+                     openTime, wrRdTime, closeTime, totalTime)
+                VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)
+                """,
+                result_rows,
+            )
+        if fs_rows:
+            self.db.executemany(
+                """
+                INSERT INTO filesystems
+                    (performance_id, fs_type, entry_type, entry_id, metadata_node,
+                     stripe_pattern, chunk_size, num_targets, raid_scheme, storage_pool)
+                VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?)
+                """,
+                fs_rows,
+            )
+        if sys_rows:
+            self.db.executemany(
+                """
+                INSERT INTO systems
+                    (performance_id, IOFH_id, hostname, system_name, processor_model,
+                     architecture, processor_cores, processor_mhz, cache_bytes, memory_bytes)
+                VALUES (?, NULL, ?, ?, ?, ?, ?, ?, ?, ?)
+                """,
+                sys_rows,
+            )
+        if agg_rows:
+            self.db.executemany(_AGG_UPSERT, agg_rows)
+        return [perf_base + offset for offset in range(len(knowledge))]
 
     def _save_summary(self, perf_id: int, s: KnowledgeSummary) -> int:
         cur = self.db.execute(

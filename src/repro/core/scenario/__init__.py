@@ -1,0 +1,70 @@
+"""Scenario engine: CFG-driven workload grammars + frequency-domain
+periodic-I/O diagnosis.
+
+The forward half (:mod:`grammar`, :mod:`expand`,
+:mod:`compile_campaign`) turns a compact context-free grammar of I/O
+pattern families into concrete, deterministic workload derivations and
+runnable campaign sweeps.  The inverse half (:mod:`periodic`) reads a
+throughput series back and recovers the temporal structure — the
+period a grammar planted, or the checkpoint cadence of a real
+application — via DFT + autocorrelation with a confidence score.
+
+Importing this package must stay cheap and campaign-free:
+``usage.online.OnlineMonitor`` imports :mod:`.periodic` for streaming
+detection, and the campaign package transitively imports ``usage`` —
+so the submodules defer their campaign imports to call time, and
+:mod:`.cli` (which wires everything together) is deliberately not
+imported here.
+"""
+
+from repro.core.scenario.compile_campaign import (
+    compile_campaign_spec,
+    compile_campaign_toml,
+)
+from repro.core.scenario.expand import (
+    GEOMETRY_KEYS,
+    IOR_KEYS,
+    Derivation,
+    compile_ior_config,
+    expand,
+    synthesize_throughput,
+)
+from repro.core.scenario.grammar import (
+    Alternative,
+    Choice,
+    Grammar,
+    NonTerminal,
+    Range,
+    Rule,
+    Terminal,
+    load_grammar_file,
+    parse_grammar_toml,
+)
+from repro.core.scenario.periodic import (
+    PeriodDetection,
+    detect_from_series,
+    detect_periods,
+)
+
+__all__ = [
+    "Alternative",
+    "Choice",
+    "Derivation",
+    "GEOMETRY_KEYS",
+    "Grammar",
+    "IOR_KEYS",
+    "NonTerminal",
+    "PeriodDetection",
+    "Range",
+    "Rule",
+    "Terminal",
+    "compile_campaign_spec",
+    "compile_campaign_toml",
+    "compile_ior_config",
+    "detect_from_series",
+    "detect_periods",
+    "expand",
+    "load_grammar_file",
+    "parse_grammar_toml",
+    "synthesize_throughput",
+]

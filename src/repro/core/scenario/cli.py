@@ -1,0 +1,266 @@
+"""``repro-scenario`` — expand, compile, run and diagnose workload scenarios.
+
+The operator console for the scenario engine::
+
+    repro-scenario --grammar examples/scenarios.toml --expand 5
+    repro-scenario --grammar examples/scenarios.toml --compile 5 --out sweep.toml
+    repro-scenario --grammar examples/scenarios.toml --run 5 --store campaigns.db --db knowledge.db
+    repro-scenario --grammar examples/scenarios.toml --synthesize 0 --out trace.json
+    repro-scenario --diagnose trace.json
+
+``--expand`` prints one derivation per line (stable JSON, the unit of
+the determinism contract).  ``--compile`` renders the derivations as a
+campaign TOML sweep that ``repro-campaign --submit`` accepts
+unmodified; ``--run`` short-circuits the file and drives the compiled
+campaign through the store and launcher directly, against any backend
+URL (``knowledge+tcp://`` included).  ``--synthesize`` emits a
+synthetic throughput trace with the derivation's planted period, and
+``--diagnose`` closes the loop: it reads a trace (synthetic or
+exported from a real monitor), runs the frequency-domain detector, and
+prints detections plus the actionable recommendations they map to.
+
+Trace JSON accepted by ``--diagnose``: either an object
+``{"interval_s": 0.25, "values": [...]}`` or a bare list of
+``[time_s, value]`` pairs (then ``--interval`` supplies the grid).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Sequence
+
+from repro.core.campaign.launcher import Launcher
+from repro.core.campaign.store import JOB_STATES, CampaignStore
+from repro.core.metrics import MetricsRegistry
+from repro.core.scenario.compile_campaign import compile_campaign_spec, compile_campaign_toml
+from repro.core.scenario.expand import expand, synthesize_throughput
+from repro.core.scenario.grammar import load_grammar_file
+from repro.core.scenario.periodic import detect_from_series, detect_periods
+from repro.core.usage.recommend import recommend_for_periods
+from repro.util.errors import ReproError, ScenarioError
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The repro-scenario argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-scenario",
+        description="Expand workload grammars and diagnose periodic I/O.",
+    )
+    actions = parser.add_mutually_exclusive_group(required=True)
+    actions.add_argument(
+        "--expand", type=int, metavar="N", help="expand N derivations and print them"
+    )
+    actions.add_argument(
+        "--compile", type=int, metavar="N",
+        help="compile N derivations into a campaign TOML sweep",
+    )
+    actions.add_argument(
+        "--run", type=int, metavar="N",
+        help="expand N derivations, submit them as a campaign, and drain it",
+    )
+    actions.add_argument(
+        "--synthesize", type=int, metavar="INDEX",
+        help="write derivation INDEX's synthetic throughput trace as JSON",
+    )
+    actions.add_argument(
+        "--diagnose", metavar="TRACE",
+        help="detect periodic I/O in a trace JSON file and recommend mitigations",
+    )
+    parser.add_argument(
+        "--grammar", metavar="TOML",
+        help="grammar file (required for everything except --diagnose)",
+    )
+    parser.add_argument("--seed", type=int, default=42, help="expansion seed")
+    parser.add_argument(
+        "--interval", type=float, default=0.25, metavar="S",
+        help="window length in seconds for traces and diagnosis",
+    )
+    parser.add_argument(
+        "--windows", type=int, default=256,
+        help="window count for --synthesize traces",
+    )
+    parser.add_argument(
+        "--min-confidence", type=float, default=0.5, metavar="C",
+        help="drop detections below this confidence in --diagnose",
+    )
+    parser.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="write --compile/--synthesize output here instead of stdout",
+    )
+    parser.add_argument(
+        "--store", default="campaigns.db",
+        help="campaign store path for --run (default: campaigns.db)",
+    )
+    parser.add_argument(
+        "--db", default=":memory:",
+        help="knowledge backend URL for --run (path or knowledge+tcp:// URL)",
+    )
+    parser.add_argument("--workers", type=int, default=2, help="launcher worker threads")
+    parser.add_argument(
+        "--workspace", default="scenario_run", help="JUBE workspace directory for --run"
+    )
+    parser.add_argument(
+        "--metrics-json", default=None, metavar="PATH",
+        help="write the scenario metrics snapshot to PATH on exit",
+    )
+    return parser
+
+
+def _emit(text: str, out: str | None) -> None:
+    if out is None:
+        print(text, end="" if text.endswith("\n") else "\n")
+    else:
+        with open(out, "w", encoding="utf-8") as fh:
+            fh.write(text if text.endswith("\n") else text + "\n")
+
+
+def _load_trace(path: str) -> tuple[list[float] | list[tuple[float, float]], float | None]:
+    """Read a trace file; returns (values-or-pairs, embedded interval)."""
+    try:
+        with open(path, encoding="utf-8") as fh:
+            payload = json.load(fh)
+    except OSError as exc:
+        raise ScenarioError(f"cannot read trace file {path!r}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise ScenarioError(f"trace file {path!r} is not valid JSON: {exc}") from exc
+    if isinstance(payload, dict):
+        values = payload.get("values")
+        if not isinstance(values, list) or not values:
+            raise ScenarioError(f"trace file {path!r} has no non-empty 'values' list")
+        interval = payload.get("interval_s")
+        if interval is not None and (not isinstance(interval, (int, float)) or interval <= 0):
+            raise ScenarioError(f"trace file {path!r} has invalid 'interval_s': {interval!r}")
+        return [float(v) for v in values], float(interval) if interval else None
+    if isinstance(payload, list) and payload:
+        try:
+            pairs = [(float(t), float(v)) for t, v in payload]
+        except (TypeError, ValueError) as exc:
+            raise ScenarioError(
+                f"trace file {path!r}: expected [[time_s, value], ...] pairs"
+            ) from exc
+        return pairs, None
+    raise ScenarioError(
+        f"trace file {path!r}: expected an object with 'values' or a list of pairs"
+    )
+
+
+def _diagnose(args: argparse.Namespace, metrics: MetricsRegistry | None) -> int:
+    data, embedded_interval = _load_trace(args.diagnose)
+    interval = embedded_interval or args.interval
+    if data and isinstance(data[0], tuple):
+        detections = detect_from_series(
+            data, interval, metrics=metrics  # type: ignore[arg-type]
+        )
+    else:
+        detections = detect_periods(data, interval, metrics=metrics)  # type: ignore[arg-type]
+    detections = [d for d in detections if d.confidence >= args.min_confidence]
+    if not detections:
+        print(f"no periodic I/O detected at confidence >= {args.min_confidence}")
+        return 0
+    print(f"{len(detections)} periodic phase(s) detected (interval {interval}s):")
+    for d in detections:
+        print(f"  {d.description}")
+    recommendations = recommend_for_periods(detections, min_confidence=args.min_confidence)
+    print(f"{len(recommendations)} recommendation(s):")
+    for r in recommendations:
+        print(f"  {r.description}")
+    return 0
+
+
+def _run_campaign(args: argparse.Namespace, metrics: MetricsRegistry | None) -> int:
+    grammar = load_grammar_file(args.grammar)
+    derivations = expand(grammar, args.seed, args.run, metrics=metrics)
+    spec = compile_campaign_spec(grammar, derivations)
+    with CampaignStore(args.store, metrics=metrics) as store:
+        campaign_id = store.submit(spec, args.db)
+        counts = store.counts(campaign_id)
+        print(
+            f"submitted campaign {campaign_id} ({spec.name}): "
+            f"{sum(counts.values())} job(s) from {len(derivations)} derivation(s)"
+        )
+        launcher = Launcher(
+            store,
+            campaign_id,
+            workspace=args.workspace,
+            workers=args.workers,
+            seed=args.seed,
+            metrics=metrics,
+        )
+        counts = launcher.run()
+        summary = ", ".join(f"{counts[s]} {s}" for s in JOB_STATES if counts[s])
+        print(f"campaign {campaign_id} drained: {summary}")
+        return 1 if counts["FAILED"] else 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Console entry point."""
+    args = build_parser().parse_args(list(sys.argv[1:] if argv is None else argv))
+    needs_grammar = args.diagnose is None
+    if needs_grammar and not args.grammar:
+        print("error: --grammar is required for this action", file=sys.stderr)
+        return 2
+    if args.interval <= 0:
+        print("error: --interval must be positive", file=sys.stderr)
+        return 2
+    if args.workers < 1:
+        print("error: --workers must be >= 1", file=sys.stderr)
+        return 2
+    metrics = MetricsRegistry() if args.metrics_json else None
+    exit_code = 0
+    try:
+        if args.diagnose is not None:
+            exit_code = _diagnose(args, metrics)
+        elif args.expand is not None:
+            grammar = load_grammar_file(args.grammar)
+            for derivation in expand(grammar, args.seed, args.expand, metrics=metrics):
+                print(derivation.to_json())
+        elif args.compile is not None:
+            grammar = load_grammar_file(args.grammar)
+            derivations = expand(grammar, args.seed, args.compile, metrics=metrics)
+            _emit(compile_campaign_toml(grammar, derivations), args.out)
+        elif args.synthesize is not None:
+            grammar = load_grammar_file(args.grammar)
+            derivations = expand(
+                grammar, args.seed, args.synthesize + 1, metrics=metrics
+            )
+            derivation = derivations[args.synthesize]
+            values, planted = synthesize_throughput(
+                derivation, windows=args.windows, interval_s=args.interval
+            )
+            _emit(
+                json.dumps(
+                    {
+                        "grammar": grammar.name,
+                        "seed": args.seed,
+                        "index": derivation.index,
+                        "pattern": derivation.get("pattern", "steady"),
+                        "interval_s": args.interval,
+                        "planted_period_s": planted,
+                        "values": [round(float(v), 3) for v in values],
+                    }
+                ),
+                args.out,
+            )
+        else:
+            exit_code = _run_campaign(args, metrics)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        exit_code = 1
+    finally:
+        # Same parity rule as repro-campaign: the snapshot is written
+        # even when the action failed.
+        if args.metrics_json and metrics is not None:
+            try:
+                metrics.write_json(args.metrics_json)
+            except OSError as exc:
+                print(f"error: cannot write {args.metrics_json}: {exc}", file=sys.stderr)
+                return 1
+    return exit_code
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,307 @@
+"""Deterministic seeded expansion of workload grammars.
+
+Every derivation is driven by one random stream derived from
+``(seed, "scenario", grammar.name, index)`` via the repo-wide
+:func:`~repro.util.rng.derive_seed` discipline, and every stochastic
+decision (alternative selection, inline choices, range draws) consumes
+that stream in leftmost-derivation order.  Identical ``(grammar, seed,
+index)`` therefore always yields the byte-identical derivation — the
+contract the campaign compiler and the property tests build on — while
+different seeds explore different corners of the pattern family.
+
+A :class:`Derivation` is a flat terminal assignment (plus the decision
+trace for provenance).  :func:`compile_ior_config` maps the
+IOR-expressible subset of its keys onto a runnable
+:class:`~repro.benchmarks_io.ior.config.IORConfig`;
+:func:`synthesize_throughput` turns the derivation's *temporal* keys
+(``pattern``, ``period_s``, ``duty``) into a synthetic throughput trace
+with a known planted period, which is what the frequency-domain
+detector trains its confidence scoring against.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.benchmarks_io.ior.config import IORConfig
+from repro.core.scenario.grammar import (
+    Choice,
+    Grammar,
+    NonTerminal,
+    Range,
+    Terminal,
+)
+from repro.util.errors import ConfigurationError, ScenarioError
+from repro.util.rng import lognormal_factor, stream
+from repro.util.units import parse_size
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from repro.core.metrics import MetricsRegistry
+
+__all__ = [
+    "Derivation",
+    "expand",
+    "compile_ior_config",
+    "synthesize_throughput",
+]
+
+#: Derivation keys :func:`compile_ior_config` maps onto IOR options.
+IOR_KEYS = frozenset(
+    {
+        "api",
+        "blocksize",
+        "transfersize",
+        "segments",
+        "iterations",
+        "sharing",
+        "collective",
+        "fsync",
+        "testfile",
+    }
+)
+#: Derivation keys carried as campaign geometry, not IOR flags.
+GEOMETRY_KEYS = frozenset({"nodes", "taskspernode"})
+
+
+@dataclass(frozen=True, slots=True)
+class Derivation:
+    """One fully-expanded scenario: flat terminals + decision trace."""
+
+    grammar: str
+    seed: int
+    index: int
+    params: dict[str, str] = field(default_factory=dict)
+    trace: tuple[str, ...] = ()
+
+    def to_json(self) -> str:
+        """Stable JSON form (the byte-identity unit of the determinism
+        property tests)."""
+        return json.dumps(
+            {
+                "grammar": self.grammar,
+                "seed": self.seed,
+                "index": self.index,
+                "params": self.params,
+                "trace": list(self.trace),
+            },
+            sort_keys=True,
+        )
+
+    def get(self, key: str, default: str | None = None) -> str | None:
+        """One terminal value (string form), or ``default``."""
+        return self.params.get(key, default)
+
+    def get_float(self, key: str, default: float) -> float:
+        """One terminal as a float, tolerating size suffixes."""
+        raw = self.params.get(key)
+        if raw is None:
+            return default
+        try:
+            return float(raw)
+        except ValueError:
+            try:
+                return float(parse_size(raw))
+            except Exception:
+                raise ScenarioError(
+                    f"derivation key {key!r} is not numeric: {raw!r}"
+                ) from None
+
+
+def _format_value(value: float, integer: bool) -> str:
+    if integer:
+        return str(int(round(value)))
+    return repr(round(value, 6))
+
+
+def _weighted_index(rng: np.random.Generator, weights: tuple[float, ...]) -> int:
+    """Draw one index proportionally to ``weights`` (deterministic)."""
+    total = float(sum(weights))
+    threshold = float(rng.random()) * total
+    acc = 0.0
+    for i, w in enumerate(weights):
+        acc += w
+        if threshold < acc:
+            return i
+    return len(weights) - 1  # pragma: no cover - float round-off guard
+
+
+def _derive_one(grammar: Grammar, rng: np.random.Generator) -> tuple[dict[str, str], list[str]]:
+    """Expand the start symbol with one random stream (leftmost order)."""
+    params = dict(grammar.defaults)
+    trace: list[str] = []
+
+    def visit(rule_name: str, depth: int) -> None:
+        if depth > grammar.max_depth:
+            raise ScenarioError(
+                f"grammar {grammar.name!r} exceeded max_depth={grammar.max_depth} "
+                f"expanding {rule_name!r} — is a rule (mutually) recursive "
+                "without a terminating alternative?"
+            )
+        rule = grammar.rule(rule_name)
+        if len(rule.alternatives) == 1:
+            alt_index = 0
+        else:
+            alt_index = _weighted_index(
+                rng, tuple(a.weight for a in rule.alternatives)
+            )
+        trace.append(f"{rule_name}[{alt_index}]")
+        for symbol in rule.alternatives[alt_index].symbols:
+            if isinstance(symbol, NonTerminal):
+                visit(symbol.name, depth + 1)
+            elif isinstance(symbol, Terminal):
+                params[symbol.key] = symbol.value
+            elif isinstance(symbol, Choice):
+                params[symbol.key] = symbol.values[
+                    _weighted_index(rng, symbol.weights)
+                ]
+            elif isinstance(symbol, Range):
+                if symbol.pow2:
+                    values = symbol.pow2_values()
+                    value = float(values[int(rng.integers(0, len(values)))])
+                    params[symbol.key] = _format_value(value, integer=True)
+                elif symbol.integer:
+                    value = float(rng.integers(int(symbol.lo), int(symbol.hi) + 1))
+                    params[symbol.key] = _format_value(value, integer=True)
+                else:
+                    value = symbol.lo + float(rng.random()) * (symbol.hi - symbol.lo)
+                    params[symbol.key] = _format_value(value, integer=False)
+
+    visit(grammar.start, depth=1)
+    return params, trace
+
+
+def expand(
+    grammar: Grammar,
+    seed: int,
+    count: int,
+    *,
+    metrics: "MetricsRegistry | None" = None,
+) -> list[Derivation]:
+    """Expand ``count`` derivations from ``grammar`` under ``seed``.
+
+    Derivation ``i`` draws from the stream keyed ``(seed, "scenario",
+    grammar.name, i)``, so the list is stable under re-expansion and
+    prefix-stable under a larger ``count``.
+    """
+    if count < 1:
+        raise ScenarioError(f"count must be >= 1, got {count}")
+    derivations = []
+    for index in range(count):
+        rng = stream(seed, "scenario", grammar.name, index)
+        params, trace = _derive_one(grammar, rng)
+        derivations.append(
+            Derivation(
+                grammar=grammar.name,
+                seed=seed,
+                index=index,
+                params=params,
+                trace=tuple(trace),
+            )
+        )
+    if metrics is not None:
+        metrics.counter(
+            "scenario.expansions_total",
+            "derivations expanded from workload grammars",
+            grammar=grammar.name,
+        ).inc(len(derivations))
+    return derivations
+
+
+def _round_up(value: int, multiple: int) -> int:
+    return ((value + multiple - 1) // multiple) * multiple
+
+
+def compile_ior_config(derivation: Derivation) -> IORConfig:
+    """Compile one derivation's IOR-expressible keys into a config.
+
+    Unknown keys (temporal structure like ``period_s``, campaign
+    geometry like ``nodes``) are deliberately ignored here — they ride
+    along in ``derivation.params`` for the campaign compiler and the
+    trace synthesizer.  The block size is rounded up to a whole number
+    of transfers, since a grammar may legally sample the two
+    independently.
+    """
+    params = derivation.params
+    try:
+        transfer = parse_size(params.get("transfersize", "1m"))
+        block = parse_size(params.get("blocksize", "4m"))
+    except Exception as exc:
+        raise ScenarioError(f"derivation {derivation.index}: bad size ({exc})") from exc
+    if transfer <= 0 or block <= 0:
+        raise ScenarioError(
+            f"derivation {derivation.index}: sizes must be positive "
+            f"(blocksize={block}, transfersize={transfer})"
+        )
+    block = _round_up(block, transfer)
+    sharing = params.get("sharing", "shared")
+    if sharing not in ("shared", "fpp"):
+        raise ScenarioError(
+            f"derivation {derivation.index}: sharing must be 'shared' or 'fpp', "
+            f"got {sharing!r}"
+        )
+    try:
+        return IORConfig(
+            api=params.get("api", "MPIIO"),
+            block_size=block,
+            transfer_size=transfer,
+            segment_count=int(params.get("segments", "1")),
+            iterations=int(params.get("iterations", "3")),
+            test_file=params.get("testfile", "/scratch/scenario/test"),
+            file_per_proc=sharing == "fpp",
+            collective=params.get("collective", "false").lower() == "true",
+            fsync=params.get("fsync", "false").lower() == "true",
+            keep_file=True,
+        )
+    except (ConfigurationError, ValueError) as exc:
+        raise ScenarioError(
+            f"derivation {derivation.index} does not compile to IOR: {exc}"
+        ) from exc
+
+
+def synthesize_throughput(
+    derivation: Derivation,
+    *,
+    windows: int = 256,
+    interval_s: float = 0.25,
+    noise_sigma: float = 0.08,
+) -> tuple[np.ndarray, float | None]:
+    """Synthesize a throughput trace (MiB/s per window) for a derivation.
+
+    Derivations whose ``pattern`` is temporal (``bursty`` or
+    ``interleaved``) plant a square/alternating wave with the
+    derivation's ``period_s`` (default 4 s) and ``duty`` (default 0.3);
+    anything else produces steady throughput.  Multiplicative lognormal
+    noise keeps the trace realistic without burying the planted period.
+    Returns ``(values, planted_period_s)`` with ``None`` when the trace
+    is aperiodic by construction.
+    """
+    if windows < 8:
+        raise ScenarioError(f"need at least 8 windows, got {windows}")
+    if interval_s <= 0:
+        raise ScenarioError(f"interval must be positive, got {interval_s}")
+    rng = stream(derivation.seed, "scenario-trace", derivation.grammar, derivation.index)
+    pattern = derivation.get("pattern", "steady")
+    high = max(16.0, derivation.get_float("blocksize", 32 * 1024**2) / 1024**2 * 8.0)
+    low = high * 0.05
+    noise = lognormal_factor(rng, noise_sigma, size=windows)
+    t = np.arange(windows) * interval_s
+    if pattern in ("bursty", "interleaved"):
+        period_s = derivation.get_float("period_s", 4.0)
+        if period_s <= interval_s * 2:
+            raise ScenarioError(
+                f"period_s={period_s} is not resolvable at interval_s={interval_s}"
+            )
+        duty = min(0.9, max(0.05, derivation.get_float("duty", 0.3)))
+        phase = np.mod(t, period_s) / period_s
+        if pattern == "bursty":
+            values = np.where(phase < duty, high, low)
+        else:
+            # Interleaved read/write phases: two intensity levels split
+            # the period instead of an on/off burst.
+            values = np.where(phase < 0.5, high, high * 0.4)
+        return values * noise, float(period_s)
+    return np.full(windows, high * 0.6) * noise, None

@@ -1,0 +1,374 @@
+"""Workload grammars: a small CFG DSL describing I/O pattern families.
+
+FBench-style what-if exploration (PAPERS.md) turns "new scenario" into
+data instead of code: a context-free grammar whose productions describe
+*families* of I/O patterns — bursty, interleaved, shared-file vs.
+file-per-process, metadata-heavy — expands into concrete benchmark
+configurations.  A grammar is a TOML file::
+
+    [grammar]
+    name = "io-families"
+    start = "workload"
+
+    [rules]
+    workload = "bursty | interleaved @2 | steady"
+    bursty = "geometry api=<MPIIO|POSIX> sharing=<shared|fpp> pattern=bursty period_s={2..8}"
+    geometry = "blocksize={4m..32m:pow2} transfersize={1m..4m:pow2} segments={2..16}"
+
+    [defaults]
+    nodes = 2
+    taskspernode = 4
+
+Each rule's right-hand side is a ``|``-separated list of alternatives;
+an alternative is a whitespace-separated token sequence.  Tokens:
+
+``name``
+    A nonterminal reference — the named rule is expanded in place.
+``key=value``
+    A terminal assignment (later assignments override earlier ones, so
+    a shared base rule can be specialised downstream).
+``key=<a|b|c>``
+    An inline weighted choice of literals; ``a:2`` doubles ``a``'s
+    weight.
+``key={lo..hi}``
+    A numeric range.  Bounds may be integers, floats, or binary sizes
+    (``4m``); ``{lo..hi:pow2}`` restricts the draw to powers of two —
+    the natural lattice for block/transfer sizes.
+``@N``
+    Sets the surrounding *alternative's* selection weight (default 1).
+
+The ``[defaults]`` table contributes fixed terminals (applied before
+the derivation, so rules may override them).  Parsing is eager and
+total: every nonterminal must resolve to a rule, ranges must be
+ordered, and weights positive — a grammar that parses, expands.
+
+TOML loading reuses the campaign subsystem's tomllib-or-subset
+discipline so 3.10 containers keep working.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.util.errors import ScenarioError, UnitParseError
+from repro.util.units import parse_size
+
+try:  # Python >= 3.11
+    import tomllib as _toml
+except ImportError:  # pragma: no cover - exercised only on 3.10
+    _toml = None
+
+__all__ = [
+    "Grammar",
+    "Rule",
+    "Alternative",
+    "Terminal",
+    "Choice",
+    "Range",
+    "NonTerminal",
+    "parse_grammar_toml",
+    "load_grammar_file",
+]
+
+_NAME_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*$")
+_RANGE_RE = re.compile(r"^\{(?P<lo>[^{}]+?)\.\.(?P<hi>[^:{}]+?)(?::(?P<mode>[a-z0-9]+))?\}$")
+_CHOICE_RE = re.compile(r"^<(?P<body>[^<>]+)>$")
+
+#: Terminal keys whose values the IOR compiler understands as sizes.
+SIZE_KEYS = frozenset({"blocksize", "transfersize"})
+
+
+@dataclass(frozen=True, slots=True)
+class NonTerminal:
+    """A reference to another rule, expanded in place."""
+
+    name: str
+
+
+@dataclass(frozen=True, slots=True)
+class Terminal:
+    """A fixed ``key=value`` assignment."""
+
+    key: str
+    value: str
+
+
+@dataclass(frozen=True, slots=True)
+class Choice:
+    """An inline weighted choice of literal values for one key."""
+
+    key: str
+    values: tuple[str, ...]
+    weights: tuple[float, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class Range:
+    """A numeric range for one key.
+
+    ``lo``/``hi`` are inclusive.  ``integer`` ranges draw whole numbers
+    (uniform, or uniform over the powers of two in range when ``pow2``);
+    float ranges draw uniformly on the continuous interval.
+    """
+
+    key: str
+    lo: float
+    hi: float
+    integer: bool
+    pow2: bool = False
+
+    def pow2_values(self) -> list[int]:
+        """The powers of two inside ``[lo, hi]`` (validated non-empty)."""
+        values = []
+        v = 1
+        while v <= self.hi:
+            if v >= self.lo:
+                values.append(v)
+            v *= 2
+        return values
+
+
+Symbol = NonTerminal | Terminal | Choice | Range
+
+
+@dataclass(frozen=True, slots=True)
+class Alternative:
+    """One weighted right-hand side of a rule."""
+
+    symbols: tuple[Symbol, ...]
+    weight: float = 1.0
+
+
+@dataclass(frozen=True, slots=True)
+class Rule:
+    """A named production with one or more alternatives."""
+
+    name: str
+    alternatives: tuple[Alternative, ...]
+
+
+@dataclass(slots=True)
+class Grammar:
+    """A parsed workload grammar."""
+
+    name: str
+    start: str
+    rules: dict[str, Rule]
+    defaults: dict[str, str] = field(default_factory=dict)
+    max_depth: int = 32
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ScenarioError("grammar needs a non-empty name")
+        if self.start not in self.rules:
+            raise ScenarioError(
+                f"start symbol {self.start!r} has no rule; defined: {sorted(self.rules)}"
+            )
+        if self.max_depth < 1:
+            raise ScenarioError(f"max_depth must be >= 1, got {self.max_depth}")
+        for rule in self.rules.values():
+            for alt in rule.alternatives:
+                for symbol in alt.symbols:
+                    if isinstance(symbol, NonTerminal) and symbol.name not in self.rules:
+                        raise ScenarioError(
+                            f"rule {rule.name!r} references undefined "
+                            f"nonterminal {symbol.name!r}"
+                        )
+
+    def rule(self, name: str) -> Rule:
+        """Look up one rule (the expander's entry point)."""
+        try:
+            return self.rules[name]
+        except KeyError:
+            raise ScenarioError(f"no rule named {name!r}") from None
+
+
+def _parse_number(text: str, *, context: str) -> tuple[float, bool]:
+    """Parse a range bound: int, float, or binary size.  Returns
+    ``(value, is_integer)``."""
+    text = text.strip()
+    try:
+        return float(int(text)), True
+    except ValueError:
+        pass
+    try:
+        return float(text), False
+    except ValueError:
+        pass
+    try:
+        return float(parse_size(text)), True
+    except (UnitParseError, ValueError):
+        raise ScenarioError(
+            f"{context}: cannot parse range bound {text!r} "
+            "(expected an integer, float, or size like '4m')"
+        ) from None
+
+
+def _parse_weighted(token: str, *, context: str) -> tuple[str, float]:
+    """Split a ``value:weight`` literal (weight defaults to 1)."""
+    value, sep, weight_text = token.partition(":")
+    if not sep:
+        return token, 1.0
+    try:
+        weight = float(weight_text)
+    except ValueError:
+        raise ScenarioError(f"{context}: invalid weight in {token!r}") from None
+    if weight <= 0:
+        raise ScenarioError(f"{context}: weight must be positive in {token!r}")
+    return value, weight
+
+
+def _parse_symbol(token: str, rule_name: str) -> Symbol | float:
+    """Parse one alternative token; a float is an ``@weight`` marker."""
+    context = f"rule {rule_name!r}"
+    if token.startswith("@"):
+        try:
+            weight = float(token[1:])
+        except ValueError:
+            raise ScenarioError(f"{context}: invalid alternative weight {token!r}") from None
+        if weight <= 0:
+            raise ScenarioError(f"{context}: alternative weight must be positive ({token!r})")
+        return weight
+    key, sep, value = token.partition("=")
+    if not sep:
+        if not _NAME_RE.match(token):
+            raise ScenarioError(f"{context}: invalid nonterminal reference {token!r}")
+        return NonTerminal(token)
+    if not _NAME_RE.match(key):
+        raise ScenarioError(f"{context}: invalid terminal key {key!r}")
+    if not value:
+        raise ScenarioError(f"{context}: empty value for terminal {key!r}")
+    range_match = _RANGE_RE.match(value)
+    if range_match:
+        lo, lo_int = _parse_number(range_match.group("lo"), context=context)
+        hi, hi_int = _parse_number(range_match.group("hi"), context=context)
+        if lo > hi:
+            raise ScenarioError(f"{context}: empty range {value!r} for {key!r} (lo > hi)")
+        mode = range_match.group("mode")
+        if mode not in (None, "pow2"):
+            raise ScenarioError(f"{context}: unknown range mode {mode!r} in {value!r}")
+        rng = Range(key=key, lo=lo, hi=hi, integer=lo_int and hi_int, pow2=mode == "pow2")
+        if rng.pow2:
+            if not rng.integer:
+                raise ScenarioError(f"{context}: pow2 ranges need integer bounds ({value!r})")
+            if not rng.pow2_values():
+                raise ScenarioError(
+                    f"{context}: no power of two inside {value!r} for {key!r}"
+                )
+        return rng
+    choice_match = _CHOICE_RE.match(value)
+    if choice_match:
+        pairs = [
+            _parse_weighted(part.strip(), context=context)
+            for part in choice_match.group("body").split("|")
+            if part.strip()
+        ]
+        if not pairs:
+            raise ScenarioError(f"{context}: empty choice for {key!r}")
+        return Choice(
+            key=key,
+            values=tuple(v for v, _ in pairs),
+            weights=tuple(w for _, w in pairs),
+        )
+    return Terminal(key=key, value=value)
+
+
+def _split_alternatives(name: str, text: str) -> list[str]:
+    """Split a rule RHS on ``|``, ignoring pipes inside ``<...>`` choices."""
+    parts: list[str] = []
+    depth = 0
+    current: list[str] = []
+    for ch in text:
+        if ch == "<":
+            depth += 1
+        elif ch == ">":
+            depth -= 1
+            if depth < 0:
+                raise ScenarioError(f"rule {name!r}: unbalanced '>' in {text!r}")
+        if ch == "|" and depth == 0:
+            parts.append("".join(current))
+            current = []
+        else:
+            current.append(ch)
+    if depth != 0:
+        raise ScenarioError(f"rule {name!r}: unbalanced '<' in {text!r}")
+    parts.append("".join(current))
+    return parts
+
+
+def _parse_rule(name: str, text: str) -> Rule:
+    """Parse one rule's right-hand side."""
+    if not _NAME_RE.match(name):
+        raise ScenarioError(f"invalid rule name {name!r}")
+    alternatives = []
+    for alt_text in _split_alternatives(name, text):
+        tokens = alt_text.split()
+        if not tokens:
+            raise ScenarioError(f"rule {name!r} has an empty alternative")
+        symbols: list[Symbol] = []
+        weight = 1.0
+        for token in tokens:
+            parsed = _parse_symbol(token, name)
+            if isinstance(parsed, float):
+                weight = parsed
+            else:
+                symbols.append(parsed)
+        if not symbols:
+            raise ScenarioError(f"rule {name!r} has a weight-only alternative")
+        alternatives.append(Alternative(symbols=tuple(symbols), weight=weight))
+    return Rule(name=name, alternatives=tuple(alternatives))
+
+
+def parse_grammar_toml(text: str) -> Grammar:
+    """Parse grammar TOML text into a validated :class:`Grammar`."""
+    if _toml is not None:
+        try:
+            tables = _toml.loads(text)
+        except _toml.TOMLDecodeError as exc:
+            raise ScenarioError(f"invalid grammar TOML: {exc}") from exc
+    else:  # pragma: no cover - 3.10 fallback
+        # Imported lazily: the campaign package transitively imports
+        # repro.core.usage, whose OnlineMonitor imports this package's
+        # periodic module — a top-level import here would close a cycle.
+        from repro.core.campaign.spec import _parse_toml_subset
+
+        try:
+            tables = _parse_toml_subset(text)
+        except Exception as exc:
+            raise ScenarioError(f"invalid grammar TOML: {exc}") from exc
+    meta = tables.get("grammar")
+    if not isinstance(meta, dict):
+        raise ScenarioError("grammar file needs a [grammar] table")
+    unknown = sorted(set(tables) - {"grammar", "rules", "defaults"})
+    if unknown:
+        raise ScenarioError(
+            f"unknown grammar table(s) {unknown}; known: [grammar], [rules], [defaults]"
+        )
+    name = str(meta.get("name", ""))
+    start = str(meta.get("start", "workload"))
+    max_depth = meta.get("max_depth", 32)
+    if not isinstance(max_depth, int) or isinstance(max_depth, bool):
+        raise ScenarioError(f"max_depth must be an integer, got {max_depth!r}")
+    raw_rules = tables.get("rules", {})
+    if not isinstance(raw_rules, dict) or not raw_rules:
+        raise ScenarioError("grammar needs at least one [rules] entry")
+    rules = {
+        str(rule_name): _parse_rule(str(rule_name), str(rhs))
+        for rule_name, rhs in raw_rules.items()
+    }
+    defaults = {str(k): str(v) for k, v in tables.get("defaults", {}).items()}
+    for key in defaults:
+        if not _NAME_RE.match(key):
+            raise ScenarioError(f"invalid default key {key!r}")
+    return Grammar(name=name, start=start, rules=rules, defaults=defaults, max_depth=max_depth)
+
+
+def load_grammar_file(path: str) -> Grammar:
+    """Load and parse a grammar TOML file."""
+    try:
+        with open(path, encoding="utf-8") as fh:
+            text = fh.read()
+    except OSError as exc:
+        raise ScenarioError(f"cannot read grammar file {path!r}: {exc}") from exc
+    return parse_grammar_toml(text)

@@ -20,7 +20,12 @@ from repro.core.usage.online import OnlineAlert, OnlineMonitor
 from repro.core.usage.optimizer import IOOptimizer, TuningSuggestion, validate_suggestion
 from repro.core.usage.pattern_extractor import IOPattern, extract_pattern
 from repro.core.usage.prediction import FeatureVector, PerformancePredictor, cross_validate
-from repro.core.usage.recommend import Recommendation, Recommender
+from repro.core.usage.recommend import (
+    PeriodicRecommendation,
+    Recommendation,
+    Recommender,
+    recommend_for_periods,
+)
 from repro.core.usage.synthetic import ior_config_from_pattern
 from repro.core.usage.workload_gen import (
     config_from_knowledge,
@@ -52,8 +57,10 @@ __all__ = [
     "FeatureVector",
     "PerformancePredictor",
     "cross_validate",
+    "PeriodicRecommendation",
     "Recommendation",
     "Recommender",
+    "recommend_for_periods",
     "config_from_knowledge",
     "create_configuration",
     "generate_jube_config",

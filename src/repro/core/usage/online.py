@@ -6,6 +6,16 @@ ingests I/O events *while the run executes*, folds them into fixed
 time intervals, and raises alerts the moment an interval's throughput
 collapses against the rolling baseline — the online counterpart of the
 offline Fig. 5 analysis.
+
+With ``detect_periods=True`` the monitor additionally runs the
+frequency-domain pipeline of
+:mod:`repro.core.scenario.periodic` (DFT + autocorrelation, "Capturing
+Periodic I/O Using Frequency Techniques", Tarraf et al.) over the
+completed-window series on a sliding cadence, and raises a
+``periodic-io`` :class:`OnlineAlert` the first time a period is
+detected with enough confidence — while the job is still running, so
+the detected period can feed scheduling or buffering decisions
+immediately.
 """
 
 from __future__ import annotations
@@ -14,6 +24,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.scenario.periodic import detect_periods as _detect_periods
 from repro.iostack.tracing import TraceEvent, Tracer
 from repro.util.errors import UsageError
 
@@ -22,13 +33,19 @@ __all__ = ["OnlineAlert", "OnlineMonitor"]
 
 @dataclass(frozen=True, slots=True)
 class OnlineAlert:
-    """One alert raised during the run."""
+    """One alert raised during the run.
+
+    ``period_s``/``confidence`` are populated for ``periodic-io``
+    alerts and ``None`` for ``throughput-drop`` alerts.
+    """
 
     time_s: float
-    kind: str  # 'throughput-drop'
+    kind: str  # 'throughput-drop' | 'periodic-io'
     observed_mib_s: float
     baseline_mib_s: float
     message: str
+    period_s: float | None = None
+    confidence: float | None = None
 
 
 @dataclass(slots=True)
@@ -38,13 +55,25 @@ class _Interval:
 
 
 class OnlineMonitor(Tracer):
-    """Streaming throughput watchdog over stack trace events."""
+    """Streaming throughput watchdog over stack trace events.
+
+    Ingest is order-tolerant by design: events and batches may arrive
+    out of order or revisit a window that already received data, and
+    the throughput series stays the exact per-window byte sums —
+    evaluation only ever moves forward (late data lands in the series
+    but cannot re-trigger or rewind an already-evaluated window).
+    """
 
     def __init__(
         self,
         interval_s: float = 0.25,
         drop_threshold: float = 0.5,
         warmup_intervals: int = 3,
+        *,
+        detect_periods: bool = False,
+        detection_min_windows: int = 32,
+        detection_stride: int = 16,
+        detection_confidence: float = 0.5,
     ) -> None:
         if interval_s <= 0:
             raise UsageError("interval must be positive")
@@ -52,11 +81,24 @@ class OnlineMonitor(Tracer):
             raise UsageError("drop_threshold must be in (0, 1)")
         if warmup_intervals < 1:
             raise UsageError("need at least one warmup interval")
+        if detection_min_windows < 16:
+            raise UsageError("period detection needs at least 16 windows")
+        if detection_stride < 1:
+            raise UsageError("detection stride must be >= 1")
+        if not 0 < detection_confidence <= 1:
+            raise UsageError("detection confidence must be in (0, 1]")
         self.interval_s = interval_s
         self.drop_threshold = drop_threshold
         self.warmup_intervals = warmup_intervals
+        self.detect_periods = detect_periods
+        self.detection_min_windows = detection_min_windows
+        self.detection_stride = detection_stride
+        self.detection_confidence = detection_confidence
         self._intervals: dict[int, _Interval] = {}
         self._evaluated_upto = -1
+        self._high_watermark = 0.0
+        self._last_detection_windows = 0
+        self._alerted_periods: list[float] = []
         self.alerts: list[OnlineAlert] = []
 
     # ------------------------------------------------------------------
@@ -76,21 +118,27 @@ class OnlineMonitor(Tracer):
         if not (op.startswith("read") or op.startswith("write")):
             return
         durations = np.asarray(durations, dtype=float)
+        if durations.size == 0:
+            return  # an empty batch moves no bytes and no clock
         ends = t0 + np.cumsum(durations)
-        # Vectorized interval binning for the batch.
-        idx = (ends / self.interval_s).astype(int)
-        for interval_index in np.unique(idx):
-            total = nbytes * int((idx == interval_index).sum())
-            self._ingest_index(int(interval_index), total)
+        # Vectorized interval binning for the batch.  floor (not int
+        # truncation) keeps pre-epoch timestamps in the right window.
+        idx = np.floor(ends / self.interval_s).astype(int)
+        for interval_index, count in zip(*np.unique(idx, return_counts=True)):
+            self._ingest_index(int(interval_index), nbytes * int(count))
         self._evaluate(float(ends[-1]))
 
     # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
     def _ingest(self, t: float, nbytes: float) -> None:
-        self._ingest_index(int(t / self.interval_s), nbytes)
+        self._ingest_index(int(np.floor(t / self.interval_s)), nbytes)
 
     def _ingest_index(self, index: int, nbytes: float) -> None:
+        if not np.isfinite(nbytes) or nbytes < 0:
+            # A NaN/inf byte count would poison every later baseline
+            # and the detector's spectrum; drop it, keep the stream.
+            return
         interval = self._intervals.get(index)
         if interval is None:
             interval = _Interval(index=index)
@@ -98,8 +146,15 @@ class OnlineMonitor(Tracer):
         interval.bytes_moved += nbytes
 
     def _evaluate(self, now: float) -> None:
-        """Check every *completed* interval against the rolling baseline."""
-        current = int(now / self.interval_s)
+        """Check every *completed* interval against the rolling baseline.
+
+        ``now`` advances a high-watermark: an out-of-order event or
+        batch with an earlier timestamp never rewinds evaluation, and
+        an already-evaluated interval is never re-alerted, so late or
+        duplicated deliveries cannot corrupt the alert stream.
+        """
+        self._high_watermark = max(self._high_watermark, now)
+        current = int(self._high_watermark / self.interval_s)
         for index in sorted(i for i in self._intervals if self._evaluated_upto < i < current):
             history = [
                 self._intervals[i].bytes_moved
@@ -125,6 +180,54 @@ class OnlineMonitor(Tracer):
                         ),
                     )
                 )
+        if self.detect_periods:
+            self._detect(current)
+
+    def _completed_values(self) -> np.ndarray:
+        """Per-window MiB/s over the completed prefix, gaps as zeros."""
+        completed = [i for i in self._intervals if i <= self._evaluated_upto]
+        if not completed:
+            return np.zeros(0)
+        lo, hi = min(completed), max(completed)
+        values = np.zeros(hi - lo + 1)
+        mib = 1024**2
+        for i in completed:
+            values[i - lo] = self._intervals[i].bytes_moved / self.interval_s / mib
+        return values
+
+    def _detect(self, current: int) -> None:
+        """Run the frequency pipeline on a sliding cadence."""
+        values = self._completed_values()
+        n = len(values)
+        if n < self.detection_min_windows:
+            return
+        if n - self._last_detection_windows < self.detection_stride:
+            return
+        self._last_detection_windows = n
+        detections = _detect_periods(
+            values, self.interval_s, min_confidence=self.detection_confidence
+        )
+        for detection in detections:
+            if any(
+                abs(detection.period_s - p) / p < 0.25 for p in self._alerted_periods
+            ):
+                continue  # already alerted on (roughly) this period
+            self._alerted_periods.append(detection.period_s)
+            observed = float(values.mean())
+            self.alerts.append(
+                OnlineAlert(
+                    time_s=self._evaluated_upto * self.interval_s,
+                    kind="periodic-io",
+                    observed_mib_s=observed,
+                    baseline_mib_s=float(np.median(values)),
+                    message=(
+                        f"periodic I/O phase: {detection.description} "
+                        f"over {n} windows"
+                    ),
+                    period_s=detection.period_s,
+                    confidence=detection.confidence,
+                )
+            )
 
     # ------------------------------------------------------------------
     # results
@@ -137,8 +240,13 @@ class OnlineMonitor(Tracer):
             for i in sorted(self._intervals)
         ]
 
+    def detected_periods(self) -> list[OnlineAlert]:
+        """The ``periodic-io`` alerts raised so far."""
+        return [a for a in self.alerts if a.kind == "periodic-io"]
+
     def finish(self) -> list[OnlineAlert]:
         """Evaluate any trailing intervals and return all alerts."""
         if self._intervals:
+            self._last_detection_windows = 0  # force one final detection pass
             self._evaluate((max(self._intervals) + 1) * self.interval_s)
         return list(self.alerts)

@@ -10,11 +10,20 @@ configuration that performed best, together with the evidence.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
 
 from repro.core.knowledge import Knowledge
 from repro.util.errors import UsageError
 
-__all__ = ["Recommendation", "Recommender"]
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from repro.core.scenario.periodic import PeriodDetection
+
+__all__ = [
+    "Recommendation",
+    "Recommender",
+    "PeriodicRecommendation",
+    "recommend_for_periods",
+]
 
 
 @dataclass(frozen=True, slots=True)
@@ -93,3 +102,74 @@ class Recommender:
             improvement_over_worst=best_mean / worst_mean if worst_mean > 0 else float("inf"),
             n_candidates=len(candidates),
         )
+
+
+@dataclass(frozen=True, slots=True)
+class PeriodicRecommendation:
+    """An actionable suggestion derived from a detected I/O period."""
+
+    action: str  # 'collective-buffering' | 'burst-absorb' | 'stagger-phases'
+    period_s: float
+    confidence: float
+    message: str
+
+    @property
+    def description(self) -> str:
+        """Human-readable suggestion."""
+        return (
+            f"[{self.action}] {self.message} "
+            f"(period {self.period_s:.2f}s, confidence {self.confidence:.2f})"
+        )
+
+
+def recommend_for_periods(
+    detections: "Sequence[PeriodDetection]",
+    *,
+    min_confidence: float = 0.5,
+) -> list[PeriodicRecommendation]:
+    """Map detected periods onto concrete mitigations.
+
+    The action depends on the timescale of the periodicity: sub-second
+    periods point at per-operation overhead (collective buffering /
+    aggregation amortizes it), seconds-scale bursts are the classic
+    checkpoint cadence (absorb them in a burst buffer or node-local
+    staging), and very long periods are whole application phases (best
+    staggered against other jobs or prefetched ahead of the phase).
+    Detections below ``min_confidence`` are dropped rather than turned
+    into noise.
+    """
+    recommendations = []
+    for d in detections:
+        if d.confidence < min_confidence:
+            continue
+        if d.period_s < 1.0:
+            action = "collective-buffering"
+            message = (
+                f"sub-second periodic I/O every {d.period_s * 1000:.0f} ms — "
+                "aggregate small operations (collective buffering, larger "
+                "transfer sizes) to amortize per-request overhead"
+            )
+        elif d.period_s < 30.0:
+            action = "burst-absorb"
+            message = (
+                f"burst cadence of {d.period_s:.1f}s — absorb bursts in a "
+                "burst buffer or node-local staging, and size write-behind "
+                "to drain one burst before the next arrives"
+            )
+        else:
+            action = "stagger-phases"
+            message = (
+                f"long I/O phase every {d.period_s:.0f}s — stagger the phase "
+                "against co-scheduled jobs, or prefetch/flush asynchronously "
+                "ahead of the next phase boundary"
+            )
+        recommendations.append(
+            PeriodicRecommendation(
+                action=action,
+                period_s=d.period_s,
+                confidence=d.confidence,
+                message=message,
+            )
+        )
+    recommendations.sort(key=lambda r: r.confidence, reverse=True)
+    return recommendations

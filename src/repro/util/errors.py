@@ -34,6 +34,7 @@ __all__ = [
     "JubeError",
     "DarshanError",
     "CampaignError",
+    "ScenarioError",
 ]
 
 
@@ -191,6 +192,15 @@ class CampaignError(ReproError):
     Raised for invalid campaign specs, illegal job state transitions,
     and operations on unknown campaigns/jobs — operator errors, never
     transient, so the retry predicate leaves them alone.
+    """
+
+
+class ScenarioError(ReproError):
+    """The scenario engine was misconfigured or misused.
+
+    Raised for unparsable workload grammars, non-terminating or
+    contradictory productions, and derivations that cannot be compiled
+    into a runnable configuration — authoring errors, never transient.
     """
 
     transient = False

@@ -1,7 +1,13 @@
 """Online monitor under fault injection: a producer whose stream is
 interrupted by :class:`InjectedFaultError` mid-run must degrade (drop
-the faulted events) without corrupting the monitor's window state."""
+the faulted events) without corrupting the monitor's window state.
+Batch ingest must additionally tolerate out-of-order, duplicated and
+degenerate batches, and streaming period detection must survive a
+faulted (gappy) event stream."""
 
+import random
+
+import numpy as np
 import pytest
 
 from repro.core.usage.online import OnlineMonitor
@@ -108,3 +114,160 @@ class TestOnlineMonitorUnderFaults:
     def test_validation_still_guards_construction(self):
         with pytest.raises(UsageError):
             OnlineMonitor(interval_s=0.0)
+        with pytest.raises(UsageError):
+            OnlineMonitor(detection_min_windows=4)
+        with pytest.raises(UsageError):
+            OnlineMonitor(detection_stride=0)
+        with pytest.raises(UsageError):
+            OnlineMonitor(detection_confidence=1.5)
+
+
+def _batches(n_windows=40, interval_s=0.25, ops_per_window=4):
+    """One record_batch call per window, varying bytes per window."""
+    out = []
+    for w in range(n_windows):
+        nbytes = (32 + 8 * (w % 7)) * 1024**2 / ops_per_window
+        durations = np.full(ops_per_window, interval_s / ops_per_window)
+        out.append(("posix", "write", 0, "/scratch/f", 0, nbytes, durations, w * interval_s))
+    return out
+
+
+class TestRecordBatchEdgeCases:
+    def test_out_of_order_batches_preserve_series(self):
+        ordered, shuffled = OnlineMonitor(), OnlineMonitor()
+        batches = _batches()
+        for b in batches:
+            ordered.record_batch(*b)
+        random.Random(9).shuffle(batches)
+        for b in batches:
+            shuffled.record_batch(*b)
+        assert ordered.throughput_series() == shuffled.throughput_series()
+
+    def test_duplicate_window_accumulates_once_per_delivery(self):
+        monitor = OnlineMonitor(interval_s=0.25)
+        batch = _batches(n_windows=1)[0]
+        monitor.record_batch(*batch)
+        monitor.record_batch(*batch)  # a revisit adds bytes, never corrupts
+        single = OnlineMonitor(interval_s=0.25)
+        single.record_batch(*batch)
+        doubled = monitor.throughput_series()
+        reference = single.throughput_series()
+        assert [t for t, _ in doubled] == [t for t, _ in reference]
+        for (_, twice), (_, once) in zip(doubled, reference):
+            assert twice == pytest.approx(2 * once)
+
+    def test_empty_batch_is_a_noop(self):
+        monitor = OnlineMonitor()
+        monitor.record_batch("posix", "write", 0, "/f", 0, 1024.0, np.array([]), 5.0)
+        assert monitor.throughput_series() == []
+        assert monitor.finish() == []
+
+    def test_non_finite_bytes_dropped(self):
+        monitor = OnlineMonitor(interval_s=0.25)
+        monitor.record_batch(
+            "posix", "write", 0, "/f", 0, float("nan"), np.full(2, 0.05), 0.0
+        )
+        monitor.record_batch(
+            "posix", "write", 0, "/f", 0, float("inf"), np.full(2, 0.05), 1.0
+        )
+        assert monitor.throughput_series() == []
+
+    def test_negative_timestamps_bin_correctly(self):
+        monitor = OnlineMonitor(interval_s=0.25)
+        monitor.record_batch(
+            "posix", "write", 0, "/f", 0, 1024.0, np.full(2, 0.01), -0.30
+        )
+        indices = [t / 0.25 for t, _ in monitor.throughput_series()]
+        assert indices and all(i == int(i) for i in indices)
+        assert min(indices) < 0  # floored, not truncated toward zero
+
+    def test_late_batch_cannot_rewind_evaluation(self):
+        monitor = OnlineMonitor(interval_s=0.25, warmup_intervals=2)
+        for b in _batches(n_windows=20):
+            monitor.record_batch(*b)
+        evaluated = monitor._evaluated_upto
+        alerts_before = list(monitor.alerts)
+        # a late, tiny batch for an already-evaluated early window
+        monitor.record_batch(
+            "posix", "write", 0, "/f", 0, 16.0, np.full(1, 0.01), 0.5
+        )
+        assert monitor._evaluated_upto == evaluated
+        assert monitor.alerts == alerts_before  # no retroactive re-alerting
+
+    def test_reads_and_writes_both_counted_others_ignored(self):
+        monitor = OnlineMonitor(interval_s=0.25)
+        monitor.record_batch("posix", "read", 0, "/f", 0, 1024.0, np.full(1, 0.01), 0.0)
+        monitor.record_batch("posix", "open", 0, "/f", 0, 1024.0, np.full(1, 0.01), 0.0)
+        series = monitor.throughput_series()
+        assert len(series) == 1  # the open contributed nothing
+
+
+class TestStreamingPeriodDetection:
+    INTERVAL = 0.25
+    PERIOD = 4.0
+
+    def _planted_batches(self, n_windows=240):
+        out = []
+        for w in range(n_windows):
+            phase = (w * self.INTERVAL) % self.PERIOD / self.PERIOD
+            mib_s = 240.0 if phase < 0.3 else 12.0
+            nbytes = mib_s * 1024**2 * self.INTERVAL / 4
+            durations = np.full(4, self.INTERVAL / 4)
+            out.append(
+                ("mpiio", "write", 0, "/scratch/f", 0, nbytes, durations, w * self.INTERVAL)
+            )
+        return out
+
+    def test_detects_planted_period_mid_run(self):
+        monitor = OnlineMonitor(interval_s=self.INTERVAL, detect_periods=True)
+        for b in self._planted_batches():
+            monitor.record_batch(*b)
+        periodic = monitor.detected_periods()
+        assert periodic
+        assert periodic[0].period_s == pytest.approx(self.PERIOD, rel=0.15)
+        assert periodic[0].confidence >= 0.5
+        # the alert fired while the stream was still flowing, not at finish
+        assert periodic[0].time_s < 239 * self.INTERVAL
+        # same period is not re-alerted by later windows or finish()
+        monitor.finish()
+        assert len(monitor.detected_periods()) == len(periodic)
+
+    def test_detects_planted_period_under_faults(self, fault_seed):
+        injector = FaultInjector(
+            [Fault(name="stream-loss", fail_probability=0.2,
+                   when={"op": "write"}, transient=True)],
+            root_seed=fault_seed,
+        )
+        monitor = OnlineMonitor(interval_s=self.INTERVAL, detect_periods=True)
+        dropped = 0
+        for b in self._planted_batches():
+            try:
+                injector.maybe_raise({"op": b[1]})
+            except InjectedFaultError:
+                dropped += 1
+                continue
+            monitor.record_batch(*b)
+        assert dropped > 0  # the fault really fired
+        monitor.finish()
+        periodic = monitor.detected_periods()
+        assert periodic, "planted period lost to a 20% faulted stream"
+        assert periodic[0].period_s == pytest.approx(self.PERIOD, rel=0.2)
+
+    def test_aperiodic_stream_stays_quiet(self):
+        monitor = OnlineMonitor(interval_s=self.INTERVAL, detect_periods=True)
+        rng = np.random.default_rng(11)
+        for w in range(200):
+            nbytes = float(rng.uniform(40, 60)) * 1024**2 * self.INTERVAL / 2
+            monitor.record_batch(
+                "posix", "write", 0, "/f", 0, nbytes,
+                np.full(2, self.INTERVAL / 2), w * self.INTERVAL,
+            )
+        monitor.finish()
+        assert monitor.detected_periods() == []
+
+    def test_detection_off_by_default(self):
+        monitor = OnlineMonitor(interval_s=self.INTERVAL)
+        for b in self._planted_batches(120):
+            monitor.record_batch(*b)
+        monitor.finish()
+        assert monitor.detected_periods() == []
