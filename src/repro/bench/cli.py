@@ -8,14 +8,17 @@ Usage::
     repro-bench scan --rows 20000 --shards 8
     repro-bench scenario --out BENCH_scenario.json
     repro-bench scenario --derivations 5000 --traces 96
+    repro-bench campaign --out BENCH_campaign.json
+    repro-bench campaign --jobs 96 --duration-ms 40
 
 Each sub-benchmark writes a ``repro.bench/v1`` JSON report (and prints
 a one-screen summary), comparing the code paths it exercises — the
 knowledge service in-process against the ``repro.wire/v1`` TCP link,
 the columnar ``scan()`` pushdown against row-loop and batched Python
-folds, and the scenario engine's grammar expansion and period
-detection — so the cost of a transport or a refactor lands in a
-diffable artifact.
+folds, the scenario engine's grammar expansion and period detection,
+and campaign drain throughput at 1/2/4 competing launcher processes
+plus lease-steal latency — so the cost of a transport or a refactor
+lands in a diffable artifact.
 """
 
 from __future__ import annotations
@@ -91,6 +94,23 @@ def build_parser() -> argparse.ArgumentParser:
                           help="expansion seed (default: %(default)s)")
     scenario.add_argument("--store", default=None, metavar="DIR",
                           help="scratch directory (unused; default: a temp dir)")
+    campaign = sub.add_parser(
+        "campaign", help="campaign drain at 1/2/4 launchers + steal latency"
+    )
+    campaign.add_argument(
+        "--out", default="BENCH_campaign.json", metavar="PATH",
+        help="where to write the repro.bench/v1 report (default: %(default)s)",
+    )
+    campaign.add_argument("--jobs", type=int, default=60,
+                          help="noop jobs per drain (default: %(default)s)")
+    campaign.add_argument("--duration-ms", type=int, default=200,
+                          help="wall-clock hold per job (default: %(default)s)")
+    campaign.add_argument("--steals", type=int, default=64,
+                          help="timed steal claims (default: %(default)s)")
+    campaign.add_argument("--lease", type=float, default=5.0,
+                          help="job lease seconds (default: %(default)s)")
+    campaign.add_argument("--store", default=None, metavar="DIR",
+                          help="scratch directory (default: a temp dir)")
     return parser
 
 
@@ -132,6 +152,29 @@ def _print_scenario_summary(report: dict) -> None:
         f"  planted periods recovered: {good['planted_recovered']}/"
         f"{good['planted_total']}, aperiodic quiet: "
         f"{good['aperiodic_quiet']}, deterministic: {good['deterministic']}"
+    )
+
+
+def _print_campaign_summary(report: dict) -> None:
+    print(f"repro-bench campaign ({report['schema']})")
+    for key, row in sorted(report["drain"].items()):
+        size = key.rsplit("_", 1)[1]
+        print(
+            f"  {size} launcher(s): {row['seconds']:8.2f} s  "
+            f"{row['jobs_per_s']:8.2f} jobs/s"
+        )
+    ratios = ", ".join(f"{k.replace('_', ' ')} {v}x"
+                       for k, v in sorted(report["speedup"].items()))
+    print(f"  drain speedup: {ratios}")
+    steal = report["steal"]
+    print(
+        f"  steal latency: p50 {steal['p50_us']:.1f} us, "
+        f"p99 {steal['p99_us']:.1f} us ({steal['steals']:.0f} steals)"
+    )
+    good = report["correctness"]
+    print(
+        f"  exactly-once tokens unique: {good['tokens_unique']}, "
+        f"all jobs DONE: {good['all_done']}"
     )
 
 
@@ -184,7 +227,7 @@ def main(argv: Sequence[str] | None = None) -> int:
                 shards=args.shards,
                 worker_processes=args.worker_processes,
             )
-    else:
+    elif args.bench == "scenario":
         from repro.bench.scenario_bench import run_scenario_bench
 
         knobs, summarize = ("derivations", "traces", "windows"), _print_scenario_summary
@@ -193,6 +236,16 @@ def main(argv: Sequence[str] | None = None) -> int:
             return run_scenario_bench(
                 scratch, derivations=args.derivations, traces=args.traces,
                 windows=args.windows, seed=args.seed,
+            )
+    else:
+        from repro.bench.campaign_bench import run_campaign_bench
+
+        knobs, summarize = ("jobs", "duration_ms", "steals"), _print_campaign_summary
+
+        def runner(scratch: str) -> dict:
+            return run_campaign_bench(
+                scratch, jobs=args.jobs, duration_ms=args.duration_ms,
+                lease_s=args.lease, steals=args.steals,
             )
     for name in knobs:
         if getattr(args, name) < 1:

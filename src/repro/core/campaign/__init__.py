@@ -21,11 +21,21 @@ walk away:
   through any backend URL (including ``knowledge+service://``), and
   checkpoints after every state transition so ``--resume`` picks up a
   killed campaign mid-sweep with zero lost or duplicated runs.
+* :mod:`~repro.core.campaign.fleet` — N competing launcher *processes*
+  drain one store concurrently: supervised spawning, lease stealing
+  with deterministic tie-breaking, elastic per-launcher pools and
+  placement-aware acquisition (``--fleet N --watch``).
 * :mod:`~repro.core.campaign.cli` — the ``repro-campaign`` operator
   console (``--submit`` / ``--status`` / ``--run`` / ``--resume`` /
-  ``--cancel`` / ``--metrics-json``).
+  ``--cancel`` / ``--fleet`` / ``--metrics-json``).
 """
 
+from repro.core.campaign.fleet import (
+    ElasticBounds,
+    ElasticController,
+    LauncherFleet,
+    render_fleet_view,
+)
 from repro.core.campaign.launcher import Launcher
 from repro.core.campaign.spec import CampaignSpec, JobSpec, job_jube_xml, parse_campaign_toml
 from repro.core.campaign.store import (
@@ -43,4 +53,8 @@ __all__ = [
     "JobRow",
     "JOB_STATES",
     "Launcher",
+    "LauncherFleet",
+    "ElasticBounds",
+    "ElasticController",
+    "render_fleet_view",
 ]

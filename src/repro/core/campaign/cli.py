@@ -17,6 +17,14 @@ server) with the campaign, so ``--run``/``--resume`` need no further
 configuration.  ``--resume`` differs from ``--run`` in one way only:
 RUNNING jobs left behind by a dead launcher are reclaimed immediately
 instead of waiting for their lease to expire.
+
+Fleet mode (``--run ID --fleet N``) drains the campaign with N
+*competing launcher processes* instead of one in-process launcher:
+each steals expired leases from dead peers, optionally serves one
+cluster partition (``--partitions``), and sizes its thread pool
+elastically (``--min-workers``).  ``--watch`` renders a live status
+view (per-launcher throughput, stolen leases, queue depth) from the
+store's launcher scoreboard.
 """
 
 from __future__ import annotations
@@ -25,11 +33,13 @@ import argparse
 import sys
 from typing import Sequence
 
+from repro.core.campaign.fleet import LauncherFleet
 from repro.core.campaign.launcher import Launcher
 from repro.core.campaign.spec import load_campaign_file
 from repro.core.campaign.store import JOB_STATES, CampaignStore
 from repro.core.metrics import MetricsRegistry
 from repro.core.resilience import CircuitBreaker, RetryPolicy
+from repro.core.service.chaos import WorkerKiller
 from repro.util.errors import ReproError
 
 __all__ = ["main", "build_parser"]
@@ -78,6 +88,35 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-phase retries on transient errors (default: 2)",
     )
     parser.add_argument(
+        "--fleet", type=int, default=None, metavar="N",
+        help="drain with N competing launcher processes instead of one "
+             "in-process launcher (with --run/--resume)",
+    )
+    parser.add_argument(
+        "--watch", action="store_true",
+        help="with --fleet: print a live per-launcher status view",
+    )
+    parser.add_argument(
+        "--partitions", default=None, metavar="A,B,...",
+        help="with --fleet: cluster partitions assigned round-robin to "
+             "launchers (jobs route by their placement key)",
+    )
+    parser.add_argument(
+        "--min-workers", type=int, default=None, metavar="N",
+        help="with --fleet: enable elastic pools between N and --workers "
+             "threads per launcher",
+    )
+    parser.add_argument(
+        "--lease", type=float, default=60.0, metavar="SECONDS",
+        help="job lease duration; expired leases are stolen by peers "
+             "(default: 60)",
+    )
+    parser.add_argument(
+        "--chaos-kill-every", type=int, default=None, metavar="TICKS",
+        help="with --fleet: SIGKILL a launcher every TICKS supervision "
+             "passes (deterministic soak fault injection)",
+    )
+    parser.add_argument(
         "--metrics-json", default=None, metavar="PATH",
         help="write the campaign metrics snapshot to PATH on exit",
     )
@@ -117,6 +156,13 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.retries < 0:
         print("error: --retries must be >= 0", file=sys.stderr)
         return 2
+    if args.fleet is not None:
+        if args.fleet < 1:
+            print("error: --fleet must be >= 1", file=sys.stderr)
+            return 2
+        if args.run is None and args.resume is None:
+            print("error: --fleet requires --run or --resume", file=sys.stderr)
+            return 2
     metrics = MetricsRegistry() if args.metrics_json else None
     exit_code = 0
     try:
@@ -137,6 +183,50 @@ def main(argv: Sequence[str] | None = None) -> int:
             elif args.cancel is not None:
                 cancelled = store.cancel(args.cancel)
                 print(f"cancelled {cancelled} queued job(s) of campaign {args.cancel}")
+            elif args.fleet is not None:
+                campaign_id = args.run if args.run is not None else args.resume
+                if args.resume is not None:
+                    # Forced recovery must happen before any launcher is
+                    # live (it reclaims *all* RUNNING jobs); the fleet's
+                    # own launchers then resolve and re-run them.
+                    store.reclaim(campaign_id, 0.0, force=True)
+                fleet = LauncherFleet(
+                    store,
+                    campaign_id,
+                    size=args.fleet,
+                    workspace=args.workspace,
+                    workers_per_launcher=args.workers,
+                    min_workers=args.min_workers,
+                    seed=args.seed,
+                    lease_s=args.lease,
+                    retries=args.retries,
+                    partitions=(
+                        [p for p in args.partitions.split(",") if p]
+                        if args.partitions
+                        else None
+                    ),
+                    metrics=metrics,
+                    watch=print if args.watch else None,
+                )
+                if args.chaos_kill_every is not None:
+                    fleet.killer = WorkerKiller(
+                        fleet,
+                        every_frames=args.chaos_kill_every,
+                        metrics=metrics,
+                        metric_name="fleet.chaos.faults_total",
+                    )
+                counts = fleet.run()
+                summary = ", ".join(
+                    f"{counts[s]} {s}" for s in JOB_STATES if counts[s]
+                )
+                print(
+                    f"campaign {campaign_id} drained by {args.fleet} "
+                    f"launcher(s): {summary} "
+                    f"({fleet.respawns} respawn(s), {fleet.crash_loops} "
+                    f"crash-loop(s))"
+                )
+                if counts["FAILED"]:
+                    exit_code = 1
             else:
                 campaign_id = args.run if args.run is not None else args.resume
                 retry_policy = (
@@ -157,6 +247,7 @@ def main(argv: Sequence[str] | None = None) -> int:
                     metrics=metrics,
                     retry_policy=retry_policy,
                     breaker=CircuitBreaker(metrics=metrics, name="campaign"),
+                    lease_s=args.lease,
                 )
                 counts = launcher.run(resume=args.resume is not None)
                 summary = ", ".join(

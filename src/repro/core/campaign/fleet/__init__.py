@@ -1,0 +1,32 @@
+"""Launcher fleets: N competing launcher processes, one campaign store.
+
+The distributed execution layer over the campaign orchestrator
+(ROADMAP item 4, after Balsam's multi-node launcher model):
+
+* :mod:`~repro.core.campaign.fleet.coordinator` — spawn/supervise the
+  launcher processes (crash-loop machinery shared with the knowledge
+  server's :class:`~repro.core.service.server.WorkerSupervisor`).
+* :mod:`~repro.core.campaign.fleet.worker` — the per-process entry
+  point (``python -m repro.core.campaign.fleet.worker``).
+* :mod:`~repro.core.campaign.fleet.elastic` — queue-depth-driven
+  worker-pool sizing within each launcher.
+* :mod:`~repro.core.campaign.fleet.watch` — the ``--watch`` status
+  view, rendered from the store's launcher scoreboard.
+
+Correctness rests on the store, not the coordinator: compare-and-set
+state transitions, lease stealing with deterministic tie-breaking, and
+idempotency-token resolution make a SIGKILL anywhere in the fleet at
+worst a retried job — never a lost or duplicated one.
+"""
+
+from repro.core.campaign.fleet.coordinator import LauncherFleet, LauncherSlot
+from repro.core.campaign.fleet.elastic import ElasticBounds, ElasticController
+from repro.core.campaign.fleet.watch import render_fleet_view
+
+__all__ = [
+    "LauncherFleet",
+    "LauncherSlot",
+    "ElasticBounds",
+    "ElasticController",
+    "render_fleet_view",
+]

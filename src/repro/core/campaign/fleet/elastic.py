@@ -1,0 +1,81 @@
+"""Elastic worker-pool sizing for fleet launchers.
+
+Each launcher in a fleet carries a bounded pool of worker threads; the
+right pool size depends on the backlog, which changes as the campaign
+drains.  :class:`ElasticController` turns the live queue depth (READY
+jobs, the ``campaign.jobs{state=READY}`` gauge) into an allowed pool
+size between the configured bounds — a *pure* function of its inputs,
+so every launcher in the fleet converges on the same size for the same
+backlog and tests can table-drive the policy without running anything.
+
+The policy is deliberately simple: one worker per READY job (scaled by
+``depth_per_worker`` when jobs are short), clamped to
+``[min_workers, max_workers]``.  Workers above the allowed size *park*
+(poll without acquiring) instead of exiting, so a queue that deepens
+again — retries, stolen leases being requeued, late DAG fan-out — is
+picked up without respawning threads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.util.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from repro.core.metrics import MetricsRegistry
+
+__all__ = ["ElasticBounds", "ElasticController"]
+
+
+@dataclass(frozen=True, slots=True)
+class ElasticBounds:
+    """The pool-size envelope one launcher may scale within."""
+
+    min_workers: int = 1
+    max_workers: int = 4
+    #: READY jobs needed to justify one more worker beyond the minimum.
+    depth_per_worker: int = 1
+
+    def __post_init__(self) -> None:
+        if self.min_workers < 1:
+            raise ConfigurationError(
+                f"min_workers must be >= 1, got {self.min_workers}"
+            )
+        if self.max_workers < self.min_workers:
+            raise ConfigurationError(
+                f"max_workers ({self.max_workers}) must be >= "
+                f"min_workers ({self.min_workers})"
+            )
+        if self.depth_per_worker < 1:
+            raise ConfigurationError(
+                f"depth_per_worker must be >= 1, got {self.depth_per_worker}"
+            )
+
+
+class ElasticController:
+    """Maps queue depth to an allowed pool size (deterministically)."""
+
+    def __init__(
+        self,
+        bounds: ElasticBounds,
+        *,
+        metrics: "MetricsRegistry | None" = None,
+    ) -> None:
+        self.bounds = bounds
+        self.metrics = metrics
+        self.last_allowed = bounds.min_workers
+
+    def allowed(self, queue_depth: int) -> int:
+        """Pool size justified by ``queue_depth`` READY jobs."""
+        depth = max(0, int(queue_depth))
+        target = depth // self.bounds.depth_per_worker
+        allowed = max(self.bounds.min_workers, min(self.bounds.max_workers, target))
+        self.last_allowed = allowed
+        if self.metrics is not None:
+            self.metrics.gauge(
+                "fleet.pool_allowed",
+                "worker threads the elastic policy currently allows",
+            ).set(allowed)
+        return allowed

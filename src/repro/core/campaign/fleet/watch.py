@@ -1,0 +1,60 @@
+"""Live fleet status rendering for ``repro-campaign --fleet --watch``.
+
+Everything rendered here comes from the campaign store alone — the
+per-state job counts plus the launcher scoreboard rows each launcher
+upserts as it works (:meth:`~repro.core.campaign.store.CampaignStore.
+report_launcher`).  No side channel between coordinator and launchers
+exists, so the view is exactly as consistent as the store itself and
+works identically for a fleet on one host or launchers started by hand
+on several.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import TYPE_CHECKING
+
+from repro.core.campaign.store import JOB_STATES
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from repro.core.campaign.store import CampaignStore
+
+__all__ = ["render_fleet_view"]
+
+
+def _throughput(row: dict[str, object], now: float) -> str:
+    done = int(row.get("jobs_done") or 0)
+    started = row.get("started_at")
+    if started is None:
+        return "-"
+    elapsed = max(float(now) - float(started), 1e-9)
+    return f"{done / elapsed:.1f}/s"
+
+
+def render_fleet_view(
+    store: "CampaignStore", campaign_id: int, *, now: float | None = None
+) -> str:
+    """One status frame: queue depth, per-state counts, per-launcher rows."""
+    now = time.time() if now is None else now
+    counts = store.counts(campaign_id)
+    total = sum(counts.values())
+    done = counts["DONE"] + counts["FAILED"]
+    lines = [
+        f"campaign {campaign_id}: {done}/{total} terminal "
+        f"(queue depth {counts['READY']})",
+        "  " + "  ".join(f"{s}={counts[s]}" for s in JOB_STATES if counts[s]),
+        f"  {'launcher':<12} {'state':<8} {'pid':>7} {'part':<8} "
+        f"{'done':>6} {'fail':>5} {'steal':>5} {'lost':>4} {'pool':>5} {'rate':>8}",
+    ]
+    for row in store.launcher_rows(campaign_id):
+        pool = f"{row.get('pool_active') or 0}/{row.get('pool_max') or 0}"
+        lines.append(
+            f"  {str(row['launcher']):<12} {str(row.get('state') or '?'):<8} "
+            f"{str(row.get('pid') or '-'):>7} {str(row.get('placement') or '-'):<8} "
+            f"{int(row.get('jobs_done') or 0):>6} "
+            f"{int(row.get('jobs_failed') or 0):>5} "
+            f"{int(row.get('steals') or 0):>5} "
+            f"{int(row.get('leases_lost') or 0):>4} "
+            f"{pool:>5} {_throughput(row, now):>8}"
+        )
+    return "\n".join(lines)

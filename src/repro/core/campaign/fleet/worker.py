@@ -1,0 +1,134 @@
+"""Fleet launcher worker: ``python -m repro.core.campaign.fleet.worker``.
+
+One competing launcher process.  The :class:`~repro.core.campaign.
+fleet.coordinator.LauncherFleet` spawns N of these against one
+campaign store; each opens its *own* store connection (SQLite WAL
+handles the cross-process locking) and drains the campaign through the
+ordinary :class:`~repro.core.campaign.launcher.Launcher` — acquire,
+steal, heartbeat, exactly-once resolve — publishing its throughput to
+the store's launcher scoreboard for ``--watch``.
+
+Exit code 0 means the campaign is drained (from this launcher's
+partition-eligible point of view); any crash propagates as a non-zero
+exit and the coordinator respawns under its crash-loop budget.
+SIGTERM requests a graceful stop: finish the in-flight job, then exit.
+The coordinator SIGKILLs stragglers — and the chaos
+:class:`~repro.core.service.chaos.WorkerKiller` SIGKILLs mid-job on
+purpose — both of which the lease/steal/token protocol must absorb
+with zero lost and zero duplicated jobs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import signal
+import sys
+
+from repro.core.campaign.fleet.elastic import ElasticBounds, ElasticController
+from repro.core.campaign.launcher import Launcher
+from repro.core.campaign.store import CampaignStore
+from repro.core.metrics import MetricsRegistry
+from repro.core.resilience import CircuitBreaker, RetryPolicy
+from repro.util.errors import ReproError
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The fleet worker argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-campaign-worker",
+        description="one launcher process of a campaign fleet",
+    )
+    parser.add_argument("--store", required=True, help="campaign store SQLite path")
+    parser.add_argument("--campaign", required=True, type=int, help="campaign id")
+    parser.add_argument("--name", required=True, help="launcher name (lease-owner prefix)")
+    parser.add_argument("--workspace", required=True, help="JUBE workspace directory")
+    parser.add_argument("--workers", type=int, default=2, help="max worker threads")
+    parser.add_argument(
+        "--min-workers", type=int, default=None, metavar="N",
+        help="enable elastic sizing between N and --workers threads",
+    )
+    parser.add_argument("--seed", type=int, default=42, help="campaign testbed seed")
+    parser.add_argument("--lease", type=float, default=60.0, help="job lease seconds")
+    parser.add_argument("--poll", type=float, default=0.01, help="idle poll seconds")
+    parser.add_argument(
+        "--partition", default=None,
+        help="cluster partition this launcher serves (placement routing)",
+    )
+    parser.add_argument(
+        "--retries", type=int, default=2,
+        help="per-phase retries on transient errors",
+    )
+    parser.add_argument(
+        "--metrics-json", default=None, metavar="PATH",
+        help="write this launcher's metrics snapshot to PATH on exit",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point for one fleet launcher process."""
+    options = build_parser().parse_args(argv)
+    metrics = MetricsRegistry()
+    elastic = None
+    if options.min_workers is not None:
+        elastic = ElasticController(
+            ElasticBounds(
+                min_workers=options.min_workers, max_workers=options.workers
+            ),
+            metrics=metrics,
+        )
+    retry_policy = (
+        RetryPolicy(
+            max_attempts=options.retries + 1, base_delay_s=0.05, seed=options.seed
+        )
+        if options.retries > 0
+        else None
+    )
+    exit_code = 0
+    try:
+        with CampaignStore(options.store, metrics=metrics) as store:
+            launcher = Launcher(
+                store,
+                options.campaign,
+                workspace=options.workspace,
+                workers=options.workers,
+                seed=options.seed,
+                metrics=metrics,
+                retry_policy=retry_policy,
+                breaker=CircuitBreaker(metrics=metrics, name=options.name),
+                lease_s=options.lease,
+                poll_s=options.poll,
+                name=options.name,
+                partition=options.partition,
+                elastic=elastic,
+                report_status=True,
+            )
+            # Graceful stop: finish the in-flight job, then exit.  The
+            # handler only flips an event, so it is async-signal safe.
+            signal.signal(signal.SIGTERM, lambda signum, frame: launcher.stop())
+            signal.signal(signal.SIGINT, signal.SIG_IGN)
+            counts = launcher.run(resume=False)
+            print(
+                f"{options.name}: campaign {options.campaign} drained "
+                f"({counts['DONE']} DONE, {counts['FAILED']} FAILED)"
+            )
+    except ReproError as exc:
+        print(f"{options.name}: error: {exc}", file=sys.stderr)
+        exit_code = 1
+    finally:
+        if options.metrics_json:
+            try:
+                metrics.write_json(options.metrics_json)
+            except OSError as exc:  # pragma: no cover - disk-full paths
+                print(
+                    f"{options.name}: cannot write {options.metrics_json}: {exc}",
+                    file=sys.stderr,
+                )
+                exit_code = exit_code or 1
+    return exit_code
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

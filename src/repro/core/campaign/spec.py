@@ -56,8 +56,11 @@ __all__ = [
     "job_jube_xml",
 ]
 
-#: Benchmark work names the generation phase understands (jube.steps).
-KNOWN_BENCHMARKS = ("ior", "mdtest", "io500", "hacc", "ior-darshan")
+#: Benchmark work names the generation phase understands (jube.steps),
+#: plus ``noop``: a synthetic job that holds real wall-clock time
+#: (``duration_ms`` parameter) without touching the testbed — the unit
+#: of work fleet benchmarks and soaks drain by the tens of thousands.
+KNOWN_BENCHMARKS = ("ior", "mdtest", "io500", "hacc", "ior-darshan", "noop")
 
 _KEY_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_-]*$")
 
@@ -114,13 +117,16 @@ class JobSpec:
     the pipeline) or ``"report"`` (compare the knowledge its
     dependencies produced).  ``params`` holds the fully-merged,
     single-valued parameter dict for benchmark jobs and the report
-    options (``x_axis`` / ``metric``) for report jobs.
+    options (``x_axis`` / ``metric``) for report jobs.  ``placement``
+    optionally names the cluster partition that must run the job
+    (``None`` = any launcher may take it).
     """
 
     name: str
     kind: str
     params: dict[str, str]
     depends: tuple[str, ...] = ()
+    placement: str | None = None
 
 
 @dataclass(slots=True)
@@ -133,6 +139,11 @@ class CampaignSpec:
     fixed: dict[str, str] = field(default_factory=dict)
     report: dict[str, str] | None = None
     max_attempts: int = 3
+    #: Name of the (swept or fixed) parameter whose per-job value
+    #: becomes the job's cluster-partition placement key.  A fleet
+    #: launcher started with ``--partition`` only acquires jobs whose
+    #: placement matches (or is unset); ``None`` disables placement.
+    placement: str | None = None
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -143,6 +154,12 @@ class CampaignSpec:
             )
         if self.max_attempts < 1:
             raise CampaignError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.placement is not None and not (
+            self.placement in self.parameters or self.placement in self.fixed
+        ):
+            raise CampaignError(
+                f"placement key {self.placement!r} names no swept or fixed parameter"
+            )
 
     def expand(self) -> list[JobSpec]:
         """The campaign's job DAG: one job per combination, plus report.
@@ -164,7 +181,17 @@ class CampaignSpec:
         for i, combo in enumerate(combos):
             params = dict(self.fixed)
             params.update(combo)
-            jobs.append(JobSpec(name=f"run-{i:04d}", kind="benchmark", params=params))
+            placement = (
+                str(params[self.placement]) if self.placement is not None else None
+            )
+            jobs.append(
+                JobSpec(
+                    name=f"run-{i:04d}",
+                    kind="benchmark",
+                    params=params,
+                    placement=placement,
+                )
+            )
         if self.report is not None:
             jobs.append(
                 JobSpec(
@@ -186,6 +213,7 @@ class CampaignSpec:
                 "fixed": self.fixed,
                 "report": self.report,
                 "max_attempts": self.max_attempts,
+                "placement": self.placement,
             },
             sort_keys=True,
         )
@@ -214,6 +242,9 @@ def parse_campaign_toml(text: str) -> CampaignSpec:
     max_attempts = campaign.get("max_attempts", 3)
     if not isinstance(max_attempts, int) or isinstance(max_attempts, bool):
         raise CampaignError(f"max_attempts must be an integer, got {max_attempts!r}")
+    placement = campaign.get("placement")
+    if placement is not None and not isinstance(placement, str):
+        raise CampaignError(f"placement must be a parameter name, got {placement!r}")
     parameters = {str(k): str(v) for k, v in tables.get("parameters", {}).items()}
     if not parameters:
         raise CampaignError("campaign needs at least one [parameters] entry to sweep")
@@ -228,6 +259,7 @@ def parse_campaign_toml(text: str) -> CampaignSpec:
         fixed=fixed,
         report=report,
         max_attempts=max_attempts,
+        placement=placement,
     )
 
 

@@ -637,7 +637,7 @@ def _campaign_section(snapshot: Mapping) -> list[str]:
     retries = _counter_total(snapshot, "campaign.transitions_total", to="RESTARTING")
     reclaims = _counter_total(snapshot, "campaign.reclaims_total")
     title = "Campaign orchestrator"
-    return [
+    lines = [
         "",
         title,
         "-" * len(title),
@@ -645,6 +645,39 @@ def _campaign_section(snapshot: Mapping) -> list[str]:
         f"  transitions      {_fmt_value(transitions)} total, "
         f"{_fmt_value(retries)} restart(s)",
         f"  lease reclaims   {_fmt_value(reclaims)}",
+    ]
+    lines += _fleet_lines(snapshot)
+    return lines
+
+
+def _fleet_lines(snapshot: Mapping) -> list[str]:
+    """Fleet digest lines (only when ``fleet.*`` families are present)."""
+    names = [
+        name
+        for kind in ("counters", "gauges", "histograms")
+        for name in snapshot.get(kind, {})
+    ]
+    has_fleet = any(name.startswith("fleet.") for name in names)
+    steals = _counter_total(snapshot, "campaign.steals_total")
+    if not has_fleet and not steals:
+        return []
+    launchers_family = snapshot.get("gauges", {}).get("fleet.launchers")
+    launchers = (
+        launchers_family["series"][0]["value"]
+        if launchers_family and launchers_family["series"]
+        else 0
+    )
+    respawns = _counter_total(snapshot, "fleet.respawns_total")
+    crash_loops = _counter_total(snapshot, "fleet.crash_loops_total")
+    lost = _counter_total(snapshot, "fleet.leases_lost_total")
+    kills = _counter_total(snapshot, "fleet.chaos.faults_total")
+    return [
+        f"  fleet            {_fmt_value(launchers)} launcher(s) live, "
+        f"{_fmt_value(respawns)} respawn(s), "
+        f"{_fmt_value(crash_loops)} crash-loop(s)",
+        f"  lease steals     {_fmt_value(steals)} stolen, "
+        f"{_fmt_value(lost)} abandoned by losers, "
+        f"{_fmt_value(kills)} chaos kill(s)",
     ]
 
 

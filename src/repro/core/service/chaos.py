@@ -39,7 +39,7 @@ import itertools
 import socket
 import threading
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable
 
 from repro.core.service.wire import HEADER, MAGIC
@@ -155,6 +155,12 @@ class WorkerKiller:
     instead of seconds keeps the kill schedule a function of traffic,
     not wall time, so a seeded soak kills at the same points in the
     request stream every run.
+
+    ``server`` is duck-typed: anything exposing a ``workers`` list of
+    slots with ``.process``/``.alive`` works — the knowledge server's
+    shard-group workers and the campaign fleet's launcher slots both
+    do, so one killer drives both SIGKILL matrices.  ``metric_name``
+    routes the fault count to the owning subsystem's metric family.
     """
 
     def __init__(
@@ -163,6 +169,7 @@ class WorkerKiller:
         *,
         every_frames: int,
         metrics: "MetricsRegistry | None" = None,
+        metric_name: str = "service.chaos.faults_total",
     ) -> None:
         if every_frames < 1:
             raise ConfigurationError(
@@ -171,6 +178,7 @@ class WorkerKiller:
         self.server = server
         self.every_frames = every_frames
         self.metrics = metrics
+        self.metric_name = metric_name
         self.kills = 0
         self._next_at = every_frames
         self._rr = 0
@@ -191,7 +199,7 @@ class WorkerKiller:
                     self.kills += 1
                     if self.metrics is not None:
                         self.metrics.counter(
-                            "service.chaos.faults_total",
+                            self.metric_name,
                             "chaos faults injected by kind",
                             kind="worker-kill",
                         ).inc()

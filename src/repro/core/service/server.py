@@ -41,7 +41,6 @@ import subprocess
 import sys
 import threading
 import time
-from collections import deque
 from contextlib import contextmanager
 from pathlib import Path
 from typing import TYPE_CHECKING, Callable, Sequence
@@ -49,6 +48,7 @@ from typing import TYPE_CHECKING, Callable, Sequence
 import repro
 from repro.core.persistence.scan import merge_partial_payloads
 from repro.core.resilience import CircuitBreaker, Deadline, RetryPolicy
+from repro.core.supervise import SupervisedSlot
 from repro.core.service.ops import MUTATING_OPS, SERVICE_OPS
 from repro.core.service.shard import (
     KnowledgeShardMap,
@@ -529,23 +529,10 @@ class ShardRouter:
         return merged
 
 
-class _SupervisedSlot:
-    """Per-shard-group supervision state (touched only by the supervisor)."""
-
-    __slots__ = (
-        "attempt", "next_attempt_at", "respawn_times", "unhealthy_since",
-        "respawns", "last_heal_at", "crash_looped", "probe_failures",
-    )
-
-    def __init__(self) -> None:
-        self.attempt = 0  # consecutive failed respawn attempts
-        self.next_attempt_at = 0.0  # monotonic time the next respawn is due
-        self.respawn_times: deque[float] = deque()  # crash-loop window
-        self.unhealthy_since: float | None = None  # first unhealthy sighting
-        self.respawns = 0  # successful respawns over the slot's lifetime
-        self.last_heal_at: float | None = None
-        self.crash_looped = False
-        self.probe_failures = 0  # consecutive failed heal probes
+# Per-shard-group supervision state: the slot bookkeeping is shared
+# with the campaign launcher fleet (repro.core.supervise), so respawn
+# backoff and crash-loop semantics stay identical across supervisors.
+_SupervisedSlot = SupervisedSlot
 
 
 class WorkerSupervisor:
@@ -691,13 +678,11 @@ class WorkerSupervisor:
             slot.unhealthy_since = now
         if now < slot.next_attempt_at:
             return  # respawn budget: back off between attempts
-        slot.respawn_times.append(now)
-        while (
-            slot.respawn_times
-            and now - slot.respawn_times[0] > self.crash_loop_window_s
+        if slot.note_respawn_attempt(
+            now,
+            window_s=self.crash_loop_window_s,
+            threshold=self.crash_loop_threshold,
         ):
-            slot.respawn_times.popleft()
-        if len(slot.respawn_times) > self.crash_loop_threshold:
             self._declare_crash_loop(index, slot, worker)
             return
         worker.reap()
@@ -711,10 +696,7 @@ class WorkerSupervisor:
             slot.next_attempt_at = self._clock() + delay
             return
         self.server._replace_worker(index, successor)
-        slot.attempt = 0
-        slot.next_attempt_at = 0.0
-        slot.probe_failures = 0
-        slot.respawns += 1
+        slot.respawned(self._clock())
         if self.metrics is not None:
             self.metrics.counter(
                 "service.supervisor.respawns_total",
@@ -743,16 +725,14 @@ class WorkerSupervisor:
             ).inc()
 
     def _healed(self, index: int, slot: _SupervisedSlot, *, respawned: bool) -> None:
-        now = self._clock()
-        if slot.unhealthy_since is not None and self.metrics is not None:
+        duration = slot.healed(self._clock())
+        if duration is not None and self.metrics is not None:
             self.metrics.histogram(
                 "service.supervisor.heal_seconds",
                 "time from detecting an unhealthy shard group to healthy",
                 wallclock=True,
                 mode="respawn" if respawned else "probe",
-            ).observe(now - slot.unhealthy_since)
-        slot.unhealthy_since = None
-        slot.last_heal_at = now
+            ).observe(duration)
 
     # -- introspection (the health op) ---------------------------------
     def slot_info(self, index: int) -> dict[str, object]:

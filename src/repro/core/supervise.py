@@ -1,0 +1,78 @@
+"""Process-supervision primitives shared by every supervisor.
+
+The knowledge server's :class:`~repro.core.service.server.
+WorkerSupervisor` (PR 7) and the campaign fleet's
+:class:`~repro.core.campaign.fleet.coordinator.LauncherFleet` both
+supervise a row of child processes with the same state machine: a dead
+child is respawned under an exponential-backoff budget, and a child
+that keeps dying inside a sliding window is demoted to a permanent
+tombstone instead of burning CPU on a group that cannot stay up.
+
+This module holds the per-slot bookkeeping both supervisors share, so
+the crash-loop semantics stay identical across subsystems:
+
+* :class:`SupervisedSlot` — one child's supervision state (respawn
+  backoff schedule, sliding crash-loop window, heal timestamps).
+* :meth:`SupervisedSlot.note_respawn_attempt` — records one respawn
+  attempt against the window and answers whether the slot just crossed
+  the crash-loop threshold.
+
+The policy knobs (threshold, window, backoff) stay with each
+supervisor; only the mechanism lives here.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+__all__ = ["SupervisedSlot"]
+
+
+class SupervisedSlot:
+    """Per-child supervision state (touched only by its supervisor)."""
+
+    __slots__ = (
+        "attempt", "next_attempt_at", "respawn_times", "unhealthy_since",
+        "respawns", "last_heal_at", "crash_looped", "probe_failures",
+    )
+
+    def __init__(self) -> None:
+        self.attempt = 0  # consecutive failed respawn attempts
+        self.next_attempt_at = 0.0  # monotonic time the next respawn is due
+        self.respawn_times: deque[float] = deque()  # crash-loop window
+        self.unhealthy_since: float | None = None  # first unhealthy sighting
+        self.respawns = 0  # successful respawns over the slot's lifetime
+        self.last_heal_at: float | None = None
+        self.crash_looped = False
+        self.probe_failures = 0  # consecutive failed heal probes
+
+    def note_respawn_attempt(
+        self, now: float, *, window_s: float, threshold: int
+    ) -> bool:
+        """Record one respawn attempt; True when it crosses the crash loop.
+
+        Appends ``now`` to the sliding window, expires entries older
+        than ``window_s``, and reports whether more than ``threshold``
+        attempts remain inside the window — the supervisor's cue to
+        demote the slot to a tombstone.
+        """
+        self.respawn_times.append(now)
+        while self.respawn_times and now - self.respawn_times[0] > window_s:
+            self.respawn_times.popleft()
+        return len(self.respawn_times) > threshold
+
+    def respawned(self, now: float) -> None:
+        """Reset the backoff budget after a successful respawn."""
+        self.attempt = 0
+        self.next_attempt_at = 0.0
+        self.probe_failures = 0
+        self.respawns += 1
+
+    def healed(self, now: float) -> float | None:
+        """Mark the slot healthy; returns the unhealthy duration if any."""
+        duration = (
+            now - self.unhealthy_since if self.unhealthy_since is not None else None
+        )
+        self.unhealthy_since = None
+        self.last_heal_at = now
+        return duration

@@ -34,6 +34,7 @@ __all__ = [
     "JubeError",
     "DarshanError",
     "CampaignError",
+    "LeaseLostError",
     "ScenarioError",
 ]
 
@@ -193,6 +194,19 @@ class CampaignError(ReproError):
     and operations on unknown campaigns/jobs — operator errors, never
     transient, so the retry predicate leaves them alone.
     """
+
+
+class LeaseLostError(CampaignError):
+    """A launcher touched a job whose lease it no longer holds.
+
+    Raised by owner-guarded heartbeats/completions when the job was
+    stolen by another launcher (the lease expired and a competing
+    launcher claimed it).  The loser must *abandon* the job silently —
+    the thief owns its retry budget now — so this is never retried and
+    never recorded as a job failure.
+    """
+
+    transient = False
 
 
 class ScenarioError(ReproError):

@@ -165,6 +165,37 @@ class TestBatchedSaveMany:
             assert db.table_count("performances") == 0
             assert db.table_count("agg_summaries") == 0
 
+    @pytest.mark.stress
+    @pytest.mark.timeout(600)
+    def test_hundred_thousand_rows_end_to_end(self, tmp_path):
+        """Fleet-scale ingest: 100k objects through save_many in chunks
+        against a file-backed store, with ``scan()`` agreeing with the
+        reference Python fold to the float."""
+        from repro.bench.scan_bench import fold_scan, scan_results_match
+
+        n, chunk = 100_000, 10_000
+        with KnowledgeDatabase(tmp_path / "bulk.db") as db:
+            repo = KnowledgeRepository(db)
+            ids = []
+            for start in range(0, n, chunk):
+                ids.extend(
+                    repo.save_many(
+                        [
+                            make_knowledge(i, results_per_summary=1)
+                            for i in range(start, start + chunk)
+                        ]
+                    )
+                )
+            assert len(ids) == n and ids[0] == 1 and ids[-1] == n
+            assert db.table_count("performances") == n
+            assert db.table_count("agg_summaries") > 0
+            query = ScanQuery(
+                metric="bw_mean", operation="write", group_by=("benchmark",)
+            )
+            assert scan_results_match(
+                repo.scan(query), fold_scan(query, repo.load_all())
+            )
+
     def test_degraded_backend_falls_back_to_per_row(self):
         with KnowledgeDatabase(":memory:") as db:
             counting = CountingBackend(db, degraded=True)
